@@ -1,0 +1,193 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//!
+//! * `resume_rule` — the paper's full-guarantee resume vs resuming as
+//!   soon as the pending allocation fits;
+//! * `ctx_overhead` — charging the 66 MiB per-pid context overhead vs
+//!   ignoring it;
+//! * `transport` — real UNIX-socket IPC vs direct in-process calls;
+//! * `allocator` — paged (CUDA-realistic) vs contiguity-constrained
+//!   first-fit device allocator;
+//! * `multi_gpu_placement` — the §V extension's placement policies.
+//!
+//! Run: `cargo bench -p convgpu-bench --bench ablations`
+
+use convgpu_bench::policies::PolicyExperiment;
+use convgpu_core::handler::ServiceHandler;
+use convgpu_core::service::{InProcEndpoint, SchedulerService};
+use convgpu_gpu_sim::api::CudaApi;
+use convgpu_gpu_sim::device::{DeviceConfig, GpuDevice};
+use convgpu_gpu_sim::latency::LatencyModel;
+use convgpu_gpu_sim::memory::AllocatorKind;
+use convgpu_gpu_sim::runtime::RawCudaRuntime;
+use convgpu_ipc::client::SchedulerClient;
+use convgpu_ipc::endpoint::SchedulerEndpoint;
+use convgpu_ipc::server::SocketServer;
+use convgpu_scheduler::core::{Scheduler, SchedulerConfig};
+use convgpu_scheduler::multi_gpu::{MultiGpuScheduler, PlacementPolicy};
+use convgpu_scheduler::policy::PolicyKind;
+use convgpu_scheduler::state::ResumeRule;
+use convgpu_sim_core::clock::RealClock;
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::SimTime;
+use convgpu_sim_core::units::Bytes;
+use convgpu_wrapper::module::WrapperModule;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn bench_resume_rule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_resume_rule");
+    for (label, rule) in [
+        ("full_guarantee", ResumeRule::FullGuarantee),
+        ("pending_fits", ResumeRule::PendingFits),
+    ] {
+        group.bench_with_input(BenchmarkId::new("n30", label), &rule, |b, &rule| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut exp = PolicyExperiment::paper(30, PolicyKind::BestFit, seed);
+                exp.resume_rule = rule;
+                exp.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctx_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ctx_overhead");
+    for (label, charge) in [("charged_66mib", true), ("ignored", false)] {
+        group.bench_with_input(BenchmarkId::new("n30", label), &charge, |b, &charge| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut exp = PolicyExperiment::paper(30, PolicyKind::Fifo, seed);
+                exp.charge_ctx_overhead = charge;
+                exp.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let clock = RealClock::handle();
+    let device = Arc::new(GpuDevice::tesla_k20m());
+    let raw = Arc::new(RawCudaRuntime::new(
+        Arc::clone(&device),
+        LatencyModel::zero(),
+        clock.clone(),
+    ));
+    let dir = std::env::temp_dir().join(format!("convgpu-bench-abl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let service = Arc::new(SchedulerService::new(
+        Scheduler::new(SchedulerConfig::paper(), PolicyKind::BestFit.build(0)),
+        clock,
+        dir.clone(),
+    ));
+    let server = SocketServer::bind(
+        &dir.join("sched.sock"),
+        Arc::new(ServiceHandler::new(Arc::clone(&service))),
+    )
+    .unwrap();
+    let client = SchedulerClient::connect(server.path()).unwrap();
+    client.register(ContainerId(1), Bytes::gib(1)).unwrap();
+    let socket_wrapper =
+        WrapperModule::new(ContainerId(1), Arc::clone(&raw) as _, Arc::new(client));
+    service.register(ContainerId(2), Bytes::gib(1)).unwrap();
+    let inproc_wrapper = WrapperModule::new(
+        ContainerId(2),
+        Arc::clone(&raw) as _,
+        Arc::new(InProcEndpoint::new(Arc::clone(&service))),
+    );
+
+    let mut group = c.benchmark_group("ablation_transport");
+    group.bench_function("gated_malloc_unix_socket", |b| {
+        b.iter(|| {
+            let p = socket_wrapper.cuda_malloc(1, Bytes::mib(1)).unwrap();
+            socket_wrapper.cuda_free(1, p).unwrap();
+        })
+    });
+    group.bench_function("gated_malloc_in_proc", |b| {
+        b.iter(|| {
+            let p = inproc_wrapper.cuda_malloc(2, Bytes::mib(1)).unwrap();
+            inproc_wrapper.cuda_free(2, p).unwrap();
+        })
+    });
+    group.finish();
+    server.shutdown();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_allocator");
+    for (label, kind) in [
+        ("paged", AllocatorKind::Paged),
+        ("first_fit", AllocatorKind::FirstFit),
+    ] {
+        group.bench_with_input(BenchmarkId::new("churn", label), &kind, |b, &kind| {
+            let device = GpuDevice::new(DeviceConfig {
+                allocator: kind,
+                ..DeviceConfig::default()
+            });
+            b.iter(|| {
+                // 64 interleaved alloc/free pairs of mixed sizes.
+                let mut ptrs = Vec::new();
+                for i in 0..64u64 {
+                    let size = Bytes::mib(1 + (i % 7) * 3);
+                    ptrs.push(device.alloc(1, size).unwrap().0);
+                    if i % 3 == 0 {
+                        let p = ptrs.swap_remove((i as usize * 7) % ptrs.len());
+                        device.free(1, p).unwrap();
+                    }
+                }
+                for p in ptrs {
+                    device.free(1, p).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_gpu_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_multi_gpu_placement");
+    for (label, placement) in [
+        ("round_robin", PlacementPolicy::RoundRobin),
+        ("most_free", PlacementPolicy::MostFree),
+        ("best_fit_device", PlacementPolicy::BestFitDevice),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("register_30", label),
+            &placement,
+            |b, &placement| {
+                b.iter(|| {
+                    let mut m = MultiGpuScheduler::new(
+                        &[Bytes::gib(5), Bytes::gib(16)],
+                        PolicyKind::BestFit,
+                        placement,
+                        1,
+                    );
+                    for i in 1..=30u64 {
+                        m.register(
+                            ContainerId(i),
+                            Bytes::mib(128 << (i % 6)),
+                            SimTime::from_secs(i),
+                        )
+                        .unwrap();
+                    }
+                    m
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_resume_rule,
+    bench_ctx_overhead,
+    bench_transport,
+    bench_allocator,
+    bench_multi_gpu_placement
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion bench behind paper Fig. 4: per-call response time of the
+//! hooked CUDA APIs, raw vs wrapped (real UNIX-socket IPC).
+//!
+//! Run: `cargo bench -p convgpu-bench --bench api_response`
+
+use convgpu_core::handler::ServiceHandler;
+use convgpu_core::service::SchedulerService;
+use convgpu_gpu_sim::api::CudaApi;
+use convgpu_gpu_sim::device::GpuDevice;
+use convgpu_gpu_sim::latency::LatencyModel;
+use convgpu_gpu_sim::runtime::RawCudaRuntime;
+use convgpu_ipc::client::SchedulerClient;
+use convgpu_ipc::endpoint::SchedulerEndpoint;
+use convgpu_ipc::server::SocketServer;
+use convgpu_scheduler::core::{Scheduler, SchedulerConfig};
+use convgpu_scheduler::policy::PolicyKind;
+use convgpu_sim_core::clock::RealClock;
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::units::Bytes;
+use convgpu_wrapper::module::WrapperModule;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+struct Stack {
+    raw: Arc<RawCudaRuntime>,
+    wrapper: WrapperModule,
+    _server: SocketServer,
+}
+
+fn stack() -> Stack {
+    let clock = RealClock::handle();
+    let device = Arc::new(GpuDevice::tesla_k20m());
+    // Zero device latency: the bench isolates the *wrapper/IPC* cost.
+    let raw = Arc::new(RawCudaRuntime::new(
+        Arc::clone(&device),
+        LatencyModel::zero(),
+        clock.clone(),
+    ));
+    let dir = std::env::temp_dir().join(format!("convgpu-bench-api-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let service = Arc::new(SchedulerService::new(
+        Scheduler::new(SchedulerConfig::paper(), PolicyKind::BestFit.build(0)),
+        clock,
+        dir.clone(),
+    ));
+    let server = SocketServer::bind(
+        &dir.join("sched.sock"),
+        Arc::new(ServiceHandler::new(Arc::clone(&service))),
+    )
+    .unwrap();
+    let client = SchedulerClient::connect(server.path()).unwrap();
+    client.register(ContainerId(1), Bytes::gib(4)).unwrap();
+    let wrapper = WrapperModule::new(ContainerId(1), Arc::clone(&raw) as _, Arc::new(client));
+    Stack {
+        raw,
+        wrapper,
+        _server: server,
+    }
+}
+
+fn bench_api_response(c: &mut Criterion) {
+    let stack = stack();
+    let mut group = c.benchmark_group("fig4_api_response");
+
+    group.bench_function("cudaMalloc_without_convgpu", |b| {
+        b.iter(|| {
+            let p = stack.raw.cuda_malloc(1, Bytes::mib(1)).unwrap();
+            stack.raw.cuda_free(1, p).unwrap();
+        })
+    });
+    group.bench_function("cudaMalloc_with_convgpu", |b| {
+        b.iter(|| {
+            let p = stack.wrapper.cuda_malloc(2, Bytes::mib(1)).unwrap();
+            stack.wrapper.cuda_free(2, p).unwrap();
+        })
+    });
+    group.bench_function("cudaMemGetInfo_without_convgpu", |b| {
+        b.iter(|| stack.raw.cuda_mem_get_info(1).unwrap())
+    });
+    group.bench_function("cudaMemGetInfo_with_convgpu", |b| {
+        b.iter(|| stack.wrapper.cuda_mem_get_info(2).unwrap())
+    });
+    group.bench_function("cudaMallocManaged_with_convgpu", |b| {
+        b.iter(|| {
+            let p = stack.wrapper.cuda_malloc_managed(2, Bytes::mib(1)).unwrap();
+            stack.wrapper.cuda_free(2, p).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_api_response);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench behind paper Fig. 6: MNIST training-run cost model in
+//! virtual time, baseline vs ConVGPU-wrapped. Virtual time makes each
+//! sample milliseconds of wall time.
+//!
+//! Run: `cargo bench -p convgpu-bench --bench mnist_runtime`
+
+use convgpu_bench::fig6::run_fig6;
+use convgpu_sim_core::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_mnist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_mnist_runtime");
+    group.sample_size(10);
+    group.bench_function("virtual_run_200_steps_both_setups", |b| {
+        b.iter(|| run_fig6(200, Some(SimDuration::from_micros(47))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mnist);
+criterion_main!(benches);

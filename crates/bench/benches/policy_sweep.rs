@@ -1,0 +1,31 @@
+//! Criterion bench behind paper Figs. 7/8 (Tables IV/V): one full
+//! discrete-event run per policy at the paper's heaviest point (N = 38).
+//! Measures the experiment engine itself — a complete paper sweep is
+//! 18 × 4 × 6 of these.
+//!
+//! Run: `cargo bench -p convgpu-bench --bench policy_sweep`
+
+use convgpu_bench::policies::PolicyExperiment;
+use convgpu_scheduler::policy::PolicyKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_fig8_policy_runs");
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("n38", policy.label()),
+            &policy,
+            |b, &policy| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    PolicyExperiment::paper(38, policy, seed).run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Run every experiment of the paper's evaluation section in sequence,
+//! printing paper-vs-measured for each. This is the binary behind
+//! EXPERIMENTS.md.
+
+use convgpu_bench::fig4::run_fig4;
+use convgpu_bench::fig5::run_fig5;
+use convgpu_bench::fig6::run_fig6;
+use convgpu_bench::policies::sweep;
+use convgpu_bench::report::{format_table, ms3, secs1};
+use convgpu_scheduler::policy::PolicyKind;
+use convgpu_workloads::trace::TraceSpec;
+
+fn main() {
+    println!("=====================================================================");
+    println!(" ConVGPU (CLUSTER 2017) — full evaluation reproduction");
+    println!("=====================================================================\n");
+
+    // ---- Fig. 4 ----
+    println!("---- Fig. 4: API response time (ms), 10 reps, real sockets ----");
+    let rows = run_fig4(10);
+    println!(
+        "{}",
+        format_table(
+            &["API".into(), "without".into(), "with".into(), "ratio".into()],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.api.clone(),
+                    ms3(r.without_ms),
+                    ms3(r.with_ms),
+                    format!("{:.2}x", r.ratio()),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    // ---- Fig. 5 ----
+    println!("---- Fig. 5: container creation time (s), 10 reps ----");
+    let f5 = run_fig5(10, 1.0);
+    println!(
+        "without {:.4} s | with {:.4} s | overhead {:+.1}% (paper: +15%, +0.0618 s)\n",
+        f5.baseline.mean,
+        f5.convgpu.mean,
+        f5.overhead_fraction() * 100.0
+    );
+
+    // ---- Fig. 6 ----
+    println!("---- Fig. 6: TensorFlow MNIST runtime (s), virtual time ----");
+    let f6 = run_fig6(2000, None);
+    println!(
+        "without {:.2} s | with {:.2} s | overhead {:+.3}% (paper: 404.93 s, +0.7%)\n",
+        f6.baseline_secs,
+        f6.convgpu_secs,
+        f6.overhead_pct()
+    );
+
+    // ---- Figs. 7 & 8 / Tables IV & V ----
+    let ns = TraceSpec::paper_sweep();
+    let points = sweep(&ns, &PolicyKind::ALL, 6, 2017);
+    for (title, pick) in [
+        ("Fig. 7 / Table IV: finished time (s)", true),
+        ("Fig. 8 / Table V: avg suspended time (s)", false),
+    ] {
+        println!("---- {title}, 6 reps averaged ----");
+        let mut headers = vec!["policy".to_string()];
+        headers.extend(ns.iter().map(|n| n.to_string()));
+        let rows: Vec<Vec<String>> = PolicyKind::ALL
+            .iter()
+            .map(|&p| {
+                let mut row = vec![p.label().to_string()];
+                for &n in &ns {
+                    let pt = points
+                        .iter()
+                        .find(|pt| pt.n == n && pt.policy == p)
+                        .expect("sweep point");
+                    row.push(secs1(if pick { pt.finished.mean } else { pt.suspended.mean }));
+                }
+                row
+            })
+            .collect();
+        println!("{}", format_table(&headers, &rows));
+    }
+    println!("done.");
+}

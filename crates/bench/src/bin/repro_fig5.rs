@@ -1,0 +1,37 @@
+//! Reproduce paper Fig. 5: container creation time, with vs without
+//! ConVGPU.
+
+use convgpu_bench::fig5::run_fig5;
+use convgpu_bench::report::{format_table, pct1};
+
+fn main() {
+    println!("== ConVGPU reproduction: Fig. 5 — container creation time ==");
+    println!("(10 repetitions, live middleware stack; workload-time seconds)\n");
+    let r = run_fig5(10, 1.0);
+    let table = format_table(
+        &["setup".into(), "mean (s)".into(), "stddev".into(), "min".into(), "max".into()],
+        &[
+            vec![
+                "without ConVGPU".into(),
+                format!("{:.4}", r.baseline.mean),
+                format!("{:.4}", r.baseline.stddev),
+                format!("{:.4}", r.baseline.min),
+                format!("{:.4}", r.baseline.max),
+            ],
+            vec![
+                "with ConVGPU".into(),
+                format!("{:.4}", r.convgpu.mean),
+                format!("{:.4}", r.convgpu.stddev),
+                format!("{:.4}", r.convgpu.min),
+                format!("{:.4}", r.convgpu.max),
+            ],
+        ],
+    );
+    println!("{table}");
+    println!(
+        "measured overhead: {} ({:.4} s)",
+        pct1(r.overhead_fraction() * 100.0),
+        r.convgpu.mean - r.baseline.mean
+    );
+    println!("paper reference: +15% (+0.0618 s) over ~0.41 s baseline.");
+}

@@ -1,0 +1,68 @@
+//! Extension experiment: sensitivity of the Fig. 7 conclusion to the
+//! substrate parameters the paper fixed.
+//!
+//! Two axes the paper never varies:
+//! * **GPU capacity** — does Best-Fit still win on a 2 GiB consumer card
+//!   or a 16 GiB datacenter card?
+//! * **Arrival process** — does the fixed 5-second launcher matter, or
+//!   does the ordering hold under Poisson arrivals of the same rate?
+
+use convgpu_bench::policies::PolicyExperiment;
+use convgpu_bench::report::{format_table, secs1};
+use convgpu_scheduler::policy::PolicyKind;
+use convgpu_sim_core::units::Bytes;
+use convgpu_workloads::trace::ArrivalProcess;
+
+fn mean_finished(capacity: Bytes, arrival: ArrivalProcess, policy: PolicyKind) -> f64 {
+    let reps = 6;
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut exp = PolicyExperiment::paper(30, policy, 7000 + rep);
+        exp.capacity = capacity;
+        exp.arrival = arrival;
+        total += exp.run().finished_time_secs;
+    }
+    total / reps as f64
+}
+
+fn main() {
+    println!("== ConVGPU extension: sensitivity of the policy ranking ==");
+    println!("(30 containers, 6 reps, virtual time)\n");
+
+    println!("-- finished time (s) vs GPU capacity, fixed arrivals --");
+    let caps = [Bytes::gib(2), Bytes::gib(5), Bytes::gib(16)];
+    let mut headers = vec!["policy".to_string()];
+    headers.extend(caps.iter().map(|c| c.to_string()));
+    let rows: Vec<Vec<String>> = PolicyKind::ALL
+        .iter()
+        .map(|&p| {
+            let mut row = vec![p.label().to_string()];
+            for &cap in &caps {
+                row.push(secs1(mean_finished(cap, ArrivalProcess::Fixed, p)));
+            }
+            row
+        })
+        .collect();
+    println!("{}", format_table(&headers, &rows));
+    println!("note: xlarge (4 GiB) containers cannot run on the 2 GiB card and are");
+    println!("refused at registration; the sweep regenerates types per seed, so the");
+    println!("2 GiB column covers the remaining mix.\n");
+
+    println!("-- finished time (s) on the 5 GiB K20m: fixed vs Poisson arrivals --");
+    let mut headers = vec!["policy".to_string(), "fixed 5s".to_string(), "poisson 5s mean".to_string()];
+    headers.truncate(3);
+    let rows: Vec<Vec<String>> = PolicyKind::ALL
+        .iter()
+        .map(|&p| {
+            vec![
+                p.label().to_string(),
+                secs1(mean_finished(Bytes::gib(5), ArrivalProcess::Fixed, p)),
+                secs1(mean_finished(Bytes::gib(5), ArrivalProcess::Poisson, p)),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&headers, &rows));
+    println!("expectation: BF's lead persists across capacities and arrival models —");
+    println!("the paper's conclusion is not an artifact of the 5 GiB K20m or the");
+    println!("metronome launcher.");
+}

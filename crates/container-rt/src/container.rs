@@ -1,0 +1,85 @@
+//! Container records and lifecycle states.
+
+use crate::spec::CreateOptions;
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Docker-style lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerStatus {
+    /// Created but not started.
+    Created,
+    /// Running.
+    Running,
+    /// Frozen by `docker pause` (cgroup freezer): processes exist but
+    /// make no progress; GPU reservations stay held.
+    Paused,
+    /// Exited with a code.
+    Exited,
+    /// Removed (record retained for inspection in tests).
+    Removed,
+}
+
+/// One container as the engine tracks it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Container {
+    /// Engine-assigned ID.
+    pub id: ContainerId,
+    /// Optional user name.
+    pub name: Option<String>,
+    /// Image reference resolved at creation.
+    pub image: String,
+    /// Creation options as received.
+    pub options: CreateOptions,
+    /// Current status.
+    pub status: ContainerStatus,
+    /// Creation time.
+    pub created_at: SimTime,
+    /// Start time, once started.
+    pub started_at: Option<SimTime>,
+    /// Exit time, once exited.
+    pub exited_at: Option<SimTime>,
+    /// Exit code, once exited.
+    pub exit_code: Option<i32>,
+}
+
+impl Container {
+    /// True for states in which processes may run.
+    pub fn is_running(&self) -> bool {
+        self.status == ContainerStatus::Running
+    }
+
+    /// True once the container has exited or been removed.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.status, ContainerStatus::Exited | ContainerStatus::Removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        let mut c = Container {
+            id: ContainerId(1),
+            name: None,
+            image: "a:latest".into(),
+            options: CreateOptions::new("a"),
+            status: ContainerStatus::Created,
+            created_at: SimTime::ZERO,
+            started_at: None,
+            exited_at: None,
+            exit_code: None,
+        };
+        assert!(!c.is_running());
+        assert!(!c.is_finished());
+        c.status = ContainerStatus::Running;
+        assert!(c.is_running());
+        c.status = ContainerStatus::Exited;
+        assert!(c.is_finished());
+        c.status = ContainerStatus::Removed;
+        assert!(c.is_finished());
+    }
+}

@@ -1,0 +1,131 @@
+//! The engine event bus.
+//!
+//! ConVGPU's plugin learns about container exits through volume-unmount
+//! events ("when the container exits its execution by any reasons, docker
+//! unmounts the volume; therefore, nvidia-docker-plugin can identify the
+//! container is exited", §III-B). The bus broadcasts every lifecycle event
+//! to all subscribers over crossbeam channels.
+
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::SimTime;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// `docker create` completed.
+    Created,
+    /// `docker start` completed.
+    Started,
+    /// The container's main process exited.
+    Died {
+        /// Its exit code.
+        exit_code: i32,
+    },
+    /// A volume was unmounted as part of container teardown. The plugin
+    /// filters these by `driver`.
+    VolumeUnmounted {
+        /// Volume source (name or path).
+        source: String,
+        /// Driver that served the volume, if any.
+        driver: Option<String>,
+    },
+    /// `docker pause` froze the container.
+    Paused,
+    /// `docker unpause` thawed it.
+    Unpaused,
+    /// `docker rm` completed.
+    Removed,
+}
+
+/// One engine event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineEvent {
+    /// When it happened (session clock).
+    pub at: SimTime,
+    /// The container concerned.
+    pub container: ContainerId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Broadcast bus: every subscriber receives every event.
+#[derive(Default)]
+pub struct EventBus {
+    subscribers: Mutex<Vec<Sender<EngineEvent>>>,
+}
+
+impl EventBus {
+    /// New bus with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe; the receiver sees all events published after this call.
+    pub fn subscribe(&self) -> Receiver<EngineEvent> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Publish to all live subscribers, pruning dropped ones.
+    pub fn publish(&self, event: EngineEvent) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscribers (diagnostics).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> EngineEvent {
+        EngineEvent {
+            at: SimTime::ZERO,
+            container: ContainerId(1),
+            kind,
+        }
+    }
+
+    #[test]
+    fn all_subscribers_receive_all_events() {
+        let bus = EventBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        bus.publish(ev(EventKind::Created));
+        bus.publish(ev(EventKind::Started));
+        for rx in [&rx1, &rx2] {
+            assert_eq!(rx.try_recv().unwrap().kind, EventKind::Created);
+            assert_eq!(rx.try_recv().unwrap().kind, EventKind::Started);
+            assert!(rx.try_recv().is_err(), "no further events");
+        }
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        drop(bus.subscribe());
+        assert_eq!(bus.subscriber_count(), 2);
+        bus.publish(ev(EventKind::Created));
+        assert_eq!(bus.subscriber_count(), 1);
+        assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn late_subscribers_miss_earlier_events() {
+        let bus = EventBus::new();
+        bus.publish(ev(EventKind::Created));
+        let rx = bus.subscribe();
+        bus.publish(ev(EventKind::Started));
+        assert_eq!(rx.try_recv().unwrap().kind, EventKind::Started);
+        assert!(rx.try_recv().is_err());
+    }
+}

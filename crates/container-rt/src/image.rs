@@ -1,0 +1,146 @@
+//! Images and their labels.
+//!
+//! nvidia-docker decides whether an image needs GPU plumbing by reading
+//! its labels (`com.nvidia.volumes.needed`, `com.nvidia.cuda.version`);
+//! ConVGPU adds `com.nvidia.memory.limit` as the fallback source of the
+//! container's GPU memory limit (paper §III-B).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Well-known label keys.
+pub mod labels {
+    /// Set when the image requires the NVIDIA driver volume.
+    pub const VOLUMES_NEEDED: &str = "com.nvidia.volumes.needed";
+    /// CUDA version the image was built against.
+    pub const CUDA_VERSION: &str = "com.nvidia.cuda.version";
+    /// ConVGPU's GPU-memory-limit label (paper §III-B), e.g. `"512m"`.
+    pub const MEMORY_LIMIT: &str = "com.nvidia.memory.limit";
+}
+
+/// A container image.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    /// Repository name, e.g. `"cuda-app"`.
+    pub name: String,
+    /// Tag, e.g. `"latest"`.
+    pub tag: String,
+    /// Image labels.
+    pub labels: BTreeMap<String, String>,
+}
+
+impl Image {
+    /// A plain (non-CUDA) image.
+    pub fn new(name: impl Into<String>, tag: impl Into<String>) -> Self {
+        Image {
+            name: name.into(),
+            tag: tag.into(),
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// A CUDA image: carries the volumes-needed and CUDA-version labels
+    /// that make nvidia-docker attach the GPU.
+    pub fn cuda(name: impl Into<String>, tag: impl Into<String>, cuda_version: &str) -> Self {
+        let mut img = Self::new(name, tag);
+        img.labels
+            .insert(labels::VOLUMES_NEEDED.into(), "nvidia_driver".into());
+        img.labels
+            .insert(labels::CUDA_VERSION.into(), cuda_version.into());
+        img
+    }
+
+    /// Add/replace a label (builder style).
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+
+    /// The `name:tag` reference.
+    pub fn reference(&self) -> String {
+        format!("{}:{}", self.name, self.tag)
+    }
+
+    /// True when the image declares it needs the NVIDIA volume.
+    pub fn needs_gpu(&self) -> bool {
+        self.labels.contains_key(labels::VOLUMES_NEEDED)
+    }
+
+    /// The ConVGPU memory-limit label value, if present.
+    pub fn memory_limit_label(&self) -> Option<&str> {
+        self.labels.get(labels::MEMORY_LIMIT).map(String::as_str)
+    }
+}
+
+/// The engine's local image store.
+#[derive(Debug, Default)]
+pub struct ImageRegistry {
+    images: HashMap<String, Image>,
+}
+
+impl ImageRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store an image (like `docker pull` / `docker build`).
+    pub fn add(&mut self, image: Image) {
+        self.images.insert(image.reference(), image);
+    }
+
+    /// Look up by `name:tag` (a bare `name` implies `:latest`).
+    pub fn get(&self, reference: &str) -> Option<&Image> {
+        if self.images.contains_key(reference) {
+            return self.images.get(reference);
+        }
+        if !reference.contains(':') {
+            return self.images.get(&format!("{reference}:latest"));
+        }
+        None
+    }
+
+    /// Number of stored images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuda_image_has_gpu_labels() {
+        let img = Image::cuda("tensorflow", "1.2", "8.0");
+        assert!(img.needs_gpu());
+        assert_eq!(img.labels.get(labels::CUDA_VERSION).unwrap(), "8.0");
+        assert_eq!(img.reference(), "tensorflow:1.2");
+        assert!(!Image::new("alpine", "3.6").needs_gpu());
+    }
+
+    #[test]
+    fn memory_limit_label() {
+        let img = Image::cuda("app", "latest", "8.0").with_label(labels::MEMORY_LIMIT, "512m");
+        assert_eq!(img.memory_limit_label(), Some("512m"));
+        assert_eq!(Image::new("a", "b").memory_limit_label(), None);
+    }
+
+    #[test]
+    fn registry_resolves_bare_names_to_latest() {
+        let mut reg = ImageRegistry::new();
+        reg.add(Image::new("alpine", "latest"));
+        reg.add(Image::new("alpine", "3.6"));
+        assert_eq!(reg.get("alpine").unwrap().tag, "latest");
+        assert_eq!(reg.get("alpine:3.6").unwrap().tag, "3.6");
+        assert!(reg.get("alpine:9.9").is_none());
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! The **ConVGPU middleware** — the glue the paper's Fig. 2 draws between
+//! the user, the customized nvidia-docker, the docker engine, the
+//! container, and the GPU memory scheduler.
+//!
+//! * [`service`] — the live scheduler service: the pure
+//!   `convgpu-scheduler` state machine behind a mutex, with a waiter table
+//!   that parks suspended allocation replies (in-process channels or
+//!   socket [`convgpu_ipc::server::Reply`] handles) and fires them when the
+//!   state machine emits resume actions.
+//! * [`handler`] — the [`convgpu_ipc::server::RequestHandler`] that
+//!   adapts socket messages onto the service (the Go daemon's connection
+//!   handler in the original).
+//! * [`nvidia_docker`] — the customized nvidia-docker (paper §III-B):
+//!   `--nvidia-memory` parsing, label fallback, 1 GiB default, scheduler
+//!   registration, volume/env injection (`LD_PRELOAD`), dummy plugin
+//!   volume.
+//! * [`plugin`] — the nvidia-docker-plugin analog: watches engine volume
+//!   events and converts the dummy volume's unmount into the scheduler's
+//!   *close* signal.
+//! * [`middleware`] — [`middleware::ConVGpu`], the one-call orchestrator
+//!   examples and benches use: device + engine + scheduler + sockets +
+//!   per-container program threads.
+
+pub mod handler;
+pub mod middleware;
+pub mod nvidia_docker;
+pub mod plugin;
+pub mod service;
+
+pub use middleware::{ConVGpu, ConVGpuConfig, Session, TransportMode};
+pub use nvidia_docker::RunCommand;
+pub use nvidia_docker::{resolve_memory_limit, NvidiaDocker, CONVGPU_VOLUME_DRIVER};
+pub use plugin::NvidiaDockerPlugin;
+pub use service::{InProcEndpoint, SchedulerService};

@@ -1,0 +1,196 @@
+//! The nvidia-docker-plugin analog.
+//!
+//! Paper §III-B: nvidia-docker adds a dummy volume served by the plugin;
+//! "when the container exits its execution by any reasons, docker unmounts
+//! the volume; therefore, nvidia-docker-plugin can identify the container
+//! is exited. Subsequently, nvidia-docker-plugin can send a *close* signal
+//! to the scheduler for that container."
+//!
+//! [`NvidiaDockerPlugin`] subscribes to the engine's event bus on a
+//! background thread and converts every unmount of a `convgpu`-driver
+//! volume into [`SchedulerEndpoint::container_close`]. Because it reacts
+//! to the *engine* event (not the program's own cleanup), it also covers
+//! crashed or killed containers — the fault-tolerance path.
+
+use crate::nvidia_docker::CONVGPU_VOLUME_DRIVER;
+use convgpu_container_rt::engine::Engine;
+use convgpu_container_rt::events::EventKind;
+use convgpu_ipc::endpoint::SchedulerEndpoint;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The running plugin.
+pub struct NvidiaDockerPlugin {
+    thread: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    closes_sent: Arc<AtomicU64>,
+}
+
+impl NvidiaDockerPlugin {
+    /// Subscribe to `engine` events and forward close signals to
+    /// `endpoint` on a background thread.
+    pub fn spawn(engine: &Engine, endpoint: Arc<dyn SchedulerEndpoint>) -> Self {
+        let rx = engine.events();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let closes_sent = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&shutdown);
+        let count = Arc::clone(&closes_sent);
+        let thread = std::thread::Builder::new()
+            .name("convgpu-plugin".into())
+            .spawn(move || loop {
+                match rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(ev) => {
+                        if let EventKind::VolumeUnmounted {
+                            driver: Some(driver),
+                            ..
+                        } = &ev.kind
+                        {
+                            if driver == CONVGPU_VOLUME_DRIVER {
+                                // A dead scheduler must not kill the
+                                // plugin; closes are best-effort like the
+                                // original's HTTP callbacks.
+                                if endpoint.container_close(ev.container).is_ok() {
+                                    count.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        if flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            })
+            .expect("spawn plugin thread");
+        NvidiaDockerPlugin {
+            thread: Some(thread),
+            shutdown,
+            closes_sent,
+        }
+    }
+
+    /// Number of close signals successfully delivered (diagnostics).
+    pub fn closes_sent(&self) -> u64 {
+        self.closes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Stop the watcher thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NvidiaDockerPlugin {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{InProcEndpoint, SchedulerService};
+    use convgpu_container_rt::engine::EngineConfig;
+    use convgpu_container_rt::image::Image;
+    use convgpu_container_rt::spec::{CreateOptions, VolumeMount};
+    use convgpu_scheduler::core::{Scheduler, SchedulerConfig};
+    use convgpu_scheduler::policy::PolicyKind;
+    use convgpu_scheduler::state::ContainerState;
+    use convgpu_sim_core::clock::RealClock;
+    use convgpu_sim_core::units::Bytes;
+
+    #[test]
+    fn unmount_of_convgpu_volume_closes_container() {
+        let clock = RealClock::handle();
+        let engine = Engine::new(EngineConfig::default(), Arc::clone(&clock));
+        engine.add_image(Image::cuda("app", "latest", "8.0"));
+        let dir = std::env::temp_dir().join(format!(
+            "convgpu-plugin-test-{}",
+            std::process::id()
+        ));
+        let svc = Arc::new(SchedulerService::new(
+            Scheduler::new(SchedulerConfig::paper(), PolicyKind::Fifo.build(0)),
+            clock,
+            dir,
+        ));
+        let plugin = NvidiaDockerPlugin::spawn(
+            &engine,
+            Arc::new(InProcEndpoint::new(Arc::clone(&svc))),
+        );
+
+        // Simulate what nvidia-docker would have done.
+        let id = engine.reserve_id();
+        svc.register(id, Bytes::mib(128)).unwrap();
+        engine
+            .create_with_id(
+                id,
+                CreateOptions::new("app").with_volume(VolumeMount::plugin(
+                    format!("convgpu-close-{id}"),
+                    "/convgpu-close",
+                    CONVGPU_VOLUME_DRIVER,
+                )),
+            )
+            .unwrap();
+        engine.start(id).unwrap();
+        engine.stop(id, 0).unwrap();
+
+        // The plugin thread should deliver the close signal shortly.
+        for _ in 0..200 {
+            let closed = svc.with_scheduler(|s| {
+                s.container(id).map(|r| r.state) == Some(ContainerState::Closed)
+            });
+            if closed {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        svc.with_scheduler(|s| {
+            assert_eq!(s.container(id).unwrap().state, ContainerState::Closed);
+            assert_eq!(s.total_assigned(), Bytes::ZERO);
+        });
+        assert_eq!(plugin.closes_sent(), 1);
+        plugin.shutdown();
+    }
+
+    #[test]
+    fn foreign_volume_unmounts_are_ignored() {
+        let clock = RealClock::handle();
+        let engine = Engine::new(EngineConfig::default(), Arc::clone(&clock));
+        engine.add_image(Image::new("app", "latest"));
+        let dir = std::env::temp_dir().join(format!(
+            "convgpu-plugin-test2-{}",
+            std::process::id()
+        ));
+        let svc = Arc::new(SchedulerService::new(
+            Scheduler::new(SchedulerConfig::paper(), PolicyKind::Fifo.build(0)),
+            clock,
+            dir,
+        ));
+        let plugin = NvidiaDockerPlugin::spawn(
+            &engine,
+            Arc::new(InProcEndpoint::new(Arc::clone(&svc))),
+        );
+        let id = engine
+            .create(
+                CreateOptions::new("app")
+                    .with_volume(VolumeMount::plugin("other-vol", "/x", "nvidia-docker")),
+            )
+            .unwrap();
+        engine.start(id).unwrap();
+        engine.stop(id, 0).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(plugin.closes_sent(), 0);
+        plugin.shutdown();
+    }
+}

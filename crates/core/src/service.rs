@@ -1,0 +1,453 @@
+//! The live scheduler service.
+//!
+//! Wraps the pure [`Scheduler`] state machine with what the Go daemon had:
+//! a lock ("each step is protected by a mutex lock to prevent the race
+//! condition", §III-D), a clock, the per-container volume directories, and
+//! the **waiter table** that realizes suspension: a suspended request's
+//! reply handle is parked under its ticket and fired when a later event
+//! produces the matching [`ResumeAction`].
+
+use convgpu_ipc::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
+use convgpu_ipc::message::{AllocDecision, ApiKind, Response};
+use convgpu_ipc::server::Reply;
+use convgpu_scheduler::core::{AllocOutcome, ResumeAction, SchedError, Scheduler};
+use convgpu_sim_core::clock::ClockHandle;
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::units::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A parked reply for a suspended allocation.
+enum Waiter {
+    /// In-process caller blocked on a channel.
+    Channel(Sender<AllocDecision>),
+    /// Socket caller; the reply handle writes to its connection.
+    Socket(Reply),
+}
+
+/// The live scheduler service shared by every connection and thread.
+pub struct SchedulerService {
+    clock: ClockHandle,
+    state: Mutex<Scheduler>,
+    waiters: Mutex<HashMap<u64, Waiter>>,
+    base_dir: PathBuf,
+}
+
+impl SchedulerService {
+    /// Wrap `scheduler`, serving per-container directories under
+    /// `base_dir` (created on demand).
+    pub fn new(scheduler: Scheduler, clock: ClockHandle, base_dir: PathBuf) -> Self {
+        SchedulerService {
+            clock,
+            state: Mutex::new(scheduler),
+            waiters: Mutex::new(HashMap::new()),
+            base_dir,
+        }
+    }
+
+    /// The directory under which container volumes are created.
+    pub fn base_dir(&self) -> &Path {
+        &self.base_dir
+    }
+
+    /// The session clock.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
+    }
+
+    /// Run a closure over the locked state machine (metrics collection,
+    /// invariant checks in tests).
+    pub fn with_scheduler<T>(&self, f: impl FnOnce(&Scheduler) -> T) -> T {
+        f(&self.state.lock())
+    }
+
+    /// Deliver resume actions to their parked waiters.
+    fn dispatch(&self, actions: Vec<ResumeAction>) {
+        if actions.is_empty() {
+            return;
+        }
+        let mut waiters = self.waiters.lock();
+        for action in actions {
+            match waiters.remove(&action.ticket) {
+                Some(Waiter::Channel(tx)) => {
+                    let _ = tx.send(action.decision);
+                }
+                Some(Waiter::Socket(reply)) => {
+                    reply.send(Response::Alloc {
+                        decision: action.decision,
+                    });
+                }
+                // Waiter already gone (connection died): the scheduler
+                // state was cleaned by process_exit/container_close.
+                None => {}
+            }
+        }
+    }
+
+    /// Register a container with its limit.
+    pub fn register(&self, container: ContainerId, limit: Bytes) -> Result<(), SchedError> {
+        // `now` is read under the lock: concurrent connections would
+        // otherwise hand the scheduler out-of-order timestamps.
+        let mut state = self.state.lock();
+        let now = self.clock.now();
+        state.register(container, limit, now)
+    }
+
+    /// Create (if needed) and return the container's volume directory,
+    /// with the wrapper-module file "copied" into it (paper §III-D: the
+    /// scheduler "creates a directory to share the volume with the
+    /// container, builds a UNIX socket inside the directory, and copies
+    /// the wrapper module to the directory").
+    pub fn request_dir(&self, container: ContainerId) -> std::io::Result<PathBuf> {
+        let dir = self.base_dir.join(container.to_string());
+        std::fs::create_dir_all(&dir)?;
+        let module = dir.join("libgpushare.so");
+        if !module.exists() {
+            std::fs::write(
+                &module,
+                b"convgpu wrapper module placeholder (simulated shared library)\n",
+            )?;
+        }
+        Ok(dir)
+    }
+
+    /// Socket path inside a container directory.
+    pub fn socket_path(&self, container: ContainerId) -> PathBuf {
+        self.base_dir
+            .join(container.to_string())
+            .join("convgpu.sock")
+    }
+
+    /// Blocking allocation request (in-process path): parks the calling
+    /// thread while suspended.
+    pub fn alloc_request_blocking(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+    ) -> Result<AllocDecision, SchedError> {
+        let (wait_rx, actions) = {
+            let mut state = self.state.lock();
+            let now = self.clock.now();
+            let (outcome, actions) = state.alloc_request(container, pid, size, api, now)?;
+            let wait_rx = match outcome {
+                AllocOutcome::Granted => Some(Ok(AllocDecision::Granted)),
+                AllocOutcome::Rejected => Some(Ok(AllocDecision::Rejected)),
+                AllocOutcome::Suspended { ticket } => {
+                    let (tx, rx) = bounded(1);
+                    // Park under the scheduler lock so no resume can race
+                    // ahead of the registration.
+                    self.waiters.lock().insert(ticket, Waiter::Channel(tx));
+                    let _ = tx; // moved into the map
+                    None.or(Some(Err(rx)))
+                }
+            };
+            (wait_rx, actions)
+        };
+        // Side-effect resumes first (they cannot contain our ticket).
+        self.dispatch(actions);
+        match wait_rx {
+            Some(Ok(decision)) => Ok(decision),
+            Some(Err(rx)) => {
+                // Blocked: this is the container "pausing its execution".
+                rx.recv().map_err(|_| {
+                    SchedError::ProtocolViolation(
+                        "scheduler dropped a suspended request".into(),
+                    )
+                })
+            }
+            None => unreachable!(),
+        }
+    }
+
+    /// Deferred allocation request (socket path): replies immediately or
+    /// parks the [`Reply`].
+    pub fn alloc_request_deferred(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+        reply: Reply,
+    ) {
+        let actions = {
+            let mut state = self.state.lock();
+            let now = self.clock.now();
+            match state.alloc_request(container, pid, size, api, now) {
+                Ok((AllocOutcome::Granted, actions)) => {
+                    reply.send(Response::Alloc {
+                        decision: AllocDecision::Granted,
+                    });
+                    actions
+                }
+                Ok((AllocOutcome::Rejected, actions)) => {
+                    reply.send(Response::Alloc {
+                        decision: AllocDecision::Rejected,
+                    });
+                    actions
+                }
+                Ok((AllocOutcome::Suspended { ticket }, actions)) => {
+                    self.waiters.lock().insert(ticket, Waiter::Socket(reply));
+                    actions
+                }
+                Err(e) => {
+                    reply.send(Response::Error {
+                        message: e.to_string(),
+                    });
+                    Vec::new()
+                }
+            }
+        };
+        self.dispatch(actions);
+    }
+
+    /// Record a completed device allocation.
+    pub fn alloc_done(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+    ) -> Result<(), SchedError> {
+        let mut state = self.state.lock();
+        let now = self.clock.now();
+        state.alloc_done(container, pid, addr, size, now)
+    }
+
+    /// Release a reservation whose device allocation failed.
+    pub fn alloc_failed(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        size: Bytes,
+    ) -> Result<(), SchedError> {
+        let actions = {
+            let mut state = self.state.lock();
+            let now = self.clock.now();
+            state.alloc_failed(container, pid, size, now)?
+        };
+        self.dispatch(actions);
+        Ok(())
+    }
+
+    /// Record a free; may resume the container's own parked requests.
+    pub fn free(&self, container: ContainerId, pid: u64, addr: u64) -> Result<Bytes, SchedError> {
+        let (freed, actions) = {
+            let mut state = self.state.lock();
+            let now = self.clock.now();
+            state.free(container, pid, addr, now)?
+        };
+        self.dispatch(actions);
+        Ok(freed)
+    }
+
+    /// Serve `cudaMemGetInfo` from the books.
+    pub fn mem_info(&self, container: ContainerId, pid: u64) -> Result<(Bytes, Bytes), SchedError> {
+        self.state.lock().mem_info(container, pid)
+    }
+
+    /// Process exit: reclaim the pid's memory.
+    pub fn process_exit(&self, container: ContainerId, pid: u64) -> Result<(), SchedError> {
+        let actions = {
+            let mut state = self.state.lock();
+            let now = self.clock.now();
+            state.process_exit(container, pid, now)?
+        };
+        self.dispatch(actions);
+        Ok(())
+    }
+
+    /// Container close: release everything and redistribute.
+    pub fn container_close(&self, container: ContainerId) -> Result<(), SchedError> {
+        let actions = {
+            let mut state = self.state.lock();
+            let now = self.clock.now();
+            state.container_close(container, now)?
+        };
+        self.dispatch(actions);
+        Ok(())
+    }
+}
+
+/// In-process [`SchedulerEndpoint`] over the service — used by tests, the
+/// transport ablation bench, and the `TransportMode::InProc` stack.
+pub struct InProcEndpoint {
+    service: Arc<SchedulerService>,
+}
+
+impl InProcEndpoint {
+    /// Wrap `service`.
+    pub fn new(service: Arc<SchedulerService>) -> Self {
+        InProcEndpoint { service }
+    }
+}
+
+fn sched_err(e: SchedError) -> IpcError {
+    IpcError::Scheduler(e.to_string())
+}
+
+impl SchedulerEndpoint for InProcEndpoint {
+    fn register(&self, container: ContainerId, limit: Bytes) -> IpcResult<()> {
+        self.service.register(container, limit).map_err(sched_err)
+    }
+
+    fn request_dir(&self, container: ContainerId) -> IpcResult<String> {
+        self.service
+            .request_dir(container)
+            .map(|p| p.display().to_string())
+            .map_err(IpcError::Io)
+    }
+
+    fn request_alloc(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+    ) -> IpcResult<AllocDecision> {
+        self.service
+            .alloc_request_blocking(container, pid, size, api)
+            .map_err(sched_err)
+    }
+
+    fn alloc_done(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+    ) -> IpcResult<()> {
+        self.service
+            .alloc_done(container, pid, addr, size)
+            .map_err(sched_err)
+    }
+
+    fn alloc_failed(&self, container: ContainerId, pid: u64, size: Bytes) -> IpcResult<()> {
+        self.service
+            .alloc_failed(container, pid, size)
+            .map_err(sched_err)
+    }
+
+    fn free(&self, container: ContainerId, pid: u64, addr: u64) -> IpcResult<Bytes> {
+        self.service.free(container, pid, addr).map_err(sched_err)
+    }
+
+    fn mem_info(&self, container: ContainerId, pid: u64) -> IpcResult<(Bytes, Bytes)> {
+        self.service.mem_info(container, pid).map_err(sched_err)
+    }
+
+    fn process_exit(&self, container: ContainerId, pid: u64) -> IpcResult<()> {
+        self.service
+            .process_exit(container, pid)
+            .map_err(sched_err)
+    }
+
+    fn container_close(&self, container: ContainerId) -> IpcResult<()> {
+        self.service.container_close(container).map_err(sched_err)
+    }
+
+    fn ping(&self) -> IpcResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_scheduler::core::SchedulerConfig;
+    use convgpu_scheduler::policy::PolicyKind;
+    use convgpu_sim_core::clock::RealClock;
+    use std::time::Duration;
+
+    fn service(capacity_mib: u64) -> Arc<SchedulerService> {
+        let dir = std::env::temp_dir().join(format!(
+            "convgpu-service-test-{}-{}",
+            std::process::id(),
+            capacity_mib
+        ));
+        Arc::new(SchedulerService::new(
+            Scheduler::new(
+                SchedulerConfig::with_capacity(Bytes::mib(capacity_mib)),
+                PolicyKind::Fifo.build(0),
+            ),
+            RealClock::handle(),
+            dir,
+        ))
+    }
+
+    #[test]
+    fn request_dir_creates_module_file() {
+        let svc = service(5120);
+        svc.register(ContainerId(1), Bytes::mib(256)).unwrap();
+        let dir = svc.request_dir(ContainerId(1)).unwrap();
+        assert!(dir.join("libgpushare.so").exists());
+        assert!(svc
+            .socket_path(ContainerId(1))
+            .to_string_lossy()
+            .ends_with("cnt-0001/convgpu.sock"));
+    }
+
+    #[test]
+    fn blocking_suspension_resumes_on_close() {
+        let svc = service(1200);
+        svc.register(ContainerId(1), Bytes::mib(1000)).unwrap();
+        svc.register(ContainerId(2), Bytes::mib(1000)).unwrap();
+        assert_eq!(
+            svc.alloc_request_blocking(ContainerId(1), 1, Bytes::mib(1000), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        let svc2 = Arc::clone(&svc);
+        let waiter = std::thread::spawn(move || {
+            svc2.alloc_request_blocking(ContainerId(2), 2, Bytes::mib(1000), ApiKind::Malloc)
+        });
+        // Give the waiter time to park.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "request must be suspended");
+        svc.container_close(ContainerId(1)).unwrap();
+        let decision = waiter.join().unwrap().unwrap();
+        assert_eq!(decision, AllocDecision::Granted);
+        svc.with_scheduler(|s| s.check_invariants().unwrap());
+    }
+
+    #[test]
+    fn endpoint_maps_errors() {
+        let svc = service(1000);
+        let ep = InProcEndpoint::new(Arc::clone(&svc));
+        // Unregistered container → Scheduler error, not a panic.
+        let err = ep
+            .request_alloc(ContainerId(9), 1, Bytes::mib(1), ApiKind::Malloc)
+            .unwrap_err();
+        assert!(matches!(err, IpcError::Scheduler(_)));
+        ep.register(ContainerId(1), Bytes::mib(100)).unwrap();
+        assert!(matches!(
+            ep.register(ContainerId(1), Bytes::mib(100)).unwrap_err(),
+            IpcError::Scheduler(_)
+        ));
+        ep.ping().unwrap();
+    }
+
+    #[test]
+    fn endpoint_full_cycle() {
+        let svc = service(5120);
+        let ep = InProcEndpoint::new(Arc::clone(&svc));
+        ep.register(ContainerId(1), Bytes::mib(512)).unwrap();
+        let d = ep
+            .request_alloc(ContainerId(1), 1, Bytes::mib(128), ApiKind::Malloc)
+            .unwrap();
+        assert_eq!(d, AllocDecision::Granted);
+        ep.alloc_done(ContainerId(1), 1, 0xABC, Bytes::mib(128)).unwrap();
+        assert_eq!(ep.free(ContainerId(1), 1, 0xABC).unwrap(), Bytes::mib(128));
+        let (free, total) = ep.mem_info(ContainerId(1), 1).unwrap();
+        assert_eq!(total, Bytes::mib(512));
+        // The context charge is budgeted on top of the limit, so the
+        // container sees its full limit free again after the free().
+        assert_eq!(free, Bytes::mib(512));
+        ep.process_exit(ContainerId(1), 1).unwrap();
+        ep.container_close(ContainerId(1)).unwrap();
+    }
+}

@@ -1,0 +1,220 @@
+//! The CUDA-Runtime-like API surface (paper Table II).
+//!
+//! [`CudaApi`] is the seam the whole reproduction pivots on: the raw
+//! runtime ([`crate::runtime::RawCudaRuntime`]) implements it against the
+//! simulated device, and the ConVGPU wrapper module implements it by
+//! consulting the GPU memory scheduler *and then delegating to the raw
+//! runtime* — precisely how `libgpushare.so` overrides symbols via
+//! `LD_PRELOAD` and calls through to the real `libcudart`.
+//!
+//! Calls take an explicit `pid` because, unlike a real preloaded library,
+//! the simulation hosts many "processes" in one address space.
+
+use crate::context::Pid;
+use crate::error::CudaResult;
+use crate::kernel::KernelSpec;
+use crate::memory::DevicePtr;
+use crate::props::DeviceProperties;
+use crate::stream::{EventId, StreamId};
+use convgpu_sim_core::time::SimDuration;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// `cudaExtent` analog for `cudaMalloc3D`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extent3D {
+    /// Row width in bytes.
+    pub width: Bytes,
+    /// Number of rows.
+    pub height: u64,
+    /// Number of slices.
+    pub depth: u64,
+}
+
+impl Extent3D {
+    /// Construct an extent.
+    pub fn new(width: Bytes, height: u64, depth: u64) -> Self {
+        Extent3D {
+            width,
+            height,
+            depth,
+        }
+    }
+}
+
+/// `cudaPitchedPtr` analog returned by `cudaMalloc3D`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PitchedPtr {
+    /// Base device pointer.
+    pub ptr: DevicePtr,
+    /// Row pitch in bytes (≥ requested width, aligned).
+    pub pitch: Bytes,
+    /// Logical row width requested.
+    pub xsize: Bytes,
+    /// Logical row count requested.
+    pub ysize: u64,
+}
+
+/// `cudaMemcpyKind` analog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemcpyKind {
+    /// Host → device over PCIe.
+    HostToDevice,
+    /// Device → host over PCIe.
+    DeviceToHost,
+    /// Device → device at memory bandwidth.
+    DeviceToDevice,
+    /// Host → host (no device involvement; modeled at PCIe speed).
+    HostToHost,
+}
+
+/// The interposable CUDA API surface — exactly the calls the paper's
+/// wrapper module covers (Table II) plus the data-path calls
+/// (`cudaMemcpy`, kernel launch, synchronize) that the wrapper passes
+/// through untouched.
+pub trait CudaApi: Send + Sync {
+    /// `cudaMalloc`: general-purpose device allocation.
+    fn cuda_malloc(&self, pid: Pid, size: Bytes) -> CudaResult<DevicePtr>;
+
+    /// `cudaMallocPitch`: allocate `height` rows of `width` bytes, each
+    /// padded to the device's pitch alignment. Returns `(ptr, pitch)`.
+    fn cuda_malloc_pitch(
+        &self,
+        pid: Pid,
+        width: Bytes,
+        height: u64,
+    ) -> CudaResult<(DevicePtr, Bytes)>;
+
+    /// `cudaMalloc3D`: pitched allocation of a 3-D extent.
+    fn cuda_malloc_3d(&self, pid: Pid, extent: Extent3D) -> CudaResult<PitchedPtr>;
+
+    /// `cudaMallocManaged`: unified (CPU+GPU mapped) allocation; consumes
+    /// device memory in 128 MiB granules on the modeled hardware.
+    fn cuda_malloc_managed(&self, pid: Pid, size: Bytes) -> CudaResult<DevicePtr>;
+
+    /// `cudaFree`. Freeing [`DevicePtr::NULL`] is legal and a no-op.
+    fn cuda_free(&self, pid: Pid, ptr: DevicePtr) -> CudaResult<()>;
+
+    /// `cudaMemGetInfo`: `(free, total)` device memory.
+    fn cuda_mem_get_info(&self, pid: Pid) -> CudaResult<(Bytes, Bytes)>;
+
+    /// `cudaGetDeviceProperties`.
+    fn cuda_get_device_properties(&self, pid: Pid) -> CudaResult<DeviceProperties>;
+
+    /// `cudaMemcpy`: blocking copy of `bytes` in direction `kind`.
+    fn cuda_memcpy(&self, pid: Pid, kind: MemcpyKind, bytes: Bytes) -> CudaResult<()>;
+
+    /// `cudaMemcpy2D`: blocking pitched copy of `height` rows of `width`
+    /// bytes. Only `width × height` bytes move, but the device walks
+    /// `pitch × height` of address space; the cost model charges the
+    /// moved bytes (pitch padding is skipped by the DMA engine).
+    fn cuda_memcpy_2d(
+        &self,
+        pid: Pid,
+        kind: MemcpyKind,
+        width: Bytes,
+        height: u64,
+    ) -> CudaResult<()>;
+
+    /// `cudaMemset`: fill `bytes` of device memory; bandwidth-bound at
+    /// device memory speed.
+    fn cuda_memset(&self, pid: Pid, bytes: Bytes) -> CudaResult<()>;
+
+    /// Launch a kernel and wait for completion (launch + implicit
+    /// synchronize). Subject to the device's Hyper-Q concurrency limit.
+    fn cuda_launch_kernel(&self, pid: Pid, kernel: &KernelSpec) -> CudaResult<()>;
+
+    /// `cudaDeviceSynchronize` — a no-op here because
+    /// [`CudaApi::cuda_launch_kernel`] is synchronous, but kept so program
+    /// sources read like real CUDA code.
+    fn cuda_device_synchronize(&self, pid: Pid) -> CudaResult<()>;
+
+    /// `cudaStreamCreate`: a new asynchronous work queue.
+    fn cuda_stream_create(&self, pid: Pid) -> CudaResult<StreamId>;
+
+    /// `cudaStreamDestroy`.
+    fn cuda_stream_destroy(&self, pid: Pid, stream: StreamId) -> CudaResult<()>;
+
+    /// Asynchronous kernel launch: enqueue on `stream` and return
+    /// immediately. Work on one stream executes in order; different
+    /// streams overlap (Hyper-Q).
+    fn cuda_launch_kernel_async(
+        &self,
+        pid: Pid,
+        stream: StreamId,
+        kernel: &KernelSpec,
+    ) -> CudaResult<()>;
+
+    /// `cudaMemcpyAsync`: enqueue a copy on `stream` and return.
+    fn cuda_memcpy_async(
+        &self,
+        pid: Pid,
+        stream: StreamId,
+        kind: MemcpyKind,
+        bytes: Bytes,
+    ) -> CudaResult<()>;
+
+    /// `cudaStreamSynchronize`: block until `stream` drains.
+    fn cuda_stream_synchronize(&self, pid: Pid, stream: StreamId) -> CudaResult<()>;
+
+    /// `cudaEventCreate`.
+    fn cuda_event_create(&self, pid: Pid) -> CudaResult<EventId>;
+
+    /// `cudaEventDestroy`.
+    fn cuda_event_destroy(&self, pid: Pid, event: EventId) -> CudaResult<()>;
+
+    /// `cudaEventRecord`: the event fires when work currently enqueued on
+    /// `stream` completes.
+    fn cuda_event_record(&self, pid: Pid, event: EventId, stream: StreamId) -> CudaResult<()>;
+
+    /// `cudaEventSynchronize`: block until the event fires.
+    fn cuda_event_synchronize(&self, pid: Pid, event: EventId) -> CudaResult<()>;
+
+    /// `cudaEventElapsedTime` between two recorded events.
+    fn cuda_event_elapsed(&self, pid: Pid, start: EventId, end: EventId)
+        -> CudaResult<SimDuration>;
+
+    /// `__cudaRegisterFatBinary`: called implicitly at program start.
+    fn cuda_register_fat_binary(&self, pid: Pid) -> CudaResult<()>;
+
+    /// `__cudaUnregisterFatBinary`: called implicitly at program exit;
+    /// destroys the process's context and reclaims its allocations.
+    fn cuda_unregister_fat_binary(&self, pid: Pid) -> CudaResult<()>;
+}
+
+/// Names of the Table II APIs, used by coverage tests and trace output.
+pub const TABLE_II_APIS: &[&str] = &[
+    "cudaMalloc",
+    "cudaMallocManaged",
+    "cudaMallocPitch",
+    "cudaMalloc3D",
+    "cudaFree",
+    "cudaMemGetInfo",
+    "cudaGetDeviceProperties",
+    "__cudaUnregisterFatBinary",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_has_eight_entries() {
+        assert_eq!(TABLE_II_APIS.len(), 8);
+        assert!(TABLE_II_APIS.contains(&"cudaMallocManaged"));
+        assert!(TABLE_II_APIS.contains(&"__cudaUnregisterFatBinary"));
+    }
+
+    #[test]
+    fn extent_and_pitched_ptr_construct() {
+        let e = Extent3D::new(Bytes::new(100), 4, 2);
+        assert_eq!(e.width, Bytes::new(100));
+        let p = PitchedPtr {
+            ptr: DevicePtr(0x1000),
+            pitch: Bytes::new(512),
+            xsize: Bytes::new(100),
+            ysize: 4,
+        };
+        assert!(p.pitch >= p.xsize);
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-process CUDA contexts and fat-binary registration.
+//!
+//! Real CUDA creates a context lazily on a process's first runtime call and
+//! charges device memory for it (the paper measured ~64 MiB of process data
+//! plus ~2 MiB of context on the K20m). When a process exits — observed by
+//! the wrapper through `__cudaUnregisterFatBinary` — the driver destroys
+//! the context and reclaims *all* of the process's allocations, including
+//! leaked ones. ConVGPU's scheduler relies on exactly this behaviour
+//! ("some program may not free its allocated GPU memory"), so the
+//! simulated device reproduces it.
+
+use crate::memory::DevicePtr;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A process ID as seen by the device (host pid inside the container).
+pub type Pid = u64;
+
+/// State of one process's context on the device.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProcessContext {
+    /// The owning process.
+    pub pid: Pid,
+    /// Device memory charged for the context itself (64 + 2 MiB).
+    pub overhead: Bytes,
+    /// Live allocations owned by this process.
+    pub allocations: HashSet<DevicePtr>,
+    /// Number of fat binaries currently registered (a process can link
+    /// several CUDA modules; the context dies when the last unregisters).
+    pub fat_binaries: u32,
+}
+
+/// Registry of process contexts on one device.
+#[derive(Debug, Default)]
+pub struct ContextTable {
+    contexts: HashMap<Pid, ProcessContext>,
+}
+
+impl ContextTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when `pid` already has a context.
+    pub fn has_context(&self, pid: Pid) -> bool {
+        self.contexts.contains_key(&pid)
+    }
+
+    /// Ensure a context exists for `pid`, returning `true` (and recording
+    /// `overhead`) when this call created it — the caller then charges the
+    /// context's device memory and latency.
+    pub fn ensure(&mut self, pid: Pid, overhead: Bytes) -> bool {
+        if self.contexts.contains_key(&pid) {
+            return false;
+        }
+        self.contexts.insert(
+            pid,
+            ProcessContext {
+                pid,
+                overhead,
+                allocations: HashSet::new(),
+                fat_binaries: 0,
+            },
+        );
+        true
+    }
+
+    /// Record an allocation as owned by `pid` (context must exist).
+    pub fn record_alloc(&mut self, pid: Pid, ptr: DevicePtr) {
+        self.contexts
+            .get_mut(&pid)
+            .expect("record_alloc without context")
+            .allocations
+            .insert(ptr);
+    }
+
+    /// Remove an allocation record; returns `false` when the pointer was
+    /// not owned by `pid` (the API layer turns that into
+    /// `cudaErrorInvalidDevicePointer`).
+    pub fn record_free(&mut self, pid: Pid, ptr: DevicePtr) -> bool {
+        self.contexts
+            .get_mut(&pid)
+            .map(|c| c.allocations.remove(&ptr))
+            .unwrap_or(false)
+    }
+
+    /// True when `pid` owns `ptr`.
+    pub fn owns(&self, pid: Pid, ptr: DevicePtr) -> bool {
+        self.contexts
+            .get(&pid)
+            .map(|c| c.allocations.contains(&ptr))
+            .unwrap_or(false)
+    }
+
+    /// Register a fat binary for `pid` (creates no context by itself —
+    /// real CUDA registers binaries at program load, before any context).
+    pub fn register_fat_binary(&mut self, pid: Pid) {
+        if let Some(c) = self.contexts.get_mut(&pid) {
+            c.fat_binaries += 1;
+        }
+        // Registration before first runtime call: remembered implicitly;
+        // `ensure` will create the context on the first real call.
+    }
+
+    /// Unregister a fat binary. Returns `true` when this ended the
+    /// process's device lifetime (context should be destroyed).
+    pub fn unregister_fat_binary(&mut self, pid: Pid) -> bool {
+        match self.contexts.get_mut(&pid) {
+            Some(c) => {
+                c.fat_binaries = c.fat_binaries.saturating_sub(1);
+                c.fat_binaries == 0
+            }
+            // No context was ever created (program used no memory): the
+            // process still "ends" from the device's perspective.
+            None => true,
+        }
+    }
+
+    /// Destroy `pid`'s context, returning its overhead charge and every
+    /// allocation it still owned (the device frees them — leak reclaim).
+    pub fn destroy(&mut self, pid: Pid) -> Option<(Bytes, Vec<DevicePtr>)> {
+        self.contexts.remove(&pid).map(|c| {
+            let mut ptrs: Vec<DevicePtr> = c.allocations.into_iter().collect();
+            ptrs.sort_unstable(); // deterministic reclaim order
+            (c.overhead, ptrs)
+        })
+    }
+
+    /// Number of live contexts.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// True when no contexts exist.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+
+    /// Live allocation count for `pid` (diagnostics).
+    pub fn allocation_count(&self, pid: Pid) -> usize {
+        self.contexts
+            .get(&pid)
+            .map(|c| c.allocations.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut t = ContextTable::new();
+        assert!(t.ensure(1, Bytes::mib(66)));
+        assert!(!t.ensure(1, Bytes::mib(66)));
+        assert!(t.has_context(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ownership_tracking() {
+        let mut t = ContextTable::new();
+        t.ensure(1, Bytes::mib(66));
+        t.ensure(2, Bytes::mib(66));
+        let p = DevicePtr(0x1000);
+        t.record_alloc(1, p);
+        assert!(t.owns(1, p));
+        assert!(!t.owns(2, p));
+        // pid 2 cannot free pid 1's pointer.
+        assert!(!t.record_free(2, p));
+        assert!(t.record_free(1, p));
+        assert!(!t.owns(1, p));
+    }
+
+    #[test]
+    fn destroy_returns_leaked_allocations_sorted() {
+        let mut t = ContextTable::new();
+        t.ensure(7, Bytes::mib(66));
+        t.record_alloc(7, DevicePtr(0x3000));
+        t.record_alloc(7, DevicePtr(0x1000));
+        t.record_alloc(7, DevicePtr(0x2000));
+        let (overhead, ptrs) = t.destroy(7).expect("context existed");
+        assert_eq!(overhead, Bytes::mib(66));
+        assert_eq!(
+            ptrs,
+            vec![DevicePtr(0x1000), DevicePtr(0x2000), DevicePtr(0x3000)]
+        );
+        assert!(t.destroy(7).is_none(), "second destroy is None");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fat_binary_lifecycle() {
+        let mut t = ContextTable::new();
+        // Unregister with no context: process ends.
+        assert!(t.unregister_fat_binary(9));
+        t.ensure(9, Bytes::mib(66));
+        t.register_fat_binary(9);
+        t.register_fat_binary(9);
+        assert!(!t.unregister_fat_binary(9), "one binary still registered");
+        assert!(t.unregister_fat_binary(9), "last binary gone");
+    }
+
+    #[test]
+    fn allocation_count() {
+        let mut t = ContextTable::new();
+        t.ensure(1, Bytes::mib(66));
+        assert_eq!(t.allocation_count(1), 0);
+        t.record_alloc(1, DevicePtr(0x100));
+        assert_eq!(t.allocation_count(1), 1);
+        assert_eq!(t.allocation_count(42), 0, "unknown pid has zero");
+    }
+}

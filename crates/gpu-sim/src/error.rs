@@ -1,0 +1,124 @@
+//! CUDA error codes.
+//!
+//! A small subset of `cudaError_t` — the codes a memory-management
+//! middleware can actually observe. Numeric values match the CUDA 8
+//! runtime so logs read like real `cudaGetErrorString` output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result alias used across the simulated runtime.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// Simulated `cudaError_t`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CudaError {
+    /// `cudaErrorMemoryAllocation` (2): the device could not satisfy the
+    /// allocation. This is the error a container sees when NVIDIA Docker
+    /// shares a GPU without ConVGPU and another container got there first.
+    MemoryAllocation,
+    /// `cudaErrorInitializationError` (3): runtime used before/after its
+    /// lifetime (e.g. an API call after `__cudaUnregisterFatBinary`).
+    InitializationError,
+    /// `cudaErrorInvalidValue` (11): a bad argument (zero-sized pitch
+    /// request, null pointer free of an unknown address, …).
+    InvalidValue,
+    /// `cudaErrorInvalidDevicePointer` (17): freeing an address the device
+    /// does not know, or one owned by a different process.
+    InvalidDevicePointer,
+    /// `cudaErrorInvalidDevice` (10): device ordinal out of range.
+    InvalidDevice,
+    /// `cudaErrorNoDevice` (38): no device present.
+    NoDevice,
+    /// `cudaErrorLaunchFailure` (4): a kernel launch failed (used by fault
+    /// injection in tests).
+    LaunchFailure,
+    /// Not a CUDA code: the ConVGPU scheduler *rejected* the allocation
+    /// because it exceeds the container's declared limit. Surfaced to the
+    /// user program as an allocation failure, but kept distinct so tests
+    /// and metrics can tell rejection from device exhaustion.
+    SchedulerRejected,
+    /// Not a CUDA code: the scheduler connection failed (plumbing errors in
+    /// the live stack).
+    SchedulerUnavailable,
+}
+
+impl CudaError {
+    /// The numeric `cudaError_t` value (CUDA 8). ConVGPU-specific errors
+    /// map onto `cudaErrorMemoryAllocation` because that is what the
+    /// wrapper returns to the interposed program.
+    pub fn code(self) -> u32 {
+        match self {
+            CudaError::MemoryAllocation => 2,
+            CudaError::InitializationError => 3,
+            CudaError::LaunchFailure => 4,
+            CudaError::InvalidDevice => 10,
+            CudaError::InvalidValue => 11,
+            CudaError::InvalidDevicePointer => 17,
+            CudaError::NoDevice => 38,
+            CudaError::SchedulerRejected => 2,
+            CudaError::SchedulerUnavailable => 2,
+        }
+    }
+
+    /// `cudaGetErrorString`-style message.
+    pub fn error_string(self) -> &'static str {
+        match self {
+            CudaError::MemoryAllocation => "out of memory",
+            CudaError::InitializationError => "initialization error",
+            CudaError::LaunchFailure => "unspecified launch failure",
+            CudaError::InvalidDevice => "invalid device ordinal",
+            CudaError::InvalidValue => "invalid argument",
+            CudaError::InvalidDevicePointer => "invalid device pointer",
+            CudaError::NoDevice => "no CUDA-capable device is detected",
+            CudaError::SchedulerRejected => {
+                "out of memory (ConVGPU: request exceeds container limit)"
+            }
+            CudaError::SchedulerUnavailable => {
+                "out of memory (ConVGPU: scheduler unavailable)"
+            }
+        }
+    }
+
+    /// True for the errors a user program perceives as "allocation failed".
+    pub fn is_allocation_failure(self) -> bool {
+        self.code() == 2
+    }
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cudaError {}: {}", self.code(), self.error_string())
+    }
+}
+
+impl std::error::Error for CudaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_cuda8() {
+        assert_eq!(CudaError::MemoryAllocation.code(), 2);
+        assert_eq!(CudaError::InitializationError.code(), 3);
+        assert_eq!(CudaError::InvalidValue.code(), 11);
+        assert_eq!(CudaError::InvalidDevicePointer.code(), 17);
+        assert_eq!(CudaError::NoDevice.code(), 38);
+    }
+
+    #[test]
+    fn scheduler_errors_look_like_oom() {
+        assert!(CudaError::SchedulerRejected.is_allocation_failure());
+        assert!(CudaError::SchedulerUnavailable.is_allocation_failure());
+        assert!(CudaError::MemoryAllocation.is_allocation_failure());
+        assert!(!CudaError::InvalidValue.is_allocation_failure());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = CudaError::MemoryAllocation.to_string();
+        assert!(s.contains("cudaError 2"));
+        assert!(s.contains("out of memory"));
+    }
+}

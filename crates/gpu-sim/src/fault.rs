@@ -1,0 +1,143 @@
+//! Fault injection for robustness testing.
+//!
+//! ConVGPU's consistency goal ("failures in one container would not
+//! affect other containers", §III-A) is only testable if the substrate
+//! can *produce* failures. [`FaultPlan`] injects deterministic,
+//! seed-reproducible faults into the device: allocation failures beyond
+//! the scheduler's control (driver hiccups) and kernel launch failures
+//! (the classic `unspecified launch failure`). The failure-injection
+//! tests assert that the middleware contains each fault to its container
+//! and releases its reservations.
+
+use convgpu_sim_core::rng::DetRng;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Probabilistic fault configuration (all rates in `[0, 1]`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability that an otherwise-satisfiable allocation fails with
+    /// `cudaErrorMemoryAllocation`.
+    pub alloc_failure: f64,
+    /// Probability that a kernel launch fails with
+    /// `cudaErrorLaunchFailure`.
+    pub launch_failure: f64,
+}
+
+impl FaultRates {
+    /// No faults.
+    pub const NONE: FaultRates = FaultRates {
+        alloc_failure: 0.0,
+        launch_failure: 0.0,
+    };
+}
+
+/// A seeded fault injector.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rates: FaultRates,
+    rng: Mutex<DetRng>,
+}
+
+impl FaultPlan {
+    /// Build a plan with `rates`, reproducible under `seed`.
+    pub fn new(rates: FaultRates, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rates.alloc_failure)
+                && (0.0..=1.0).contains(&rates.launch_failure),
+            "fault rates must be probabilities"
+        );
+        FaultPlan {
+            rates,
+            rng: Mutex::new(DetRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// A plan that never fires.
+    pub fn none() -> Self {
+        Self::new(FaultRates::NONE, 0)
+    }
+
+    /// Should this allocation fail?
+    pub fn fail_alloc(&self) -> bool {
+        self.rates.alloc_failure > 0.0 && self.rng.lock().next_f64() < self.rates.alloc_failure
+    }
+
+    /// Should this kernel launch fail?
+    pub fn fail_launch(&self) -> bool {
+        self.rates.launch_failure > 0.0 && self.rng.lock().next_f64() < self.rates.launch_failure
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let p = FaultPlan::none();
+        for _ in 0..1000 {
+            assert!(!p.fail_alloc());
+            assert!(!p.fail_launch());
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let p = FaultPlan::new(
+            FaultRates {
+                alloc_failure: 0.25,
+                launch_failure: 0.0,
+            },
+            7,
+        );
+        let hits = (0..10_000).filter(|_| p.fail_alloc()).count();
+        assert!((2200..2800).contains(&hits), "≈25%: got {hits}");
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let mk = || {
+            let p = FaultPlan::new(
+                FaultRates {
+                    alloc_failure: 0.5,
+                    launch_failure: 0.5,
+                },
+                42,
+            );
+            (0..64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        p.fail_alloc()
+                    } else {
+                        p.fail_launch()
+                    }
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be probabilities")]
+    fn invalid_rates_rejected() {
+        FaultPlan::new(
+            FaultRates {
+                alloc_failure: 1.5,
+                launch_failure: 0.0,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Kernel descriptors and the roofline-style execution cost model.
+//!
+//! The workloads crate builds kernels (complement over a buffer, conv2d,
+//! dense layers…) as [`KernelSpec`]s; the device turns one into a duration
+//! with a simple roofline: execution time is the maximum of the compute
+//! term (flops / peak throughput) and the memory term (bytes touched /
+//! bandwidth), plus fixed launch overhead, divided by how much of the GPU
+//! the kernel occupies.
+
+use crate::props::DeviceProperties;
+use convgpu_sim_core::time::SimDuration;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A kernel launch request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Diagnostic name (shows up in traces).
+    pub name: String,
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Device-memory bytes read + written.
+    pub bytes_accessed: Bytes,
+    /// Fraction of the device the kernel can occupy, in `(0, 1]`. A
+    /// grid-saturating kernel uses 1.0; tiny kernels that underfill the
+    /// GPU use less, lengthening their runtime proportionally.
+    pub occupancy: f64,
+}
+
+impl KernelSpec {
+    /// A memory-bound element-wise kernel over `bytes` of data (reads and
+    /// writes each byte once; one op per byte) — the shape of the paper's
+    /// sample program ("calculates the complement" of a buffer).
+    pub fn elementwise(name: impl Into<String>, bytes: Bytes) -> Self {
+        KernelSpec {
+            name: name.into(),
+            flops: bytes.as_u64() as f64,
+            bytes_accessed: Bytes::new(bytes.as_u64().saturating_mul(2)),
+            occupancy: 1.0,
+        }
+    }
+
+    /// A compute-bound kernel performing `flops` operations on `bytes`.
+    pub fn compute(name: impl Into<String>, flops: f64, bytes: Bytes) -> Self {
+        KernelSpec {
+            name: name.into(),
+            flops,
+            bytes_accessed: bytes,
+            occupancy: 1.0,
+        }
+    }
+
+    /// Set the occupancy fraction (clamped to `(0, 1]`).
+    pub fn with_occupancy(mut self, occupancy: f64) -> Self {
+        self.occupancy = occupancy.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Roofline execution time on `props` (excluding launch overhead,
+    /// which the runtime charges separately).
+    pub fn duration_on(&self, props: &DeviceProperties) -> SimDuration {
+        let compute_secs = self.flops / (props.gflops * 1e9);
+        let mem_secs =
+            self.bytes_accessed.as_u64() as f64 / (props.mem_bandwidth_gib_s * (1u64 << 30) as f64);
+        let occ = self.occupancy.clamp(f64::MIN_POSITIVE, 1.0);
+        SimDuration::from_secs_f64(compute_secs.max(mem_secs) / occ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_is_memory_bound_on_k20m() {
+        let props = DeviceProperties::tesla_k20m();
+        let k = KernelSpec::elementwise("complement", Bytes::gib(1));
+        // 2 GiB touched at 194 GiB/s ≈ 10.3 ms; compute term (1 GiB flops
+        // at 3.5 TFLOP/s ≈ 0.3 ms) is smaller.
+        let d = k.duration_on(&props);
+        assert!(d > SimDuration::from_millis(8), "{d}");
+        assert!(d < SimDuration::from_millis(15), "{d}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_flops() {
+        let props = DeviceProperties::tesla_k20m();
+        let k1 = KernelSpec::compute("k1", 3.52e12, Bytes::mib(1)); // 1 s of flops
+        let d1 = k1.duration_on(&props);
+        assert!((d1.as_secs_f64() - 1.0).abs() < 0.01, "{d1}");
+        let k2 = KernelSpec::compute("k2", 7.04e12, Bytes::mib(1));
+        let d2 = k2.duration_on(&props);
+        assert!((d2.as_secs_f64() - 2.0).abs() < 0.02, "{d2}");
+    }
+
+    #[test]
+    fn low_occupancy_lengthens_runtime() {
+        let props = DeviceProperties::tesla_k20m();
+        let full = KernelSpec::compute("k", 3.52e9, Bytes::new(1));
+        let half = full.clone().with_occupancy(0.5);
+        let df = full.duration_on(&props);
+        let dh = half.duration_on(&props);
+        assert!(dh.as_nanos() >= df.as_nanos() * 19 / 10, "{df} vs {dh}");
+    }
+
+    #[test]
+    fn occupancy_is_clamped() {
+        let k = KernelSpec::compute("k", 1.0, Bytes::new(1)).with_occupancy(7.0);
+        assert_eq!(k.occupancy, 1.0);
+        let k = KernelSpec::compute("k", 1.0, Bytes::new(1)).with_occupancy(-1.0);
+        assert!(k.occupancy > 0.0);
+    }
+
+    #[test]
+    fn zero_work_kernel_takes_zero_time() {
+        let props = DeviceProperties::tesla_k20m();
+        let k = KernelSpec::compute("empty", 0.0, Bytes::ZERO);
+        assert_eq!(k.duration_on(&props), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,129 @@
+//! User-program abstraction.
+//!
+//! A [`GpuProgram`] is the analog of the CUDA binary a container runs: it
+//! receives whatever [`CudaApi`] implementation the dynamic linker bound
+//! (raw runtime or ConVGPU wrapper — the program cannot tell, which is the
+//! paper's compatibility goal) plus its pid and the session clock for
+//! host-side work.
+
+use crate::api::CudaApi;
+use crate::context::Pid;
+use crate::error::CudaResult;
+use convgpu_sim_core::clock::ClockHandle;
+
+/// Link configuration of the "compiled" program — mirrors
+/// `nvcc -cudart=shared` vs the static default. Lives here (not in the
+/// wrapper crate) so programs can declare it without depending on the
+/// wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgramLink {
+    /// True for `-cudart=shared` (required for LD_PRELOAD interposition).
+    pub cudart_shared: bool,
+}
+
+impl Default for ProgramLink {
+    fn default() -> Self {
+        ProgramLink {
+            cudart_shared: true,
+        }
+    }
+}
+
+/// A program that uses the GPU.
+pub trait GpuProgram: Send {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+
+    /// Execute against the bound CUDA API. The fat-binary registration
+    /// and unregistration around the run are performed by the host
+    /// harness (they are implicit in real CUDA programs).
+    fn run(&mut self, api: &dyn CudaApi, pid: Pid, clock: &ClockHandle) -> CudaResult<()>;
+
+    /// How the program's CUDA runtime is linked (default: shared, i.e.
+    /// built the way ConVGPU requires).
+    fn link(&self) -> ProgramLink {
+        ProgramLink::default()
+    }
+}
+
+/// Adapter turning a closure into a [`GpuProgram`].
+pub struct FnProgram<F> {
+    name: String,
+    f: F,
+    link: ProgramLink,
+}
+
+impl<F> FnProgram<F>
+where
+    F: FnMut(&dyn CudaApi, Pid, &ClockHandle) -> CudaResult<()> + Send,
+{
+    /// Wrap `f` as a program called `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnProgram {
+            name: name.into(),
+            f,
+            link: ProgramLink::default(),
+        }
+    }
+
+    /// Override the link configuration.
+    pub fn with_link(mut self, link: ProgramLink) -> Self {
+        self.link = link;
+        self
+    }
+}
+
+impl<F> GpuProgram for FnProgram<F>
+where
+    F: FnMut(&dyn CudaApi, Pid, &ClockHandle) -> CudaResult<()> + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, api: &dyn CudaApi, pid: Pid, clock: &ClockHandle) -> CudaResult<()> {
+        (self.f)(api, pid, clock)
+    }
+
+    fn link(&self) -> ProgramLink {
+        self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::GpuDevice;
+    use crate::latency::LatencyModel;
+    use crate::runtime::RawCudaRuntime;
+    use convgpu_sim_core::clock::VirtualClock;
+    use convgpu_sim_core::units::Bytes;
+    use std::sync::Arc;
+
+    #[test]
+    fn fn_program_runs_against_api() {
+        let clock = VirtualClock::new();
+        let rt = RawCudaRuntime::new(
+            Arc::new(GpuDevice::tesla_k20m()),
+            LatencyModel::zero(),
+            clock.handle(),
+        );
+        let mut prog = FnProgram::new("alloc-free", |api, pid, _clock| {
+            let p = api.cuda_malloc(pid, Bytes::mib(8))?;
+            api.cuda_free(pid, p)
+        });
+        assert_eq!(prog.name(), "alloc-free");
+        assert!(prog.link().cudart_shared);
+        let handle = clock.handle();
+        prog.run(&rt, 1, &handle).unwrap();
+    }
+
+    #[test]
+    fn link_override() {
+        let prog = FnProgram::new("static", |_api, _pid, _clock| Ok(()))
+            .with_link(ProgramLink {
+                cudart_shared: false,
+            });
+        assert!(!prog.link().cudart_shared);
+    }
+}

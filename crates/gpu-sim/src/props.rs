@@ -1,0 +1,131 @@
+//! Device property blocks (`cudaDeviceProp` analog) and presets.
+//!
+//! The fields are the subset ConVGPU and the workloads observe: memory
+//! size, pitch alignment (the wrapper's `cudaMallocPitch` handling fetches
+//! this on first call — the paper's Fig. 4 shows that first call costing
+//! ~2× a plain allocation), Hyper-Q width, and the bandwidth/throughput
+//! figures feeding the kernel and memcpy cost models.
+
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Simulated `cudaDeviceProp` subset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProperties {
+    /// Marketing name, e.g. `"Tesla K20m"`.
+    pub name: String,
+    /// Total global memory.
+    pub total_global_mem: Bytes,
+    /// Compute capability (major, minor).
+    pub compute_capability: (u32, u32),
+    /// Number of streaming multiprocessors.
+    pub multiprocessor_count: u32,
+    /// Pitch alignment in bytes: `cudaMallocPitch` rounds row widths up to
+    /// a multiple of this (`texturePitchAlignment` on real hardware).
+    pub pitch_alignment: Bytes,
+    /// Managed-memory allocation granularity. The paper observed
+    /// `cudaMallocManaged` consuming multiples of 128 MiB on the K20m.
+    pub managed_granularity: Bytes,
+    /// Maximum concurrently resident kernels (Hyper-Q width; 32 on Kepler
+    /// GK110 and later).
+    pub concurrent_kernels: u32,
+    /// Peak single-precision throughput in GFLOP/s (kernel cost model).
+    pub gflops: f64,
+    /// Device-memory bandwidth in GiB/s (kernel + D2D copy cost model).
+    pub mem_bandwidth_gib_s: f64,
+    /// Host↔device (PCIe) bandwidth in GiB/s (H2D/D2H copy cost model).
+    pub pcie_bandwidth_gib_s: f64,
+    /// Process-data charge on first runtime use by a process (~64 MiB
+    /// observed in the paper).
+    pub process_data_overhead: Bytes,
+    /// CUDA-context charge on first runtime use by a process (~2 MiB).
+    pub context_overhead: Bytes,
+}
+
+impl DeviceProperties {
+    /// The paper's evaluation GPU: NVIDIA Tesla K20m, 5 GB GDDR5,
+    /// compute capability 3.5, 13 SMs, Hyper-Q 32.
+    pub fn tesla_k20m() -> Self {
+        DeviceProperties {
+            name: "Tesla K20m".to_string(),
+            total_global_mem: Bytes::gib(5),
+            compute_capability: (3, 5),
+            multiprocessor_count: 13,
+            pitch_alignment: Bytes::new(512),
+            managed_granularity: Bytes::mib(128),
+            concurrent_kernels: 32,
+            gflops: 3520.0,
+            mem_bandwidth_gib_s: 194.0,
+            pcie_bandwidth_gib_s: 6.0,
+            process_data_overhead: Bytes::mib(64),
+            context_overhead: Bytes::mib(2),
+        }
+    }
+
+    /// A smaller consumer GPU, used by tests that want tight memory.
+    pub fn gtx_750ti() -> Self {
+        DeviceProperties {
+            name: "GeForce GTX 750 Ti".to_string(),
+            total_global_mem: Bytes::gib(2),
+            compute_capability: (5, 0),
+            multiprocessor_count: 5,
+            pitch_alignment: Bytes::new(512),
+            managed_granularity: Bytes::mib(128),
+            concurrent_kernels: 16,
+            gflops: 1306.0,
+            mem_bandwidth_gib_s: 80.0,
+            pcie_bandwidth_gib_s: 6.0,
+            process_data_overhead: Bytes::mib(64),
+            context_overhead: Bytes::mib(2),
+        }
+    }
+
+    /// A bigger datacenter GPU for the multi-GPU extension experiments.
+    pub fn tesla_p100() -> Self {
+        DeviceProperties {
+            name: "Tesla P100-PCIE-16GB".to_string(),
+            total_global_mem: Bytes::gib(16),
+            compute_capability: (6, 0),
+            multiprocessor_count: 56,
+            pitch_alignment: Bytes::new(512),
+            managed_granularity: Bytes::mib(128),
+            concurrent_kernels: 32,
+            gflops: 9300.0,
+            mem_bandwidth_gib_s: 680.0,
+            pcie_bandwidth_gib_s: 12.0,
+            process_data_overhead: Bytes::mib(64),
+            context_overhead: Bytes::mib(2),
+        }
+    }
+
+    /// Combined first-use charge (process data + context); the paper's
+    /// scheduler accounts "additional 66 MiB" per pid.
+    pub fn first_use_overhead(&self) -> Bytes {
+        self.process_data_overhead + self.context_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20m_matches_paper_setup() {
+        let p = DeviceProperties::tesla_k20m();
+        assert_eq!(p.total_global_mem, Bytes::gib(5));
+        assert_eq!(p.concurrent_kernels, 32);
+        assert_eq!(p.first_use_overhead(), Bytes::mib(66));
+        assert_eq!(p.managed_granularity, Bytes::mib(128));
+        assert_eq!(p.compute_capability, (3, 5));
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let a = DeviceProperties::tesla_k20m();
+        let b = DeviceProperties::gtx_750ti();
+        let c = DeviceProperties::tesla_p100();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert!(c.total_global_mem > a.total_global_mem);
+    }
+}

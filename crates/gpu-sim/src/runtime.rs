@@ -1,0 +1,583 @@
+//! The raw (un-interposed) CUDA runtime.
+//!
+//! [`RawCudaRuntime`] is what a container's program would call if ConVGPU
+//! were absent (the paper's "without the solution" baseline): it talks
+//! straight to the device, charging the latency model's per-call costs and
+//! the bandwidth/roofline costs for data movement and kernels. The ConVGPU
+//! wrapper module wraps exactly this object.
+
+use crate::api::{CudaApi, Extent3D, MemcpyKind, PitchedPtr};
+use crate::context::Pid;
+use crate::device::GpuDevice;
+use crate::error::{CudaError, CudaResult};
+use crate::kernel::KernelSpec;
+use crate::latency::LatencyModel;
+use crate::memory::DevicePtr;
+use crate::props::DeviceProperties;
+use crate::stream::{EventId, StreamEngine, StreamId};
+use parking_lot::Mutex;
+use convgpu_sim_core::clock::ClockHandle;
+use convgpu_sim_core::time::SimDuration;
+use convgpu_sim_core::units::Bytes;
+use std::sync::Arc;
+
+/// Direct, unmanaged access to a simulated GPU.
+pub struct RawCudaRuntime {
+    device: Arc<GpuDevice>,
+    latency: LatencyModel,
+    clock: ClockHandle,
+    streams: Mutex<StreamEngine>,
+}
+
+impl RawCudaRuntime {
+    /// Build a runtime for `device`, charging `latency` per call on
+    /// `clock`.
+    pub fn new(device: Arc<GpuDevice>, latency: LatencyModel, clock: ClockHandle) -> Self {
+        RawCudaRuntime {
+            device,
+            latency,
+            clock,
+            streams: Mutex::new(StreamEngine::new()),
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<GpuDevice> {
+        &self.device
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The clock the runtime charges costs on.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
+    }
+
+    fn charge(&self, d: SimDuration) {
+        if !d.is_zero() {
+            self.clock.sleep(d);
+        }
+    }
+
+    /// Pitch for a row of `width` bytes on this device.
+    pub fn pitch_for(&self, width: Bytes) -> Bytes {
+        width.align_up(self.device.props().pitch_alignment)
+    }
+
+    /// Managed-allocation size rounding (128 MiB granules on the K20m).
+    pub fn managed_size(&self, size: Bytes) -> Bytes {
+        size.align_up(self.device.props().managed_granularity)
+    }
+
+    fn memcpy_duration(&self, kind: MemcpyKind, bytes: Bytes) -> SimDuration {
+        let props = self.device.props();
+        let gib_s = match kind {
+            MemcpyKind::HostToDevice | MemcpyKind::DeviceToHost | MemcpyKind::HostToHost => {
+                props.pcie_bandwidth_gib_s
+            }
+            MemcpyKind::DeviceToDevice => props.mem_bandwidth_gib_s,
+        };
+        let secs = bytes.as_u64() as f64 / (gib_s * (1u64 << 30) as f64);
+        self.latency.memcpy_overhead + SimDuration::from_secs_f64(secs)
+    }
+
+    fn alloc_with_latency(
+        &self,
+        pid: Pid,
+        size: Bytes,
+        base_latency: SimDuration,
+    ) -> CudaResult<DevicePtr> {
+        let (ptr, created_context) = self.device.alloc(pid, size)?;
+        let mut cost = base_latency;
+        if created_context {
+            cost += self.latency.context_create;
+        }
+        self.charge(cost);
+        Ok(ptr)
+    }
+}
+
+impl CudaApi for RawCudaRuntime {
+    fn cuda_malloc(&self, pid: Pid, size: Bytes) -> CudaResult<DevicePtr> {
+        self.alloc_with_latency(pid, size, self.latency.alloc)
+    }
+
+    fn cuda_malloc_pitch(
+        &self,
+        pid: Pid,
+        width: Bytes,
+        height: u64,
+    ) -> CudaResult<(DevicePtr, Bytes)> {
+        if width.is_zero() || height == 0 {
+            return Err(CudaError::InvalidValue);
+        }
+        let pitch = self.pitch_for(width);
+        let size = Bytes::new(
+            pitch
+                .as_u64()
+                .checked_mul(height)
+                .ok_or(CudaError::InvalidValue)?,
+        );
+        let ptr = self.alloc_with_latency(pid, size, self.latency.alloc)?;
+        Ok((ptr, pitch))
+    }
+
+    fn cuda_malloc_3d(&self, pid: Pid, extent: Extent3D) -> CudaResult<PitchedPtr> {
+        if extent.width.is_zero() || extent.height == 0 || extent.depth == 0 {
+            return Err(CudaError::InvalidValue);
+        }
+        let pitch = self.pitch_for(extent.width);
+        let rows = extent
+            .height
+            .checked_mul(extent.depth)
+            .ok_or(CudaError::InvalidValue)?;
+        let size = Bytes::new(
+            pitch
+                .as_u64()
+                .checked_mul(rows)
+                .ok_or(CudaError::InvalidValue)?,
+        );
+        let ptr = self.alloc_with_latency(pid, size, self.latency.alloc)?;
+        Ok(PitchedPtr {
+            ptr,
+            pitch,
+            xsize: extent.width,
+            ysize: extent.height,
+        })
+    }
+
+    fn cuda_malloc_managed(&self, pid: Pid, size: Bytes) -> CudaResult<DevicePtr> {
+        if size.is_zero() {
+            return Err(CudaError::InvalidValue);
+        }
+        let rounded = self.managed_size(size);
+        self.alloc_with_latency(pid, rounded, self.latency.alloc_managed)
+    }
+
+    fn cuda_free(&self, pid: Pid, ptr: DevicePtr) -> CudaResult<()> {
+        self.device.free(pid, ptr)?;
+        self.charge(self.latency.free);
+        Ok(())
+    }
+
+    fn cuda_mem_get_info(&self, _pid: Pid) -> CudaResult<(Bytes, Bytes)> {
+        self.charge(self.latency.mem_get_info);
+        Ok(self.device.mem_info())
+    }
+
+    fn cuda_get_device_properties(&self, _pid: Pid) -> CudaResult<DeviceProperties> {
+        self.charge(self.latency.get_device_properties);
+        Ok(self.device.props().clone())
+    }
+
+    fn cuda_memcpy(&self, pid: Pid, kind: MemcpyKind, bytes: Bytes) -> CudaResult<()> {
+        let _ = pid;
+        self.charge(self.memcpy_duration(kind, bytes));
+        self.device.note_memcpy(bytes);
+        Ok(())
+    }
+
+    fn cuda_memcpy_2d(
+        &self,
+        pid: Pid,
+        kind: MemcpyKind,
+        width: Bytes,
+        height: u64,
+    ) -> CudaResult<()> {
+        if width.is_zero() || height == 0 {
+            return Err(CudaError::InvalidValue);
+        }
+        let bytes = Bytes::new(
+            width
+                .as_u64()
+                .checked_mul(height)
+                .ok_or(CudaError::InvalidValue)?,
+        );
+        self.cuda_memcpy(pid, kind, bytes)
+    }
+
+    fn cuda_memset(&self, pid: Pid, bytes: Bytes) -> CudaResult<()> {
+        let _ = pid;
+        let secs =
+            bytes.as_u64() as f64 / (self.device.props().mem_bandwidth_gib_s * (1u64 << 30) as f64);
+        self.charge(self.latency.memcpy_overhead + SimDuration::from_secs_f64(secs));
+        Ok(())
+    }
+
+    fn cuda_launch_kernel(&self, pid: Pid, kernel: &KernelSpec) -> CudaResult<()> {
+        let _ = pid;
+        self.charge(self.latency.kernel_launch);
+        if self.device.should_fail_launch() {
+            return Err(CudaError::LaunchFailure);
+        }
+        self.device.acquire_kernel_slot();
+        let duration = kernel.duration_on(self.device.props());
+        self.charge(duration);
+        self.device.release_kernel_slot();
+        self.device.note_kernel_completed();
+        Ok(())
+    }
+
+    fn cuda_device_synchronize(&self, pid: Pid) -> CudaResult<()> {
+        // Wait for every stream of this process to drain.
+        let done = self.streams.lock().all_done_at(pid, self.clock.now());
+        let wait = done.saturating_since(self.clock.now());
+        self.charge(wait);
+        Ok(())
+    }
+
+    fn cuda_stream_create(&self, pid: Pid) -> CudaResult<StreamId> {
+        self.charge(self.latency.kernel_launch);
+        Ok(self.streams.lock().create_stream(pid))
+    }
+
+    fn cuda_stream_destroy(&self, pid: Pid, stream: StreamId) -> CudaResult<()> {
+        self.streams.lock().destroy_stream(pid, stream)
+    }
+
+    fn cuda_launch_kernel_async(
+        &self,
+        pid: Pid,
+        stream: StreamId,
+        kernel: &KernelSpec,
+    ) -> CudaResult<()> {
+        self.charge(self.latency.kernel_launch);
+        if self.device.should_fail_launch() {
+            return Err(CudaError::LaunchFailure);
+        }
+        let duration = kernel.duration_on(self.device.props());
+        self.streams
+            .lock()
+            .enqueue(pid, stream, self.clock.now(), duration)?;
+        self.device.note_kernel_completed();
+        Ok(())
+    }
+
+    fn cuda_memcpy_async(
+        &self,
+        pid: Pid,
+        stream: StreamId,
+        kind: MemcpyKind,
+        bytes: Bytes,
+    ) -> CudaResult<()> {
+        let duration = self.memcpy_duration(kind, bytes);
+        self.streams
+            .lock()
+            .enqueue(pid, stream, self.clock.now(), duration)?;
+        self.device.note_memcpy(bytes);
+        Ok(())
+    }
+
+    fn cuda_stream_synchronize(&self, pid: Pid, stream: StreamId) -> CudaResult<()> {
+        let done = self
+            .streams
+            .lock()
+            .stream_done_at(pid, stream, self.clock.now())?;
+        let wait = done.saturating_since(self.clock.now());
+        self.charge(wait);
+        Ok(())
+    }
+
+    fn cuda_event_create(&self, pid: Pid) -> CudaResult<EventId> {
+        Ok(self.streams.lock().create_event(pid))
+    }
+
+    fn cuda_event_destroy(&self, pid: Pid, event: EventId) -> CudaResult<()> {
+        self.streams.lock().destroy_event(pid, event)
+    }
+
+    fn cuda_event_record(&self, pid: Pid, event: EventId, stream: StreamId) -> CudaResult<()> {
+        self.streams
+            .lock()
+            .record_event(pid, event, stream, self.clock.now())
+    }
+
+    fn cuda_event_synchronize(&self, pid: Pid, event: EventId) -> CudaResult<()> {
+        let done = self.streams.lock().event_done_at(pid, event)?;
+        let wait = done.saturating_since(self.clock.now());
+        self.charge(wait);
+        Ok(())
+    }
+
+    fn cuda_event_elapsed(
+        &self,
+        pid: Pid,
+        start: EventId,
+        end: EventId,
+    ) -> CudaResult<convgpu_sim_core::time::SimDuration> {
+        self.streams.lock().elapsed(pid, start, end)
+    }
+
+    fn cuda_register_fat_binary(&self, pid: Pid) -> CudaResult<()> {
+        self.charge(self.latency.fat_binary);
+        self.device.register_fat_binary(pid);
+        Ok(())
+    }
+
+    fn cuda_unregister_fat_binary(&self, pid: Pid) -> CudaResult<()> {
+        self.charge(self.latency.fat_binary);
+        // A real process exit implicitly synchronizes and destroys its
+        // streams/events with the context.
+        self.cuda_device_synchronize(pid)?;
+        self.streams.lock().destroy_process(pid);
+        self.device.unregister_fat_binary(pid);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_sim_core::clock::{Clock, VirtualClock};
+    use convgpu_sim_core::time::SimTime;
+
+    fn runtime() -> (RawCudaRuntime, VirtualClock) {
+        let clock = VirtualClock::new();
+        let rt = RawCudaRuntime::new(
+            Arc::new(GpuDevice::tesla_k20m()),
+            LatencyModel::tesla_k20m(),
+            clock.handle(),
+        );
+        (rt, clock)
+    }
+
+    #[test]
+    fn malloc_charges_calibrated_latency() {
+        let (rt, clock) = runtime();
+        // Warm the context so we measure steady-state malloc.
+        rt.cuda_malloc(1, Bytes::mib(1)).unwrap();
+        let t0 = clock.now();
+        rt.cuda_malloc(1, Bytes::mib(1)).unwrap();
+        let elapsed = clock.now() - t0;
+        assert_eq!(elapsed, SimDuration::from_micros(35));
+    }
+
+    #[test]
+    fn first_malloc_also_pays_context_creation() {
+        let (rt, clock) = runtime();
+        rt.cuda_malloc(1, Bytes::mib(1)).unwrap();
+        let warm_start = clock.now();
+        rt.cuda_malloc(2, Bytes::mib(1)).unwrap(); // new pid: cold
+        let cold = clock.now() - warm_start;
+        assert!(cold > SimDuration::from_millis(50), "{cold}");
+    }
+
+    #[test]
+    fn pitch_rounds_width_up() {
+        let (rt, _clock) = runtime();
+        let (_ptr, pitch) = rt.cuda_malloc_pitch(1, Bytes::new(1000), 10).unwrap();
+        assert_eq!(pitch, Bytes::new(1024), "1000 rounded to 512-alignment");
+        // Aligned widths keep their size.
+        let (_ptr, pitch) = rt.cuda_malloc_pitch(1, Bytes::new(1024), 10).unwrap();
+        assert_eq!(pitch, Bytes::new(1024));
+    }
+
+    #[test]
+    fn pitch_alloc_consumes_pitch_times_height() {
+        let (rt, _clock) = runtime();
+        let (free0, _) = rt.cuda_mem_get_info(1).unwrap();
+        rt.cuda_malloc_pitch(1, Bytes::new(1000), 1024).unwrap();
+        let (free1, _) = rt.cuda_mem_get_info(1).unwrap();
+        // 1024 rows * 1024 pitch = 1 MiB, plus 66 MiB context.
+        assert_eq!(free0 - free1, Bytes::mib(1) + Bytes::mib(66));
+    }
+
+    #[test]
+    fn malloc_3d_uses_pitch_times_rows_times_depth() {
+        let (rt, _clock) = runtime();
+        rt.cuda_malloc(1, Bytes::mib(1)).unwrap(); // warm context
+        let (free0, _) = rt.cuda_mem_get_info(1).unwrap();
+        let p = rt
+            .cuda_malloc_3d(1, Extent3D::new(Bytes::new(300), 8, 4))
+            .unwrap();
+        assert_eq!(p.pitch, Bytes::new(512));
+        assert_eq!(p.xsize, Bytes::new(300));
+        assert_eq!(p.ysize, 8);
+        let (free1, _) = rt.cuda_mem_get_info(1).unwrap();
+        assert_eq!(free0 - free1, Bytes::new(512 * 8 * 4));
+    }
+
+    #[test]
+    fn managed_rounds_to_128_mib() {
+        let (rt, _clock) = runtime();
+        rt.cuda_malloc(1, Bytes::mib(1)).unwrap(); // warm context
+        let (free0, _) = rt.cuda_mem_get_info(1).unwrap();
+        rt.cuda_malloc_managed(1, Bytes::mib(1)).unwrap();
+        let (free1, _) = rt.cuda_mem_get_info(1).unwrap();
+        assert_eq!(free0 - free1, Bytes::mib(128));
+        rt.cuda_malloc_managed(1, Bytes::mib(129)).unwrap();
+        let (free2, _) = rt.cuda_mem_get_info(1).unwrap();
+        assert_eq!(free1 - free2, Bytes::mib(256));
+    }
+
+    #[test]
+    fn managed_costs_roughly_40x_malloc() {
+        let (rt, clock) = runtime();
+        rt.cuda_malloc(1, Bytes::mib(1)).unwrap(); // warm context
+        let t0 = clock.now();
+        rt.cuda_malloc(1, Bytes::mib(1)).unwrap();
+        let malloc_t = (clock.now() - t0).as_nanos() as f64;
+        let t1 = clock.now();
+        rt.cuda_malloc_managed(1, Bytes::mib(1)).unwrap();
+        let managed_t = (clock.now() - t1).as_nanos() as f64;
+        let ratio = managed_t / malloc_t;
+        assert!((30.0..=50.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn memcpy_time_scales_with_bytes_and_direction() {
+        let (rt, clock) = runtime();
+        let t0 = clock.now();
+        rt.cuda_memcpy(1, MemcpyKind::HostToDevice, Bytes::gib(3)).unwrap();
+        let h2d = clock.now() - t0;
+        // 3 GiB at 6 GiB/s = 0.5 s.
+        assert!((h2d.as_secs_f64() - 0.5).abs() < 0.01, "{h2d}");
+        let t1 = clock.now();
+        rt.cuda_memcpy(1, MemcpyKind::DeviceToDevice, Bytes::gib(3)).unwrap();
+        let d2d = clock.now() - t1;
+        assert!(d2d < h2d, "device copies are much faster");
+    }
+
+    #[test]
+    fn kernel_launch_advances_clock_by_roofline_duration() {
+        let (rt, clock) = runtime();
+        let k = KernelSpec::compute("busy", 3.52e12, Bytes::mib(1)); // ≈1 s
+        let t0 = clock.now();
+        rt.cuda_launch_kernel(1, &k).unwrap();
+        let d = clock.now() - t0;
+        assert!((d.as_secs_f64() - 1.0).abs() < 0.01, "{d}");
+        assert_eq!(rt.device().counters().kernels, 1);
+    }
+
+    #[test]
+    fn zero_extent_rejected() {
+        let (rt, _clock) = runtime();
+        assert_eq!(
+            rt.cuda_malloc_pitch(1, Bytes::ZERO, 5).unwrap_err(),
+            CudaError::InvalidValue
+        );
+        assert_eq!(
+            rt.cuda_malloc_3d(1, Extent3D::new(Bytes::new(8), 0, 1))
+                .unwrap_err(),
+            CudaError::InvalidValue
+        );
+        assert_eq!(
+            rt.cuda_malloc_managed(1, Bytes::ZERO).unwrap_err(),
+            CudaError::InvalidValue
+        );
+    }
+
+    #[test]
+    fn memcpy_2d_charges_moved_bytes_only() {
+        let (rt, clock) = runtime();
+        let t0 = clock.now();
+        // 1 MiB rows × 3072 = 3 GiB at 6 GiB/s ≈ 0.5 s.
+        rt.cuda_memcpy_2d(1, MemcpyKind::HostToDevice, Bytes::mib(1), 3072)
+            .unwrap();
+        let d = clock.now() - t0;
+        assert!((d.as_secs_f64() - 0.5).abs() < 0.01, "{d}");
+        assert_eq!(
+            rt.cuda_memcpy_2d(1, MemcpyKind::HostToDevice, Bytes::ZERO, 5)
+                .unwrap_err(),
+            CudaError::InvalidValue
+        );
+    }
+
+    #[test]
+    fn memset_runs_at_device_bandwidth() {
+        let (rt, clock) = runtime();
+        let t0 = clock.now();
+        rt.cuda_memset(1, Bytes::gib(1)).unwrap();
+        let d = clock.now() - t0;
+        // 1 GiB at 194 GiB/s ≈ 5.2 ms — far faster than a PCIe copy.
+        assert!(d.as_secs_f64() < 0.02, "{d}");
+        assert!(d.as_secs_f64() > 0.004, "{d}");
+    }
+
+    #[test]
+    fn async_streams_overlap_in_virtual_time() {
+        let (rt, clock) = runtime();
+        let k = KernelSpec::compute("chunk", 3.52e12, Bytes::mib(1)); // ≈1 s
+        // Sequential baseline: two sync launches ≈ 2 s.
+        let t0 = clock.now();
+        rt.cuda_launch_kernel(1, &k).unwrap();
+        rt.cuda_launch_kernel(1, &k).unwrap();
+        let sequential = clock.now() - t0;
+        // Overlapped: two streams, async launches, one synchronize.
+        let s1 = rt.cuda_stream_create(1).unwrap();
+        let s2 = rt.cuda_stream_create(1).unwrap();
+        let t1 = clock.now();
+        rt.cuda_launch_kernel_async(1, s1, &k).unwrap();
+        rt.cuda_launch_kernel_async(1, s2, &k).unwrap();
+        rt.cuda_device_synchronize(1).unwrap();
+        let overlapped = clock.now() - t1;
+        assert!(
+            overlapped.as_secs_f64() < sequential.as_secs_f64() * 0.6,
+            "overlap must show: sequential {sequential}, overlapped {overlapped}"
+        );
+    }
+
+    #[test]
+    fn events_measure_stream_work() {
+        let (rt, _clock) = runtime();
+        let s = rt.cuda_stream_create(1).unwrap();
+        let start = rt.cuda_event_create(1).unwrap();
+        let end = rt.cuda_event_create(1).unwrap();
+        rt.cuda_event_record(1, start, s).unwrap();
+        let k = KernelSpec::compute("timed", 3.52e12, Bytes::mib(1)); // ≈1 s
+        rt.cuda_launch_kernel_async(1, s, &k).unwrap();
+        rt.cuda_event_record(1, end, s).unwrap();
+        rt.cuda_event_synchronize(1, end).unwrap();
+        let elapsed = rt.cuda_event_elapsed(1, start, end).unwrap();
+        assert!((elapsed.as_secs_f64() - 1.0).abs() < 0.02, "{elapsed}");
+        rt.cuda_event_destroy(1, start).unwrap();
+        rt.cuda_event_destroy(1, end).unwrap();
+        rt.cuda_stream_destroy(1, s).unwrap();
+    }
+
+    #[test]
+    fn stream_synchronize_advances_to_completion_only_once() {
+        let (rt, clock) = runtime();
+        let s = rt.cuda_stream_create(1).unwrap();
+        rt.cuda_memcpy_async(1, s, MemcpyKind::HostToDevice, Bytes::gib(3))
+            .unwrap(); // ≈0.5 s at 6 GiB/s
+        let t0 = clock.now();
+        rt.cuda_stream_synchronize(1, s).unwrap();
+        let first = clock.now() - t0;
+        assert!((first.as_secs_f64() - 0.5).abs() < 0.05, "{first}");
+        // Second synchronize on a drained stream is free.
+        let t1 = clock.now();
+        rt.cuda_stream_synchronize(1, s).unwrap();
+        assert!((clock.now() - t1).is_zero());
+    }
+
+    #[test]
+    fn unregister_drains_outstanding_async_work() {
+        let (rt, clock) = runtime();
+        let s = rt.cuda_stream_create(1).unwrap();
+        let k = KernelSpec::compute("tail", 3.52e12, Bytes::mib(1)); // ≈1 s
+        rt.cuda_launch_kernel_async(1, s, &k).unwrap();
+        let t0 = clock.now();
+        rt.cuda_unregister_fat_binary(1).unwrap();
+        let waited = clock.now() - t0;
+        assert!(waited.as_secs_f64() > 0.9, "exit waits for the GPU: {waited}");
+        // The stream is gone with the process.
+        assert!(rt.cuda_stream_synchronize(1, s).is_err());
+    }
+
+    #[test]
+    fn full_program_lifecycle_restores_memory() {
+        let (rt, clock) = runtime();
+        rt.cuda_register_fat_binary(1).unwrap();
+        let a = rt.cuda_malloc(1, Bytes::mib(64)).unwrap();
+        let _b = rt.cuda_malloc_managed(1, Bytes::mib(100)).unwrap(); // leak
+        rt.cuda_free(1, a).unwrap();
+        rt.cuda_unregister_fat_binary(1).unwrap();
+        let (free, total) = rt.cuda_mem_get_info(1).unwrap();
+        assert_eq!(free, total);
+        assert!(clock.now() > SimTime::ZERO);
+    }
+}

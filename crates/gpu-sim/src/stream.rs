@@ -1,0 +1,299 @@
+//! CUDA streams and events — the asynchronous execution model.
+//!
+//! The paper leans on Hyper-Q ("it can run multiple GPU kernels
+//! concurrently up to 32 kernels"); real programs exploit that through
+//! streams: `cudaLaunchKernel(…, stream)` enqueues and returns, each
+//! stream executes in order, and `cudaStreamSynchronize` /
+//! `cudaEventSynchronize` wait.
+//!
+//! The timing model keeps one *timeline* per stream: an async launch (or
+//! async copy) extends the stream's `busy_until` by the operation's
+//! modeled duration starting from `max(now, busy_until)`; synchronizing
+//! sleeps the caller until the timeline. Events snapshot a stream's
+//! timeline at record time, giving `cudaEventElapsedTime` its usual
+//! semantics. Cross-stream Hyper-Q slot contention is modeled only for
+//! the *synchronous* launch path (which holds a device slot); fully
+//! overlapping async kernels are assumed to fit the 32 hardware queues —
+//! a documented simplification adequate for the paper's workloads.
+
+use crate::error::{CudaError, CudaResult};
+use convgpu_sim_core::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a stream within one process. Stream 0 is the legacy
+/// default stream and always exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub u64);
+
+impl StreamId {
+    /// The default (legacy) stream.
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+/// Identifies an event within one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventId(pub u64);
+
+type Pid = u64;
+
+#[derive(Debug, Default)]
+struct StreamState {
+    busy_until: Option<SimTime>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct EventState {
+    recorded_at: Option<SimTime>,
+}
+
+/// Per-process stream/event timelines (owned by the runtime).
+#[derive(Debug, Default)]
+pub struct StreamEngine {
+    streams: HashMap<(Pid, StreamId), StreamState>,
+    events: HashMap<(Pid, EventId), EventState>,
+    next_stream: u64,
+    next_event: u64,
+}
+
+impl StreamEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        StreamEngine {
+            next_stream: 1, // 0 is the default stream
+            next_event: 1,
+            ..Default::default()
+        }
+    }
+
+    /// `cudaStreamCreate`.
+    pub fn create_stream(&mut self, pid: Pid) -> StreamId {
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+        self.streams.insert((pid, id), StreamState::default());
+        id
+    }
+
+    /// `cudaStreamDestroy`. The default stream cannot be destroyed.
+    pub fn destroy_stream(&mut self, pid: Pid, stream: StreamId) -> CudaResult<()> {
+        if stream == StreamId::DEFAULT {
+            return Err(CudaError::InvalidValue);
+        }
+        self.streams
+            .remove(&(pid, stream))
+            .map(|_| ())
+            .ok_or(CudaError::InvalidValue)
+    }
+
+    fn stream_known(&self, pid: Pid, stream: StreamId) -> bool {
+        stream == StreamId::DEFAULT || self.streams.contains_key(&(pid, stream))
+    }
+
+    /// Enqueue `duration` of work on `stream`: it starts when the stream
+    /// is free, never before `now`. Returns the new completion time.
+    pub fn enqueue(
+        &mut self,
+        pid: Pid,
+        stream: StreamId,
+        now: SimTime,
+        duration: SimDuration,
+    ) -> CudaResult<SimTime> {
+        if !self.stream_known(pid, stream) {
+            return Err(CudaError::InvalidValue);
+        }
+        let state = self.streams.entry((pid, stream)).or_default();
+        let start = state.busy_until.map_or(now, |b| b.max(now));
+        let done = start + duration;
+        state.busy_until = Some(done);
+        Ok(done)
+    }
+
+    /// Completion time of everything enqueued on `stream` (`now` when
+    /// idle).
+    pub fn stream_done_at(&self, pid: Pid, stream: StreamId, now: SimTime) -> CudaResult<SimTime> {
+        if !self.stream_known(pid, stream) {
+            return Err(CudaError::InvalidValue);
+        }
+        Ok(self
+            .streams
+            .get(&(pid, stream))
+            .and_then(|s| s.busy_until)
+            .map_or(now, |b| b.max(now)))
+    }
+
+    /// Completion time of all of `pid`'s streams (`cudaDeviceSynchronize`).
+    pub fn all_done_at(&self, pid: Pid, now: SimTime) -> SimTime {
+        self.streams
+            .iter()
+            .filter(|((p, _), _)| *p == pid)
+            .filter_map(|(_, s)| s.busy_until)
+            .fold(now, SimTime::max)
+    }
+
+    /// `cudaEventCreate`.
+    pub fn create_event(&mut self, pid: Pid) -> EventId {
+        let id = EventId(self.next_event);
+        self.next_event += 1;
+        self.events.insert((pid, id), EventState::default());
+        id
+    }
+
+    /// `cudaEventDestroy`.
+    pub fn destroy_event(&mut self, pid: Pid, event: EventId) -> CudaResult<()> {
+        self.events
+            .remove(&(pid, event))
+            .map(|_| ())
+            .ok_or(CudaError::InvalidValue)
+    }
+
+    /// `cudaEventRecord`: the event fires when everything currently on
+    /// `stream` completes.
+    pub fn record_event(
+        &mut self,
+        pid: Pid,
+        event: EventId,
+        stream: StreamId,
+        now: SimTime,
+    ) -> CudaResult<()> {
+        let at = self.stream_done_at(pid, stream, now)?;
+        let state = self
+            .events
+            .get_mut(&(pid, event))
+            .ok_or(CudaError::InvalidValue)?;
+        state.recorded_at = Some(at);
+        Ok(())
+    }
+
+    /// When a recorded event fires; `InvalidValue` if never recorded.
+    pub fn event_done_at(&self, pid: Pid, event: EventId) -> CudaResult<SimTime> {
+        self.events
+            .get(&(pid, event))
+            .and_then(|e| e.recorded_at)
+            .ok_or(CudaError::InvalidValue)
+    }
+
+    /// `cudaEventElapsedTime` between two recorded events.
+    pub fn elapsed(&self, pid: Pid, start: EventId, end: EventId) -> CudaResult<SimDuration> {
+        let s = self.event_done_at(pid, start)?;
+        let e = self.event_done_at(pid, end)?;
+        Ok(e.saturating_since(s))
+    }
+
+    /// Drop all of `pid`'s streams and events (context destruction).
+    pub fn destroy_process(&mut self, pid: Pid) {
+        self.streams.retain(|(p, _), _| *p != pid);
+        self.events.retain(|(p, _), _| *p != pid);
+    }
+
+    /// Live stream count for `pid` (diagnostics; excludes the implicit
+    /// default stream).
+    pub fn stream_count(&self, pid: Pid) -> usize {
+        self.streams
+            .keys()
+            .filter(|(p, s)| *p == pid && *s != StreamId::DEFAULT)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn enqueue_serializes_within_a_stream() {
+        let mut e = StreamEngine::new();
+        let s = e.create_stream(1);
+        assert_eq!(e.enqueue(1, s, t(0), d(10)).unwrap(), t(10));
+        // Second op starts when the first completes, not at `now`.
+        assert_eq!(e.enqueue(1, s, t(2), d(10)).unwrap(), t(20));
+        // After the stream drains, new work starts at `now`.
+        assert_eq!(e.enqueue(1, s, t(100), d(5)).unwrap(), t(105));
+    }
+
+    #[test]
+    fn streams_overlap_each_other() {
+        let mut e = StreamEngine::new();
+        let a = e.create_stream(1);
+        let b = e.create_stream(1);
+        assert_eq!(e.enqueue(1, a, t(0), d(10)).unwrap(), t(10));
+        assert_eq!(e.enqueue(1, b, t(0), d(10)).unwrap(), t(10), "parallel");
+        assert_eq!(e.all_done_at(1, t(0)), t(10));
+    }
+
+    #[test]
+    fn default_stream_always_exists() {
+        let mut e = StreamEngine::new();
+        assert_eq!(e.enqueue(7, StreamId::DEFAULT, t(0), d(3)).unwrap(), t(3));
+        assert!(e.destroy_stream(7, StreamId::DEFAULT).is_err());
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut e = StreamEngine::new();
+        assert_eq!(
+            e.enqueue(1, StreamId(99), t(0), d(1)).unwrap_err(),
+            CudaError::InvalidValue
+        );
+        assert!(e.stream_done_at(1, StreamId(99), t(0)).is_err());
+    }
+
+    #[test]
+    fn streams_are_per_process() {
+        let mut e = StreamEngine::new();
+        let s1 = e.create_stream(1);
+        // Another pid cannot use pid 1's stream id.
+        assert!(e.enqueue(2, s1, t(0), d(1)).is_err());
+    }
+
+    #[test]
+    fn events_capture_stream_timelines() {
+        let mut e = StreamEngine::new();
+        let s = e.create_stream(1);
+        let start = e.create_event(1);
+        let end = e.create_event(1);
+        e.record_event(1, start, s, t(0)).unwrap();
+        e.enqueue(1, s, t(0), d(25)).unwrap();
+        e.record_event(1, end, s, t(0)).unwrap();
+        assert_eq!(e.elapsed(1, start, end).unwrap(), d(25));
+        assert_eq!(e.event_done_at(1, end).unwrap(), t(25));
+    }
+
+    #[test]
+    fn unrecorded_event_errors() {
+        let mut e = StreamEngine::new();
+        let ev = e.create_event(1);
+        assert_eq!(e.event_done_at(1, ev).unwrap_err(), CudaError::InvalidValue);
+        let ev2 = e.create_event(1);
+        assert!(e.elapsed(1, ev, ev2).is_err());
+    }
+
+    #[test]
+    fn destroy_process_drops_everything() {
+        let mut e = StreamEngine::new();
+        let s = e.create_stream(1);
+        let ev = e.create_event(1);
+        e.enqueue(1, s, t(0), d(10)).unwrap();
+        e.record_event(1, ev, s, t(0)).unwrap();
+        e.destroy_process(1);
+        assert_eq!(e.stream_count(1), 0);
+        assert!(e.enqueue(1, s, t(0), d(1)).is_err());
+        assert!(e.event_done_at(1, ev).is_err());
+    }
+
+    #[test]
+    fn destroy_stream_then_use_errors() {
+        let mut e = StreamEngine::new();
+        let s = e.create_stream(1);
+        e.destroy_stream(1, s).unwrap();
+        assert!(e.enqueue(1, s, t(0), d(1)).is_err());
+        assert!(e.destroy_stream(1, s).is_err(), "double destroy");
+    }
+}

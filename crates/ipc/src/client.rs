@@ -1,0 +1,412 @@
+//! The wrapper side of the socket.
+//!
+//! [`SchedulerClient`] multiplexes requests over one connection with
+//! correlation IDs: a background reader thread routes each response to the
+//! thread that issued the matching request. A suspended allocation is a
+//! thread parked in `recv()` on its response channel — the exact analog of
+//! the paper's wrapper blocking in `read(2)` until the scheduler decides
+//! to answer.
+
+use crate::codec::{read_json, write_json};
+use crate::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
+use crate::message::{AllocDecision, ApiKind, Envelope, Request, Response};
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::units::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct ClientShared {
+    writer: Mutex<UnixStream>,
+    pending: Mutex<Option<HashMap<u64, Sender<Response>>>>,
+    next_id: AtomicU64,
+}
+
+/// A connected protocol client.
+///
+/// Dropping the client shuts the connection down (both directions), so
+/// its reader thread exits and the server observes the disconnect — a
+/// container's socket does not outlive its wrapper module.
+pub struct SchedulerClient {
+    shared: Arc<ClientShared>,
+}
+
+impl Drop for SchedulerClient {
+    fn drop(&mut self) {
+        // The reader thread holds its own clone of the stream; without
+        // an explicit shutdown the connection (and two threads) would
+        // leak until server shutdown.
+        let _ = self
+            .shared
+            .writer
+            .lock()
+            .shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl SchedulerClient {
+    /// Connect to the scheduler socket at `path`.
+    pub fn connect(path: &Path) -> IpcResult<SchedulerClient> {
+        let stream = UnixStream::connect(path)?;
+        let reader_stream = stream.try_clone()?;
+        let shared = Arc::new(ClientShared {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(Some(HashMap::new())),
+            next_id: AtomicU64::new(1),
+        });
+        let reader_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("convgpu-ipc-client-reader".into())
+            .spawn(move || reader_loop(reader_stream, reader_shared))
+            .map_err(IpcError::Io)?;
+        Ok(SchedulerClient { shared })
+    }
+
+    /// Send `req` and block for the matching response. Blocking may last
+    /// arbitrarily long — that is the suspension mechanism.
+    pub fn request(&self, req: Request) -> IpcResult<Response> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx): (Sender<Response>, Receiver<Response>) = bounded(1);
+        {
+            let mut pending = self.shared.pending.lock();
+            match pending.as_mut() {
+                Some(map) => {
+                    map.insert(id, tx);
+                }
+                None => return Err(IpcError::Disconnected),
+            }
+        }
+        let write_result = {
+            let mut w = self.shared.writer.lock();
+            write_json(&mut *w, &Envelope { id, body: req })
+        };
+        if let Err(e) = write_result {
+            if let Some(map) = self.shared.pending.lock().as_mut() {
+                map.remove(&id);
+            }
+            return Err(IpcError::Io(e));
+        }
+        match rx.recv() {
+            Ok(Response::Error { message }) => Err(IpcError::Scheduler(message)),
+            Ok(resp) => Ok(resp),
+            Err(_) => Err(IpcError::Disconnected),
+        }
+    }
+
+    fn expect_ok(&self, req: Request) -> IpcResult<()> {
+        match self.request(req)? {
+            Response::Ok => Ok(()),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}
+
+fn reader_loop(stream: UnixStream, shared: Arc<ClientShared>) {
+    let mut reader = BufReader::new(stream);
+    // Errors and EOF both end the connection.
+    while let Ok(Some(env)) = read_json::<Envelope<Response>, _>(&mut reader) {
+        let tx = shared
+            .pending
+            .lock()
+            .as_mut()
+            .and_then(|map| map.remove(&env.id));
+        if let Some(tx) = tx {
+            let _ = tx.send(env.body);
+        }
+        // Unmatched ids are dropped: a reply to a request whose caller
+        // already errored out.
+    }
+    // Connection gone: drop the pending map so every parked caller's
+    // recv() fails with Disconnected instead of hanging forever.
+    *shared.pending.lock() = None;
+}
+
+impl SchedulerEndpoint for SchedulerClient {
+    fn register(&self, container: ContainerId, limit: Bytes) -> IpcResult<()> {
+        self.expect_ok(Request::Register { container, limit })
+    }
+
+    fn request_dir(&self, container: ContainerId) -> IpcResult<String> {
+        match self.request(Request::RequestDir { container })? {
+            Response::Dir { path } => Ok(path),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    fn request_alloc(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+    ) -> IpcResult<AllocDecision> {
+        match self.request(Request::AllocRequest {
+            container,
+            pid,
+            size,
+            api,
+        })? {
+            Response::Alloc { decision } => Ok(decision),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    fn alloc_done(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+    ) -> IpcResult<()> {
+        self.expect_ok(Request::AllocDone {
+            container,
+            pid,
+            addr,
+            size,
+        })
+    }
+
+    fn alloc_failed(&self, container: ContainerId, pid: u64, size: Bytes) -> IpcResult<()> {
+        self.expect_ok(Request::AllocFailed {
+            container,
+            pid,
+            size,
+        })
+    }
+
+    fn free(&self, container: ContainerId, pid: u64, addr: u64) -> IpcResult<Bytes> {
+        match self.request(Request::Free {
+            container,
+            pid,
+            addr,
+        })? {
+            Response::Freed { size } => Ok(size),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    fn mem_info(&self, container: ContainerId, pid: u64) -> IpcResult<(Bytes, Bytes)> {
+        match self.request(Request::MemInfo { container, pid })? {
+            Response::MemInfo { free, total } => Ok((free, total)),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    fn process_exit(&self, container: ContainerId, pid: u64) -> IpcResult<()> {
+        self.expect_ok(Request::ProcessExit { container, pid })
+    }
+
+    fn container_close(&self, container: ContainerId) -> IpcResult<()> {
+        self.expect_ok(Request::ContainerClose { container })
+    }
+
+    fn ping(&self) -> IpcResult<()> {
+        match self.request(Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ConnId, Reply, RequestHandler, SocketServer};
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    fn temp_sock(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "convgpu-ipc-client-test-{}-{}",
+            std::process::id(),
+            name
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sched.sock")
+    }
+
+    /// Grants allocations under 100 MiB instantly; suspends (answers after
+    /// a delay from another thread) anything larger — a miniature of the
+    /// real scheduler's behaviour.
+    struct MiniScheduler;
+
+    impl RequestHandler for MiniScheduler {
+        fn on_request(&self, _conn: ConnId, req: Request, reply: Reply) {
+            match req {
+                Request::Ping => reply.send(Response::Pong),
+                Request::Register { .. } => reply.send(Response::Ok),
+                Request::RequestDir { container } => reply.send(Response::Dir {
+                    path: format!("/tmp/convgpu/{container}"),
+                }),
+                Request::AllocRequest { size, .. } => {
+                    if size <= Bytes::mib(100) {
+                        reply.send(Response::Alloc {
+                            decision: AllocDecision::Granted,
+                        });
+                    } else {
+                        // Deferred reply: the suspension mechanism.
+                        std::thread::spawn(move || {
+                            std::thread::sleep(Duration::from_millis(50));
+                            reply.send(Response::Alloc {
+                                decision: AllocDecision::Granted,
+                            });
+                        });
+                    }
+                }
+                Request::MemInfo { .. } => reply.send(Response::MemInfo {
+                    free: Bytes::mib(10),
+                    total: Bytes::mib(512),
+                }),
+                Request::Free { .. } => reply.send(Response::Freed {
+                    size: Bytes::mib(1),
+                }),
+                _ => reply.send(Response::Ok),
+            }
+        }
+    }
+
+    #[test]
+    fn full_endpoint_round_trip() {
+        let path = temp_sock("roundtrip");
+        let server = SocketServer::bind(&path, Arc::new(MiniScheduler)).unwrap();
+        let client = SchedulerClient::connect(&path).unwrap();
+
+        client.ping().unwrap();
+        client.register(ContainerId(1), Bytes::mib(512)).unwrap();
+        assert_eq!(
+            client.request_dir(ContainerId(1)).unwrap(),
+            "/tmp/convgpu/cnt-0001"
+        );
+        assert_eq!(
+            client
+                .request_alloc(ContainerId(1), 1, Bytes::mib(10), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        client.alloc_done(ContainerId(1), 1, 0x7000, Bytes::mib(10)).unwrap();
+        assert_eq!(client.free(ContainerId(1), 1, 0x7000).unwrap(), Bytes::mib(1));
+        assert_eq!(
+            client.mem_info(ContainerId(1), 1).unwrap(),
+            (Bytes::mib(10), Bytes::mib(512))
+        );
+        client.process_exit(ContainerId(1), 1).unwrap();
+        client.container_close(ContainerId(1)).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn suspended_request_blocks_until_deferred_reply() {
+        let path = temp_sock("suspend");
+        let server = SocketServer::bind(&path, Arc::new(MiniScheduler)).unwrap();
+        let client = SchedulerClient::connect(&path).unwrap();
+        let t0 = std::time::Instant::now();
+        let decision = client
+            .request_alloc(ContainerId(1), 1, Bytes::mib(500), ApiKind::Malloc)
+            .unwrap();
+        assert_eq!(decision, AllocDecision::Granted);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(45),
+            "must have waited for the deferred reply"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_multiplex_on_one_socket() {
+        let path = temp_sock("mux");
+        let server = SocketServer::bind(&path, Arc::new(MiniScheduler)).unwrap();
+        let client = Arc::new(SchedulerClient::connect(&path).unwrap());
+        let mut handles = Vec::new();
+        // One slow (suspended) request in flight while fast ones complete.
+        {
+            let c = Arc::clone(&client);
+            handles.push(std::thread::spawn(move || {
+                c.request_alloc(ContainerId(1), 1, Bytes::mib(500), ApiKind::Malloc)
+                    .unwrap()
+            }));
+        }
+        for _ in 0..4 {
+            let c = Arc::clone(&client);
+            handles.push(std::thread::spawn(move || {
+                c.request_alloc(ContainerId(1), 2, Bytes::mib(1), ApiKind::Malloc)
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), AllocDecision::Granted);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_shutdown_unblocks_waiting_clients() {
+        let path = temp_sock("shutdown");
+        let server = SocketServer::bind(&path, Arc::new(MiniScheduler)).unwrap();
+        let client = Arc::new(SchedulerClient::connect(&path).unwrap());
+        let c = Arc::clone(&client);
+        let waiter = std::thread::spawn(move || {
+            // Large → deferred 50 ms; we kill the server first.
+            c.request_alloc(ContainerId(1), 1, Bytes::mib(500), ApiKind::Malloc)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        server.shutdown();
+        let res = waiter.join().unwrap();
+        assert!(res.is_err(), "waiter must error, not hang: {res:?}");
+    }
+
+    #[test]
+    fn dropping_the_client_disconnects_the_server() {
+        use std::sync::atomic::AtomicUsize;
+        struct CountDisconnects {
+            disconnects: AtomicUsize,
+        }
+        impl RequestHandler for CountDisconnects {
+            fn on_request(&self, _c: ConnId, _r: Request, reply: Reply) {
+                reply.send(crate::message::Response::Pong);
+            }
+            fn on_disconnect(&self, _c: ConnId) {
+                self.disconnects
+                    .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let path = temp_sock("dropclient");
+        let handler = Arc::new(CountDisconnects {
+            disconnects: AtomicUsize::new(0),
+        });
+        let server = SocketServer::bind(&path, handler.clone()).unwrap();
+        {
+            let client = SchedulerClient::connect(&path).unwrap();
+            client.ping().unwrap();
+        } // drop
+        for _ in 0..200 {
+            if handler
+                .disconnects
+                .load(std::sync::atomic::Ordering::SeqCst)
+                == 1
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            handler
+                .disconnects
+                .load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "server must see the disconnect promptly after client drop"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_to_missing_socket_errors() {
+        let path = temp_sock("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(SchedulerClient::connect(&path).is_err());
+    }
+}

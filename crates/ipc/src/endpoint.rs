@@ -1,0 +1,106 @@
+//! [`SchedulerEndpoint`] — the synchronous interface the wrapper module
+//! programs against.
+//!
+//! Two implementations exist:
+//!
+//! * [`crate::client::SchedulerClient`] — the live path over a UNIX
+//!   socket (this crate);
+//! * `convgpu_core::service::InProcEndpoint` — a direct in-process handle
+//!   to the scheduler state machine, used by tests and the transport
+//!   ablation bench.
+//!
+//! In both, [`SchedulerEndpoint::request_alloc`] **blocks while the
+//! scheduler suspends the container** — the defining mechanism of the
+//! paper's design ("the response from the scheduler will be suspended
+//! until the required size of memory is available").
+
+use crate::message::{AllocDecision, ApiKind};
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::units::Bytes;
+use std::fmt;
+
+/// Errors surfaced by an endpoint (transport failures, protocol
+/// violations, scheduler-side errors).
+#[derive(Debug)]
+pub enum IpcError {
+    /// Underlying socket/channel failure.
+    Io(std::io::Error),
+    /// The peer answered with a protocol-level error.
+    Scheduler(String),
+    /// The peer sent a response of the wrong variant.
+    UnexpectedResponse(String),
+    /// The connection closed while a request was outstanding.
+    Disconnected,
+}
+
+impl fmt::Display for IpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpcError::Io(e) => write!(f, "ipc i/o error: {e}"),
+            IpcError::Scheduler(m) => write!(f, "scheduler error: {m}"),
+            IpcError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+            IpcError::Disconnected => write!(f, "scheduler connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+impl From<std::io::Error> for IpcError {
+    fn from(e: std::io::Error) -> Self {
+        IpcError::Io(e)
+    }
+}
+
+/// Result alias for endpoint operations.
+pub type IpcResult<T> = Result<T, IpcError>;
+
+/// The scheduler as seen by its clients (wrapper module, nvidia-docker,
+/// nvidia-docker-plugin).
+pub trait SchedulerEndpoint: Send + Sync {
+    /// Declare a container and its GPU memory limit (nvidia-docker, before
+    /// the container is created).
+    fn register(&self, container: ContainerId, limit: Bytes) -> IpcResult<()>;
+
+    /// Obtain the per-container volume directory path (nvidia-docker).
+    fn request_dir(&self, container: ContainerId) -> IpcResult<String>;
+
+    /// Ask permission to allocate `size` bytes. **Blocks while the
+    /// container is suspended**; returns the eventual verdict.
+    fn request_alloc(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+    ) -> IpcResult<AllocDecision>;
+
+    /// Report a successful device allocation at `addr`.
+    fn alloc_done(
+        &self,
+        container: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+    ) -> IpcResult<()>;
+
+    /// Report that a granted allocation failed on the device (the
+    /// scheduler must release the reservation it made for it).
+    fn alloc_failed(&self, container: ContainerId, pid: u64, size: Bytes) -> IpcResult<()>;
+
+    /// Report a `cudaFree`; returns the size the scheduler had recorded.
+    fn free(&self, container: ContainerId, pid: u64, addr: u64) -> IpcResult<Bytes>;
+
+    /// Serve `cudaMemGetInfo` from scheduler book-keeping:
+    /// `(free-for-this-container, container-limit)`.
+    fn mem_info(&self, container: ContainerId, pid: u64) -> IpcResult<(Bytes, Bytes)>;
+
+    /// `__cudaUnregisterFatBinary`: the process exited.
+    fn process_exit(&self, container: ContainerId, pid: u64) -> IpcResult<()>;
+
+    /// The container stopped (plugin saw the dummy volume unmount).
+    fn container_close(&self, container: ContainerId) -> IpcResult<()>;
+
+    /// Liveness probe.
+    fn ping(&self) -> IpcResult<()>;
+}

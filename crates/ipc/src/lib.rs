@@ -1,0 +1,34 @@
+//! The ConVGPU wire protocol.
+//!
+//! The paper (§III-A): *"These components … are connected and communicating
+//! using UNIX Domain Socket with JSON format."* This crate is that layer,
+//! and it is **not** simulated — the live stack really speaks
+//! newline-delimited JSON over `std::os::unix::net` sockets, so the Fig. 4
+//! response-time experiment measures genuine IPC cost.
+//!
+//! * [`message`] — the request/response schema: container registration,
+//!   allocation requests/decisions, free notifications, `cudaMemGetInfo`
+//!   service, process-exit and container-close signals.
+//! * [`codec`] — newline-delimited JSON framing with a line-length guard.
+//! * [`endpoint`] — [`endpoint::SchedulerEndpoint`], the synchronous
+//!   interface the wrapper module calls. A *suspended* allocation (the
+//!   scheduler withholding its reply, §III-D) surfaces here as a blocking
+//!   call, exactly as `read(2)` on the socket blocks in the original.
+//! * [`client`] — [`client::SchedulerClient`]: the wrapper side of the
+//!   socket, with request correlation so several processes in one
+//!   container can share the socket.
+//! * [`server`] — [`server::SocketServer`]: accept loop + per-connection
+//!   reader threads + deferred [`server::Reply`] handles, which is what
+//!   lets the scheduler park a reply and release the thread.
+
+pub mod client;
+pub mod codec;
+pub mod endpoint;
+pub mod message;
+pub mod server;
+
+pub use client::SchedulerClient;
+pub use codec::{read_json, write_json, MAX_LINE_BYTES};
+pub use endpoint::{IpcError, IpcResult, SchedulerEndpoint};
+pub use message::{AllocDecision, ApiKind, Envelope, Request, Response};
+pub use server::{Reply, RequestHandler, SocketServer};

@@ -1,0 +1,299 @@
+//! Protocol message schema.
+//!
+//! One JSON object per line; every message is an [`Envelope`] carrying a
+//! correlation `id` and a body. Requests flow wrapper/nvidia-docker →
+//! scheduler; responses flow back with the same `id`. Notifications
+//! (`AllocDone`, `ProcessExit`, …) still get an `Ok` response so senders
+//! can detect a dead scheduler.
+
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Which allocation API triggered a request — used for tracing and for the
+/// Fig. 4 per-API breakdown. The scheduler treats all four identically
+/// (it only sees adjusted sizes; the wrapper does the pitch/granule math).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ApiKind {
+    /// `cudaMalloc`
+    Malloc,
+    /// `cudaMallocManaged`
+    MallocManaged,
+    /// `cudaMallocPitch`
+    MallocPitch,
+    /// `cudaMalloc3D`
+    Malloc3D,
+}
+
+impl ApiKind {
+    /// CUDA function name, for traces.
+    pub fn api_name(self) -> &'static str {
+        match self {
+            ApiKind::Malloc => "cudaMalloc",
+            ApiKind::MallocManaged => "cudaMallocManaged",
+            ApiKind::MallocPitch => "cudaMallocPitch",
+            ApiKind::Malloc3D => "cudaMalloc3D",
+        }
+    }
+}
+
+/// Scheduler verdict on an allocation request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AllocDecision {
+    /// Proceed: call the real CUDA allocation API.
+    Granted,
+    /// The request exceeds the container's declared limit — fail the call
+    /// with `cudaErrorMemoryAllocation` without touching the device.
+    Rejected,
+}
+
+/// Requests sent *to* the GPU memory scheduler.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Request {
+    /// nvidia-docker: declare a container and its GPU memory limit before
+    /// creation (`--nvidia-memory`, label, or the 1 GiB default).
+    Register {
+        /// The container being created.
+        container: ContainerId,
+        /// Declared maximum GPU memory.
+        limit: Bytes,
+    },
+    /// nvidia-docker: ask for the per-container directory that will be
+    /// volume-mounted into the container (wrapper module + socket).
+    RequestDir {
+        /// The registered container.
+        container: ContainerId,
+    },
+    /// Wrapper: permission to allocate `size` (already adjusted for pitch
+    /// or managed granularity). The reply may be withheld — suspension.
+    AllocRequest {
+        /// Requesting container.
+        container: ContainerId,
+        /// Requesting process inside the container.
+        pid: u64,
+        /// Adjusted allocation size.
+        size: Bytes,
+        /// Originating CUDA API.
+        api: ApiKind,
+    },
+    /// Wrapper: the real CUDA allocation succeeded at `addr`.
+    AllocDone {
+        /// Allocating container.
+        container: ContainerId,
+        /// Allocating process.
+        pid: u64,
+        /// Device address returned by CUDA.
+        addr: u64,
+        /// Adjusted size actually charged.
+        size: Bytes,
+    },
+    /// Wrapper: the real CUDA allocation *failed* after a grant (device
+    /// fragmentation); the scheduler must release the reservation.
+    AllocFailed {
+        /// Container whose allocation failed.
+        container: ContainerId,
+        /// Process whose allocation failed.
+        pid: u64,
+        /// Size that had been granted.
+        size: Bytes,
+    },
+    /// Wrapper: `cudaFree(addr)` completed.
+    Free {
+        /// Freeing container.
+        container: ContainerId,
+        /// Freeing process.
+        pid: u64,
+        /// Freed device address.
+        addr: u64,
+    },
+    /// Wrapper: serve `cudaMemGetInfo` from the scheduler's books.
+    MemInfo {
+        /// Asking container.
+        container: ContainerId,
+        /// Asking process.
+        pid: u64,
+    },
+    /// Wrapper: `__cudaUnregisterFatBinary` fired — the process exited;
+    /// drop all accounting for this pid.
+    ProcessExit {
+        /// Container whose process exited.
+        container: ContainerId,
+        /// The exiting process.
+        pid: u64,
+    },
+    /// nvidia-docker-plugin: the container's dummy volume unmounted — the
+    /// container stopped; drop all accounting for it.
+    ContainerClose {
+        /// The stopped container.
+        container: ContainerId,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Responses sent *from* the scheduler.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// Generic acknowledgement.
+    Ok,
+    /// Reply to [`Request::RequestDir`].
+    Dir {
+        /// Host path of the per-container volume directory.
+        path: String,
+    },
+    /// Reply to [`Request::AllocRequest`] (possibly after suspension).
+    Alloc {
+        /// The verdict.
+        decision: AllocDecision,
+    },
+    /// Reply to [`Request::Free`].
+    Freed {
+        /// Bytes the scheduler had on its books for the address (zero for
+        /// an unknown address).
+        size: Bytes,
+    },
+    /// Reply to [`Request::MemInfo`] — answered from scheduler
+    /// book-keeping, *not* the device (which is why the paper measured
+    /// this API faster under ConVGPU).
+    MemInfo {
+        /// Free bytes from the container's viewpoint.
+        free: Bytes,
+        /// Total bytes from the container's viewpoint (its limit).
+        total: Bytes,
+    },
+    /// Protocol or state error.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Reply to [`Request::Ping`].
+    Pong,
+}
+
+/// Correlation envelope: `id` ties a [`Response`] to its [`Request`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Envelope<T> {
+    /// Correlation id, unique per connection.
+    pub id: u64,
+    /// The payload.
+    pub body: T,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_json_round_trip() {
+        let reqs = vec![
+            Request::Register {
+                container: ContainerId(3),
+                limit: Bytes::mib(512),
+            },
+            Request::RequestDir {
+                container: ContainerId(3),
+            },
+            Request::AllocRequest {
+                container: ContainerId(3),
+                pid: 42,
+                size: Bytes::mib(128),
+                api: ApiKind::MallocManaged,
+            },
+            Request::AllocDone {
+                container: ContainerId(3),
+                pid: 42,
+                addr: 0x7000_0000,
+                size: Bytes::mib(128),
+            },
+            Request::AllocFailed {
+                container: ContainerId(3),
+                pid: 42,
+                size: Bytes::mib(128),
+            },
+            Request::Free {
+                container: ContainerId(3),
+                pid: 42,
+                addr: 0x7000_0000,
+            },
+            Request::MemInfo {
+                container: ContainerId(3),
+                pid: 42,
+            },
+            Request::ProcessExit {
+                container: ContainerId(3),
+                pid: 42,
+            },
+            Request::ContainerClose {
+                container: ContainerId(3),
+            },
+            Request::Ping,
+        ];
+        for req in reqs {
+            let env = Envelope { id: 7, body: req.clone() };
+            let json = serde_json::to_string(&env).unwrap();
+            let back: Envelope<Request> = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.id, 7);
+            assert_eq!(back.body, req);
+        }
+    }
+
+    #[test]
+    fn response_json_round_trip() {
+        let resps = vec![
+            Response::Ok,
+            Response::Dir {
+                path: "/var/lib/convgpu/cnt-0003".into(),
+            },
+            Response::Alloc {
+                decision: AllocDecision::Granted,
+            },
+            Response::Alloc {
+                decision: AllocDecision::Rejected,
+            },
+            Response::Freed {
+                size: Bytes::mib(64),
+            },
+            Response::MemInfo {
+                free: Bytes::mib(100),
+                total: Bytes::mib(512),
+            },
+            Response::Error {
+                message: "unregistered container".into(),
+            },
+            Response::Pong,
+        ];
+        for resp in resps {
+            let env = Envelope { id: 1, body: resp.clone() };
+            let json = serde_json::to_string(&env).unwrap();
+            let back: Envelope<Response> = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.body, resp);
+        }
+    }
+
+    #[test]
+    fn wire_format_is_snake_case_tagged() {
+        let json = serde_json::to_string(&Request::Ping).unwrap();
+        assert_eq!(json, r#"{"type":"ping"}"#);
+        let json = serde_json::to_string(&Request::AllocRequest {
+            container: ContainerId(1),
+            pid: 2,
+            size: Bytes::new(3),
+            api: ApiKind::Malloc,
+        })
+        .unwrap();
+        assert!(json.contains(r#""type":"alloc_request""#), "{json}");
+        assert!(json.contains(r#""api":"malloc""#), "{json}");
+    }
+
+    #[test]
+    fn api_names_match_cuda() {
+        assert_eq!(ApiKind::Malloc.api_name(), "cudaMalloc");
+        assert_eq!(ApiKind::MallocPitch.api_name(), "cudaMallocPitch");
+        assert_eq!(ApiKind::Malloc3D.api_name(), "cudaMalloc3D");
+        assert_eq!(ApiKind::MallocManaged.api_name(), "cudaMallocManaged");
+    }
+}

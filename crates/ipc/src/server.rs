@@ -1,0 +1,336 @@
+//! The scheduler side of the socket: accept loop, per-connection readers,
+//! and deferred replies.
+//!
+//! The key requirement comes from the paper's suspension mechanism: when a
+//! container must wait for memory, the scheduler simply *does not answer
+//! yet*. [`Reply`] is therefore a detachable one-shot handle — the handler
+//! can stash it in the suspended-container queue and fire it minutes later
+//! from whatever thread processes the memory release.
+
+use crate::codec::{read_json, write_json};
+use crate::message::{Envelope, Request, Response};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Identifies one accepted connection for the handler's lifetime hooks.
+pub type ConnId = u64;
+
+/// Server-side request callback.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// A request arrived on connection `conn`. Reply now or stash `reply`
+    /// and answer later (suspension).
+    fn on_request(&self, conn: ConnId, req: Request, reply: Reply);
+
+    /// Connection `conn` closed (client process or container died).
+    fn on_disconnect(&self, conn: ConnId) {
+        let _ = conn;
+    }
+}
+
+/// One-shot deferred reply handle.
+pub struct Reply {
+    writer: Arc<Mutex<UnixStream>>,
+    id: u64,
+}
+
+impl Reply {
+    /// Send the response. Errors (client already gone) are swallowed: the
+    /// scheduler must not crash because a container died mid-wait — the
+    /// disconnect path reclaims its state instead.
+    pub fn send(self, resp: Response) {
+        let mut w = self.writer.lock();
+        let _ = write_json(&mut *w, &Envelope {
+            id: self.id,
+            body: resp,
+        });
+    }
+}
+
+struct ServerShared {
+    handler: Arc<dyn RequestHandler>,
+    shutting_down: AtomicBool,
+    conns: Mutex<HashMap<ConnId, Arc<Mutex<UnixStream>>>>,
+    next_conn: AtomicU64,
+}
+
+/// A UNIX-socket JSON-protocol server.
+pub struct SocketServer {
+    path: PathBuf,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Bind `path` (removing a stale socket file first) and start
+    /// accepting. Each connection gets its own reader thread; requests are
+    /// dispatched to `handler`.
+    pub fn bind(path: &Path, handler: Arc<dyn RequestHandler>) -> io::Result<SocketServer> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        let shared = Arc::new(ServerShared {
+            handler,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("convgpu-ipc-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(SocketServer {
+            path: path.to_path_buf(),
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The socket path this server listens on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stop accepting, close every live connection, and join the accept
+    /// loop. Reader threads exit as their streams shut down.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throw-away connection.
+        let _ = UnixStream::connect(&self.path);
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.lock().shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: UnixListener, shared: Arc<ServerShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => break,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let writer = Arc::new(Mutex::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        }));
+        shared
+            .conns
+            .lock()
+            .insert(conn_id, Arc::clone(&writer));
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name(format!("convgpu-ipc-conn-{conn_id}"))
+            .spawn(move || {
+                reader_loop(stream, writer, conn_id, &conn_shared);
+                conn_shared.conns.lock().remove(&conn_id);
+                if !conn_shared.shutting_down.load(Ordering::SeqCst) {
+                    conn_shared.handler.on_disconnect(conn_id);
+                }
+            });
+    }
+}
+
+fn reader_loop(
+    stream: UnixStream,
+    writer: Arc<Mutex<UnixStream>>,
+    conn_id: ConnId,
+    shared: &ServerShared,
+) {
+    let mut reader = BufReader::new(stream);
+    // Errors (malformed input) and EOF both end the connection.
+    loop {
+        match read_json::<Envelope<Request>, _>(&mut reader) {
+            Ok(Some(env)) => {
+                let reply = Reply {
+                    writer: Arc::clone(&writer),
+                    id: env.id,
+                };
+                shared.handler.on_request(conn_id, env.body, reply);
+            }
+            Ok(None) => {
+                debug_log(&format!("conn {conn_id}: EOF"));
+                break;
+            }
+            Err(e) => {
+                debug_log(&format!("conn {conn_id}: read error: {e}"));
+                break;
+            }
+        }
+    }
+}
+
+/// Stderr diagnostics, enabled by `CONVGPU_IPC_DEBUG=1` (protocol-level
+/// troubleshooting; silent otherwise).
+fn debug_log(msg: &str) {
+    if std::env::var_os("CONVGPU_IPC_DEBUG").is_some() {
+        eprintln!("[convgpu-ipc] {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::AllocDecision;
+    use convgpu_sim_core::ids::ContainerId;
+    use convgpu_sim_core::units::Bytes;
+    use std::io::Write;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_sock(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "convgpu-ipc-test-{}-{}",
+            std::process::id(),
+            name
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sched.sock")
+    }
+
+    /// Echo handler: answers Ping with Pong, AllocRequest with Granted,
+    /// anything else with Ok.
+    struct Echo {
+        disconnects: AtomicUsize,
+    }
+
+    impl RequestHandler for Echo {
+        fn on_request(&self, _conn: ConnId, req: Request, reply: Reply) {
+            match req {
+                Request::Ping => reply.send(Response::Pong),
+                Request::AllocRequest { .. } => reply.send(Response::Alloc {
+                    decision: AllocDecision::Granted,
+                }),
+                _ => reply.send(Response::Ok),
+            }
+        }
+        fn on_disconnect(&self, _conn: ConnId) {
+            self.disconnects.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn serves_requests_and_notices_disconnects() {
+        let path = temp_sock("echo");
+        let handler = Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        });
+        let server = SocketServer::bind(&path, handler.clone()).unwrap();
+
+        {
+            let mut stream = UnixStream::connect(&path).unwrap();
+            write_json(
+                &mut stream,
+                &Envelope {
+                    id: 1,
+                    body: Request::Ping,
+                },
+            )
+            .unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let resp: Envelope<Response> = read_json(&mut r).unwrap().unwrap();
+            assert_eq!(resp.id, 1);
+            assert_eq!(resp.body, Response::Pong);
+
+            write_json(
+                &mut stream,
+                &Envelope {
+                    id: 2,
+                    body: Request::AllocRequest {
+                        container: ContainerId(1),
+                        pid: 1,
+                        size: Bytes::mib(1),
+                        api: crate::message::ApiKind::Malloc,
+                    },
+                },
+            )
+            .unwrap();
+            let resp: Envelope<Response> = read_json(&mut r).unwrap().unwrap();
+            assert_eq!(
+                resp.body,
+                Response::Alloc {
+                    decision: AllocDecision::Granted
+                }
+            );
+        } // stream drops → disconnect
+
+        // Wait for the disconnect callback.
+        for _ in 0..100 {
+            if handler.disconnects.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(handler.disconnects.load(Ordering::SeqCst), 1);
+        server.shutdown();
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn malformed_input_only_kills_that_connection() {
+        let path = temp_sock("malformed");
+        let handler = Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        });
+        let server = SocketServer::bind(&path, handler.clone()).unwrap();
+
+        let mut bad = UnixStream::connect(&path).unwrap();
+        bad.write_all(b"this is not json\n").unwrap();
+        bad.flush().unwrap();
+
+        // A well-behaved client still works.
+        let mut good = UnixStream::connect(&path).unwrap();
+        write_json(
+            &mut good,
+            &Envelope {
+                id: 5,
+                body: Request::Ping,
+            },
+        )
+        .unwrap();
+        let mut r = BufReader::new(good.try_clone().unwrap());
+        let resp: Envelope<Response> = read_json(&mut r).unwrap().unwrap();
+        assert_eq!(resp.body, Response::Pong);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bind_replaces_stale_socket_file() {
+        let path = temp_sock("stale");
+        std::fs::write(&path, b"stale").unwrap();
+        let handler = Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        });
+        let server = SocketServer::bind(&path, handler).unwrap();
+        assert!(UnixStream::connect(&path).is_ok());
+        server.shutdown();
+    }
+}

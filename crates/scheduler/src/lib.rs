@@ -1,0 +1,53 @@
+//! The ConVGPU **GPU memory scheduler** (paper §III-D) — the primary
+//! contribution of the paper.
+//!
+//! The scheduler "determines to accept, pause, or reject every GPU memory
+//! allocation from the containers". It is implemented here as a *pure
+//! synchronous state machine*: every entry point takes the current time and
+//! returns the actions to perform (replies to release, containers to
+//! resume). Two drivers wrap it:
+//!
+//! * the live service in `convgpu-core`, which parks withheld replies on
+//!   real UNIX-socket connections, and
+//! * the discrete-event harness in `convgpu-bench`, which replays the
+//!   paper's Figs. 7/8 sweeps in virtual time.
+//!
+//! Both therefore execute the identical decision logic, which is the
+//! property that makes the simulated policy experiments meaningful.
+//!
+//! Modules:
+//! * [`state`] — per-container records: declared limit, *assigned*
+//!   (guaranteed) budget, live allocations, per-pid context charges,
+//!   pending (suspended) requests, suspension metrics.
+//! * [`core`] — the [`core::Scheduler`] state machine: admission,
+//!   suspension, the full-guarantee resume rule (Fig. 3d), redistribution
+//!   on container exit, and leak reclamation.
+//! * [`policy`] — the four paper policies (FIFO, Best-Fit, Recent-Use,
+//!   Random) behind one trait.
+//! * [`metrics`] — per-container and aggregate suspension statistics
+//!   (paper Fig. 8 / Table V).
+//! * [`multi_gpu`] — the paper's §V future-work extension: one scheduler
+//!   per device plus a placement policy.
+//! * [`cluster`] — the other §V item: Docker-Swarm-style dispatch of
+//!   containers across multi-GPU nodes.
+//! * [`deadlock`] — stall detection used to *demonstrate* that ConVGPU's
+//!   guarantee discipline avoids the deadlock of naive sharing.
+
+pub mod cluster;
+pub mod core;
+pub mod deadlock;
+pub mod log;
+pub mod metrics;
+pub mod multi_gpu;
+pub mod policy;
+pub mod state;
+pub mod timeline;
+
+pub use crate::core::{AllocOutcome, ResumeAction, SchedError, Scheduler, SchedulerConfig};
+pub use cluster::{ClusterNode, ClusterScheduler, SwarmStrategy};
+pub use log::{Decision, DecisionLog, LogEntry};
+pub use metrics::{AggregateMetrics, ContainerMetrics};
+pub use multi_gpu::{MultiGpuScheduler, PlacementPolicy};
+pub use policy::{CandidateView, Policy, PolicyKind};
+pub use state::{ContainerRecord, ContainerState, ResumeRule};
+pub use timeline::{UtilizationSample, UtilizationTimeline};

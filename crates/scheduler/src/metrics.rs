@@ -1,0 +1,177 @@
+//! Suspension and throughput metrics (paper Fig. 8 / Table V).
+//!
+//! The paper's two headline measurements per experiment are the **finished
+//! time** (when the last of N containers completed — computed by the
+//! harness from close timestamps) and the **average suspended time** per
+//! container. Both derive from the per-container records kept by the
+//! scheduler; this module snapshots and aggregates them.
+
+use crate::state::{ContainerRecord, ContainerState};
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::{SimDuration, SimTime};
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one container's schedule history.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ContainerMetrics {
+    /// The container.
+    pub id: ContainerId,
+    /// Declared limit.
+    pub limit: Bytes,
+    /// Registration time.
+    pub registered_at: SimTime,
+    /// Close time, if closed.
+    pub closed_at: Option<SimTime>,
+    /// Total time spent with a parked allocation request.
+    pub total_suspended: SimDuration,
+    /// Number of suspension episodes.
+    pub suspend_episodes: u64,
+    /// Grants issued.
+    pub granted_allocs: u64,
+    /// Rejections issued.
+    pub rejected_allocs: u64,
+}
+
+impl From<&ContainerRecord> for ContainerMetrics {
+    fn from(r: &ContainerRecord) -> Self {
+        ContainerMetrics {
+            id: r.id,
+            limit: r.limit,
+            registered_at: r.registered_at,
+            closed_at: r.closed_at,
+            total_suspended: r.total_suspended,
+            suspend_episodes: r.suspend_episodes,
+            granted_allocs: r.granted_allocs,
+            rejected_allocs: r.rejected_allocs,
+        }
+    }
+}
+
+impl ContainerMetrics {
+    /// Wall/virtual time from registration to close (`None` while open).
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.closed_at
+            .map(|c| c.saturating_since(self.registered_at))
+    }
+}
+
+/// Aggregate over one experiment run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AggregateMetrics {
+    /// Containers observed.
+    pub containers: usize,
+    /// Containers that closed.
+    pub closed: usize,
+    /// Mean suspended time per container, in seconds (paper Fig. 8).
+    pub avg_suspended_secs: f64,
+    /// Largest single suspended time, seconds.
+    pub max_suspended_secs: f64,
+    /// Containers that were suspended at least once.
+    pub ever_suspended: usize,
+    /// Finished time: latest close minus earliest registration, seconds
+    /// (paper Fig. 7). Zero when nothing closed.
+    pub finished_time_secs: f64,
+    /// Total grants across containers.
+    pub total_granted: u64,
+    /// Total rejections across containers.
+    pub total_rejected: u64,
+}
+
+/// Aggregate a set of per-container snapshots.
+pub fn aggregate(metrics: &[ContainerMetrics]) -> AggregateMetrics {
+    let containers = metrics.len();
+    let closed = metrics.iter().filter(|m| m.closed_at.is_some()).count();
+    let sum_susp: f64 = metrics
+        .iter()
+        .map(|m| m.total_suspended.as_secs_f64())
+        .sum();
+    let max_susp = metrics
+        .iter()
+        .map(|m| m.total_suspended.as_secs_f64())
+        .fold(0.0_f64, f64::max);
+    let first_reg = metrics.iter().map(|m| m.registered_at).min();
+    let last_close = metrics.iter().filter_map(|m| m.closed_at).max();
+    let finished = match (first_reg, last_close) {
+        (Some(reg), Some(close)) => close.saturating_since(reg).as_secs_f64(),
+        _ => 0.0,
+    };
+    AggregateMetrics {
+        containers,
+        closed,
+        avg_suspended_secs: if containers == 0 {
+            0.0
+        } else {
+            sum_susp / containers as f64
+        },
+        max_suspended_secs: max_susp,
+        ever_suspended: metrics.iter().filter(|m| m.suspend_episodes > 0).count(),
+        finished_time_secs: finished,
+        total_granted: metrics.iter().map(|m| m.granted_allocs).sum(),
+        total_rejected: metrics.iter().map(|m| m.rejected_allocs).sum(),
+    }
+}
+
+/// Collect metrics from a scheduler (convenience for harnesses).
+pub fn collect<'a>(records: impl Iterator<Item = &'a ContainerRecord>) -> Vec<ContainerMetrics> {
+    let mut v: Vec<ContainerMetrics> = records.map(ContainerMetrics::from).collect();
+    v.sort_by_key(|m| m.id);
+    v
+}
+
+/// True when every container has closed (experiment completion check).
+pub fn all_closed<'a>(mut records: impl Iterator<Item = &'a ContainerRecord>) -> bool {
+    records.all(|r| r.state == ContainerState::Closed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(id: u64, reg: u64, close: Option<u64>, susp: u64, episodes: u64) -> ContainerMetrics {
+        ContainerMetrics {
+            id: ContainerId(id),
+            limit: Bytes::mib(256),
+            registered_at: SimTime::from_secs(reg),
+            closed_at: close.map(SimTime::from_secs),
+            total_suspended: SimDuration::from_secs(susp),
+            suspend_episodes: episodes,
+            granted_allocs: 2,
+            rejected_allocs: 0,
+        }
+    }
+
+    #[test]
+    fn aggregate_computes_paper_quantities() {
+        let ms = vec![
+            m(1, 0, Some(50), 0, 0),
+            m(2, 5, Some(80), 10, 1),
+            m(3, 10, Some(120), 30, 2),
+        ];
+        let agg = aggregate(&ms);
+        assert_eq!(agg.containers, 3);
+        assert_eq!(agg.closed, 3);
+        assert!((agg.avg_suspended_secs - 40.0 / 3.0).abs() < 1e-9);
+        assert_eq!(agg.max_suspended_secs, 30.0);
+        assert_eq!(agg.ever_suspended, 2);
+        assert_eq!(agg.finished_time_secs, 120.0, "last close - first reg");
+        assert_eq!(agg.total_granted, 6);
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_zeroed() {
+        let agg = aggregate(&[]);
+        assert_eq!(agg.containers, 0);
+        assert_eq!(agg.avg_suspended_secs, 0.0);
+        assert_eq!(agg.finished_time_secs, 0.0);
+    }
+
+    #[test]
+    fn turnaround() {
+        assert_eq!(
+            m(1, 10, Some(35), 0, 0).turnaround(),
+            Some(SimDuration::from_secs(25))
+        );
+        assert_eq!(m(1, 10, None, 0, 0).turnaround(), None);
+    }
+}

@@ -1,0 +1,353 @@
+//! Multi-GPU extension (paper §V: "Our future work will extend the
+//! ConVGPU in a multiple GPU with an appropriate algorithm").
+//!
+//! The natural decomposition keeps the single-device scheduler untouched:
+//! one [`Scheduler`] per device plus a **placement policy** that picks the
+//! device when a container registers. Every later message is routed by the
+//! container → device map. Three placement policies are provided and
+//! compared in the `multi_gpu_placement` bench.
+
+use crate::core::{AllocOutcome, ResumeAction, SchedError, Scheduler, SchedulerConfig};
+use crate::policy::PolicyKind;
+use convgpu_ipc::message::ApiKind;
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::SimTime;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How to choose the device for a new container.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PlacementPolicy {
+    /// Cycle through devices regardless of load.
+    RoundRobin,
+    /// The device with the most unassigned memory (load balancing).
+    MostFree,
+    /// The device whose unassigned memory fits the requirement most
+    /// tightly (packing; leaves big holes for big containers).
+    BestFitDevice,
+}
+
+/// Index of a device within a [`MultiGpuScheduler`].
+pub type DeviceIndex = usize;
+
+/// A scheduler spanning several GPUs.
+pub struct MultiGpuScheduler {
+    devices: Vec<Scheduler>,
+    placement: PlacementPolicy,
+    homes: HashMap<ContainerId, DeviceIndex>,
+    rr_next: usize,
+}
+
+impl MultiGpuScheduler {
+    /// Build with one single-device scheduler per capacity entry, all
+    /// using the same redistribution policy kind.
+    pub fn new(
+        capacities: &[Bytes],
+        sched_policy: PolicyKind,
+        placement: PlacementPolicy,
+        seed: u64,
+    ) -> Self {
+        assert!(!capacities.is_empty(), "need at least one device");
+        let devices = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &cap)| {
+                Scheduler::new(
+                    SchedulerConfig::with_capacity(cap),
+                    sched_policy.build(seed.wrapping_add(i as u64)),
+                )
+            })
+            .collect();
+        MultiGpuScheduler {
+            devices,
+            placement,
+            homes: HashMap::new(),
+            rr_next: 0,
+        }
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Which device hosts `id`, if registered.
+    pub fn home_of(&self, id: ContainerId) -> Option<DeviceIndex> {
+        self.homes.get(&id).copied()
+    }
+
+    /// Read access to a device scheduler.
+    pub fn device(&self, idx: DeviceIndex) -> &Scheduler {
+        &self.devices[idx]
+    }
+
+    fn pick_device(&mut self, requirement_hint: Bytes) -> DeviceIndex {
+        match self.placement {
+            PlacementPolicy::RoundRobin => {
+                let idx = self.rr_next % self.devices.len();
+                self.rr_next = self.rr_next.wrapping_add(1);
+                idx
+            }
+            PlacementPolicy::MostFree => self
+                .devices
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, d)| (d.unassigned(), std::cmp::Reverse(*i)))
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            PlacementPolicy::BestFitDevice => {
+                let fitting = self
+                    .devices
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.unassigned() >= requirement_hint)
+                    .min_by_key(|(i, d)| (d.unassigned(), *i));
+                match fitting {
+                    Some((i, _)) => i,
+                    // Nothing fits now: fall back to the emptiest device,
+                    // where the container will be suspended least long.
+                    None => self
+                        .devices
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(i, d)| (d.unassigned(), std::cmp::Reverse(*i)))
+                        .map(|(i, _)| i)
+                        .expect("non-empty"),
+                }
+            }
+        }
+    }
+
+    /// Register a container, placing it on a device. Returns the device
+    /// chosen.
+    pub fn register(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        now: SimTime,
+    ) -> Result<DeviceIndex, SchedError> {
+        if self.homes.contains_key(&id) {
+            return Err(SchedError::AlreadyRegistered(id));
+        }
+        // The hint includes the context overhead the device scheduler
+        // will add.
+        let hint = limit + Bytes::mib(66);
+        let mut idx = self.pick_device(hint);
+        // A device that cannot ever host the limit is skipped in favour of
+        // any that can.
+        if self.devices[idx].config().capacity < hint {
+            if let Some((alt, _)) = self
+                .devices
+                .iter()
+                .enumerate()
+                .find(|(_, d)| d.config().capacity >= hint)
+            {
+                idx = alt;
+            }
+        }
+        self.devices[idx].register(id, limit, now)?;
+        self.homes.insert(id, idx);
+        Ok(idx)
+    }
+
+    fn route(&mut self, id: ContainerId) -> Result<&mut Scheduler, SchedError> {
+        let idx = *self
+            .homes
+            .get(&id)
+            .ok_or(SchedError::UnknownContainer(id))?;
+        Ok(&mut self.devices[idx])
+    }
+
+    /// Route an allocation request to the container's device.
+    pub fn alloc_request(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+        now: SimTime,
+    ) -> Result<(AllocOutcome, Vec<ResumeAction>), SchedError> {
+        self.route(id)?.alloc_request(id, pid, size, api, now)
+    }
+
+    /// Route an allocation completion.
+    pub fn alloc_done(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<(), SchedError> {
+        self.route(id)?.alloc_done(id, pid, addr, size, now)
+    }
+
+    /// Route a free.
+    pub fn free(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> Result<(Bytes, Vec<ResumeAction>), SchedError> {
+        self.route(id)?.free(id, pid, addr, now)
+    }
+
+    /// Route a process exit.
+    pub fn process_exit(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        self.route(id)?.process_exit(id, pid, now)
+    }
+
+    /// Route a container close.
+    pub fn container_close(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        self.route(id)?.container_close(id, now)
+    }
+
+    /// Memory not reserved on any device (cluster-level scoring).
+    pub fn total_unassigned(&self) -> Bytes {
+        self.devices.iter().map(|d| d.unassigned()).sum()
+    }
+
+    /// Total capacity across devices.
+    pub fn total_capacity(&self) -> Bytes {
+        self.devices.iter().map(|d| d.config().capacity).sum()
+    }
+
+    /// Largest single-device capacity (admission bound for one container).
+    pub fn max_device_capacity(&self) -> Bytes {
+        self.devices
+            .iter()
+            .map(|d| d.config().capacity)
+            .max()
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Number of containers registered and not yet closed.
+    pub fn open_containers(&self) -> usize {
+        self.devices
+            .iter()
+            .flat_map(|d| d.containers())
+            .filter(|r| r.state != crate::state::ContainerState::Closed)
+            .count()
+    }
+
+    /// Check invariants on every device.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, d) in self.devices.iter().enumerate() {
+            d.check_invariants().map_err(|e| format!("device {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gpu(placement: PlacementPolicy) -> MultiGpuScheduler {
+        MultiGpuScheduler::new(
+            &[Bytes::gib(5), Bytes::gib(5)],
+            PolicyKind::BestFit,
+            placement,
+            42,
+        )
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut m = two_gpu(PlacementPolicy::RoundRobin);
+        let a = m.register(ContainerId(1), Bytes::gib(1), t(0)).unwrap();
+        let b = m.register(ContainerId(2), Bytes::gib(1), t(1)).unwrap();
+        let c = m.register(ContainerId(3), Bytes::gib(1), t(2)).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn most_free_balances_load() {
+        let mut m = two_gpu(PlacementPolicy::MostFree);
+        m.register(ContainerId(1), Bytes::gib(4), t(0)).unwrap(); // dev 0
+        let b = m.register(ContainerId(2), Bytes::gib(1), t(1)).unwrap();
+        assert_eq!(b, 1, "second lands on the emptier device");
+    }
+
+    #[test]
+    fn best_fit_device_packs_tightly() {
+        let mut m = MultiGpuScheduler::new(
+            &[Bytes::gib(16), Bytes::gib(5)],
+            PolicyKind::Fifo,
+            PlacementPolicy::BestFitDevice,
+            1,
+        );
+        // 1 GiB container: the 5 GiB device fits more tightly.
+        let idx = m.register(ContainerId(1), Bytes::gib(1), t(0)).unwrap();
+        assert_eq!(idx, 1);
+        // 10 GiB container only fits on the big device.
+        let idx = m.register(ContainerId(2), Bytes::gib(10), t(1)).unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn oversized_limits_route_to_a_capable_device() {
+        let mut m = MultiGpuScheduler::new(
+            &[Bytes::gib(2), Bytes::gib(16)],
+            PolicyKind::Fifo,
+            PlacementPolicy::RoundRobin,
+            1,
+        );
+        // Round-robin would pick device 0, which can never host 8 GiB.
+        let idx = m.register(ContainerId(1), Bytes::gib(8), t(0)).unwrap();
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn routing_follows_home_device() {
+        let mut m = two_gpu(PlacementPolicy::RoundRobin);
+        m.register(ContainerId(1), Bytes::gib(1), t(0)).unwrap();
+        m.register(ContainerId(2), Bytes::gib(1), t(0)).unwrap();
+        let (out, _) = m
+            .alloc_request(ContainerId(2), 7, Bytes::gib(1), ApiKind::Malloc, t(1))
+            .unwrap();
+        assert_eq!(out, AllocOutcome::Granted);
+        assert_eq!(m.device(1).container(ContainerId(2)).unwrap().granted_allocs, 1);
+        assert!(m.device(0).container(ContainerId(2)).is_none());
+        m.container_close(ContainerId(2), t(2)).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unknown_container_routing_errors() {
+        let mut m = two_gpu(PlacementPolicy::RoundRobin);
+        assert_eq!(
+            m.alloc_request(ContainerId(9), 1, Bytes::mib(1), ApiKind::Malloc, t(0))
+                .unwrap_err(),
+            SchedError::UnknownContainer(ContainerId(9))
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut m = two_gpu(PlacementPolicy::RoundRobin);
+        m.register(ContainerId(1), Bytes::gib(1), t(0)).unwrap();
+        assert_eq!(
+            m.register(ContainerId(1), Bytes::gib(1), t(1)).unwrap_err(),
+            SchedError::AlreadyRegistered(ContainerId(1))
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! The four scheduling algorithms of §III-D.
+//!
+//! When a container exits, the scheduler repeatedly asks the policy which
+//! suspended container should receive the released memory next. The policy
+//! only *selects*; the scheduler does the topping-up ("assigns available
+//! memory to the container until the assigned memory reaches the required
+//! memory size"). Selection repeats until memory or candidates run out.
+//!
+//! * **FIFO** — oldest `registered_at` first.
+//! * **Best-Fit (BF)** — the container "whose insufficient memory is
+//!   closest, but not exceed to the remaining memory. If there is no such
+//!   container, it chooses the container which has the least insufficient
+//!   memory." Maximizes the number of full guarantees per release, which
+//!   is why the paper finds it fastest overall (Fig. 7) at the price of
+//!   longer individual waits under heavy load (Fig. 8).
+//! * **Recent-Use (RU)** — the most recently suspended container first.
+//! * **Random (Rand)** — uniform over suspended containers.
+
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::rng::DetRng;
+use convgpu_sim_core::time::SimTime;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// What a policy is allowed to see about a suspended container.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CandidateView {
+    /// The container.
+    pub id: ContainerId,
+    /// Registration time (FIFO key).
+    pub registered_at: SimTime,
+    /// Start of the current suspension episode (RU key).
+    pub suspended_since: SimTime,
+    /// Memory missing from the full guarantee (BF key).
+    pub deficit: Bytes,
+}
+
+/// A container-selection policy.
+pub trait Policy: Send {
+    /// Human-readable policy name (table headers).
+    fn name(&self) -> &'static str;
+
+    /// Whether a selected container stays the top-up target across
+    /// release events until fully guaranteed ("assigns available memory
+    /// to the container until the assigned memory reaches the required
+    /// memory size", §III-D). Best-Fit re-selects on every release
+    /// instead — the behaviour behind the paper's observation that BF
+    /// can starve mismatched containers (Fig. 8 discussion).
+    fn sticky(&self) -> bool {
+        true
+    }
+
+    /// Choose the next candidate to top up, given `remaining` unassigned
+    /// memory. `candidates` is non-empty and `remaining` non-zero when
+    /// called. Returning `None` stops redistribution early (no built-in
+    /// policy does).
+    fn select(&mut self, candidates: &[CandidateView], remaining: Bytes) -> Option<ContainerId>;
+}
+
+/// First-in, first-out: the oldest *created* container.
+#[derive(Debug, Default)]
+pub struct FifoPolicy;
+
+impl Policy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn select(&mut self, candidates: &[CandidateView], _remaining: Bytes) -> Option<ContainerId> {
+        candidates
+            .iter()
+            .min_by_key(|c| (c.registered_at, c.id))
+            .map(|c| c.id)
+    }
+}
+
+/// Best-Fit: largest deficit that still fits the remaining memory;
+/// otherwise the smallest deficit overall.
+#[derive(Debug, Default)]
+pub struct BestFitPolicy;
+
+impl Policy for BestFitPolicy {
+    fn name(&self) -> &'static str {
+        "BF"
+    }
+
+    fn sticky(&self) -> bool {
+        false
+    }
+
+    fn select(&mut self, candidates: &[CandidateView], remaining: Bytes) -> Option<ContainerId> {
+        let fitting = candidates
+            .iter()
+            .filter(|c| c.deficit <= remaining)
+            // "closest, but not exceed": the largest fitting deficit.
+            .max_by_key(|c| (c.deficit, std::cmp::Reverse(c.id)));
+        match fitting {
+            Some(c) => Some(c.id),
+            None => candidates
+                .iter()
+                .min_by_key(|c| (c.deficit, c.id))
+                .map(|c| c.id),
+        }
+    }
+}
+
+/// Recent-Use: the container suspended most recently.
+#[derive(Debug, Default)]
+pub struct RecentUsePolicy;
+
+impl Policy for RecentUsePolicy {
+    fn name(&self) -> &'static str {
+        "RU"
+    }
+
+    fn select(&mut self, candidates: &[CandidateView], _remaining: Bytes) -> Option<ContainerId> {
+        candidates
+            .iter()
+            .max_by_key(|c| (c.suspended_since, std::cmp::Reverse(c.id)))
+            .map(|c| c.id)
+    }
+}
+
+/// Random: uniform over suspended containers, deterministic under a seed.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: DetRng,
+}
+
+impl RandomPolicy {
+    /// Seeded random policy.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: DetRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "Rand"
+    }
+
+    fn select(&mut self, candidates: &[CandidateView], _remaining: Bytes) -> Option<ContainerId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(self.rng.choose(candidates).id)
+    }
+}
+
+/// Policy selector used by configuration, traces and the bench harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PolicyKind {
+    /// First-in, first-out.
+    Fifo,
+    /// Best-Fit.
+    BestFit,
+    /// Recent-Use.
+    RecentUse,
+    /// Random (seeded).
+    Random,
+}
+
+impl PolicyKind {
+    /// All four, in the paper's table order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Fifo,
+        PolicyKind::BestFit,
+        PolicyKind::RecentUse,
+        PolicyKind::Random,
+    ];
+
+    /// Instantiate the policy; `seed` only matters for `Random`.
+    pub fn build(self, seed: u64) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Fifo => Box::new(FifoPolicy),
+            PolicyKind::BestFit => Box::new(BestFitPolicy),
+            PolicyKind::RecentUse => Box::new(RecentUsePolicy),
+            PolicyKind::Random => Box::new(RandomPolicy::new(seed)),
+        }
+    }
+
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::BestFit => "BF",
+            PolicyKind::RecentUse => "RU",
+            PolicyKind::Random => "Rand",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u64, reg: u64, susp: u64, deficit_mib: u64) -> CandidateView {
+        CandidateView {
+            id: ContainerId(id),
+            registered_at: SimTime::from_secs(reg),
+            suspended_since: SimTime::from_secs(susp),
+            deficit: Bytes::mib(deficit_mib),
+        }
+    }
+
+    #[test]
+    fn fifo_picks_oldest_registration() {
+        let mut p = FifoPolicy;
+        let cands = [cand(1, 30, 5, 100), cand(2, 10, 50, 100), cand(3, 20, 1, 100)];
+        assert_eq!(p.select(&cands, Bytes::mib(50)), Some(ContainerId(2)));
+    }
+
+    #[test]
+    fn fifo_ties_break_by_id() {
+        let mut p = FifoPolicy;
+        let cands = [cand(5, 10, 0, 1), cand(2, 10, 0, 1)];
+        assert_eq!(p.select(&cands, Bytes::mib(50)), Some(ContainerId(2)));
+    }
+
+    #[test]
+    fn best_fit_prefers_largest_fitting_deficit() {
+        let mut p = BestFitPolicy;
+        let cands = [cand(1, 0, 0, 100), cand(2, 0, 0, 300), cand(3, 0, 0, 500)];
+        // 350 MiB remaining: 300 fits best (closest without exceeding).
+        assert_eq!(p.select(&cands, Bytes::mib(350)), Some(ContainerId(2)));
+        // Exactly 500 remaining: 500 fits.
+        assert_eq!(p.select(&cands, Bytes::mib(500)), Some(ContainerId(3)));
+    }
+
+    #[test]
+    fn best_fit_falls_back_to_least_deficit() {
+        let mut p = BestFitPolicy;
+        let cands = [cand(1, 0, 0, 800), cand(2, 0, 0, 600)];
+        // Nothing fits in 100 MiB → least insufficient (600).
+        assert_eq!(p.select(&cands, Bytes::mib(100)), Some(ContainerId(2)));
+    }
+
+    #[test]
+    fn recent_use_picks_latest_suspension() {
+        let mut p = RecentUsePolicy;
+        let cands = [cand(1, 0, 10, 1), cand(2, 0, 99, 1), cand(3, 0, 50, 1)];
+        assert_eq!(p.select(&cands, Bytes::mib(1)), Some(ContainerId(2)));
+    }
+
+    #[test]
+    fn random_is_deterministic_under_seed_and_in_range() {
+        let cands = [cand(1, 0, 0, 1), cand(2, 0, 0, 1), cand(3, 0, 0, 1)];
+        let picks1: Vec<_> = {
+            let mut p = RandomPolicy::new(42);
+            (0..20).map(|_| p.select(&cands, Bytes::mib(1)).unwrap()).collect()
+        };
+        let picks2: Vec<_> = {
+            let mut p = RandomPolicy::new(42);
+            (0..20).map(|_| p.select(&cands, Bytes::mib(1)).unwrap()).collect()
+        };
+        assert_eq!(picks1, picks2);
+        assert!(picks1.iter().all(|c| (1..=3).contains(&c.as_u64())));
+        // All three candidates appear over 20 draws w.h.p.
+        for id in 1..=3 {
+            assert!(picks1.contains(&ContainerId(id)), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn kind_builds_matching_policy() {
+        for kind in PolicyKind::ALL {
+            let p = kind.build(1);
+            assert_eq!(p.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn only_best_fit_reselects() {
+        assert!(FifoPolicy.sticky());
+        assert!(!BestFitPolicy.sticky());
+        assert!(RecentUsePolicy.sticky());
+        assert!(RandomPolicy::new(0).sticky());
+    }
+}

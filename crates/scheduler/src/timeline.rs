@@ -1,0 +1,183 @@
+//! GPU memory utilization timeline.
+//!
+//! The paper reports completion and waiting times but never *utilization*
+//! — yet utilization is the quantity Best-Fit actually optimizes ("it
+//! maximizes the GPU memory throughput", §IV-C). The timeline records
+//! `(time, assigned, used)` after every scheduler event, and the
+//! extension experiment `repro_utilization` integrates it into the
+//! time-weighted mean utilization per policy.
+
+use convgpu_sim_core::time::SimTime;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// One utilization observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Observation time.
+    pub at: SimTime,
+    /// Total reserved memory (`Σ assigned`).
+    pub assigned: Bytes,
+    /// Total live usage (`Σ used`).
+    pub used: Bytes,
+}
+
+/// Step-function timeline of scheduler memory state.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UtilizationTimeline {
+    samples: Vec<UtilizationSample>,
+}
+
+impl UtilizationTimeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sample; consecutive identical states are merged (the
+    /// timeline is a step function, so repeats carry no information).
+    /// A timestamp earlier than the last sample (possible under clock
+    /// skew between concurrent observers) is clamped forward — the
+    /// *order* of scheduler decisions is authoritative, not the reading
+    /// of the wall clock.
+    pub fn record(&mut self, at: SimTime, assigned: Bytes, used: Bytes) {
+        let at = match self.samples.last() {
+            Some(last) if last.assigned == assigned && last.used == used => return,
+            Some(last) => at.max(last.at),
+            None => at,
+        };
+        self.samples.push(UtilizationSample { at, assigned, used });
+    }
+
+    /// All samples, oldest first.
+    pub fn samples(&self) -> &[UtilizationSample] {
+        &self.samples
+    }
+
+    /// Highest observed usage.
+    pub fn peak_used(&self) -> Bytes {
+        self.samples
+            .iter()
+            .map(|s| s.used)
+            .max()
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// Time-weighted mean of `used / capacity` over `[start of record,
+    /// end]`. Zero for an empty timeline or a zero-length window.
+    pub fn mean_used_fraction(&self, capacity: Bytes, end: SimTime) -> f64 {
+        if self.samples.is_empty() || capacity.is_zero() {
+            return 0.0;
+        }
+        let mut weighted = 0.0_f64;
+        let t0 = self.samples[0].at;
+        let total = end.saturating_since(t0).as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        for (i, s) in self.samples.iter().enumerate() {
+            let until = self
+                .samples
+                .get(i + 1)
+                .map(|n| n.at)
+                .unwrap_or(end)
+                .min(end);
+            let span = until.saturating_since(s.at).as_secs_f64();
+            weighted += span * (s.used.as_u64() as f64 / capacity.as_u64() as f64);
+        }
+        weighted / total
+    }
+
+    /// Same integral for the *assigned* (reserved) fraction.
+    pub fn mean_assigned_fraction(&self, capacity: Bytes, end: SimTime) -> f64 {
+        if self.samples.is_empty() || capacity.is_zero() {
+            return 0.0;
+        }
+        let t0 = self.samples[0].at;
+        let total = end.saturating_since(t0).as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let mut weighted = 0.0_f64;
+        for (i, s) in self.samples.iter().enumerate() {
+            let until = self
+                .samples
+                .get(i + 1)
+                .map(|n| n.at)
+                .unwrap_or(end)
+                .min(end);
+            let span = until.saturating_since(s.at).as_secs_f64();
+            weighted += span * (s.assigned.as_u64() as f64 / capacity.as_u64() as f64);
+        }
+        weighted / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_clamped() {
+        let mut tl = UtilizationTimeline::new();
+        tl.record(t(10), Bytes::mib(1), Bytes::mib(1));
+        tl.record(t(5), Bytes::mib(2), Bytes::mib(2)); // skewed observer
+        assert_eq!(tl.samples()[1].at, t(10), "clamped to the last sample");
+    }
+
+    #[test]
+    fn identical_states_are_merged() {
+        let mut tl = UtilizationTimeline::new();
+        tl.record(t(0), Bytes::mib(100), Bytes::mib(50));
+        tl.record(t(1), Bytes::mib(100), Bytes::mib(50));
+        tl.record(t(2), Bytes::mib(200), Bytes::mib(50));
+        assert_eq!(tl.samples().len(), 2);
+    }
+
+    #[test]
+    fn mean_used_fraction_integrates_the_step_function() {
+        let mut tl = UtilizationTimeline::new();
+        let cap = Bytes::mib(100);
+        // 0–10 s at 50 %, 10–20 s at 100 %.
+        tl.record(t(0), cap, Bytes::mib(50));
+        tl.record(t(10), cap, Bytes::mib(100));
+        let mean = tl.mean_used_fraction(cap, t(20));
+        assert!((mean - 0.75).abs() < 1e-9, "{mean}");
+        // Peak tracks the maximum.
+        assert_eq!(tl.peak_used(), Bytes::mib(100));
+    }
+
+    #[test]
+    fn assigned_and_used_fractions_differ() {
+        let mut tl = UtilizationTimeline::new();
+        let cap = Bytes::mib(100);
+        tl.record(t(0), Bytes::mib(80), Bytes::mib(20));
+        assert!((tl.mean_assigned_fraction(cap, t(10)) - 0.8).abs() < 1e-9);
+        assert!((tl.mean_used_fraction(cap, t(10)) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate_windows_are_zero() {
+        let tl = UtilizationTimeline::new();
+        assert_eq!(tl.mean_used_fraction(Bytes::mib(1), t(10)), 0.0);
+        let mut tl = UtilizationTimeline::new();
+        tl.record(t(5), Bytes::mib(1), Bytes::mib(1));
+        assert_eq!(tl.mean_used_fraction(Bytes::mib(1), t(5)), 0.0, "zero span");
+        assert_eq!(tl.mean_used_fraction(Bytes::ZERO, t(9)), 0.0, "zero capacity");
+    }
+
+    #[test]
+    fn end_clamps_trailing_samples() {
+        let mut tl = UtilizationTimeline::new();
+        let cap = Bytes::mib(100);
+        tl.record(t(0), cap, Bytes::mib(100));
+        tl.record(t(10), cap, Bytes::mib(0));
+        // Window ends at t=10: only the 100 % span counts.
+        let mean = tl.mean_used_fraction(cap, t(10));
+        assert!((mean - 1.0).abs() < 1e-9, "{mean}");
+    }
+}

@@ -1,0 +1,166 @@
+//! A small deterministic discrete-event queue.
+//!
+//! The scheduling-policy experiments (paper Figs. 7/8) replay container
+//! arrivals, allocations, kernel completions and exits in virtual time. The
+//! queue is a classic calendar: `(time, sequence, event)` min-heap. The
+//! monotonically increasing sequence number makes simultaneous events pop in
+//! insertion order, which keeps runs bit-for-bit reproducible under a fixed
+//! RNG seed — crucial because two of the paper's policies (Recent-Use and
+//! Random) are order- and RNG-sensitive.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: fires at `at`, ties broken by insertion order.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest entry is popped
+        // first, with the lowest sequence number winning ties.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list keyed by [`SimTime`].
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past (before the last popped time) is clamped to
+    /// the last popped time: handlers frequently schedule follow-up work
+    /// "now", and clamping keeps the popped sequence monotone.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.last_popped);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Remove and return the earliest event together with its fire time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.last_popped, "event queue went backwards");
+            self.last_popped = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Fire time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn current_time(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "late");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(10));
+        q.schedule(SimTime::from_secs(1), "past");
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(e, "past");
+        assert_eq!(at, SimTime::from_secs(10), "clamped to current time");
+    }
+
+    #[test]
+    fn current_time_tracks_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.current_time(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(4), ());
+        q.pop();
+        assert_eq!(q.current_time(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1) + SimDuration::from_millis(5), 7u8);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1_005_000_000)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Process-wide monotonic ID generation.
+//!
+//! Containers, allocations, processes and sockets all need unique IDs in
+//! both the live (multi-threaded) and simulated (single-threaded) stacks.
+//! A relaxed atomic counter is sufficient: IDs only need uniqueness, not
+//! ordering guarantees across threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic `u64` ID generator.
+///
+/// Separate instances produce independent streams; the deterministic
+/// experiments construct one generator per run so that container IDs are
+/// reproducible regardless of what other tests ran in the same process.
+#[derive(Debug)]
+pub struct IdGen {
+    next: AtomicU64,
+}
+
+impl IdGen {
+    /// A generator whose first ID is `first`.
+    pub const fn starting_at(first: u64) -> Self {
+        IdGen {
+            next: AtomicU64::new(first),
+        }
+    }
+
+    /// A generator starting at 1 (0 is reserved as a "nil" sentinel by
+    /// several callers).
+    pub const fn new() -> Self {
+        Self::starting_at(1)
+    }
+
+    /// Produce the next ID.
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Peek at the next ID without consuming it (diagnostics only; racy by
+    /// nature under concurrency).
+    pub fn peek(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for IdGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_ids() {
+        let g = IdGen::new();
+        assert_eq!(g.next(), 1);
+        assert_eq!(g.next(), 2);
+        assert_eq!(g.peek(), 3);
+    }
+
+    #[test]
+    fn starting_at_respected() {
+        let g = IdGen::starting_at(100);
+        assert_eq!(g.next(), 100);
+    }
+
+    #[test]
+    fn concurrent_ids_are_unique() {
+        let g = Arc::new(IdGen::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| g.next()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("thread panicked"))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8000, "ids must be unique");
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared identifier types.
+//!
+//! `ContainerId` is the vocabulary every layer speaks — the container
+//! runtime assigns it, nvidia-docker registers it with the scheduler, the
+//! wrapper stamps it on every protocol message. Defined here (the only
+//! crate everyone already depends on) so the layers agree on one type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one container across the runtime, middleware and scheduler.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ContainerId(pub u64);
+
+impl ContainerId {
+    /// Raw value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cnt-{:04}", self.0)
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for ContainerId {
+    fn from(v: u64) -> Self {
+        ContainerId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(ContainerId(7).to_string(), "cnt-0007");
+        assert_eq!(ContainerId(12345).to_string(), "cnt-12345");
+    }
+
+    #[test]
+    fn conversions() {
+        let c: ContainerId = 9u64.into();
+        assert_eq!(c.as_u64(), 9);
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic, splittable pseudo-random numbers.
+//!
+//! The paper's evaluation chooses container types "randomly" and one of the
+//! four policies (Rand) picks suspended containers at random. To make every
+//! experiment reproducible from a single `u64` seed — across platforms and
+//! across crate-version bumps — we implement the generator ourselves rather
+//! than depending on `rand`'s unspecified `StdRng` algorithm:
+//! SplitMix64 for seeding/splitting and xoshiro256** for the stream (the
+//! standard pairing recommended by the xoshiro authors).
+
+/// SplitMix64 step: used for seeding and for deriving child seeds.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Seed from a single `u64` via SplitMix64 (never yields the all-zero
+    /// state, which xoshiro cannot escape).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Derive an independent child generator. Experiments split one master
+    /// seed into per-repetition, per-container streams so that, e.g., adding
+    /// a policy does not perturb the workload draw of another policy.
+    pub fn split(&mut self, label: u64) -> DetRng {
+        let mut sm = self.next_u64() ^ label.wrapping_mul(0x9E3779B97F4A7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` using Lemire's multiply-shift with
+    /// rejection (unbiased).
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, len)`; convenience for slice picks.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive lo must be <= hi");
+        if lo == hi {
+            return lo;
+        }
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Pick a reference to a uniformly random element of `slice`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.index(slice.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut parent1 = DetRng::seed_from_u64(7);
+        let mut parent2 = DetRng::seed_from_u64(7);
+        let mut c1 = parent1.split(3);
+        let mut c2 = parent2.split(3);
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // A different label yields a different stream.
+        let mut parent3 = DetRng::seed_from_u64(7);
+        let mut c3 = parent3.split(4);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = DetRng::seed_from_u64(99);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut r = DetRng::seed_from_u64(5);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[r.next_below(6) as usize] += 1;
+        }
+        for &c in &counts {
+            // each bucket expects 10_000; allow ±5 %
+            assert!((9_500..10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = DetRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = DetRng::seed_from_u64(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            match r.range_inclusive(10, 13) {
+                10 => seen_lo = true,
+                13 => seen_hi = true,
+                11 | 12 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::seed_from_u64(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        DetRng::seed_from_u64(0).next_below(0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Byte quantities and the `--nvidia-memory=<size>` grammar.
+//!
+//! ConVGPU's customized nvidia-docker accepts sizes like `512m` or `1g`
+//! (and the `com.nvidia.memory.limit` image label uses the same syntax).
+//! GPU memory accounting throughout the reproduction uses [`Bytes`], a
+//! transparent `u64` newtype, so MiB/GiB conversions happen exactly once.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+use std::str::FromStr;
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// A byte quantity (GPU or host memory).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Construct from raw bytes.
+    #[inline]
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Construct from kibibytes.
+    #[inline]
+    pub const fn kib(n: u64) -> Self {
+        Bytes(n * KIB)
+    }
+
+    /// Construct from mebibytes.
+    #[inline]
+    pub const fn mib(n: u64) -> Self {
+        Bytes(n * MIB)
+    }
+
+    /// Construct from gibibytes.
+    #[inline]
+    pub const fn gib(n: u64) -> Self {
+        Bytes(n * GIB)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Whole mebibytes (truncating) — the paper reports sizes in MiB.
+    #[inline]
+    pub const fn as_mib(self) -> u64 {
+        self.0 / MIB
+    }
+
+    /// Fractional mebibytes, for reporting.
+    #[inline]
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+
+    /// Saturating subtraction — budget arithmetic must not underflow.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, rhs: Bytes) -> Option<Bytes> {
+        self.0.checked_sub(rhs.0).map(Bytes)
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: Bytes) -> Option<Bytes> {
+        self.0.checked_add(rhs.0).map(Bytes)
+    }
+
+    /// Round up to the next multiple of `align` (`align` must be nonzero).
+    /// Used for pitch alignment and `cudaMallocManaged`'s 128 MiB granules.
+    #[inline]
+    pub fn align_up(self, align: Bytes) -> Bytes {
+        assert!(align.0 > 0, "alignment must be nonzero");
+        let rem = self.0 % align.0;
+        if rem == 0 {
+            self
+        } else {
+            Bytes(self.0 + (align.0 - rem))
+        }
+    }
+
+    /// True when zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The smaller of two quantities.
+    #[inline]
+    pub fn min(self, other: Bytes) -> Bytes {
+        Bytes(self.0.min(other.0))
+    }
+
+    /// The larger of two quantities.
+    #[inline]
+    pub fn max(self, other: Bytes) -> Bytes {
+        Bytes(self.0.max(other.0))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(
+            self.0
+                .checked_add(rhs.0)
+                .expect("byte quantity overflowed u64"),
+        )
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    /// Panics on underflow: accounting code that can legitimately go
+    /// negative must use [`Bytes::saturating_sub`] or
+    /// [`Bytes::checked_sub`].
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("byte quantity underflowed"),
+        )
+    }
+}
+
+impl SubAssign for Bytes {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Bytes) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            write!(f, "0B")
+        } else if self.0.is_multiple_of(GIB) {
+            write!(f, "{}GiB", self.0 / GIB)
+        } else if self.0.is_multiple_of(MIB) {
+            write!(f, "{}MiB", self.0 / MIB)
+        } else if self.0.is_multiple_of(KIB) {
+            write!(f, "{}KiB", self.0 / KIB)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// Error from parsing a memory-size string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBytesError(pub String);
+
+impl fmt::Display for ParseBytesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid memory size {:?}: expected forms like 256m, 1g, 131072k, 4096", self.0)
+    }
+}
+
+impl std::error::Error for ParseBytesError {}
+
+impl FromStr for Bytes {
+    type Err = ParseBytesError;
+
+    /// Parse the nvidia-docker size grammar: a decimal integer with an
+    /// optional case-insensitive suffix `b`, `k`, `m`, or `g` (and the
+    /// long forms `kib`/`mib`/`gib`). A bare integer means MiB, matching
+    /// the paper's convention (`--nvidia-memory=1024` is 1 GiB).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseBytesError(s.to_string()));
+        }
+        let lower = s.to_ascii_lowercase();
+        let (digits, mult) = if let Some(rest) = lower.strip_suffix("gib") {
+            (rest, GIB)
+        } else if let Some(rest) = lower.strip_suffix("mib") {
+            (rest, MIB)
+        } else if let Some(rest) = lower.strip_suffix("kib") {
+            (rest, KIB)
+        } else if let Some(rest) = lower.strip_suffix('g') {
+            (rest, GIB)
+        } else if let Some(rest) = lower.strip_suffix('m') {
+            (rest, MIB)
+        } else if let Some(rest) = lower.strip_suffix('k') {
+            (rest, KIB)
+        } else if let Some(rest) = lower.strip_suffix('b') {
+            (rest, 1)
+        } else {
+            // Bare integer: MiB by convention.
+            (lower.as_str(), MIB)
+        };
+        let digits = digits.trim();
+        let n: u64 = digits
+            .parse()
+            .map_err(|_| ParseBytesError(s.to_string()))?;
+        n.checked_mul(mult)
+            .map(Bytes)
+            .ok_or_else(|| ParseBytesError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Bytes::mib(1).as_u64(), 1_048_576);
+        assert_eq!(Bytes::gib(5).as_mib(), 5120);
+        assert_eq!(Bytes::kib(2048).as_mib(), 2);
+        assert!((Bytes::mib(1536).as_mib_f64() - 1536.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_grammar() {
+        assert_eq!("512m".parse::<Bytes>().unwrap(), Bytes::mib(512));
+        assert_eq!("1g".parse::<Bytes>().unwrap(), Bytes::gib(1));
+        assert_eq!("1G".parse::<Bytes>().unwrap(), Bytes::gib(1));
+        assert_eq!("131072k".parse::<Bytes>().unwrap(), Bytes::mib(128));
+        assert_eq!("2GiB".parse::<Bytes>().unwrap(), Bytes::gib(2));
+        assert_eq!("64MiB".parse::<Bytes>().unwrap(), Bytes::mib(64));
+        assert_eq!("100b".parse::<Bytes>().unwrap(), Bytes::new(100));
+        // Bare integer = MiB (paper convention).
+        assert_eq!("1024".parse::<Bytes>().unwrap(), Bytes::gib(1));
+        assert_eq!(" 256m ".parse::<Bytes>().unwrap(), Bytes::mib(256));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "m", "1.5g", "-1m", "1gg", "0x10m", "huge"] {
+            assert!(bad.parse::<Bytes>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_overflow() {
+        assert!("999999999999999g".parse::<Bytes>().is_err());
+    }
+
+    #[test]
+    fn align_up_behaviour() {
+        let a = Bytes::mib(128);
+        assert_eq!(Bytes::mib(1).align_up(a), Bytes::mib(128));
+        assert_eq!(Bytes::mib(128).align_up(a), Bytes::mib(128));
+        assert_eq!(Bytes::mib(129).align_up(a), Bytes::mib(256));
+        assert_eq!(Bytes::ZERO.align_up(a), Bytes::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment must be nonzero")]
+    fn align_up_zero_panics() {
+        Bytes::mib(1).align_up(Bytes::ZERO);
+    }
+
+    #[test]
+    fn display_picks_best_unit() {
+        assert_eq!(Bytes::gib(5).to_string(), "5GiB");
+        assert_eq!(Bytes::mib(1536).to_string(), "1536MiB");
+        assert_eq!(Bytes::kib(3).to_string(), "3KiB");
+        assert_eq!(Bytes::new(100).to_string(), "100B");
+        assert_eq!(Bytes::ZERO.to_string(), "0B");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Bytes::mib(1) + Bytes::mib(2), Bytes::mib(3));
+        assert_eq!(Bytes::mib(3) - Bytes::mib(2), Bytes::mib(1));
+        assert_eq!(Bytes::mib(1).saturating_sub(Bytes::mib(2)), Bytes::ZERO);
+        assert_eq!(Bytes::mib(1).checked_sub(Bytes::mib(2)), None);
+        let total: Bytes = [Bytes::mib(1), Bytes::mib(2), Bytes::mib(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Bytes::mib(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn sub_underflow_panics() {
+        let _ = Bytes::mib(1) - Bytes::mib(2);
+    }
+
+}

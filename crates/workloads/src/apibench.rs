@@ -1,0 +1,193 @@
+//! The Fig. 4 probe: per-API response-time measurement.
+//!
+//! The paper's test program "calls each CUDA API which we hooked with
+//! wrapper module", timing with `clock_gettime(CLOCK_MONOTONIC)` and
+//! averaging 10 repetitions. [`measure_api_response`] does the same
+//! against any [`CudaApi`] binding, so the harness can run it twice —
+//! against the raw runtime ("without") and the wrapped one ("with") —
+//! and print the Fig. 4 pairs.
+
+use convgpu_gpu_sim::api::CudaApi;
+use convgpu_gpu_sim::context::Pid;
+use convgpu_gpu_sim::error::CudaResult;
+use convgpu_sim_core::stats::Summary;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Timing for one API row of Fig. 4.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApiTiming {
+    /// Row label, e.g. `"cudaMalloc"` or `"cudaMallocPitch (first)"`.
+    pub api: String,
+    /// Per-call wall times in milliseconds.
+    pub summary: Summary,
+}
+
+impl ApiTiming {
+    /// Mean response time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.summary.mean
+    }
+}
+
+fn time_ms(f: impl FnOnce() -> CudaResult<()>) -> CudaResult<f64> {
+    let t0 = Instant::now();
+    f()?;
+    Ok(t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Measure the Fig. 4 API set against `api`: `cudaMalloc`,
+/// `cudaMallocManaged`, `cudaMallocPitch` (first call separately),
+/// `cudaFree`, `cudaMemGetInfo`. Allocation size is small (1 MiB /
+/// 128 MiB managed granule) so device-side work, not size, dominates —
+/// as in the paper's probe. `reps` is the paper's 10.
+///
+/// The rows come back in a fixed order:
+/// `[cudaMalloc, cudaMallocManaged, cudaMallocPitch (first),
+///   cudaMallocPitch, cudaFree, cudaMemGetInfo]`.
+pub fn measure_api_response(
+    api: &dyn CudaApi,
+    pid: Pid,
+    reps: usize,
+) -> CudaResult<Vec<ApiTiming>> {
+    assert!(reps > 0, "need at least one repetition");
+    let size = Bytes::mib(1);
+
+    // Warm the context so the one-time 80 ms creation cost does not
+    // contaminate any row (the paper measures steady-state calls).
+    let warm = api.cuda_malloc(pid, size)?;
+    api.cuda_free(pid, warm)?;
+
+    // cudaMallocPitch first call: measured before any other pitch call so
+    // the wrapper's property fetch is captured. One sample by nature.
+    let mut pitch_first = Vec::new();
+    {
+        let mut ptr = None;
+        pitch_first.push(time_ms(|| {
+            let (p, _) = api.cuda_malloc_pitch(pid, Bytes::new(1000), 512)?;
+            ptr = Some(p);
+            Ok(())
+        })?);
+        if let Some(p) = ptr {
+            api.cuda_free(pid, p)?;
+        }
+    }
+
+    let mut malloc_ms = Vec::with_capacity(reps);
+    let mut managed_ms = Vec::with_capacity(reps);
+    let mut pitch_ms = Vec::with_capacity(reps);
+    let mut free_ms = Vec::with_capacity(reps);
+    let mut meminfo_ms = Vec::with_capacity(reps);
+
+    for _ in 0..reps {
+        let mut ptr = None;
+        malloc_ms.push(time_ms(|| {
+            ptr = Some(api.cuda_malloc(pid, size)?);
+            Ok(())
+        })?);
+        free_ms.push(time_ms(|| api.cuda_free(pid, ptr.expect("allocated")))?);
+
+        let mut mptr = None;
+        managed_ms.push(time_ms(|| {
+            mptr = Some(api.cuda_malloc_managed(pid, size)?);
+            Ok(())
+        })?);
+        api.cuda_free(pid, mptr.expect("allocated"))?;
+
+        let mut pptr = None;
+        pitch_ms.push(time_ms(|| {
+            let (p, _) = api.cuda_malloc_pitch(pid, Bytes::new(1000), 512)?;
+            pptr = Some(p);
+            Ok(())
+        })?);
+        api.cuda_free(pid, pptr.expect("allocated"))?;
+
+        meminfo_ms.push(time_ms(|| api.cuda_mem_get_info(pid).map(|_| ()))?);
+    }
+
+    Ok(vec![
+        ApiTiming {
+            api: "cudaMalloc".into(),
+            summary: Summary::of(&malloc_ms),
+        },
+        ApiTiming {
+            api: "cudaMallocManaged".into(),
+            summary: Summary::of(&managed_ms),
+        },
+        ApiTiming {
+            api: "cudaMallocPitch (first)".into(),
+            summary: Summary::of(&pitch_first),
+        },
+        ApiTiming {
+            api: "cudaMallocPitch".into(),
+            summary: Summary::of(&pitch_ms),
+        },
+        ApiTiming {
+            api: "cudaFree".into(),
+            summary: Summary::of(&free_ms),
+        },
+        ApiTiming {
+            api: "cudaMemGetInfo".into(),
+            summary: Summary::of(&meminfo_ms),
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_gpu_sim::device::GpuDevice;
+    use convgpu_gpu_sim::latency::LatencyModel;
+    use convgpu_gpu_sim::runtime::RawCudaRuntime;
+    use convgpu_sim_core::clock::RealClock;
+    use std::sync::Arc;
+
+    #[test]
+    fn raw_measurements_reflect_the_latency_model() {
+        let device = Arc::new(GpuDevice::tesla_k20m());
+        let rt = RawCudaRuntime::new(device, LatencyModel::tesla_k20m(), RealClock::handle());
+        let rows = measure_api_response(&rt, 1, 10).unwrap();
+        assert_eq!(rows.len(), 6);
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|r| r.api == n)
+                .unwrap_or_else(|| panic!("row {n} missing"))
+                .mean_ms()
+        };
+        // Shapes from the calibrated model (generous bands: wall clock).
+        let malloc = by_name("cudaMalloc");
+        assert!((0.02..0.3).contains(&malloc), "cudaMalloc {malloc} ms");
+        let managed = by_name("cudaMallocManaged");
+        assert!(
+            managed > malloc * 5.0,
+            "managed ({managed}) should dwarf malloc ({malloc})"
+        );
+        let free = by_name("cudaFree");
+        assert!(free < malloc, "free ({free}) cheaper than malloc ({malloc})");
+    }
+
+    #[test]
+    fn leaves_device_clean() {
+        let device = Arc::new(GpuDevice::tesla_k20m());
+        let rt = RawCudaRuntime::new(
+            Arc::clone(&device),
+            LatencyModel::zero(),
+            RealClock::handle(),
+        );
+        measure_api_response(&rt, 1, 3).unwrap();
+        let (free, total) = device.mem_info();
+        assert_eq!(total - free, Bytes::mib(66), "only the context remains");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_panics() {
+        let rt = RawCudaRuntime::new(
+            Arc::new(GpuDevice::tesla_k20m()),
+            LatencyModel::zero(),
+            RealClock::handle(),
+        );
+        let _ = measure_api_response(&rt, 1, 0);
+    }
+}

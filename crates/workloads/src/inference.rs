@@ -1,0 +1,151 @@
+//! An inference-serving workload: the *other* cloud GPU tenant.
+//!
+//! The paper's evaluation uses batch jobs (allocate → compute → exit),
+//! but the motivation (§I) is cloud GPU sharing in general, and serving
+//! workloads stress ConVGPU differently: a long-lived container holding a
+//! model resident while burst traffic drives many small kernels. The
+//! middleware cost per request is zero after warm-up (no allocation
+//! traffic on the request path when the tensor arena is pre-allocated),
+//! which this program demonstrates and its tests assert.
+
+use convgpu_gpu_sim::api::{CudaApi, MemcpyKind};
+use convgpu_gpu_sim::context::Pid;
+use convgpu_gpu_sim::error::CudaResult;
+use convgpu_gpu_sim::kernel::KernelSpec;
+use convgpu_gpu_sim::program::{GpuProgram, ProgramLink};
+use convgpu_sim_core::clock::ClockHandle;
+use convgpu_sim_core::rng::DetRng;
+use convgpu_sim_core::time::SimDuration;
+use convgpu_sim_core::units::Bytes;
+
+/// The inference server program.
+pub struct InferenceServer {
+    /// Resident model weights (allocated once at startup).
+    pub model_size: Bytes,
+    /// Scratch arena for activations (allocated once at startup).
+    pub arena_size: Bytes,
+    /// Number of requests to serve before shutting down.
+    pub requests: u32,
+    /// Mean think time between requests (exponential, seeded).
+    pub mean_gap: SimDuration,
+    /// Per-request forward-pass FLOPs.
+    pub flops_per_request: f64,
+    /// Request/response payload per inference.
+    pub payload: Bytes,
+    /// RNG seed for arrival gaps.
+    pub seed: u64,
+}
+
+impl InferenceServer {
+    /// A ResNet-50-ish server: 100 MiB of weights, 512 MiB arena, ~8
+    /// GFLOP per image.
+    pub fn resnet50(requests: u32, seed: u64) -> Self {
+        InferenceServer {
+            model_size: Bytes::mib(100),
+            arena_size: Bytes::mib(512),
+            requests,
+            mean_gap: SimDuration::from_millis(20),
+            flops_per_request: 8.0e9,
+            payload: Bytes::kib(600), // one 224×224×3 float image + logits
+            seed,
+        }
+    }
+
+    /// Box for `run_container`.
+    pub fn boxed(self) -> Box<dyn GpuProgram> {
+        Box::new(self)
+    }
+
+    /// GPU memory the server needs resident (`--nvidia-memory` sizing).
+    pub fn required_memory(&self) -> Bytes {
+        self.model_size + self.arena_size
+    }
+}
+
+impl GpuProgram for InferenceServer {
+    fn name(&self) -> &str {
+        "inference-server"
+    }
+
+    fn link(&self) -> ProgramLink {
+        ProgramLink::default()
+    }
+
+    fn run(&mut self, api: &dyn CudaApi, pid: Pid, clock: &ClockHandle) -> CudaResult<()> {
+        // Warm-up: the only gated allocations of the whole run.
+        let weights = api.cuda_malloc(pid, self.model_size)?;
+        let arena = api.cuda_malloc(pid, self.arena_size)?;
+        api.cuda_memcpy(pid, MemcpyKind::HostToDevice, self.model_size)?;
+
+        let forward = KernelSpec::compute(
+            "forward-pass",
+            self.flops_per_request,
+            self.arena_size.min(Bytes::mib(64)),
+        )
+        .with_occupancy(0.5);
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        for _ in 0..self.requests {
+            // Exponential think time: -ln(U) × mean.
+            let u = rng.next_f64().max(1e-12);
+            let gap = self.mean_gap.mul_f64(-u.ln());
+            clock.sleep(gap);
+            // Request path: copy in, forward, copy out — no allocations.
+            api.cuda_memcpy(pid, MemcpyKind::HostToDevice, self.payload)?;
+            api.cuda_launch_kernel(pid, &forward)?;
+            api.cuda_memcpy(pid, MemcpyKind::DeviceToHost, Bytes::kib(4))?;
+        }
+
+        api.cuda_free(pid, arena)?;
+        api.cuda_free(pid, weights)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_gpu_sim::device::GpuDevice;
+    use convgpu_gpu_sim::latency::LatencyModel;
+    use convgpu_gpu_sim::runtime::RawCudaRuntime;
+    use convgpu_sim_core::clock::VirtualClock;
+    use std::sync::Arc;
+
+    #[test]
+    fn request_path_is_allocation_free() {
+        let clock = VirtualClock::new();
+        let device = Arc::new(GpuDevice::tesla_k20m());
+        let rt = RawCudaRuntime::new(Arc::clone(&device), LatencyModel::zero(), clock.handle());
+        let mut srv = InferenceServer::resnet50(50, 7);
+        let handle = clock.handle();
+        srv.run(&rt, 1, &handle).unwrap();
+        let c = device.counters();
+        assert_eq!(c.allocs, 2, "weights + arena only — zero per request");
+        assert_eq!(c.kernels, 50);
+        assert_eq!(c.memcpys, 1 + 2 * 50);
+    }
+
+    #[test]
+    fn gaps_are_reproducible_under_seed() {
+        let time_for = |seed: u64| {
+            let clock = VirtualClock::new();
+            let rt = RawCudaRuntime::new(
+                Arc::new(GpuDevice::tesla_k20m()),
+                LatencyModel::zero(),
+                clock.handle(),
+            );
+            let mut srv = InferenceServer::resnet50(30, seed);
+            let handle = clock.handle();
+            srv.run(&rt, 1, &handle).unwrap();
+            use convgpu_sim_core::clock::Clock;
+            clock.now()
+        };
+        assert_eq!(time_for(1), time_for(1));
+        assert_ne!(time_for(1), time_for(2));
+    }
+
+    #[test]
+    fn required_memory_sizes_the_limit() {
+        let srv = InferenceServer::resnet50(1, 0);
+        assert_eq!(srv.required_memory(), Bytes::mib(612));
+    }
+}

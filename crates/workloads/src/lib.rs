@@ -1,0 +1,38 @@
+//! Workloads used by the paper's evaluation (§IV) and this reproduction's
+//! examples and benches.
+//!
+//! * [`types`] — the container-type catalogue of **Table III** (nano …
+//!   xlarge, modeled on AWS T2 instances), each with vCPU count, host
+//!   memory, GPU memory, and the sample program's size-scaled runtime
+//!   (5 s … 45 s).
+//! * [`sample`] — the evaluation's sample program: "allocates maximum GPU
+//!   memory and the same size of CPU memory … copies dummy data from CPU
+//!   memory to GPU, calculates the complement, and returns the result".
+//! * [`mnist`] — the Fig. 6 workload: a cost model of the TensorFlow
+//!   MNIST CNN tutorial (conv/pool/dense forward+backward per step,
+//!   per-step batch copies and scratch allocations).
+//! * [`apibench`] — the Fig. 4 probe: times each hooked CUDA API against
+//!   an arbitrary `CudaApi` binding (raw or wrapped).
+//! * [`trace`] — the §IV-A cloud emulation: "choosing the type of the
+//!   containers randomly and running it every five seconds", N = 4 … 38,
+//!   plus Poisson arrivals for sensitivity studies.
+//! * [`pipeline`] — a double-buffered streaming pipeline exercising the
+//!   asynchronous stream/event API under ConVGPU.
+//! * [`inference`] — a long-lived serving workload: resident model,
+//!   allocation-free request path.
+
+pub mod apibench;
+pub mod inference;
+pub mod mnist;
+pub mod pipeline;
+pub mod sample;
+pub mod trace;
+pub mod types;
+
+pub use apibench::{measure_api_response, ApiTiming};
+pub use inference::InferenceServer;
+pub use mnist::MnistCnnProgram;
+pub use pipeline::PipelineProgram;
+pub use sample::SampleProgram;
+pub use trace::{Arrival, TraceSpec};
+pub use types::ContainerType;

@@ -1,0 +1,210 @@
+//! A double-buffered streaming pipeline — the classic CUDA pattern that
+//! motivates Hyper-Q: chunk N+1's H2D copy overlaps chunk N's kernel on
+//! separate streams. Exercises the asynchronous API surface
+//! (`cudaMemcpyAsync`, async launches, events) under ConVGPU management;
+//! only the two buffer allocations are gated, everything else passes
+//! through, so pipeline throughput is unaffected by the middleware — the
+//! Fig. 6 conclusion from a different angle.
+
+use convgpu_gpu_sim::api::{CudaApi, MemcpyKind};
+use convgpu_gpu_sim::context::Pid;
+use convgpu_gpu_sim::error::CudaResult;
+use convgpu_gpu_sim::kernel::KernelSpec;
+use convgpu_gpu_sim::program::{GpuProgram, ProgramLink};
+use convgpu_sim_core::clock::ClockHandle;
+use convgpu_sim_core::time::SimDuration;
+use convgpu_sim_core::units::Bytes;
+
+/// The streaming pipeline program.
+pub struct PipelineProgram {
+    /// Number of input chunks to process.
+    pub chunks: u32,
+    /// Chunk size (also the size of each of the two device buffers).
+    pub chunk_size: Bytes,
+    /// Compute intensity: FLOPs per byte of chunk data. On the modeled
+    /// K20m (3.52 TFLOP/s compute, 6 GiB/s PCIe) the kernel outlasts the
+    /// H2D copy once this exceeds ≈ 590 — the regime where overlap hides
+    /// the copies entirely.
+    pub flops_per_byte: f64,
+    /// Overlap copies and kernels (true) or run everything on the default
+    /// stream (false — the naive baseline).
+    pub overlapped: bool,
+    /// Measured pipeline time (device events), set by `run`.
+    pub measured: Option<SimDuration>,
+}
+
+impl PipelineProgram {
+    /// An overlapped pipeline over `chunks` chunks of `chunk_size`.
+    pub fn new(chunks: u32, chunk_size: Bytes) -> Self {
+        PipelineProgram {
+            chunks,
+            chunk_size,
+            flops_per_byte: 700.0,
+            overlapped: true,
+            measured: None,
+        }
+    }
+
+    /// Disable overlapping (sequential baseline).
+    pub fn sequential(mut self) -> Self {
+        self.overlapped = false;
+        self
+    }
+
+    /// Box for `run_container`.
+    pub fn boxed(self) -> Box<dyn GpuProgram> {
+        Box::new(self)
+    }
+
+    fn chunk_kernel(&self) -> KernelSpec {
+        KernelSpec::compute(
+            "pipeline-chunk",
+            self.chunk_size.as_u64() as f64 * self.flops_per_byte,
+            self.chunk_size,
+        )
+    }
+}
+
+impl GpuProgram for PipelineProgram {
+    fn name(&self) -> &str {
+        if self.overlapped {
+            "pipeline-overlapped"
+        } else {
+            "pipeline-sequential"
+        }
+    }
+
+    fn link(&self) -> ProgramLink {
+        ProgramLink::default()
+    }
+
+    fn run(&mut self, api: &dyn CudaApi, pid: Pid, _clock: &ClockHandle) -> CudaResult<()> {
+        // Two device buffers: ping-pong.
+        let buf_a = api.cuda_malloc(pid, self.chunk_size)?;
+        let buf_b = api.cuda_malloc(pid, self.chunk_size)?;
+        let kernel = self.chunk_kernel();
+
+        let start = api.cuda_event_create(pid)?;
+        let end = api.cuda_event_create(pid)?;
+
+        if self.overlapped {
+            let copy_stream = api.cuda_stream_create(pid)?;
+            let compute_stream = api.cuda_stream_create(pid)?;
+            api.cuda_event_record(pid, start, compute_stream)?;
+            // Prime the pipeline with the first chunk.
+            api.cuda_memcpy_async(pid, copy_stream, MemcpyKind::HostToDevice, self.chunk_size)?;
+            api.cuda_stream_synchronize(pid, copy_stream)?;
+            for i in 1..=self.chunks {
+                // Compute chunk i on one buffer…
+                api.cuda_launch_kernel_async(pid, compute_stream, &kernel)?;
+                // …while chunk i+1 streams into the other.
+                if i < self.chunks {
+                    api.cuda_memcpy_async(
+                        pid,
+                        copy_stream,
+                        MemcpyKind::HostToDevice,
+                        self.chunk_size,
+                    )?;
+                }
+                api.cuda_stream_synchronize(pid, compute_stream)?;
+                api.cuda_stream_synchronize(pid, copy_stream)?;
+            }
+            api.cuda_event_record(pid, end, compute_stream)?;
+            api.cuda_event_synchronize(pid, end)?;
+            self.measured = Some(api.cuda_event_elapsed(pid, start, end)?);
+            api.cuda_stream_destroy(pid, copy_stream)?;
+            api.cuda_stream_destroy(pid, compute_stream)?;
+        } else {
+            use convgpu_gpu_sim::stream::StreamId;
+            api.cuda_event_record(pid, start, StreamId::DEFAULT)?;
+            for _ in 0..self.chunks {
+                api.cuda_memcpy(pid, MemcpyKind::HostToDevice, self.chunk_size)?;
+                api.cuda_launch_kernel(pid, &kernel)?;
+            }
+            api.cuda_event_record(pid, end, StreamId::DEFAULT)?;
+            // The default stream has no async work; measure host-side by
+            // recording events around synchronous calls gives zero — use
+            // the clock instead; keep events for API coverage.
+            self.measured = api.cuda_event_elapsed(pid, start, end).ok();
+        }
+
+        api.cuda_memcpy(pid, MemcpyKind::DeviceToHost, self.chunk_size)?;
+        api.cuda_event_destroy(pid, start)?;
+        api.cuda_event_destroy(pid, end)?;
+        api.cuda_free(pid, buf_a)?;
+        api.cuda_free(pid, buf_b)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_gpu_sim::device::GpuDevice;
+    use convgpu_gpu_sim::latency::LatencyModel;
+    use convgpu_gpu_sim::runtime::RawCudaRuntime;
+    use convgpu_sim_core::clock::{Clock, VirtualClock};
+    use std::sync::Arc;
+
+    fn run(mut prog: PipelineProgram) -> (SimDuration, PipelineProgram) {
+        let clock = VirtualClock::new();
+        let rt = RawCudaRuntime::new(
+            Arc::new(GpuDevice::tesla_k20m()),
+            LatencyModel::zero(),
+            clock.handle(),
+        );
+        let t0 = clock.now();
+        let handle = clock.handle();
+        prog.run(&rt, 1, &handle).unwrap();
+        rt.cuda_unregister_fat_binary(1).unwrap();
+        (clock.now() - t0, prog)
+    }
+
+    #[test]
+    fn overlapped_beats_sequential() {
+        let chunks = 16;
+        let size = Bytes::mib(256);
+        let (seq_time, _) = run(PipelineProgram::new(chunks, size).sequential());
+        let (ovl_time, _) = run(PipelineProgram::new(chunks, size));
+        assert!(
+            ovl_time.as_secs_f64() < seq_time.as_secs_f64() * 0.95,
+            "overlap must save time: sequential {seq_time}, overlapped {ovl_time}"
+        );
+    }
+
+    #[test]
+    fn overlap_saves_roughly_the_copy_time() {
+        // With kernel time >> copy time, overlapping hides (chunks-1)
+        // copies.
+        let chunks = 8u32;
+        let size = Bytes::mib(512);
+        let (seq_time, _) = run(PipelineProgram::new(chunks, size).sequential());
+        let (ovl_time, _) = run(PipelineProgram::new(chunks, size));
+        let copy_secs = size.as_u64() as f64 / (6.0 * (1u64 << 30) as f64);
+        let expected_saving = copy_secs * (chunks - 1) as f64;
+        let actual_saving = seq_time.as_secs_f64() - ovl_time.as_secs_f64();
+        assert!(
+            (actual_saving - expected_saving).abs() < expected_saving * 0.5,
+            "saving {actual_saving:.3}s vs expected ~{expected_saving:.3}s"
+        );
+    }
+
+    #[test]
+    fn measured_event_time_tracks_compute() {
+        let (_, prog) = run(PipelineProgram::new(4, Bytes::mib(128)));
+        let measured = prog.measured.expect("events recorded");
+        assert!(measured > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn buffers_are_released() {
+        let clock = VirtualClock::new();
+        let device = Arc::new(GpuDevice::tesla_k20m());
+        let rt = RawCudaRuntime::new(Arc::clone(&device), LatencyModel::zero(), clock.handle());
+        let mut prog = PipelineProgram::new(4, Bytes::mib(64));
+        let handle = clock.handle();
+        prog.run(&rt, 1, &handle).unwrap();
+        let (free, total) = device.mem_info();
+        assert_eq!(total - free, Bytes::mib(66), "only the context remains");
+    }
+}

@@ -1,0 +1,174 @@
+//! The evaluation's sample program (paper §IV-A).
+//!
+//! "Each container runs sample program, which allocates maximum GPU memory
+//! and the same size of CPU memory. This sample program copies dummy data
+//! from CPU memory to GPU, calculates the complement, and returns the
+//! result from GPU memory to CPU. The time consumed by the sample program
+//! varies by the size, from 5 seconds to 45 seconds."
+//!
+//! The program queries `cudaGetDeviceProperties` to size a compute kernel
+//! filling the remainder of its target duration after the copies, then
+//! runs the complement in one-second kernel chunks (so Hyper-Q interleaves
+//! concurrent containers the way the K20m would).
+
+use crate::types::ContainerType;
+use convgpu_gpu_sim::api::{CudaApi, MemcpyKind};
+use convgpu_gpu_sim::context::Pid;
+use convgpu_gpu_sim::error::CudaResult;
+use convgpu_gpu_sim::kernel::KernelSpec;
+use convgpu_gpu_sim::program::{GpuProgram, ProgramLink};
+use convgpu_sim_core::clock::ClockHandle;
+use convgpu_sim_core::time::SimDuration;
+use convgpu_sim_core::units::Bytes;
+
+/// The sample program.
+pub struct SampleProgram {
+    /// GPU memory to allocate (the container's maximum).
+    pub buffer_size: Bytes,
+    /// Target total duration.
+    pub duration: SimDuration,
+    /// Link configuration ("compiled with `-cudart=shared`" by default).
+    pub link: ProgramLink,
+    name: String,
+}
+
+impl SampleProgram {
+    /// The Table III-parameterized instance: buffer = the type's GPU
+    /// memory, duration = the type's 5–45 s runtime.
+    pub fn for_type(ty: ContainerType) -> Self {
+        SampleProgram {
+            buffer_size: ty.gpu_memory(),
+            duration: ty.sample_duration(),
+            link: ProgramLink::default(),
+            name: format!("sample-{}", ty.label()),
+        }
+    }
+
+    /// A custom instance.
+    pub fn new(buffer_size: Bytes, duration: SimDuration) -> Self {
+        SampleProgram {
+            buffer_size,
+            duration,
+            link: ProgramLink::default(),
+            name: format!("sample-{buffer_size}"),
+        }
+    }
+
+    /// Box for `run_container`.
+    pub fn boxed(self) -> Box<dyn GpuProgram> {
+        Box::new(self)
+    }
+}
+
+impl GpuProgram for SampleProgram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn link(&self) -> ProgramLink {
+        self.link
+    }
+
+    fn run(&mut self, api: &dyn CudaApi, pid: Pid, clock: &ClockHandle) -> CudaResult<()> {
+        // "allocates maximum GPU memory" — one buffer of the full limit.
+        // Under ConVGPU this call may block (suspension); the program's
+        // 5–45 s of *work* starts once the memory is granted, so the
+        // duration clock starts after the allocation returns.
+        let buf = api.cuda_malloc(pid, self.buffer_size)?;
+        let t0 = clock.now();
+        // "copies dummy data from CPU memory to GPU".
+        api.cuda_memcpy(pid, MemcpyKind::HostToDevice, self.buffer_size)?;
+        // "calculates the complement": element-wise kernels in ~1 s
+        // chunks until the target duration is spent.
+        let props = api.cuda_get_device_properties(pid)?;
+        let chunk = KernelSpec::elementwise("complement", self.buffer_size);
+        let chunk_time = chunk.duration_on(&props).max(SimDuration::from_millis(1));
+        loop {
+            let elapsed = clock.now().saturating_since(t0);
+            if elapsed >= self.duration {
+                break;
+            }
+            let remaining = self.duration - elapsed;
+            if remaining >= chunk_time {
+                api.cuda_launch_kernel(pid, &chunk)?;
+            } else {
+                // Tail: one right-sized kernel so the duration is exact.
+                let frac =
+                    remaining.as_secs_f64() / chunk_time.as_secs_f64();
+                let tail = KernelSpec::compute(
+                    "complement-tail",
+                    chunk.flops * frac,
+                    Bytes::new((chunk.bytes_accessed.as_u64() as f64 * frac) as u64),
+                );
+                api.cuda_launch_kernel(pid, &tail)?;
+                break;
+            }
+        }
+        // "returns the result from GPU memory to CPU".
+        api.cuda_memcpy(pid, MemcpyKind::DeviceToHost, self.buffer_size)?;
+        api.cuda_free(pid, buf)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_gpu_sim::device::GpuDevice;
+    use convgpu_gpu_sim::latency::LatencyModel;
+    use convgpu_gpu_sim::runtime::RawCudaRuntime;
+    use convgpu_sim_core::clock::{Clock, VirtualClock};
+    use std::sync::Arc;
+
+    fn run_on_k20m(mut prog: SampleProgram) -> (SimDuration, Arc<GpuDevice>) {
+        let clock = VirtualClock::new();
+        let device = Arc::new(GpuDevice::tesla_k20m());
+        let rt = RawCudaRuntime::new(
+            Arc::clone(&device),
+            LatencyModel::tesla_k20m(),
+            clock.handle(),
+        );
+        let t0 = clock.now();
+        let handle = clock.handle();
+        prog.run(&rt, 1, &handle).unwrap();
+        (clock.now() - t0, device)
+    }
+
+    #[test]
+    fn duration_tracks_type_target() {
+        for ty in [ContainerType::Nano, ContainerType::Medium, ContainerType::Xlarge] {
+            let (elapsed, _) = run_on_k20m(SampleProgram::for_type(ty));
+            let target = ty.sample_duration().as_secs_f64();
+            let actual = elapsed.as_secs_f64();
+            // Within 10 %: copies + context creation add a little.
+            assert!(
+                (actual - target).abs() / target < 0.10,
+                "{}: target {target}s actual {actual}s",
+                ty.label()
+            );
+        }
+    }
+
+    #[test]
+    fn program_cleans_up_its_buffer() {
+        let (_, device) = run_on_k20m(SampleProgram::for_type(ContainerType::Small));
+        let stats = device.allocator_stats();
+        assert_eq!(stats.total_allocs, stats.total_frees + 1,
+            "only the context block remains (freed at unregister)");
+        // Everything except the context overhead is back.
+        let (free, total) = device.mem_info();
+        assert_eq!(total - free, Bytes::mib(66));
+    }
+
+    #[test]
+    fn kernels_and_copies_happen() {
+        let (_, device) = run_on_k20m(SampleProgram::for_type(ContainerType::Micro));
+        let c = device.counters();
+        assert!(c.kernels > 0, "complement kernels ran");
+        assert_eq!(c.memcpys, 2, "one H2D + one D2H");
+        assert_eq!(
+            c.bytes_copied,
+            2 * ContainerType::Micro.gpu_memory().as_u64()
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Arrival traces for the §IV scheduling experiments.
+//!
+//! "We emulated the cloud usage by choosing the type of the containers
+//! randomly and running it every five seconds. … We changed the number of
+//! the containers from 4 to 38" (§IV-A), with 6 repetitions per point.
+
+use crate::types::ContainerType;
+use convgpu_sim_core::rng::DetRng;
+use convgpu_sim_core::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One container arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Launch time.
+    pub at: SimTime,
+    /// Sequence number within the trace (0-based).
+    pub index: u32,
+    /// Drawn container type.
+    pub container_type: ContainerType,
+}
+
+/// Arrival process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ArrivalProcess {
+    /// Fixed gap between launches — the paper's "running it every five
+    /// seconds".
+    Fixed,
+    /// Poisson arrivals with the given mean gap: the cloud-realistic
+    /// variant used by sensitivity studies.
+    Poisson,
+}
+
+/// Trace parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Number of containers (paper: 4, 6, …, 38).
+    pub containers: u32,
+    /// Inter-arrival gap (paper: 5 s); the mean gap under Poisson.
+    pub interval: SimDuration,
+    /// Workload seed; combine with the repetition index for the paper's
+    /// 6-repetition averaging.
+    pub seed: u64,
+    /// Arrival process (paper: fixed).
+    pub process: ArrivalProcess,
+}
+
+impl TraceSpec {
+    /// The paper's configuration for `containers` at `seed`.
+    pub fn paper(containers: u32, seed: u64) -> Self {
+        TraceSpec {
+            containers,
+            interval: SimDuration::from_secs(5),
+            seed,
+            process: ArrivalProcess::Fixed,
+        }
+    }
+
+    /// Poisson variant with the same mean rate.
+    pub fn poisson(containers: u32, seed: u64) -> Self {
+        TraceSpec {
+            process: ArrivalProcess::Poisson,
+            ..Self::paper(containers, seed)
+        }
+    }
+
+    /// The paper's sweep points: 4, 6, …, 38.
+    pub fn paper_sweep() -> Vec<u32> {
+        (2..=19).map(|i| i * 2).collect()
+    }
+
+    /// Generate the arrival list (deterministic in the seed).
+    pub fn generate(&self) -> Vec<Arrival> {
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        let mut at = SimTime::ZERO;
+        (0..self.containers)
+            .map(|i| {
+                let arrival = Arrival {
+                    at,
+                    index: i,
+                    container_type: ContainerType::random(&mut rng),
+                };
+                at += match self.process {
+                    ArrivalProcess::Fixed => self.interval,
+                    ArrivalProcess::Poisson => {
+                        // Exponential gap: -ln(U) × mean.
+                        let u = rng.next_f64().max(1e-12);
+                        self.interval.mul_f64(-u.ln())
+                    }
+                };
+                arrival
+            })
+            .collect()
+    }
+
+    /// Total GPU memory the trace will ask for (workload intensity
+    /// diagnostic used in EXPERIMENTS.md).
+    pub fn total_demand(&self) -> convgpu_sim_core::units::Bytes {
+        self.generate()
+            .iter()
+            .map(|a| a.container_type.gpu_memory())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_sim_core::units::Bytes;
+
+    #[test]
+    fn arrivals_every_five_seconds() {
+        let trace = TraceSpec::paper(6, 42).generate();
+        assert_eq!(trace.len(), 6);
+        for (i, a) in trace.iter().enumerate() {
+            assert_eq!(a.at, SimTime::from_secs(5 * i as u64));
+            assert_eq!(a.index, i as u32);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed_and_distinct_across_seeds() {
+        let a = TraceSpec::paper(20, 7).generate();
+        let b = TraceSpec::paper(20, 7).generate();
+        assert_eq!(a, b);
+        let c = TraceSpec::paper(20, 8).generate();
+        assert_ne!(
+            a.iter().map(|x| x.container_type).collect::<Vec<_>>(),
+            c.iter().map(|x| x.container_type).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sweep_matches_the_paper() {
+        let sweep = TraceSpec::paper_sweep();
+        assert_eq!(sweep.first(), Some(&4));
+        assert_eq!(sweep.last(), Some(&38));
+        assert_eq!(sweep.len(), 18);
+        assert!(sweep.windows(2).all(|w| w[1] - w[0] == 2));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_and_seeded() {
+        let a = TraceSpec::poisson(30, 9).generate();
+        let b = TraceSpec::poisson(30, 9).generate();
+        assert_eq!(a, b);
+        assert_eq!(a[0].at, SimTime::ZERO);
+        for w in a.windows(2) {
+            assert!(w[1].at >= w[0].at, "arrivals must be ordered");
+        }
+        // Mean gap ≈ the configured interval (law of large numbers,
+        // generous tolerance for 29 gaps).
+        let total = a.last().unwrap().at.as_secs_f64();
+        let mean_gap = total / 29.0;
+        assert!((2.0..10.0).contains(&mean_gap), "mean gap {mean_gap}");
+        // Gaps actually vary (not the fixed process).
+        let g1 = a[1].at.saturating_since(a[0].at);
+        let g2 = a[2].at.saturating_since(a[1].at);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn total_demand_sums_types() {
+        let spec = TraceSpec::paper(10, 3);
+        let by_hand: Bytes = spec
+            .generate()
+            .iter()
+            .map(|a| a.container_type.gpu_memory())
+            .sum();
+        assert_eq!(spec.total_demand(), by_hand);
+        assert!(by_hand >= Bytes::mib(128 * 10));
+    }
+}

@@ -1,0 +1,185 @@
+//! The container-type catalogue — paper **Table III**.
+//!
+//! | type   | vCPU | memory | GPU memory |
+//! |--------|------|--------|------------|
+//! | nano   | 1    | 0.5 GiB| 128 MiB    |
+//! | micro  | 1    | 1 GiB  | 256 MiB    |
+//! | small  | 1    | 2 GiB  | 512 MiB    |
+//! | medium | 2    | 4 GiB  | 1024 MiB   |
+//! | large  | 2    | 8 GiB  | 2048 MiB   |
+//! | xlarge | 4    | 16 GiB | 4096 MiB   |
+//!
+//! The sample program's duration "varies by the size, from 5 seconds to
+//! 45 seconds": we interpolate linearly across the six types (5, 13, 21,
+//! 29, 37, 45 s).
+
+use convgpu_sim_core::rng::DetRng;
+use convgpu_sim_core::time::SimDuration;
+use convgpu_sim_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// One of the six evaluation container types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ContainerType {
+    /// 128 MiB GPU memory.
+    Nano,
+    /// 256 MiB.
+    Micro,
+    /// 512 MiB.
+    Small,
+    /// 1024 MiB.
+    Medium,
+    /// 2048 MiB.
+    Large,
+    /// 4096 MiB.
+    Xlarge,
+}
+
+impl ContainerType {
+    /// All six, smallest first (Table III column order).
+    pub const ALL: [ContainerType; 6] = [
+        ContainerType::Nano,
+        ContainerType::Micro,
+        ContainerType::Small,
+        ContainerType::Medium,
+        ContainerType::Large,
+        ContainerType::Xlarge,
+    ];
+
+    /// Table III row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContainerType::Nano => "nano",
+            ContainerType::Micro => "micro",
+            ContainerType::Small => "small",
+            ContainerType::Medium => "medium",
+            ContainerType::Large => "large",
+            ContainerType::Xlarge => "xlarge",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ContainerType::Nano => 0,
+            ContainerType::Micro => 1,
+            ContainerType::Small => 2,
+            ContainerType::Medium => 3,
+            ContainerType::Large => 4,
+            ContainerType::Xlarge => 5,
+        }
+    }
+
+    /// GPU memory limit (Table III bottom row).
+    pub fn gpu_memory(self) -> Bytes {
+        Bytes::mib(128 << self.index())
+    }
+
+    /// vCPU count.
+    pub fn vcpus(self) -> u32 {
+        match self {
+            ContainerType::Nano | ContainerType::Micro | ContainerType::Small => 1,
+            ContainerType::Medium | ContainerType::Large => 2,
+            ContainerType::Xlarge => 4,
+        }
+    }
+
+    /// Host memory cap.
+    pub fn host_memory(self) -> Bytes {
+        match self {
+            ContainerType::Nano => Bytes::mib(512),
+            other => Bytes::gib(1 << (other.index() - 1)),
+        }
+    }
+
+    /// Sample-program duration: 5 s for nano … 45 s for xlarge, linear.
+    pub fn sample_duration(self) -> SimDuration {
+        SimDuration::from_secs(5 + 8 * self.index() as u64)
+    }
+
+    /// Uniform random type (the §IV-A experiment's draw).
+    pub fn random(rng: &mut DetRng) -> ContainerType {
+        *rng.choose(&Self::ALL)
+    }
+
+    /// The `--nvidia-memory` string for this type (e.g. `"512m"`).
+    pub fn nvidia_memory_option(self) -> String {
+        format!("{}m", self.gpu_memory().as_mib())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_gpu_memory_column() {
+        let expected = [128u64, 256, 512, 1024, 2048, 4096];
+        for (ty, mib) in ContainerType::ALL.iter().zip(expected) {
+            assert_eq!(ty.gpu_memory(), Bytes::mib(mib), "{}", ty.label());
+        }
+    }
+
+    #[test]
+    fn table_iii_vcpu_column() {
+        let expected = [1u32, 1, 1, 2, 2, 4];
+        for (ty, v) in ContainerType::ALL.iter().zip(expected) {
+            assert_eq!(ty.vcpus(), v, "{}", ty.label());
+        }
+    }
+
+    #[test]
+    fn table_iii_host_memory_column() {
+        let expected_gib_halves = [1u64, 2, 4, 8, 16, 32]; // in 0.5 GiB units
+        for (ty, halves) in ContainerType::ALL.iter().zip(expected_gib_halves) {
+            assert_eq!(
+                ty.host_memory(),
+                Bytes::mib(512 * halves),
+                "{}",
+                ty.label()
+            );
+        }
+    }
+
+    #[test]
+    fn durations_span_5_to_45_seconds() {
+        assert_eq!(
+            ContainerType::Nano.sample_duration(),
+            SimDuration::from_secs(5)
+        );
+        assert_eq!(
+            ContainerType::Xlarge.sample_duration(),
+            SimDuration::from_secs(45)
+        );
+        // Monotone in size.
+        for pair in ContainerType::ALL.windows(2) {
+            assert!(pair[0].sample_duration() < pair[1].sample_duration());
+        }
+    }
+
+    #[test]
+    fn random_draw_is_deterministic_and_covers_all_types() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let draws: Vec<ContainerType> =
+            (0..200).map(|_| ContainerType::random(&mut rng)).collect();
+        for ty in ContainerType::ALL {
+            assert!(draws.contains(&ty), "{} never drawn", ty.label());
+        }
+        let mut rng2 = DetRng::seed_from_u64(1);
+        let draws2: Vec<ContainerType> =
+            (0..200).map(|_| ContainerType::random(&mut rng2)).collect();
+        assert_eq!(draws, draws2);
+    }
+
+    #[test]
+    fn nvidia_memory_option_format() {
+        assert_eq!(ContainerType::Small.nvidia_memory_option(), "512m");
+        assert_eq!(ContainerType::Xlarge.nvidia_memory_option(), "4096m");
+        // Round-trips through the size grammar.
+        let parsed: Bytes = ContainerType::Large
+            .nvidia_memory_option()
+            .parse()
+            .unwrap();
+        assert_eq!(parsed, ContainerType::Large.gpu_memory());
+    }
+}

@@ -1,0 +1,167 @@
+//! The dynamic-linker interposition model.
+//!
+//! The paper (§III-C): the wrapper works by listing `libgpushare.so` in
+//! `LD_PRELOAD`, so the dynamic linker resolves the overridden CUDA
+//! symbols to the wrapper before `libcudart`. Two documented conditions
+//! must hold:
+//!
+//! 1. the environment variable must actually contain the module (ConVGPU's
+//!    customized nvidia-docker injects it with `--env`), and
+//! 2. the program must link the CUDA *runtime* dynamically
+//!    (`nvcc -cudart=shared`) — `nvcc` links it statically by default, in
+//!    which case "overriding function symbol name using LD_PRELOAD does
+//!    not work since the shared library is already inserted into the user
+//!    program".
+//!
+//! [`resolve_runtime`] reproduces exactly that resolution rule, which lets
+//! integration tests demonstrate the static-link pitfall: a statically
+//! linked program bypasses the scheduler entirely.
+
+use convgpu_gpu_sim::api::CudaApi;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The wrapper module's soname, as in the paper.
+pub const GPUSHARE_SONAME: &str = "libgpushare.so";
+
+/// How the program's CUDA runtime was linked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// `true` for `nvcc -cudart=shared`; `false` for nvcc's default
+    /// static linking.
+    pub cudart_shared: bool,
+}
+
+impl LinkSpec {
+    /// The configuration ConVGPU requires.
+    pub fn shared() -> Self {
+        LinkSpec {
+            cudart_shared: true,
+        }
+    }
+
+    /// nvcc's default — the pitfall.
+    pub fn static_default() -> Self {
+        LinkSpec {
+            cudart_shared: false,
+        }
+    }
+}
+
+/// The process environment subset the linker consults.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessEnv {
+    /// Parsed `LD_PRELOAD` entries, in order.
+    pub ld_preload: Vec<String>,
+}
+
+impl ProcessEnv {
+    /// Parse an `LD_PRELOAD` value (colon- or space-separated, per
+    /// ld.so(8)).
+    pub fn from_ld_preload(value: &str) -> Self {
+        ProcessEnv {
+            ld_preload: value
+                .split([':', ' '])
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    /// True when any preload entry is the gpushare module (matched by
+    /// file name, ignoring directories).
+    pub fn preloads_gpushare(&self) -> bool {
+        self.ld_preload.iter().any(|p| {
+            std::path::Path::new(p)
+                .file_name()
+                .map(|f| f == GPUSHARE_SONAME)
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Resolve which implementation the program's CUDA calls bind to.
+///
+/// Returns `wrapper` only when both interposition conditions hold;
+/// otherwise the raw runtime — including the silent-failure case the
+/// paper warns about (preload set but runtime statically linked).
+pub fn resolve_runtime(
+    env: &ProcessEnv,
+    link: LinkSpec,
+    wrapper: Arc<dyn CudaApi>,
+    raw: Arc<dyn CudaApi>,
+) -> Arc<dyn CudaApi> {
+    if link.cudart_shared && env.preloads_gpushare() {
+        wrapper
+    } else {
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_gpu_sim::device::GpuDevice;
+    use convgpu_gpu_sim::latency::LatencyModel;
+    use convgpu_gpu_sim::runtime::RawCudaRuntime;
+    use convgpu_sim_core::clock::VirtualClock;
+
+    fn raw_runtime() -> Arc<dyn CudaApi> {
+        Arc::new(RawCudaRuntime::new(
+            Arc::new(GpuDevice::tesla_k20m()),
+            LatencyModel::zero(),
+            VirtualClock::new().handle(),
+        ))
+    }
+
+    #[test]
+    fn ld_preload_parsing() {
+        let env = ProcessEnv::from_ld_preload("/convgpu/libgpushare.so:/usr/lib/libfoo.so");
+        assert_eq!(env.ld_preload.len(), 2);
+        assert!(env.preloads_gpushare());
+        let env = ProcessEnv::from_ld_preload("/usr/lib/libfoo.so /usr/lib/libbar.so");
+        assert!(!env.preloads_gpushare());
+        assert!(!ProcessEnv::default().preloads_gpushare());
+        // Name must match exactly: a lookalike does not count.
+        let env = ProcessEnv::from_ld_preload("/tmp/libgpushare.so.backup");
+        assert!(!env.preloads_gpushare());
+    }
+
+    #[test]
+    fn shared_link_plus_preload_binds_wrapper() {
+        let raw = raw_runtime();
+        let wrapper = raw_runtime(); // identity is all we compare
+        let env = ProcessEnv::from_ld_preload("/convgpu/libgpushare.so");
+        let bound = resolve_runtime(&env, LinkSpec::shared(), Arc::clone(&wrapper), Arc::clone(&raw));
+        assert!(Arc::ptr_eq(&bound, &wrapper));
+    }
+
+    #[test]
+    fn static_link_bypasses_wrapper_even_with_preload() {
+        // The paper's pitfall: nvcc's default static runtime defeats
+        // LD_PRELOAD interposition.
+        let raw = raw_runtime();
+        let wrapper = raw_runtime();
+        let env = ProcessEnv::from_ld_preload("/convgpu/libgpushare.so");
+        let bound = resolve_runtime(
+            &env,
+            LinkSpec::static_default(),
+            Arc::clone(&wrapper),
+            Arc::clone(&raw),
+        );
+        assert!(Arc::ptr_eq(&bound, &raw));
+    }
+
+    #[test]
+    fn missing_preload_binds_raw() {
+        let raw = raw_runtime();
+        let wrapper = raw_runtime();
+        let bound = resolve_runtime(
+            &ProcessEnv::default(),
+            LinkSpec::shared(),
+            Arc::clone(&wrapper),
+            Arc::clone(&raw),
+        );
+        assert!(Arc::ptr_eq(&bound, &raw));
+    }
+}

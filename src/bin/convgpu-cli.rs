@@ -1,0 +1,279 @@
+//! `convgpu-cli` — a miniature `nvidia-docker`-style command line over
+//! the simulated ConVGPU stack.
+//!
+//! ```text
+//! cargo run --release --bin convgpu-cli -- run --nvidia-memory=512m --workload=sample:small cuda-app
+//! cargo run --release --bin convgpu-cli -- burst --containers=12 --policy=bf
+//! cargo run --release --bin convgpu-cli -- info
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `run [--nvidia-memory=<size>] [--policy=<fifo|bf|ru|rand>]
+//!   [--workload=<spec>] <image>` — launch one managed container and wait
+//!   for it. Workload specs: `sample:<type>` (Table III type),
+//!   `mnist[:steps]`, `pipeline[:chunks]`, `inference[:requests]`.
+//! * `burst [--containers=N] [--policy=P] [--seed=S]` — the paper's §IV-A
+//!   cloud emulation, compressed to milliseconds.
+//! * `info` — print the simulated device and scheduler configuration.
+
+use convgpu::gpu::GpuProgram;
+use convgpu::middleware::{ConVGpu, ConVGpuConfig, RunCommand};
+use convgpu::scheduler::policy::PolicyKind;
+use convgpu::sim::rng::DetRng;
+use convgpu::sim::time::SimDuration;
+use convgpu::sim::units::Bytes;
+use convgpu::workloads::{
+    ContainerType, InferenceServer, MnistCnnProgram, PipelineProgram, SampleProgram,
+};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: convgpu-cli <run|burst|info> [options]\n\
+         \n\
+         run   [--nvidia-memory=<size>] [--policy=<fifo|bf|ru|rand>]\n\
+               [--workload=<sample:TYPE|mnist[:STEPS]|pipeline[:CHUNKS]|inference[:REQS]>]\n\
+               <image>\n\
+         burst [--containers=N] [--policy=P] [--seed=S]\n\
+         info"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    match s {
+        "fifo" => Some(PolicyKind::Fifo),
+        "bf" | "best-fit" | "bestfit" => Some(PolicyKind::BestFit),
+        "ru" | "recent-use" => Some(PolicyKind::RecentUse),
+        "rand" | "random" => Some(PolicyKind::Random),
+        _ => None,
+    }
+}
+
+fn parse_type(s: &str) -> Option<ContainerType> {
+    ContainerType::ALL.into_iter().find(|t| t.label() == s)
+}
+
+fn parse_workload(spec: &str) -> Option<(Box<dyn GpuProgram>, Option<String>)> {
+    let (kind, arg) = match spec.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (spec, None),
+    };
+    match kind {
+        "sample" => {
+            let ty = parse_type(arg.unwrap_or("small"))?;
+            Some((
+                SampleProgram::for_type(ty).boxed(),
+                Some(ty.nvidia_memory_option()),
+            ))
+        }
+        "mnist" => {
+            let steps: u32 = arg.unwrap_or("200").parse().ok()?;
+            Some((
+                MnistCnnProgram::with_steps(steps)
+                    .with_arena(Bytes::mib(1800))
+                    .boxed(),
+                Some("2g".into()),
+            ))
+        }
+        "pipeline" => {
+            let chunks: u32 = arg.unwrap_or("16").parse().ok()?;
+            Some((
+                PipelineProgram::new(chunks, Bytes::mib(256)).boxed(),
+                Some("768m".into()),
+            ))
+        }
+        "inference" => {
+            let reqs: u32 = arg.unwrap_or("100").parse().ok()?;
+            let srv = InferenceServer::resnet50(reqs, 7);
+            let mem = format!("{}m", srv.required_memory().as_mib());
+            Some((srv.boxed(), Some(mem)))
+        }
+        _ => None,
+    }
+}
+
+fn start(policy: PolicyKind) -> ConVGpu {
+    ConVGpu::start(ConVGpuConfig {
+        time_scale: 0.002,
+        policy,
+        ..ConVGpuConfig::default()
+    })
+    .expect("start ConVGPU middleware")
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut nvidia_memory: Option<String> = None;
+    let mut policy = PolicyKind::BestFit;
+    let mut workload = "sample:small".to_string();
+    let mut image: Option<String> = None;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--nvidia-memory=") {
+            nvidia_memory = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--policy=") {
+            match parse_policy(v) {
+                Some(p) => policy = p,
+                None => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--workload=") {
+            workload = v.to_string();
+        } else if a.starts_with("--") {
+            return usage();
+        } else {
+            image = Some(a.clone());
+        }
+    }
+    let Some(image) = image else { return usage() };
+    let Some((program, default_mem)) = parse_workload(&workload) else {
+        eprintln!("unknown workload {workload:?}");
+        return usage();
+    };
+    let convgpu = start(policy);
+    let mut cmd = RunCommand::new(image);
+    if let Some(mem) = nvidia_memory.or(default_mem) {
+        cmd = cmd.nvidia_memory(mem);
+    }
+    println!(
+        "running workload {workload} under policy {} on {}…",
+        policy.label(),
+        convgpu.device().props().name
+    );
+    let session = match convgpu.run_container(cmd, program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("convgpu-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let id = session.container;
+    let result = session.wait();
+    convgpu.wait_closed(id, Duration::from_secs(10));
+    let code = match result {
+        Ok(()) => {
+            println!("container {id} completed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("container {id} failed: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    for m in convgpu.metrics() {
+        println!(
+            "  {}: limit {}, {} grants, {} rejections, suspended {:.2}s",
+            m.id, m.limit, m.granted_allocs, m.rejected_allocs,
+            m.total_suspended.as_secs_f64()
+        );
+    }
+    convgpu.shutdown();
+    code
+}
+
+fn cmd_burst(args: &[String]) -> ExitCode {
+    let mut n: u32 = 12;
+    let mut policy = PolicyKind::BestFit;
+    let mut seed: u64 = 2017;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--containers=") {
+            n = match v.parse() {
+                Ok(v) => v,
+                Err(_) => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--policy=") {
+            match parse_policy(v) {
+                Some(p) => policy = p,
+                None => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = match v.parse() {
+                Ok(v) => v,
+                Err(_) => return usage(),
+            };
+        } else {
+            return usage();
+        }
+    }
+    let convgpu = start(policy);
+    let clock = convgpu.clock().clone();
+    println!(
+        "burst: {n} containers, policy {}, arrivals every 5 s (compressed)",
+        policy.label()
+    );
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut sessions = Vec::new();
+    for _ in 0..n {
+        let ty = ContainerType::random(&mut rng);
+        match convgpu.run_container(
+            RunCommand::new("cuda-app").nvidia_memory(ty.nvidia_memory_option()),
+            SampleProgram::for_type(ty).boxed(),
+        ) {
+            Ok(s) => sessions.push(s),
+            Err(e) => {
+                eprintln!("launch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        clock.sleep(SimDuration::from_secs(5));
+    }
+    let ids: Vec<_> = sessions.iter().map(|s| s.container).collect();
+    let mut failures = 0;
+    for s in sessions {
+        if s.wait().is_err() {
+            failures += 1;
+        }
+    }
+    for id in ids {
+        convgpu.wait_closed(id, Duration::from_secs(10));
+    }
+    let metrics = convgpu.metrics();
+    let avg_susp: f64 = metrics
+        .iter()
+        .map(|m| m.total_suspended.as_secs_f64())
+        .sum::<f64>()
+        / metrics.len().max(1) as f64;
+    println!(
+        "finished at t={:.1}s | avg suspended {:.1}s | {} suspended at least once | {failures} failures",
+        clock.now().as_secs_f64(),
+        avg_susp,
+        metrics.iter().filter(|m| m.suspend_episodes > 0).count(),
+    );
+    convgpu.shutdown();
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_info() -> ExitCode {
+    let convgpu = start(PolicyKind::BestFit);
+    let props = convgpu.device().props().clone();
+    println!("device: {}", props.name);
+    println!("  memory:              {}", props.total_global_mem);
+    println!("  compute capability:  {}.{}", props.compute_capability.0, props.compute_capability.1);
+    println!("  SMs:                 {}", props.multiprocessor_count);
+    println!("  concurrent kernels:  {}", props.concurrent_kernels);
+    println!("  pitch alignment:     {}", props.pitch_alignment);
+    println!("  managed granularity: {}", props.managed_granularity);
+    println!("scheduler:");
+    convgpu.service().with_scheduler(|s| {
+        println!("  policy:              {}", s.policy_name());
+        println!("  capacity:            {}", s.config().capacity);
+        println!("  ctx overhead:        {}", s.config().ctx_overhead);
+        println!("  default limit:       {}", s.config().default_limit);
+    });
+    convgpu.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("burst") => cmd_burst(&args[1..]),
+        Some("info") => cmd_info(),
+        _ => usage(),
+    }
+}

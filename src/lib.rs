@@ -1,0 +1,51 @@
+//! # ConVGPU — reproduction of "ConVGPU: GPU Management Middleware in
+//! Container Based Virtualized Environment" (IEEE CLUSTER 2017)
+//!
+//! This facade crate re-exports the whole workspace so examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — clocks (real, scaled, virtual), discrete-event queue,
+//!   deterministic RNG, byte units, statistics.
+//! * [`gpu`] — the simulated GPU device and CUDA-Runtime-like API
+//!   (the substrate replacing the paper's Tesla K20m + CUDA 8).
+//! * [`container`] — the container-runtime simulator (the substrate
+//!   replacing Docker 1.12).
+//! * [`ipc`] — the UNIX-socket/JSON protocol between the wrapper module and
+//!   the GPU memory scheduler.
+//! * [`scheduler`] — the GPU memory scheduler with the paper's four
+//!   policies (FIFO, Best-Fit, Recent-Use, Random) plus the multi-GPU
+//!   extension.
+//! * [`wrapper`] — the `libgpushare.so` analog: the interposed CUDA API.
+//! * [`middleware`] — the ConVGPU middleware itself: customized
+//!   nvidia-docker, the volume plugin, and the live orchestrator.
+//! * [`workloads`] — container types (paper Table III), the sample program,
+//!   the MNIST CNN cost model, and trace generation.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```no_run
+//! use convgpu::middleware::{ConVGpu, ConVGpuConfig};
+//! use convgpu::workloads::{ContainerType, SampleProgram};
+//!
+//! let convgpu = ConVGpu::start(ConVGpuConfig::default()).unwrap();
+//! let session = convgpu
+//!     .run_container(
+//!         convgpu::middleware::RunCommand::new("cuda-app:latest")
+//!             .nvidia_memory("512m"),
+//!         SampleProgram::for_type(ContainerType::Small).boxed(),
+//!     )
+//!     .unwrap();
+//! session.wait().unwrap();
+//! convgpu.shutdown();
+//! ```
+
+pub use convgpu_container_rt as container;
+pub use convgpu_core as middleware;
+pub use convgpu_gpu_sim as gpu;
+pub use convgpu_ipc as ipc;
+pub use convgpu_scheduler as scheduler;
+pub use convgpu_sim_core as sim;
+pub use convgpu_workloads as workloads;
+pub use convgpu_wrapper as wrapper;

@@ -1,0 +1,223 @@
+//! End-to-end integration: the full live stack — customized
+//! nvidia-docker → engine → wrapper module → UNIX socket → scheduler →
+//! simulated K20m — under realistic multi-container workloads.
+
+use convgpu::gpu::program::FnProgram;
+use convgpu::gpu::CudaApi;
+use convgpu::middleware::{ConVGpu, ConVGpuConfig, RunCommand, TransportMode};
+use convgpu::sim::time::SimDuration;
+use convgpu::sim::units::Bytes;
+use convgpu::workloads::{ContainerType, SampleProgram};
+use std::time::Duration;
+
+fn fast(transport: TransportMode) -> ConVGpuConfig {
+    ConVGpuConfig {
+        time_scale: 0.001,
+        transport,
+        engine: convgpu::container::engine::EngineConfig::instant(),
+        ..ConVGpuConfig::default()
+    }
+}
+
+#[test]
+fn mixed_container_types_share_one_gpu_over_sockets() {
+    let convgpu = ConVGpu::start(fast(TransportMode::UnixSocket)).unwrap();
+    let types = [
+        ContainerType::Nano,
+        ContainerType::Small,
+        ContainerType::Medium,
+        ContainerType::Large,
+        ContainerType::Xlarge,
+        ContainerType::Large,
+    ];
+    let mut sessions = Vec::new();
+    for ty in types {
+        sessions.push(
+            convgpu
+                .run_container(
+                    RunCommand::new("cuda-app").nvidia_memory(ty.nvidia_memory_option()),
+                    SampleProgram::for_type(ty).boxed(),
+                )
+                .unwrap(),
+        );
+    }
+    let ids: Vec<_> = sessions.iter().map(|s| s.container).collect();
+    for s in sessions {
+        s.wait().expect("every sample program must complete");
+    }
+    for id in &ids {
+        assert!(convgpu.wait_closed(*id, Duration::from_secs(10)));
+    }
+    // Total demand (2×2048+4096+1024+512+128 = 9856 MiB) exceeds the
+    // 5 GiB device: suspension must have happened, yet everyone finished.
+    let metrics = convgpu.metrics();
+    assert_eq!(metrics.len(), 6);
+    assert!(metrics.iter().any(|m| m.suspend_episodes > 0));
+    assert!(metrics.iter().all(|m| m.granted_allocs >= 1));
+    let (free, total) = convgpu.device().mem_info();
+    assert_eq!(free, total, "all device memory restored");
+    convgpu
+        .service()
+        .with_scheduler(|s| s.check_invariants().unwrap());
+    convgpu.shutdown();
+}
+
+#[test]
+fn device_usage_never_exceeds_capacity_under_load() {
+    let convgpu = ConVGpu::start(fast(TransportMode::UnixSocket)).unwrap();
+    let capacity = convgpu.device().capacity();
+    let mut sessions = Vec::new();
+    for _ in 0..8 {
+        let program = Box::new(FnProgram::new("churn", |api: &dyn CudaApi, pid, clock| {
+            for _ in 0..5 {
+                let p = api.cuda_malloc(pid, Bytes::mib(700))?;
+                clock.sleep(SimDuration::from_millis(200));
+                api.cuda_free(pid, p)?;
+            }
+            Ok(())
+        }));
+        sessions.push(
+            convgpu
+                .run_container(RunCommand::new("cuda-app").nvidia_memory("768m"), program)
+                .unwrap(),
+        );
+    }
+    for s in sessions {
+        s.wait().unwrap();
+    }
+    assert!(
+        convgpu.device().counters().peak_in_use <= capacity,
+        "device must never over-commit"
+    );
+    assert_eq!(convgpu.device().counters().failed_allocs, 0);
+    convgpu.shutdown();
+}
+
+#[test]
+fn transports_agree_on_outcomes() {
+    for transport in [TransportMode::UnixSocket, TransportMode::InProc] {
+        let convgpu = ConVGpu::start(fast(transport)).unwrap();
+        let session = convgpu
+            .run_container(
+                RunCommand::new("cuda-app").nvidia_memory("256m"),
+                SampleProgram::for_type(ContainerType::Micro).boxed(),
+            )
+            .unwrap();
+        session.wait().unwrap_or_else(|e| panic!("{transport:?}: {e}"));
+        convgpu.shutdown();
+    }
+}
+
+#[test]
+fn rejected_over_limit_allocation_is_an_oom_to_the_program() {
+    let convgpu = ConVGpu::start(fast(TransportMode::UnixSocket)).unwrap();
+    let program = Box::new(FnProgram::new("greedy", |api: &dyn CudaApi, pid, _| {
+        // 300 MiB against a 128 MiB limit: the scheduler must reject.
+        api.cuda_malloc(pid, Bytes::mib(300)).map(|_| ())
+    }));
+    let session = convgpu
+        .run_container(RunCommand::new("cuda-app").nvidia_memory("128m"), program)
+        .unwrap();
+    let err = session.wait().unwrap_err();
+    assert!(err.is_allocation_failure());
+    // The device itself was never touched by the rejected request.
+    assert_eq!(convgpu.device().counters().failed_allocs, 0);
+    convgpu.shutdown();
+}
+
+#[test]
+fn mem_get_info_reports_container_virtualized_view() {
+    let convgpu = ConVGpu::start(fast(TransportMode::UnixSocket)).unwrap();
+    let program = Box::new(FnProgram::new("introspect", |api: &dyn CudaApi, pid, _| {
+        let (free0, total) = api.cuda_mem_get_info(pid)?;
+        assert_eq!(total, Bytes::mib(512), "total is the container limit");
+        assert_eq!(free0, Bytes::mib(512));
+        let p = api.cuda_malloc(pid, Bytes::mib(100))?;
+        let (free1, _) = api.cuda_mem_get_info(pid)?;
+        assert_eq!(free1, Bytes::mib(412));
+        api.cuda_free(pid, p)?;
+        let (free2, _) = api.cuda_mem_get_info(pid)?;
+        assert_eq!(free2, Bytes::mib(512));
+        Ok(())
+    }));
+    convgpu
+        .run_container(RunCommand::new("cuda-app").nvidia_memory("512m"), program)
+        .unwrap()
+        .wait()
+        .unwrap();
+    convgpu.shutdown();
+}
+
+#[test]
+fn sequential_batches_reuse_the_device_cleanly() {
+    let convgpu = ConVGpu::start(fast(TransportMode::UnixSocket)).unwrap();
+    for batch in 0..3 {
+        let sessions: Vec<_> = (0..3)
+            .map(|_| {
+                convgpu
+                    .run_container(
+                        RunCommand::new("cuda-app").nvidia_memory("1g"),
+                        SampleProgram::new(Bytes::mib(1024), SimDuration::from_secs(1)).boxed(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let ids: Vec<_> = sessions.iter().map(|s| s.container).collect();
+        for s in sessions {
+            s.wait().unwrap_or_else(|e| panic!("batch {batch}: {e}"));
+        }
+        for id in ids {
+            assert!(convgpu.wait_closed(id, Duration::from_secs(10)));
+        }
+        let (free, total) = convgpu.device().mem_info();
+        assert_eq!(free, total, "batch {batch} left residue");
+    }
+    assert_eq!(convgpu.metrics().len(), 9);
+    convgpu.shutdown();
+}
+
+#[test]
+fn decision_log_narrates_the_live_run() {
+    let convgpu = ConVGpu::start(fast(TransportMode::UnixSocket)).unwrap();
+    let session = convgpu
+        .run_container(
+            RunCommand::new("cuda-app").nvidia_memory("256m"),
+            SampleProgram::for_type(ContainerType::Micro).boxed(),
+        )
+        .unwrap();
+    let id = session.container;
+    session.wait().unwrap();
+    assert!(convgpu.wait_closed(id, Duration::from_secs(10)));
+    let log = convgpu.recent_decisions(64);
+    let has = |needle: &str| log.iter().any(|l| l.contains(needle));
+    assert!(has("registered limit=256MiB"), "{log:?}");
+    assert!(has("GRANTED"), "{log:?}");
+    assert!(has("exited"), "{log:?}");
+    assert!(has("closed"), "{log:?}");
+    convgpu.shutdown();
+}
+
+#[test]
+fn program_crash_mid_allocation_releases_memory() {
+    let convgpu = ConVGpu::start(fast(TransportMode::UnixSocket)).unwrap();
+    // The program leaks its buffer and "crashes" (returns an error).
+    let program = Box::new(FnProgram::new("crasher", |api: &dyn CudaApi, pid, _| {
+        let _leaked = api.cuda_malloc(pid, Bytes::mib(800))?;
+        Err(convgpu::gpu::CudaError::LaunchFailure)
+    }));
+    let session = convgpu
+        .run_container(RunCommand::new("cuda-app").nvidia_memory("1g"), program)
+        .unwrap();
+    let id = session.container;
+    assert!(session.wait().is_err());
+    assert!(convgpu.wait_closed(id, Duration::from_secs(10)));
+    // Exit code recorded; memory fully reclaimed via
+    // __cudaUnregisterFatBinary + plugin close.
+    assert_eq!(convgpu.engine().inspect(id).unwrap().exit_code, Some(1));
+    let (free, total) = convgpu.device().mem_info();
+    assert_eq!(free, total);
+    convgpu
+        .service()
+        .with_scheduler(|s| assert_eq!(s.total_assigned(), Bytes::ZERO));
+    convgpu.shutdown();
+}

@@ -1,0 +1,224 @@
+//! Fault tolerance: the paths the paper's §III relies on for cleanup —
+//! leaked memory, crashed processes, killed containers, and clients
+//! blocked mid-suspension when their container dies.
+
+use convgpu::ipc::message::{AllocDecision, ApiKind};
+use convgpu::middleware::{InProcEndpoint, SchedulerService};
+use convgpu::scheduler::core::{AllocOutcome, Scheduler, SchedulerConfig};
+use convgpu::scheduler::policy::PolicyKind;
+use convgpu::sim::clock::RealClock;
+use convgpu::sim::ids::ContainerId;
+use convgpu::sim::time::SimTime;
+use convgpu::sim::units::Bytes;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn service(capacity_mib: u64, tag: &str) -> Arc<SchedulerService> {
+    Arc::new(SchedulerService::new(
+        Scheduler::new(
+            SchedulerConfig::with_capacity(Bytes::mib(capacity_mib)),
+            PolicyKind::Fifo.build(0),
+        ),
+        RealClock::handle(),
+        std::env::temp_dir().join(format!("convgpu-itest-fail-{}-{tag}", std::process::id())),
+    ))
+}
+
+#[test]
+fn killed_container_unblocks_its_suspended_requester() {
+    let svc = service(1000, "kill");
+    svc.register(ContainerId(1), Bytes::mib(800)).unwrap();
+    svc.register(ContainerId(2), Bytes::mib(800)).unwrap();
+    assert_eq!(
+        svc.alloc_request_blocking(ContainerId(1), 1, Bytes::mib(800), ApiKind::Malloc)
+            .unwrap(),
+        AllocDecision::Granted
+    );
+    // Container 2 blocks…
+    let svc2 = Arc::clone(&svc);
+    let waiter = std::thread::spawn(move || {
+        svc2.alloc_request_blocking(ContainerId(2), 2, Bytes::mib(800), ApiKind::Malloc)
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(!waiter.is_finished());
+    // …and container 2 is then KILLED (docker stop): the close signal
+    // must cancel the parked request rather than leave the thread hung.
+    svc.container_close(ContainerId(2)).unwrap();
+    let decision = waiter.join().unwrap().unwrap();
+    assert_eq!(decision, AllocDecision::Rejected, "cancelled, not hung");
+    svc.with_scheduler(|s| s.check_invariants().unwrap());
+}
+
+#[test]
+fn process_exit_cancels_that_pids_parked_requests_only() {
+    let svc = service(1000, "pidexit");
+    svc.register(ContainerId(1), Bytes::mib(800)).unwrap();
+    svc.register(ContainerId(2), Bytes::mib(800)).unwrap();
+    svc.alloc_request_blocking(ContainerId(1), 1, Bytes::mib(800), ApiKind::Malloc)
+        .unwrap();
+    let svc2 = Arc::clone(&svc);
+    let waiter = std::thread::spawn(move || {
+        svc2.alloc_request_blocking(ContainerId(2), 42, Bytes::mib(700), ApiKind::Malloc)
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    // Pid 42 inside container 2 dies (__cudaUnregisterFatBinary).
+    svc.process_exit(ContainerId(2), 42).unwrap();
+    assert_eq!(
+        waiter.join().unwrap().unwrap(),
+        AllocDecision::Rejected,
+        "the dead pid's request is cancelled"
+    );
+    // Container 2 itself is still registered and usable by another pid.
+    svc.with_scheduler(|s| {
+        let rec = s.container(ContainerId(2)).unwrap();
+        assert!(!rec.is_suspended());
+        assert_eq!(rec.used, Bytes::ZERO);
+    });
+}
+
+#[test]
+fn leaked_allocations_return_on_process_exit_and_enable_resumes() {
+    let mut sched = Scheduler::new(
+        SchedulerConfig::with_capacity(Bytes::mib(1000)),
+        PolicyKind::Fifo.build(0),
+    );
+    let t = SimTime::from_secs;
+    sched.register(ContainerId(1), Bytes::mib(700), t(0)).unwrap();
+    sched.register(ContainerId(2), Bytes::mib(700), t(1)).unwrap();
+    let (out, _) = sched
+        .alloc_request(ContainerId(1), 1, Bytes::mib(700), ApiKind::Malloc, t(2))
+        .unwrap();
+    assert_eq!(out, AllocOutcome::Granted);
+    sched
+        .alloc_done(ContainerId(1), 1, 0xA, Bytes::mib(700), t(2))
+        .unwrap();
+    let (out, _) = sched
+        .alloc_request(ContainerId(2), 2, Bytes::mib(700), ApiKind::Malloc, t(3))
+        .unwrap();
+    assert!(matches!(out, AllocOutcome::Suspended { .. }));
+    // Pid 1 exits WITHOUT freeing — the leak reclaim path. That releases
+    // used memory but NOT the container's guarantee; only the close does.
+    sched.process_exit(ContainerId(1), 1, t(4)).unwrap();
+    assert_eq!(sched.container(ContainerId(1)).unwrap().used, Bytes::ZERO);
+    // Close finishes the job and the waiter resumes.
+    let actions = sched.container_close(ContainerId(1), t(5)).unwrap();
+    assert_eq!(actions.len(), 1);
+    assert_eq!(actions[0].decision, AllocDecision::Granted);
+    sched.check_invariants().unwrap();
+}
+
+#[test]
+fn double_close_and_unknown_frees_are_harmless() {
+    let svc = service(5120, "idem");
+    svc.register(ContainerId(1), Bytes::mib(128)).unwrap();
+    svc.container_close(ContainerId(1)).unwrap();
+    // Idempotent close (plugin + explicit stop can both fire).
+    svc.container_close(ContainerId(1)).unwrap();
+    // Unknown container errors cleanly.
+    assert!(svc.container_close(ContainerId(99)).is_err());
+    svc.with_scheduler(|s| s.check_invariants().unwrap());
+}
+
+#[test]
+fn in_proc_endpoint_full_crash_recovery_cycle() {
+    use convgpu::ipc::endpoint::SchedulerEndpoint;
+    let svc = service(5120, "cycle");
+    let ep = InProcEndpoint::new(Arc::clone(&svc));
+    // Simulate the wrapper of a container whose program crashes after
+    // allocating: alloc granted + done, then process exit without free,
+    // then plugin close.
+    ep.register(ContainerId(1), Bytes::mib(512)).unwrap();
+    assert_eq!(
+        ep.request_alloc(ContainerId(1), 7, Bytes::mib(256), ApiKind::Malloc)
+            .unwrap(),
+        AllocDecision::Granted
+    );
+    ep.alloc_done(ContainerId(1), 7, 0xBEEF, Bytes::mib(256)).unwrap();
+    ep.process_exit(ContainerId(1), 7).unwrap();
+    ep.container_close(ContainerId(1)).unwrap();
+    svc.with_scheduler(|s| {
+        assert_eq!(s.total_assigned(), Bytes::ZERO);
+        s.check_invariants().unwrap();
+    });
+}
+
+#[test]
+fn device_reserve_models_driver_reservations() {
+    use convgpu::gpu::device::{DeviceConfig, GpuDevice};
+    use convgpu::gpu::props::DeviceProperties;
+    let dev = GpuDevice::new(DeviceConfig {
+        props: DeviceProperties::tesla_k20m(),
+        reserve: Bytes::mib(512),
+        ..DeviceConfig::default()
+    });
+    // 5120 - 66 ctx - 512 reserve = 4542 max single allocation.
+    assert!(dev.alloc(1, Bytes::mib(4600)).is_err());
+    assert!(dev.alloc(1, Bytes::mib(4500)).is_ok());
+    assert_eq!(dev.counters().failed_allocs, 1);
+}
+
+#[test]
+fn injected_device_faults_stay_contained_per_container() {
+    use convgpu::gpu::device::DeviceConfig;
+    use convgpu::gpu::fault::{FaultPlan, FaultRates};
+    use convgpu::gpu::program::FnProgram;
+    use convgpu::gpu::CudaApi;
+    use convgpu::middleware::{ConVGpu, ConVGpuConfig, RunCommand, TransportMode};
+
+    let convgpu = ConVGpu::start(ConVGpuConfig {
+        time_scale: 0.001,
+        transport: TransportMode::UnixSocket,
+        engine: convgpu::container::engine::EngineConfig::instant(),
+        device: DeviceConfig {
+            faults: Arc::new(FaultPlan::new(
+                FaultRates {
+                    alloc_failure: 0.3,
+                    launch_failure: 0.0,
+                },
+                99,
+            )),
+            ..DeviceConfig::default()
+        },
+        ..ConVGpuConfig::default()
+    })
+    .unwrap();
+
+    let mut sessions = Vec::new();
+    for _ in 0..6 {
+        let program = Box::new(FnProgram::new("flaky", |api: &dyn CudaApi, pid, _| {
+            // Retry the allocation a few times, like a robust CUDA app.
+            let mut last = Ok(());
+            for _ in 0..5 {
+                match api.cuda_malloc(pid, Bytes::mib(200)) {
+                    Ok(p) => {
+                        api.cuda_free(pid, p)?;
+                        return Ok(());
+                    }
+                    Err(e) => last = Err(e),
+                }
+            }
+            last
+        }));
+        sessions.push(
+            convgpu
+                .run_container(RunCommand::new("cuda-app").nvidia_memory("256m"), program)
+                .unwrap(),
+        );
+    }
+    let ids: Vec<_> = sessions.iter().map(|s| s.container).collect();
+    let outcomes: Vec<_> = sessions.into_iter().map(|s| s.wait()).collect();
+    for id in ids {
+        assert!(convgpu.wait_closed(id, Duration::from_secs(10)));
+    }
+    // Some retries hit faults (30% rate means ~0.2% of containers lose
+    // all 5 retries; just require the system survived) — the key
+    // assertions are global consistency:
+    assert!(outcomes.iter().filter(|o| o.is_ok()).count() >= 4);
+    let (free, total) = convgpu.device().mem_info();
+    assert_eq!(free, total, "faulty allocations must not leak memory");
+    convgpu.service().with_scheduler(|s| {
+        s.check_invariants().unwrap();
+        assert_eq!(s.total_assigned(), Bytes::ZERO);
+    });
+    convgpu.shutdown();
+}

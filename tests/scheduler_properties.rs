@@ -1,0 +1,246 @@
+//! Property-based tests on the scheduler state machine and the device
+//! allocators — the invariants that make ConVGPU's guarantee meaningful:
+//!
+//! * **safety**: `Σ assigned ≤ capacity` and `used ≤ assigned` always;
+//! * **liveness**: any trace of limit-respecting containers eventually
+//!   finishes under every policy;
+//! * **conservation**: allocator free+live always partitions capacity.
+
+use convgpu::gpu::memory::{AddressSpaceAllocator, DevicePtr, PagedAllocator};
+use convgpu::ipc::message::{AllocDecision, ApiKind};
+use convgpu::scheduler::core::{AllocOutcome, Scheduler, SchedulerConfig};
+use convgpu::scheduler::policy::PolicyKind;
+use convgpu::sim::ids::ContainerId;
+use convgpu::sim::time::SimTime;
+use convgpu::sim::units::Bytes;
+use proptest::prelude::*;
+
+/// A random scheduler operation over a small id space.
+#[derive(Clone, Debug)]
+enum Op {
+    Register { id: u8, limit_mib: u16 },
+    Alloc { id: u8, pid: u8, size_mib: u16 },
+    Free { id: u8, addr_idx: u8 },
+    ProcessExit { id: u8, pid: u8 },
+    Close { id: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 64u16..2048).prop_map(|(id, limit_mib)| Op::Register { id, limit_mib }),
+        (0u8..6, 0u8..3, 1u16..2048).prop_map(|(id, pid, size_mib)| Op::Alloc {
+            id,
+            pid,
+            size_mib
+        }),
+        (0u8..6, 0u8..16).prop_map(|(id, addr_idx)| Op::Free { id, addr_idx }),
+        (0u8..6, 0u8..3).prop_map(|(id, pid)| Op::ProcessExit { id, pid }),
+        (0u8..6).prop_map(|id| Op::Close { id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever sequence of (possibly nonsensical) operations arrives,
+    /// the scheduler never over-commits, never lets `used` exceed
+    /// `assigned`, and never panics.
+    #[test]
+    fn scheduler_invariants_hold_under_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let mut sched = Scheduler::new(
+            SchedulerConfig::with_capacity(Bytes::mib(4096)),
+            policy.build(7),
+        );
+        // Track granted allocations so Free ops can hit live addresses.
+        let mut live_addrs: Vec<(ContainerId, u64, u64)> = Vec::new(); // (container, pid, addr)
+        let mut next_addr = 0x1000u64;
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            match op {
+                Op::Register { id, limit_mib } => {
+                    let _ = sched.register(
+                        ContainerId(u64::from(id)),
+                        Bytes::mib(u64::from(limit_mib)),
+                        now,
+                    );
+                }
+                Op::Alloc { id, pid, size_mib } => {
+                    let c = ContainerId(u64::from(id));
+                    if let Ok((outcome, _)) = sched.alloc_request(
+                        c,
+                        u64::from(pid),
+                        Bytes::mib(u64::from(size_mib)),
+                        ApiKind::Malloc,
+                        now,
+                    ) {
+                        if outcome == AllocOutcome::Granted {
+                            let addr = next_addr;
+                            next_addr += 0x1000;
+                            sched
+                                .alloc_done(c, u64::from(pid), addr, Bytes::mib(u64::from(size_mib)), now)
+                                .unwrap();
+                            live_addrs.push((c, u64::from(pid), addr));
+                        }
+                        // Suspended tickets are simply abandoned here —
+                        // the scheduler must survive that too (a dead
+                        // client); Close/ProcessExit clean them up.
+                    }
+                }
+                Op::Free { id, addr_idx } => {
+                    let c = ContainerId(u64::from(id));
+                    let pick = live_addrs
+                        .iter()
+                        .position(|(cc, _, _)| *cc == c)
+                        .and_then(|base| {
+                            let matches: Vec<usize> = live_addrs
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, (cc, _, _))| *cc == c)
+                                .map(|(i, _)| i)
+                                .collect();
+                            matches.get(usize::from(addr_idx) % matches.len().max(1)).copied().or(Some(base))
+                        });
+                    if let Some(i) = pick {
+                        let (cc, pid, addr) = live_addrs.remove(i);
+                        let _ = sched.free(cc, pid, addr, now);
+                    }
+                }
+                Op::ProcessExit { id, pid } => {
+                    let c = ContainerId(u64::from(id));
+                    if sched.process_exit(c, u64::from(pid), now).is_ok() {
+                        live_addrs.retain(|(cc, p, _)| !(*cc == c && *p == u64::from(pid)));
+                    }
+                }
+                Op::Close { id } => {
+                    let c = ContainerId(u64::from(id));
+                    if sched.container_close(c, now).is_ok() {
+                        live_addrs.retain(|(cc, _, _)| *cc != c);
+                    }
+                }
+            }
+            prop_assert!(sched.check_invariants().is_ok(), "{:?}", sched.check_invariants());
+            prop_assert!(sched.total_assigned() <= Bytes::mib(4096));
+        }
+    }
+
+    /// Liveness: a batch of single-shot containers (the paper's sample
+    /// workload shape) always finishes under every policy, for any sizes
+    /// and arrival order.
+    #[test]
+    fn every_policy_finishes_every_single_shot_batch(
+        sizes in prop::collection::vec(1u64..4096, 1..25),
+        policy_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let mut sched = Scheduler::new(
+            SchedulerConfig::with_capacity(Bytes::gib(5)),
+            policy.build(seed),
+        );
+        // Launch everything at t=i, requesting the full limit.
+        let mut running: Vec<(ContainerId, u64)> = Vec::new(); // (id, finish_t)
+        let mut waiting: std::collections::HashSet<ContainerId> = Default::default();
+        let mut limits = std::collections::HashMap::new();
+        for (i, &mib) in sizes.iter().enumerate() {
+            let id = ContainerId(i as u64 + 1);
+            let now = SimTime::from_secs(i as u64);
+            sched.register(id, Bytes::mib(mib), now).unwrap();
+            limits.insert(id, Bytes::mib(mib));
+            let (outcome, actions) = sched
+                .alloc_request(id, 1, Bytes::mib(mib), ApiKind::Malloc, now)
+                .unwrap();
+            match outcome {
+                AllocOutcome::Granted => {
+                    sched.alloc_done(id, 1, 0xA000 + i as u64, Bytes::mib(mib), now).unwrap();
+                    running.push((id, i as u64 + 3));
+                }
+                AllocOutcome::Suspended { .. } => { waiting.insert(id); }
+                AllocOutcome::Rejected => prop_assert!(false, "limit-sized request rejected"),
+            }
+            for a in actions {
+                prop_assert_eq!(a.decision, AllocDecision::Granted);
+                sched.alloc_done(a.container, a.pid, 0xF000 + a.container.as_u64(), limits[&a.container], now).unwrap();
+                waiting.remove(&a.container);
+                running.push((a.container, i as u64 + 3));
+            }
+        }
+        // Drain: close running containers in finish order until all done.
+        let mut t = sizes.len() as u64 + 10;
+        let mut guard = 0;
+        while !running.is_empty() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not converge");
+            running.sort_by_key(|&(_, ft)| ft);
+            let (id, _) = running.remove(0);
+            t += 1;
+            let actions = sched.container_close(id, SimTime::from_secs(t)).unwrap();
+            for a in actions {
+                prop_assert_eq!(a.decision, AllocDecision::Granted);
+                sched.alloc_done(a.container, a.pid, 0xC000_0000 + a.container.as_u64() * 7 + t, limits[&a.container], SimTime::from_secs(t)).unwrap();
+                waiting.remove(&a.container);
+                running.push((a.container, t + 3));
+            }
+            prop_assert!(sched.check_invariants().is_ok());
+        }
+        prop_assert!(waiting.is_empty(), "{policy:?}: stranded containers {waiting:?}");
+    }
+
+    /// First-fit allocator conservation: free + live == capacity, no
+    /// overlaps, coalescing sound — under arbitrary alloc/free interleaving.
+    #[test]
+    fn first_fit_allocator_conserves_memory(
+        ops in prop::collection::vec((any::<bool>(), 1u64..2000), 1..200),
+    ) {
+        let mut a = AddressSpaceAllocator::new(Bytes::mib(256));
+        let mut live: Vec<DevicePtr> = Vec::new();
+        for (is_alloc, v) in ops {
+            if is_alloc {
+                if let Ok(p) = a.alloc(Bytes::kib(v)) {
+                    live.push(p);
+                }
+            } else if !live.is_empty() {
+                let p = live.swap_remove((v as usize) % live.len());
+                a.free(p).unwrap();
+            }
+            prop_assert!(a.check_invariants().is_ok(), "{:?}", a.check_invariants());
+        }
+        for p in live {
+            a.free(p).unwrap();
+        }
+        prop_assert_eq!(a.free_bytes(), Bytes::mib(256));
+        prop_assert!(a.check_invariants().is_ok());
+    }
+
+    /// Paged allocator: same conservation property, plus immunity to the
+    /// interleaving (any request ≤ free total succeeds).
+    #[test]
+    fn paged_allocator_admits_by_total_free(
+        ops in prop::collection::vec((any::<bool>(), 1u64..2000), 1..200),
+    ) {
+        let mut a = PagedAllocator::new(Bytes::mib(256));
+        let mut live: Vec<(DevicePtr, Bytes)> = Vec::new();
+        for (is_alloc, v) in ops {
+            if is_alloc {
+                let want = Bytes::kib(v);
+                let fits = want.align_up(Bytes::new(256)) <= a.free_bytes();
+                match a.alloc(want) {
+                    Ok(p) => {
+                        prop_assert!(fits, "alloc succeeded but should not fit");
+                        live.push((p, want));
+                    }
+                    Err(_) => prop_assert!(!fits, "alloc failed despite fitting"),
+                }
+            } else if !live.is_empty() {
+                let (p, _) = live.swap_remove((v as usize) % live.len());
+                a.free(p).unwrap();
+            }
+            prop_assert!(a.check_invariants().is_ok());
+        }
+    }
+}

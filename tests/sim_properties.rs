@@ -1,0 +1,111 @@
+//! Property tests on the simulation substrate: the event queue, time
+//! arithmetic, the stream engine, byte-size parsing, and the cluster
+//! dispatcher — the foundations every experiment result rests on.
+
+use convgpu::gpu::stream::{StreamEngine, StreamId};
+use convgpu::scheduler::cluster::{ClusterNode, ClusterScheduler, SwarmStrategy};
+use convgpu::scheduler::policy::PolicyKind;
+use convgpu::sim::event::EventQueue;
+use convgpu::sim::ids::ContainerId;
+use convgpu::sim::time::{SimDuration, SimTime};
+use convgpu::sim::units::Bytes;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always pop in non-decreasing time order, with insertion
+    /// order breaking ties.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last = (SimTime::ZERO, 0usize);
+        let mut popped = 0;
+        while let Some((at, idx)) = q.pop() {
+            popped += 1;
+            prop_assert!(at >= last.0, "time went backwards");
+            if at == last.0 && popped > 1 {
+                prop_assert!(idx > last.1, "tie must respect insertion order");
+            }
+            prop_assert_eq!(at, SimTime::from_secs(times[idx]));
+            last = (at, idx);
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Time arithmetic: (t + d) - t == d and (t + d) - d == t, for any
+    /// values that do not overflow.
+    #[test]
+    fn time_add_sub_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!((time + dur) - dur, time);
+    }
+
+    /// The stream engine serializes within a stream: total time on one
+    /// stream equals the sum of enqueued durations regardless of when
+    /// the host enqueues.
+    #[test]
+    fn stream_serializes_work(durs in prop::collection::vec(1u64..1_000, 1..50)) {
+        let mut e = StreamEngine::new();
+        let s = e.create_stream(1);
+        let mut done = SimTime::ZERO;
+        for &d in &durs {
+            done = e.enqueue(1, s, SimTime::ZERO, SimDuration::from_millis(d)).unwrap();
+        }
+        let total: u64 = durs.iter().sum();
+        prop_assert_eq!(done, SimTime::ZERO + SimDuration::from_millis(total));
+    }
+
+    /// Byte-size strings produced by Display parse back to the same value
+    /// whenever the value is exactly representable (multiples of the
+    /// printed unit — always true for Display output).
+    #[test]
+    fn bytes_display_parse_round_trips(v in 1u64..1u64 << 40) {
+        let b = Bytes::new(v);
+        let shown = b.to_string();
+        // Display appends a unit; the grammar parses all of them.
+        let parsed: Bytes = shown.parse().unwrap();
+        prop_assert_eq!(parsed, b, "{}", shown);
+    }
+
+    /// Any mix of container limits that fits *some* node is placed, and
+    /// placement never violates per-node invariants, under any strategy.
+    #[test]
+    fn cluster_places_every_feasible_container(
+        limits in prop::collection::vec(64u64..4096, 1..30),
+        strategy_idx in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let strategy = [SwarmStrategy::Spread, SwarmStrategy::BinPack, SwarmStrategy::Random][strategy_idx];
+        let mut cluster = ClusterScheduler::new(
+            vec![
+                ClusterNode::new("a", &[Bytes::gib(5)], PolicyKind::BestFit, 1),
+                ClusterNode::new("b", &[Bytes::gib(5), Bytes::gib(16)], PolicyKind::BestFit, 2),
+            ],
+            strategy,
+            seed,
+        );
+        for (i, &mib) in limits.iter().enumerate() {
+            let id = ContainerId(i as u64 + 1);
+            let node = cluster
+                .register(id, Bytes::mib(mib), SimTime::from_secs(i as u64))
+                .unwrap();
+            prop_assert_eq!(cluster.home_of(id), Some(node));
+        }
+        prop_assert!(cluster.check_invariants().is_ok());
+    }
+}
+
+#[test]
+fn default_stream_is_usable_without_creation() {
+    let mut e = StreamEngine::new();
+    let done = e
+        .enqueue(9, StreamId::DEFAULT, SimTime::from_secs(1), SimDuration::from_secs(2))
+        .unwrap();
+    assert_eq!(done, SimTime::from_secs(3));
+}
