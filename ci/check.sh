@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, tests, the repo linter, and the
+# bounded model checker. Everything runs offline against the committed
+# tree; any failure fails the script.
+#
+#   ./ci/check.sh          # full gate (release-mode model check)
+#   QUICK=1 ./ci/check.sh  # smaller model-check sweep for fast iteration
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+step "cargo test"
+cargo test --offline --workspace -q
+
+step "cargo test (audit feature: invariants after every transition)"
+cargo test --offline -q -p convgpu-scheduler --features audit
+
+step "convgpu-lint"
+cargo run --offline -q --bin convgpu-lint
+
+step "bounded model check"
+if [[ "${QUICK:-0}" == "1" ]]; then
+  cargo run --offline -q --release -p convgpu-audit --bin convgpu-audit -- --quick
+else
+  cargo run --offline -q --release -p convgpu-audit --bin convgpu-audit
+fi
+
+printf '\nAll checks passed.\n'

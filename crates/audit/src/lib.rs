@@ -1,0 +1,40 @@
+//! **convgpu-audit** — the verification layer of the ConVGPU
+//! reproduction.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * [`model`] — a bounded model checker that drives the *real*
+//!   [`Scheduler`] through every interleaving of container lifecycle
+//!   events for small quantized configurations, checking the shared
+//!   invariant oracle ([`Scheduler::check_invariants`]), the paper's
+//!   §III-E deadlock-freedom claim, and wakeup consistency after every
+//!   transition.
+//! * [`naive`] — the uncoordinated-sharing baseline the paper argues
+//!   against, plus a breadth-first search for its **minimal** deadlock
+//!   trace: the negative witness that makes the positive proof above
+//!   meaningful.
+//! * [`prop`] — a small deterministic property-test harness (seeded
+//!   [`DetRng`] per case, replayable failures) standing in for
+//!   `proptest` in the sealed build environment.
+//!
+//! The `convgpu-audit` binary runs the whole suite:
+//!
+//! ```text
+//! cargo run --release -p convgpu-audit --bin convgpu-audit
+//! ```
+//!
+//! See `docs/AUDIT.md` for the invariants, the state-space bounds and
+//! the soundness argument for the canonical state encoding.
+//!
+//! [`Scheduler`]: convgpu_scheduler::Scheduler
+//! [`Scheduler::check_invariants`]: convgpu_scheduler::Scheduler::check_invariants
+//! [`DetRng`]: convgpu_sim_core::rng::DetRng
+
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod naive;
+pub mod prop;
+
+pub use model::{CheckOutcome, Event, ExploreStats, Failure, ModelConfig, SearchMode};
+pub use naive::{find_deadlock, NaiveConfig, NaiveScheduler, NaiveWitness};

@@ -1,0 +1,810 @@
+//! Bounded model checker for the ConVGPU scheduler (§III-D/E).
+//!
+//! The checker drives a real [`Scheduler`] — not a re-implementation —
+//! through **every** interleaving of container lifecycle events for a
+//! small, quantized configuration, and checks the full invariant oracle
+//! ([`Scheduler::check_invariants`]) plus the paper's §III-E
+//! deadlock-freedom claim ([`deadlock::assess`] never `Stalled`) after
+//! every transition.
+//!
+//! # The model
+//!
+//! Each container is driven by a model of its wrapper + one process:
+//!
+//! * `Register` — nvidia-docker declares the container (fixed limit);
+//! * `Alloc(size)` — the process calls `cudaMalloc(size)`; a granted
+//!   request immediately reports `alloc_done` at a fresh address, a
+//!   suspended one records the outstanding ticket;
+//! * `Free` — the process frees its oldest live allocation;
+//! * `Exit` — the process dies (`__cudaUnregisterFatBinary`), possibly
+//!   while suspended or while holding memory (leak reclaim path);
+//! * `Close` — the container stops (volume-unmount plugin event),
+//!   allowed at any point after registration.
+//!
+//! A suspended container issues no new requests (its thread is blocked in
+//! the CUDA call, exactly as in the live wrapper) but can still `Exit` or
+//! `Close` — those are exactly the paths where wakeups get lost in buggy
+//! schedulers.
+//!
+//! # State-space soundness
+//!
+//! Explored states are deduplicated under a *canonical* encoding that
+//! replaces absolute times with relative ranks (registration order,
+//! suspension order) and device addresses with allocation-size sequences.
+//! Every scheduler decision — FIFO / Recent-Use comparisons, the
+//! redistribution sort, Best-Fit deficits, the sticky target — depends
+//! only on those orders and on quantities that the encoding keeps
+//! verbatim, so two states with equal encodings are bisimilar and merging
+//! them is sound. The Random policy's RNG state is folded in via
+//! [`Scheduler::policy_fingerprint`], so states are only merged when
+//! their future random draws coincide as well.
+//!
+//! Keys are stored as 128-bit FNV-style digests of the canonical vector
+//! (two independent folds); at the ≤ 10⁷ states this checker is meant
+//! for, a collision is beyond negligible (≈ 10⁻²⁴).
+//!
+//! # What is checked, per transition
+//!
+//! 1. the shared invariant oracle (`check_invariants`);
+//! 2. `deadlock::assess` never returns `Stalled` (§III-E);
+//! 3. **wakeup consistency** — the set of tickets parked inside the
+//!    scheduler equals the set of tickets the driver is still owed, so a
+//!    wakeup can neither be lost nor invented;
+//! 4. at every *terminal* state (all containers closed): no memory is
+//!    still assigned and no ticket is still outstanding. Terminal states
+//!    are reachable from every state (any registered container may always
+//!    close), so these terminal checks imply the "every suspended
+//!    container is eventually resumed or rejected" liveness claim.
+
+use convgpu_ipc::message::{AllocDecision, ApiKind};
+use convgpu_scheduler::deadlock::{self, ProgressState};
+use convgpu_scheduler::{
+    AllocOutcome, ContainerState, InvariantViolation, PolicyKind, ResumeAction, ResumeRule,
+    Scheduler, SchedulerConfig,
+};
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::SimTime;
+use convgpu_sim_core::units::Bytes;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+
+/// One event of the lifecycle model. `c` is the container *index*
+/// (0-based); the scheduler sees [`ContainerId`]`(c + 1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// nvidia-docker registers container `c` with its configured limit.
+    Register {
+        /// Container index.
+        c: usize,
+    },
+    /// Container `c`'s process requests `size` of device memory.
+    Alloc {
+        /// Container index.
+        c: usize,
+        /// Requested size.
+        size: Bytes,
+    },
+    /// Container `c`'s process frees its oldest live allocation.
+    Free {
+        /// Container index.
+        c: usize,
+    },
+    /// Container `c`'s process exits (leak-reclaim path).
+    Exit {
+        /// Container index.
+        c: usize,
+    },
+    /// Container `c` stops.
+    Close {
+        /// Container index.
+        c: usize,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Register { c } => write!(f, "register(C{})", c + 1),
+            Event::Alloc { c, size } => write!(f, "alloc(C{}, {size})", c + 1),
+            Event::Free { c } => write!(f, "free(C{}, oldest)", c + 1),
+            Event::Exit { c } => write!(f, "exit(C{})", c + 1),
+            Event::Close { c } => write!(f, "close(C{})", c + 1),
+        }
+    }
+}
+
+/// Search order. Depth-first needs memory proportional to the path
+/// length only; breadth-first additionally keeps the frontier but finds
+/// *minimal* counterexample traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Depth-first (default; constant memory beyond the visited set).
+    Dfs,
+    /// Breadth-first (minimal traces; use on small configurations).
+    Bfs,
+}
+
+/// A bounded-model-checking configuration: the quantized universe the
+/// checker explores exhaustively.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Device capacity.
+    pub capacity: Bytes,
+    /// Per-pid context overhead (only charged if `charge_ctx`).
+    pub ctx_overhead: Bytes,
+    /// Whether to charge the context overhead.
+    pub charge_ctx: bool,
+    /// Resume discipline under test.
+    pub resume_rule: ResumeRule,
+    /// Declared limit per container (the vector length is the container
+    /// count).
+    pub limits: Vec<Bytes>,
+    /// The quantized allocation-size menu.
+    pub alloc_sizes: Vec<Bytes>,
+    /// Maximum allocation requests *issued* per container (granted,
+    /// rejected or parked all count).
+    pub max_allocs: u32,
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// Seed for the Random policy.
+    pub seed: u64,
+    /// Abort if the visited set exceeds this bound.
+    pub max_states: usize,
+    /// Search order.
+    pub mode: SearchMode,
+}
+
+impl ModelConfig {
+    /// The default exhaustive sweep: 3 containers on a 1 GiB device,
+    /// 256 MiB quanta, no context overhead, full guarantee.
+    pub fn three_containers(policy: PolicyKind) -> Self {
+        let u = Bytes::mib(256);
+        ModelConfig {
+            capacity: Bytes::new(u.0 * 4),
+            ctx_overhead: Bytes::ZERO,
+            charge_ctx: false,
+            resume_rule: ResumeRule::FullGuarantee,
+            limits: vec![
+                Bytes::new(u.0 * 2),
+                Bytes::new(u.0 * 2),
+                Bytes::new(u.0 * 3),
+            ],
+            alloc_sizes: vec![u, Bytes::new(u.0 * 2)],
+            max_allocs: 2,
+            policy,
+            seed: 0xC0DE,
+            max_states: 10_000_000,
+            mode: SearchMode::Dfs,
+        }
+    }
+
+    /// A 2-container sweep with the paper's 66 MiB per-pid context
+    /// overhead charged, to exercise the overhead accounting paths.
+    pub fn two_containers_with_ctx(policy: PolicyKind) -> Self {
+        ModelConfig {
+            capacity: Bytes::gib(1),
+            ctx_overhead: Bytes::mib(66),
+            charge_ctx: true,
+            resume_rule: ResumeRule::FullGuarantee,
+            limits: vec![Bytes::mib(512), Bytes::mib(512)],
+            alloc_sizes: vec![Bytes::mib(128), Bytes::mib(256)],
+            max_allocs: 2,
+            policy,
+            seed: 0xC0DE,
+            max_states: 10_000_000,
+            mode: SearchMode::Dfs,
+        }
+    }
+
+    fn scheduler(&self) -> Scheduler {
+        let cfg = SchedulerConfig {
+            capacity: self.capacity,
+            ctx_overhead: self.ctx_overhead,
+            charge_ctx_overhead: self.charge_ctx,
+            resume_rule: self.resume_rule,
+            default_limit: self.limits[0],
+        };
+        Scheduler::new(cfg, self.policy.build(self.seed))
+    }
+}
+
+/// Why a run failed, if it did.
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// The shared invariant oracle tripped.
+    Invariant(InvariantViolation),
+    /// §III-E violated: a reachable state where every open container is
+    /// suspended and none can be completed from the pool.
+    Stalled {
+        /// The deadlocked containers.
+        waiting: Vec<ContainerId>,
+    },
+    /// The scheduler parked a request and the ticket vanished without a
+    /// resume — the classic lost wakeup.
+    LostWakeup {
+        /// Tickets the driver is owed that the scheduler no longer holds.
+        tickets: Vec<u64>,
+    },
+    /// The scheduler emitted a resume for a ticket that was never
+    /// outstanding (double wakeup / invented wakeup).
+    PhantomWakeup {
+        /// The offending ticket.
+        ticket: u64,
+    },
+    /// A model-legal call was refused (protocol regression).
+    SchedError(String),
+    /// All containers closed but memory is still assigned.
+    TerminalResidue {
+        /// Memory still assigned at the terminal state.
+        assigned: Bytes,
+    },
+    /// The visited set outgrew `max_states`; the result is inconclusive.
+    BoundExceeded {
+        /// The configured bound.
+        states: usize,
+    },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Invariant(v) => write!(f, "invariant violated: {v}"),
+            Failure::Stalled { waiting } => {
+                write!(f, "deadlock (Stalled) reached; waiting: {waiting:?}")
+            }
+            Failure::LostWakeup { tickets } => {
+                write!(
+                    f,
+                    "lost wakeup: tickets {tickets:?} vanished without a resume"
+                )
+            }
+            Failure::PhantomWakeup { ticket } => {
+                write!(f, "phantom wakeup: resume for unknown ticket {ticket}")
+            }
+            Failure::SchedError(e) => write!(f, "scheduler refused a model-legal call: {e}"),
+            Failure::TerminalResidue { assigned } => {
+                write!(f, "terminal state still has {assigned} assigned")
+            }
+            Failure::BoundExceeded { states } => {
+                write!(f, "state bound exceeded ({states} states); inconclusive")
+            }
+        }
+    }
+}
+
+/// Exploration statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreStats {
+    /// Distinct canonical states visited.
+    pub states: usize,
+    /// Transitions applied (including ones leading to known states).
+    pub transitions: u64,
+    /// Longest event path explored.
+    pub max_depth: u64,
+    /// Terminal (all-closed) states reached.
+    pub terminals: u64,
+    /// Transitions that left at least one container suspended — sanity
+    /// signal that the configuration actually exercises contention.
+    pub suspended_states: u64,
+}
+
+/// Result of one exhaustive run.
+#[derive(Clone, Debug)]
+pub enum CheckOutcome {
+    /// Every reachable state satisfied every check.
+    Pass(ExploreStats),
+    /// A reachable state failed; `trace` replays it from the empty
+    /// system (minimal under [`SearchMode::Bfs`]).
+    Fail {
+        /// What went wrong.
+        failure: Failure,
+        /// Event path from the initial state to the failure.
+        trace: Vec<Event>,
+        /// Statistics up to the failure.
+        stats: ExploreStats,
+    },
+}
+
+impl CheckOutcome {
+    /// True for [`CheckOutcome::Pass`].
+    pub fn passed(&self) -> bool {
+        matches!(self, CheckOutcome::Pass(_))
+    }
+}
+
+/// Driver-side state for one container's wrapper + process.
+#[derive(Clone, Debug)]
+struct DriverContainer {
+    registered: bool,
+    exited: bool,
+    closed: bool,
+    allocs_issued: u32,
+    /// Live device allocations in issue order (`free` pops the front).
+    live: VecDeque<(u64, Bytes)>,
+}
+
+/// Driver-side state for the whole system.
+#[derive(Clone, Debug)]
+struct Driver {
+    cs: Vec<DriverContainer>,
+    /// Parked tickets the driver is owed: ticket → (container, size).
+    outstanding: BTreeMap<u64, (usize, Bytes)>,
+    next_addr: u64,
+}
+
+impl Driver {
+    fn new(n: usize) -> Self {
+        Driver {
+            cs: (0..n)
+                .map(|_| DriverContainer {
+                    registered: false,
+                    exited: false,
+                    closed: false,
+                    allocs_issued: 0,
+                    live: VecDeque::new(),
+                })
+                .collect(),
+            outstanding: BTreeMap::new(),
+            next_addr: 0x1000,
+        }
+    }
+}
+
+/// One node of the search: a full system state plus the path that
+/// produced it.
+#[derive(Clone)]
+struct Node {
+    sched: Scheduler,
+    driver: Driver,
+    trace: Vec<Event>,
+}
+
+fn cid(c: usize) -> ContainerId {
+    ContainerId(c as u64 + 1)
+}
+
+fn pid(c: usize) -> u64 {
+    100 + c as u64
+}
+
+/// Enumerate the events enabled in `node`, in a fixed deterministic
+/// order (container index, then event kind, then size menu order).
+fn enabled(cfg: &ModelConfig, node: &Node) -> Vec<Event> {
+    let mut out = Vec::new();
+    for (c, d) in node.driver.cs.iter().enumerate() {
+        if d.closed {
+            continue;
+        }
+        if !d.registered {
+            out.push(Event::Register { c });
+            continue;
+        }
+        if !d.exited {
+            let suspended = node
+                .sched
+                .container(cid(c))
+                .is_some_and(|r| r.is_suspended());
+            if !suspended {
+                if d.allocs_issued < cfg.max_allocs {
+                    for &size in &cfg.alloc_sizes {
+                        out.push(Event::Alloc { c, size });
+                    }
+                }
+                if !d.live.is_empty() {
+                    out.push(Event::Free { c });
+                }
+            }
+            out.push(Event::Exit { c });
+        }
+        out.push(Event::Close { c });
+    }
+    out
+}
+
+/// Deliver the scheduler's resume actions to the driver, performing the
+/// follow-up `alloc_done` for granted resumes.
+fn deliver(node: &mut Node, actions: Vec<ResumeAction>, now: SimTime) -> Result<(), Failure> {
+    for a in actions {
+        let (c, size) = match node.driver.outstanding.remove(&a.ticket) {
+            Some(entry) => entry,
+            None => return Err(Failure::PhantomWakeup { ticket: a.ticket }),
+        };
+        if a.container != cid(c) || a.pid != pid(c) {
+            return Err(Failure::SchedError(format!(
+                "resume for ticket {} addressed {}/pid {}, expected {}/pid {}",
+                a.ticket,
+                a.container,
+                a.pid,
+                cid(c),
+                pid(c)
+            )));
+        }
+        match a.decision {
+            AllocDecision::Granted => {
+                let d = &node.driver.cs[c];
+                if d.exited || d.closed {
+                    return Err(Failure::SchedError(format!(
+                        "granted resume (ticket {}) for a dead process of C{}",
+                        a.ticket,
+                        c + 1
+                    )));
+                }
+                let addr = node.driver.next_addr;
+                node.driver.next_addr += 1;
+                node.sched
+                    .alloc_done(cid(c), pid(c), addr, size, now)
+                    .map_err(|e| Failure::SchedError(format!("alloc_done after resume: {e:?}")))?;
+                node.driver.cs[c].live.push_back((addr, size));
+            }
+            AllocDecision::Rejected => {}
+        }
+    }
+    Ok(())
+}
+
+/// Apply `ev` to a clone of `node`, returning the successor.
+fn apply(node: &Node, ev: Event, cfg: &ModelConfig) -> Result<Node, (Failure, Vec<Event>)> {
+    let mut n = node.clone();
+    n.trace.push(ev);
+    // Times only need to be distinct and increasing along the path; the
+    // path length provides exactly that.
+    let now = SimTime::from_nanos(n.trace.len() as u64);
+    let fail = |f: Failure, n: &Node| (f, n.trace.clone());
+    let res: Result<(), Failure> = (|| {
+        match ev {
+            Event::Register { c } => {
+                n.sched
+                    .register(cid(c), cfg.limits[c], now)
+                    .map_err(|e| Failure::SchedError(format!("register: {e:?}")))?;
+                n.driver.cs[c].registered = true;
+            }
+            Event::Alloc { c, size } => {
+                n.driver.cs[c].allocs_issued += 1;
+                let (outcome, actions) = n
+                    .sched
+                    .alloc_request(cid(c), pid(c), size, ApiKind::Malloc, now)
+                    .map_err(|e| Failure::SchedError(format!("alloc_request: {e:?}")))?;
+                match outcome {
+                    AllocOutcome::Granted => {
+                        let addr = n.driver.next_addr;
+                        n.driver.next_addr += 1;
+                        n.sched
+                            .alloc_done(cid(c), pid(c), addr, size, now)
+                            .map_err(|e| Failure::SchedError(format!("alloc_done: {e:?}")))?;
+                        n.driver.cs[c].live.push_back((addr, size));
+                    }
+                    AllocOutcome::Rejected => {}
+                    AllocOutcome::Suspended { ticket } => {
+                        n.driver.outstanding.insert(ticket, (c, size));
+                    }
+                }
+                deliver(&mut n, actions, now)?;
+            }
+            Event::Free { c } => {
+                let (addr, size) = n.driver.cs[c]
+                    .live
+                    .pop_front()
+                    .expect("Free only enabled with live allocations");
+                let (freed, actions) = n
+                    .sched
+                    .free(cid(c), pid(c), addr, now)
+                    .map_err(|e| Failure::SchedError(format!("free: {e:?}")))?;
+                if freed != size {
+                    return Err(Failure::SchedError(format!(
+                        "free(0x{addr:x}) returned {freed}, driver recorded {size}"
+                    )));
+                }
+                deliver(&mut n, actions, now)?;
+            }
+            Event::Exit { c } => {
+                n.driver.cs[c].exited = true;
+                n.driver.cs[c].live.clear();
+                let actions = n
+                    .sched
+                    .process_exit(cid(c), pid(c), now)
+                    .map_err(|e| Failure::SchedError(format!("process_exit: {e:?}")))?;
+                deliver(&mut n, actions, now)?;
+            }
+            Event::Close { c } => {
+                n.driver.cs[c].closed = true;
+                n.driver.cs[c].live.clear();
+                let actions = n
+                    .sched
+                    .container_close(cid(c), now)
+                    .map_err(|e| Failure::SchedError(format!("container_close: {e:?}")))?;
+                deliver(&mut n, actions, now)?;
+            }
+        }
+        check_state(cfg, &n)
+    })();
+    match res {
+        Ok(()) => Ok(n),
+        Err(f) => Err(fail(f, &n)),
+    }
+}
+
+/// The per-state property suite (run after every transition).
+fn check_state(cfg: &ModelConfig, n: &Node) -> Result<(), Failure> {
+    n.sched.check_invariants().map_err(Failure::Invariant)?;
+    if cfg.resume_rule == ResumeRule::FullGuarantee {
+        if let ProgressState::Stalled { waiting } = deadlock::assess(&n.sched) {
+            return Err(Failure::Stalled { waiting });
+        }
+    }
+    // Wakeup consistency: scheduler-parked tickets == driver-owed tickets.
+    let parked: BTreeMap<u64, ()> = n
+        .sched
+        .containers()
+        .flat_map(|r| r.pending.iter().map(|p| (p.ticket, ())))
+        .collect();
+    let lost: Vec<u64> = n
+        .driver
+        .outstanding
+        .keys()
+        .filter(|t| !parked.contains_key(t))
+        .copied()
+        .collect();
+    if !lost.is_empty() {
+        return Err(Failure::LostWakeup { tickets: lost });
+    }
+    if let Some((&ticket, _)) = parked
+        .iter()
+        .find(|(t, _)| !n.driver.outstanding.contains_key(t))
+    {
+        // The scheduler holds a parked request the driver never issued —
+        // from the driver's viewpoint that resume will arrive out of thin
+        // air.
+        return Err(Failure::PhantomWakeup { ticket });
+    }
+    Ok(())
+}
+
+/// Checks that apply only at terminal (no-event-enabled) states.
+fn check_terminal(n: &Node) -> Result<(), Failure> {
+    let assigned = n.sched.total_assigned();
+    if !assigned.is_zero() {
+        return Err(Failure::TerminalResidue { assigned });
+    }
+    if let Some((&ticket, _)) = n.driver.outstanding.iter().next() {
+        return Err(Failure::LostWakeup {
+            tickets: vec![ticket],
+        });
+    }
+    debug_assert!(n
+        .sched
+        .containers()
+        .all(|r| r.state == ContainerState::Closed));
+    Ok(())
+}
+
+/// 128-bit digest of the canonical state vector (two independent
+/// FNV-1a-style folds over the same words).
+fn digest(words: &[u64]) -> (u64, u64) {
+    let mut a: u64 = 0xcbf29ce484222325;
+    let mut b: u64 = 0x9e3779b97f4a7c15;
+    for &w in words {
+        a = (a ^ w).wrapping_mul(0x100000001b3);
+        b = (b ^ w.rotate_left(17)).wrapping_mul(0xff51afd7ed558ccd);
+        b ^= b >> 29;
+    }
+    (a, b)
+}
+
+/// Canonical encoding of a system state; see the module docs for the
+/// bisimulation argument.
+fn canonical(n: &Node) -> (u64, u64) {
+    let mut words: Vec<u64> = Vec::with_capacity(16 + n.driver.cs.len() * 16);
+    // Relative ranks for the time-valued fields every policy compares.
+    let mut reg: Vec<(SimTime, usize)> = Vec::new();
+    let mut susp: Vec<(SimTime, usize)> = Vec::new();
+    for (c, _) in n.driver.cs.iter().enumerate() {
+        if let Some(r) = n.sched.container(cid(c)) {
+            if r.state != ContainerState::Closed {
+                reg.push((r.registered_at, c));
+                if let Some(s) = r.suspended_since {
+                    susp.push((s, c));
+                }
+            }
+        }
+    }
+    reg.sort();
+    susp.sort();
+    let rank = |list: &[(SimTime, usize)], c: usize| -> u64 {
+        list.iter()
+            .position(|&(_, i)| i == c)
+            .map_or(u64::MAX, |p| p as u64)
+    };
+    for (c, d) in n.driver.cs.iter().enumerate() {
+        words.push(
+            u64::from(d.registered) | (u64::from(d.exited) << 1) | (u64::from(d.closed) << 2),
+        );
+        words.push(u64::from(d.allocs_issued));
+        words.push(d.live.len() as u64);
+        words.extend(d.live.iter().map(|&(_, s)| s.0));
+        match n.sched.container(cid(c)) {
+            None => words.push(u64::MAX),
+            Some(r) => {
+                words.push(match r.state {
+                    ContainerState::Active => 1,
+                    ContainerState::Suspended => 2,
+                    ContainerState::Closed => 3,
+                });
+                words.push(r.assigned.0);
+                words.push(r.used.0);
+                words.push(rank(&reg, c));
+                words.push(rank(&susp, c));
+                words.push(u64::from(r.charged_pids.contains(&pid(c))));
+                words.push(r.pending.len() as u64);
+                words.extend(r.pending.iter().map(|p| p.size.0));
+            }
+        }
+    }
+    words.push(n.sched.total_assigned().0);
+    words.push(n.sched.sticky_target().map_or(u64::MAX, |t| t.as_u64()));
+    words.push(n.sched.policy_fingerprint());
+    digest(&words)
+}
+
+/// Exhaustively explore `cfg`'s state space, checking every transition.
+pub fn explore(cfg: &ModelConfig) -> CheckOutcome {
+    let root = Node {
+        sched: cfg.scheduler(),
+        driver: Driver::new(cfg.limits.len()),
+        trace: Vec::new(),
+    };
+    let mut stats = ExploreStats::default();
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+    seen.insert(canonical(&root));
+    stats.states = 1;
+    // A VecDeque serves both orders: DFS pops the back, BFS the front.
+    let mut work: VecDeque<Node> = VecDeque::new();
+    work.push_back(root);
+    while let Some(node) = match cfg.mode {
+        SearchMode::Dfs => work.pop_back(),
+        SearchMode::Bfs => work.pop_front(),
+    } {
+        let events = enabled(cfg, &node);
+        if events.is_empty() {
+            stats.terminals += 1;
+            if let Err(failure) = check_terminal(&node) {
+                return CheckOutcome::Fail {
+                    failure,
+                    trace: node.trace,
+                    stats,
+                };
+            }
+            continue;
+        }
+        for ev in events {
+            stats.transitions += 1;
+            let next = match apply(&node, ev, cfg) {
+                Ok(n) => n,
+                Err((failure, trace)) => {
+                    return CheckOutcome::Fail {
+                        failure,
+                        trace,
+                        stats,
+                    }
+                }
+            };
+            stats.max_depth = stats.max_depth.max(next.trace.len() as u64);
+            if next.sched.containers().any(|r| r.is_suspended()) {
+                stats.suspended_states += 1;
+            }
+            if seen.insert(canonical(&next)) {
+                stats.states += 1;
+                if stats.states > cfg.max_states {
+                    return CheckOutcome::Fail {
+                        failure: Failure::BoundExceeded {
+                            states: cfg.max_states,
+                        },
+                        trace: next.trace,
+                        stats,
+                    };
+                }
+                work.push_back(next);
+            }
+        }
+    }
+    CheckOutcome::Pass(stats)
+}
+
+/// Replay an event trace against a fresh scheduler for `cfg`, re-running
+/// the full per-state check suite at every step. Used by the
+/// counterexample-replay tests; returns the final node state on success.
+pub fn replay(cfg: &ModelConfig, trace: &[Event]) -> Result<(), (usize, Failure)> {
+    let mut node = Node {
+        sched: cfg.scheduler(),
+        driver: Driver::new(cfg.limits.len()),
+        trace: Vec::new(),
+    };
+    for (i, &ev) in trace.iter().enumerate() {
+        node = apply(&node, ev, cfg).map_err(|(f, _)| (i, f))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(policy: PolicyKind, mode: SearchMode) -> ModelConfig {
+        let u = Bytes::mib(256);
+        ModelConfig {
+            capacity: Bytes::new(u.0 * 2),
+            ctx_overhead: Bytes::ZERO,
+            charge_ctx: false,
+            resume_rule: ResumeRule::FullGuarantee,
+            limits: vec![Bytes::new(u.0 * 2), u],
+            alloc_sizes: vec![u],
+            max_allocs: 2,
+            policy,
+            seed: 7,
+            max_states: 1_000_000,
+            mode,
+        }
+    }
+
+    #[test]
+    fn tiny_config_passes_under_both_orders() {
+        for mode in [SearchMode::Dfs, SearchMode::Bfs] {
+            let out = explore(&tiny(PolicyKind::Fifo, mode));
+            match out {
+                CheckOutcome::Pass(stats) => {
+                    assert!(stats.states > 10, "state space trivially small: {stats:?}");
+                    assert!(stats.terminals > 0);
+                    assert!(
+                        stats.suspended_states > 0,
+                        "configuration never suspends — checks nothing: {stats:?}"
+                    );
+                }
+                CheckOutcome::Fail { failure, trace, .. } => {
+                    panic!("tiny config failed: {failure} after {trace:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_and_bfs_agree_on_state_count() {
+        let a = explore(&tiny(PolicyKind::BestFit, SearchMode::Dfs));
+        let b = explore(&tiny(PolicyKind::BestFit, SearchMode::Bfs));
+        match (a, b) {
+            (CheckOutcome::Pass(sa), CheckOutcome::Pass(sb)) => {
+                assert_eq!(sa.states, sb.states);
+                assert_eq!(sa.transitions, sb.transitions);
+            }
+            other => panic!("expected both to pass: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_of_legal_trace_passes() {
+        let cfg = tiny(PolicyKind::Fifo, SearchMode::Bfs);
+        let u = Bytes::mib(256);
+        let trace = vec![
+            Event::Register { c: 0 },
+            Event::Register { c: 1 },
+            Event::Alloc { c: 0, size: u },
+            Event::Alloc { c: 0, size: u }, // fills device; C1 not yet asking
+            Event::Alloc { c: 1, size: u }, // parked
+            Event::Close { c: 0 },          // redistribution resumes C1
+            Event::Close { c: 1 },
+        ];
+        replay(&cfg, &trace).expect("legal trace must replay cleanly");
+    }
+
+    #[test]
+    fn random_policy_states_include_rng() {
+        // Sanity: the Random policy explores at least as many canonical
+        // states as FIFO on the same config (RNG state splits states).
+        let f = explore(&tiny(PolicyKind::Fifo, SearchMode::Dfs));
+        let r = explore(&tiny(PolicyKind::Random, SearchMode::Dfs));
+        match (f, r) {
+            (CheckOutcome::Pass(sf), CheckOutcome::Pass(sr)) => {
+                assert!(sr.states >= sf.states);
+            }
+            other => panic!("expected both to pass: {other:?}"),
+        }
+    }
+}

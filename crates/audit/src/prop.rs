@@ -1,0 +1,122 @@
+//! A tiny deterministic property-testing harness.
+//!
+//! The sealed build environment has no `proptest`, so randomized tests
+//! run on this harness instead: a [`DetRng`] per case, derived from a
+//! master seed so runs are reproducible, with the failing case's seed
+//! printed for one-case replay.
+//!
+//! ```no_run
+//! use convgpu_audit::prop;
+//!
+//! prop::cases("example").run(|rng| {
+//!     let x = rng.range_inclusive(0, 100);
+//!     if x + 1 <= x {
+//!         return Err(format!("overflow at {x}"));
+//!     }
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Environment overrides:
+//!
+//! * `CONVGPU_PROP_CASES` — cases per property (default 128);
+//! * `CONVGPU_PROP_SEED` — master seed. To replay one failing case, set
+//!   this to the *case seed* from the failure message together with
+//!   `CONVGPU_PROP_CASES=1`.
+
+use convgpu_sim_core::rng::DetRng;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 128;
+/// Default master seed.
+pub const DEFAULT_SEED: u64 = 0xC0FF_EE00;
+
+/// A configured property run; see [`cases`].
+#[derive(Clone, Debug)]
+pub struct Runner {
+    name: String,
+    cases: u32,
+    seed: u64,
+}
+
+/// Start a property named `name` with the environment-configured case
+/// count and seed.
+pub fn cases(name: &str) -> Runner {
+    Runner {
+        name: name.to_string(),
+        cases: env_u64("CONVGPU_PROP_CASES").map_or(DEFAULT_CASES, |v| v as u32),
+        seed: env_u64("CONVGPU_PROP_SEED").unwrap_or(DEFAULT_SEED),
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+impl Runner {
+    /// Override the case count (tests that need more or fewer).
+    pub fn count(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// The seed for case `i`: spaced by a golden-ratio stride so case
+    /// seeds never collide for realistic case counts, and case 0 of a
+    /// replay run reproduces any reported case seed exactly.
+    fn case_seed(&self, i: u32) -> u64 {
+        self.seed
+            .wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Run the property over every case; panics (test failure) on the
+    /// first `Err`, printing the case seed needed to replay it alone.
+    pub fn run<F>(self, mut property: F)
+    where
+        F: FnMut(&mut DetRng) -> Result<(), String>,
+    {
+        for i in 0..self.cases {
+            let case_seed = self.case_seed(i);
+            let mut rng = DetRng::seed_from_u64(case_seed);
+            if let Err(msg) = property(&mut rng) {
+                panic!(
+                    "property '{}' failed on case {i}/{}: {msg}\n  replay: \
+                     CONVGPU_PROP_SEED={case_seed} CONVGPU_PROP_CASES=1",
+                    self.name, self.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0;
+        cases("count").count(17).run(|_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'fails' failed on case 0")]
+    fn failing_property_panics_with_seed() {
+        cases("fails").count(4).run(|_| Err("nope".into()));
+    }
+
+    #[test]
+    fn case_zero_replays_reported_seed() {
+        let r = cases("replay").count(8);
+        let target = r.case_seed(5);
+        let replay = Runner {
+            name: "replay".into(),
+            cases: 1,
+            seed: target,
+        };
+        assert_eq!(replay.case_seed(0), target);
+    }
+}

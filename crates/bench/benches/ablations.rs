@@ -11,6 +11,7 @@
 //!
 //! Run: `cargo bench -p convgpu-bench --bench ablations`
 
+use convgpu_bench::micro::{BenchmarkId, Criterion};
 use convgpu_bench::policies::PolicyExperiment;
 use convgpu_core::handler::ServiceHandler;
 use convgpu_core::service::{InProcEndpoint, SchedulerService};
@@ -31,7 +32,6 @@ use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
 use convgpu_wrapper::module::WrapperModule;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 
 fn bench_resume_rule(c: &mut Criterion) {
@@ -182,12 +182,11 @@ fn bench_multi_gpu_placement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_resume_rule,
-    bench_ctx_overhead,
-    bench_transport,
-    bench_allocator,
-    bench_multi_gpu_placement
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_resume_rule(&mut c);
+    bench_ctx_overhead(&mut c);
+    bench_transport(&mut c);
+    bench_allocator(&mut c);
+    bench_multi_gpu_placement(&mut c);
+}

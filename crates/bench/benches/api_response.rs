@@ -3,6 +3,7 @@
 //!
 //! Run: `cargo bench -p convgpu-bench --bench api_response`
 
+use convgpu_bench::micro::Criterion;
 use convgpu_core::handler::ServiceHandler;
 use convgpu_core::service::SchedulerService;
 use convgpu_gpu_sim::api::CudaApi;
@@ -18,7 +19,6 @@ use convgpu_sim_core::clock::RealClock;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::units::Bytes;
 use convgpu_wrapper::module::WrapperModule;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 struct Stack {
@@ -89,5 +89,7 @@ fn bench_api_response(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_api_response);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_api_response(&mut c);
+}

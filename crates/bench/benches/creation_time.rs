@@ -4,9 +4,9 @@
 //!
 //! Run: `cargo bench -p convgpu-bench --bench creation_time`
 
+use convgpu_bench::micro::Criterion;
 use convgpu_core::middleware::{ConVGpu, ConVGpuConfig, TransportMode};
 use convgpu_core::nvidia_docker::RunCommand;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench_creation(c: &mut Criterion) {
@@ -43,5 +43,7 @@ fn bench_creation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_creation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_creation(&mut c);
+}

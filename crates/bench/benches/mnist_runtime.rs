@@ -5,8 +5,8 @@
 //! Run: `cargo bench -p convgpu-bench --bench mnist_runtime`
 
 use convgpu_bench::fig6::run_fig6;
+use convgpu_bench::micro::Criterion;
 use convgpu_sim_core::time::SimDuration;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_mnist(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_mnist_runtime");
@@ -17,5 +17,7 @@ fn bench_mnist(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mnist);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_mnist(&mut c);
+}

@@ -5,9 +5,9 @@
 //!
 //! Run: `cargo bench -p convgpu-bench --bench policy_sweep`
 
+use convgpu_bench::micro::{BenchmarkId, Criterion};
 use convgpu_bench::policies::PolicyExperiment;
 use convgpu_scheduler::policy::PolicyKind;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_fig8_policy_runs");
@@ -27,5 +27,7 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_policies(&mut c);
+}

@@ -21,7 +21,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["API".into(), "without".into(), "with".into(), "ratio".into()],
+            &[
+                "API".into(),
+                "without".into(),
+                "with".into(),
+                "ratio".into()
+            ],
             &rows
                 .iter()
                 .map(|r| vec![
@@ -73,7 +78,11 @@ fn main() {
                         .iter()
                         .find(|pt| pt.n == n && pt.policy == p)
                         .expect("sweep point");
-                    row.push(secs1(if pick { pt.finished.mean } else { pt.suspended.mean }));
+                    row.push(secs1(if pick {
+                        pt.finished.mean
+                    } else {
+                        pt.suspended.mean
+                    }));
                 }
                 row
             })

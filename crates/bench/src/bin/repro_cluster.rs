@@ -16,7 +16,10 @@ fn main() {
     let nodes = [1u32, 2, 3, 4];
     let points = cluster_sweep(&nodes, &strategies, 38, 6, 2017);
 
-    for (title, pick_finished) in [("finished time (s)", true), ("avg suspended time (s)", false)] {
+    for (title, pick_finished) in [
+        ("finished time (s)", true),
+        ("avg suspended time (s)", false),
+    ] {
         println!("-- {title} --");
         let mut headers = vec!["strategy".to_string()];
         headers.extend(nodes.iter().map(|n| format!("{n} node(s)")));

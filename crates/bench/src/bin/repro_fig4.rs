@@ -29,6 +29,8 @@ fn main() {
     );
     println!("{table}");
     println!("paper reference: allocation APIs 0.035 -> 0.082 ms (~2.3x);");
-    println!("cudaMallocManaged ~40x other allocations; cudaMallocPitch first call ~2x later calls;");
+    println!(
+        "cudaMallocManaged ~40x other allocations; cudaMallocPitch first call ~2x later calls;"
+    );
     println!("cudaFree with ConVGPU 0.032 ms; cudaMemGetInfo ~0.01 ms FASTER with ConVGPU.");
 }

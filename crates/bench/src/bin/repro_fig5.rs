@@ -9,7 +9,13 @@ fn main() {
     println!("(10 repetitions, live middleware stack; workload-time seconds)\n");
     let r = run_fig5(10, 1.0);
     let table = format_table(
-        &["setup".into(), "mean (s)".into(), "stddev".into(), "min".into(), "max".into()],
+        &[
+            "setup".into(),
+            "mean (s)".into(),
+            "stddev".into(),
+            "min".into(),
+            "max".into(),
+        ],
         &[
             vec![
                 "without ConVGPU".into(),

@@ -49,7 +49,11 @@ fn main() {
     println!("2 GiB column covers the remaining mix.\n");
 
     println!("-- finished time (s) on the 5 GiB K20m: fixed vs Poisson arrivals --");
-    let mut headers = vec!["policy".to_string(), "fixed 5s".to_string(), "poisson 5s mean".to_string()];
+    let mut headers = vec![
+        "policy".to_string(),
+        "fixed 5s".to_string(),
+        "poisson 5s mean".to_string(),
+    ];
     headers.truncate(3);
     let rows: Vec<Vec<String>> = PolicyKind::ALL
         .iter()

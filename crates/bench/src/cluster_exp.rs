@@ -16,7 +16,6 @@ use convgpu_sim_core::stats::Summary;
 use convgpu_sim_core::time::{SimDuration, SimTime};
 use convgpu_sim_core::units::Bytes;
 use convgpu_workloads::trace::TraceSpec;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One cluster experiment configuration.
@@ -33,7 +32,7 @@ pub struct ClusterExperiment {
 }
 
 /// Aggregated outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterResult {
     /// Finished time (last close anywhere), seconds.
     pub finished_time_secs: f64,
@@ -152,7 +151,7 @@ impl ClusterExperiment {
 }
 
 /// Averaged sweep cell.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterSweepPoint {
     /// Node count.
     pub nodes: u32,

@@ -18,11 +18,10 @@ use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::units::Bytes;
 use convgpu_workloads::apibench::measure_api_response;
 use convgpu_wrapper::module::WrapperModule;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One Fig. 4 pair.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4Row {
     /// API label.
     pub api: String,
@@ -113,9 +112,9 @@ mod tests {
         assert!(managed.without_ms > malloc.without_ms * 10.0);
         // cudaMemGetInfo is FASTER with ConVGPU: the scheduler answers
         // from its books instead of querying the device. The strict
-        // comparison needs optimized serde (a debug-build socket round
-        // trip costs about as much as the modeled device query), so the
-        // debug-build assertion only requires parity; `repro_fig4`
+        // comparison needs an optimized codec build (a debug-build
+        // socket round trip costs about as much as the modeled device
+        // query), so the debug-build assertion only requires parity; `repro_fig4`
         // (release) demonstrates the real speedup.
         let meminfo = get("cudaMemGetInfo");
         if cfg!(debug_assertions) {
@@ -136,9 +135,15 @@ mod tests {
         let pitch_first = get("cudaMallocPitch (first)");
         let pitch = get("cudaMallocPitch");
         if cfg!(debug_assertions) {
-            assert!(pitch_first.with_ms > pitch.with_ms * 0.5, "{pitch_first:?} vs {pitch:?}");
+            assert!(
+                pitch_first.with_ms > pitch.with_ms * 0.5,
+                "{pitch_first:?} vs {pitch:?}"
+            );
         } else {
-            assert!(pitch_first.with_ms > pitch.with_ms, "{pitch_first:?} vs {pitch:?}");
+            assert!(
+                pitch_first.with_ms > pitch.with_ms,
+                "{pitch_first:?} vs {pitch:?}"
+            );
         }
     }
 }

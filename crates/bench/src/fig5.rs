@@ -9,11 +9,10 @@
 use convgpu_core::middleware::{ConVGpu, ConVGpuConfig, TransportMode};
 use convgpu_core::nvidia_docker::RunCommand;
 use convgpu_sim_core::stats::Summary;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Fig. 5 outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Result {
     /// Creation time without ConVGPU, seconds (workload time).
     pub baseline: Summary,

@@ -26,11 +26,10 @@ use convgpu_sim_core::time::SimDuration;
 use convgpu_sim_core::units::Bytes;
 use convgpu_workloads::mnist::MnistCnnProgram;
 use convgpu_wrapper::module::WrapperModule;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Fig. 6 outcome.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Fig6Result {
     /// Runtime without ConVGPU, seconds (virtual).
     pub baseline_secs: f64,

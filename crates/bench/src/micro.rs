@@ -1,0 +1,232 @@
+//! A minimal micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The sealed build environment has no `criterion`, so the `benches/`
+//! files run on this instead: same `benchmark_group` /
+//! `bench_function` / `Bencher::iter` surface, `std::time` underneath.
+//! Each benchmark is calibrated so one batch runs ≳ 5 ms, then sampled
+//! repeatedly inside the measurement window; the report prints
+//! min / mean / p50 / p95 per-iteration times.
+//!
+//! Not a statistics engine — no outlier rejection, no regression
+//! analysis. It exists so `cargo bench` keeps working and the paper's
+//! response-time comparisons (Fig. 4/5/6) stay runnable offline.
+//!
+//! ```no_run
+//! use convgpu_bench::micro::Criterion;
+//!
+//! fn bench(c: &mut Criterion) {
+//!     let mut g = c.benchmark_group("group");
+//!     g.bench_function("op", |b| b.iter(|| 2 + 2));
+//!     g.finish();
+//! }
+//!
+//! fn main() {
+//!     let mut c = Criterion::default();
+//!     bench(&mut c);
+//! }
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benchmark bodies that need to defeat the optimizer.
+pub use std::hint::black_box;
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        println!("\n{name}");
+        println!("{}", "-".repeat(name.len()));
+        Group {
+            sample_size: 40,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named benchmark id with an input label (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as Criterion prints it.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct Group {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Group {
+    /// Target number of samples (each sample is a calibrated batch).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Soft cap on the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&id.to_string());
+    }
+
+    /// Run one benchmark parameterized by `input` (mirrors Criterion's
+    /// `bench_with_input`).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Per-iteration nanoseconds, one entry per sample batch.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`: calibrate a batch size so one batch runs ≳ 5 ms,
+    /// then time `sample_size` batches (bounded by the measurement
+    /// window) and record per-iteration times.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up + calibration: grow the batch until it takes ≥ 5 ms.
+        let mut batch: u64 = 1;
+        let batch_target = Duration::from_millis(5);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = t0.elapsed();
+            if took >= batch_target || batch >= 1 << 24 {
+                break;
+            }
+            // Aim directly for the target based on the observed rate.
+            let scale = (batch_target.as_secs_f64() / took.as_secs_f64().max(1e-9)).ceil();
+            batch = (batch.saturating_mul(scale as u64)).clamp(batch + 1, 1 << 24);
+        }
+        // Measurement.
+        let window = Instant::now();
+        for _ in 0..self.sample_size {
+            if window.elapsed() > self.measurement_time {
+                break;
+            }
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("  {name:<44} (no samples — body never called iter)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let p50 = sorted[sorted.len() / 2];
+        let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+        println!(
+            "  {name:<44} min {:>10}  mean {:>10}  p50 {:>10}  p95 {:>10}  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(p50),
+            fmt_ns(p95),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(200),
+            samples_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.samples_ns.is_empty());
+        assert!(b.samples_ns.iter().all(|&ns| ns.is_finite() && ns >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("n38", "FIFO").to_string(), "n38/FIFO");
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+    }
+}

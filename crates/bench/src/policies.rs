@@ -27,7 +27,6 @@ use convgpu_sim_core::stats::Summary;
 use convgpu_sim_core::time::{SimDuration, SimTime};
 use convgpu_sim_core::units::Bytes;
 use convgpu_workloads::trace::{Arrival, ArrivalProcess, TraceSpec};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One experiment configuration (one cell of Table IV/V before
@@ -265,7 +264,7 @@ impl PolicyExperiment {
 }
 
 /// One averaged sweep cell: `(N, policy)` over `reps` repetitions.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SweepPoint {
     /// Container count.
     pub n: u32,
@@ -363,7 +362,9 @@ mod tests {
         let avg = |n: u32| {
             let mut total = 0.0;
             for seed in 0..4 {
-                total += PolicyExperiment::paper(n, PolicyKind::Fifo, seed).run().finished_time_secs;
+                total += PolicyExperiment::paper(n, PolicyKind::Fifo, seed)
+                    .run()
+                    .finished_time_secs;
             }
             total / 4.0
         };

@@ -3,10 +3,9 @@
 use crate::spec::CreateOptions;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Docker-style lifecycle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ContainerStatus {
     /// Created but not started.
     Created,
@@ -22,7 +21,7 @@ pub enum ContainerStatus {
 }
 
 /// One container as the engine tracks it.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Container {
     /// Engine-assigned ID.
     pub id: ContainerId,
@@ -52,7 +51,10 @@ impl Container {
 
     /// True once the container has exited or been removed.
     pub fn is_finished(&self) -> bool {
-        matches!(self.status, ContainerStatus::Exited | ContainerStatus::Removed)
+        matches!(
+            self.status,
+            ContainerStatus::Exited | ContainerStatus::Removed
+        )
     }
 }
 

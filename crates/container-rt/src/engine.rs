@@ -13,11 +13,11 @@ use crate::spec::CreateOptions;
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::idgen::IdGen;
 use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::time::SimDuration;
-use crossbeam::channel::Receiver;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::mpsc::Receiver;
 
 /// Engine construction parameters.
 ///
@@ -398,7 +398,11 @@ mod tests {
         let t0 = clock.now();
         e.create(CreateOptions::new("cuda-app")).unwrap();
         let elapsed = clock.now() - t0;
-        assert_eq!(elapsed, SimDuration::from_millis(350), "base cost, no mounts");
+        assert_eq!(
+            elapsed,
+            SimDuration::from_millis(350),
+            "base cost, no mounts"
+        );
         let t1 = clock.now();
         e.create(
             CreateOptions::new("cuda-app")

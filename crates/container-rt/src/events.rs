@@ -4,16 +4,15 @@
 //! events ("when the container exits its execution by any reasons, docker
 //! unmounts the volume; therefore, nvidia-docker-plugin can identify the
 //! container is exited", §III-B). The bus broadcasts every lifecycle event
-//! to all subscribers over crossbeam channels.
+//! to all subscribers over `std::sync::mpsc` channels.
 
 use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::time::SimTime;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// What happened.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EventKind {
     /// `docker create` completed.
     Created,
@@ -41,7 +40,7 @@ pub enum EventKind {
 }
 
 /// One engine event.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineEvent {
     /// When it happened (session clock).
     pub at: SimTime,
@@ -65,7 +64,7 @@ impl EventBus {
 
     /// Subscribe; the receiver sees all events published after this call.
     pub fn subscribe(&self) -> Receiver<EngineEvent> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         self.subscribers.lock().push(tx);
         rx
     }

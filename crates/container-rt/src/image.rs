@@ -5,7 +5,6 @@
 //! ConVGPU adds `com.nvidia.memory.limit` as the fallback source of the
 //! container's GPU memory limit (paper §III-B).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
@@ -20,7 +19,7 @@ pub mod labels {
 }
 
 /// A container image.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Image {
     /// Repository name, e.g. `"cuda-app"`.
     pub name: String,

@@ -18,6 +18,8 @@
 //! The engine charges a configurable creation cost on the session clock so
 //! the Fig. 5 container-creation experiment has a realistic baseline.
 
+#![forbid(unsafe_code)]
+
 pub mod container;
 pub mod engine;
 pub mod events;

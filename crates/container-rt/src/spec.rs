@@ -2,11 +2,10 @@
 //! customized nvidia-docker manipulates.
 
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// cgroup-style resource caps (paper Table III columns "Number of vCPU"
 /// and "Memory (GiB)").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ResourceSpec {
     /// Virtual CPU count.
     pub vcpus: u32,
@@ -24,7 +23,7 @@ impl Default for ResourceSpec {
 }
 
 /// A `--volume` mount.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VolumeMount {
     /// Host path or named volume.
     pub source: String,
@@ -62,7 +61,7 @@ impl VolumeMount {
 
 /// Options for creating a container (the output of nvidia-docker's
 /// command-line rewriting).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CreateOptions {
     /// Image reference (`name` or `name:tag`).
     pub image: String,
@@ -134,7 +133,11 @@ mod tests {
         let opts = CreateOptions::new("cuda-app:latest")
             .with_env("LD_PRELOAD", "/convgpu/libgpushare.so")
             .with_volume(VolumeMount::bind("/var/lib/convgpu/cnt-1", "/convgpu"))
-            .with_volume(VolumeMount::plugin("nvidia_driver_375.51", "/usr/local/nvidia", "nvidia-docker"))
+            .with_volume(VolumeMount::plugin(
+                "nvidia_driver_375.51",
+                "/usr/local/nvidia",
+                "nvidia-docker",
+            ))
             .with_device("/dev/nvidia0")
             .with_resources(ResourceSpec {
                 vcpus: 2,

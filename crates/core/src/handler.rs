@@ -18,7 +18,11 @@ impl ServiceHandler {
     }
 }
 
-fn ok_or_error<T>(reply: Reply, result: Result<T, impl std::fmt::Display>, f: impl FnOnce(T) -> Response) {
+fn ok_or_error<T>(
+    reply: Reply,
+    result: Result<T, impl std::fmt::Display>,
+    f: impl FnOnce(T) -> Response,
+) {
     match result {
         Ok(v) => reply.send(f(v)),
         Err(e) => reply.send(Response::Error {
@@ -120,7 +124,10 @@ mod tests {
     use convgpu_sim_core::units::Bytes;
     use std::time::Duration;
 
-    fn stack(name: &str, capacity_mib: u64) -> (SocketServer, SchedulerClient, Arc<SchedulerService>) {
+    fn stack(
+        name: &str,
+        capacity_mib: u64,
+    ) -> (SocketServer, SchedulerClient, Arc<SchedulerService>) {
         let dir = std::env::temp_dir().join(format!(
             "convgpu-handler-test-{}-{}",
             std::process::id(),

@@ -21,6 +21,8 @@
 //!   examples and benches use: device + engine + scheduler + sockets +
 //!   per-container program threads.
 
+#![forbid(unsafe_code)]
+
 pub mod handler;
 pub mod middleware;
 pub mod nvidia_docker;

@@ -31,10 +31,10 @@ use convgpu_scheduler::policy::PolicyKind;
 use convgpu_scheduler::state::{ContainerState, ResumeRule};
 use convgpu_sim_core::clock::{ClockHandle, RealClock};
 use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::units::Bytes;
 use convgpu_wrapper::module::WrapperModule;
 use convgpu_wrapper::preload::{resolve_runtime, LinkSpec, ProcessEnv};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -244,8 +244,7 @@ impl ConVGpu {
                 let sock = self.service.socket_path(id);
                 let server = SocketServer::bind(&sock, Arc::clone(&self.handler) as _)
                     .map_err(|e| NvidiaDockerError::Ipc(e.into()))?;
-                let client =
-                    SchedulerClient::connect(&sock).map_err(NvidiaDockerError::Ipc)?;
+                let client = SchedulerClient::connect(&sock).map_err(NvidiaDockerError::Ipc)?;
                 self.container_servers.lock().insert(id, server);
                 Arc::new(client)
             }
@@ -257,10 +256,7 @@ impl ConVGpu {
             endpoint,
         ));
         // Bind the program's CUDA symbols per the LD_PRELOAD rules.
-        let container = self
-            .engine
-            .inspect(id)
-            .map_err(NvidiaDockerError::Engine)?;
+        let container = self.engine.inspect(id).map_err(NvidiaDockerError::Engine)?;
         let env =
             ProcessEnv::from_ld_preload(container.options.env_get("LD_PRELOAD").unwrap_or(""));
         let link = LinkSpec {
@@ -428,7 +424,9 @@ mod tests {
         // All GPU memory back.
         let (free, total) = convgpu.device().mem_info();
         assert_eq!(free, total);
-        convgpu.service().with_scheduler(|s| s.check_invariants().unwrap());
+        convgpu
+            .service()
+            .with_scheduler(|s| s.check_invariants().unwrap());
         convgpu.shutdown();
     }
 

@@ -13,9 +13,9 @@
 //! 6. add the dummy plugin volume whose unmount signals container exit.
 
 use convgpu_container_rt::engine::{Engine, EngineError};
-use convgpu_container_rt::image::Image;
 #[cfg(test)]
 use convgpu_container_rt::image::labels;
+use convgpu_container_rt::image::Image;
 use convgpu_container_rt::spec::{CreateOptions, ResourceSpec, VolumeMount};
 use convgpu_ipc::endpoint::{IpcError, SchedulerEndpoint};
 use convgpu_scheduler::core::SchedError;
@@ -122,10 +122,7 @@ impl From<IpcError> for NvidiaDockerError {
 
 /// Resolve the container's GPU memory limit per the paper's precedence:
 /// option → image label → 1 GiB default.
-pub fn resolve_memory_limit(
-    option: Option<&str>,
-    image: &Image,
-) -> Result<Bytes, ParseBytesError> {
+pub fn resolve_memory_limit(option: Option<&str>, image: &Image) -> Result<Bytes, ParseBytesError> {
     if let Some(opt) = option {
         return opt.parse();
     }
@@ -270,8 +267,7 @@ mod tests {
         let engine = Arc::new(Engine::new(EngineConfig::default(), clock.handle()));
         engine.add_image(Image::cuda("cuda-app", "latest", "8.0"));
         engine.add_image(
-            Image::cuda("labeled-app", "latest", "8.0")
-                .with_label(labels::MEMORY_LIMIT, "256m"),
+            Image::cuda("labeled-app", "latest", "8.0").with_label(labels::MEMORY_LIMIT, "256m"),
         );
         engine.add_image(Image::new("plain-app", "latest"));
         let dir = std::env::temp_dir().join(format!(

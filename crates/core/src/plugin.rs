@@ -57,12 +57,12 @@ impl NvidiaDockerPlugin {
                             }
                         }
                     }
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                         if flag.load(Ordering::Relaxed) {
                             break;
                         }
                     }
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
                 }
             })
             .expect("spawn plugin thread");
@@ -115,19 +115,14 @@ mod tests {
         let clock = RealClock::handle();
         let engine = Engine::new(EngineConfig::default(), Arc::clone(&clock));
         engine.add_image(Image::cuda("app", "latest", "8.0"));
-        let dir = std::env::temp_dir().join(format!(
-            "convgpu-plugin-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("convgpu-plugin-test-{}", std::process::id()));
         let svc = Arc::new(SchedulerService::new(
             Scheduler::new(SchedulerConfig::paper(), PolicyKind::Fifo.build(0)),
             clock,
             dir,
         ));
-        let plugin = NvidiaDockerPlugin::spawn(
-            &engine,
-            Arc::new(InProcEndpoint::new(Arc::clone(&svc))),
-        );
+        let plugin =
+            NvidiaDockerPlugin::spawn(&engine, Arc::new(InProcEndpoint::new(Arc::clone(&svc))));
 
         // Simulate what nvidia-docker would have done.
         let id = engine.reserve_id();
@@ -168,24 +163,20 @@ mod tests {
         let clock = RealClock::handle();
         let engine = Engine::new(EngineConfig::default(), Arc::clone(&clock));
         engine.add_image(Image::new("app", "latest"));
-        let dir = std::env::temp_dir().join(format!(
-            "convgpu-plugin-test2-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("convgpu-plugin-test2-{}", std::process::id()));
         let svc = Arc::new(SchedulerService::new(
             Scheduler::new(SchedulerConfig::paper(), PolicyKind::Fifo.build(0)),
             clock,
             dir,
         ));
-        let plugin = NvidiaDockerPlugin::spawn(
-            &engine,
-            Arc::new(InProcEndpoint::new(Arc::clone(&svc))),
-        );
+        let plugin =
+            NvidiaDockerPlugin::spawn(&engine, Arc::new(InProcEndpoint::new(Arc::clone(&svc))));
         let id = engine
-            .create(
-                CreateOptions::new("app")
-                    .with_volume(VolumeMount::plugin("other-vol", "/x", "nvidia-docker")),
-            )
+            .create(CreateOptions::new("app").with_volume(VolumeMount::plugin(
+                "other-vol",
+                "/x",
+                "nvidia-docker",
+            )))
             .unwrap();
         engine.start(id).unwrap();
         engine.stop(id, 0).unwrap();

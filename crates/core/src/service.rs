@@ -13,17 +13,17 @@ use convgpu_ipc::server::Reply;
 use convgpu_scheduler::core::{AllocOutcome, ResumeAction, SchedError, Scheduler};
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::units::Bytes;
-use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 
 /// A parked reply for a suspended allocation.
 enum Waiter {
     /// In-process caller blocked on a channel.
-    Channel(Sender<AllocDecision>),
+    Channel(SyncSender<AllocDecision>),
     /// Socket caller; the reply handle writes to its connection.
     Socket(Reply),
 }
@@ -138,7 +138,7 @@ impl SchedulerService {
                 AllocOutcome::Granted => Some(Ok(AllocDecision::Granted)),
                 AllocOutcome::Rejected => Some(Ok(AllocDecision::Rejected)),
                 AllocOutcome::Suspended { ticket } => {
-                    let (tx, rx) = bounded(1);
+                    let (tx, rx) = sync_channel(1);
                     // Park under the scheduler lock so no resume can race
                     // ahead of the registration.
                     self.waiters.lock().insert(ticket, Waiter::Channel(tx));
@@ -155,9 +155,7 @@ impl SchedulerService {
             Some(Err(rx)) => {
                 // Blocked: this is the container "pausing its execution".
                 rx.recv().map_err(|_| {
-                    SchedError::ProtocolViolation(
-                        "scheduler dropped a suspended request".into(),
-                    )
+                    SchedError::ProtocolViolation("scheduler dropped a suspended request".into())
                 })
             }
             None => unreachable!(),
@@ -341,9 +339,7 @@ impl SchedulerEndpoint for InProcEndpoint {
     }
 
     fn process_exit(&self, container: ContainerId, pid: u64) -> IpcResult<()> {
-        self.service
-            .process_exit(container, pid)
-            .map_err(sched_err)
+        self.service.process_exit(container, pid).map_err(sched_err)
     }
 
     fn container_close(&self, container: ContainerId) -> IpcResult<()> {
@@ -440,7 +436,8 @@ mod tests {
             .request_alloc(ContainerId(1), 1, Bytes::mib(128), ApiKind::Malloc)
             .unwrap();
         assert_eq!(d, AllocDecision::Granted);
-        ep.alloc_done(ContainerId(1), 1, 0xABC, Bytes::mib(128)).unwrap();
+        ep.alloc_done(ContainerId(1), 1, 0xABC, Bytes::mib(128))
+            .unwrap();
         assert_eq!(ep.free(ContainerId(1), 1, 0xABC).unwrap(), Bytes::mib(128));
         let (free, total) = ep.mem_info(ContainerId(1), 1).unwrap();
         assert_eq!(total, Bytes::mib(512));

@@ -18,10 +18,9 @@ use crate::props::DeviceProperties;
 use crate::stream::{EventId, StreamId};
 use convgpu_sim_core::time::SimDuration;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// `cudaExtent` analog for `cudaMalloc3D`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Extent3D {
     /// Row width in bytes.
     pub width: Bytes,
@@ -43,7 +42,7 @@ impl Extent3D {
 }
 
 /// `cudaPitchedPtr` analog returned by `cudaMalloc3D`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PitchedPtr {
     /// Base device pointer.
     pub ptr: DevicePtr,
@@ -56,7 +55,7 @@ pub struct PitchedPtr {
 }
 
 /// `cudaMemcpyKind` analog.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MemcpyKind {
     /// Host → device over PCIe.
     HostToDevice,

@@ -11,14 +11,13 @@
 
 use crate::memory::DevicePtr;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A process ID as seen by the device (host pid inside the container).
 pub type Pid = u64;
 
 /// State of one process's context on the device.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ProcessContext {
     /// The owning process.
     pub pid: Pid,

@@ -12,9 +12,8 @@ use crate::error::{CudaError, CudaResult};
 use crate::fault::FaultPlan;
 use crate::memory::{AllocatorKind, AllocatorStats, DeviceAllocator, DevicePtr};
 use crate::props::DeviceProperties;
+use convgpu_sim_core::sync::{Condvar, Mutex};
 use convgpu_sim_core::units::Bytes;
-use parking_lot::{Condvar, Mutex};
-use serde::{Deserialize, Serialize};
 
 /// Device construction parameters.
 #[derive(Clone, Debug)]
@@ -46,7 +45,7 @@ impl Default for DeviceConfig {
 }
 
 /// Cumulative device activity counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DeviceCounters {
     /// Successful allocations (all four allocation APIs).
     pub allocs: u64,
@@ -347,10 +346,7 @@ mod tests {
             ..DeviceConfig::default()
         });
         let req = Bytes::gib(2) - Bytes::mib(32);
-        assert_eq!(
-            dev.alloc(1, req).unwrap_err(),
-            CudaError::MemoryAllocation
-        );
+        assert_eq!(dev.alloc(1, req).unwrap_err(), CudaError::MemoryAllocation);
         // No context must have been leaked by the failed attempt.
         assert!(!dev.has_context(1));
         let (free, total) = dev.mem_info();

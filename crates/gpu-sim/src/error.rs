@@ -4,14 +4,13 @@
 //! middleware can actually observe. Numeric values match the CUDA 8
 //! runtime so logs read like real `cudaGetErrorString` output.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Result alias used across the simulated runtime.
 pub type CudaResult<T> = Result<T, CudaError>;
 
 /// Simulated `cudaError_t`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CudaError {
     /// `cudaErrorMemoryAllocation` (2): the device could not satisfy the
     /// allocation. This is the error a container sees when NVIDIA Docker
@@ -74,9 +73,7 @@ impl CudaError {
             CudaError::SchedulerRejected => {
                 "out of memory (ConVGPU: request exceeds container limit)"
             }
-            CudaError::SchedulerUnavailable => {
-                "out of memory (ConVGPU: scheduler unavailable)"
-            }
+            CudaError::SchedulerUnavailable => "out of memory (ConVGPU: scheduler unavailable)",
         }
     }
 

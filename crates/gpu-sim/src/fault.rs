@@ -10,11 +10,10 @@
 //! and releases its reservations.
 
 use convgpu_sim_core::rng::DetRng;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use convgpu_sim_core::sync::Mutex;
 
 /// Probabilistic fault configuration (all rates in `[0, 1]`).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultRates {
     /// Probability that an otherwise-satisfiable allocation fails with
     /// `cudaErrorMemoryAllocation`.

@@ -10,10 +10,9 @@
 use crate::props::DeviceProperties;
 use convgpu_sim_core::time::SimDuration;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// A kernel launch request.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct KernelSpec {
     /// Diagnostic name (shows up in traces).
     pub name: String,

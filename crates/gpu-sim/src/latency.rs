@@ -18,10 +18,9 @@
 //!   hardware) and happens once per process.
 
 use convgpu_sim_core::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Fixed per-call device/driver costs.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LatencyModel {
     /// `cudaMalloc` / `cudaMallocPitch` / `cudaMalloc3D` base cost.
     pub alloc: SimDuration,
@@ -94,7 +93,10 @@ mod tests {
         assert_eq!(m.alloc.as_nanos(), 35_000);
         // Paper: managed allocation ~40x other allocation APIs.
         let ratio = m.alloc_managed.as_nanos() as f64 / m.alloc.as_nanos() as f64;
-        assert!((30.0..=50.0).contains(&ratio), "managed/alloc ratio {ratio}");
+        assert!(
+            (30.0..=50.0).contains(&ratio),
+            "managed/alloc ratio {ratio}"
+        );
         // Free is cheaper than alloc; memGetInfo costs more than free.
         assert!(m.free < m.alloc);
         assert!(m.mem_get_info > m.free);

@@ -21,6 +21,8 @@
 //! wrapper module (`convgpu-wrapper`) can interpose on it exactly like
 //! `LD_PRELOAD` interposes on the real shared library.
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod context;
 pub mod device;

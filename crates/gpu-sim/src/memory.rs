@@ -17,12 +17,11 @@
 
 use crate::error::{CudaError, CudaResult};
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A device pointer. Address 0 is never handed out (it is CUDA's NULL).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DevicePtr(pub u64);
 
 impl DevicePtr {
@@ -64,7 +63,7 @@ const HEAP_BASE: u64 = 0x0007_0000_0000;
 const GRANULE: u64 = 256;
 
 /// Allocation statistics snapshot.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AllocatorStats {
     /// Bytes currently allocated (after granularity rounding).
     pub in_use: Bytes,
@@ -373,7 +372,7 @@ impl PagedAllocator {
 }
 
 /// Which allocation model a device uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AllocatorKind {
     /// Realistic CUDA semantics (default).
     Paged,

@@ -120,10 +120,9 @@ mod tests {
 
     #[test]
     fn link_override() {
-        let prog = FnProgram::new("static", |_api, _pid, _clock| Ok(()))
-            .with_link(ProgramLink {
-                cudart_shared: false,
-            });
+        let prog = FnProgram::new("static", |_api, _pid, _clock| Ok(())).with_link(ProgramLink {
+            cudart_shared: false,
+        });
         assert!(!prog.link().cudart_shared);
     }
 }

@@ -7,10 +7,9 @@
 //! figures feeding the kernel and memcpy cost models.
 
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Simulated `cudaDeviceProp` subset.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DeviceProperties {
     /// Marketing name, e.g. `"Tesla K20m"`.
     pub name: String,

@@ -15,8 +15,8 @@ use crate::latency::LatencyModel;
 use crate::memory::DevicePtr;
 use crate::props::DeviceProperties;
 use crate::stream::{EventId, StreamEngine, StreamId};
-use parking_lot::Mutex;
 use convgpu_sim_core::clock::ClockHandle;
+use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::time::SimDuration;
 use convgpu_sim_core::units::Bytes;
 use std::sync::Arc;
@@ -431,12 +431,14 @@ mod tests {
     fn memcpy_time_scales_with_bytes_and_direction() {
         let (rt, clock) = runtime();
         let t0 = clock.now();
-        rt.cuda_memcpy(1, MemcpyKind::HostToDevice, Bytes::gib(3)).unwrap();
+        rt.cuda_memcpy(1, MemcpyKind::HostToDevice, Bytes::gib(3))
+            .unwrap();
         let h2d = clock.now() - t0;
         // 3 GiB at 6 GiB/s = 0.5 s.
         assert!((h2d.as_secs_f64() - 0.5).abs() < 0.01, "{h2d}");
         let t1 = clock.now();
-        rt.cuda_memcpy(1, MemcpyKind::DeviceToDevice, Bytes::gib(3)).unwrap();
+        rt.cuda_memcpy(1, MemcpyKind::DeviceToDevice, Bytes::gib(3))
+            .unwrap();
         let d2d = clock.now() - t1;
         assert!(d2d < h2d, "device copies are much faster");
     }
@@ -501,7 +503,7 @@ mod tests {
     fn async_streams_overlap_in_virtual_time() {
         let (rt, clock) = runtime();
         let k = KernelSpec::compute("chunk", 3.52e12, Bytes::mib(1)); // ≈1 s
-        // Sequential baseline: two sync launches ≈ 2 s.
+                                                                      // Sequential baseline: two sync launches ≈ 2 s.
         let t0 = clock.now();
         rt.cuda_launch_kernel(1, &k).unwrap();
         rt.cuda_launch_kernel(1, &k).unwrap();
@@ -563,7 +565,10 @@ mod tests {
         let t0 = clock.now();
         rt.cuda_unregister_fat_binary(1).unwrap();
         let waited = clock.now() - t0;
-        assert!(waited.as_secs_f64() > 0.9, "exit waits for the GPU: {waited}");
+        assert!(
+            waited.as_secs_f64() > 0.9,
+            "exit waits for the GPU: {waited}"
+        );
         // The stream is gone with the process.
         assert!(rt.cuda_stream_synchronize(1, s).is_err());
     }

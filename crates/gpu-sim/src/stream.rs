@@ -18,12 +18,11 @@
 
 use crate::error::{CudaError, CudaResult};
 use convgpu_sim_core::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifies a stream within one process. Stream 0 is the legacy
 /// default stream and always exists.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamId(pub u64);
 
 impl StreamId {
@@ -32,7 +31,7 @@ impl StreamId {
 }
 
 /// Identifies an event within one process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EventId(pub u64);
 
 type Pid = u64;

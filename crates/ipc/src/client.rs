@@ -11,19 +11,19 @@ use crate::codec::{read_json, write_json};
 use crate::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
 use crate::message::{AllocDecision, ApiKind, Envelope, Request, Response};
 use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::units::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 
 struct ClientShared {
     writer: Mutex<UnixStream>,
-    pending: Mutex<Option<HashMap<u64, Sender<Response>>>>,
+    pending: Mutex<Option<HashMap<u64, SyncSender<Response>>>>,
     next_id: AtomicU64,
 }
 
@@ -41,11 +41,7 @@ impl Drop for SchedulerClient {
         // The reader thread holds its own clone of the stream; without
         // an explicit shutdown the connection (and two threads) would
         // leak until server shutdown.
-        let _ = self
-            .shared
-            .writer
-            .lock()
-            .shutdown(std::net::Shutdown::Both);
+        let _ = self.shared.writer.lock().shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -71,7 +67,7 @@ impl SchedulerClient {
     /// arbitrarily long — that is the suspension mechanism.
     pub fn request(&self, req: Request) -> IpcResult<Response> {
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx): (Sender<Response>, Receiver<Response>) = bounded(1);
+        let (tx, rx): (SyncSender<Response>, Receiver<Response>) = sync_channel(1);
         {
             let mut pending = self.shared.pending.lock();
             match pending.as_mut() {
@@ -288,8 +284,13 @@ mod tests {
                 .unwrap(),
             AllocDecision::Granted
         );
-        client.alloc_done(ContainerId(1), 1, 0x7000, Bytes::mib(10)).unwrap();
-        assert_eq!(client.free(ContainerId(1), 1, 0x7000).unwrap(), Bytes::mib(1));
+        client
+            .alloc_done(ContainerId(1), 1, 0x7000, Bytes::mib(10))
+            .unwrap();
+        assert_eq!(
+            client.free(ContainerId(1), 1, 0x7000).unwrap(),
+            Bytes::mib(1)
+        );
         assert_eq!(
             client.mem_info(ContainerId(1), 1).unwrap(),
             (Bytes::mib(10), Bytes::mib(512))

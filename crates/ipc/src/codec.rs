@@ -1,12 +1,12 @@
 //! Newline-delimited JSON framing.
 //!
 //! One serialized [`crate::message::Envelope`] per `\n`-terminated line.
-//! JSON never contains a raw newline (serde_json escapes them), so line
-//! framing is unambiguous. A line-length cap protects the scheduler from a
-//! misbehaving container writing garbage into the shared socket.
+//! JSON never contains a raw newline (the [`crate::json`] writer escapes
+//! them), so line framing is unambiguous. A line-length cap protects the
+//! scheduler from a misbehaving container writing garbage into the shared
+//! socket.
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use crate::json::{self, FromJson, ToJson};
 use std::io::{self, BufRead, Write};
 
 /// Maximum accepted line length. Real messages are < 200 bytes; 64 KiB
@@ -14,9 +14,8 @@ use std::io::{self, BufRead, Write};
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Serialize `value` as one JSON line and flush it.
-pub fn write_json<T: Serialize, W: Write>(w: &mut W, value: &T) -> io::Result<()> {
-    let mut line = serde_json::to_vec(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+pub fn write_json<T: ToJson, W: Write>(w: &mut W, value: &T) -> io::Result<()> {
+    let mut line = value.to_json_string().into_bytes();
     line.push(b'\n');
     w.write_all(&line)?;
     w.flush()
@@ -24,7 +23,7 @@ pub fn write_json<T: Serialize, W: Write>(w: &mut W, value: &T) -> io::Result<()
 
 /// Read one JSON line. Returns `Ok(None)` on clean EOF, an
 /// `InvalidData` error for malformed JSON or an over-long line.
-pub fn read_json<T: DeserializeOwned, R: BufRead>(r: &mut R) -> io::Result<Option<T>> {
+pub fn read_json<T: FromJson, R: BufRead>(r: &mut R) -> io::Result<Option<T>> {
     let mut line = Vec::new();
     loop {
         let buf = r.fill_buf()?;
@@ -59,9 +58,13 @@ pub fn read_json<T: DeserializeOwned, R: BufRead>(r: &mut R) -> io::Result<Optio
             "protocol line exceeds MAX_LINE_BYTES",
         ));
     }
-    serde_json::from_slice(&line)
+    let text = std::str::from_utf8(&line)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let value =
+        json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    T::from_json(&value)
         .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 #[cfg(test)]

@@ -76,13 +76,8 @@ pub trait SchedulerEndpoint: Send + Sync {
     ) -> IpcResult<AllocDecision>;
 
     /// Report a successful device allocation at `addr`.
-    fn alloc_done(
-        &self,
-        container: ContainerId,
-        pid: u64,
-        addr: u64,
-        size: Bytes,
-    ) -> IpcResult<()>;
+    fn alloc_done(&self, container: ContainerId, pid: u64, addr: u64, size: Bytes)
+        -> IpcResult<()>;
 
     /// Report that a granted allocation failed on the device (the
     /// scheduler must release the reservation it made for it).

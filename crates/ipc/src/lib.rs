@@ -9,6 +9,9 @@
 //! * [`message`] — the request/response schema: container registration,
 //!   allocation requests/decisions, free notifications, `cudaMemGetInfo`
 //!   service, process-exit and container-close signals.
+//! * [`json`] — hand-rolled JSON value model, parser and writer (the
+//!   sealed build environment has no serde), plus the [`json::ToJson`] /
+//!   [`json::FromJson`] traits the schema implements.
 //! * [`codec`] — newline-delimited JSON framing with a line-length guard.
 //! * [`endpoint`] — [`endpoint::SchedulerEndpoint`], the synchronous
 //!   interface the wrapper module calls. A *suspended* allocation (the
@@ -21,9 +24,12 @@
 //!   reader threads + deferred [`server::Reply`] handles, which is what
 //!   lets the scheduler park a reply and release the thread.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod codec;
 pub mod endpoint;
+pub mod json;
 pub mod message;
 pub mod server;
 

@@ -5,16 +5,20 @@
 //! scheduler; responses flow back with the same `id`. Notifications
 //! (`AllocDone`, `ProcessExit`, …) still get an `Ok` response so senders
 //! can detect a dead scheduler.
+//!
+//! Encoding is the hand-rolled codec in [`crate::json`]: internally tagged
+//! (`"type"` field), snake_case variant and field names, `Bytes` and
+//! `ContainerId` as bare numbers — the same wire format the original
+//! serde-derived schema produced, pinned by the tests below.
 
+use crate::json::{field, FromJson, Json, JsonError, ToJson};
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Which allocation API triggered a request — used for tracing and for the
 /// Fig. 4 per-API breakdown. The scheduler treats all four identically
 /// (it only sees adjusted sizes; the wrapper does the pitch/granule math).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ApiKind {
     /// `cudaMalloc`
     Malloc,
@@ -36,11 +40,38 @@ impl ApiKind {
             ApiKind::Malloc3D => "cudaMalloc3D",
         }
     }
+
+    /// snake_case wire name.
+    fn wire_name(self) -> &'static str {
+        match self {
+            ApiKind::Malloc => "malloc",
+            ApiKind::MallocManaged => "malloc_managed",
+            ApiKind::MallocPitch => "malloc_pitch",
+            ApiKind::Malloc3D => "malloc3_d",
+        }
+    }
+}
+
+impl ToJson for ApiKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.wire_name().to_string())
+    }
+}
+
+impl FromJson for ApiKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("malloc") => Ok(ApiKind::Malloc),
+            Some("malloc_managed") => Ok(ApiKind::MallocManaged),
+            Some("malloc_pitch") => Ok(ApiKind::MallocPitch),
+            Some("malloc3_d") => Ok(ApiKind::Malloc3D),
+            other => Err(JsonError::msg(format!("unknown api kind {other:?}"))),
+        }
+    }
 }
 
 /// Scheduler verdict on an allocation request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AllocDecision {
     /// Proceed: call the real CUDA allocation API.
     Granted,
@@ -49,9 +80,30 @@ pub enum AllocDecision {
     Rejected,
 }
 
+impl ToJson for AllocDecision {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                AllocDecision::Granted => "granted",
+                AllocDecision::Rejected => "rejected",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for AllocDecision {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("granted") => Ok(AllocDecision::Granted),
+            Some("rejected") => Ok(AllocDecision::Rejected),
+            other => Err(JsonError::msg(format!("unknown decision {other:?}"))),
+        }
+    }
+}
+
 /// Requests sent *to* the GPU memory scheduler.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// nvidia-docker: declare a container and its GPU memory limit before
     /// creation (`--nvidia-memory`, label, or the 1 GiB default).
@@ -134,9 +186,158 @@ pub enum Request {
     Ping,
 }
 
+/// Build an internally tagged object: `{"type":<tag>, <fields>...}`.
+fn tagged(tag: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut obj = Vec::with_capacity(fields.len() + 1);
+    obj.push(("type".to_string(), Json::Str(tag.to_string())));
+    obj.extend(fields);
+    Json::Obj(obj)
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Register { container, limit } => tagged(
+                "register",
+                vec![
+                    ("container".into(), container.to_json()),
+                    ("limit".into(), limit.to_json()),
+                ],
+            ),
+            Request::RequestDir { container } => tagged(
+                "request_dir",
+                vec![("container".into(), container.to_json())],
+            ),
+            Request::AllocRequest {
+                container,
+                pid,
+                size,
+                api,
+            } => tagged(
+                "alloc_request",
+                vec![
+                    ("container".into(), container.to_json()),
+                    ("pid".into(), pid.to_json()),
+                    ("size".into(), size.to_json()),
+                    ("api".into(), api.to_json()),
+                ],
+            ),
+            Request::AllocDone {
+                container,
+                pid,
+                addr,
+                size,
+            } => tagged(
+                "alloc_done",
+                vec![
+                    ("container".into(), container.to_json()),
+                    ("pid".into(), pid.to_json()),
+                    ("addr".into(), addr.to_json()),
+                    ("size".into(), size.to_json()),
+                ],
+            ),
+            Request::AllocFailed {
+                container,
+                pid,
+                size,
+            } => tagged(
+                "alloc_failed",
+                vec![
+                    ("container".into(), container.to_json()),
+                    ("pid".into(), pid.to_json()),
+                    ("size".into(), size.to_json()),
+                ],
+            ),
+            Request::Free {
+                container,
+                pid,
+                addr,
+            } => tagged(
+                "free",
+                vec![
+                    ("container".into(), container.to_json()),
+                    ("pid".into(), pid.to_json()),
+                    ("addr".into(), addr.to_json()),
+                ],
+            ),
+            Request::MemInfo { container, pid } => tagged(
+                "mem_info",
+                vec![
+                    ("container".into(), container.to_json()),
+                    ("pid".into(), pid.to_json()),
+                ],
+            ),
+            Request::ProcessExit { container, pid } => tagged(
+                "process_exit",
+                vec![
+                    ("container".into(), container.to_json()),
+                    ("pid".into(), pid.to_json()),
+                ],
+            ),
+            Request::ContainerClose { container } => tagged(
+                "container_close",
+                vec![("container".into(), container.to_json())],
+            ),
+            Request::Ping => tagged("ping", vec![]),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::msg("missing \"type\" tag"))?;
+        match tag {
+            "register" => Ok(Request::Register {
+                container: field(v, "container")?,
+                limit: field(v, "limit")?,
+            }),
+            "request_dir" => Ok(Request::RequestDir {
+                container: field(v, "container")?,
+            }),
+            "alloc_request" => Ok(Request::AllocRequest {
+                container: field(v, "container")?,
+                pid: field(v, "pid")?,
+                size: field(v, "size")?,
+                api: field(v, "api")?,
+            }),
+            "alloc_done" => Ok(Request::AllocDone {
+                container: field(v, "container")?,
+                pid: field(v, "pid")?,
+                addr: field(v, "addr")?,
+                size: field(v, "size")?,
+            }),
+            "alloc_failed" => Ok(Request::AllocFailed {
+                container: field(v, "container")?,
+                pid: field(v, "pid")?,
+                size: field(v, "size")?,
+            }),
+            "free" => Ok(Request::Free {
+                container: field(v, "container")?,
+                pid: field(v, "pid")?,
+                addr: field(v, "addr")?,
+            }),
+            "mem_info" => Ok(Request::MemInfo {
+                container: field(v, "container")?,
+                pid: field(v, "pid")?,
+            }),
+            "process_exit" => Ok(Request::ProcessExit {
+                container: field(v, "container")?,
+                pid: field(v, "pid")?,
+            }),
+            "container_close" => Ok(Request::ContainerClose {
+                container: field(v, "container")?,
+            }),
+            "ping" => Ok(Request::Ping),
+            other => Err(JsonError::msg(format!("unknown request type {other:?}"))),
+        }
+    }
+}
+
 /// Responses sent *from* the scheduler.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// Generic acknowledgement.
     Ok,
@@ -174,8 +375,62 @@ pub enum Response {
     Pong,
 }
 
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Ok => tagged("ok", vec![]),
+            Response::Dir { path } => tagged("dir", vec![("path".into(), path.to_json())]),
+            Response::Alloc { decision } => {
+                tagged("alloc", vec![("decision".into(), decision.to_json())])
+            }
+            Response::Freed { size } => tagged("freed", vec![("size".into(), size.to_json())]),
+            Response::MemInfo { free, total } => tagged(
+                "mem_info",
+                vec![
+                    ("free".into(), free.to_json()),
+                    ("total".into(), total.to_json()),
+                ],
+            ),
+            Response::Error { message } => {
+                tagged("error", vec![("message".into(), message.to_json())])
+            }
+            Response::Pong => tagged("pong", vec![]),
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::msg("missing \"type\" tag"))?;
+        match tag {
+            "ok" => Ok(Response::Ok),
+            "dir" => Ok(Response::Dir {
+                path: field(v, "path")?,
+            }),
+            "alloc" => Ok(Response::Alloc {
+                decision: field(v, "decision")?,
+            }),
+            "freed" => Ok(Response::Freed {
+                size: field(v, "size")?,
+            }),
+            "mem_info" => Ok(Response::MemInfo {
+                free: field(v, "free")?,
+                total: field(v, "total")?,
+            }),
+            "error" => Ok(Response::Error {
+                message: field(v, "message")?,
+            }),
+            "pong" => Ok(Response::Pong),
+            other => Err(JsonError::msg(format!("unknown response type {other:?}"))),
+        }
+    }
+}
+
 /// Correlation envelope: `id` ties a [`Response`] to its [`Request`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Envelope<T> {
     /// Correlation id, unique per connection.
     pub id: u64,
@@ -183,9 +438,34 @@ pub struct Envelope<T> {
     pub body: T,
 }
 
+impl<T: ToJson> ToJson for Envelope<T> {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_string(), Json::U64(self.id)),
+            ("body".to_string(), self.body.to_json()),
+        ])
+    }
+}
+
+impl<T: FromJson> FromJson for Envelope<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Envelope {
+            id: field(v, "id")?,
+            body: field(v, "body")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json;
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(env: &Envelope<T>) {
+        let text = env.to_json_string();
+        let back = Envelope::<T>::from_json(&json::parse(&text).expect("parse")).expect("decode");
+        assert_eq!(&back, env, "wire text: {text}");
+    }
 
     #[test]
     fn request_json_round_trip() {
@@ -233,11 +513,10 @@ mod tests {
             Request::Ping,
         ];
         for req in reqs {
-            let env = Envelope { id: 7, body: req.clone() };
-            let json = serde_json::to_string(&env).unwrap();
-            let back: Envelope<Request> = serde_json::from_str(&json).unwrap();
-            assert_eq!(back.id, 7);
-            assert_eq!(back.body, req);
+            round_trip(&Envelope {
+                id: 7,
+                body: req.clone(),
+            });
         }
     }
 
@@ -267,26 +546,44 @@ mod tests {
             Response::Pong,
         ];
         for resp in resps {
-            let env = Envelope { id: 1, body: resp.clone() };
-            let json = serde_json::to_string(&env).unwrap();
-            let back: Envelope<Response> = serde_json::from_str(&json).unwrap();
-            assert_eq!(back.body, resp);
+            round_trip(&Envelope {
+                id: 1,
+                body: resp.clone(),
+            });
         }
     }
 
     #[test]
     fn wire_format_is_snake_case_tagged() {
-        let json = serde_json::to_string(&Request::Ping).unwrap();
+        let json = Request::Ping.to_json_string();
         assert_eq!(json, r#"{"type":"ping"}"#);
-        let json = serde_json::to_string(&Request::AllocRequest {
+        let json = Request::AllocRequest {
             container: ContainerId(1),
             pid: 2,
             size: Bytes::new(3),
             api: ApiKind::Malloc,
-        })
-        .unwrap();
+        }
+        .to_json_string();
         assert!(json.contains(r#""type":"alloc_request""#), "{json}");
         assert!(json.contains(r#""api":"malloc""#), "{json}");
+        // Numeric newtypes stay bare numbers on the wire.
+        assert!(json.contains(r#""container":1"#), "{json}");
+        assert!(json.contains(r#""size":3"#), "{json}");
+    }
+
+    #[test]
+    fn envelope_wire_format_is_stable() {
+        let env = Envelope {
+            id: 9,
+            body: Request::Register {
+                container: ContainerId(3),
+                limit: Bytes::mib(512),
+            },
+        };
+        assert_eq!(
+            env.to_json_string(),
+            r#"{"id":9,"body":{"type":"register","container":3,"limit":536870912}}"#
+        );
     }
 
     #[test]

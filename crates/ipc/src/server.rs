@@ -9,7 +9,7 @@
 
 use crate::codec::{read_json, write_json};
 use crate::message::{Envelope, Request, Response};
-use parking_lot::Mutex;
+use convgpu_sim_core::sync::Mutex;
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -45,10 +45,13 @@ impl Reply {
     /// disconnect path reclaims its state instead.
     pub fn send(self, resp: Response) {
         let mut w = self.writer.lock();
-        let _ = write_json(&mut *w, &Envelope {
-            id: self.id,
-            body: resp,
-        });
+        let _ = write_json(
+            &mut *w,
+            &Envelope {
+                id: self.id,
+                body: resp,
+            },
+        );
     }
 }
 
@@ -143,10 +146,7 @@ fn accept_loop(listener: UnixListener, shared: Arc<ServerShared>) {
             Ok(s) => s,
             Err(_) => continue,
         }));
-        shared
-            .conns
-            .lock()
-            .insert(conn_id, Arc::clone(&writer));
+        shared.conns.lock().insert(conn_id, Arc::clone(&writer));
         let conn_shared = Arc::clone(&shared);
         let _ = std::thread::Builder::new()
             .name(format!("convgpu-ipc-conn-{conn_id}"))
@@ -207,11 +207,8 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn temp_sock(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "convgpu-ipc-test-{}-{}",
-            std::process::id(),
-            name
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("convgpu-ipc-test-{}-{}", std::process::id(), name));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("sched.sock")
     }

@@ -25,12 +25,10 @@ use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::rng::DetRng;
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Docker-Swarm-style node placement strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SwarmStrategy {
     /// Fewest open containers first (Swarm default).
     Spread,
@@ -136,7 +134,11 @@ impl ClusterScheduler {
                     .copied()
                     .filter(|&i| self.nodes[i].gpus.total_unassigned() >= hint)
                     .collect();
-                let pool = if fitting.is_empty() { &capable } else { &fitting };
+                let pool = if fitting.is_empty() {
+                    &capable
+                } else {
+                    &fitting
+                };
                 pool.iter()
                     .copied()
                     .min_by_key(|&i| (self.nodes[i].gpus.total_unassigned(), i))?
@@ -245,7 +247,12 @@ mod tests {
         ClusterScheduler::new(
             vec![
                 ClusterNode::new("node-0", &[Bytes::gib(5)], PolicyKind::BestFit, 1),
-                ClusterNode::new("node-1", &[Bytes::gib(5), Bytes::gib(5)], PolicyKind::BestFit, 2),
+                ClusterNode::new(
+                    "node-1",
+                    &[Bytes::gib(5), Bytes::gib(5)],
+                    PolicyKind::BestFit,
+                    2,
+                ),
                 ClusterNode::new("node-2", &[Bytes::gib(16)], PolicyKind::BestFit, 3),
             ],
             strategy,
@@ -300,10 +307,7 @@ mod tests {
         // A 10 GiB container must always land on node-2.
         let mut c = cluster(SwarmStrategy::Random);
         for i in 1..=6u64 {
-            assert_eq!(
-                c.register(ContainerId(i), Bytes::gib(10), t(i)).unwrap(),
-                2
-            );
+            assert_eq!(c.register(ContainerId(i), Bytes::gib(10), t(i)).unwrap(), 2);
         }
     }
 
@@ -326,7 +330,8 @@ mod tests {
             .alloc_request(ContainerId(1), 7, Bytes::gib(2), ApiKind::Malloc, t(1))
             .unwrap();
         assert_eq!(out, AllocOutcome::Granted);
-        c.alloc_done(ContainerId(1), 7, 0xA, Bytes::gib(2), t(1)).unwrap();
+        c.alloc_done(ContainerId(1), 7, 0xA, Bytes::gib(2), t(1))
+            .unwrap();
         let (freed, _) = c.free(ContainerId(1), 7, 0xA, t(2)).unwrap();
         assert_eq!(freed, Bytes::gib(2));
         c.container_close(ContainerId(1), t(3)).unwrap();

@@ -24,15 +24,16 @@
 //!   a pid's allocations even if the program leaked them; `ContainerClose`
 //!   (from the volume-unmount signal) drops everything.
 
+use crate::invariant::InvariantViolation;
 use crate::log::{Decision, DecisionLog};
-use crate::timeline::UtilizationTimeline;
 use crate::policy::{CandidateView, Policy};
 use crate::state::{ContainerRecord, ContainerState, PendingAlloc, ResumeRule};
+use crate::timeline::UtilizationTimeline;
 use convgpu_ipc::message::{AllocDecision, ApiKind};
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Scheduler configuration.
@@ -153,6 +154,10 @@ impl fmt::Display for SchedError {
 impl std::error::Error for SchedError {}
 
 /// The GPU memory scheduler for one device.
+///
+/// `Clone` duplicates the complete scheduler state, including the policy's
+/// internal RNG — the bounded model checker branches by cloning.
+#[derive(Clone)]
 pub struct Scheduler {
     cfg: SchedulerConfig,
     policy: Box<dyn Policy>,
@@ -229,9 +234,26 @@ impl Scheduler {
         self.containers.get(&id)
     }
 
-    /// Iterate all records (metrics collection).
+    /// Iterate all records in container-id order, so every consumer
+    /// (metrics, deadlock analysis, the model checker) sees a
+    /// deterministic sequence regardless of `HashMap` layout.
     pub fn containers(&self) -> impl Iterator<Item = &ContainerRecord> {
-        self.containers.values()
+        let mut recs: Vec<&ContainerRecord> = self.containers.values().collect();
+        recs.sort_by_key(|r| r.id);
+        recs.into_iter()
+    }
+
+    /// The container currently locked in as the redistribution target
+    /// (sticky policies top it up across release events until fully
+    /// guaranteed). Exposed for the model checker's canonical state.
+    pub fn sticky_target(&self) -> Option<ContainerId> {
+        self.sticky_target
+    }
+
+    /// Fingerprint of the policy's internal mutable state (see
+    /// [`Policy::fingerprint`]).
+    pub fn policy_fingerprint(&self) -> u64 {
+        self.policy.fingerprint()
     }
 
     fn effective_requirement(&self, limit: Bytes) -> Bytes {
@@ -276,6 +298,7 @@ impl Scheduler {
             },
         );
         self.sample(now);
+        self.audit_check();
         Ok(())
     }
 
@@ -322,8 +345,16 @@ impl Scheduler {
                 rec.used += need;
                 rec.charged_pids.insert(pid);
                 rec.granted_allocs += 1;
-                self.log.push(now, Decision::Granted { id, pid, charged: need });
+                self.log.push(
+                    now,
+                    Decision::Granted {
+                        id,
+                        pid,
+                        charged: need,
+                    },
+                );
                 self.sample(now);
+                self.audit_check();
                 return Ok((AllocOutcome::Granted, Vec::new()));
             }
             // Would exceed the assigned budget: top the budget up from the
@@ -335,8 +366,16 @@ impl Scheduler {
                 rec.used += need;
                 rec.charged_pids.insert(pid);
                 rec.granted_allocs += 1;
-                self.log.push(now, Decision::Granted { id, pid, charged: need });
+                self.log.push(
+                    now,
+                    Decision::Granted {
+                        id,
+                        pid,
+                        charged: need,
+                    },
+                );
                 self.sample(now);
+                self.audit_check();
                 return Ok((AllocOutcome::Granted, Vec::new()));
             }
         }
@@ -366,11 +405,17 @@ impl Scheduler {
                 actions = self.redistribute(now);
             }
         }
-        debug_assert!(
-            actions.iter().all(|a| a.ticket != ticket),
-            "a just-parked request cannot resume from its own give-back"
-        );
+        // Checked in debug builds and in release-mode `audit` runs; the
+        // stronger state-level version (every parked ticket unique) lives
+        // in `check_invariants`.
+        if cfg!(any(debug_assertions, feature = "audit")) {
+            assert!(
+                actions.iter().all(|a| a.ticket != ticket),
+                "a just-parked request cannot resume from its own give-back"
+            );
+        }
         self.sample(now);
+        self.audit_check();
         Ok((AllocOutcome::Suspended { ticket }, actions))
     }
 
@@ -389,6 +434,7 @@ impl Scheduler {
                 "duplicate AllocDone for address 0x{addr:x}"
             )));
         }
+        self.audit_check();
         Ok(())
     }
 
@@ -408,6 +454,7 @@ impl Scheduler {
         }
         let actions = self.drain_pending(id, now, false);
         self.sample(now);
+        self.audit_check();
         Ok(actions)
     }
 
@@ -437,6 +484,7 @@ impl Scheduler {
             self.drain_pending(id, now, false)
         };
         self.sample(now);
+        self.audit_check();
         Ok((freed, resumes))
     }
 
@@ -519,6 +567,7 @@ impl Scheduler {
         let mut actions = cancelled;
         actions.extend(self.drain_pending(id, now, false));
         self.sample(now);
+        self.audit_check();
         Ok(actions)
     }
 
@@ -570,6 +619,7 @@ impl Scheduler {
             let mut actions = cancelled;
             actions.extend(self.redistribute(now));
             self.sample(now);
+            self.audit_check();
             Ok(actions)
         }
     }
@@ -631,9 +681,11 @@ impl Scheduler {
                         })
                         .collect();
                     // HashMap iteration order is arbitrary; the Random
-                    // policy indexes into this slice, so sort for
-                    // bit-reproducible experiments.
-                    candidates.sort_by_key(|c| c.id);
+                    // policy indexes into this slice and Recent-Use
+                    // tie-breaks on it, so sort by suspension order (then
+                    // registration, then id) for bit-reproducible
+                    // experiments under a fixed seed.
+                    candidates.sort_by_key(|c| (c.suspended_since, c.registered_at, c.id));
                     if candidates.is_empty() {
                         break;
                     }
@@ -677,7 +729,12 @@ impl Scheduler {
     /// `require_full` gates redistribution-driven resumes on the paper's
     /// full-guarantee rule; releases within the container's own budget
     /// always re-evaluate.
-    fn drain_pending(&mut self, id: ContainerId, now: SimTime, require_full: bool) -> Vec<ResumeAction> {
+    fn drain_pending(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+        require_full: bool,
+    ) -> Vec<ResumeAction> {
         let ctx = self.cfg.ctx_overhead;
         let charge_ctx = self.cfg.charge_ctx_overhead;
         let Some(rec) = self.containers.get_mut(&id) else {
@@ -750,47 +807,103 @@ impl Scheduler {
         }
     }
 
-    /// Safety/consistency checks used by tests and property tests.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// The shared safety oracle: evaluates every invariant documented in
+    /// [`crate::invariant`] and reports the first violation. Used by unit
+    /// and property tests, by the `convgpu-audit` bounded model checker
+    /// after every explored transition, and — under the `audit` feature —
+    /// by every mutating entry point of the live scheduler itself.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
         let mut sum_assigned = Bytes::ZERO;
-        for rec in self.containers.values() {
+        let mut seen_tickets = BTreeSet::new();
+        for rec in self.containers() {
             sum_assigned += rec.assigned;
             if rec.used > rec.assigned {
-                return Err(format!("{}: used {} > assigned {}", rec.id, rec.used, rec.assigned));
+                return Err(InvariantViolation::UsedExceedsAssigned {
+                    container: rec.id,
+                    used: rec.used,
+                    assigned: rec.assigned,
+                });
             }
             if rec.assigned > rec.requirement {
-                return Err(format!(
-                    "{}: assigned {} > requirement {}",
-                    rec.id, rec.assigned, rec.requirement
-                ));
+                return Err(InvariantViolation::AssignedExceedsRequirement {
+                    container: rec.id,
+                    assigned: rec.assigned,
+                    requirement: rec.requirement,
+                });
+            }
+            if rec.used > rec.requirement {
+                return Err(InvariantViolation::UsedExceedsRequirement {
+                    container: rec.id,
+                    used: rec.used,
+                    requirement: rec.requirement,
+                });
             }
             let recorded: Bytes = rec.allocations.values().map(|&(_, s)| s).sum();
             if recorded > rec.used {
-                return Err(format!(
-                    "{}: recorded allocations {} exceed used {}",
-                    rec.id, recorded, rec.used
-                ));
+                return Err(InvariantViolation::RecordedExceedsUsed {
+                    container: rec.id,
+                    recorded,
+                    used: rec.used,
+                });
             }
             if rec.state == ContainerState::Closed
                 && (!rec.assigned.is_zero() || !rec.used.is_zero())
             {
-                return Err(format!("{}: closed but still holds memory", rec.id));
+                return Err(InvariantViolation::ClosedHoldsMemory { container: rec.id });
+            }
+            // Ticket uniqueness (promoted from the debug_assert in
+            // alloc_request): a parked ticket appears exactly once, and
+            // only tickets the counter has issued can be parked.
+            for p in &rec.pending {
+                if p.ticket >= self.next_ticket {
+                    return Err(InvariantViolation::TicketFromFuture {
+                        ticket: p.ticket,
+                        next_ticket: self.next_ticket,
+                    });
+                }
+                if !seen_tickets.insert(p.ticket) {
+                    return Err(InvariantViolation::DuplicateTicket { ticket: p.ticket });
+                }
+            }
+            // Suspension consistency: for open containers, `state` must
+            // mirror `pending` — skew here is how a wakeup gets lost.
+            let suspended = rec.state == ContainerState::Suspended;
+            if rec.state != ContainerState::Closed && suspended == rec.pending.is_empty() {
+                return Err(InvariantViolation::SuspensionStateMismatch {
+                    container: rec.id,
+                    state: rec.state,
+                    pending: rec.pending.len(),
+                });
             }
         }
         if sum_assigned != self.total_assigned {
-            return Err(format!(
-                "assigned sum {} != tracked total {}",
-                sum_assigned, self.total_assigned
-            ));
+            return Err(InvariantViolation::AssignedSumMismatch {
+                sum: sum_assigned,
+                tracked: self.total_assigned,
+            });
         }
         if self.total_assigned > self.cfg.capacity {
-            return Err(format!(
-                "over-commit: assigned {} > capacity {}",
-                self.total_assigned, self.cfg.capacity
-            ));
+            return Err(InvariantViolation::OverCommit {
+                assigned: self.total_assigned,
+                capacity: self.cfg.capacity,
+            });
         }
         Ok(())
     }
+
+    /// Under the `audit` feature, re-check every invariant; a violation
+    /// means the scheduler state is corrupt and continuing would corrupt
+    /// container accounting further, so panic with the typed diagnosis.
+    #[cfg(feature = "audit")]
+    fn audit_check(&self) {
+        if let Err(violation) = self.check_invariants() {
+            panic!("scheduler invariant violated: {violation}");
+        }
+    }
+
+    #[cfg(not(feature = "audit"))]
+    #[inline(always)]
+    fn audit_check(&self) {}
 }
 
 #[cfg(test)]
@@ -872,8 +985,10 @@ mod tests {
     fn second_pid_charges_second_overhead() {
         let mut s = sched(5120, PolicyKind::Fifo);
         s.register(C1, mib(512), t(0)).unwrap();
-        s.alloc_request(C1, 100, mib(100), ApiKind::Malloc, t(1)).unwrap();
-        s.alloc_request(C1, 200, mib(100), ApiKind::Malloc, t(2)).unwrap();
+        s.alloc_request(C1, 100, mib(100), ApiKind::Malloc, t(1))
+            .unwrap();
+        s.alloc_request(C1, 200, mib(100), ApiKind::Malloc, t(2))
+            .unwrap();
         assert_eq!(s.container(C1).unwrap().used, mib(200 + 2 * 66));
     }
 
@@ -912,7 +1027,9 @@ mod tests {
         s.register(C1, mib(1000), t(0)).unwrap(); // assigned 1066
         s.register(C2, mib(1000), t(5)).unwrap(); // assigned 134 (partial)
         assert_eq!(
-            s.alloc_request(C1, 1, mib(1000), ApiKind::Malloc, t(6)).unwrap().0,
+            s.alloc_request(C1, 1, mib(1000), ApiKind::Malloc, t(6))
+                .unwrap()
+                .0,
             AllocOutcome::Granted
         );
         // C2's allocation exceeds its partial assignment → suspended.
@@ -940,7 +1057,10 @@ mod tests {
         let r = s.container(C2).unwrap();
         assert!(r.fully_guaranteed());
         assert!(!r.is_suspended());
-        assert_eq!(r.total_suspended, convgpu_sim_core::time::SimDuration::from_secs(13));
+        assert_eq!(
+            r.total_suspended,
+            convgpu_sim_core::time::SimDuration::from_secs(13)
+        );
         s.check_invariants().unwrap();
     }
 
@@ -951,8 +1071,10 @@ mod tests {
         s.register(C1, mib(900), t(0)).unwrap(); // 966 assigned
         s.register(C2, mib(900), t(1)).unwrap(); // 966 assigned
         s.register(C3, mib(1500), t(2)).unwrap(); // 68 assigned (leftover)
-        s.alloc_request(C1, 1, mib(900), ApiKind::Malloc, t(3)).unwrap();
-        s.alloc_request(C2, 2, mib(900), ApiKind::Malloc, t(3)).unwrap();
+        s.alloc_request(C1, 1, mib(900), ApiKind::Malloc, t(3))
+            .unwrap();
+        s.alloc_request(C2, 2, mib(900), ApiKind::Malloc, t(3))
+            .unwrap();
         let (out, _) = s
             .alloc_request(C3, 3, mib(1500), ApiKind::Malloc, t(4))
             .unwrap();
@@ -975,11 +1097,14 @@ mod tests {
     fn own_free_resumes_within_assigned_budget() {
         let mut s = sched(700, PolicyKind::Fifo);
         s.register(C1, mib(600), t(0)).unwrap(); // assigned 666 (all)
-        s.alloc_request(C1, 1, mib(600), ApiKind::Malloc, t(1)).unwrap();
+        s.alloc_request(C1, 1, mib(600), ApiKind::Malloc, t(1))
+            .unwrap();
         s.alloc_done(C1, 1, 0xA, mib(600), t(1)).unwrap();
         // Second allocation would exceed the limit → rejected.
         assert_eq!(
-            s.alloc_request(C1, 1, mib(600), ApiKind::Malloc, t(2)).unwrap().0,
+            s.alloc_request(C1, 1, mib(600), ApiKind::Malloc, t(2))
+                .unwrap()
+                .0,
             AllocOutcome::Rejected
         );
         // A 300 MiB follow-up is within limit but not within current use:
@@ -988,7 +1113,9 @@ mod tests {
         assert_eq!(freed, mib(600));
         assert!(resumes.is_empty());
         assert_eq!(
-            s.alloc_request(C1, 1, mib(300), ApiKind::Malloc, t(4)).unwrap().0,
+            s.alloc_request(C1, 1, mib(300), ApiKind::Malloc, t(4))
+                .unwrap()
+                .0,
             AllocOutcome::Granted
         );
         s.check_invariants().unwrap();
@@ -1001,7 +1128,8 @@ mod tests {
         // assigned budget.
         let mut s = sched(700, PolicyKind::Fifo);
         s.register(C1, mib(500), t(0)).unwrap(); // requirement 566, all assigned
-        s.alloc_request(C1, 1, mib(300), ApiKind::Malloc, t(1)).unwrap(); // used 366
+        s.alloc_request(C1, 1, mib(300), ApiKind::Malloc, t(1))
+            .unwrap(); // used 366
         s.alloc_done(C1, 1, 0xA, mib(300), t(1)).unwrap();
         // pid 2: 100 MiB + 66 overhead = 166; used would be 532 ≤ 566 OK —
         // need something that suspends: 150 + 66 = 216 → 582 > 566? That
@@ -1013,10 +1141,13 @@ mod tests {
         let mut s = sched(700, PolicyKind::Fifo);
         s.register(C1, mib(500), t(0)).unwrap(); // assigned 566
         s.register(C2, mib(100), t(0)).unwrap(); // assigned 134 remains? 700-566=134 ≥ 100+66=166? No: 134 < 166 → partial 134.
-        s.alloc_request(C1, 1, mib(300), ApiKind::Malloc, t(1)).unwrap();
+        s.alloc_request(C1, 1, mib(300), ApiKind::Malloc, t(1))
+            .unwrap();
         s.alloc_done(C1, 1, 0xA, mib(300), t(1)).unwrap();
         // C2 wants its full 100 MiB: needs 166 > 134 assigned → suspended.
-        let (out, _) = s.alloc_request(C2, 2, mib(100), ApiKind::Malloc, t(2)).unwrap();
+        let (out, _) = s
+            .alloc_request(C2, 2, mib(100), ApiKind::Malloc, t(2))
+            .unwrap();
         assert!(matches!(out, AllocOutcome::Suspended { .. }));
         // C1 closes → 566 released → C2 topped to 166 → resumed.
         let resumes = s.container_close(C1, t(3)).unwrap();
@@ -1029,9 +1160,11 @@ mod tests {
     fn process_exit_reclaims_leaks_and_overhead() {
         let mut s = sched(5120, PolicyKind::Fifo);
         s.register(C1, mib(512), t(0)).unwrap();
-        s.alloc_request(C1, 1, mib(200), ApiKind::Malloc, t(1)).unwrap();
+        s.alloc_request(C1, 1, mib(200), ApiKind::Malloc, t(1))
+            .unwrap();
         s.alloc_done(C1, 1, 0xA, mib(200), t(1)).unwrap();
-        s.alloc_request(C1, 1, mib(100), ApiKind::Malloc, t(2)).unwrap();
+        s.alloc_request(C1, 1, mib(100), ApiKind::Malloc, t(2))
+            .unwrap();
         s.alloc_done(C1, 1, 0xB, mib(100), t(2)).unwrap();
         assert_eq!(s.container(C1).unwrap().used, mib(366));
         // Process exits without freeing anything.
@@ -1045,7 +1178,8 @@ mod tests {
     fn container_close_is_idempotent_and_releases_everything() {
         let mut s = sched(5120, PolicyKind::Fifo);
         s.register(C1, mib(512), t(0)).unwrap();
-        s.alloc_request(C1, 1, mib(512), ApiKind::Malloc, t(1)).unwrap();
+        s.alloc_request(C1, 1, mib(512), ApiKind::Malloc, t(1))
+            .unwrap();
         s.container_close(C1, t(2)).unwrap();
         assert_eq!(s.total_assigned(), Bytes::ZERO);
         assert_eq!(s.container_close(C1, t(3)).unwrap(), Vec::new());
@@ -1061,7 +1195,8 @@ mod tests {
     fn alloc_failed_releases_reservation() {
         let mut s = sched(5120, PolicyKind::Fifo);
         s.register(C1, mib(512), t(0)).unwrap();
-        s.alloc_request(C1, 1, mib(512), ApiKind::Malloc, t(1)).unwrap();
+        s.alloc_request(C1, 1, mib(512), ApiKind::Malloc, t(1))
+            .unwrap();
         let used_before = s.container(C1).unwrap().used;
         s.alloc_failed(C1, 1, mib(512), t(2)).unwrap();
         assert_eq!(
@@ -1076,7 +1211,8 @@ mod tests {
     fn duplicate_alloc_done_is_protocol_violation() {
         let mut s = sched(5120, PolicyKind::Fifo);
         s.register(C1, mib(512), t(0)).unwrap();
-        s.alloc_request(C1, 1, mib(100), ApiKind::Malloc, t(1)).unwrap();
+        s.alloc_request(C1, 1, mib(100), ApiKind::Malloc, t(1))
+            .unwrap();
         s.alloc_done(C1, 1, 0xA, mib(100), t(1)).unwrap();
         assert!(matches!(
             s.alloc_done(C1, 1, 0xA, mib(100), t(2)),
@@ -1089,7 +1225,8 @@ mod tests {
         let mut s = sched(5120, PolicyKind::Fifo);
         s.register(C1, mib(512), t(0)).unwrap();
         assert_eq!(s.mem_info(C1, 1).unwrap(), (mib(512), mib(512)));
-        s.alloc_request(C1, 1, mib(200), ApiKind::Malloc, t(1)).unwrap();
+        s.alloc_request(C1, 1, mib(200), ApiKind::Malloc, t(1))
+            .unwrap();
         // used = 266 (alloc + overhead); free = 578-266 = 312.
         assert_eq!(s.mem_info(C1, 1).unwrap(), (mib(312), mib(512)));
     }
@@ -1100,13 +1237,18 @@ mod tests {
         s.register(C1, mib(1000), t(0)).unwrap(); // 1066 assigned
         s.register(C2, mib(1500), t(1)).unwrap(); // 1034 partial
         s.register(C3, mib(900), t(2)).unwrap(); // 0 assigned
-        s.alloc_request(C1, 1, mib(1000), ApiKind::Malloc, t(3)).unwrap();
+        s.alloc_request(C1, 1, mib(1000), ApiKind::Malloc, t(3))
+            .unwrap();
         assert!(matches!(
-            s.alloc_request(C2, 2, mib(1500), ApiKind::Malloc, t(4)).unwrap().0,
+            s.alloc_request(C2, 2, mib(1500), ApiKind::Malloc, t(4))
+                .unwrap()
+                .0,
             AllocOutcome::Suspended { .. }
         ));
         assert!(matches!(
-            s.alloc_request(C3, 3, mib(900), ApiKind::Malloc, t(5)).unwrap().0,
+            s.alloc_request(C3, 3, mib(900), ApiKind::Malloc, t(5))
+                .unwrap()
+                .0,
             AllocOutcome::Suspended { .. }
         ));
         // C2 suspended first and became the sticky top-up target (its
@@ -1120,7 +1262,10 @@ mod tests {
         assert_eq!(resumed, vec![C2], "sticky target completes first");
         let c3 = s.container(C3).unwrap();
         assert!(c3.is_suspended());
-        assert!(!c3.assigned.is_zero(), "C3 holds the leftover as sticky target");
+        assert!(
+            !c3.assigned.is_zero(),
+            "C3 holds the leftover as sticky target"
+        );
         s.check_invariants().unwrap();
     }
 
@@ -1129,7 +1274,8 @@ mod tests {
         let mut s = sched(1000, PolicyKind::Fifo);
         let e = SchedError::UnknownContainer(C1);
         assert_eq!(
-            s.alloc_request(C1, 1, mib(1), ApiKind::Malloc, t(0)).unwrap_err(),
+            s.alloc_request(C1, 1, mib(1), ApiKind::Malloc, t(0))
+                .unwrap_err(),
             e
         );
         assert_eq!(s.alloc_done(C1, 1, 1, mib(1), t(0)).unwrap_err(), e);
@@ -1145,8 +1291,10 @@ mod tests {
         let mut s = sched(1200, PolicyKind::Fifo);
         s.register(C1, mib(1000), t(0)).unwrap();
         s.register(C2, mib(1000), t(5)).unwrap();
-        s.alloc_request(C1, 1, mib(1000), ApiKind::Malloc, t(6)).unwrap();
-        s.alloc_request(C2, 2, mib(1000), ApiKind::Malloc, t(7)).unwrap();
+        s.alloc_request(C1, 1, mib(1000), ApiKind::Malloc, t(6))
+            .unwrap();
+        s.alloc_request(C2, 2, mib(1000), ApiKind::Malloc, t(7))
+            .unwrap();
         s.container_close(C1, t(20)).unwrap();
 
         let kinds: Vec<&'static str> = s
@@ -1188,9 +1336,12 @@ mod tests {
         let mut s = sched(1200, PolicyKind::Fifo);
         s.register(C1, mib(1000), t(0)).unwrap();
         s.register(C2, mib(1000), t(0)).unwrap();
-        s.alloc_request(C1, 1, mib(1000), ApiKind::Malloc, t(1)).unwrap();
+        s.alloc_request(C1, 1, mib(1000), ApiKind::Malloc, t(1))
+            .unwrap();
         assert!(matches!(
-            s.alloc_request(C2, 2, mib(500), ApiKind::Malloc, t(10)).unwrap().0,
+            s.alloc_request(C2, 2, mib(500), ApiKind::Malloc, t(10))
+                .unwrap()
+                .0,
             AllocOutcome::Suspended { .. }
         ));
         s.container_close(C1, t(40)).unwrap();

@@ -16,10 +16,9 @@
 use crate::core::Scheduler;
 use crate::state::ContainerState;
 use convgpu_sim_core::ids::ContainerId;
-use serde::{Deserialize, Serialize};
 
 /// Progress assessment of the managed system.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProgressState {
     /// No containers registered, or all closed.
     Idle,
@@ -108,7 +107,13 @@ mod tests {
         // Each requests its full limit.
         for i in 1..=3u64 {
             let _ = s
-                .alloc_request(ContainerId(i), i, Bytes::mib(1500), ApiKind::Malloc, t(10 + i))
+                .alloc_request(
+                    ContainerId(i),
+                    i,
+                    Bytes::mib(1500),
+                    ApiKind::Malloc,
+                    t(10 + i),
+                )
                 .unwrap();
         }
         // First container got the memory; others are suspended but the

@@ -32,10 +32,17 @@
 //!   containers across multi-GPU nodes.
 //! * [`deadlock`] — stall detection used to *demonstrate* that ConVGPU's
 //!   guarantee discipline avoids the deadlock of naive sharing.
+//! * [`invariant`] — the typed safety invariants behind
+//!   [`core::Scheduler::check_invariants`], shared by property tests, the
+//!   `convgpu-audit` bounded model checker, and (under the `audit`
+//!   feature) every mutating transition of the live scheduler.
+
+#![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod core;
 pub mod deadlock;
+pub mod invariant;
 pub mod log;
 pub mod metrics;
 pub mod multi_gpu;
@@ -45,6 +52,7 @@ pub mod timeline;
 
 pub use crate::core::{AllocOutcome, ResumeAction, SchedError, Scheduler, SchedulerConfig};
 pub use cluster::{ClusterNode, ClusterScheduler, SwarmStrategy};
+pub use invariant::InvariantViolation;
 pub use log::{Decision, DecisionLog, LogEntry};
 pub use metrics::{AggregateMetrics, ContainerMetrics};
 pub use multi_gpu::{MultiGpuScheduler, PlacementPolicy};

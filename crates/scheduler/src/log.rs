@@ -10,12 +10,11 @@ use convgpu_ipc::message::AllocDecision;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// One logged decision.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Decision {
     /// Container registered with its limit; `assigned` reserved at once.
     Registered {
@@ -90,7 +89,7 @@ pub enum Decision {
 }
 
 /// A timestamped log entry.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LogEntry {
     /// When the decision was made.
     pub at: SimTime,
@@ -102,7 +101,11 @@ impl fmt::Display for LogEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}] ", self.at)?;
         match &self.decision {
-            Decision::Registered { id, limit, assigned } => {
+            Decision::Registered {
+                id,
+                limit,
+                assigned,
+            } => {
                 write!(f, "{id} registered limit={limit} assigned={assigned}")
             }
             Decision::Granted { id, pid, charged } => {
@@ -114,10 +117,18 @@ impl fmt::Display for LogEntry {
             Decision::Suspended { id, ticket, size } => {
                 write!(f, "{id} SUSPENDED ticket={ticket} size={size}")
             }
-            Decision::ToppedUp { id, amount, deficit } => {
+            Decision::ToppedUp {
+                id,
+                amount,
+                deficit,
+            } => {
                 write!(f, "{id} topped up +{amount} (deficit now {deficit})")
             }
-            Decision::Resumed { id, ticket, decision } => {
+            Decision::Resumed {
+                id,
+                ticket,
+                decision,
+            } => {
                 write!(f, "{id} RESUMED ticket={ticket} -> {decision:?}")
             }
             Decision::Closed { id, released } => {
@@ -131,7 +142,7 @@ impl fmt::Display for LogEntry {
 }
 
 /// Bounded decision ring.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DecisionLog {
     entries: VecDeque<LogEntry>,
     capacity: usize,

@@ -10,10 +10,9 @@ use crate::state::{ContainerRecord, ContainerState};
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::{SimDuration, SimTime};
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Snapshot of one container's schedule history.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ContainerMetrics {
     /// The container.
     pub id: ContainerId,
@@ -57,7 +56,7 @@ impl ContainerMetrics {
 }
 
 /// Aggregate over one experiment run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AggregateMetrics {
     /// Containers observed.
     pub containers: usize,

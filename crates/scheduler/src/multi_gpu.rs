@@ -13,12 +13,10 @@ use convgpu_ipc::message::ApiKind;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How to choose the device for a new container.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PlacementPolicy {
     /// Cycle through devices regardless of load.
     RoundRobin,
@@ -245,7 +243,8 @@ impl MultiGpuScheduler {
     /// Check invariants on every device.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, d) in self.devices.iter().enumerate() {
-            d.check_invariants().map_err(|e| format!("device {i}: {e}"))?;
+            d.check_invariants()
+                .map_err(|e| format!("device {i}: {e}"))?;
         }
         Ok(())
     }
@@ -325,7 +324,13 @@ mod tests {
             .alloc_request(ContainerId(2), 7, Bytes::gib(1), ApiKind::Malloc, t(1))
             .unwrap();
         assert_eq!(out, AllocOutcome::Granted);
-        assert_eq!(m.device(1).container(ContainerId(2)).unwrap().granted_allocs, 1);
+        assert_eq!(
+            m.device(1)
+                .container(ContainerId(2))
+                .unwrap()
+                .granted_allocs,
+            1
+        );
         assert!(m.device(0).container(ContainerId(2)).is_none());
         m.container_close(ContainerId(2), t(2)).unwrap();
         m.check_invariants().unwrap();

@@ -20,7 +20,6 @@ use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::rng::DetRng;
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// What a policy is allowed to see about a suspended container.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -55,10 +54,32 @@ pub trait Policy: Send {
     /// called. Returning `None` stops redistribution early (no built-in
     /// policy does).
     fn select(&mut self, candidates: &[CandidateView], remaining: Bytes) -> Option<ContainerId>;
+
+    /// Clone into a fresh boxed policy, preserving internal state (the
+    /// Random policy's RNG). This is what makes [`Scheduler`] cloneable,
+    /// which the bounded model checker relies on to branch over event
+    /// interleavings.
+    ///
+    /// [`Scheduler`]: crate::core::Scheduler
+    fn clone_box(&self) -> Box<dyn Policy>;
+
+    /// Fingerprint of any internal mutable state. Stateless policies
+    /// return 0; the Random policy folds its RNG state in. The model
+    /// checker includes this in the canonical state so it never merges
+    /// two states whose policies would decide differently later.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+}
+
+impl Clone for Box<dyn Policy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// First-in, first-out: the oldest *created* container.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FifoPolicy;
 
 impl Policy for FifoPolicy {
@@ -72,11 +93,15 @@ impl Policy for FifoPolicy {
             .min_by_key(|c| (c.registered_at, c.id))
             .map(|c| c.id)
     }
+
+    fn clone_box(&self) -> Box<dyn Policy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Best-Fit: largest deficit that still fits the remaining memory;
 /// otherwise the smallest deficit overall.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BestFitPolicy;
 
 impl Policy for BestFitPolicy {
@@ -102,10 +127,14 @@ impl Policy for BestFitPolicy {
                 .map(|c| c.id),
         }
     }
+
+    fn clone_box(&self) -> Box<dyn Policy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Recent-Use: the container suspended most recently.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct RecentUsePolicy;
 
 impl Policy for RecentUsePolicy {
@@ -119,10 +148,14 @@ impl Policy for RecentUsePolicy {
             .max_by_key(|c| (c.suspended_since, std::cmp::Reverse(c.id)))
             .map(|c| c.id)
     }
+
+    fn clone_box(&self) -> Box<dyn Policy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Random: uniform over suspended containers, deterministic under a seed.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RandomPolicy {
     rng: DetRng,
 }
@@ -147,11 +180,18 @@ impl Policy for RandomPolicy {
         }
         Some(self.rng.choose(candidates).id)
     }
+
+    fn clone_box(&self) -> Box<dyn Policy> {
+        Box::new(self.clone())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.rng.state_fingerprint()
+    }
 }
 
 /// Policy selector used by configuration, traces and the bench harness.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// First-in, first-out.
     Fifo,
@@ -209,7 +249,11 @@ mod tests {
     #[test]
     fn fifo_picks_oldest_registration() {
         let mut p = FifoPolicy;
-        let cands = [cand(1, 30, 5, 100), cand(2, 10, 50, 100), cand(3, 20, 1, 100)];
+        let cands = [
+            cand(1, 30, 5, 100),
+            cand(2, 10, 50, 100),
+            cand(3, 20, 1, 100),
+        ];
         assert_eq!(p.select(&cands, Bytes::mib(50)), Some(ContainerId(2)));
     }
 
@@ -250,11 +294,15 @@ mod tests {
         let cands = [cand(1, 0, 0, 1), cand(2, 0, 0, 1), cand(3, 0, 0, 1)];
         let picks1: Vec<_> = {
             let mut p = RandomPolicy::new(42);
-            (0..20).map(|_| p.select(&cands, Bytes::mib(1)).unwrap()).collect()
+            (0..20)
+                .map(|_| p.select(&cands, Bytes::mib(1)).unwrap())
+                .collect()
         };
         let picks2: Vec<_> = {
             let mut p = RandomPolicy::new(42);
-            (0..20).map(|_| p.select(&cands, Bytes::mib(1)).unwrap()).collect()
+            (0..20)
+                .map(|_| p.select(&cands, Bytes::mib(1)).unwrap())
+                .collect()
         };
         assert_eq!(picks1, picks2);
         assert!(picks1.iter().all(|c| (1..=3).contains(&c.as_u64())));

@@ -16,11 +16,10 @@ use convgpu_ipc::message::ApiKind;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::{SimDuration, SimTime};
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
 /// When may a suspended container resume?
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ResumeRule {
     /// The paper's rule (Fig. 3d): only once the container's **full
     /// requirement** is assigned — "the scheduler … guarantees all GPU
@@ -34,7 +33,7 @@ pub enum ResumeRule {
 }
 
 /// Lifecycle of a container as the scheduler sees it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ContainerState {
     /// Registered (nvidia-docker announced it); may be running.
     Active,
@@ -46,7 +45,7 @@ pub enum ContainerState {
 }
 
 /// One parked allocation request.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PendingAlloc {
     /// Ticket correlating the eventual resume with the withheld reply.
     pub ticket: u64,

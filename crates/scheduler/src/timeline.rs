@@ -9,10 +9,9 @@
 
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// One utilization observation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct UtilizationSample {
     /// Observation time.
     pub at: SimTime,
@@ -23,7 +22,7 @@ pub struct UtilizationSample {
 }
 
 /// Step-function timeline of scheduler memory state.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct UtilizationTimeline {
     samples: Vec<UtilizationSample>,
 }
@@ -167,7 +166,11 @@ mod tests {
         let mut tl = UtilizationTimeline::new();
         tl.record(t(5), Bytes::mib(1), Bytes::mib(1));
         assert_eq!(tl.mean_used_fraction(Bytes::mib(1), t(5)), 0.0, "zero span");
-        assert_eq!(tl.mean_used_fraction(Bytes::ZERO, t(9)), 0.0, "zero capacity");
+        assert_eq!(
+            tl.mean_used_fraction(Bytes::ZERO, t(9)),
+            0.0,
+            "zero capacity"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! run in either mode — exactly the property ConVGPU itself relies on: the
 //! wrapper module does not care whether the GPU "runs" in real time.
 
+use crate::sync::Mutex;
 use crate::time::{SimDuration, SimTime};
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 

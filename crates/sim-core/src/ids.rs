@@ -5,14 +5,10 @@
 //! wrapper stamps it on every protocol message. Defined here (the only
 //! crate everyone already depends on) so the layers agree on one type.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies one container across the runtime, middleware and scheduler.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ContainerId(pub u64);
 
 impl ContainerId {

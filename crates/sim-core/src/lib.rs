@@ -22,6 +22,10 @@
 //! * [`stats`] — online mean/variance, percentiles, and experiment summary
 //!   rows used by the benchmark harness.
 //! * [`idgen`] — process-wide monotonic ID generation.
+//! * [`sync`] — poison-free `Mutex`/`RwLock`/`Condvar` wrappers over
+//!   `std::sync`, the only locking primitives used in the workspace.
+
+#![forbid(unsafe_code)]
 
 pub mod clock;
 pub mod event;
@@ -29,12 +33,13 @@ pub mod idgen;
 pub mod ids;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod units;
 
 pub use clock::{Clock, ClockHandle, RealClock, VirtualClock};
-pub use ids::ContainerId;
 pub use event::EventQueue;
+pub use ids::ContainerId;
 pub use rng::DetRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -52,6 +52,19 @@ impl DetRng {
         DetRng { s }
     }
 
+    /// Collapse the generator state into one value *without advancing it*.
+    /// The bounded model checker folds this into its canonical state hash
+    /// so two explored states only merge when their future random draws
+    /// are identical too.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0x243F6A8885A308D3; // pi digits, arbitrary non-zero
+        for &w in &self.s {
+            h = (h ^ w).wrapping_mul(0x100000001B3);
+            h = h.rotate_left(23);
+        }
+        h
+    }
+
     /// Next raw 64-bit value (xoshiro256**).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -5,10 +5,8 @@
 //! Welford accumulator for mean/variance; [`Summary`] captures a finished
 //! sample set with percentiles for the harness tables.
 
-use serde::{Deserialize, Serialize};
-
 /// Welford online mean / variance accumulator.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -90,8 +88,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -100,7 +98,7 @@ impl OnlineStats {
 
 /// A finished sample set with order statistics, used by the repro harness
 /// to print paper-style table rows.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Summary {
     /// Raw samples in insertion order.
     pub samples: Vec<f64>,

@@ -6,7 +6,6 @@
 //! a nanosecond span; both are plain `u64`s, `Copy`, totally ordered and
 //! serializable, which keeps event-queue keys and metric records trivial.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -19,11 +18,11 @@ pub const NANOS_PER_MICRO: u64 = 1_000;
 
 /// A point in (real or virtual) time, as nanoseconds since the experiment
 /// epoch.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of (real or virtual) time in nanoseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {

@@ -5,7 +5,6 @@
 //! GPU memory accounting throughout the reproduction uses [`Bytes`], a
 //! transparent `u64` newtype, so MiB/GiB conversions happen exactly once.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
@@ -19,10 +18,7 @@ pub const MIB: u64 = 1024 * KIB;
 pub const GIB: u64 = 1024 * MIB;
 
 /// A byte quantity (GPU or host memory).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bytes(pub u64);
 
 impl Bytes {
@@ -196,7 +192,11 @@ pub struct ParseBytesError(pub String);
 
 impl fmt::Display for ParseBytesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid memory size {:?}: expected forms like 256m, 1g, 131072k, 4096", self.0)
+        write!(
+            f,
+            "invalid memory size {:?}: expected forms like 256m, 1g, 131072k, 4096",
+            self.0
+        )
     }
 }
 
@@ -234,9 +234,7 @@ impl FromStr for Bytes {
             (lower.as_str(), MIB)
         };
         let digits = digits.trim();
-        let n: u64 = digits
-            .parse()
-            .map_err(|_| ParseBytesError(s.to_string()))?;
+        let n: u64 = digits.parse().map_err(|_| ParseBytesError(s.to_string()))?;
         n.checked_mul(mult)
             .map(Bytes)
             .ok_or_else(|| ParseBytesError(s.to_string()))
@@ -322,5 +320,4 @@ mod tests {
     fn sub_underflow_panics() {
         let _ = Bytes::mib(1) - Bytes::mib(2);
     }
-
 }

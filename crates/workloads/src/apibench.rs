@@ -12,11 +12,10 @@ use convgpu_gpu_sim::context::Pid;
 use convgpu_gpu_sim::error::CudaResult;
 use convgpu_sim_core::stats::Summary;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Timing for one API row of Fig. 4.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ApiTiming {
     /// Row label, e.g. `"cudaMalloc"` or `"cudaMallocPitch (first)"`.
     pub api: String,
@@ -164,7 +163,10 @@ mod tests {
             "managed ({managed}) should dwarf malloc ({malloc})"
         );
         let free = by_name("cudaFree");
-        assert!(free < malloc, "free ({free}) cheaper than malloc ({malloc})");
+        assert!(
+            free < malloc,
+            "free ({free}) cheaper than malloc ({malloc})"
+        );
     }
 
     #[test]

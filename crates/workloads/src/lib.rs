@@ -21,6 +21,8 @@
 //! * [`inference`] — a long-lived serving workload: resident model,
 //!   allocation-free request path.
 
+#![forbid(unsafe_code)]
+
 pub mod apibench;
 pub mod inference;
 pub mod mnist;

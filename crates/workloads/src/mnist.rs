@@ -108,7 +108,11 @@ impl GpuProgram for MnistCnnProgram {
         )
         .with_occupancy(0.012);
         for _ in 0..self.steps {
-            api.cuda_memcpy(pid, MemcpyKind::HostToDevice, Bytes::new(BATCH * IMAGE_BYTES))?;
+            api.cuda_memcpy(
+                pid,
+                MemcpyKind::HostToDevice,
+                Bytes::new(BATCH * IMAGE_BYTES),
+            )?;
             // cuDNN-style scratch workspace for the conv algorithms.
             let ws = api.cuda_malloc(pid, self.workspace)?;
             api.cuda_launch_kernel(pid, &step_kernel)?;
@@ -116,7 +120,11 @@ impl GpuProgram for MnistCnnProgram {
         }
         // Evaluation pass: copy the test set up, one forward sweep, fetch
         // predictions.
-        api.cuda_memcpy(pid, MemcpyKind::HostToDevice, Bytes::new(10_000 * IMAGE_BYTES))?;
+        api.cuda_memcpy(
+            pid,
+            MemcpyKind::HostToDevice,
+            Bytes::new(10_000 * IMAGE_BYTES),
+        )?;
         let eval_kernel = KernelSpec::compute(
             "eval",
             Self::step_flops() / 3.0 * (10_000.0 / BATCH as f64),
@@ -165,11 +173,7 @@ mod tests {
     fn per_step_allocation_traffic_exists() {
         let clock = VirtualClock::new();
         let device = Arc::new(GpuDevice::tesla_k20m());
-        let rt = RawCudaRuntime::new(
-            Arc::clone(&device),
-            LatencyModel::zero(),
-            clock.handle(),
-        );
+        let rt = RawCudaRuntime::new(Arc::clone(&device), LatencyModel::zero(), clock.handle());
         let mut prog = MnistCnnProgram::with_steps(10);
         let handle = clock.handle();
         prog.run(&rt, 1, &handle).unwrap();
@@ -208,6 +212,9 @@ mod tests {
         let t100 = time_for(100);
         let t200 = time_for(200);
         let delta = t200.saturating_since(t100);
-        assert!(delta > SimDuration::from_secs(10), "steps dominate: {delta}");
+        assert!(
+            delta > SimDuration::from_secs(10),
+            "steps dominate: {delta}"
+        );
     }
 }

@@ -93,8 +93,7 @@ impl GpuProgram for SampleProgram {
                 api.cuda_launch_kernel(pid, &chunk)?;
             } else {
                 // Tail: one right-sized kernel so the duration is exact.
-                let frac =
-                    remaining.as_secs_f64() / chunk_time.as_secs_f64();
+                let frac = remaining.as_secs_f64() / chunk_time.as_secs_f64();
                 let tail = KernelSpec::compute(
                     "complement-tail",
                     chunk.flops * frac,
@@ -136,7 +135,11 @@ mod tests {
 
     #[test]
     fn duration_tracks_type_target() {
-        for ty in [ContainerType::Nano, ContainerType::Medium, ContainerType::Xlarge] {
+        for ty in [
+            ContainerType::Nano,
+            ContainerType::Medium,
+            ContainerType::Xlarge,
+        ] {
             let (elapsed, _) = run_on_k20m(SampleProgram::for_type(ty));
             let target = ty.sample_duration().as_secs_f64();
             let actual = elapsed.as_secs_f64();
@@ -153,8 +156,11 @@ mod tests {
     fn program_cleans_up_its_buffer() {
         let (_, device) = run_on_k20m(SampleProgram::for_type(ContainerType::Small));
         let stats = device.allocator_stats();
-        assert_eq!(stats.total_allocs, stats.total_frees + 1,
-            "only the context block remains (freed at unregister)");
+        assert_eq!(
+            stats.total_allocs,
+            stats.total_frees + 1,
+            "only the context block remains (freed at unregister)"
+        );
         // Everything except the context overhead is back.
         let (free, total) = device.mem_info();
         assert_eq!(total - free, Bytes::mib(66));

@@ -7,10 +7,9 @@
 use crate::types::ContainerType;
 use convgpu_sim_core::rng::DetRng;
 use convgpu_sim_core::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One container arrival.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Arrival {
     /// Launch time.
     pub at: SimTime,
@@ -21,8 +20,7 @@ pub struct Arrival {
 }
 
 /// Arrival process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ArrivalProcess {
     /// Fixed gap between launches — the paper's "running it every five
     /// seconds".
@@ -33,7 +31,7 @@ pub enum ArrivalProcess {
 }
 
 /// Trace parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceSpec {
     /// Number of containers (paper: 4, 6, …, 38).
     pub containers: u32,

@@ -16,11 +16,9 @@
 use convgpu_sim_core::rng::DetRng;
 use convgpu_sim_core::time::SimDuration;
 use convgpu_sim_core::units::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// One of the six evaluation container types.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ContainerType {
     /// 128 MiB GPU memory.
     Nano,
@@ -132,12 +130,7 @@ mod tests {
     fn table_iii_host_memory_column() {
         let expected_gib_halves = [1u64, 2, 4, 8, 16, 32]; // in 0.5 GiB units
         for (ty, halves) in ContainerType::ALL.iter().zip(expected_gib_halves) {
-            assert_eq!(
-                ty.host_memory(),
-                Bytes::mib(512 * halves),
-                "{}",
-                ty.label()
-            );
+            assert_eq!(ty.host_memory(), Bytes::mib(512 * halves), "{}", ty.label());
         }
     }
 
@@ -160,8 +153,7 @@ mod tests {
     #[test]
     fn random_draw_is_deterministic_and_covers_all_types() {
         let mut rng = DetRng::seed_from_u64(1);
-        let draws: Vec<ContainerType> =
-            (0..200).map(|_| ContainerType::random(&mut rng)).collect();
+        let draws: Vec<ContainerType> = (0..200).map(|_| ContainerType::random(&mut rng)).collect();
         for ty in ContainerType::ALL {
             assert!(draws.contains(&ty), "{} never drawn", ty.label());
         }
@@ -176,10 +168,7 @@ mod tests {
         assert_eq!(ContainerType::Small.nvidia_memory_option(), "512m");
         assert_eq!(ContainerType::Xlarge.nvidia_memory_option(), "4096m");
         // Round-trips through the size grammar.
-        let parsed: Bytes = ContainerType::Large
-            .nvidia_memory_option()
-            .parse()
-            .unwrap();
+        let parsed: Bytes = ContainerType::Large.nvidia_memory_option().parse().unwrap();
         assert_eq!(parsed, ContainerType::Large.gpu_memory());
     }
 }

@@ -9,8 +9,8 @@ use convgpu_gpu_sim::props::DeviceProperties;
 use convgpu_ipc::endpoint::SchedulerEndpoint;
 use convgpu_ipc::message::{AllocDecision, ApiKind};
 use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::units::Bytes;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -73,7 +73,10 @@ pub struct WrapperModule {
     /// leaves this `None` (its IPC cost is *real*, over actual sockets);
     /// virtual-time experiments set it to the Fig. 4-measured delta so
     /// the Fig. 6 overhead ratio is reproducible deterministically.
-    modeled_ipc: Option<(convgpu_sim_core::clock::ClockHandle, convgpu_sim_core::time::SimDuration)>,
+    modeled_ipc: Option<(
+        convgpu_sim_core::clock::ClockHandle,
+        convgpu_sim_core::time::SimDuration,
+    )>,
     stats: WrapperStats,
 }
 
@@ -170,7 +173,9 @@ impl WrapperModule {
                     self.stats
                         .device_failures_after_grant
                         .fetch_add(1, Ordering::Relaxed);
-                    let _ = self.scheduler.alloc_failed(self.container, pid, charged_size);
+                    let _ = self
+                        .scheduler
+                        .alloc_failed(self.container, pid, charged_size);
                     Err(e)
                 }
             },
@@ -282,8 +287,7 @@ impl CudaApi for WrapperModule {
             .get_device_properties
             .fetch_add(1, Ordering::Relaxed);
         let props = self.inner.cuda_get_device_properties(pid)?;
-        *self.cached_props.lock() =
-            Some((props.pitch_alignment, props.managed_granularity));
+        *self.cached_props.lock() = Some((props.pitch_alignment, props.managed_granularity));
         Ok(props)
     }
 
@@ -418,8 +422,8 @@ impl CudaApi for WrapperModule {
 mod tests {
     use super::*;
     use convgpu_ipc::endpoint::{IpcResult, SchedulerEndpoint};
+    use convgpu_sim_core::sync::Mutex as PMutex;
     use convgpu_sim_core::time::SimDuration;
-    use parking_lot::Mutex as PMutex;
 
     /// Scripted endpoint recording every call; grants/rejects by a size
     /// threshold.
@@ -498,10 +502,7 @@ mod tests {
             LatencyModel::zero(),
             VirtualClock::new().handle(),
         ));
-        (
-            WrapperModule::new(ContainerId(1), raw, endpoint),
-            device,
-        )
+        (WrapperModule::new(ContainerId(1), raw, endpoint), device)
     }
 
     #[test]
@@ -625,12 +626,15 @@ mod tests {
         let w = WrapperModule::new(ContainerId(1), raw, ep_dyn);
         let err = w.cuda_malloc(10, Bytes::mib(500)).unwrap_err();
         assert_eq!(err, CudaError::MemoryAllocation);
-        assert!(ep
-            .entries()
-            .iter()
-            .any(|l| l.starts_with("failed 10")), "{:?}", ep.entries());
+        assert!(
+            ep.entries().iter().any(|l| l.starts_with("failed 10")),
+            "{:?}",
+            ep.entries()
+        );
         assert_eq!(
-            w.stats().device_failures_after_grant.load(Ordering::Relaxed),
+            w.stats()
+                .device_failures_after_grant
+                .load(Ordering::Relaxed),
             1
         );
     }
@@ -643,7 +647,8 @@ mod tests {
         w.cuda_malloc(1, Bytes::mib(1)).unwrap();
         w.cuda_malloc_managed(1, Bytes::mib(1)).unwrap();
         w.cuda_malloc_pitch(1, Bytes::new(512), 8).unwrap();
-        w.cuda_malloc_3d(1, Extent3D::new(Bytes::new(512), 4, 2)).unwrap();
+        w.cuda_malloc_3d(1, Extent3D::new(Bytes::new(512), 4, 2))
+            .unwrap();
         let p = w.cuda_malloc(1, Bytes::mib(1)).unwrap();
         w.cuda_free(1, p).unwrap();
         w.cuda_mem_get_info(1).unwrap();
@@ -666,11 +671,11 @@ mod tests {
         // Sanity: with a zero latency model and an in-proc endpoint the
         // wrapper adds no *modeled* time — all Fig. 4 overhead comes from
         // real IPC, measured in the live stack.
-        use convgpu_sim_core::clock::Clock;
-        use convgpu_sim_core::clock::VirtualClock;
         use convgpu_gpu_sim::device::GpuDevice;
         use convgpu_gpu_sim::latency::LatencyModel;
         use convgpu_gpu_sim::runtime::RawCudaRuntime;
+        use convgpu_sim_core::clock::Clock;
+        use convgpu_sim_core::clock::VirtualClock;
         let clock = VirtualClock::new();
         let device = Arc::new(GpuDevice::tesla_k20m());
         let raw = Arc::new(RawCudaRuntime::new(

@@ -18,14 +18,13 @@
 //! linked program bypasses the scheduler entirely.
 
 use convgpu_gpu_sim::api::CudaApi;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The wrapper module's soname, as in the paper.
 pub const GPUSHARE_SONAME: &str = "libgpushare.so";
 
 /// How the program's CUDA runtime was linked.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LinkSpec {
     /// `true` for `nvcc -cudart=shared`; `false` for nvcc's default
     /// static linking.
@@ -49,7 +48,7 @@ impl LinkSpec {
 }
 
 /// The process environment subset the linker consults.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProcessEnv {
     /// Parsed `LD_PRELOAD` entries, in order.
     pub ld_preload: Vec<String>,
@@ -132,7 +131,12 @@ mod tests {
         let raw = raw_runtime();
         let wrapper = raw_runtime(); // identity is all we compare
         let env = ProcessEnv::from_ld_preload("/convgpu/libgpushare.so");
-        let bound = resolve_runtime(&env, LinkSpec::shared(), Arc::clone(&wrapper), Arc::clone(&raw));
+        let bound = resolve_runtime(
+            &env,
+            LinkSpec::shared(),
+            Arc::clone(&wrapper),
+            Arc::clone(&raw),
+        );
         assert!(Arc::ptr_eq(&bound, &wrapper));
     }
 

@@ -80,8 +80,14 @@ fn main() {
         convgpu.wait_closed(*id, Duration::from_secs(10));
     }
 
-    println!("\nall containers finished at t={:.1}s (workload time)", clock.now().as_secs_f64());
-    println!("{:<10} {:>8} {:>9} {:>12} {:>12}", "container", "limit", "suspends", "suspended(s)", "turnaround(s)");
+    println!(
+        "\nall containers finished at t={:.1}s (workload time)",
+        clock.now().as_secs_f64()
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>12} {:>12}",
+        "container", "limit", "suspends", "suspended(s)", "turnaround(s)"
+    );
     let mut total_susp = 0.0;
     let metrics = convgpu.metrics();
     for m in &metrics {

@@ -53,7 +53,10 @@ fn main() {
     let ids: Vec<_> = trainers.iter().map(|s| s.container).collect();
     for (i, s) in trainers.into_iter().enumerate() {
         s.wait().expect("training run");
-        println!("  trainer {i} finished at t={:.1}s", clock.now().as_secs_f64());
+        println!(
+            "  trainer {i} finished at t={:.1}s",
+            clock.now().as_secs_f64()
+        );
     }
     for id in ids {
         convgpu.wait_closed(id, Duration::from_secs(10));

@@ -64,7 +64,13 @@ fn run(placement: PlacementPolicy, n: u32, seed: u64) -> (f64, u64) {
                     if act.decision == AllocDecision::Granted {
                         let (l, d) = durations[&act.container];
                         sched
-                            .alloc_done(act.container, act.pid, 0x7000_0000 + act.container.as_u64(), l, now)
+                            .alloc_done(
+                                act.container,
+                                act.pid,
+                                0x7000_0000 + act.container.as_u64(),
+                                l,
+                                now,
+                            )
                             .expect("done");
                         queue.schedule(now + d, Ev::Finish(act.container));
                     }
@@ -76,7 +82,13 @@ fn run(placement: PlacementPolicy, n: u32, seed: u64) -> (f64, u64) {
                     if act.decision == AllocDecision::Granted {
                         let (l, d) = durations[&act.container];
                         sched
-                            .alloc_done(act.container, act.pid, 0x7000_0000 + act.container.as_u64(), l, now)
+                            .alloc_done(
+                                act.container,
+                                act.pid,
+                                0x7000_0000 + act.container.as_u64(),
+                                l,
+                                now,
+                            )
                             .expect("done");
                         queue.schedule(now + d, Ev::Finish(act.container));
                     }
@@ -99,7 +111,10 @@ fn run(placement: PlacementPolicy, n: u32, seed: u64) -> (f64, u64) {
 fn main() {
     let n = 20;
     println!("multi-GPU extension: {n} containers over K20m(5 GiB) + P100(16 GiB), BF scheduler\n");
-    println!("{:<16} {:>14} {:>12}", "placement", "finished (s)", "suspensions");
+    println!(
+        "{:<16} {:>14} {:>12}",
+        "placement", "finished (s)", "suspensions"
+    );
     for (name, placement) in [
         ("round-robin", PlacementPolicy::RoundRobin),
         ("most-free", PlacementPolicy::MostFree),

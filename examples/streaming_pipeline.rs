@@ -37,14 +37,19 @@ fn main() {
     println!("tenant 2: streaming pipeline (2 x 512 MiB buffers, 24 chunks, overlapped)");
     let pipeline_session = convgpu
         .run_container(
-            RunCommand::new("cuda-app").nvidia_memory("1536m").name("pipeline"),
+            RunCommand::new("cuda-app")
+                .nvidia_memory("1536m")
+                .name("pipeline"),
             PipelineProgram::new(24, Bytes::mib(512)).boxed(),
         )
         .expect("launch pipeline");
 
     let ids = [server_session.container, pipeline_session.container];
     server_session.wait().expect("server");
-    println!("  inference server done at t={:.1}s", clock.now().as_secs_f64());
+    println!(
+        "  inference server done at t={:.1}s",
+        clock.now().as_secs_f64()
+    );
     pipeline_session.wait().expect("pipeline");
     println!("  pipeline done at t={:.1}s", clock.now().as_secs_f64());
     for id in ids {

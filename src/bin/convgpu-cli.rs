@@ -163,7 +163,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     for m in convgpu.metrics() {
         println!(
             "  {}: limit {}, {} grants, {} rejections, suspended {:.2}s",
-            m.id, m.limit, m.granted_allocs, m.rejected_allocs,
+            m.id,
+            m.limit,
+            m.granted_allocs,
+            m.rejected_allocs,
             m.total_suspended.as_secs_f64()
         );
     }
@@ -252,7 +255,10 @@ fn cmd_info() -> ExitCode {
     let props = convgpu.device().props().clone();
     println!("device: {}", props.name);
     println!("  memory:              {}", props.total_global_mem);
-    println!("  compute capability:  {}.{}", props.compute_capability.0, props.compute_capability.1);
+    println!(
+        "  compute capability:  {}.{}",
+        props.compute_capability.0, props.compute_capability.1
+    );
     println!("  SMs:                 {}", props.multiprocessor_count);
     println!("  concurrent kernels:  {}", props.concurrent_kernels);
     println!("  pitch alignment:     {}", props.pitch_alignment);

@@ -41,6 +41,8 @@
 //! convgpu.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use convgpu_container_rt as container;
 pub use convgpu_core as middleware;
 pub use convgpu_gpu_sim as gpu;

@@ -75,7 +75,13 @@ fn run_des(create_delay: SimDuration) -> Outcome {
                     if a.decision == AllocDecision::Granted {
                         let (aty, ad) = plans[&a.container];
                         sched
-                            .alloc_done(a.container, a.pid, 0xD000 + a.container.as_u64(), aty.gpu_memory(), now)
+                            .alloc_done(
+                                a.container,
+                                a.pid,
+                                0xD000 + a.container.as_u64(),
+                                aty.gpu_memory(),
+                                now,
+                            )
                             .unwrap();
                         queue.schedule(now + ad, Ev::Finish(a.container));
                     }
@@ -87,7 +93,13 @@ fn run_des(create_delay: SimDuration) -> Outcome {
                     if a.decision == AllocDecision::Granted {
                         let (aty, ad) = plans[&a.container];
                         sched
-                            .alloc_done(a.container, a.pid, 0xD000 + a.container.as_u64(), aty.gpu_memory(), now)
+                            .alloc_done(
+                                a.container,
+                                a.pid,
+                                0xD000 + a.container.as_u64(),
+                                aty.gpu_memory(),
+                                now,
+                            )
                             .unwrap();
                         queue.schedule(now + ad, Ev::Finish(a.container));
                     }
@@ -99,10 +111,7 @@ fn run_des(create_delay: SimDuration) -> Outcome {
     let agg = metrics::aggregate(&ms);
     Outcome {
         finished_secs: agg.finished_time_secs,
-        total_suspended_secs: ms
-            .iter()
-            .map(|m| m.total_suspended.as_secs_f64())
-            .sum(),
+        total_suspended_secs: ms.iter().map(|m| m.total_suspended.as_secs_f64()).sum(),
         suspended_containers: agg.ever_suspended,
     }
 }
@@ -147,10 +156,7 @@ fn run_live() -> Outcome {
     let ms = convgpu.metrics();
     let outcome = Outcome {
         finished_secs,
-        total_suspended_secs: ms
-            .iter()
-            .map(|m| m.total_suspended.as_secs_f64())
-            .sum(),
+        total_suspended_secs: ms.iter().map(|m| m.total_suspended.as_secs_f64()).sum(),
         suspended_containers: ms.iter().filter(|m| m.suspend_episodes > 0).count(),
     };
     convgpu.shutdown();

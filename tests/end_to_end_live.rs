@@ -103,7 +103,9 @@ fn transports_agree_on_outcomes() {
                 SampleProgram::for_type(ContainerType::Micro).boxed(),
             )
             .unwrap();
-        session.wait().unwrap_or_else(|e| panic!("{transport:?}: {e}"));
+        session
+            .wait()
+            .unwrap_or_else(|e| panic!("{transport:?}: {e}"));
         convgpu.shutdown();
     }
 }

@@ -83,8 +83,12 @@ fn leaked_allocations_return_on_process_exit_and_enable_resumes() {
         PolicyKind::Fifo.build(0),
     );
     let t = SimTime::from_secs;
-    sched.register(ContainerId(1), Bytes::mib(700), t(0)).unwrap();
-    sched.register(ContainerId(2), Bytes::mib(700), t(1)).unwrap();
+    sched
+        .register(ContainerId(1), Bytes::mib(700), t(0))
+        .unwrap();
+    sched
+        .register(ContainerId(2), Bytes::mib(700), t(1))
+        .unwrap();
     let (out, _) = sched
         .alloc_request(ContainerId(1), 1, Bytes::mib(700), ApiKind::Malloc, t(2))
         .unwrap();
@@ -133,7 +137,8 @@ fn in_proc_endpoint_full_crash_recovery_cycle() {
             .unwrap(),
         AllocDecision::Granted
     );
-    ep.alloc_done(ContainerId(1), 7, 0xBEEF, Bytes::mib(256)).unwrap();
+    ep.alloc_done(ContainerId(1), 7, 0xBEEF, Bytes::mib(256))
+        .unwrap();
     ep.process_exit(ContainerId(1), 7).unwrap();
     ep.container_close(ContainerId(1)).unwrap();
     svc.with_scheduler(|s| {

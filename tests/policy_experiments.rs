@@ -14,7 +14,10 @@ fn the_full_paper_sweep_completes_quickly_and_deterministically() {
     let b = sweep(&ns, &PolicyKind::ALL, 2, 99);
     assert_eq!(a.len(), 18 * 4);
     for (pa, pb) in a.iter().zip(&b) {
-        assert_eq!(pa.finished.samples, pb.finished.samples, "nondeterministic sweep");
+        assert_eq!(
+            pa.finished.samples, pb.finished.samples,
+            "nondeterministic sweep"
+        );
         assert_eq!(pa.suspended.samples, pb.suspended.samples);
     }
 }
@@ -27,14 +30,7 @@ fn finished_time_roughly_doubles_when_n_doubles() {
     let points = sweep(&ns, &[PolicyKind::BestFit], 6, 5);
     let t: Vec<f64> = ns
         .iter()
-        .map(|&n| {
-            points
-                .iter()
-                .find(|p| p.n == n)
-                .unwrap()
-                .finished
-                .mean
-        })
+        .map(|&n| points.iter().find(|p| p.n == n).unwrap().finished.mean)
         .collect();
     let r1 = t[1] / t[0];
     let r2 = t[2] / t[1];

@@ -1,6 +1,9 @@
 //! Wire-protocol property tests and socket stress: arbitrary messages
 //! survive the JSON line codec, and the live server multiplexes many
 //! concurrent clients without losing or misrouting replies.
+//!
+//! Property tests run on the deterministic harness in
+//! `convgpu_audit::prop`.
 
 use convgpu::ipc::client::SchedulerClient;
 use convgpu::ipc::codec::{read_json, write_json};
@@ -11,100 +14,115 @@ use convgpu::scheduler::core::{Scheduler, SchedulerConfig};
 use convgpu::scheduler::policy::PolicyKind;
 use convgpu::sim::clock::RealClock;
 use convgpu::sim::ids::ContainerId;
+use convgpu::sim::rng::DetRng;
 use convgpu::sim::units::Bytes;
+use convgpu_audit::prop;
 use convgpu_core::handler::ServiceHandler;
 use convgpu_core::service::SchedulerService;
-use proptest::prelude::*;
 use std::io::BufReader;
 use std::sync::Arc;
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    prop_oneof![
-        (any::<u64>(), any::<u64>()).prop_map(|(c, l)| Request::Register {
-            container: ContainerId(c),
-            limit: Bytes::new(l),
-        }),
-        any::<u64>().prop_map(|c| Request::RequestDir {
-            container: ContainerId(c)
-        }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), 0usize..4).prop_map(|(c, p, s, a)| {
-            Request::AllocRequest {
-                container: ContainerId(c),
-                pid: p,
-                size: Bytes::new(s),
-                api: [
-                    ApiKind::Malloc,
-                    ApiKind::MallocManaged,
-                    ApiKind::MallocPitch,
-                    ApiKind::Malloc3D
-                ][a],
-            }
-        }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(c, p, a, s)| {
-            Request::AllocDone {
-                container: ContainerId(c),
-                pid: p,
-                addr: a,
-                size: Bytes::new(s),
-            }
-        }),
-        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(c, p, a)| Request::Free {
-            container: ContainerId(c),
-            pid: p,
-            addr: a,
-        }),
-        (any::<u64>(), any::<u64>()).prop_map(|(c, p)| Request::ProcessExit {
-            container: ContainerId(c),
-            pid: p,
-        }),
-        any::<u64>().prop_map(|c| Request::ContainerClose {
-            container: ContainerId(c)
-        }),
-        Just(Request::Ping),
-    ]
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Any request envelope survives a codec round trip byte-exactly.
-    #[test]
-    fn any_request_round_trips_through_the_codec(
-        id in any::<u64>(),
-        req in arb_request(),
-    ) {
-        let env = Envelope { id, body: req };
-        let mut buf = Vec::new();
-        write_json(&mut buf, &env).unwrap();
-        let mut r = BufReader::new(buf.as_slice());
-        let back: Envelope<Request> = read_json(&mut r).unwrap().unwrap();
-        prop_assert_eq!(back, env);
+fn gen_request(rng: &mut DetRng) -> Request {
+    let c = ContainerId(rng.next_u64());
+    match rng.next_below(8) {
+        0 => Request::Register {
+            container: c,
+            limit: Bytes::new(rng.next_u64()),
+        },
+        1 => Request::RequestDir { container: c },
+        2 => Request::AllocRequest {
+            container: c,
+            pid: rng.next_u64(),
+            size: Bytes::new(rng.next_u64()),
+            api: [
+                ApiKind::Malloc,
+                ApiKind::MallocManaged,
+                ApiKind::MallocPitch,
+                ApiKind::Malloc3D,
+            ][rng.index(4)],
+        },
+        3 => Request::AllocDone {
+            container: c,
+            pid: rng.next_u64(),
+            addr: rng.next_u64(),
+            size: Bytes::new(rng.next_u64()),
+        },
+        4 => Request::Free {
+            container: c,
+            pid: rng.next_u64(),
+            addr: rng.next_u64(),
+        },
+        5 => Request::ProcessExit {
+            container: c,
+            pid: rng.next_u64(),
+        },
+        6 => Request::ContainerClose { container: c },
+        _ => Request::Ping,
     }
+}
 
-    /// Batches of envelopes on one stream arrive intact and in order.
-    #[test]
-    fn pipelined_envelopes_preserve_order(
-        reqs in prop::collection::vec(arb_request(), 1..40),
-    ) {
+/// Any request envelope survives a codec round trip byte-exactly.
+#[test]
+fn any_request_round_trips_through_the_codec() {
+    prop::cases("any_request_round_trips_through_the_codec").run(|rng| {
+        let env = Envelope {
+            id: rng.next_u64(),
+            body: gen_request(rng),
+        };
+        let mut buf = Vec::new();
+        write_json(&mut buf, &env).map_err(|e| format!("write: {e}"))?;
+        let mut r = BufReader::new(buf.as_slice());
+        let back: Envelope<Request> = read_json(&mut r)
+            .map_err(|e| format!("read: {e}"))?
+            .ok_or("unexpected EOF")?;
+        ensure!(back == env, "round trip changed the envelope: {env:?}");
+        Ok(())
+    });
+}
+
+/// Batches of envelopes on one stream arrive intact and in order.
+#[test]
+fn pipelined_envelopes_preserve_order() {
+    prop::cases("pipelined_envelopes_preserve_order").run(|rng| {
+        let n = rng.range_inclusive(1, 39) as usize;
+        let reqs: Vec<Request> = (0..n).map(|_| gen_request(rng)).collect();
         let mut buf = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
-            write_json(&mut buf, &Envelope { id: i as u64, body: req.clone() }).unwrap();
+            write_json(
+                &mut buf,
+                &Envelope {
+                    id: i as u64,
+                    body: req.clone(),
+                },
+            )
+            .map_err(|e| format!("write: {e}"))?;
         }
         let mut r = BufReader::new(buf.as_slice());
         for (i, req) in reqs.iter().enumerate() {
-            let env: Envelope<Request> = read_json(&mut r).unwrap().unwrap();
-            prop_assert_eq!(env.id, i as u64);
-            prop_assert_eq!(&env.body, req);
+            let env: Envelope<Request> = read_json(&mut r)
+                .map_err(|e| format!("read: {e}"))?
+                .ok_or("unexpected EOF")?;
+            ensure!(env.id == i as u64, "id reordered at {i}");
+            ensure!(&env.body == req, "body changed at {i}");
         }
-        prop_assert!(read_json::<Envelope<Request>, _>(&mut r).unwrap().is_none());
-    }
+        let eof =
+            read_json::<Envelope<Request>, _>(&mut r).map_err(|e| format!("eof read: {e}"))?;
+        ensure!(eof.is_none(), "trailing data after the batch");
+        Ok(())
+    });
 }
 
 fn live_service(tag: &str, capacity_mib: u64) -> (SocketServer, Arc<SchedulerService>) {
-    let dir = std::env::temp_dir().join(format!(
-        "convgpu-itest-proto-{}-{tag}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("convgpu-itest-proto-{}-{tag}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let svc = Arc::new(SchedulerService::new(
         Scheduler::new(
@@ -142,10 +160,7 @@ fn many_concurrent_clients_are_served_correctly() {
                 client
                     .alloc_done(container, i, addr, Bytes::mib(10))
                     .unwrap();
-                assert_eq!(
-                    client.free(container, i, addr).unwrap(),
-                    Bytes::mib(10)
-                );
+                assert_eq!(client.free(container, i, addr).unwrap(), Bytes::mib(10));
             }
             client.ping().unwrap();
             client.container_close(container).unwrap();

@@ -1,19 +1,33 @@
 //! Property-based tests on the scheduler state machine and the device
 //! allocators — the invariants that make ConVGPU's guarantee meaningful:
 //!
-//! * **safety**: `Σ assigned ≤ capacity` and `used ≤ assigned` always;
+//! * **safety**: the full invariant oracle (`Scheduler::check_invariants`)
+//!   holds after every operation of every generated trace;
 //! * **liveness**: any trace of limit-respecting containers eventually
 //!   finishes under every policy;
 //! * **conservation**: allocator free+live always partitions capacity.
+//!
+//! Runs on the deterministic harness in `convgpu_audit::prop` (the
+//! sealed build environment has no proptest); failures print a
+//! single-case replay seed.
 
 use convgpu::gpu::memory::{AddressSpaceAllocator, DevicePtr, PagedAllocator};
 use convgpu::ipc::message::{AllocDecision, ApiKind};
 use convgpu::scheduler::core::{AllocOutcome, Scheduler, SchedulerConfig};
 use convgpu::scheduler::policy::PolicyKind;
 use convgpu::sim::ids::ContainerId;
+use convgpu::sim::rng::DetRng;
 use convgpu::sim::time::SimTime;
 use convgpu::sim::units::Bytes;
-use proptest::prelude::*;
+use convgpu_audit::prop;
+
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
 
 /// A random scheduler operation over a small id space.
 #[derive(Clone, Debug)]
@@ -25,32 +39,38 @@ enum Op {
     Close { id: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..6, 64u16..2048).prop_map(|(id, limit_mib)| Op::Register { id, limit_mib }),
-        (0u8..6, 0u8..3, 1u16..2048).prop_map(|(id, pid, size_mib)| Op::Alloc {
+fn gen_op(rng: &mut DetRng) -> Op {
+    let id = rng.next_below(6) as u8;
+    match rng.next_below(5) {
+        0 => Op::Register {
             id,
-            pid,
-            size_mib
-        }),
-        (0u8..6, 0u8..16).prop_map(|(id, addr_idx)| Op::Free { id, addr_idx }),
-        (0u8..6, 0u8..3).prop_map(|(id, pid)| Op::ProcessExit { id, pid }),
-        (0u8..6).prop_map(|id| Op::Close { id }),
-    ]
+            limit_mib: rng.range_inclusive(64, 2047) as u16,
+        },
+        1 => Op::Alloc {
+            id,
+            pid: rng.next_below(3) as u8,
+            size_mib: rng.range_inclusive(1, 2047) as u16,
+        },
+        2 => Op::Free {
+            id,
+            addr_idx: rng.next_below(16) as u8,
+        },
+        3 => Op::ProcessExit {
+            id,
+            pid: rng.next_below(3) as u8,
+        },
+        _ => Op::Close { id },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Whatever sequence of (possibly nonsensical) operations arrives,
-    /// the scheduler never over-commits, never lets `used` exceed
-    /// `assigned`, and never panics.
-    #[test]
-    fn scheduler_invariants_hold_under_arbitrary_ops(
-        ops in prop::collection::vec(op_strategy(), 1..120),
-        policy_idx in 0usize..4,
-    ) {
-        let policy = PolicyKind::ALL[policy_idx];
+/// Whatever sequence of (possibly nonsensical) operations arrives, the
+/// full invariant oracle holds after every one, and the scheduler never
+/// panics.
+#[test]
+fn scheduler_invariants_hold_under_arbitrary_ops() {
+    prop::cases("scheduler_invariants_hold_under_arbitrary_ops").run(|rng| {
+        let policy = PolicyKind::ALL[rng.index(PolicyKind::ALL.len())];
+        let n_ops = rng.range_inclusive(1, 120);
         let mut sched = Scheduler::new(
             SchedulerConfig::with_capacity(Bytes::mib(4096)),
             policy.build(7),
@@ -58,11 +78,9 @@ proptest! {
         // Track granted allocations so Free ops can hit live addresses.
         let mut live_addrs: Vec<(ContainerId, u64, u64)> = Vec::new(); // (container, pid, addr)
         let mut next_addr = 0x1000u64;
-        let mut t = 0u64;
-        for op in ops {
-            t += 1;
+        for t in 1..=n_ops {
             let now = SimTime::from_secs(t);
-            match op {
+            match gen_op(rng) {
                 Op::Register { id, limit_mib } => {
                     let _ = sched.register(
                         ContainerId(u64::from(id)),
@@ -83,8 +101,14 @@ proptest! {
                             let addr = next_addr;
                             next_addr += 0x1000;
                             sched
-                                .alloc_done(c, u64::from(pid), addr, Bytes::mib(u64::from(size_mib)), now)
-                                .unwrap();
+                                .alloc_done(
+                                    c,
+                                    u64::from(pid),
+                                    addr,
+                                    Bytes::mib(u64::from(size_mib)),
+                                    now,
+                                )
+                                .map_err(|e| format!("alloc_done: {e:?}"))?;
                             live_addrs.push((c, u64::from(pid), addr));
                         }
                         // Suspended tickets are simply abandoned here —
@@ -94,19 +118,14 @@ proptest! {
                 }
                 Op::Free { id, addr_idx } => {
                     let c = ContainerId(u64::from(id));
-                    let pick = live_addrs
+                    let matches: Vec<usize> = live_addrs
                         .iter()
-                        .position(|(cc, _, _)| *cc == c)
-                        .and_then(|base| {
-                            let matches: Vec<usize> = live_addrs
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, (cc, _, _))| *cc == c)
-                                .map(|(i, _)| i)
-                                .collect();
-                            matches.get(usize::from(addr_idx) % matches.len().max(1)).copied().or(Some(base))
-                        });
-                    if let Some(i) = pick {
+                        .enumerate()
+                        .filter(|(_, (cc, _, _))| *cc == c)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !matches.is_empty() {
+                        let i = matches[usize::from(addr_idx) % matches.len()];
                         let (cc, pid, addr) = live_addrs.remove(i);
                         let _ = sched.free(cc, pid, addr, now);
                     }
@@ -124,21 +143,28 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(sched.check_invariants().is_ok(), "{:?}", sched.check_invariants());
-            prop_assert!(sched.total_assigned() <= Bytes::mib(4096));
+            if let Err(v) = sched.check_invariants() {
+                return Err(format!("invariant violated at t={t}: {v}"));
+            }
+            ensure!(
+                sched.total_assigned() <= Bytes::mib(4096),
+                "over-commit at t={t}"
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Liveness: a batch of single-shot containers (the paper's sample
-    /// workload shape) always finishes under every policy, for any sizes
-    /// and arrival order.
-    #[test]
-    fn every_policy_finishes_every_single_shot_batch(
-        sizes in prop::collection::vec(1u64..4096, 1..25),
-        policy_idx in 0usize..4,
-        seed in 0u64..1000,
-    ) {
-        let policy = PolicyKind::ALL[policy_idx];
+/// Liveness: a batch of single-shot containers (the paper's sample
+/// workload shape) always finishes under every policy, for any sizes
+/// and arrival order.
+#[test]
+fn every_policy_finishes_every_single_shot_batch() {
+    prop::cases("every_policy_finishes_every_single_shot_batch").run(|rng| {
+        let policy = PolicyKind::ALL[rng.index(PolicyKind::ALL.len())];
+        let seed = rng.next_below(1000);
+        let n = rng.range_inclusive(1, 24) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.range_inclusive(1, 4095)).collect();
         let mut sched = Scheduler::new(
             SchedulerConfig::with_capacity(Bytes::gib(5)),
             policy.build(seed),
@@ -150,22 +176,39 @@ proptest! {
         for (i, &mib) in sizes.iter().enumerate() {
             let id = ContainerId(i as u64 + 1);
             let now = SimTime::from_secs(i as u64);
-            sched.register(id, Bytes::mib(mib), now).unwrap();
+            sched
+                .register(id, Bytes::mib(mib), now)
+                .map_err(|e| format!("register: {e:?}"))?;
             limits.insert(id, Bytes::mib(mib));
             let (outcome, actions) = sched
                 .alloc_request(id, 1, Bytes::mib(mib), ApiKind::Malloc, now)
-                .unwrap();
+                .map_err(|e| format!("alloc_request: {e:?}"))?;
             match outcome {
                 AllocOutcome::Granted => {
-                    sched.alloc_done(id, 1, 0xA000 + i as u64, Bytes::mib(mib), now).unwrap();
+                    sched
+                        .alloc_done(id, 1, 0xA000 + i as u64, Bytes::mib(mib), now)
+                        .map_err(|e| format!("alloc_done: {e:?}"))?;
                     running.push((id, i as u64 + 3));
                 }
-                AllocOutcome::Suspended { .. } => { waiting.insert(id); }
-                AllocOutcome::Rejected => prop_assert!(false, "limit-sized request rejected"),
+                AllocOutcome::Suspended { .. } => {
+                    waiting.insert(id);
+                }
+                AllocOutcome::Rejected => return Err("limit-sized request rejected".into()),
             }
             for a in actions {
-                prop_assert_eq!(a.decision, AllocDecision::Granted);
-                sched.alloc_done(a.container, a.pid, 0xF000 + a.container.as_u64(), limits[&a.container], now).unwrap();
+                ensure!(
+                    a.decision == AllocDecision::Granted,
+                    "resume carried a rejection"
+                );
+                sched
+                    .alloc_done(
+                        a.container,
+                        a.pid,
+                        0xF000 + a.container.as_u64(),
+                        limits[&a.container],
+                        now,
+                    )
+                    .map_err(|e| format!("alloc_done after resume: {e:?}"))?;
                 waiting.remove(&a.container);
                 running.push((a.container, i as u64 + 3));
             }
@@ -175,72 +218,107 @@ proptest! {
         let mut guard = 0;
         while !running.is_empty() {
             guard += 1;
-            prop_assert!(guard < 10_000, "drain did not converge");
+            ensure!(guard < 10_000, "drain did not converge");
             running.sort_by_key(|&(_, ft)| ft);
             let (id, _) = running.remove(0);
             t += 1;
-            let actions = sched.container_close(id, SimTime::from_secs(t)).unwrap();
+            let actions = sched
+                .container_close(id, SimTime::from_secs(t))
+                .map_err(|e| format!("container_close: {e:?}"))?;
             for a in actions {
-                prop_assert_eq!(a.decision, AllocDecision::Granted);
-                sched.alloc_done(a.container, a.pid, 0xC000_0000 + a.container.as_u64() * 7 + t, limits[&a.container], SimTime::from_secs(t)).unwrap();
+                ensure!(
+                    a.decision == AllocDecision::Granted,
+                    "resume carried a rejection"
+                );
+                sched
+                    .alloc_done(
+                        a.container,
+                        a.pid,
+                        0xC000_0000 + a.container.as_u64() * 7 + t,
+                        limits[&a.container],
+                        SimTime::from_secs(t),
+                    )
+                    .map_err(|e| format!("alloc_done in drain: {e:?}"))?;
                 waiting.remove(&a.container);
                 running.push((a.container, t + 3));
             }
-            prop_assert!(sched.check_invariants().is_ok());
+            if let Err(v) = sched.check_invariants() {
+                return Err(format!("invariant violated in drain: {v}"));
+            }
         }
-        prop_assert!(waiting.is_empty(), "{policy:?}: stranded containers {waiting:?}");
-    }
+        ensure!(
+            waiting.is_empty(),
+            "{policy:?}: stranded containers {waiting:?}"
+        );
+        Ok(())
+    });
+}
 
-    /// First-fit allocator conservation: free + live == capacity, no
-    /// overlaps, coalescing sound — under arbitrary alloc/free interleaving.
-    #[test]
-    fn first_fit_allocator_conserves_memory(
-        ops in prop::collection::vec((any::<bool>(), 1u64..2000), 1..200),
-    ) {
+/// First-fit allocator conservation: free + live == capacity, no
+/// overlaps, coalescing sound — under arbitrary alloc/free interleaving.
+#[test]
+fn first_fit_allocator_conserves_memory() {
+    prop::cases("first_fit_allocator_conserves_memory").run(|rng| {
+        let n_ops = rng.range_inclusive(1, 200);
         let mut a = AddressSpaceAllocator::new(Bytes::mib(256));
         let mut live: Vec<DevicePtr> = Vec::new();
-        for (is_alloc, v) in ops {
+        for _ in 0..n_ops {
+            let is_alloc = rng.next_below(2) == 0;
+            let v = rng.range_inclusive(1, 1999);
             if is_alloc {
                 if let Ok(p) = a.alloc(Bytes::kib(v)) {
                     live.push(p);
                 }
             } else if !live.is_empty() {
                 let p = live.swap_remove((v as usize) % live.len());
-                a.free(p).unwrap();
+                a.free(p).map_err(|e| format!("free: {e:?}"))?;
             }
-            prop_assert!(a.check_invariants().is_ok(), "{:?}", a.check_invariants());
+            if let Err(v) = a.check_invariants() {
+                return Err(format!("allocator invariant: {v:?}"));
+            }
         }
         for p in live {
-            a.free(p).unwrap();
+            a.free(p).map_err(|e| format!("final free: {e:?}"))?;
         }
-        prop_assert_eq!(a.free_bytes(), Bytes::mib(256));
-        prop_assert!(a.check_invariants().is_ok());
-    }
+        ensure!(
+            a.free_bytes() == Bytes::mib(256),
+            "leak: {} free after freeing everything",
+            a.free_bytes()
+        );
+        a.check_invariants()
+            .map_err(|e| format!("final invariant: {e:?}"))
+    });
+}
 
-    /// Paged allocator: same conservation property, plus immunity to the
-    /// interleaving (any request ≤ free total succeeds).
-    #[test]
-    fn paged_allocator_admits_by_total_free(
-        ops in prop::collection::vec((any::<bool>(), 1u64..2000), 1..200),
-    ) {
+/// Paged allocator: same conservation property, plus immunity to the
+/// interleaving (any request ≤ free total succeeds).
+#[test]
+fn paged_allocator_admits_by_total_free() {
+    prop::cases("paged_allocator_admits_by_total_free").run(|rng| {
+        let n_ops = rng.range_inclusive(1, 200);
         let mut a = PagedAllocator::new(Bytes::mib(256));
         let mut live: Vec<(DevicePtr, Bytes)> = Vec::new();
-        for (is_alloc, v) in ops {
+        for _ in 0..n_ops {
+            let is_alloc = rng.next_below(2) == 0;
+            let v = rng.range_inclusive(1, 1999);
             if is_alloc {
                 let want = Bytes::kib(v);
                 let fits = want.align_up(Bytes::new(256)) <= a.free_bytes();
                 match a.alloc(want) {
                     Ok(p) => {
-                        prop_assert!(fits, "alloc succeeded but should not fit");
+                        ensure!(fits, "alloc succeeded but should not fit");
                         live.push((p, want));
                     }
-                    Err(_) => prop_assert!(!fits, "alloc failed despite fitting"),
+                    Err(_) => ensure!(!fits, "alloc failed despite fitting"),
                 }
             } else if !live.is_empty() {
                 let (p, _) = live.swap_remove((v as usize) % live.len());
-                a.free(p).unwrap();
+                a.free(p).map_err(|e| format!("free: {e:?}"))?;
             }
-            prop_assert!(a.check_invariants().is_ok());
+            if let Err(v) = a.check_invariants() {
+                return Err(format!("allocator invariant: {v:?}"));
+            }
         }
-    }
+        Ok(())
+    });
 }

@@ -109,7 +109,8 @@ fn interception_counters_cover_table_ii() {
     w.cuda_free(1, p).unwrap();
     w.cuda_malloc_managed(1, Bytes::mib(1)).unwrap();
     w.cuda_malloc_pitch(1, Bytes::new(512), 4).unwrap();
-    w.cuda_malloc_3d(1, Extent3D::new(Bytes::new(512), 2, 2)).unwrap();
+    w.cuda_malloc_3d(1, Extent3D::new(Bytes::new(512), 2, 2))
+        .unwrap();
     w.cuda_mem_get_info(1).unwrap();
     w.cuda_get_device_properties(1).unwrap();
     w.cuda_unregister_fat_binary(1).unwrap();
@@ -123,7 +124,10 @@ fn interception_counters_cover_table_ii() {
         ("free", s.free.load(Ordering::Relaxed)),
         ("meminfo", s.mem_get_info.load(Ordering::Relaxed)),
         ("props", s.get_device_properties.load(Ordering::Relaxed)),
-        ("unregister", s.unregister_fat_binary.load(Ordering::Relaxed)),
+        (
+            "unregister",
+            s.unregister_fat_binary.load(Ordering::Relaxed),
+        ),
     ] {
         assert!(count >= 1, "{name} was not intercepted");
     }
