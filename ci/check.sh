@@ -22,6 +22,18 @@ cargo test --offline --workspace -q
 step "cargo test (audit feature: invariants after every transition)"
 cargo test --offline -q -p convgpu-scheduler --features audit
 
+step "observability suite (golden trace + live exposition)"
+cargo test --offline -q --test observability
+
+step "chrome-trace artifact export"
+artifact="$(mktemp -d)/convgpu-trace.json"
+cargo run --offline -q --release --bin convgpu-cli -- trace --out="$artifact"
+# `convgpu-cli trace` already refuses to write invalid JSON; assert the
+# artifact landed, is non-empty, and contains trace events.
+[[ -s "$artifact" ]] || { echo "trace artifact missing or empty: $artifact"; exit 1; }
+grep -q '"ph"' "$artifact" || { echo "trace artifact has no events: $artifact"; exit 1; }
+rm -rf "$(dirname "$artifact")"
+
 step "convgpu-lint"
 cargo run --offline -q --bin convgpu-lint
 

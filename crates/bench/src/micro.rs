@@ -26,6 +26,7 @@
 //! }
 //! ```
 
+use convgpu_obs::Histogram;
 use std::time::{Duration, Instant};
 
 /// Re-export for benchmark bodies that need to defeat the optimizer.
@@ -98,6 +99,7 @@ impl Group {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
             samples_ns: Vec::new(),
+            hist: Histogram::new(),
         };
         f(&mut b);
         b.report(&id.to_string());
@@ -123,6 +125,11 @@ pub struct Bencher {
     measurement_time: Duration,
     /// Per-iteration nanoseconds, one entry per sample batch.
     samples_ns: Vec<f64>,
+    /// The same samples in the observability layer's fixed-bucket
+    /// latency histogram — the reported p50/p95 come from its quantile
+    /// estimator, so the report exercises the exact math the daemon's
+    /// exposition endpoint serves.
+    hist: Histogram,
 }
 
 impl Bencher {
@@ -161,7 +168,14 @@ impl Bencher {
             }
             let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
             self.samples_ns.push(ns);
+            self.hist.observe_ns(ns as u64);
         }
+    }
+
+    /// The histogram snapshot accumulated so far (one observation per
+    /// sample batch).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
     }
 
     fn report(&self, name: &str) {
@@ -173,8 +187,16 @@ impl Bencher {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
         let min = sorted[0];
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        let p50 = sorted[sorted.len() / 2];
-        let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+        // Bucketed quantile estimates; exact sorted-sample fallback only
+        // if the histogram is somehow empty.
+        let p50 = self
+            .hist
+            .quantile_ns(0.5)
+            .unwrap_or(sorted[sorted.len() / 2]);
+        let p95 = self
+            .hist
+            .quantile_ns(0.95)
+            .unwrap_or(sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)]);
         println!(
             "  {name:<44} min {:>10}  mean {:>10}  p50 {:>10}  p95 {:>10}  ({} samples)",
             fmt_ns(min),
@@ -208,6 +230,7 @@ mod tests {
             sample_size: 5,
             measurement_time: Duration::from_millis(200),
             samples_ns: Vec::new(),
+            hist: Histogram::new(),
         };
         let mut x = 0u64;
         b.iter(|| {
@@ -216,6 +239,9 @@ mod tests {
         });
         assert!(!b.samples_ns.is_empty());
         assert!(b.samples_ns.iter().all(|&ns| ns.is_finite() && ns >= 0.0));
+        // Every sample also landed in the histogram snapshot.
+        assert_eq!(b.histogram().count(), b.samples_ns.len() as u64);
+        assert!(b.histogram().quantile_ns(0.5).is_some());
     }
 
     #[test]

@@ -106,6 +106,9 @@ impl RequestHandler for ServiceHandler {
                 });
             }
             Request::Ping => reply.send(Response::Pong),
+            Request::QueryMetrics => reply.send(Response::Metrics {
+                text: self.service.metrics_text(),
+            }),
         }
     }
 }

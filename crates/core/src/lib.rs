@@ -33,4 +33,4 @@ pub use middleware::{ConVGpu, ConVGpuConfig, Session, TransportMode};
 pub use nvidia_docker::RunCommand;
 pub use nvidia_docker::{resolve_memory_limit, NvidiaDocker, CONVGPU_VOLUME_DRIVER};
 pub use plugin::NvidiaDockerPlugin;
-pub use service::{InProcEndpoint, SchedulerService};
+pub use service::{InProcEndpoint, ObsHub, SchedulerService};

@@ -22,9 +22,9 @@ use convgpu_gpu_sim::error::CudaResult;
 use convgpu_gpu_sim::latency::LatencyModel;
 use convgpu_gpu_sim::program::GpuProgram;
 use convgpu_gpu_sim::runtime::RawCudaRuntime;
-use convgpu_ipc::client::SchedulerClient;
+use convgpu_ipc::client::{ClientObs, SchedulerClient};
 use convgpu_ipc::endpoint::SchedulerEndpoint;
-use convgpu_ipc::server::SocketServer;
+use convgpu_ipc::server::{ServerObs, SocketServer};
 use convgpu_scheduler::core::{Scheduler, SchedulerConfig};
 use convgpu_scheduler::metrics::{self, ContainerMetrics};
 use convgpu_scheduler::policy::PolicyKind;
@@ -33,7 +33,7 @@ use convgpu_sim_core::clock::{ClockHandle, RealClock};
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::units::Bytes;
-use convgpu_wrapper::module::WrapperModule;
+use convgpu_wrapper::module::{WrapperModule, WrapperObs};
 use convgpu_wrapper::preload::{resolve_runtime, LinkSpec, ProcessEnv};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -239,22 +239,40 @@ impl ConVGpu {
         let id = prepared.id;
 
         // Build the endpoint the wrapper will use.
+        let registry = Arc::clone(&self.service.obs().registry);
         let endpoint: Arc<dyn SchedulerEndpoint> = match self.transport {
             TransportMode::UnixSocket => {
                 let sock = self.service.socket_path(id);
-                let server = SocketServer::bind(&sock, Arc::clone(&self.handler) as _)
-                    .map_err(|e| NvidiaDockerError::Ipc(e.into()))?;
-                let client = SchedulerClient::connect(&sock).map_err(NvidiaDockerError::Ipc)?;
+                let server = SocketServer::bind_with_obs(
+                    &sock,
+                    Arc::clone(&self.handler) as _,
+                    Some(ServerObs {
+                        registry: Arc::clone(&registry),
+                        clock: Arc::clone(&self.clock),
+                    }),
+                )
+                .map_err(|e| NvidiaDockerError::Ipc(e.into()))?;
+                let client = SchedulerClient::connect_with_obs(
+                    &sock,
+                    Some(ClientObs {
+                        registry: Arc::clone(&registry),
+                        clock: Arc::clone(&self.clock),
+                    }),
+                )
+                .map_err(NvidiaDockerError::Ipc)?;
                 self.container_servers.lock().insert(id, server);
                 Arc::new(client)
             }
             TransportMode::InProc => Arc::new(InProcEndpoint::new(Arc::clone(&self.service))),
         };
-        let wrapper: Arc<dyn CudaApi> = Arc::new(WrapperModule::new(
-            id,
-            Arc::clone(&self.raw) as Arc<dyn CudaApi>,
-            endpoint,
-        ));
+        let wrapper: Arc<dyn CudaApi> = Arc::new(
+            WrapperModule::new(id, Arc::clone(&self.raw) as Arc<dyn CudaApi>, endpoint).with_obs(
+                WrapperObs {
+                    registry,
+                    clock: Arc::clone(&self.clock),
+                },
+            ),
+        );
         // Bind the program's CUDA symbols per the LD_PRELOAD rules.
         let container = self.engine.inspect(id).map_err(NvidiaDockerError::Engine)?;
         let env =
@@ -360,6 +378,19 @@ impl ConVGpu {
     pub fn metrics(&self) -> Vec<ContainerMetrics> {
         self.service
             .with_scheduler(|s| metrics::collect(s.containers()))
+    }
+
+    /// All middleware metrics in Prometheus text exposition format (what
+    /// `QueryMetrics` returns over the wire).
+    pub fn metrics_text(&self) -> String {
+        self.service.metrics_text()
+    }
+
+    /// Chrome-trace JSON (trace-event array) of the retained spans —
+    /// load into `chrome://tracing` or Perfetto for a per-container
+    /// timeline.
+    pub fn chrome_trace(&self) -> String {
+        self.service.chrome_trace()
     }
 
     /// Stop the plugin and every socket server.

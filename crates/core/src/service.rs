@@ -10,7 +10,8 @@
 use convgpu_ipc::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
 use convgpu_ipc::message::{AllocDecision, ApiKind, Response};
 use convgpu_ipc::server::Reply;
-use convgpu_scheduler::core::{AllocOutcome, ResumeAction, SchedError, Scheduler};
+use convgpu_obs::{chrome, prometheus, Registry, RingSink, SpanSink, Tracer};
+use convgpu_scheduler::core::{AllocOutcome, ResumeAction, SchedError, SchedObs, Scheduler};
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::sync::Mutex;
@@ -28,24 +29,93 @@ enum Waiter {
     Socket(Reply),
 }
 
+/// The service's observability fan-in: one metrics registry and one
+/// tracer shared by the scheduler, the IPC layer, and the wrapper
+/// modules. The ring sink retains the most recent spans for the
+/// Chrome-trace export; tests attach a `CollectorSink` for full capture.
+pub struct ObsHub {
+    /// Metrics registry (counters, gauges, latency histograms).
+    pub registry: Arc<Registry>,
+    /// Span source; add sinks to receive subsequently emitted spans.
+    pub tracer: Arc<Tracer>,
+    /// Bounded span retention backing [`SchedulerService::chrome_trace`].
+    pub ring: Arc<RingSink>,
+}
+
+impl ObsHub {
+    /// Spans retained by the live daemon's ring.
+    pub const RING_CAPACITY: usize = 4096;
+
+    /// A hub with a fresh registry and a tracer draining into a ring.
+    pub fn new() -> Self {
+        let tracer = Arc::new(Tracer::new());
+        let ring = Arc::new(RingSink::new(Self::RING_CAPACITY));
+        tracer.add_sink(Arc::clone(&ring) as Arc<dyn SpanSink>);
+        ObsHub {
+            registry: Arc::new(Registry::new()),
+            tracer,
+            ring,
+        }
+    }
+
+    /// The scheduler-facing view of the hub.
+    pub fn sched_obs(&self) -> SchedObs {
+        SchedObs {
+            registry: Arc::clone(&self.registry),
+            tracer: Arc::clone(&self.tracer),
+        }
+    }
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The live scheduler service shared by every connection and thread.
 pub struct SchedulerService {
     clock: ClockHandle,
     state: Mutex<Scheduler>,
     waiters: Mutex<HashMap<u64, Waiter>>,
     base_dir: PathBuf,
+    obs: Arc<ObsHub>,
 }
 
 impl SchedulerService {
     /// Wrap `scheduler`, serving per-container directories under
-    /// `base_dir` (created on demand).
-    pub fn new(scheduler: Scheduler, clock: ClockHandle, base_dir: PathBuf) -> Self {
+    /// `base_dir` (created on demand). The service always carries an
+    /// [`ObsHub`] and attaches it to the scheduler.
+    pub fn new(mut scheduler: Scheduler, clock: ClockHandle, base_dir: PathBuf) -> Self {
+        let obs = Arc::new(ObsHub::new());
+        scheduler.attach_obs(obs.sched_obs());
         SchedulerService {
             clock,
             state: Mutex::new(scheduler),
             waiters: Mutex::new(HashMap::new()),
             base_dir,
+            obs,
         }
+    }
+
+    /// The observability hub shared across the middleware layers.
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.obs
+    }
+
+    /// Current metrics in Prometheus text exposition format. Refreshes
+    /// the progress-state gauges from a fresh stall assessment first.
+    pub fn metrics_text(&self) -> String {
+        {
+            let state = self.state.lock();
+            let _ = convgpu_scheduler::deadlock::assess_observed(&state);
+        }
+        prometheus::render(&self.obs.registry.snapshot())
+    }
+
+    /// Chrome-trace JSON (trace-event array) of the retained spans.
+    pub fn chrome_trace(&self) -> String {
+        chrome::render(&self.obs.ring.snapshot())
     }
 
     /// The directory under which container volumes are created.

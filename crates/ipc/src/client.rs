@@ -10,6 +10,8 @@
 use crate::codec::{read_json, write_json};
 use crate::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
 use crate::message::{AllocDecision, ApiKind, Envelope, Request, Response};
+use convgpu_obs::Registry;
+use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::units::Bytes;
@@ -21,10 +23,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 
+/// Instrumentation hook for a client: records the full request→response
+/// round-trip per message type. For a suspended allocation the round-trip
+/// *is* the suspension — the histogram's tail is the paper's wait time.
+#[derive(Clone)]
+pub struct ClientObs {
+    /// Shared metrics registry.
+    pub registry: Arc<Registry>,
+    /// Time source for the latency measurements.
+    pub clock: ClockHandle,
+}
+
 struct ClientShared {
     writer: Mutex<UnixStream>,
     pending: Mutex<Option<HashMap<u64, SyncSender<Response>>>>,
     next_id: AtomicU64,
+    obs: Option<ClientObs>,
 }
 
 /// A connected protocol client.
@@ -48,12 +62,19 @@ impl Drop for SchedulerClient {
 impl SchedulerClient {
     /// Connect to the scheduler socket at `path`.
     pub fn connect(path: &Path) -> IpcResult<SchedulerClient> {
+        SchedulerClient::connect_with_obs(path, None)
+    }
+
+    /// Like [`SchedulerClient::connect`], but every round-trip latency is
+    /// recorded into `obs` under `convgpu_ipc_client_rtt_seconds{type}`.
+    pub fn connect_with_obs(path: &Path, obs: Option<ClientObs>) -> IpcResult<SchedulerClient> {
         let stream = UnixStream::connect(path)?;
         let reader_stream = stream.try_clone()?;
         let shared = Arc::new(ClientShared {
             writer: Mutex::new(stream),
             pending: Mutex::new(Some(HashMap::new())),
             next_id: AtomicU64::new(1),
+            obs,
         });
         let reader_shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -66,6 +87,8 @@ impl SchedulerClient {
     /// Send `req` and block for the matching response. Blocking may last
     /// arbitrarily long — that is the suspension mechanism.
     pub fn request(&self, req: Request) -> IpcResult<Response> {
+        let kind = req.kind();
+        let sent_at = self.shared.obs.as_ref().map(|o| o.clock.now());
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx): (SyncSender<Response>, Receiver<Response>) = sync_channel(1);
         {
@@ -87,10 +110,26 @@ impl SchedulerClient {
             }
             return Err(IpcError::Io(e));
         }
-        match rx.recv() {
+        let received = rx.recv();
+        if let (Some(o), Some(t0)) = (&self.shared.obs, sent_at) {
+            o.registry.observe(
+                "convgpu_ipc_client_rtt_seconds",
+                &[("type", kind)],
+                o.clock.now().saturating_since(t0),
+            );
+        }
+        match received {
             Ok(Response::Error { message }) => Err(IpcError::Scheduler(message)),
             Ok(resp) => Ok(resp),
             Err(_) => Err(IpcError::Disconnected),
+        }
+    }
+
+    /// Ask the daemon for its current metrics in Prometheus text format.
+    pub fn query_metrics(&self) -> IpcResult<String> {
+        match self.request(Request::QueryMetrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 

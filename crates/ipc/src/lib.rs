@@ -33,8 +33,8 @@ pub mod json;
 pub mod message;
 pub mod server;
 
-pub use client::SchedulerClient;
+pub use client::{ClientObs, SchedulerClient};
 pub use codec::{read_json, write_json, MAX_LINE_BYTES};
 pub use endpoint::{IpcError, IpcResult, SchedulerEndpoint};
 pub use message::{AllocDecision, ApiKind, Envelope, Request, Response};
-pub use server::{Reply, RequestHandler, SocketServer};
+pub use server::{Reply, RequestHandler, ServerObs, SocketServer};

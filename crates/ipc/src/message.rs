@@ -184,6 +184,29 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
+    /// Ask the daemon for its current metrics as Prometheus exposition
+    /// text (observability; any client may ask).
+    QueryMetrics,
+}
+
+impl Request {
+    /// The wire tag — also the `type` label every per-message-type
+    /// metric (server handle time, client round-trip time) is keyed by.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::RequestDir { .. } => "request_dir",
+            Request::AllocRequest { .. } => "alloc_request",
+            Request::AllocDone { .. } => "alloc_done",
+            Request::AllocFailed { .. } => "alloc_failed",
+            Request::Free { .. } => "free",
+            Request::MemInfo { .. } => "mem_info",
+            Request::ProcessExit { .. } => "process_exit",
+            Request::ContainerClose { .. } => "container_close",
+            Request::Ping => "ping",
+            Request::QueryMetrics => "query_metrics",
+        }
+    }
 }
 
 /// Build an internally tagged object: `{"type":<tag>, <fields>...}`.
@@ -279,6 +302,7 @@ impl ToJson for Request {
                 vec![("container".into(), container.to_json())],
             ),
             Request::Ping => tagged("ping", vec![]),
+            Request::QueryMetrics => tagged("query_metrics", vec![]),
         }
     }
 }
@@ -331,6 +355,7 @@ impl FromJson for Request {
                 container: field(v, "container")?,
             }),
             "ping" => Ok(Request::Ping),
+            "query_metrics" => Ok(Request::QueryMetrics),
             other => Err(JsonError::msg(format!("unknown request type {other:?}"))),
         }
     }
@@ -373,6 +398,14 @@ pub enum Response {
     },
     /// Reply to [`Request::Ping`].
     Pong,
+    /// Reply to [`Request::QueryMetrics`]: the daemon's metrics rendered
+    /// as Prometheus exposition text. Carried as opaque text so the wire
+    /// schema does not depend on the metrics model.
+    Metrics {
+        /// Prometheus text exposition (may be multi-line; JSON escaping
+        /// keeps the line framing unambiguous).
+        text: String,
+    },
 }
 
 impl ToJson for Response {
@@ -395,6 +428,7 @@ impl ToJson for Response {
                 tagged("error", vec![("message".into(), message.to_json())])
             }
             Response::Pong => tagged("pong", vec![]),
+            Response::Metrics { text } => tagged("metrics", vec![("text".into(), text.to_json())]),
         }
     }
 }
@@ -424,6 +458,9 @@ impl FromJson for Response {
                 message: field(v, "message")?,
             }),
             "pong" => Ok(Response::Pong),
+            "metrics" => Ok(Response::Metrics {
+                text: field(v, "text")?,
+            }),
             other => Err(JsonError::msg(format!("unknown response type {other:?}"))),
         }
     }
@@ -511,6 +548,7 @@ mod tests {
                 container: ContainerId(3),
             },
             Request::Ping,
+            Request::QueryMetrics,
         ];
         for req in reqs {
             round_trip(&Envelope {
@@ -544,6 +582,9 @@ mod tests {
                 message: "unregistered container".into(),
             },
             Response::Pong,
+            Response::Metrics {
+                text: "# TYPE convgpu_x counter\nconvgpu_x{type=\"ping\"} 3\n".into(),
+            },
         ];
         for resp in resps {
             round_trip(&Envelope {
@@ -584,6 +625,39 @@ mod tests {
             env.to_json_string(),
             r#"{"id":9,"body":{"type":"register","container":3,"limit":536870912}}"#
         );
+    }
+
+    #[test]
+    fn query_metrics_wire_format_is_stable() {
+        assert_eq!(
+            Request::QueryMetrics.to_json_string(),
+            r#"{"type":"query_metrics"}"#
+        );
+        let resp = Response::Metrics {
+            text: "a 1\n".into(),
+        };
+        assert_eq!(
+            resp.to_json_string(),
+            r#"{"type":"metrics","text":"a 1\n"}"#
+        );
+    }
+
+    #[test]
+    fn request_kind_matches_wire_tag() {
+        for req in [
+            Request::Ping,
+            Request::QueryMetrics,
+            Request::ContainerClose {
+                container: ContainerId(1),
+            },
+        ] {
+            let json = req.to_json_string();
+            assert!(
+                json.contains(&format!(r#""type":"{}""#, req.kind())),
+                "{json} vs {}",
+                req.kind()
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@
 
 use crate::codec::{read_json, write_json};
 use crate::message::{Envelope, Request, Response};
+use convgpu_obs::Registry;
+use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::sync::Mutex;
+use convgpu_sim_core::time::SimTime;
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -33,10 +36,33 @@ pub trait RequestHandler: Send + Sync + 'static {
     }
 }
 
+/// Instrumentation hook for a server: where to record per-message-type
+/// request counts and latency histograms, and which clock stamps them
+/// (the same scaled/virtual clock the rest of the stack runs on — the
+/// ipc layer never reads the wall clock directly).
+#[derive(Clone)]
+pub struct ServerObs {
+    /// Shared metrics registry.
+    pub registry: Arc<Registry>,
+    /// Time source for the latency measurements.
+    pub clock: ClockHandle,
+}
+
+/// Per-reply slice of [`ServerObs`]: carried inside the [`Reply`] handle
+/// so a *deferred* reply (a suspended allocation) still records its
+/// write-back and full receipt→reply turnaround when it finally fires.
+struct ReplyObs {
+    registry: Arc<Registry>,
+    clock: ClockHandle,
+    kind: &'static str,
+    received_at: SimTime,
+}
+
 /// One-shot deferred reply handle.
 pub struct Reply {
     writer: Arc<Mutex<UnixStream>>,
     id: u64,
+    obs: Option<ReplyObs>,
 }
 
 impl Reply {
@@ -44,14 +70,33 @@ impl Reply {
     /// scheduler must not crash because a container died mid-wait — the
     /// disconnect path reclaims its state instead.
     pub fn send(self, resp: Response) {
-        let mut w = self.writer.lock();
-        let _ = write_json(
-            &mut *w,
-            &Envelope {
-                id: self.id,
-                body: resp,
-            },
-        );
+        let write_started = self.obs.as_ref().map(|o| o.clock.now());
+        {
+            let mut w = self.writer.lock();
+            let _ = write_json(
+                &mut *w,
+                &Envelope {
+                    id: self.id,
+                    body: resp,
+                },
+            );
+        }
+        if let (Some(obs), Some(t0)) = (&self.obs, write_started) {
+            let now = obs.clock.now();
+            let labels = [("type", obs.kind)];
+            obs.registry.observe(
+                "convgpu_ipc_server_write_seconds",
+                &labels,
+                now.saturating_since(t0),
+            );
+            // Receipt → reply: for a suspended allocation this is the
+            // whole time the reply was withheld.
+            obs.registry.observe(
+                "convgpu_ipc_server_turnaround_seconds",
+                &labels,
+                now.saturating_since(obs.received_at),
+            );
+        }
     }
 }
 
@@ -60,6 +105,7 @@ struct ServerShared {
     shutting_down: AtomicBool,
     conns: Mutex<HashMap<ConnId, Arc<Mutex<UnixStream>>>>,
     next_conn: AtomicU64,
+    obs: Option<ServerObs>,
 }
 
 /// A UNIX-socket JSON-protocol server.
@@ -74,6 +120,17 @@ impl SocketServer {
     /// accepting. Each connection gets its own reader thread; requests are
     /// dispatched to `handler`.
     pub fn bind(path: &Path, handler: Arc<dyn RequestHandler>) -> io::Result<SocketServer> {
+        SocketServer::bind_with_obs(path, handler, None)
+    }
+
+    /// Like [`SocketServer::bind`], but every request/response round-trip is
+    /// recorded into `obs` (per-message-type counters plus handle / write /
+    /// turnaround latency histograms).
+    pub fn bind_with_obs(
+        path: &Path,
+        handler: Arc<dyn RequestHandler>,
+        obs: Option<ServerObs>,
+    ) -> io::Result<SocketServer> {
         if path.exists() {
             std::fs::remove_file(path)?;
         }
@@ -86,6 +143,7 @@ impl SocketServer {
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(1),
+            obs,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -171,11 +229,32 @@ fn reader_loop(
     loop {
         match read_json::<Envelope<Request>, _>(&mut reader) {
             Ok(Some(env)) => {
+                let kind = env.body.kind();
+                let received_at = shared.obs.as_ref().map(|o| {
+                    o.registry
+                        .inc("convgpu_ipc_requests_total", &[("type", kind)], 1);
+                    o.clock.now()
+                });
                 let reply = Reply {
                     writer: Arc::clone(&writer),
                     id: env.id,
+                    obs: shared.obs.as_ref().zip(received_at).map(|(o, t)| ReplyObs {
+                        registry: Arc::clone(&o.registry),
+                        clock: o.clock.clone(),
+                        kind,
+                        received_at: t,
+                    }),
                 };
                 shared.handler.on_request(conn_id, env.body, reply);
+                if let (Some(o), Some(t0)) = (&shared.obs, received_at) {
+                    // Synchronous handler time; a deferred (suspended) reply
+                    // shows up in the turnaround histogram instead.
+                    o.registry.observe(
+                        "convgpu_ipc_server_handle_seconds",
+                        &[("type", kind)],
+                        o.clock.now().saturating_since(t0),
+                    );
+                }
             }
             Ok(None) => {
                 debug_log(&format!("conn {conn_id}: EOF"));

@@ -1,0 +1,115 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto "trace event") JSON
+//! export: renders a run's spans as a per-container timeline.
+//!
+//! Output is the JSON *array* form of the trace-event format — one
+//! complete (`"ph":"X"`) event per span, with the container id as the
+//! `pid` so each container gets its own timeline row, and instant
+//! events (`start == end`) as `"ph":"i"`.
+
+use crate::trace::SpanRecord;
+
+fn push_escaped(s: &str, out: &mut String) {
+    crate::trace::escape_json(s, out);
+}
+
+fn push_micros(ns: u64, out: &mut String) {
+    // Microseconds with nanosecond precision (chrome accepts fractions).
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    out.push_str(&whole.to_string());
+    if frac != 0 {
+        out.push('.');
+        out.push_str(&format!("{frac:03}"));
+    }
+}
+
+/// Render spans as a trace-event JSON array.
+pub fn render(spans: &[SpanRecord]) -> String {
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.start, s.id));
+    let mut out = String::from("[");
+    for (i, span) in ordered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_escaped(&span.name, &mut out);
+        out.push_str(",\"cat\":\"convgpu\",\"ph\":");
+        let instant = span.start == span.end;
+        out.push_str(if instant { "\"i\"" } else { "\"X\"" });
+        if instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"ts\":");
+        push_micros(span.start.as_nanos(), &mut out);
+        if !instant {
+            out.push_str(",\"dur\":");
+            push_micros(span.end.saturating_since(span.start).as_nanos(), &mut out);
+        }
+        let pid = span.container.unwrap_or(0);
+        out.push_str(",\"pid\":");
+        out.push_str(&pid.to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&pid.to_string());
+        out.push_str(",\"args\":{\"span_id\":");
+        out.push_str(&span.id.to_string());
+        if let Some(p) = span.parent {
+            out.push_str(",\"parent\":");
+            out.push_str(&p.to_string());
+        }
+        for (k, v) in &span.attrs {
+            out.push(',');
+            push_escaped(k, &mut out);
+            out.push(':');
+            push_escaped(v, &mut out);
+        }
+        out.push_str("}}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convgpu_sim_core::time::SimTime;
+
+    fn span(id: u64, container: u64, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: None,
+            name: format!("s{id}"),
+            container: Some(container),
+            start: SimTime::from_nanos(start_ns),
+            end: SimTime::from_nanos(end_ns),
+            attrs: vec![("size".into(), "1024".into())],
+        }
+    }
+
+    #[test]
+    fn renders_complete_and_instant_events() {
+        let spans = vec![span(1, 3, 1_500, 4_500), span(2, 3, 2_000, 2_000)];
+        let out = render(&spans);
+        assert!(out.starts_with('[') && out.ends_with(']'), "{out}");
+        assert!(out.contains("\"ph\":\"X\""), "{out}");
+        assert!(out.contains("\"ph\":\"i\""), "{out}");
+        assert!(out.contains("\"ts\":1.500"), "µs with ns fraction: {out}");
+        assert!(out.contains("\"dur\":3"), "{out}");
+        assert!(out.contains("\"pid\":3"), "{out}");
+        assert!(out.contains("\"size\":\"1024\""), "{out}");
+    }
+
+    #[test]
+    fn events_are_ordered_by_start_time() {
+        let spans = vec![span(1, 1, 9_000, 9_000), span(2, 1, 1_000, 1_000)];
+        let out = render(&spans);
+        let first = out.find("\"name\":\"s2\"").unwrap();
+        let second = out.find("\"name\":\"s1\"").unwrap();
+        assert!(first < second, "{out}");
+    }
+
+    #[test]
+    fn empty_input_renders_an_empty_array() {
+        assert_eq!(render(&[]), "[]");
+    }
+}

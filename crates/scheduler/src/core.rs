@@ -30,11 +30,13 @@ use crate::policy::{CandidateView, Policy};
 use crate::state::{ContainerRecord, ContainerState, PendingAlloc, ResumeRule};
 use crate::timeline::UtilizationTimeline;
 use convgpu_ipc::message::{AllocDecision, ApiKind};
+use convgpu_obs::{Registry, SpanRecord, Tracer};
 use convgpu_sim_core::ids::ContainerId;
-use convgpu_sim_core::time::SimTime;
+use convgpu_sim_core::time::{SimDuration, SimTime};
 use convgpu_sim_core::units::Bytes;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Scheduler configuration.
 #[derive(Clone, Debug)]
@@ -78,6 +80,22 @@ impl Default for SchedulerConfig {
     fn default() -> Self {
         Self::paper()
     }
+}
+
+/// Observability attachment for a scheduler: every decision ticks
+/// `convgpu_sched_decisions_total{kind}` and emits a trace event, every
+/// completed suspension episode lands in
+/// `convgpu_sched_suspend_seconds{container}`, and each container gets a
+/// lifetime span (emitted at close) that parents its events. Both handles
+/// are shared (`Arc`), so cloning a scheduler — as the model checker does —
+/// shares the sinks rather than forking them; checker runs simply do not
+/// attach one.
+#[derive(Clone)]
+pub struct SchedObs {
+    /// Metrics registry receiving the counters, gauges and histograms.
+    pub registry: Arc<Registry>,
+    /// Tracer receiving per-container spans and decision events.
+    pub tracer: Arc<Tracer>,
 }
 
 /// Verdict on an allocation request.
@@ -175,6 +193,25 @@ pub struct Scheduler {
     sticky_target: Option<ContainerId>,
     log: DecisionLog,
     timeline: UtilizationTimeline,
+    obs: Option<SchedObs>,
+    /// Pre-allocated lifetime span id per container, so decision events
+    /// can parent under it before the span itself is emitted at close.
+    container_spans: HashMap<ContainerId, u64>,
+}
+
+/// `record!(self, now, decision)` — shorthand for `Scheduler::record_parts`
+/// that expands to disjoint field borrows in the caller's body, so it stays
+/// usable while a container record is mutably borrowed.
+macro_rules! record {
+    ($sched:ident, $now:expr, $decision:expr) => {
+        Scheduler::record_parts(
+            &$sched.obs,
+            &$sched.container_spans,
+            &mut $sched.log,
+            $now,
+            $decision,
+        )
+    };
 }
 
 impl Scheduler {
@@ -189,7 +226,20 @@ impl Scheduler {
             sticky_target: None,
             log: DecisionLog::default(),
             timeline: UtilizationTimeline::new(),
+            obs: None,
+            container_spans: HashMap::new(),
         }
+    }
+
+    /// Attach an observability sink. Purely additive: metrics and spans
+    /// are side effects only and never feed back into scheduling.
+    pub fn attach_obs(&mut self, obs: SchedObs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability sink, if any.
+    pub fn obs(&self) -> Option<&SchedObs> {
+        self.obs.as_ref()
     }
 
     /// The decision log (bounded ring of recent scheduling decisions).
@@ -207,6 +257,111 @@ impl Scheduler {
     fn sample(&mut self, now: SimTime) {
         let used: Bytes = self.containers.values().map(|r| r.used).sum();
         self.timeline.record(now, self.total_assigned, used);
+        self.publish_gauges();
+    }
+
+    /// Mirror headline state into gauges so the exposition endpoint can
+    /// answer "what is assigned/used/suspended right now" without walking
+    /// scheduler state.
+    fn publish_gauges(&self) {
+        let Some(obs) = &self.obs else { return };
+        obs.registry.set_gauge(
+            "convgpu_sched_assigned_bytes",
+            &[],
+            self.total_assigned.as_u64() as f64,
+        );
+        obs.registry.set_gauge(
+            "convgpu_sched_unassigned_bytes",
+            &[],
+            self.unassigned().as_u64() as f64,
+        );
+        for rec in self.containers() {
+            let c = rec.id.to_string();
+            let labels = [("container", c.as_str())];
+            obs.registry.set_gauge(
+                "convgpu_sched_container_assigned_bytes",
+                &labels,
+                rec.assigned.as_u64() as f64,
+            );
+            obs.registry.set_gauge(
+                "convgpu_sched_container_used_bytes",
+                &labels,
+                rec.used.as_u64() as f64,
+            );
+            obs.registry.set_gauge(
+                "convgpu_sched_container_suspend_episodes",
+                &labels,
+                rec.suspend_episodes as f64,
+            );
+            obs.registry.set_gauge(
+                "convgpu_sched_container_suspended_seconds_total",
+                &labels,
+                rec.total_suspended.as_secs_f64(),
+            );
+        }
+    }
+
+    /// Log a decision and mirror it into the attached observability layer:
+    /// one `convgpu_sched_decisions_total{kind}` tick plus an instant trace
+    /// event parented under the container's lifetime span. A free function
+    /// over the disjoint fields so call sites holding a `&mut` container
+    /// record can still record (field-level borrow splitting).
+    fn record_parts(
+        obs: &Option<SchedObs>,
+        container_spans: &HashMap<ContainerId, u64>,
+        log: &mut DecisionLog,
+        now: SimTime,
+        decision: Decision,
+    ) {
+        if let Some(o) = obs {
+            let kind = decision.kind();
+            o.registry
+                .inc("convgpu_sched_decisions_total", &[("kind", kind)], 1);
+            let id = decision.container();
+            let parent = container_spans.get(&id).copied();
+            o.tracer.instant(kind, Some(id.as_u64()), parent, now, &[]);
+        }
+        log.push(now, decision);
+    }
+
+    /// Emit the span covering one parked request's wait (park → answer),
+    /// parented under the container's lifetime span. Associated fn over
+    /// disjoint fields for the same borrow-splitting reason as
+    /// `record_parts`.
+    fn emit_suspend_wait(
+        obs: &Option<SchedObs>,
+        container_spans: &HashMap<ContainerId, u64>,
+        id: ContainerId,
+        ticket: u64,
+        outcome: &str,
+        since: SimTime,
+        now: SimTime,
+    ) {
+        if let Some(o) = obs {
+            let parent = container_spans.get(&id).copied();
+            let t = ticket.to_string();
+            o.tracer.span(
+                "suspend_wait",
+                Some(id.as_u64()),
+                parent,
+                since,
+                now,
+                &[("ticket", t.as_str()), ("outcome", outcome)],
+            );
+        }
+    }
+
+    /// Feed a completed suspension episode into the per-container
+    /// histogram (`_count` = episodes, `_sum` = total suspended time).
+    fn observe_suspend_end(obs: &Option<SchedObs>, id: ContainerId, ended: Option<SimDuration>) {
+        if let (Some(o), Some(d)) = (obs, ended) {
+            let c = id.to_string();
+            o.registry.observe(
+                "convgpu_sched_suspend_seconds",
+                &[("container", c.as_str())],
+                d,
+            );
+        }
     }
 
     /// Configuration in force.
@@ -289,13 +444,19 @@ impl Scheduler {
         rec.assigned = take;
         self.total_assigned += take;
         self.containers.insert(id, rec);
-        self.log.push(
+        // Reserve the lifetime span id up front; the span itself is
+        // emitted at close, when its extent is known.
+        if let Some(obs) = &self.obs {
+            self.container_spans.insert(id, obs.tracer.next_span_id());
+        }
+        record!(
+            self,
             now,
             Decision::Registered {
                 id,
                 limit,
                 assigned: take,
-            },
+            }
         );
         self.sample(now);
         self.audit_check();
@@ -333,7 +494,7 @@ impl Scheduler {
         // the memory is already exceeded").
         if rec.used + need > rec.requirement {
             rec.rejected_allocs += 1;
-            self.log.push(now, Decision::Rejected { id, pid, size });
+            record!(self, now, Decision::Rejected { id, pid, size });
             return Ok((AllocOutcome::Rejected, Vec::new()));
         }
         // Fairness: while earlier requests are parked, later ones park
@@ -345,13 +506,14 @@ impl Scheduler {
                 rec.used += need;
                 rec.charged_pids.insert(pid);
                 rec.granted_allocs += 1;
-                self.log.push(
+                record!(
+                    self,
                     now,
                     Decision::Granted {
                         id,
                         pid,
                         charged: need,
-                    },
+                    }
                 );
                 self.sample(now);
                 self.audit_check();
@@ -366,13 +528,14 @@ impl Scheduler {
                 rec.used += need;
                 rec.charged_pids.insert(pid);
                 rec.granted_allocs += 1;
-                self.log.push(
+                record!(
+                    self,
                     now,
                     Decision::Granted {
                         id,
                         pid,
                         charged: need,
-                    },
+                    }
                 );
                 self.sample(now);
                 self.audit_check();
@@ -390,7 +553,7 @@ impl Scheduler {
             since: now,
         });
         rec.note_suspend(now);
-        self.log.push(now, Decision::Suspended { id, ticket, size });
+        record!(self, now, Decision::Suspended { id, ticket, size });
         // Liveness: a suspended container must not sit on reservation it
         // is not using — scattered partial holds are exactly the
         // hold-and-wait pattern that deadlocks naive sharing. Return the
@@ -532,39 +695,55 @@ impl Scheduler {
             // A dead process cannot receive a resume: cancel its parked
             // requests. The cancellations are delivered as Rejected so a
             // live waiter (e.g. a thread of a killed container still
-            // blocked on the socket) unblocks instead of hanging.
-            let mut cancelled = Vec::new();
+            // blocked on the socket) unblocks instead of hanging. Each
+            // cancellation keeps its park time for the suspend_wait span.
+            let mut cancelled: Vec<(ResumeAction, SimTime)> = Vec::new();
             rec.pending.retain(|p| {
                 if p.pid == pid {
-                    cancelled.push(ResumeAction {
-                        container: id,
-                        pid: p.pid,
-                        ticket: p.ticket,
-                        decision: AllocDecision::Rejected,
-                    });
+                    cancelled.push((
+                        ResumeAction {
+                            container: id,
+                            pid: p.pid,
+                            ticket: p.ticket,
+                            decision: AllocDecision::Rejected,
+                        },
+                        p.since,
+                    ));
                     false
                 } else {
                     true
                 }
             });
-            if rec.pending.is_empty() {
-                rec.note_resume(now);
-            }
-            self.log
-                .push(now, Decision::ProcessExited { id, pid, reclaimed });
-            for c in &cancelled {
-                self.log.push(
+            let ended = if rec.pending.is_empty() {
+                rec.note_resume(now)
+            } else {
+                None
+            };
+            Self::observe_suspend_end(&self.obs, id, ended);
+            record!(self, now, Decision::ProcessExited { id, pid, reclaimed });
+            for (c, since) in &cancelled {
+                record!(
+                    self,
                     now,
                     Decision::Resumed {
                         id: c.container,
                         ticket: c.ticket,
                         decision: c.decision,
-                    },
+                    }
+                );
+                Self::emit_suspend_wait(
+                    &self.obs,
+                    &self.container_spans,
+                    id,
+                    c.ticket,
+                    "cancelled",
+                    *since,
+                    now,
                 );
             }
             cancelled
         };
-        let mut actions = cancelled;
+        let mut actions: Vec<ResumeAction> = cancelled.into_iter().map(|(c, _)| c).collect();
         actions.extend(self.drain_pending(id, now, false));
         self.sample(now);
         self.audit_check();
@@ -586,18 +765,24 @@ impl Scheduler {
             if rec.state == ContainerState::Closed {
                 return Ok(Vec::new()); // idempotent: plugin + explicit close
             }
-            rec.note_resume(now);
+            let ended = rec.note_resume(now);
+            let registered_at = rec.registered_at;
             rec.state = ContainerState::Closed;
             rec.closed_at = Some(now);
             // Cancel parked requests so any still-live waiter unblocks.
-            let cancelled: Vec<ResumeAction> = rec
+            let cancelled: Vec<(ResumeAction, SimTime)> = rec
                 .pending
                 .drain(..)
-                .map(|p| ResumeAction {
-                    container: id,
-                    pid: p.pid,
-                    ticket: p.ticket,
-                    decision: AllocDecision::Rejected,
+                .map(|p| {
+                    (
+                        ResumeAction {
+                            container: id,
+                            pid: p.pid,
+                            ticket: p.ticket,
+                            decision: AllocDecision::Rejected,
+                        },
+                        p.since,
+                    )
                 })
                 .collect();
             rec.allocations.clear();
@@ -605,18 +790,44 @@ impl Scheduler {
             let released = rec.assigned;
             self.total_assigned -= rec.assigned;
             rec.assigned = Bytes::ZERO;
-            self.log.push(now, Decision::Closed { id, released });
-            for c in &cancelled {
-                self.log.push(
+            Self::observe_suspend_end(&self.obs, id, ended);
+            record!(self, now, Decision::Closed { id, released });
+            for (c, since) in &cancelled {
+                record!(
+                    self,
                     now,
                     Decision::Resumed {
                         id: c.container,
                         ticket: c.ticket,
                         decision: c.decision,
-                    },
+                    }
+                );
+                Self::emit_suspend_wait(
+                    &self.obs,
+                    &self.container_spans,
+                    id,
+                    c.ticket,
+                    "cancelled",
+                    *since,
+                    now,
                 );
             }
-            let mut actions = cancelled;
+            // The container's lifetime span closes here, under the id
+            // reserved at registration so its events already parent to it.
+            if let Some(o) = &self.obs {
+                if let Some(sid) = self.container_spans.get(&id).copied() {
+                    o.tracer.emit(SpanRecord {
+                        id: sid,
+                        parent: None,
+                        name: "container".into(),
+                        container: Some(id.as_u64()),
+                        start: registered_at,
+                        end: now,
+                        attrs: vec![("policy".into(), self.policy.name().into())],
+                    });
+                }
+            }
+            let mut actions: Vec<ResumeAction> = cancelled.into_iter().map(|(c, _)| c).collect();
             actions.extend(self.redistribute(now));
             self.sample(now);
             self.audit_check();
@@ -689,7 +900,15 @@ impl Scheduler {
                     if candidates.is_empty() {
                         break;
                     }
-                    let Some(pick) = self.policy.select(&candidates, remaining) else {
+                    let picked = self.policy.select(&candidates, remaining);
+                    if let Some(obs) = &self.obs {
+                        crate::policy::record_selection(
+                            &obs.registry,
+                            self.policy.name(),
+                            picked.is_some(),
+                        );
+                    }
+                    let Some(pick) = picked else {
                         break;
                     };
                     if self.policy.sticky() {
@@ -708,13 +927,14 @@ impl Scheduler {
             rec.assigned += take;
             self.total_assigned += take;
             let deficit = rec.deficit();
-            self.log.push(
+            record!(
+                self,
                 now,
                 Decision::ToppedUp {
                     id: pick,
                     amount: take,
                     deficit,
-                },
+                }
             );
             if rec.deficit().is_zero() {
                 self.sticky_target = None;
@@ -754,13 +974,23 @@ impl Scheduler {
                 // Stacked pendings overran the limit: reject this one now.
                 rec.pending.remove(0);
                 rec.rejected_allocs += 1;
-                self.log.push(
+                record!(
+                    self,
                     now,
                     Decision::Resumed {
                         id,
                         ticket: p.ticket,
                         decision: AllocDecision::Rejected,
-                    },
+                    }
+                );
+                Self::emit_suspend_wait(
+                    &self.obs,
+                    &self.container_spans,
+                    id,
+                    p.ticket,
+                    "rejected",
+                    p.since,
+                    now,
                 );
                 actions.push(ResumeAction {
                     container: id,
@@ -773,13 +1003,23 @@ impl Scheduler {
                 rec.used += need;
                 rec.charged_pids.insert(p.pid);
                 rec.granted_allocs += 1;
-                self.log.push(
+                record!(
+                    self,
                     now,
                     Decision::Resumed {
                         id,
                         ticket: p.ticket,
                         decision: AllocDecision::Granted,
-                    },
+                    }
+                );
+                Self::emit_suspend_wait(
+                    &self.obs,
+                    &self.container_spans,
+                    id,
+                    p.ticket,
+                    "granted",
+                    p.since,
+                    now,
                 );
                 actions.push(ResumeAction {
                     container: id,
@@ -791,9 +1031,12 @@ impl Scheduler {
                 break; // head still does not fit; keep FIFO order
             }
         }
-        if rec.pending.is_empty() {
-            rec.note_resume(now);
-        }
+        let ended = if rec.pending.is_empty() {
+            rec.note_resume(now)
+        } else {
+            None
+        };
+        Self::observe_suspend_end(&self.obs, id, ended);
         actions
     }
 

@@ -69,6 +69,32 @@ pub fn is_stalled(sched: &Scheduler) -> bool {
     matches!(assess(sched), ProgressState::Stalled { .. })
 }
 
+/// Mirror a progress assessment into `registry`:
+/// `convgpu_sched_progress_state` (0 idle, 1 progressing, 2 resume-pending,
+/// 3 stalled) and `convgpu_sched_waiting_containers` (size of the waiting
+/// set; zero outside a stall).
+pub fn record(state: &ProgressState, registry: &convgpu_obs::Registry) {
+    let (code, waiting) = match state {
+        ProgressState::Idle => (0.0, 0),
+        ProgressState::Progressing => (1.0, 0),
+        ProgressState::ResumePending => (2.0, 0),
+        ProgressState::Stalled { waiting } => (3.0, waiting.len()),
+    };
+    registry.set_gauge("convgpu_sched_progress_state", &[], code);
+    registry.set_gauge("convgpu_sched_waiting_containers", &[], waiting as f64);
+}
+
+/// [`assess`], and when the scheduler has observability attached also
+/// [`record`] the verdict into its registry. Pure read otherwise — the
+/// assessment itself never mutates scheduler state.
+pub fn assess_observed(sched: &Scheduler) -> ProgressState {
+    let state = assess(sched);
+    if let Some(obs) = sched.obs() {
+        record(&state, &obs.registry);
+    }
+    state
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,7 +50,9 @@ pub mod policy;
 pub mod state;
 pub mod timeline;
 
-pub use crate::core::{AllocOutcome, ResumeAction, SchedError, Scheduler, SchedulerConfig};
+pub use crate::core::{
+    AllocOutcome, ResumeAction, SchedError, SchedObs, Scheduler, SchedulerConfig,
+};
 pub use cluster::{ClusterNode, ClusterScheduler, SwarmStrategy};
 pub use invariant::InvariantViolation;
 pub use log::{Decision, DecisionLog, LogEntry};

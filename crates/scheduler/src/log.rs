@@ -88,6 +88,37 @@ pub enum Decision {
     },
 }
 
+impl Decision {
+    /// Stable kind label: the `kind` label of
+    /// `convgpu_sched_decisions_total` and the trace event name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Decision::Registered { .. } => "registered",
+            Decision::Granted { .. } => "granted",
+            Decision::Rejected { .. } => "rejected",
+            Decision::Suspended { .. } => "suspended",
+            Decision::ToppedUp { .. } => "topped_up",
+            Decision::Resumed { .. } => "resumed",
+            Decision::Closed { .. } => "closed",
+            Decision::ProcessExited { .. } => "process_exited",
+        }
+    }
+
+    /// The container the decision concerns.
+    pub fn container(&self) -> ContainerId {
+        match self {
+            Decision::Registered { id, .. }
+            | Decision::Granted { id, .. }
+            | Decision::Rejected { id, .. }
+            | Decision::Suspended { id, .. }
+            | Decision::ToppedUp { id, .. }
+            | Decision::Resumed { id, .. }
+            | Decision::Closed { id, .. }
+            | Decision::ProcessExited { id, .. } => *id,
+        }
+    }
+}
+
 /// A timestamped log entry.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LogEntry {

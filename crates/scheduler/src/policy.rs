@@ -190,6 +190,19 @@ impl Policy for RandomPolicy {
     }
 }
 
+/// Record one redistribution selection into the metrics registry:
+/// `convgpu_sched_policy_decisions_total{policy,outcome}` counts how often
+/// each policy picked a candidate (`selected`) vs. declined (`none`). The
+/// scheduler calls this once per [`Policy::select`] invocation.
+pub fn record_selection(registry: &convgpu_obs::Registry, policy: &'static str, selected: bool) {
+    let outcome = if selected { "selected" } else { "none" };
+    registry.inc(
+        "convgpu_sched_policy_decisions_total",
+        &[("policy", policy), ("outcome", outcome)],
+        1,
+    );
+}
+
 /// Policy selector used by configuration, traces and the bench harness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PolicyKind {

@@ -146,12 +146,18 @@ impl ContainerRecord {
     }
 
     /// End the suspension episode, folding its duration into the total.
-    pub fn note_resume(&mut self, now: SimTime) {
+    /// Returns the episode's duration (None when not suspended) so the
+    /// caller can feed the per-container suspension histogram.
+    pub fn note_resume(&mut self, now: SimTime) -> Option<SimDuration> {
         if let Some(since) = self.suspended_since.take() {
-            self.total_suspended += now.saturating_since(since);
+            let episode = now.saturating_since(since);
+            self.total_suspended += episode;
             if self.state == ContainerState::Suspended {
                 self.state = ContainerState::Active;
             }
+            Some(episode)
+        } else {
+            None
         }
     }
 }

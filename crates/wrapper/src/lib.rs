@@ -31,5 +31,5 @@
 pub mod module;
 pub mod preload;
 
-pub use module::{WrapperModule, WrapperStats};
+pub use module::{WrapperModule, WrapperObs, WrapperStats};
 pub use preload::{resolve_runtime, LinkSpec, ProcessEnv, GPUSHARE_SONAME};

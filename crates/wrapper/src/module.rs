@@ -8,12 +8,27 @@ use convgpu_gpu_sim::memory::DevicePtr;
 use convgpu_gpu_sim::props::DeviceProperties;
 use convgpu_ipc::endpoint::SchedulerEndpoint;
 use convgpu_ipc::message::{AllocDecision, ApiKind};
+use convgpu_obs::Registry;
+use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::units::Bytes;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Observability attachment for a wrapper module: every interposed Table II
+/// call ticks `convgpu_wrapper_calls_total{api}` and lands its duration in
+/// `convgpu_wrapper_call_seconds{api}`. The clock is the module's own time
+/// base (virtual in simulation, scaled-real in the live stack) — the
+/// wrapper crate never reads the wall clock.
+#[derive(Clone)]
+pub struct WrapperObs {
+    /// Shared metrics registry.
+    pub registry: Arc<Registry>,
+    /// Time source for call durations.
+    pub clock: ClockHandle,
+}
 
 /// Interception counters, one per Table II API (coverage tests, traces).
 #[derive(Debug, Default)]
@@ -78,6 +93,7 @@ pub struct WrapperModule {
         convgpu_sim_core::time::SimDuration,
     )>,
     stats: WrapperStats,
+    obs: Option<WrapperObs>,
 }
 
 impl WrapperModule {
@@ -95,7 +111,14 @@ impl WrapperModule {
             charged: Mutex::new(HashMap::new()),
             modeled_ipc: None,
             stats: WrapperStats::default(),
+            obs: None,
         }
+    }
+
+    /// Record every interposed call into `obs` (count + duration per API).
+    pub fn with_obs(mut self, obs: WrapperObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Charge `per_round_trip` on `clock` for every wrapper↔scheduler
@@ -113,6 +136,23 @@ impl WrapperModule {
         if let Some((clock, cost)) = &self.modeled_ipc {
             clock.sleep(*cost * round_trips);
         }
+    }
+
+    /// Run one interposed call under observation: count it and time it
+    /// (including any scheduler round-trip, i.e. suspension shows up in
+    /// the tail of `convgpu_wrapper_call_seconds`).
+    fn observed<T>(&self, api: &'static str, f: impl FnOnce() -> T) -> T {
+        let Some(o) = &self.obs else { return f() };
+        o.registry
+            .inc("convgpu_wrapper_calls_total", &[("api", api)], 1);
+        let t0 = o.clock.now();
+        let out = f();
+        o.registry.observe(
+            "convgpu_wrapper_call_seconds",
+            &[("api", api)],
+            o.clock.now().saturating_since(t0),
+        );
+        out
     }
 
     /// The container this module serves.
@@ -185,9 +225,11 @@ impl WrapperModule {
 
 impl CudaApi for WrapperModule {
     fn cuda_malloc(&self, pid: Pid, size: Bytes) -> CudaResult<DevicePtr> {
-        self.stats.malloc.fetch_add(1, Ordering::Relaxed);
-        self.gated_alloc(pid, size, ApiKind::Malloc, || {
-            self.inner.cuda_malloc(pid, size).map(|p| (p, p))
+        self.observed("cuda_malloc", || {
+            self.stats.malloc.fetch_add(1, Ordering::Relaxed);
+            self.gated_alloc(pid, size, ApiKind::Malloc, || {
+                self.inner.cuda_malloc(pid, size).map(|p| (p, p))
+            })
         })
     }
 
@@ -197,98 +239,110 @@ impl CudaApi for WrapperModule {
         width: Bytes,
         height: u64,
     ) -> CudaResult<(DevicePtr, Bytes)> {
-        self.stats.malloc_pitch.fetch_add(1, Ordering::Relaxed);
-        if width.is_zero() || height == 0 {
-            return Err(CudaError::InvalidValue);
-        }
-        // First call pays the property fetch — the Fig. 4 shape.
-        let (pitch_align, _) = self.device_geometry(pid)?;
-        let pitch = width.align_up(pitch_align);
-        let charged = Bytes::new(
-            pitch
-                .as_u64()
-                .checked_mul(height)
-                .ok_or(CudaError::InvalidValue)?,
-        );
-        self.gated_alloc(pid, charged, ApiKind::MallocPitch, || {
-            self.inner
-                .cuda_malloc_pitch(pid, width, height)
-                .map(|(p, pitch)| ((p, pitch), p))
+        self.observed("cuda_malloc_pitch", || {
+            self.stats.malloc_pitch.fetch_add(1, Ordering::Relaxed);
+            if width.is_zero() || height == 0 {
+                return Err(CudaError::InvalidValue);
+            }
+            // First call pays the property fetch — the Fig. 4 shape.
+            let (pitch_align, _) = self.device_geometry(pid)?;
+            let pitch = width.align_up(pitch_align);
+            let charged = Bytes::new(
+                pitch
+                    .as_u64()
+                    .checked_mul(height)
+                    .ok_or(CudaError::InvalidValue)?,
+            );
+            self.gated_alloc(pid, charged, ApiKind::MallocPitch, || {
+                self.inner
+                    .cuda_malloc_pitch(pid, width, height)
+                    .map(|(p, pitch)| ((p, pitch), p))
+            })
         })
     }
 
     fn cuda_malloc_3d(&self, pid: Pid, extent: Extent3D) -> CudaResult<PitchedPtr> {
-        self.stats.malloc_3d.fetch_add(1, Ordering::Relaxed);
-        if extent.width.is_zero() || extent.height == 0 || extent.depth == 0 {
-            return Err(CudaError::InvalidValue);
-        }
-        let (pitch_align, _) = self.device_geometry(pid)?;
-        let pitch = extent.width.align_up(pitch_align);
-        let rows = extent
-            .height
-            .checked_mul(extent.depth)
-            .ok_or(CudaError::InvalidValue)?;
-        let charged = Bytes::new(
-            pitch
-                .as_u64()
-                .checked_mul(rows)
-                .ok_or(CudaError::InvalidValue)?,
-        );
-        self.gated_alloc(pid, charged, ApiKind::Malloc3D, || {
-            self.inner.cuda_malloc_3d(pid, extent).map(|p| (p, p.ptr))
+        self.observed("cuda_malloc_3d", || {
+            self.stats.malloc_3d.fetch_add(1, Ordering::Relaxed);
+            if extent.width.is_zero() || extent.height == 0 || extent.depth == 0 {
+                return Err(CudaError::InvalidValue);
+            }
+            let (pitch_align, _) = self.device_geometry(pid)?;
+            let pitch = extent.width.align_up(pitch_align);
+            let rows = extent
+                .height
+                .checked_mul(extent.depth)
+                .ok_or(CudaError::InvalidValue)?;
+            let charged = Bytes::new(
+                pitch
+                    .as_u64()
+                    .checked_mul(rows)
+                    .ok_or(CudaError::InvalidValue)?,
+            );
+            self.gated_alloc(pid, charged, ApiKind::Malloc3D, || {
+                self.inner.cuda_malloc_3d(pid, extent).map(|p| (p, p.ptr))
+            })
         })
     }
 
     fn cuda_malloc_managed(&self, pid: Pid, size: Bytes) -> CudaResult<DevicePtr> {
-        self.stats.malloc_managed.fetch_add(1, Ordering::Relaxed);
-        if size.is_zero() {
-            return Err(CudaError::InvalidValue);
-        }
-        // "cudaMallocManaged API allocates memory size which is multiple
-        // of 128MiB … wrapper module calculates adjusted allocate size
-        // before checking available memory size."
-        let granularity = match *self.cached_props.lock() {
-            Some((_, g)) => g,
-            None => Bytes::mib(128),
-        };
-        let charged = size.align_up(granularity);
-        self.gated_alloc(pid, charged, ApiKind::MallocManaged, || {
-            self.inner.cuda_malloc_managed(pid, size).map(|p| (p, p))
+        self.observed("cuda_malloc_managed", || {
+            self.stats.malloc_managed.fetch_add(1, Ordering::Relaxed);
+            if size.is_zero() {
+                return Err(CudaError::InvalidValue);
+            }
+            // "cudaMallocManaged API allocates memory size which is multiple
+            // of 128MiB … wrapper module calculates adjusted allocate size
+            // before checking available memory size."
+            let granularity = match *self.cached_props.lock() {
+                Some((_, g)) => g,
+                None => Bytes::mib(128),
+            };
+            let charged = size.align_up(granularity);
+            self.gated_alloc(pid, charged, ApiKind::MallocManaged, || {
+                self.inner.cuda_malloc_managed(pid, size).map(|p| (p, p))
+            })
         })
     }
 
     fn cuda_free(&self, pid: Pid, ptr: DevicePtr) -> CudaResult<()> {
-        self.stats.free.fetch_add(1, Ordering::Relaxed);
-        // Paper order: "wrapper module deallocates the memory using the
-        // original CUDA API and sends the address to the GPU memory
-        // scheduler."
-        self.inner.cuda_free(pid, ptr)?;
-        self.charged.lock().remove(&ptr);
-        if !ptr.is_null() {
-            self.scheduler
-                .free(self.container, pid, ptr.addr())
-                .map_err(|_| CudaError::SchedulerUnavailable)?;
-            self.charge_ipc(1);
-        }
-        Ok(())
+        self.observed("cuda_free", || {
+            self.stats.free.fetch_add(1, Ordering::Relaxed);
+            // Paper order: "wrapper module deallocates the memory using the
+            // original CUDA API and sends the address to the GPU memory
+            // scheduler."
+            self.inner.cuda_free(pid, ptr)?;
+            self.charged.lock().remove(&ptr);
+            if !ptr.is_null() {
+                self.scheduler
+                    .free(self.container, pid, ptr.addr())
+                    .map_err(|_| CudaError::SchedulerUnavailable)?;
+                self.charge_ipc(1);
+            }
+            Ok(())
+        })
     }
 
     fn cuda_mem_get_info(&self, pid: Pid) -> CudaResult<(Bytes, Bytes)> {
-        self.stats.mem_get_info.fetch_add(1, Ordering::Relaxed);
-        // Served from the scheduler's books — no device round trip.
-        self.charge_ipc(1);
-        self.scheduler
-            .mem_info(self.container, pid)
-            .map_err(|_| CudaError::SchedulerUnavailable)
+        self.observed("cuda_mem_get_info", || {
+            self.stats.mem_get_info.fetch_add(1, Ordering::Relaxed);
+            // Served from the scheduler's books — no device round trip.
+            self.charge_ipc(1);
+            self.scheduler
+                .mem_info(self.container, pid)
+                .map_err(|_| CudaError::SchedulerUnavailable)
+        })
     }
 
     fn cuda_get_device_properties(&self, pid: Pid) -> CudaResult<DeviceProperties> {
-        self.stats
-            .get_device_properties
-            .fetch_add(1, Ordering::Relaxed);
-        let props = self.inner.cuda_get_device_properties(pid)?;
-        *self.cached_props.lock() = Some((props.pitch_alignment, props.managed_granularity));
-        Ok(props)
+        self.observed("cuda_get_device_properties", || {
+            self.stats
+                .get_device_properties
+                .fetch_add(1, Ordering::Relaxed);
+            let props = self.inner.cuda_get_device_properties(pid)?;
+            *self.cached_props.lock() = Some((props.pitch_alignment, props.managed_granularity));
+            Ok(props)
+        })
     }
 
     fn cuda_memcpy(&self, pid: Pid, kind: MemcpyKind, bytes: Bytes) -> CudaResult<()> {
@@ -403,18 +457,20 @@ impl CudaApi for WrapperModule {
     }
 
     fn cuda_unregister_fat_binary(&self, pid: Pid) -> CudaResult<()> {
-        self.stats
-            .unregister_fat_binary
-            .fetch_add(1, Ordering::Relaxed);
-        self.inner.cuda_unregister_fat_binary(pid)?;
-        // "Wrapper module captures this API and sends the information to
-        // the GPU memory scheduler to deallocate the GPU memory used by
-        // the current process."
-        self.scheduler
-            .process_exit(self.container, pid)
-            .map_err(|_| CudaError::SchedulerUnavailable)?;
-        self.charge_ipc(1);
-        Ok(())
+        self.observed("cuda_unregister_fat_binary", || {
+            self.stats
+                .unregister_fat_binary
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner.cuda_unregister_fat_binary(pid)?;
+            // "Wrapper module captures this API and sends the information to
+            // the GPU memory scheduler to deallocate the GPU memory used by
+            // the current process."
+            self.scheduler
+                .process_exit(self.container, pid)
+                .map_err(|_| CudaError::SchedulerUnavailable)?;
+            self.charge_ipc(1);
+            Ok(())
+        })
     }
 }
 

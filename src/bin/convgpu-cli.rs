@@ -16,6 +16,10 @@
 //! * `burst [--containers=N] [--policy=P] [--seed=S]` — the paper's §IV-A
 //!   cloud emulation, compressed to milliseconds.
 //! * `info` — print the simulated device and scheduler configuration.
+//! * `metrics [--policy=P]` — run a small contention scenario and print
+//!   the Prometheus text exposition (what `QueryMetrics` returns).
+//! * `trace [--policy=P] [--out=FILE]` — run the same scenario and write
+//!   a Chrome-trace JSON timeline (load in `chrome://tracing`).
 
 use convgpu::gpu::GpuProgram;
 use convgpu::middleware::{ConVGpu, ConVGpuConfig, RunCommand};
@@ -31,13 +35,15 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: convgpu-cli <run|burst|info> [options]\n\
+        "usage: convgpu-cli <run|burst|info|metrics|trace> [options]\n\
          \n\
-         run   [--nvidia-memory=<size>] [--policy=<fifo|bf|ru|rand>]\n\
-               [--workload=<sample:TYPE|mnist[:STEPS]|pipeline[:CHUNKS]|inference[:REQS]>]\n\
-               <image>\n\
-         burst [--containers=N] [--policy=P] [--seed=S]\n\
-         info"
+         run     [--nvidia-memory=<size>] [--policy=<fifo|bf|ru|rand>]\n\
+                 [--workload=<sample:TYPE|mnist[:STEPS]|pipeline[:CHUNKS]|inference[:REQS]>]\n\
+                 <image>\n\
+         burst   [--containers=N] [--policy=P] [--seed=S]\n\
+         info\n\
+         metrics [--policy=P]\n\
+         trace   [--policy=P] [--out=FILE]"
     );
     ExitCode::from(2)
 }
@@ -274,12 +280,129 @@ fn cmd_info() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run a short three-container contention scenario so the metrics and
+/// trace subcommands have real data: each container allocates 2 GiB on
+/// a 5 GiB device. Granted containers hold their memory until a
+/// suspension shows up on the scheduler's books, so the exposition
+/// always demonstrates suspend/resume regardless of launch timing.
+fn run_sample_scenario(convgpu: &ConVGpu) -> Result<(), ExitCode> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let release = Arc::new(AtomicBool::new(false));
+    let mut sessions = Vec::new();
+    for _ in 0..3 {
+        let release = Arc::clone(&release);
+        let program = Box::new(convgpu::gpu::FnProgram::new(
+            "hold",
+            move |api, pid, clock| {
+                let p = api.cuda_malloc(pid, Bytes::mib(2048))?;
+                while !release.load(Ordering::Acquire) {
+                    clock.sleep(SimDuration::from_millis(50));
+                }
+                api.cuda_free(pid, p)
+            },
+        ));
+        match convgpu.run_container(RunCommand::new("cuda-app").nvidia_memory("2048m"), program) {
+            Ok(s) => sessions.push(s),
+            Err(e) => {
+                eprintln!("launch failed: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    let ids: Vec<_> = sessions.iter().map(|s| s.container).collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while std::time::Instant::now() < deadline
+        && !convgpu.metrics().iter().any(|m| m.suspend_episodes > 0)
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    release.store(true, Ordering::Release);
+    for s in sessions {
+        let _ = s.wait();
+    }
+    for id in ids {
+        convgpu.wait_closed(id, Duration::from_secs(10));
+    }
+    Ok(())
+}
+
+fn parse_policy_args(args: &[String]) -> Result<(PolicyKind, Vec<String>), ExitCode> {
+    let mut policy = PolicyKind::BestFit;
+    let mut rest = Vec::new();
+    for a in args {
+        if let Some(v) = a.strip_prefix("--policy=") {
+            match parse_policy(v) {
+                Some(p) => policy = p,
+                None => return Err(usage()),
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((policy, rest))
+}
+
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let (policy, rest) = match parse_policy_args(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    if !rest.is_empty() {
+        return usage();
+    }
+    let convgpu = start(policy);
+    if let Err(code) = run_sample_scenario(&convgpu) {
+        return code;
+    }
+    print!("{}", convgpu.metrics_text());
+    convgpu.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let (policy, rest) = match parse_policy_args(args) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let mut out = "convgpu-trace.json".to_string();
+    for a in &rest {
+        if let Some(v) = a.strip_prefix("--out=") {
+            out = v.to_string();
+        } else {
+            return usage();
+        }
+    }
+    let convgpu = start(policy);
+    if let Err(code) = run_sample_scenario(&convgpu) {
+        return code;
+    }
+    let trace = convgpu.chrome_trace();
+    convgpu.shutdown();
+    // Sanity: the export must be well-formed JSON before we ship it.
+    if let Err(e) = convgpu::ipc::json::parse(&trace) {
+        eprintln!("internal error: trace export is not valid JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &trace) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out} ({} bytes) — open in chrome://tracing or Perfetto",
+        trace.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("burst") => cmd_burst(&args[1..]),
         Some("info") => cmd_info(),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => usage(),
     }
 }

@@ -47,6 +47,7 @@ pub use convgpu_container_rt as container;
 pub use convgpu_core as middleware;
 pub use convgpu_gpu_sim as gpu;
 pub use convgpu_ipc as ipc;
+pub use convgpu_obs as obs;
 pub use convgpu_scheduler as scheduler;
 pub use convgpu_sim_core as sim;
 pub use convgpu_workloads as workloads;

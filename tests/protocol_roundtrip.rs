@@ -32,7 +32,7 @@ macro_rules! ensure {
 
 fn gen_request(rng: &mut DetRng) -> Request {
     let c = ContainerId(rng.next_u64());
-    match rng.next_below(8) {
+    match rng.next_below(9) {
         0 => Request::Register {
             container: c,
             limit: Bytes::new(rng.next_u64()),
@@ -65,6 +65,7 @@ fn gen_request(rng: &mut DetRng) -> Request {
             pid: rng.next_u64(),
         },
         6 => Request::ContainerClose { container: c },
+        7 => Request::QueryMetrics,
         _ => Request::Ping,
     }
 }
@@ -177,6 +178,79 @@ fn many_concurrent_clients_are_served_correctly() {
         assert_eq!(grants, 160);
     });
     server.shutdown();
+}
+
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+/// The client spawns one reader thread per connection. Interleaving
+/// `QueryMetrics` round trips with abrupt disconnects must neither drop
+/// a response silently (every issued request gets its answer) nor leak
+/// reader threads once the clients are gone.
+#[test]
+fn query_metrics_interleaved_with_disconnects_leaks_nothing() {
+    let (server, svc) = live_service("obs-shutdown", 5120);
+    let path = server.path().to_path_buf();
+    let baseline = thread_count();
+
+    // Phase 1: clients connect, mix metrics queries with regular
+    // traffic, and disconnect without ceremony.
+    let mut clients = Vec::new();
+    for round in 0..8u64 {
+        let client = SchedulerClient::connect(&path).unwrap();
+        let container = ContainerId(100 + round);
+        client.register(container, Bytes::mib(64)).unwrap();
+        for _ in 0..4 {
+            let text = client.query_metrics().unwrap();
+            assert!(
+                text.contains("convgpu_sched_decisions_total"),
+                "metrics response lost or truncated: {text:?}"
+            );
+            client.ping().unwrap();
+        }
+        client.container_close(container).unwrap();
+        clients.push(client);
+    }
+    // All 8 reader threads are alive while their clients are.
+    assert!(
+        thread_count() >= baseline + 8,
+        "expected one reader thread per client"
+    );
+    drop(clients);
+
+    // Phase 2: the reader threads must exit once the connections close.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        // Tolerate unrelated churn from concurrently running tests in
+        // this binary; a leak would keep the count at baseline + 8.
+        if thread_count() <= baseline + 4 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reader threads leaked: {} now vs {baseline} baseline",
+            thread_count()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Phase 3: a request in flight when the server goes away must error
+    // out, never hang or vanish.
+    let survivor = SchedulerClient::connect(&path).unwrap();
+    survivor.ping().unwrap();
+    server.shutdown();
+    let answered = std::thread::spawn(move || survivor.query_metrics());
+    let t0 = std::time::Instant::now();
+    while !answered.is_finished() {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "query against a dead server hung instead of erroring"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(answered.join().unwrap().is_err());
+    svc.with_scheduler(|s| s.check_invariants().unwrap());
 }
 
 #[test]
