@@ -5,10 +5,23 @@
 #
 #   ./ci/check.sh          # full gate (release-mode model check)
 #   QUICK=1 ./ci/check.sh  # smaller model-check sweep for fast iteration
+#
+# Knobs:
+#   SKIP_PERF=1     skip the loadgen perf gate (e.g. on loaded machines)
+#   ARTIFACT_DIR=d  keep artifacts (chrome trace, BENCH_3.json) under d
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 step() { printf '\n== %s ==\n' "$*"; }
+
+# Artifacts land here; temporary unless the caller asked to keep them.
+if [[ -n "${ARTIFACT_DIR:-}" ]]; then
+  keep_artifacts=1
+  mkdir -p "$ARTIFACT_DIR"
+else
+  keep_artifacts=0
+  ARTIFACT_DIR="$(mktemp -d)"
+fi
 
 step "cargo fmt --check"
 cargo fmt --all -- --check
@@ -26,13 +39,12 @@ step "observability suite (golden trace + live exposition)"
 cargo test --offline -q --test observability
 
 step "chrome-trace artifact export"
-artifact="$(mktemp -d)/convgpu-trace.json"
+artifact="$ARTIFACT_DIR/convgpu-trace.json"
 cargo run --offline -q --release --bin convgpu-cli -- trace --out="$artifact"
 # `convgpu-cli trace` already refuses to write invalid JSON; assert the
 # artifact landed, is non-empty, and contains trace events.
 [[ -s "$artifact" ]] || { echo "trace artifact missing or empty: $artifact"; exit 1; }
 grep -q '"ph"' "$artifact" || { echo "trace artifact has no events: $artifact"; exit 1; }
-rm -rf "$(dirname "$artifact")"
 
 step "convgpu-lint"
 cargo run --offline -q --bin convgpu-lint
@@ -42,6 +54,28 @@ if [[ "${QUICK:-0}" == "1" ]]; then
   cargo run --offline -q --release -p convgpu-audit --bin convgpu-audit -- --quick
 else
   cargo run --offline -q --release -p convgpu-audit --bin convgpu-audit
+fi
+
+step "perf gate (loadgen -> BENCH_3.json)"
+if [[ "${SKIP_PERF:-0}" == "1" ]]; then
+  echo "skipped (SKIP_PERF=1)"
+else
+  # The loadgen binary prints the one-line `PERF loadgen ...` summary,
+  # writes the machine-readable report, and exits non-zero when the
+  # aggregate throughput falls below 80% of ci/perf_baseline.json.
+  perf_args=(--out="$ARTIFACT_DIR/BENCH_3.json" --baseline=ci/perf_baseline.json)
+  if [[ "${QUICK:-0}" == "1" ]]; then
+    perf_args+=(--quick)
+  fi
+  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- "${perf_args[@]}"
+fi
+
+if [[ "$keep_artifacts" == "1" ]]; then
+  echo
+  echo "artifacts kept in $ARTIFACT_DIR:"
+  ls -l "$ARTIFACT_DIR"
+else
+  rm -rf "$ARTIFACT_DIR"
 fi
 
 printf '\nAll checks passed.\n'

@@ -1,0 +1,153 @@
+//! `loadgen` — hot-path throughput campaign + CI perf gate.
+//!
+//! ```text
+//! cargo run --release -p convgpu-bench --bin loadgen -- \
+//!     [--containers=N] [--workers=K] [--rounds=R] [--quick] \
+//!     [--transport=inproc|socket-json|socket-binary] \
+//!     [--out=BENCH_3.json] [--baseline=ci/perf_baseline.json]
+//! ```
+//!
+//! Runs the [`convgpu_bench::loadgen`] campaign for all four policies,
+//! prints a summary table, writes the machine-readable report to
+//! `--out`, and — when `--baseline` is given — exits non-zero if the
+//! aggregate throughput regressed more than the allowed envelope
+//! ([`convgpu_bench::loadgen::BASELINE_RETENTION`]).
+
+use convgpu_bench::loadgen::{
+    check_baseline, render_json, run_loadgen, BaselineVerdict, LoadgenConfig, Transport,
+};
+use convgpu_bench::report::format_table;
+use convgpu_ipc::binary::WireCodec;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen [--containers=N] [--workers=K] [--rounds=R] [--quick]\n\
+         \x20              [--transport=inproc|socket-json|socket-binary]\n\
+         \x20              [--out=FILE] [--baseline=FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = LoadgenConfig::standard();
+    let mut out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            cfg = LoadgenConfig {
+                transport: cfg.transport,
+                ..LoadgenConfig::smoke()
+            };
+        } else if let Some(v) = a.strip_prefix("--containers=") {
+            match v.parse() {
+                Ok(n) => cfg.containers = n,
+                Err(_) => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--workers=") {
+            match v.parse() {
+                Ok(n) => cfg.workers = n,
+                Err(_) => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--rounds=") {
+            match v.parse() {
+                Ok(n) => cfg.rounds = n,
+                Err(_) => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--transport=") {
+            cfg.transport = match v {
+                "inproc" => Transport::InProc,
+                "socket-json" => Transport::Socket(WireCodec::Json),
+                "socket-binary" => Transport::Socket(WireCodec::Binary),
+                _ => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--baseline=") {
+            baseline = Some(PathBuf::from(v));
+        } else {
+            return usage();
+        }
+    }
+
+    println!(
+        "loadgen: {} containers x {} workers, {} rounds, transport {}",
+        cfg.containers,
+        cfg.workers,
+        cfg.rounds,
+        cfg.transport.label()
+    );
+    let report = run_loadgen(&cfg);
+
+    let table = format_table(
+        &[
+            "policy".into(),
+            "decisions".into(),
+            "granted".into(),
+            "rejected".into(),
+            "suspensions".into(),
+            "decisions/s".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+        ],
+        &report
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.label().into(),
+                    r.decisions.to_string(),
+                    r.granted.to_string(),
+                    r.rejected.to_string(),
+                    r.suspensions.to_string(),
+                    format!("{:.0}", r.decisions_per_sec),
+                    format!("{:.4}", r.quantile_ms(0.50)),
+                    format!("{:.4}", r.quantile_ms(0.95)),
+                    format!("{:.4}", r.quantile_ms(0.99)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    // The one-line summary CI greps into the job log.
+    println!(
+        "PERF loadgen total_decisions_per_sec={:.0} transport={}",
+        report.total_decisions_per_sec(),
+        cfg.transport.label()
+    );
+
+    if let Some(path) = out {
+        let text = render_json(&report);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+
+    if let Some(path) = baseline {
+        match check_baseline(&report, &path) {
+            Ok(BaselineVerdict::Pass { measured, baseline }) => {
+                println!("perf gate: PASS — {measured:.0} decisions/s vs baseline {baseline:.0}");
+            }
+            Ok(BaselineVerdict::Regressed {
+                measured,
+                baseline,
+                floor,
+            }) => {
+                eprintln!(
+                    "perf gate: FAIL — {measured:.0} decisions/s is below the floor \
+                     {floor:.0} (baseline {baseline:.0}, >20% regression)"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,703 @@
+//! `loadgen` — the hot-path throughput harness behind `BENCH_3.json`.
+//!
+//! Where [`crate::fig4`] measures one wrapped CUDA call and
+//! [`crate::policies`] replays the paper's workload in a single-threaded
+//! DES, this module stress-tests the **real service stack**: worker
+//! threads drive thousands of containers through the full lifecycle
+//! (register → allocation storm → pid churn → close) against a live
+//! [`SchedulerService`], contending on its lock exactly like concurrent
+//! wrapper processes do. The scheduler runs on the **sim clock**
+//! ([`VirtualClock`], advanced one tick per operation so policy
+//! timestamps stay meaningful), while throughput and admission latency
+//! are measured in wall time with [`Instant`] — the thing a perf gate
+//! must catch is a real-time regression, not a virtual one.
+//!
+//! Transports: in-process ([`InProcEndpoint`], isolating scheduler-core
+//! cost) or a real UNIX socket in either wire codec (adding genuine IPC
+//! cost; the binary codec is the hot-path option).
+//!
+//! ## Liveness
+//!
+//! The storm is deadlock-free by construction:
+//!
+//! * a worker **frees its held chunk before every admission request**, so
+//!   a parked worker never sits on chunk memory;
+//! * assignments are released wholesale at `process_exit` /
+//!   `container_close`, and every container's op sequence is finite, so
+//!   the scheduler's full-guarantee redistribution always finds released
+//!   memory to cover parked deficits;
+//! * `chunk + ctx_overhead ≤ limit` keeps storm requests from ever being
+//!   rejected for exceeding the container limit (the only rejections are
+//!   the deliberate over-limit probes), which makes the expected decision
+//!   counts exact — and testable.
+
+use convgpu_core::handler::ServiceHandler;
+use convgpu_core::service::{InProcEndpoint, SchedulerService};
+use convgpu_ipc::binary::WireCodec;
+use convgpu_ipc::client::SchedulerClient;
+use convgpu_ipc::endpoint::SchedulerEndpoint;
+use convgpu_ipc::message::{AllocDecision, ApiKind};
+use convgpu_ipc::server::SocketServer;
+use convgpu_obs::metrics::Histogram;
+use convgpu_scheduler::core::{Scheduler, SchedulerConfig};
+use convgpu_scheduler::metrics as sched_metrics;
+use convgpu_scheduler::policy::PolicyKind;
+use convgpu_scheduler::state::ResumeRule;
+use convgpu_sim_core::clock::VirtualClock;
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::{SimDuration, SimTime};
+use convgpu_sim_core::units::Bytes;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which stack the workers drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Straight into the service (no socket): scheduler-core cost only.
+    InProc,
+    /// Through a real UNIX socket speaking `codec`.
+    Socket(WireCodec),
+}
+
+impl Transport {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::InProc => "inproc",
+            Transport::Socket(WireCodec::Json) => "socket-json",
+            Transport::Socket(WireCodec::Binary) => "socket-binary",
+        }
+    }
+}
+
+/// One load-generation campaign (applied to each policy in turn).
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenConfig {
+    /// Containers driven through the full lifecycle.
+    pub containers: u32,
+    /// Concurrent worker threads (each owns one container at a time).
+    pub workers: u32,
+    /// Admission requests in the storm phase, per container.
+    pub rounds: u32,
+    /// Storm allocation size.
+    pub chunk: Bytes,
+    /// Per-container registration limit.
+    pub limit: Bytes,
+    /// GPU capacity under management.
+    pub capacity: Bytes,
+    /// Every Nth storm round issues a deliberately over-limit request
+    /// that the scheduler must reject instantly (0 = never).
+    pub reject_every: u32,
+    /// Wall microseconds each granted chunk is held before the next
+    /// round frees it (0 = release immediately). A non-zero hold makes
+    /// the hold window dominate the round, so workers *provably* overlap
+    /// — even a fully serializing scheduler cannot run a worker's
+    /// alloc while the others' sleeps release the CPU but keep their
+    /// memory — which makes contention deterministic rather than a
+    /// race-timing accident. Throughput campaigns keep it 0.
+    pub hold_us: u64,
+    /// In-process or socket transport.
+    pub transport: Transport,
+}
+
+/// The paper's 66 MiB per-pid context overhead, charged by the harness
+/// configuration so admission math matches the live stack.
+const CTX_OVERHEAD: Bytes = Bytes::mib(66);
+
+impl LoadgenConfig {
+    /// The standard campaign: thousands of containers, contended enough
+    /// that suspensions and redistribution run on the hot path. The
+    /// capacity is deliberately smaller than the paper's 5 GiB card:
+    /// a worker only holds its chunk for part of each round, so ~1/3 of
+    /// the workers hold concurrently, and 2 GiB keeps that steady state
+    /// over capacity — every policy's suspend/redistribute machinery is
+    /// exercised, not just the grant fast path.
+    pub fn standard() -> Self {
+        LoadgenConfig {
+            containers: 2000,
+            workers: 16,
+            rounds: 8,
+            chunk: Bytes::mib(384),
+            limit: Bytes::mib(512),
+            capacity: Bytes::gib(2),
+            reject_every: 4,
+            hold_us: 0,
+            transport: Transport::InProc,
+        }
+    }
+
+    /// A seconds-scale smoke campaign for CI and debug builds.
+    pub fn smoke() -> Self {
+        LoadgenConfig {
+            containers: 200,
+            ..LoadgenConfig::standard()
+        }
+    }
+
+    /// Admission decisions one container produces: the storm rounds plus
+    /// the churn-phase allocation by the second pid.
+    pub fn decisions_per_container(&self) -> u64 {
+        u64::from(self.rounds) + 1
+    }
+
+    /// Deliberate over-limit probes per container.
+    pub fn probes_per_container(&self) -> u64 {
+        u64::from(self.rounds.checked_div(self.reject_every).unwrap_or(0))
+    }
+}
+
+/// Measured outcome of one policy's campaign.
+#[derive(Clone, Debug)]
+pub struct PolicyRun {
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// Admission decisions delivered (granted + rejected).
+    pub decisions: u64,
+    /// Granted decisions.
+    pub granted: u64,
+    /// Rejected decisions.
+    pub rejected: u64,
+    /// Suspend episodes recorded on the scheduler's books.
+    pub suspensions: u64,
+    /// Wall-clock duration of the campaign, seconds.
+    pub elapsed_secs: f64,
+    /// `decisions / elapsed_secs` — the headline throughput number.
+    pub decisions_per_sec: f64,
+    /// Wall-clock admission latency (request → decision), one
+    /// observation per decision, including time parked while suspended.
+    pub admission: Histogram,
+}
+
+impl PolicyRun {
+    /// Admission-latency quantile in milliseconds (0 when empty).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.admission.quantile_ns(q).unwrap_or(0.0) / 1e6
+    }
+
+    /// Mean admission latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.admission.count() == 0 {
+            0.0
+        } else {
+            self.admission.sum_ns() as f64 / self.admission.count() as f64 / 1e6
+        }
+    }
+}
+
+/// A full campaign: one [`PolicyRun`] per policy.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// The configuration every policy ran under.
+    pub config: LoadgenConfig,
+    /// Per-policy results, in [`PolicyKind::ALL`] order.
+    pub runs: Vec<PolicyRun>,
+}
+
+impl LoadgenReport {
+    /// Aggregate throughput across policies: total decisions over total
+    /// wall time. This is the number the CI perf gate compares against
+    /// the committed baseline.
+    pub fn total_decisions_per_sec(&self) -> f64 {
+        let decisions: u64 = self.runs.iter().map(|r| r.decisions).sum();
+        let elapsed: f64 = self.runs.iter().map(|r| r.elapsed_secs).sum();
+        if elapsed > 0.0 {
+            decisions as f64 / elapsed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run the campaign for every policy in [`PolicyKind::ALL`].
+pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
+    let runs = PolicyKind::ALL
+        .into_iter()
+        .map(|policy| run_policy(cfg, policy))
+        .collect();
+    LoadgenReport { config: *cfg, runs }
+}
+
+/// Run one policy's campaign.
+///
+/// # Panics
+/// Panics on scheduler protocol violations or on configurations that
+/// would break the liveness argument in the module docs — a hung or
+/// invalid campaign must fail loudly, not publish numbers.
+pub fn run_policy(cfg: &LoadgenConfig, policy: PolicyKind) -> PolicyRun {
+    assert!(cfg.containers > 0 && cfg.workers > 0 && cfg.rounds > 0);
+    assert!(
+        cfg.chunk + CTX_OVERHEAD <= cfg.limit,
+        "storm chunk + ctx overhead must fit the limit (else storms reject)"
+    );
+    assert!(
+        cfg.limit <= cfg.capacity,
+        "limit must fit capacity (else registration refuses)"
+    );
+
+    let vclock = VirtualClock::new();
+    let dir = std::env::temp_dir().join(format!(
+        "convgpu-loadgen-{}-{}",
+        std::process::id(),
+        policy.label()
+    ));
+    std::fs::create_dir_all(&dir).expect("create loadgen dir");
+    let service = Arc::new(SchedulerService::new(
+        Scheduler::new(
+            SchedulerConfig {
+                capacity: cfg.capacity,
+                ctx_overhead: CTX_OVERHEAD,
+                charge_ctx_overhead: true,
+                resume_rule: ResumeRule::FullGuarantee,
+                default_limit: cfg.limit,
+            },
+            policy.build(0xC0DE),
+        ),
+        vclock.handle(),
+        dir.clone(),
+    ));
+    let server = match cfg.transport {
+        Transport::InProc => None,
+        Transport::Socket(_) => Some(
+            SocketServer::bind(
+                &dir.join("sched.sock"),
+                Arc::new(ServiceHandler::new(Arc::clone(&service))),
+            )
+            .expect("bind loadgen socket"),
+        ),
+    };
+
+    let next = AtomicU64::new(0);
+    let ticks = AtomicU64::new(1);
+    let started = Instant::now();
+    let mut merged = WorkerStats::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|_| {
+                let service = &service;
+                let server = &server;
+                let vclock = &vclock;
+                let next = &next;
+                let ticks = &ticks;
+                scope.spawn(move || {
+                    let endpoint: Arc<dyn SchedulerEndpoint> = match cfg.transport {
+                        Transport::InProc => Arc::new(InProcEndpoint::new(Arc::clone(service))),
+                        Transport::Socket(codec) => Arc::new(
+                            SchedulerClient::connect_with_codec(
+                                server
+                                    .as_ref()
+                                    .expect("socket transport has a server")
+                                    .path(),
+                                codec,
+                                None,
+                            )
+                            .expect("connect loadgen client"),
+                        ),
+                    };
+                    let mut stats = WorkerStats::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= u64::from(cfg.containers) {
+                            break;
+                        }
+                        drive_container(
+                            &*endpoint,
+                            cfg,
+                            ContainerId(idx + 1),
+                            vclock,
+                            ticks,
+                            &mut stats,
+                        );
+                    }
+                    stats
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge(h.join().expect("loadgen worker panicked"));
+        }
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let (suspensions, open) = service.with_scheduler(|s| {
+        let per = sched_metrics::collect(s.containers());
+        let open = per.iter().filter(|m| m.closed_at.is_none()).count();
+        (per.iter().map(|m| m.suspend_episodes).sum::<u64>(), open)
+    });
+    assert_eq!(open, 0, "every loadgen container must close");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let decisions = merged.granted + merged.rejected;
+    let expected = u64::from(cfg.containers) * cfg.decisions_per_container();
+    assert_eq!(
+        decisions, expected,
+        "decision count must be exact (liveness or protocol bug otherwise)"
+    );
+    PolicyRun {
+        policy,
+        decisions,
+        granted: merged.granted,
+        rejected: merged.rejected,
+        suspensions,
+        elapsed_secs,
+        decisions_per_sec: if elapsed_secs > 0.0 {
+            decisions as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        admission: merged.admission,
+    }
+}
+
+struct WorkerStats {
+    admission: Histogram,
+    granted: u64,
+    rejected: u64,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        WorkerStats {
+            admission: Histogram::new(),
+            granted: 0,
+            rejected: 0,
+        }
+    }
+
+    fn merge(&mut self, other: WorkerStats) {
+        self.admission.merge(&other.admission);
+        self.granted += other.granted;
+        self.rejected += other.rejected;
+    }
+
+    fn observe(&mut self, started: Instant, decision: AllocDecision) {
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.admission.observe_ns(ns);
+        match decision {
+            AllocDecision::Granted => self.granted += 1,
+            AllocDecision::Rejected => self.rejected += 1,
+        }
+    }
+}
+
+/// Advance the shared sim clock by one tick so scheduler timestamps
+/// (registration order, suspension age, recent use) stay distinct.
+fn tick(vclock: &VirtualClock, ticks: &AtomicU64) {
+    let n = ticks.fetch_add(1, Ordering::Relaxed);
+    vclock.advance_to(SimTime::ZERO + SimDuration::from_micros(n));
+}
+
+/// One container's full lifecycle, as the module docs describe.
+fn drive_container(
+    endpoint: &dyn SchedulerEndpoint,
+    cfg: &LoadgenConfig,
+    id: ContainerId,
+    vclock: &VirtualClock,
+    ticks: &AtomicU64,
+    stats: &mut WorkerStats,
+) {
+    tick(vclock, ticks);
+    endpoint.register(id, cfg.limit).expect("loadgen register");
+    let pid = 100_000 + id.as_u64();
+    let mut next_addr = id.as_u64() << 20;
+    let mut held: Option<u64> = None;
+
+    for round in 0..cfg.rounds {
+        // Free the previous hold before a request that could suspend:
+        // see the liveness argument in the module docs.
+        if let Some(addr) = held.take() {
+            tick(vclock, ticks);
+            endpoint.free(id, pid, addr).expect("loadgen free");
+        }
+        let probe = cfg.reject_every != 0 && round % cfg.reject_every == cfg.reject_every - 1;
+        let size = if probe {
+            cfg.limit + Bytes::new(1)
+        } else {
+            cfg.chunk
+        };
+        tick(vclock, ticks);
+        let t0 = Instant::now();
+        let decision = endpoint
+            .request_alloc(id, pid, size, ApiKind::Malloc)
+            .expect("loadgen alloc request");
+        stats.observe(t0, decision);
+        match decision {
+            AllocDecision::Granted => {
+                assert!(!probe, "an over-limit probe can never be granted");
+                let addr = next_addr;
+                next_addr += 1;
+                endpoint
+                    .alloc_done(id, pid, addr, cfg.chunk)
+                    .expect("loadgen alloc_done");
+                held = Some(addr);
+                if cfg.hold_us > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(cfg.hold_us));
+                }
+            }
+            AllocDecision::Rejected => {
+                assert!(probe, "an in-limit storm request can never be rejected");
+            }
+        }
+    }
+
+    // Churn: the storm pid dies (releasing its chunk and ctx overhead),
+    // a fresh pid performs one more admission, then the container closes.
+    tick(vclock, ticks);
+    endpoint
+        .process_exit(id, pid)
+        .expect("loadgen process_exit");
+    let pid2 = pid + 1_000_000;
+    tick(vclock, ticks);
+    let t0 = Instant::now();
+    let decision = endpoint
+        .request_alloc(id, pid2, cfg.chunk, ApiKind::Malloc)
+        .expect("loadgen churn alloc");
+    stats.observe(t0, decision);
+    if decision == AllocDecision::Granted {
+        endpoint
+            .alloc_done(id, pid2, next_addr, cfg.chunk)
+            .expect("loadgen churn alloc_done");
+    }
+    tick(vclock, ticks);
+    endpoint
+        .container_close(id)
+        .expect("loadgen container_close");
+}
+
+/// Render the machine-readable report (the `BENCH_3.json` schema).
+pub fn render_json(report: &LoadgenReport) -> String {
+    let cfg = &report.config;
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"loadgen\",\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"containers\": {}, \"workers\": {}, \"rounds\": {}, \
+         \"chunk_mib\": {}, \"limit_mib\": {}, \"capacity_mib\": {}, \
+         \"reject_every\": {}, \"hold_us\": {}, \"transport\": \"{}\"}},\n",
+        cfg.containers,
+        cfg.workers,
+        cfg.rounds,
+        cfg.chunk.as_mib(),
+        cfg.limit.as_mib(),
+        cfg.capacity.as_mib(),
+        cfg.reject_every,
+        cfg.hold_us,
+        cfg.transport.label(),
+    ));
+    out.push_str("  \"policies\": [\n");
+    for (i, run) in report.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"decisions\": {}, \"granted\": {}, \
+             \"rejected\": {}, \"suspensions\": {}, \"elapsed_secs\": {:.6}, \
+             \"decisions_per_sec\": {:.1}, \"admission_ms\": \
+             {{\"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"mean\": {:.6}, \"count\": {}}}}}{}\n",
+            run.policy.label(),
+            run.decisions,
+            run.granted,
+            run.rejected,
+            run.suspensions,
+            run.elapsed_secs,
+            run.decisions_per_sec,
+            run.quantile_ms(0.50),
+            run.quantile_ms(0.95),
+            run.quantile_ms(0.99),
+            run.mean_ms(),
+            run.admission.count(),
+            if i + 1 == report.runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"total_decisions_per_sec\": {:.1}\n}}\n",
+        report.total_decisions_per_sec()
+    ));
+    out
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BaselineVerdict {
+    /// Throughput is within the allowed envelope of the baseline.
+    Pass {
+        /// Measured aggregate decisions/sec.
+        measured: f64,
+        /// Committed baseline decisions/sec.
+        baseline: f64,
+    },
+    /// Throughput regressed past the threshold.
+    Regressed {
+        /// Measured aggregate decisions/sec.
+        measured: f64,
+        /// Committed baseline decisions/sec.
+        baseline: f64,
+        /// The floor the measurement had to clear.
+        floor: f64,
+    },
+}
+
+/// Fraction of the baseline the measured throughput must retain (the CI
+/// gate fails on a >20 % regression).
+pub const BASELINE_RETENTION: f64 = 0.80;
+
+/// Compare `report` against the committed baseline file
+/// (`{"total_decisions_per_sec": N}` plus free-form context fields).
+pub fn check_baseline(
+    report: &LoadgenReport,
+    baseline_path: &Path,
+) -> Result<BaselineVerdict, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let json = convgpu_ipc::json::parse(&text).map_err(|e| {
+        format!(
+            "baseline {} is not valid JSON: {e}",
+            baseline_path.display()
+        )
+    })?;
+    let baseline = match json.get("total_decisions_per_sec") {
+        Some(convgpu_ipc::json::Json::U64(n)) => *n as f64,
+        Some(convgpu_ipc::json::Json::F64(f)) => *f,
+        _ => {
+            return Err(format!(
+                "baseline {} lacks a numeric total_decisions_per_sec",
+                baseline_path.display()
+            ))
+        }
+    };
+    let measured = report.total_decisions_per_sec();
+    let floor = baseline * BASELINE_RETENTION;
+    if measured >= floor {
+        Ok(BaselineVerdict::Pass { measured, baseline })
+    } else {
+        Ok(BaselineVerdict::Regressed {
+            measured,
+            baseline,
+            floor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(transport: Transport) -> LoadgenConfig {
+        LoadgenConfig {
+            containers: 48,
+            workers: 4,
+            rounds: 4,
+            chunk: Bytes::mib(384),
+            limit: Bytes::mib(512),
+            capacity: Bytes::gib(5),
+            reject_every: 4,
+            hold_us: 0,
+            transport,
+        }
+    }
+
+    #[test]
+    fn decision_counts_are_exact_inproc() {
+        let cfg = tiny(Transport::InProc);
+        let run = run_policy(&cfg, PolicyKind::Fifo);
+        assert_eq!(run.decisions, 48 * 5);
+        // One over-limit probe per container (rounds/reject_every = 1).
+        assert_eq!(run.rejected, 48);
+        assert_eq!(run.granted, 48 * 4);
+        assert_eq!(run.admission.count(), run.decisions);
+        assert!(run.elapsed_secs > 0.0);
+        assert!(run.decisions_per_sec > 0.0);
+    }
+
+    #[test]
+    fn contended_storm_suspends_and_still_completes() {
+        // 4 workers × (384 MiB chunk + 66 MiB ctx) cannot fit 1200 MiB,
+        // and the 200 µs hold keeps chunks resident across the other
+        // workers' requests, so suspensions must happen — and the storm
+        // must still finish.
+        let cfg = LoadgenConfig {
+            capacity: Bytes::mib(1200),
+            hold_us: 200,
+            ..tiny(Transport::InProc)
+        };
+        for policy in PolicyKind::ALL {
+            let run = run_policy(&cfg, policy);
+            assert!(
+                run.suspensions > 0,
+                "{policy:?}: no contention at 1200 MiB is implausible"
+            );
+            assert_eq!(run.decisions, 48 * 5, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn socket_transport_matches_inproc_counts() {
+        for codec in [WireCodec::Json, WireCodec::Binary] {
+            let cfg = LoadgenConfig {
+                containers: 24,
+                workers: 3,
+                ..tiny(Transport::Socket(codec))
+            };
+            let run = run_policy(&cfg, PolicyKind::BestFit);
+            assert_eq!(run.decisions, 24 * 5, "{codec:?}");
+            assert_eq!(run.rejected, 24, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let cfg = LoadgenConfig {
+            containers: 12,
+            workers: 2,
+            ..tiny(Transport::InProc)
+        };
+        let report = run_loadgen(&cfg);
+        assert_eq!(report.runs.len(), PolicyKind::ALL.len());
+        let text = render_json(&report);
+        let json = convgpu_ipc::json::parse(&text).expect("BENCH_3.json must parse");
+        let policies = match json.get("policies") {
+            Some(convgpu_ipc::json::Json::Arr(a)) => a,
+            other => panic!("policies must be an array, got {other:?}"),
+        };
+        assert_eq!(policies.len(), 4);
+        for p in policies {
+            assert!(p.get("decisions_per_sec").is_some());
+            let adm = p.get("admission_ms").expect("admission_ms object");
+            for q in ["p50", "p95", "p99", "mean", "count"] {
+                assert!(adm.get(q).is_some(), "missing {q}");
+            }
+        }
+        assert!(json.get("total_decisions_per_sec").is_some());
+    }
+
+    #[test]
+    fn baseline_gate_passes_and_fails_correctly() {
+        let cfg = LoadgenConfig {
+            containers: 12,
+            workers: 2,
+            ..tiny(Transport::InProc)
+        };
+        let report = run_loadgen(&cfg);
+        let dir = std::env::temp_dir().join(format!("convgpu-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+
+        std::fs::write(&path, "{\"total_decisions_per_sec\": 1}").unwrap();
+        assert!(matches!(
+            check_baseline(&report, &path).unwrap(),
+            BaselineVerdict::Pass { .. }
+        ));
+
+        std::fs::write(&path, "{\"total_decisions_per_sec\": 100000000000}").unwrap();
+        assert!(matches!(
+            check_baseline(&report, &path).unwrap(),
+            BaselineVerdict::Regressed { .. }
+        ));
+
+        std::fs::write(&path, "not json").unwrap();
+        assert!(check_baseline(&report, &path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -134,27 +134,39 @@ impl SchedulerService {
         f(&self.state.lock())
     }
 
-    /// Deliver resume actions to their parked waiters.
+    /// Deliver resume actions to their parked waiters. Socket replies are
+    /// batched: one release can resume many suspended allocations, and
+    /// `Reply::send_batch` coalesces their frames into a single write per
+    /// connection instead of a lock/write/flush cycle per wakeup.
     fn dispatch(&self, actions: Vec<ResumeAction>) {
         if actions.is_empty() {
             return;
         }
-        let mut waiters = self.waiters.lock();
-        for action in actions {
-            match waiters.remove(&action.ticket) {
-                Some(Waiter::Channel(tx)) => {
-                    let _ = tx.send(action.decision);
+        let mut socket_batch: Vec<(Reply, Response)> = Vec::new();
+        {
+            let mut waiters = self.waiters.lock();
+            for action in actions {
+                match waiters.remove(&action.ticket) {
+                    Some(Waiter::Channel(tx)) => {
+                        let _ = tx.send(action.decision);
+                    }
+                    Some(Waiter::Socket(reply)) => {
+                        socket_batch.push((
+                            reply,
+                            Response::Alloc {
+                                decision: action.decision,
+                            },
+                        ));
+                    }
+                    // Waiter already gone (connection died): the scheduler
+                    // state was cleaned by process_exit/container_close.
+                    None => {}
                 }
-                Some(Waiter::Socket(reply)) => {
-                    reply.send(Response::Alloc {
-                        decision: action.decision,
-                    });
-                }
-                // Waiter already gone (connection died): the scheduler
-                // state was cleaned by process_exit/container_close.
-                None => {}
             }
         }
+        // Write outside the waiter lock: a slow client must not stall
+        // other dispatchers.
+        Reply::send_batch(socket_batch);
     }
 
     /// Register a container with its limit.

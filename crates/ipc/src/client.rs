@@ -7,7 +7,7 @@
 //! the paper's wrapper blocking in `read(2)` until the scheduler decides
 //! to answer.
 
-use crate::codec::{read_json, write_json};
+use crate::binary::{encode_with, read_auto, WireCodec};
 use crate::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
 use crate::message::{AllocDecision, ApiKind, Envelope, Request, Response};
 use convgpu_obs::Registry;
@@ -16,7 +16,7 @@ use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::units::Bytes;
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +38,7 @@ struct ClientShared {
     writer: Mutex<UnixStream>,
     pending: Mutex<Option<HashMap<u64, SyncSender<Response>>>>,
     next_id: AtomicU64,
+    codec: WireCodec,
     obs: Option<ClientObs>,
 }
 
@@ -68,12 +69,25 @@ impl SchedulerClient {
     /// Like [`SchedulerClient::connect`], but every round-trip latency is
     /// recorded into `obs` under `convgpu_ipc_client_rtt_seconds{type}`.
     pub fn connect_with_obs(path: &Path, obs: Option<ClientObs>) -> IpcResult<SchedulerClient> {
+        SchedulerClient::connect_with_codec(path, WireCodec::Json, obs)
+    }
+
+    /// Connect speaking `codec`. No handshake: the server detects the
+    /// codec from each frame's first byte and answers in kind, so a
+    /// binary client and a JSON CLI can share one socket. JSON remains
+    /// the default everywhere ([`SchedulerClient::connect`]).
+    pub fn connect_with_codec(
+        path: &Path,
+        codec: WireCodec,
+        obs: Option<ClientObs>,
+    ) -> IpcResult<SchedulerClient> {
         let stream = UnixStream::connect(path)?;
         let reader_stream = stream.try_clone()?;
         let shared = Arc::new(ClientShared {
             writer: Mutex::new(stream),
             pending: Mutex::new(Some(HashMap::new())),
             next_id: AtomicU64::new(1),
+            codec,
             obs,
         });
         let reader_shared = Arc::clone(&shared);
@@ -100,9 +114,10 @@ impl SchedulerClient {
                 None => return Err(IpcError::Disconnected),
             }
         }
+        let frame = encode_with(&Envelope { id, body: req }, self.shared.codec);
         let write_result = {
             let mut w = self.shared.writer.lock();
-            write_json(&mut *w, &Envelope { id, body: req })
+            w.write_all(&frame).and_then(|()| w.flush())
         };
         if let Err(e) = write_result {
             if let Some(map) = self.shared.pending.lock().as_mut() {
@@ -143,8 +158,9 @@ impl SchedulerClient {
 
 fn reader_loop(stream: UnixStream, shared: Arc<ClientShared>) {
     let mut reader = BufReader::new(stream);
-    // Errors and EOF both end the connection.
-    while let Ok(Some(env)) = read_json::<Envelope<Response>, _>(&mut reader) {
+    // Errors and EOF both end the connection. Replies arrive in whatever
+    // codec each request used; auto-detect keeps the loop codec-agnostic.
+    while let Ok(Some((env, _codec))) = read_auto::<Envelope<Response>, _>(&mut reader) {
         let tx = shared
             .pending
             .lock()
@@ -335,6 +351,34 @@ mod tests {
             (Bytes::mib(10), Bytes::mib(512))
         );
         client.process_exit(ContainerId(1), 1).unwrap();
+        client.container_close(ContainerId(1)).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_codec_runs_the_full_endpoint() {
+        let path = temp_sock("binroundtrip");
+        let server = SocketServer::bind(&path, Arc::new(MiniScheduler)).unwrap();
+        let client = SchedulerClient::connect_with_codec(&path, WireCodec::Binary, None).unwrap();
+        client.ping().unwrap();
+        client.register(ContainerId(1), Bytes::mib(512)).unwrap();
+        assert_eq!(
+            client
+                .request_alloc(ContainerId(1), 1, Bytes::mib(10), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        assert_eq!(
+            client.mem_info(ContainerId(1), 1).unwrap(),
+            (Bytes::mib(10), Bytes::mib(512))
+        );
+        // Deferred (suspended) replies come back binary too.
+        assert_eq!(
+            client
+                .request_alloc(ContainerId(1), 1, Bytes::mib(500), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
         client.container_close(ContainerId(1)).unwrap();
         server.shutdown();
     }

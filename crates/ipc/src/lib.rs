@@ -13,6 +13,10 @@
 //!   sealed build environment has no serde), plus the [`json::ToJson`] /
 //!   [`json::FromJson`] traits the schema implements.
 //! * [`codec`] — newline-delimited JSON framing with a line-length guard.
+//! * [`binary`] — length-prefixed compact binary framing, negotiated per
+//!   connection by the first byte of each frame (JSON lines start with
+//!   `{`; binary frames with a magic byte). JSON stays the default — the
+//!   binary codec is the hot-path option for allocation storms.
 //! * [`endpoint`] — [`endpoint::SchedulerEndpoint`], the synchronous
 //!   interface the wrapper module calls. A *suspended* allocation (the
 //!   scheduler withholding its reply, §III-D) surfaces here as a blocking
@@ -26,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod binary;
 pub mod client;
 pub mod codec;
 pub mod endpoint;
@@ -33,6 +38,7 @@ pub mod json;
 pub mod message;
 pub mod server;
 
+pub use binary::{read_auto, read_binary, write_binary, WireCodec, MAX_FRAME_BYTES};
 pub use client::{ClientObs, SchedulerClient};
 pub use codec::{read_json, write_json, MAX_LINE_BYTES};
 pub use endpoint::{IpcError, IpcResult, SchedulerEndpoint};

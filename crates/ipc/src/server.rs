@@ -7,14 +7,14 @@
 //! can stash it in the suspended-container queue and fire it minutes later
 //! from whatever thread processes the memory release.
 
-use crate::codec::{read_json, write_json};
+use crate::binary::{encode_with, read_auto, WireCodec};
 use crate::message::{Envelope, Request, Response};
 use convgpu_obs::Registry;
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::time::SimTime;
 use std::collections::HashMap;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -58,10 +58,13 @@ struct ReplyObs {
     received_at: SimTime,
 }
 
-/// One-shot deferred reply handle.
+/// One-shot deferred reply handle. Remembers which codec its request
+/// arrived in, so even a reply fired minutes later (a suspension ending)
+/// answers in the format the client is reading.
 pub struct Reply {
     writer: Arc<Mutex<UnixStream>>,
     id: u64,
+    codec: WireCodec,
     obs: Option<ReplyObs>,
 }
 
@@ -71,17 +74,79 @@ impl Reply {
     /// disconnect path reclaims its state instead.
     pub fn send(self, resp: Response) {
         let write_started = self.obs.as_ref().map(|o| o.clock.now());
+        let frame = encode_with(
+            &Envelope {
+                id: self.id,
+                body: resp,
+            },
+            self.codec,
+        );
         {
             let mut w = self.writer.lock();
-            let _ = write_json(
-                &mut *w,
+            let _ = w.write_all(&frame).and_then(|()| w.flush());
+        }
+        Self::observe_sent(&self.obs, write_started);
+    }
+
+    /// Send many responses with one syscall per connection: frames are
+    /// encoded up front (each in its reply's own codec), grouped by
+    /// destination stream, and each group is written with a single
+    /// `write_all`. This is the reply-coalescing path `dispatch` uses when
+    /// one release resumes a burst of suspended allocations — N wakeups
+    /// previously cost N lock/write/flush cycles per socket.
+    pub fn send_batch(batch: Vec<(Reply, Response)>) {
+        // Tiny batches (the common case) go through the simple path.
+        if batch.len() <= 1 {
+            for (reply, resp) in batch {
+                reply.send(resp);
+            }
+            return;
+        }
+        // One entry per destination connection: (stream, coalesced
+        // frames, per-reply observability records).
+        type Group = (
+            Arc<Mutex<UnixStream>>,
+            Vec<u8>,
+            Vec<(Option<ReplyObs>, Option<SimTime>)>,
+        );
+        let mut groups: Vec<Group> = Vec::new();
+        for (reply, resp) in batch {
+            let write_started = reply.obs.as_ref().map(|o| o.clock.now());
+            let frame = encode_with(
                 &Envelope {
-                    id: self.id,
+                    id: reply.id,
                     body: resp,
                 },
+                reply.codec,
             );
+            match groups
+                .iter_mut()
+                .find(|(w, _, _)| Arc::ptr_eq(w, &reply.writer))
+            {
+                Some((_, buf, obs)) => {
+                    buf.extend_from_slice(&frame);
+                    obs.push((reply.obs, write_started));
+                }
+                None => groups.push((
+                    Arc::clone(&reply.writer),
+                    frame,
+                    vec![(reply.obs, write_started)],
+                )),
+            }
         }
-        if let (Some(obs), Some(t0)) = (&self.obs, write_started) {
+        for (writer, buf, obs_list) in groups {
+            {
+                let mut w = writer.lock();
+                let _ = w.write_all(&buf).and_then(|()| w.flush());
+            }
+            for (obs, write_started) in obs_list {
+                Self::observe_sent(&obs, write_started);
+            }
+        }
+    }
+
+    fn observe_sent(obs: &Option<ReplyObs>, write_started: Option<SimTime>) {
+        if let (Some(obs), Some(t0)) = (obs, write_started) {
             let now = obs.clock.now();
             let labels = [("type", obs.kind)];
             obs.registry.observe(
@@ -225,10 +290,12 @@ fn reader_loop(
     shared: &ServerShared,
 ) {
     let mut reader = BufReader::new(stream);
-    // Errors (malformed input) and EOF both end the connection.
+    // Errors (malformed input) and EOF both end the connection. The codec
+    // is detected per frame, and the reply handle carries it so this
+    // request's answer goes back in the same format.
     loop {
-        match read_json::<Envelope<Request>, _>(&mut reader) {
-            Ok(Some(env)) => {
+        match read_auto::<Envelope<Request>, _>(&mut reader) {
+            Ok(Some((env, codec))) => {
                 let kind = env.body.kind();
                 let received_at = shared.obs.as_ref().map(|o| {
                     o.registry
@@ -238,6 +305,7 @@ fn reader_loop(
                 let reply = Reply {
                     writer: Arc::clone(&writer),
                     id: env.id,
+                    codec,
                     obs: shared.obs.as_ref().zip(received_at).map(|(o, t)| ReplyObs {
                         registry: Arc::clone(&o.registry),
                         clock: o.clock.clone(),
@@ -279,10 +347,11 @@ fn debug_log(msg: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binary::{read_binary, write_binary};
+    use crate::codec::{read_json, write_json};
     use crate::message::AllocDecision;
     use convgpu_sim_core::ids::ContainerId;
     use convgpu_sim_core::units::Bytes;
-    use std::io::Write;
     use std::sync::atomic::AtomicUsize;
 
     fn temp_sock(name: &str) -> PathBuf {
@@ -368,6 +437,40 @@ mod tests {
         assert_eq!(handler.disconnects.load(Ordering::SeqCst), 1);
         server.shutdown();
         assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn replies_follow_each_requests_codec() {
+        let path = temp_sock("codecs");
+        let handler = Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        });
+        let server = SocketServer::bind(&path, handler).unwrap();
+        let mut stream = UnixStream::connect(&path).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        // A binary request gets a binary reply…
+        write_binary(
+            &mut stream,
+            &Envelope {
+                id: 1,
+                body: Request::Ping,
+            },
+        )
+        .unwrap();
+        let resp: Envelope<Response> = read_binary(&mut r).unwrap().unwrap();
+        assert_eq!((resp.id, resp.body), (1, Response::Pong));
+        // …and a JSON request on the very same connection a JSON reply.
+        write_json(
+            &mut stream,
+            &Envelope {
+                id: 2,
+                body: Request::Ping,
+            },
+        )
+        .unwrap();
+        let resp: Envelope<Response> = read_json(&mut r).unwrap().unwrap();
+        assert_eq!((resp.id, resp.body), (2, Response::Pong));
+        server.shutdown();
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //! 5. **Suspension consistency** — a non-closed container is in state
 //!    `Suspended` iff it has parked requests, so no wakeup can be lost by
 //!    state skew between `pending` and `state`.
+//! 6. **Index coherence** — the incrementally maintained aggregates
+//!    (`total_used`, the suspended-candidate index) always agree with a
+//!    full recomputation from the record table, so the O(1)/indexed hot
+//!    paths can never drift from the ground truth they replaced.
 
 use crate::state::ContainerState;
 use convgpu_sim_core::ids::ContainerId;
@@ -114,6 +118,22 @@ pub enum InvariantViolation {
         /// Number of parked requests.
         pending: usize,
     },
+    /// Per-container usages no longer sum to the tracked total.
+    UsedSumMismatch {
+        /// Sum over containers.
+        sum: Bytes,
+        /// Tracked `total_used`.
+        tracked: Bytes,
+    },
+    /// The suspended-candidate index disagrees with the records: an entry
+    /// without a matching suspended container, or a suspended container
+    /// missing its entry.
+    SuspendIndexMismatch {
+        /// Entries in the index.
+        indexed: usize,
+        /// Suspended containers in the record table.
+        suspended: usize,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -175,6 +195,15 @@ impl fmt::Display for InvariantViolation {
                 f,
                 "{container}: state {state:?} inconsistent with {pending} pending request(s)"
             ),
+            InvariantViolation::UsedSumMismatch { sum, tracked } => {
+                write!(f, "used sum {sum} != tracked total {tracked}")
+            }
+            InvariantViolation::SuspendIndexMismatch { indexed, suspended } => {
+                write!(
+                    f,
+                    "suspend index has {indexed} entr(ies) but {suspended} container(s) are suspended"
+                )
+            }
         }
     }
 }

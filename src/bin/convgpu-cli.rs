@@ -20,6 +20,11 @@
 //!   the Prometheus text exposition (what `QueryMetrics` returns).
 //! * `trace [--policy=P] [--out=FILE]` — run the same scenario and write
 //!   a Chrome-trace JSON timeline (load in `chrome://tracing`).
+//! * `loadgen [--containers=N] [--workers=K] [--quick]
+//!   [--codec=inproc|json|binary] [--out=FILE]` — the hot-path
+//!   throughput campaign: drive thousands of containers through the live
+//!   scheduler service under every policy, in-process or over a real
+//!   socket in either wire codec, and optionally write `BENCH_3.json`.
 
 use convgpu::gpu::GpuProgram;
 use convgpu::middleware::{ConVGpu, ConVGpuConfig, RunCommand};
@@ -35,7 +40,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: convgpu-cli <run|burst|info|metrics|trace> [options]\n\
+        "usage: convgpu-cli <run|burst|info|metrics|trace|loadgen> [options]\n\
          \n\
          run     [--nvidia-memory=<size>] [--policy=<fifo|bf|ru|rand>]\n\
                  [--workload=<sample:TYPE|mnist[:STEPS]|pipeline[:CHUNKS]|inference[:REQS]>]\n\
@@ -43,7 +48,9 @@ fn usage() -> ExitCode {
          burst   [--containers=N] [--policy=P] [--seed=S]\n\
          info\n\
          metrics [--policy=P]\n\
-         trace   [--policy=P] [--out=FILE]"
+         trace   [--policy=P] [--out=FILE]\n\
+         loadgen [--containers=N] [--workers=K] [--quick]\n\
+                 [--codec=inproc|json|binary] [--out=FILE]"
     );
     ExitCode::from(2)
 }
@@ -395,6 +402,70 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    use convgpu::bench::loadgen::{render_json, run_loadgen, LoadgenConfig, Transport};
+    use convgpu::ipc::binary::WireCodec;
+    let mut cfg = LoadgenConfig::standard();
+    let mut out: Option<String> = None;
+    for a in args {
+        if a == "--quick" {
+            cfg = LoadgenConfig {
+                transport: cfg.transport,
+                ..LoadgenConfig::smoke()
+            };
+        } else if let Some(v) = a.strip_prefix("--containers=") {
+            match v.parse() {
+                Ok(n) => cfg.containers = n,
+                Err(_) => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--workers=") {
+            match v.parse() {
+                Ok(n) => cfg.workers = n,
+                Err(_) => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--codec=") {
+            cfg.transport = match v {
+                "inproc" => Transport::InProc,
+                "json" => Transport::Socket(WireCodec::Json),
+                "binary" => Transport::Socket(WireCodec::Binary),
+                _ => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out = Some(v.to_string());
+        } else {
+            return usage();
+        }
+    }
+    println!(
+        "loadgen: {} containers x {} workers, transport {}",
+        cfg.containers,
+        cfg.workers,
+        cfg.transport.label()
+    );
+    let report = run_loadgen(&cfg);
+    for run in &report.runs {
+        println!(
+            "  {:<4} {:>8.0} decisions/s | p50 {:.4} ms, p95 {:.4} ms, p99 {:.4} ms | {} suspensions",
+            run.policy.label(),
+            run.decisions_per_sec,
+            run.quantile_ms(0.50),
+            run.quantile_ms(0.95),
+            run.quantile_ms(0.99),
+            run.suspensions,
+        );
+    }
+    println!("total: {:.0} decisions/s", report.total_decisions_per_sec());
+    if let Some(path) = out {
+        let text = render_json(&report);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} bytes)", text.len());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -403,6 +474,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         _ => usage(),
     }
 }

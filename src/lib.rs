@@ -43,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use convgpu_bench as bench;
 pub use convgpu_container_rt as container;
 pub use convgpu_core as middleware;
 pub use convgpu_gpu_sim as gpu;
