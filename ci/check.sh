@@ -7,8 +7,9 @@
 #   QUICK=1 ./ci/check.sh  # smaller model-check sweep for fast iteration
 #
 # Knobs:
-#   SKIP_PERF=1     skip the loadgen perf gate (e.g. on loaded machines)
-#   ARTIFACT_DIR=d  keep artifacts (chrome trace, BENCH_3.json) under d
+#   SKIP_PERF=1     skip the loadgen perf gates (e.g. on loaded machines)
+#   ARTIFACT_DIR=d  keep artifacts (chrome trace, BENCH_3.json,
+#                   BENCH_4.json) under d
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,7 +50,9 @@ grep -q '"ph"' "$artifact" || { echo "trace artifact has no events: $artifact"; 
 step "convgpu-lint"
 cargo run --offline -q --bin convgpu-lint
 
-step "bounded model check"
+step "bounded model check (single-GPU + multi-GPU universes)"
+# Phase 3 of the binary exhaustively checks the 2-device x 3-container
+# multi-GPU universe for every policy x placement combination.
 if [[ "${QUICK:-0}" == "1" ]]; then
   cargo run --offline -q --release -p convgpu-audit --bin convgpu-audit -- --quick
 else
@@ -68,6 +71,19 @@ else
     perf_args+=(--quick)
   fi
   cargo run --offline -q --release -p convgpu-bench --bin loadgen -- "${perf_args[@]}"
+fi
+
+step "perf gate (sharded loadgen -> BENCH_4.json)"
+if [[ "${SKIP_PERF:-0}" == "1" ]]; then
+  echo "skipped (SKIP_PERF=1)"
+else
+  # Same storm against the multi-GPU service, swept over all three
+  # placement policies; gates on sharded_total_decisions_per_sec.
+  sharded_args=(--sharded --out="$ARTIFACT_DIR/BENCH_4.json" --baseline=ci/perf_baseline.json)
+  if [[ "${QUICK:-0}" == "1" ]]; then
+    sharded_args+=(--quick)
+  fi
+  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- "${sharded_args[@]}"
 fi
 
 if [[ "$keep_artifacts" == "1" ]]; then

@@ -9,6 +9,10 @@
 //!   invariant oracle ([`Scheduler::check_invariants`]), the paper's
 //!   §III-E deadlock-freedom claim, and wakeup consistency after every
 //!   transition.
+//! * [`multi`] — the same exhaustive exploration for the **multi-GPU**
+//!   scheduler: per-device invariants, cross-device budget isolation,
+//!   per-device deadlock-freedom, and wakeup consistency under the
+//!   device ticket tagging.
 //! * [`naive`] — the uncoordinated-sharing baseline the paper argues
 //!   against, plus a breadth-first search for its **minimal** deadlock
 //!   trace: the negative witness that makes the positive proof above
@@ -33,8 +37,10 @@
 #![forbid(unsafe_code)]
 
 pub mod model;
+pub mod multi;
 pub mod naive;
 pub mod prop;
 
 pub use model::{CheckOutcome, Event, ExploreStats, Failure, ModelConfig, SearchMode};
+pub use multi::MultiModelConfig;
 pub use naive::{find_deadlock, NaiveConfig, NaiveScheduler, NaiveWitness};

@@ -578,8 +578,9 @@ fn check_terminal(n: &Node) -> Result<(), Failure> {
 }
 
 /// 128-bit digest of the canonical state vector (two independent
-/// FNV-1a-style folds over the same words).
-fn digest(words: &[u64]) -> (u64, u64) {
+/// FNV-1a-style folds over the same words). Shared with the multi-GPU
+/// checker ([`crate::multi`]).
+pub(crate) fn digest(words: &[u64]) -> (u64, u64) {
     let mut a: u64 = 0xcbf29ce484222325;
     let mut b: u64 = 0x9e3779b97f4a7c15;
     for &w in words {

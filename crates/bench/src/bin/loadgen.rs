@@ -2,19 +2,24 @@
 //!
 //! ```text
 //! cargo run --release -p convgpu-bench --bin loadgen -- \
+//!     [--sharded] [--devices=N] \
 //!     [--containers=N] [--workers=K] [--rounds=R] [--quick] \
 //!     [--transport=inproc|socket-json|socket-binary] \
 //!     [--out=BENCH_3.json] [--baseline=ci/perf_baseline.json]
 //! ```
 //!
-//! Runs the [`convgpu_bench::loadgen`] campaign for all four policies,
-//! prints a summary table, writes the machine-readable report to
-//! `--out`, and — when `--baseline` is given — exits non-zero if the
-//! aggregate throughput regressed more than the allowed envelope
-//! ([`convgpu_bench::loadgen::BASELINE_RETENTION`]).
+//! Runs the [`convgpu_bench::loadgen`] campaign for all four policies
+//! (or, with `--sharded`, the multi-GPU campaign for all three
+//! placement policies, writing the `BENCH_4.json` schema), prints a
+//! summary table, writes the machine-readable report to `--out`, and —
+//! when `--baseline` is given — exits non-zero if the aggregate
+//! throughput regressed more than the allowed envelope
+//! ([`convgpu_bench::loadgen::BASELINE_RETENTION`]). The sharded gate
+//! reads the baseline's `sharded_total_decisions_per_sec` field.
 
 use convgpu_bench::loadgen::{
-    check_baseline, render_json, run_loadgen, BaselineVerdict, LoadgenConfig, Transport,
+    check_baseline, check_sharded_baseline, render_json, render_sharded_json, run_loadgen,
+    run_sharded, BaselineVerdict, LoadgenConfig, ShardedConfig, Transport,
 };
 use convgpu_bench::report::format_table;
 use convgpu_ipc::binary::WireCodec;
@@ -23,23 +28,127 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: loadgen [--containers=N] [--workers=K] [--rounds=R] [--quick]\n\
+        "usage: loadgen [--sharded] [--devices=N]\n\
+         \x20              [--containers=N] [--workers=K] [--rounds=R] [--quick]\n\
          \x20              [--transport=inproc|socket-json|socket-binary]\n\
          \x20              [--out=FILE] [--baseline=FILE]"
     );
     ExitCode::from(2)
 }
 
+/// Report and gate one sharded campaign.
+fn run_sharded_campaign(
+    cfg: &ShardedConfig,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+) -> ExitCode {
+    println!(
+        "loadgen (sharded): {} containers x {} workers, {} devices x {} MiB, \
+         policy {}, transport {}",
+        cfg.base.containers,
+        cfg.base.workers,
+        cfg.devices,
+        cfg.base.capacity.as_mib(),
+        cfg.policy.label(),
+        cfg.base.transport.label()
+    );
+    let report = run_sharded(cfg);
+
+    let table = format_table(
+        &[
+            "placement".into(),
+            "decisions".into(),
+            "suspensions".into(),
+            "homes/device".into(),
+            "decisions/s".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+        ],
+        &report
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.placement.label().into(),
+                    r.decisions.to_string(),
+                    r.suspensions.to_string(),
+                    r.containers_per_device
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                    format!("{:.0}", r.decisions_per_sec),
+                    format!("{:.4}", r.quantile_ms(0.50)),
+                    format!("{:.4}", r.quantile_ms(0.95)),
+                    format!("{:.4}", r.quantile_ms(0.99)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!(
+        "PERF loadgen sharded_total_decisions_per_sec={:.0} devices={} transport={}",
+        report.sharded_total_decisions_per_sec(),
+        cfg.devices,
+        cfg.base.transport.label()
+    );
+
+    if let Some(path) = out {
+        let text = render_sharded_json(&report);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+
+    if let Some(path) = baseline {
+        match check_sharded_baseline(&report, &path) {
+            Ok(BaselineVerdict::Pass { measured, baseline }) => {
+                println!("perf gate: PASS — {measured:.0} decisions/s vs baseline {baseline:.0}");
+            }
+            Ok(BaselineVerdict::Regressed {
+                measured,
+                baseline,
+                floor,
+            }) => {
+                eprintln!(
+                    "perf gate: FAIL — {measured:.0} decisions/s is below the floor \
+                     {floor:.0} (baseline {baseline:.0}, >20% regression)"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut cfg = LoadgenConfig::standard();
+    let mut sharded = false;
+    let mut devices: u32 = ShardedConfig::standard().devices;
+    let mut quick = false;
     let mut out: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     for a in std::env::args().skip(1) {
         if a == "--quick" {
+            quick = true;
             cfg = LoadgenConfig {
                 transport: cfg.transport,
                 ..LoadgenConfig::smoke()
             };
+        } else if a == "--sharded" {
+            sharded = true;
+        } else if let Some(v) = a.strip_prefix("--devices=") {
+            match v.parse() {
+                Ok(n) if n > 0 => devices = n,
+                _ => return usage(),
+            }
         } else if let Some(v) = a.strip_prefix("--containers=") {
             match v.parse() {
                 Ok(n) => cfg.containers = n,
@@ -69,6 +178,26 @@ fn main() -> ExitCode {
         } else {
             return usage();
         }
+    }
+
+    if sharded {
+        let template = if quick {
+            ShardedConfig::smoke()
+        } else {
+            ShardedConfig::standard()
+        };
+        let scfg = ShardedConfig {
+            base: LoadgenConfig {
+                containers: cfg.containers,
+                workers: cfg.workers,
+                rounds: cfg.rounds,
+                transport: cfg.transport,
+                ..template.base
+            },
+            devices,
+            ..template
+        };
+        return run_sharded_campaign(&scfg, out, baseline);
     }
 
     println!(

@@ -39,8 +39,10 @@ use convgpu_ipc::endpoint::SchedulerEndpoint;
 use convgpu_ipc::message::{AllocDecision, ApiKind};
 use convgpu_ipc::server::SocketServer;
 use convgpu_obs::metrics::Histogram;
+use convgpu_scheduler::backend::TopologyBackend;
 use convgpu_scheduler::core::{Scheduler, SchedulerConfig};
 use convgpu_scheduler::metrics as sched_metrics;
+use convgpu_scheduler::multi_gpu::{MultiGpuScheduler, PlacementPolicy};
 use convgpu_scheduler::policy::PolicyKind;
 use convgpu_scheduler::state::ResumeRule;
 use convgpu_sim_core::clock::VirtualClock;
@@ -219,13 +221,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
     LoadgenReport { config: *cfg, runs }
 }
 
-/// Run one policy's campaign.
-///
-/// # Panics
-/// Panics on scheduler protocol violations or on configurations that
-/// would break the liveness argument in the module docs — a hung or
-/// invalid campaign must fail loudly, not publish numbers.
-pub fn run_policy(cfg: &LoadgenConfig, policy: PolicyKind) -> PolicyRun {
+/// Validate the liveness preconditions from the module docs.
+fn check_config(cfg: &LoadgenConfig) {
     assert!(cfg.containers > 0 && cfg.workers > 0 && cfg.rounds > 0);
     assert!(
         cfg.chunk + CTX_OVERHEAD <= cfg.limit,
@@ -235,6 +232,45 @@ pub fn run_policy(cfg: &LoadgenConfig, policy: PolicyKind) -> PolicyRun {
         cfg.limit <= cfg.capacity,
         "limit must fit capacity (else registration refuses)"
     );
+}
+
+/// The scheduler configuration every campaign device runs under.
+fn sched_config(cfg: &LoadgenConfig) -> SchedulerConfig {
+    SchedulerConfig {
+        capacity: cfg.capacity,
+        ctx_overhead: CTX_OVERHEAD,
+        charge_ctx_overhead: true,
+        resume_rule: ResumeRule::FullGuarantee,
+        default_limit: cfg.limit,
+    }
+}
+
+/// Bind the socket server when the transport needs one.
+fn bind_server(
+    cfg: &LoadgenConfig,
+    dir: &Path,
+    service: &Arc<SchedulerService>,
+) -> Option<SocketServer> {
+    match cfg.transport {
+        Transport::InProc => None,
+        Transport::Socket(_) => Some(
+            SocketServer::bind(
+                &dir.join("sched.sock"),
+                Arc::new(ServiceHandler::new(Arc::clone(service))),
+            )
+            .expect("bind loadgen socket"),
+        ),
+    }
+}
+
+/// Run one policy's campaign.
+///
+/// # Panics
+/// Panics on scheduler protocol violations or on configurations that
+/// would break the liveness argument in the module docs — a hung or
+/// invalid campaign must fail loudly, not publish numbers.
+pub fn run_policy(cfg: &LoadgenConfig, policy: PolicyKind) -> PolicyRun {
+    check_config(cfg);
 
     let vclock = VirtualClock::new();
     let dir = std::env::temp_dir().join(format!(
@@ -244,30 +280,56 @@ pub fn run_policy(cfg: &LoadgenConfig, policy: PolicyKind) -> PolicyRun {
     ));
     std::fs::create_dir_all(&dir).expect("create loadgen dir");
     let service = Arc::new(SchedulerService::new(
-        Scheduler::new(
-            SchedulerConfig {
-                capacity: cfg.capacity,
-                ctx_overhead: CTX_OVERHEAD,
-                charge_ctx_overhead: true,
-                resume_rule: ResumeRule::FullGuarantee,
-                default_limit: cfg.limit,
-            },
-            policy.build(0xC0DE),
-        ),
+        Scheduler::new(sched_config(cfg), policy.build(0xC0DE)),
         vclock.handle(),
         dir.clone(),
     ));
-    let server = match cfg.transport {
-        Transport::InProc => None,
-        Transport::Socket(_) => Some(
-            SocketServer::bind(
-                &dir.join("sched.sock"),
-                Arc::new(ServiceHandler::new(Arc::clone(&service))),
-            )
-            .expect("bind loadgen socket"),
-        ),
-    };
+    let server = bind_server(cfg, &dir, &service);
 
+    let (merged, elapsed_secs) = storm(cfg, &service, &server, &vclock);
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let (suspensions, open) = service.with_scheduler(|s| {
+        let per = sched_metrics::collect(s.containers());
+        let open = per.iter().filter(|m| m.closed_at.is_none()).count();
+        (per.iter().map(|m| m.suspend_episodes).sum::<u64>(), open)
+    });
+    assert_eq!(open, 0, "every loadgen container must close");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let decisions = merged.granted + merged.rejected;
+    let expected = u64::from(cfg.containers) * cfg.decisions_per_container();
+    assert_eq!(
+        decisions, expected,
+        "decision count must be exact (liveness or protocol bug otherwise)"
+    );
+    PolicyRun {
+        policy,
+        decisions,
+        granted: merged.granted,
+        rejected: merged.rejected,
+        suspensions,
+        elapsed_secs,
+        decisions_per_sec: if elapsed_secs > 0.0 {
+            decisions as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        admission: merged.admission,
+    }
+}
+
+/// The worker storm: every container's full lifecycle, spread over
+/// `cfg.workers` threads contending on the live service. Returns the
+/// merged per-worker stats and the wall-clock duration in seconds.
+fn storm(
+    cfg: &LoadgenConfig,
+    service: &Arc<SchedulerService>,
+    server: &Option<SocketServer>,
+    vclock: &VirtualClock,
+) -> (WorkerStats, f64) {
     let next = AtomicU64::new(0);
     let ticks = AtomicU64::new(1);
     let started = Instant::now();
@@ -275,9 +337,6 @@ pub fn run_policy(cfg: &LoadgenConfig, policy: PolicyKind) -> PolicyRun {
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.workers)
             .map(|_| {
-                let service = &service;
-                let server = &server;
-                let vclock = &vclock;
                 let next = &next;
                 let ticks = &ticks;
                 scope.spawn(move || {
@@ -318,39 +377,7 @@ pub fn run_policy(cfg: &LoadgenConfig, policy: PolicyKind) -> PolicyRun {
             merged.merge(h.join().expect("loadgen worker panicked"));
         }
     });
-    let elapsed_secs = started.elapsed().as_secs_f64();
-
-    if let Some(server) = server {
-        server.shutdown();
-    }
-    let (suspensions, open) = service.with_scheduler(|s| {
-        let per = sched_metrics::collect(s.containers());
-        let open = per.iter().filter(|m| m.closed_at.is_none()).count();
-        (per.iter().map(|m| m.suspend_episodes).sum::<u64>(), open)
-    });
-    assert_eq!(open, 0, "every loadgen container must close");
-    let _ = std::fs::remove_dir_all(&dir);
-
-    let decisions = merged.granted + merged.rejected;
-    let expected = u64::from(cfg.containers) * cfg.decisions_per_container();
-    assert_eq!(
-        decisions, expected,
-        "decision count must be exact (liveness or protocol bug otherwise)"
-    );
-    PolicyRun {
-        policy,
-        decisions,
-        granted: merged.granted,
-        rejected: merged.rejected,
-        suspensions,
-        elapsed_secs,
-        decisions_per_sec: if elapsed_secs > 0.0 {
-            decisions as f64 / elapsed_secs
-        } else {
-            0.0
-        },
-        admission: merged.admission,
-    }
+    (merged, started.elapsed().as_secs_f64())
 }
 
 struct WorkerStats {
@@ -518,6 +545,276 @@ pub fn render_json(report: &LoadgenReport) -> String {
     out
 }
 
+/// The sharded (multi-GPU) campaign: the same container storm driven
+/// against a [`MultiGpuScheduler`] behind the live service, once per
+/// placement policy. `base.capacity` is **per device**.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfig {
+    /// Per-device campaign parameters (`capacity` applies to each
+    /// device, not the aggregate).
+    pub base: LoadgenConfig,
+    /// GPU devices under management.
+    pub devices: u32,
+    /// Redistribution policy every device scheduler runs.
+    pub policy: PolicyKind,
+}
+
+impl ShardedConfig {
+    /// The standard sharded campaign: two 1 GiB devices so the per-device
+    /// pressure matches the single-GPU standard campaign (2 GiB split in
+    /// half), under the paper's default best-fit redistribution.
+    pub fn standard() -> Self {
+        ShardedConfig {
+            base: LoadgenConfig {
+                capacity: Bytes::gib(1),
+                ..LoadgenConfig::standard()
+            },
+            devices: 2,
+            policy: PolicyKind::BestFit,
+        }
+    }
+
+    /// A seconds-scale smoke campaign for CI and debug builds.
+    pub fn smoke() -> Self {
+        let std_cfg = Self::standard();
+        ShardedConfig {
+            base: LoadgenConfig {
+                containers: 200,
+                ..std_cfg.base
+            },
+            ..std_cfg
+        }
+    }
+}
+
+/// Measured outcome of one placement policy's sharded campaign.
+#[derive(Clone, Debug)]
+pub struct PlacementRun {
+    /// Placement policy under test.
+    pub placement: PlacementPolicy,
+    /// Admission decisions delivered (granted + rejected).
+    pub decisions: u64,
+    /// Granted decisions.
+    pub granted: u64,
+    /// Rejected decisions.
+    pub rejected: u64,
+    /// Suspend episodes summed over every device's books.
+    pub suspensions: u64,
+    /// Containers the placement policy homed on each device (lifetime
+    /// total, index = device).
+    pub containers_per_device: Vec<u64>,
+    /// Wall-clock duration of the campaign, seconds.
+    pub elapsed_secs: f64,
+    /// `decisions / elapsed_secs`.
+    pub decisions_per_sec: f64,
+    /// Wall-clock admission latency (request → decision).
+    pub admission: Histogram,
+}
+
+impl PlacementRun {
+    /// Admission-latency quantile in milliseconds (0 when empty).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.admission.quantile_ns(q).unwrap_or(0.0) / 1e6
+    }
+
+    /// Mean admission latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.admission.count() == 0 {
+            0.0
+        } else {
+            self.admission.sum_ns() as f64 / self.admission.count() as f64 / 1e6
+        }
+    }
+}
+
+/// A full sharded campaign: one [`PlacementRun`] per placement policy.
+#[derive(Clone, Debug)]
+pub struct ShardedReport {
+    /// The configuration every placement ran under.
+    pub config: ShardedConfig,
+    /// Per-placement results: round-robin, most-free, best-fit-device.
+    pub runs: Vec<PlacementRun>,
+}
+
+impl ShardedReport {
+    /// Aggregate throughput across placements — the number the CI perf
+    /// gate compares against `sharded_total_decisions_per_sec` in the
+    /// committed baseline.
+    pub fn sharded_total_decisions_per_sec(&self) -> f64 {
+        let decisions: u64 = self.runs.iter().map(|r| r.decisions).sum();
+        let elapsed: f64 = self.runs.iter().map(|r| r.elapsed_secs).sum();
+        if elapsed > 0.0 {
+            decisions as f64 / elapsed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The placement policies the sharded campaign sweeps, in report order.
+pub const PLACEMENTS: [PlacementPolicy; 3] = [
+    PlacementPolicy::RoundRobin,
+    PlacementPolicy::MostFree,
+    PlacementPolicy::BestFitDevice,
+];
+
+/// Run the sharded campaign for every placement policy in [`PLACEMENTS`].
+pub fn run_sharded(cfg: &ShardedConfig) -> ShardedReport {
+    let runs = PLACEMENTS
+        .into_iter()
+        .map(|placement| run_sharded_placement(cfg, placement))
+        .collect();
+    ShardedReport { config: *cfg, runs }
+}
+
+/// Run one placement policy's sharded campaign.
+///
+/// The liveness argument from the module docs carries over unchanged:
+/// a container lives its whole life on the device the placement chose
+/// at registration, so each device is an independent single-GPU storm
+/// with a (placement-dependent) share of the containers.
+///
+/// # Panics
+/// As [`run_policy`]: protocol violations and liveness-breaking
+/// configurations abort the campaign rather than publish numbers.
+pub fn run_sharded_placement(cfg: &ShardedConfig, placement: PlacementPolicy) -> PlacementRun {
+    check_config(&cfg.base);
+    assert!(cfg.devices > 0, "need at least one device");
+
+    let vclock = VirtualClock::new();
+    let dir = std::env::temp_dir().join(format!(
+        "convgpu-loadgen-sharded-{}-{}",
+        std::process::id(),
+        placement.label()
+    ));
+    std::fs::create_dir_all(&dir).expect("create loadgen dir");
+    let capacities = vec![cfg.base.capacity; cfg.devices as usize];
+    let backend = TopologyBackend::MultiGpu(MultiGpuScheduler::with_config(
+        sched_config(&cfg.base),
+        &capacities,
+        cfg.policy,
+        placement,
+        0xC0DE,
+    ));
+    let service = Arc::new(SchedulerService::new_with_backend(
+        backend,
+        vclock.handle(),
+        dir.clone(),
+    ));
+    let server = bind_server(&cfg.base, &dir, &service);
+
+    let (merged, elapsed_secs) = storm(&cfg.base, &service, &server, &vclock);
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let (suspensions, open, containers_per_device) = service.with_backend(|b| match b {
+        TopologyBackend::MultiGpu(m) => {
+            let mut suspensions = 0u64;
+            let mut open = 0usize;
+            let mut per_device = Vec::with_capacity(m.device_count());
+            for d in 0..m.device_count() {
+                let per = sched_metrics::collect(m.device(d).containers());
+                suspensions += per.iter().map(|c| c.suspend_episodes).sum::<u64>();
+                open += per.iter().filter(|c| c.closed_at.is_none()).count();
+                per_device.push(per.len() as u64);
+            }
+            (suspensions, open, per_device)
+        }
+        _ => unreachable!("sharded campaign always runs on a MultiGpu backend"),
+    });
+    assert_eq!(open, 0, "every loadgen container must close");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let decisions = merged.granted + merged.rejected;
+    let expected = u64::from(cfg.base.containers) * cfg.base.decisions_per_container();
+    assert_eq!(
+        decisions, expected,
+        "decision count must be exact (liveness or protocol bug otherwise)"
+    );
+    assert_eq!(
+        containers_per_device.iter().sum::<u64>(),
+        u64::from(cfg.base.containers),
+        "every container must have been homed on exactly one device"
+    );
+    PlacementRun {
+        placement,
+        decisions,
+        granted: merged.granted,
+        rejected: merged.rejected,
+        suspensions,
+        containers_per_device,
+        elapsed_secs,
+        decisions_per_sec: if elapsed_secs > 0.0 {
+            decisions as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        admission: merged.admission,
+    }
+}
+
+/// Render the machine-readable sharded report (the `BENCH_4.json`
+/// schema).
+pub fn render_sharded_json(report: &ShardedReport) -> String {
+    let cfg = &report.config;
+    let base = &cfg.base;
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"loadgen-sharded\",\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"containers\": {}, \"workers\": {}, \"rounds\": {}, \
+         \"chunk_mib\": {}, \"limit_mib\": {}, \"device_capacity_mib\": {}, \
+         \"devices\": {}, \"policy\": \"{}\", \"reject_every\": {}, \
+         \"hold_us\": {}, \"transport\": \"{}\"}},\n",
+        base.containers,
+        base.workers,
+        base.rounds,
+        base.chunk.as_mib(),
+        base.limit.as_mib(),
+        base.capacity.as_mib(),
+        cfg.devices,
+        cfg.policy.label(),
+        base.reject_every,
+        base.hold_us,
+        base.transport.label(),
+    ));
+    out.push_str("  \"placements\": [\n");
+    for (i, run) in report.runs.iter().enumerate() {
+        let homes = run
+            .containers_per_device
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"placement\": \"{}\", \"decisions\": {}, \"granted\": {}, \
+             \"rejected\": {}, \"suspensions\": {}, \"containers_per_device\": [{homes}], \
+             \"elapsed_secs\": {:.6}, \"decisions_per_sec\": {:.1}, \"admission_ms\": \
+             {{\"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"mean\": {:.6}, \"count\": {}}}}}{}\n",
+            run.placement.label(),
+            run.decisions,
+            run.granted,
+            run.rejected,
+            run.suspensions,
+            run.elapsed_secs,
+            run.decisions_per_sec,
+            run.quantile_ms(0.50),
+            run.quantile_ms(0.95),
+            run.quantile_ms(0.99),
+            run.mean_ms(),
+            run.admission.count(),
+            if i + 1 == report.runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"sharded_total_decisions_per_sec\": {:.1}\n}}\n",
+        report.sharded_total_decisions_per_sec()
+    ));
+    out
+}
+
 /// Outcome of a baseline comparison.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BaselineVerdict {
@@ -543,12 +840,8 @@ pub enum BaselineVerdict {
 /// gate fails on a >20 % regression).
 pub const BASELINE_RETENTION: f64 = 0.80;
 
-/// Compare `report` against the committed baseline file
-/// (`{"total_decisions_per_sec": N}` plus free-form context fields).
-pub fn check_baseline(
-    report: &LoadgenReport,
-    baseline_path: &Path,
-) -> Result<BaselineVerdict, String> {
+/// Read one numeric field out of the committed baseline file.
+fn read_baseline_value(baseline_path: &Path, key: &str) -> Result<f64, String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
     let json = convgpu_ipc::json::parse(&text).map_err(|e| {
@@ -557,27 +850,51 @@ pub fn check_baseline(
             baseline_path.display()
         )
     })?;
-    let baseline = match json.get("total_decisions_per_sec") {
-        Some(convgpu_ipc::json::Json::U64(n)) => *n as f64,
-        Some(convgpu_ipc::json::Json::F64(f)) => *f,
-        _ => {
-            return Err(format!(
-                "baseline {} lacks a numeric total_decisions_per_sec",
-                baseline_path.display()
-            ))
-        }
-    };
-    let measured = report.total_decisions_per_sec();
+    match json.get(key) {
+        Some(convgpu_ipc::json::Json::U64(n)) => Ok(*n as f64),
+        Some(convgpu_ipc::json::Json::F64(f)) => Ok(*f),
+        _ => Err(format!(
+            "baseline {} lacks a numeric {key}",
+            baseline_path.display()
+        )),
+    }
+}
+
+/// Apply the retention envelope to a measured throughput.
+fn apply_baseline(measured: f64, baseline: f64) -> BaselineVerdict {
     let floor = baseline * BASELINE_RETENTION;
     if measured >= floor {
-        Ok(BaselineVerdict::Pass { measured, baseline })
+        BaselineVerdict::Pass { measured, baseline }
     } else {
-        Ok(BaselineVerdict::Regressed {
+        BaselineVerdict::Regressed {
             measured,
             baseline,
             floor,
-        })
+        }
     }
+}
+
+/// Compare `report` against the committed baseline file
+/// (`{"total_decisions_per_sec": N}` plus free-form context fields).
+pub fn check_baseline(
+    report: &LoadgenReport,
+    baseline_path: &Path,
+) -> Result<BaselineVerdict, String> {
+    let baseline = read_baseline_value(baseline_path, "total_decisions_per_sec")?;
+    Ok(apply_baseline(report.total_decisions_per_sec(), baseline))
+}
+
+/// Compare a sharded report against the committed baseline file's
+/// `sharded_total_decisions_per_sec` field.
+pub fn check_sharded_baseline(
+    report: &ShardedReport,
+    baseline_path: &Path,
+) -> Result<BaselineVerdict, String> {
+    let baseline = read_baseline_value(baseline_path, "sharded_total_decisions_per_sec")?;
+    Ok(apply_baseline(
+        report.sharded_total_decisions_per_sec(),
+        baseline,
+    ))
 }
 
 #[cfg(test)]
@@ -670,6 +987,156 @@ mod tests {
             }
         }
         assert!(json.get("total_decisions_per_sec").is_some());
+    }
+
+    fn tiny_sharded(transport: Transport) -> ShardedConfig {
+        ShardedConfig {
+            base: LoadgenConfig {
+                capacity: Bytes::gib(1),
+                ..tiny(transport)
+            },
+            devices: 2,
+            policy: PolicyKind::BestFit,
+        }
+    }
+
+    #[test]
+    fn sharded_decision_counts_are_exact_for_every_placement() {
+        let cfg = tiny_sharded(Transport::InProc);
+        for placement in PLACEMENTS {
+            let run = run_sharded_placement(&cfg, placement);
+            assert_eq!(run.decisions, 48 * 5, "{placement:?}");
+            assert_eq!(run.rejected, 48, "{placement:?}");
+            assert_eq!(run.admission.count(), run.decisions, "{placement:?}");
+            assert_eq!(run.containers_per_device.len(), 2, "{placement:?}");
+            assert_eq!(
+                run.containers_per_device.iter().sum::<u64>(),
+                48,
+                "{placement:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_round_robin_spreads_containers_evenly() {
+        let run = run_sharded_placement(
+            &tiny_sharded(Transport::InProc),
+            PlacementPolicy::RoundRobin,
+        );
+        assert_eq!(run.containers_per_device, vec![24, 24]);
+    }
+
+    #[test]
+    fn sharded_socket_transport_matches_inproc_counts() {
+        for codec in [WireCodec::Json, WireCodec::Binary] {
+            let cfg = ShardedConfig {
+                base: LoadgenConfig {
+                    containers: 24,
+                    workers: 3,
+                    capacity: Bytes::gib(1),
+                    ..tiny(Transport::Socket(codec))
+                },
+                ..tiny_sharded(Transport::InProc)
+            };
+            let run = run_sharded_placement(&cfg, PlacementPolicy::MostFree);
+            assert_eq!(run.decisions, 24 * 5, "{codec:?}");
+            assert_eq!(run.rejected, 24, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_contended_storm_suspends_and_still_completes() {
+        // Two 700 MiB devices, 4 workers × (384 MiB chunk + 66 MiB ctx)
+        // held 200 µs: whichever device hosts ≥2 concurrent containers
+        // (all three placements do at 4 workers × 2 devices) must
+        // suspend — and the storm must still finish.
+        let cfg = ShardedConfig {
+            base: LoadgenConfig {
+                capacity: Bytes::mib(700),
+                hold_us: 200,
+                ..tiny(Transport::InProc)
+            },
+            devices: 2,
+            policy: PolicyKind::BestFit,
+        };
+        for placement in PLACEMENTS {
+            let run = run_sharded_placement(&cfg, placement);
+            assert!(
+                run.suspensions > 0,
+                "{placement:?}: no contention at 700 MiB/device is implausible"
+            );
+            assert_eq!(run.decisions, 48 * 5, "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_report_json_is_valid_and_complete() {
+        let cfg = ShardedConfig {
+            base: LoadgenConfig {
+                containers: 12,
+                workers: 2,
+                capacity: Bytes::gib(1),
+                ..tiny(Transport::InProc)
+            },
+            ..tiny_sharded(Transport::InProc)
+        };
+        let report = run_sharded(&cfg);
+        assert_eq!(report.runs.len(), PLACEMENTS.len());
+        let text = render_sharded_json(&report);
+        let json = convgpu_ipc::json::parse(&text).expect("BENCH_4.json must parse");
+        let placements = match json.get("placements") {
+            Some(convgpu_ipc::json::Json::Arr(a)) => a,
+            other => panic!("placements must be an array, got {other:?}"),
+        };
+        assert_eq!(placements.len(), 3);
+        for p in placements {
+            assert!(p.get("decisions_per_sec").is_some());
+            assert!(p.get("containers_per_device").is_some());
+            let adm = p.get("admission_ms").expect("admission_ms object");
+            for q in ["p50", "p95", "p99", "mean", "count"] {
+                assert!(adm.get(q).is_some(), "missing {q}");
+            }
+        }
+        assert!(json.get("sharded_total_decisions_per_sec").is_some());
+    }
+
+    #[test]
+    fn sharded_baseline_gate_reads_its_own_key() {
+        let cfg = ShardedConfig {
+            base: LoadgenConfig {
+                containers: 12,
+                workers: 2,
+                capacity: Bytes::gib(1),
+                ..tiny(Transport::InProc)
+            },
+            ..tiny_sharded(Transport::InProc)
+        };
+        let report = run_sharded(&cfg);
+        let dir =
+            std::env::temp_dir().join(format!("convgpu-sharded-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+
+        std::fs::write(
+            &path,
+            "{\"total_decisions_per_sec\": 100000000000, \"sharded_total_decisions_per_sec\": 1}",
+        )
+        .unwrap();
+        assert!(matches!(
+            check_sharded_baseline(&report, &path).unwrap(),
+            BaselineVerdict::Pass { .. }
+        ));
+
+        std::fs::write(&path, "{\"sharded_total_decisions_per_sec\": 100000000000}").unwrap();
+        assert!(matches!(
+            check_sharded_baseline(&report, &path).unwrap(),
+            BaselineVerdict::Regressed { .. }
+        ));
+
+        // The single-GPU key alone is not enough for the sharded gate.
+        std::fs::write(&path, "{\"total_decisions_per_sec\": 1}").unwrap();
+        assert!(check_sharded_baseline(&report, &path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -109,6 +109,19 @@ impl RequestHandler for ServiceHandler {
             Request::QueryMetrics => reply.send(Response::Metrics {
                 text: self.service.metrics_text(),
             }),
+            Request::QueryTopology => {
+                let (kind, devices) = self.service.topology();
+                reply.send(Response::Topology { kind, devices });
+            }
+            Request::QueryHome { container } => match self.service.query_home(container) {
+                Some(p) => reply.send(Response::Home {
+                    node: p.node.unwrap_or_default(),
+                    device: p.device as u64,
+                }),
+                None => reply.send(Response::Error {
+                    message: format!("container {container} is not registered"),
+                }),
+            },
         }
     }
 }

@@ -29,7 +29,7 @@ pub mod nvidia_docker;
 pub mod plugin;
 pub mod service;
 
-pub use middleware::{ConVGpu, ConVGpuConfig, Session, TransportMode};
+pub use middleware::{ConVGpu, ConVGpuConfig, Session, TopologySpec, TransportMode};
 pub use nvidia_docker::RunCommand;
 pub use nvidia_docker::{resolve_memory_limit, NvidiaDocker, CONVGPU_VOLUME_DRIVER};
 pub use plugin::NvidiaDockerPlugin;

@@ -25,8 +25,11 @@ use convgpu_gpu_sim::runtime::RawCudaRuntime;
 use convgpu_ipc::client::{ClientObs, SchedulerClient};
 use convgpu_ipc::endpoint::SchedulerEndpoint;
 use convgpu_ipc::server::{ServerObs, SocketServer};
+use convgpu_scheduler::backend::{SchedulerBackend, TopologyBackend};
+use convgpu_scheduler::cluster::{ClusterNode, ClusterScheduler, SwarmStrategy};
 use convgpu_scheduler::core::{Scheduler, SchedulerConfig};
 use convgpu_scheduler::metrics::{self, ContainerMetrics};
+use convgpu_scheduler::multi_gpu::{MultiGpuScheduler, PlacementPolicy};
 use convgpu_scheduler::policy::PolicyKind;
 use convgpu_scheduler::state::{ContainerState, ResumeRule};
 use convgpu_sim_core::clock::{ClockHandle, RealClock};
@@ -50,6 +53,33 @@ pub enum TransportMode {
     UnixSocket,
     /// Direct in-process calls — the `transport` ablation and fast tests.
     InProc,
+}
+
+/// The GPU topology the scheduler service manages.
+///
+/// The wrapper/engine side of the middleware always executes against the
+/// single simulated device; the *scheduler* side can model larger
+/// deployments (the paper's §V future work), and the whole IPC stack —
+/// sockets, codecs, suspension — serves them unchanged.
+#[derive(Clone, Debug)]
+pub enum TopologySpec {
+    /// One GPU — the paper's deployment and the default. Capacity comes
+    /// from [`ConVGpuConfig::device`].
+    SingleGpu,
+    /// One host, several GPUs behind a placement policy.
+    MultiGpu {
+        /// Per-device capacities (one scheduler per entry).
+        capacities: Vec<Bytes>,
+        /// Device placement policy.
+        placement: PlacementPolicy,
+    },
+    /// Docker-Swarm-style cluster of named nodes.
+    Cluster {
+        /// `(node name, per-GPU capacities)` per node.
+        nodes: Vec<(String, Vec<Bytes>)>,
+        /// Swarm node-selection strategy.
+        strategy: SwarmStrategy,
+    },
 }
 
 /// Middleware configuration.
@@ -79,6 +109,8 @@ pub struct ConVGpuConfig {
     pub engine: EngineConfig,
     /// NVIDIA driver version string used in volume names.
     pub driver_version: String,
+    /// Scheduler topology (default: the paper's single GPU).
+    pub topology: TopologySpec,
 }
 
 impl Default for ConVGpuConfig {
@@ -95,6 +127,7 @@ impl Default for ConVGpuConfig {
             base_dir: None,
             engine: EngineConfig::default(),
             driver_version: "375.51".into(),
+            topology: TopologySpec::SingleGpu,
         }
     }
 }
@@ -135,6 +168,9 @@ pub struct ConVGpu {
     nvidia_docker: NvidiaDocker,
     plugin: Option<NvidiaDockerPlugin>,
     transport: TransportMode,
+    /// Multi-device topologies answer `cudaGetDeviceProperties` from the
+    /// container's home device.
+    device_aware_props: bool,
     container_servers: Mutex<HashMap<ContainerId, SocketServer>>,
 }
 
@@ -168,9 +204,43 @@ impl ConVGpu {
             resume_rule: cfg.resume_rule,
             default_limit: Bytes::gib(1),
         };
-        let scheduler = Scheduler::new(sched_cfg, cfg.policy.build(cfg.policy_seed));
-        let service = Arc::new(SchedulerService::new(
-            scheduler,
+        let backend = match &cfg.topology {
+            TopologySpec::SingleGpu => TopologyBackend::Single(Scheduler::new(
+                sched_cfg,
+                cfg.policy.build(cfg.policy_seed),
+            )),
+            TopologySpec::MultiGpu {
+                capacities,
+                placement,
+            } => TopologyBackend::MultiGpu(MultiGpuScheduler::with_config(
+                sched_cfg,
+                capacities,
+                cfg.policy,
+                *placement,
+                cfg.policy_seed,
+            )),
+            TopologySpec::Cluster { nodes, strategy } => {
+                TopologyBackend::Cluster(ClusterScheduler::new(
+                    nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (name, caps))| {
+                            ClusterNode::with_config(
+                                name.clone(),
+                                sched_cfg.clone(),
+                                caps,
+                                cfg.policy,
+                                cfg.policy_seed.wrapping_add(i as u64),
+                            )
+                        })
+                        .collect(),
+                    *strategy,
+                    cfg.policy_seed,
+                ))
+            }
+        };
+        let service = Arc::new(SchedulerService::new_with_backend(
+            backend,
             Arc::clone(&clock),
             base_dir,
         ));
@@ -193,6 +263,7 @@ impl ConVGpu {
             nvidia_docker,
             plugin: Some(plugin),
             transport: cfg.transport,
+            device_aware_props: !matches!(cfg.topology, TopologySpec::SingleGpu),
             container_servers: Mutex::new(HashMap::new()),
         })
     }
@@ -265,14 +336,17 @@ impl ConVGpu {
             }
             TransportMode::InProc => Arc::new(InProcEndpoint::new(Arc::clone(&self.service))),
         };
-        let wrapper: Arc<dyn CudaApi> = Arc::new(
+        let mut module =
             WrapperModule::new(id, Arc::clone(&self.raw) as Arc<dyn CudaApi>, endpoint).with_obs(
                 WrapperObs {
                     registry,
                     clock: Arc::clone(&self.clock),
                 },
-            ),
-        );
+            );
+        if self.device_aware_props {
+            module = module.with_device_aware_props();
+        }
+        let wrapper: Arc<dyn CudaApi> = Arc::new(module);
         // Bind the program's CUDA symbols per the LD_PRELOAD rules.
         let container = self.engine.inspect(id).map_err(NvidiaDockerError::Engine)?;
         let env =
@@ -345,10 +419,14 @@ impl ConVGpu {
     pub fn wait_closed(&self, id: ContainerId, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            let closed = self.service.with_scheduler(|s| {
-                s.container(id)
-                    .map(|r| r.state == ContainerState::Closed)
-                    .unwrap_or(false)
+            // Scan every device: placement may have homed the container
+            // off the primary.
+            let closed = self.service.with_backend(|b| {
+                b.device_schedulers().iter().any(|s| {
+                    s.container(id)
+                        .map(|r| r.state == ContainerState::Closed)
+                        .unwrap_or(false)
+                })
             });
             if closed {
                 return true;
@@ -374,10 +452,18 @@ impl ConVGpu {
         })
     }
 
-    /// Per-container scheduler metrics, sorted by container id.
+    /// Per-container scheduler metrics, sorted by container id — across
+    /// every device in the topology.
     pub fn metrics(&self) -> Vec<ContainerMetrics> {
-        self.service
-            .with_scheduler(|s| metrics::collect(s.containers()))
+        self.service.with_backend(|b| {
+            let mut all: Vec<ContainerMetrics> = b
+                .device_schedulers()
+                .into_iter()
+                .flat_map(|s| metrics::collect(s.containers()))
+                .collect();
+            all.sort_by_key(|m| m.id);
+            all
+        })
     }
 
     /// All middleware metrics in Prometheus text exposition format (what
@@ -528,9 +614,13 @@ mod tests {
         let convgpu = ConVGpu::start(fast_cfg(TransportMode::UnixSocket)).unwrap();
         let mut sessions = Vec::new();
         for _ in 0..3 {
+            // Hold long enough (20 ms wall at the 0.001 scale) that all
+            // three program threads overlap even under parallel test
+            // load; a 1 ms hold let early containers finish before the
+            // last thread spawned, so no suspension was observed.
             let program = Box::new(FnProgram::new("hold", |api, pid, clock| {
                 let p = api.cuda_malloc(pid, Bytes::mib(2048))?;
-                clock.sleep(convgpu_sim_core::time::SimDuration::from_secs(1));
+                clock.sleep(convgpu_sim_core::time::SimDuration::from_secs(20));
                 api.cuda_free(pid, p)
             }));
             sessions.push(

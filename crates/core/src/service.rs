@@ -8,9 +8,10 @@
 //! produces the matching [`ResumeAction`].
 
 use convgpu_ipc::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
-use convgpu_ipc::message::{AllocDecision, ApiKind, Response};
+use convgpu_ipc::message::{AllocDecision, ApiKind, Response, TopologyDevice};
 use convgpu_ipc::server::Reply;
 use convgpu_obs::{chrome, prometheus, Registry, RingSink, SpanSink, Tracer};
+use convgpu_scheduler::backend::{Placement, SchedulerBackend, TopologyBackend};
 use convgpu_scheduler::core::{AllocOutcome, ResumeAction, SchedError, SchedObs, Scheduler};
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
@@ -58,12 +59,11 @@ impl ObsHub {
         }
     }
 
-    /// The scheduler-facing view of the hub.
+    /// The scheduler-facing view of the hub (no device label: the
+    /// single-GPU service's exposition stays exactly as it always was;
+    /// multi-device backends scope it per device themselves).
     pub fn sched_obs(&self) -> SchedObs {
-        SchedObs {
-            registry: Arc::clone(&self.registry),
-            tracer: Arc::clone(&self.tracer),
-        }
+        SchedObs::new(Arc::clone(&self.registry), Arc::clone(&self.tracer))
     }
 }
 
@@ -74,24 +74,40 @@ impl Default for ObsHub {
 }
 
 /// The live scheduler service shared by every connection and thread.
+///
+/// Since the topology refactor the service is **backend-agnostic**: it
+/// stores a [`TopologyBackend`] and speaks only the [`SchedulerBackend`]
+/// trait, so a single-GPU host, a multi-GPU host, and a Swarm cluster are
+/// all served by the same waiter table and IPC stack. Tickets are
+/// globally unique across devices/nodes (the backends tag the high bits),
+/// so suspension plumbing is topology-blind.
 pub struct SchedulerService {
     clock: ClockHandle,
-    state: Mutex<Scheduler>,
+    state: Mutex<TopologyBackend>,
     waiters: Mutex<HashMap<u64, Waiter>>,
     base_dir: PathBuf,
     obs: Arc<ObsHub>,
 }
 
 impl SchedulerService {
-    /// Wrap `scheduler`, serving per-container directories under
-    /// `base_dir` (created on demand). The service always carries an
-    /// [`ObsHub`] and attaches it to the scheduler.
-    pub fn new(mut scheduler: Scheduler, clock: ClockHandle, base_dir: PathBuf) -> Self {
+    /// Wrap a single-GPU `scheduler`, serving per-container directories
+    /// under `base_dir` (created on demand). The service always carries
+    /// an [`ObsHub`] and attaches it to the scheduler.
+    pub fn new(scheduler: Scheduler, clock: ClockHandle, base_dir: PathBuf) -> Self {
+        Self::new_with_backend(TopologyBackend::Single(scheduler), clock, base_dir)
+    }
+
+    /// Wrap an arbitrary topology backend (multi-GPU host or cluster).
+    pub fn new_with_backend(
+        mut backend: TopologyBackend,
+        clock: ClockHandle,
+        base_dir: PathBuf,
+    ) -> Self {
         let obs = Arc::new(ObsHub::new());
-        scheduler.attach_obs(obs.sched_obs());
+        backend.attach_obs(obs.sched_obs());
         SchedulerService {
             clock,
-            state: Mutex::new(scheduler),
+            state: Mutex::new(backend),
             waiters: Mutex::new(HashMap::new()),
             base_dir,
             obs,
@@ -106,10 +122,7 @@ impl SchedulerService {
     /// Current metrics in Prometheus text exposition format. Refreshes
     /// the progress-state gauges from a fresh stall assessment first.
     pub fn metrics_text(&self) -> String {
-        {
-            let state = self.state.lock();
-            let _ = convgpu_scheduler::deadlock::assess_observed(&state);
-        }
+        self.state.lock().observe_progress();
         prometheus::render(&self.obs.registry.snapshot())
     }
 
@@ -128,10 +141,40 @@ impl SchedulerService {
         &self.clock
     }
 
-    /// Run a closure over the locked state machine (metrics collection,
-    /// invariant checks in tests).
+    /// Run a closure over the locked primary device scheduler (device 0
+    /// of node 0) — the legacy single-device introspection surface.
     pub fn with_scheduler<T>(&self, f: impl FnOnce(&Scheduler) -> T) -> T {
+        f(self.state.lock().primary())
+    }
+
+    /// Run a closure over the locked topology backend (topology-aware
+    /// metrics collection, invariant checks in tests).
+    pub fn with_backend<T>(&self, f: impl FnOnce(&TopologyBackend) -> T) -> T {
         f(&self.state.lock())
+    }
+
+    /// Snapshot the topology for the `query_topology` wire message:
+    /// `(kind, devices)`.
+    pub fn topology(&self) -> (String, Vec<TopologyDevice>) {
+        let state = self.state.lock();
+        let devices = state
+            .devices()
+            .into_iter()
+            .map(|d| TopologyDevice {
+                node: d.node.unwrap_or_default(),
+                device: d.device as u64,
+                capacity: d.capacity,
+                unassigned: d.unassigned,
+                containers: d.open_containers as u64,
+                policy: d.policy,
+            })
+            .collect();
+        (state.topology_kind().to_string(), devices)
+    }
+
+    /// A container's home placement, if it is registered.
+    pub fn query_home(&self, container: ContainerId) -> Option<Placement> {
+        self.state.lock().home_of(container)
     }
 
     /// Deliver resume actions to their parked waiters. Socket replies are
@@ -169,8 +212,8 @@ impl SchedulerService {
         Reply::send_batch(socket_batch);
     }
 
-    /// Register a container with its limit.
-    pub fn register(&self, container: ContainerId, limit: Bytes) -> Result<(), SchedError> {
+    /// Register a container with its limit; reports where it was placed.
+    pub fn register(&self, container: ContainerId, limit: Bytes) -> Result<Placement, SchedError> {
         // `now` is read under the lock: concurrent connections would
         // otherwise hand the scheduler out-of-order timestamps.
         let mut state = self.state.lock();
@@ -372,7 +415,10 @@ fn sched_err(e: SchedError) -> IpcError {
 
 impl SchedulerEndpoint for InProcEndpoint {
     fn register(&self, container: ContainerId, limit: Bytes) -> IpcResult<()> {
-        self.service.register(container, limit).map_err(sched_err)
+        self.service
+            .register(container, limit)
+            .map(|_| ())
+            .map_err(sched_err)
     }
 
     fn request_dir(&self, container: ContainerId) -> IpcResult<String> {
@@ -430,6 +476,19 @@ impl SchedulerEndpoint for InProcEndpoint {
 
     fn ping(&self) -> IpcResult<()> {
         Ok(())
+    }
+
+    fn query_topology(&self) -> IpcResult<(String, Vec<TopologyDevice>)> {
+        Ok(self.service.topology())
+    }
+
+    fn query_home(&self, container: ContainerId) -> IpcResult<(String, u64)> {
+        match self.service.query_home(container) {
+            Some(p) => Ok((p.node.unwrap_or_default(), p.device as u64)),
+            None => Err(IpcError::Scheduler(format!(
+                "container {container} is not registered"
+            ))),
+        }
     }
 }
 

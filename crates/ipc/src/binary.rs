@@ -17,7 +17,7 @@
 
 use crate::codec::MAX_LINE_BYTES;
 use crate::json::{FromJson, ToJson};
-use crate::message::{AllocDecision, ApiKind, Envelope, Request, Response};
+use crate::message::{AllocDecision, ApiKind, Envelope, Request, Response, TopologyDevice};
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::units::Bytes;
 use std::io::{self, BufRead, Read, Write};
@@ -244,6 +244,30 @@ impl FromBinary for AllocDecision {
     }
 }
 
+impl ToBinary for TopologyDevice {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        self.device.encode(out);
+        self.capacity.encode(out);
+        self.unassigned.encode(out);
+        self.containers.encode(out);
+        self.policy.encode(out);
+    }
+}
+
+impl FromBinary for TopologyDevice {
+    fn decode(r: &mut BinReader<'_>) -> Result<Self, BinError> {
+        Ok(TopologyDevice {
+            node: FromBinary::decode(r)?,
+            device: FromBinary::decode(r)?,
+            capacity: FromBinary::decode(r)?,
+            unassigned: FromBinary::decode(r)?,
+            containers: FromBinary::decode(r)?,
+            policy: FromBinary::decode(r)?,
+        })
+    }
+}
+
 impl ToBinary for Request {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -316,6 +340,11 @@ impl ToBinary for Request {
             }
             Request::Ping => out.push(9),
             Request::QueryMetrics => out.push(10),
+            Request::QueryTopology => out.push(11),
+            Request::QueryHome { container } => {
+                out.push(12);
+                container.encode(out);
+            }
         }
     }
 }
@@ -365,6 +394,10 @@ impl FromBinary for Request {
             }),
             9 => Ok(Request::Ping),
             10 => Ok(Request::QueryMetrics),
+            11 => Ok(Request::QueryTopology),
+            12 => Ok(Request::QueryHome {
+                container: FromBinary::decode(r)?,
+            }),
             t => Err(BinError::msg(format!("unknown request tag {t}"))),
         }
     }
@@ -400,6 +433,19 @@ impl ToBinary for Response {
                 out.push(7);
                 text.encode(out);
             }
+            Response::Topology { kind, devices } => {
+                out.push(8);
+                kind.encode(out);
+                put_u64(out, devices.len() as u64);
+                for d in devices {
+                    d.encode(out);
+                }
+            }
+            Response::Home { node, device } => {
+                out.push(9);
+                node.encode(out);
+                device.encode(out);
+            }
         }
     }
 }
@@ -427,6 +473,23 @@ impl FromBinary for Response {
             6 => Ok(Response::Pong),
             7 => Ok(Response::Metrics {
                 text: FromBinary::decode(r)?,
+            }),
+            8 => {
+                let kind = String::decode(r)?;
+                let n = get_u64(r)?;
+                let n = usize::try_from(n).map_err(|_| BinError::msg("device count overflow"))?;
+                if n > MAX_FRAME_BYTES / 8 {
+                    return Err(BinError::msg("device count exceeds frame bound"));
+                }
+                let mut devices = Vec::with_capacity(n);
+                for _ in 0..n {
+                    devices.push(TopologyDevice::decode(r)?);
+                }
+                Ok(Response::Topology { kind, devices })
+            }
+            9 => Ok(Response::Home {
+                node: FromBinary::decode(r)?,
+                device: FromBinary::decode(r)?,
             }),
             t => Err(BinError::msg(format!("unknown response tag {t}"))),
         }
@@ -616,6 +679,10 @@ mod tests {
             },
             Request::Ping,
             Request::QueryMetrics,
+            Request::QueryTopology,
+            Request::QueryHome {
+                container: ContainerId(3),
+            },
         ]
     }
 
@@ -644,6 +711,35 @@ mod tests {
             Response::Pong,
             Response::Metrics {
                 text: "# TYPE convgpu_x counter\nconvgpu_x{type=\"ping\"} 3\n".into(),
+            },
+            Response::Topology {
+                kind: "cluster".into(),
+                devices: vec![
+                    TopologyDevice {
+                        node: "node-0".into(),
+                        device: 0,
+                        capacity: Bytes::gib(5),
+                        unassigned: Bytes::mib(1234),
+                        containers: 2,
+                        policy: "fifo".into(),
+                    },
+                    TopologyDevice {
+                        node: "node-1".into(),
+                        device: 1,
+                        capacity: Bytes::gib(16),
+                        unassigned: Bytes::gib(16),
+                        containers: 0,
+                        policy: "random".into(),
+                    },
+                ],
+            },
+            Response::Topology {
+                kind: "single".into(),
+                devices: vec![],
+            },
+            Response::Home {
+                node: String::new(),
+                device: 1,
             },
         ]
     }

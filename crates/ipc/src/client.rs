@@ -262,6 +262,20 @@ impl SchedulerEndpoint for SchedulerClient {
             other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
+
+    fn query_topology(&self) -> IpcResult<(String, Vec<crate::message::TopologyDevice>)> {
+        match self.request(Request::QueryTopology)? {
+            Response::Topology { kind, devices } => Ok((kind, devices)),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    fn query_home(&self, container: ContainerId) -> IpcResult<(String, u64)> {
+        match self.request(Request::QueryHome { container })? {
+            Response::Home { node, device } => Ok((node, device)),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]

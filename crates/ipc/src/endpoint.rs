@@ -14,7 +14,7 @@
 //! paper's design ("the response from the scheduler will be suspended
 //! until the required size of memory is available").
 
-use crate::message::{AllocDecision, ApiKind};
+use crate::message::{AllocDecision, ApiKind, TopologyDevice};
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::units::Bytes;
 use std::fmt;
@@ -98,4 +98,23 @@ pub trait SchedulerEndpoint: Send + Sync {
 
     /// Liveness probe.
     fn ping(&self) -> IpcResult<()>;
+
+    /// Query the daemon's device/node topology: `(kind, devices)`.
+    /// Default: unsupported — endpoints predating the topology protocol
+    /// keep compiling and report the capability gap explicitly.
+    fn query_topology(&self) -> IpcResult<(String, Vec<TopologyDevice>)> {
+        Err(IpcError::Scheduler(
+            "endpoint does not support query_topology".into(),
+        ))
+    }
+
+    /// Query a container's home placement: `(node, device)`; the node is
+    /// empty for single-host topologies. Same default as
+    /// [`query_topology`](Self::query_topology).
+    fn query_home(&self, container: ContainerId) -> IpcResult<(String, u64)> {
+        let _ = container;
+        Err(IpcError::Scheduler(
+            "endpoint does not support query_home".into(),
+        ))
+    }
 }

@@ -187,6 +187,17 @@ pub enum Request {
     /// Ask the daemon for its current metrics as Prometheus exposition
     /// text (observability; any client may ask).
     QueryMetrics,
+    /// Ask the daemon for its device/node topology: one entry per device
+    /// with capacity and occupancy (multi-GPU and cluster topologies
+    /// report several; single-GPU reports one).
+    QueryTopology,
+    /// Ask where a container was placed (its home node/device) — the
+    /// wrapper uses this to answer `cudaGetDeviceProperties` with the
+    /// home device's capacity.
+    QueryHome {
+        /// The registered container.
+        container: ContainerId,
+    },
 }
 
 impl Request {
@@ -205,6 +216,8 @@ impl Request {
             Request::ContainerClose { .. } => "container_close",
             Request::Ping => "ping",
             Request::QueryMetrics => "query_metrics",
+            Request::QueryTopology => "query_topology",
+            Request::QueryHome { .. } => "query_home",
         }
     }
 }
@@ -303,6 +316,11 @@ impl ToJson for Request {
             ),
             Request::Ping => tagged("ping", vec![]),
             Request::QueryMetrics => tagged("query_metrics", vec![]),
+            Request::QueryTopology => tagged("query_topology", vec![]),
+            Request::QueryHome { container } => tagged(
+                "query_home",
+                vec![("container".into(), container.to_json())],
+            ),
         }
     }
 }
@@ -356,8 +374,55 @@ impl FromJson for Request {
             }),
             "ping" => Ok(Request::Ping),
             "query_metrics" => Ok(Request::QueryMetrics),
+            "query_topology" => Ok(Request::QueryTopology),
+            "query_home" => Ok(Request::QueryHome {
+                container: field(v, "container")?,
+            }),
             other => Err(JsonError::msg(format!("unknown request type {other:?}"))),
         }
+    }
+}
+
+/// One device in a [`Response::Topology`] answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyDevice {
+    /// Cluster node name; empty for single-host topologies.
+    pub node: String,
+    /// Device index within its node.
+    pub device: u64,
+    /// Total device capacity.
+    pub capacity: Bytes,
+    /// Memory not currently reserved on the device.
+    pub unassigned: Bytes,
+    /// Containers registered and not yet closed on the device.
+    pub containers: u64,
+    /// Redistribution policy running on the device.
+    pub policy: String,
+}
+
+impl ToJson for TopologyDevice {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("node".into(), self.node.to_json()),
+            ("device".into(), self.device.to_json()),
+            ("capacity".into(), self.capacity.to_json()),
+            ("unassigned".into(), self.unassigned.to_json()),
+            ("containers".into(), self.containers.to_json()),
+            ("policy".into(), self.policy.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TopologyDevice {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TopologyDevice {
+            node: field(v, "node")?,
+            device: field(v, "device")?,
+            capacity: field(v, "capacity")?,
+            unassigned: field(v, "unassigned")?,
+            containers: field(v, "containers")?,
+            policy: field(v, "policy")?,
+        })
     }
 }
 
@@ -406,6 +471,20 @@ pub enum Response {
         /// keeps the line framing unambiguous).
         text: String,
     },
+    /// Reply to [`Request::QueryTopology`].
+    Topology {
+        /// Topology kind: `"single"`, `"multi-gpu"`, or `"cluster"`.
+        kind: String,
+        /// Every device, in node order then device index.
+        devices: Vec<TopologyDevice>,
+    },
+    /// Reply to [`Request::QueryHome`].
+    Home {
+        /// Home node name; empty for single-host topologies.
+        node: String,
+        /// Home device index within the node.
+        device: u64,
+    },
 }
 
 impl ToJson for Response {
@@ -429,6 +508,23 @@ impl ToJson for Response {
             }
             Response::Pong => tagged("pong", vec![]),
             Response::Metrics { text } => tagged("metrics", vec![("text".into(), text.to_json())]),
+            Response::Topology { kind, devices } => tagged(
+                "topology",
+                vec![
+                    ("kind".into(), kind.to_json()),
+                    (
+                        "devices".into(),
+                        Json::Arr(devices.iter().map(ToJson::to_json).collect()),
+                    ),
+                ],
+            ),
+            Response::Home { node, device } => tagged(
+                "home",
+                vec![
+                    ("node".into(), node.to_json()),
+                    ("device".into(), device.to_json()),
+                ],
+            ),
         }
     }
 }
@@ -460,6 +556,23 @@ impl FromJson for Response {
             "pong" => Ok(Response::Pong),
             "metrics" => Ok(Response::Metrics {
                 text: field(v, "text")?,
+            }),
+            "topology" => {
+                let devices = match v.get("devices") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(TopologyDevice::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(JsonError::msg("topology: missing \"devices\" array")),
+                };
+                Ok(Response::Topology {
+                    kind: field(v, "kind")?,
+                    devices,
+                })
+            }
+            "home" => Ok(Response::Home {
+                node: field(v, "node")?,
+                device: field(v, "device")?,
             }),
             other => Err(JsonError::msg(format!("unknown response type {other:?}"))),
         }
@@ -549,6 +662,10 @@ mod tests {
             },
             Request::Ping,
             Request::QueryMetrics,
+            Request::QueryTopology,
+            Request::QueryHome {
+                container: ContainerId(3),
+            },
         ];
         for req in reqs {
             round_trip(&Envelope {
@@ -584,6 +701,31 @@ mod tests {
             Response::Pong,
             Response::Metrics {
                 text: "# TYPE convgpu_x counter\nconvgpu_x{type=\"ping\"} 3\n".into(),
+            },
+            Response::Topology {
+                kind: "multi-gpu".into(),
+                devices: vec![
+                    TopologyDevice {
+                        node: String::new(),
+                        device: 0,
+                        capacity: Bytes::gib(5),
+                        unassigned: Bytes::gib(2),
+                        containers: 3,
+                        policy: "fifo".into(),
+                    },
+                    TopologyDevice {
+                        node: "node-1".into(),
+                        device: 1,
+                        capacity: Bytes::gib(16),
+                        unassigned: Bytes::gib(16),
+                        containers: 0,
+                        policy: "best_fit".into(),
+                    },
+                ],
+            },
+            Response::Home {
+                node: String::new(),
+                device: 1,
             },
         ];
         for resp in resps {
@@ -658,6 +800,44 @@ mod tests {
                 req.kind()
             );
         }
+    }
+
+    #[test]
+    fn topology_wire_format_is_stable() {
+        assert_eq!(
+            Request::QueryTopology.to_json_string(),
+            r#"{"type":"query_topology"}"#
+        );
+        assert_eq!(
+            Request::QueryHome {
+                container: ContainerId(3)
+            }
+            .to_json_string(),
+            r#"{"type":"query_home","container":3}"#
+        );
+        let resp = Response::Topology {
+            kind: "single".into(),
+            devices: vec![TopologyDevice {
+                node: String::new(),
+                device: 0,
+                capacity: Bytes::new(5),
+                unassigned: Bytes::new(2),
+                containers: 1,
+                policy: "fifo".into(),
+            }],
+        };
+        assert_eq!(
+            resp.to_json_string(),
+            r#"{"type":"topology","kind":"single","devices":[{"node":"","device":0,"capacity":5,"unassigned":2,"containers":1,"policy":"fifo"}]}"#
+        );
+        assert_eq!(
+            Response::Home {
+                node: "n1".into(),
+                device: 2
+            }
+            .to_json_string(),
+            r#"{"type":"home","node":"n1","device":2}"#
+        );
     }
 
     #[test]

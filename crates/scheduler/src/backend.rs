@@ -1,0 +1,780 @@
+//! The topology backend abstraction (tentpole of the topology refactor).
+//!
+//! [`SchedulerBackend`] is the exact message surface `SchedulerService`
+//! needs, extracted from the concrete single-device [`Scheduler`] so the
+//! multi-GPU and cluster schedulers can stand behind the same IPC stack.
+//! All three topologies implement it; [`TopologyBackend`] is the
+//! enum-dispatch wrapper the service stores (no trait objects, no
+//! generics bleeding into `convgpu-core`'s public types).
+//!
+//! Design rules:
+//!
+//! * **Single-device behavior is bit-identical.** The `Single` arm
+//!   forwards straight to `Scheduler` — same tickets, same decision log,
+//!   same metric label sets (`SchedObs.device == None`).
+//! * **Tickets are globally unique** across devices and nodes because
+//!   the multi/cluster layers tag device and node indices into the high
+//!   ticket bits; a service can therefore keep one waiter table keyed on
+//!   the ticket alone, whatever the topology.
+//! * **Placement is observable.** Registration reports where the
+//!   container landed, and `devices()` snapshots per-device occupancy for
+//!   the `query_topology` wire message.
+
+use crate::cluster::ClusterScheduler;
+use crate::core::{AllocOutcome, ResumeAction, SchedError, SchedObs, Scheduler};
+use crate::multi_gpu::{DeviceIndex, MultiGpuScheduler};
+use crate::state::ContainerState;
+use convgpu_ipc::message::ApiKind;
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::SimTime;
+use convgpu_sim_core::units::Bytes;
+
+/// Where a container lives: a device, optionally qualified by a cluster
+/// node. Single-GPU and multi-GPU topologies report `node: None`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Cluster node name, when the backend is a cluster.
+    pub node: Option<String>,
+    /// Device index within the node (or the whole topology).
+    pub device: DeviceIndex,
+}
+
+impl Placement {
+    /// Render as `node:device` (cluster) or the bare device index.
+    pub fn label(&self) -> String {
+        match &self.node {
+            Some(n) => format!("{n}:{}", self.device),
+            None => self.device.to_string(),
+        }
+    }
+}
+
+/// Snapshot of one device, for topology queries and per-device
+/// `cudaGetDeviceProperties` answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendDeviceInfo {
+    /// Cluster node name, if any.
+    pub node: Option<String>,
+    /// Device index within its node.
+    pub device: DeviceIndex,
+    /// Total device capacity.
+    pub capacity: Bytes,
+    /// Memory not currently reserved.
+    pub unassigned: Bytes,
+    /// Containers registered and not yet closed on this device.
+    pub open_containers: usize,
+    /// Redistribution policy name running on this device.
+    pub policy: String,
+}
+
+fn open_on(sched: &Scheduler) -> usize {
+    sched
+        .containers()
+        .filter(|r| r.state != ContainerState::Closed)
+        .count()
+}
+
+fn single_device_info(
+    sched: &Scheduler,
+    node: Option<&str>,
+    device: DeviceIndex,
+) -> BackendDeviceInfo {
+    BackendDeviceInfo {
+        node: node.map(str::to_string),
+        device,
+        capacity: sched.config().capacity,
+        unassigned: sched.unassigned(),
+        open_containers: open_on(sched),
+        policy: sched.policy_name().to_string(),
+    }
+}
+
+/// The message surface `SchedulerService` requires of any topology.
+pub trait SchedulerBackend {
+    /// Short kind tag: `"single"`, `"multi-gpu"`, or `"cluster"`.
+    fn topology_kind(&self) -> &'static str;
+
+    /// Admit a container, choosing its placement. Rejects (never
+    /// suspends) when no device can ever host the limit.
+    fn register(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError>;
+
+    /// Permission to allocate; resume actions may concern *any*
+    /// container of the topology (tickets are globally unique).
+    fn alloc_request(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+        now: SimTime,
+    ) -> Result<(AllocOutcome, Vec<ResumeAction>), SchedError>;
+
+    /// Record a completed allocation.
+    fn alloc_done(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<(), SchedError>;
+
+    /// Roll back a granted allocation the driver then failed.
+    fn alloc_failed(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError>;
+
+    /// Release an allocation.
+    fn free(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> Result<(Bytes, Vec<ResumeAction>), SchedError>;
+
+    /// Per-container `cudaMemGetInfo` view, answered by its home device.
+    fn mem_info(&self, id: ContainerId, pid: u64) -> Result<(Bytes, Bytes), SchedError>;
+
+    /// A pid died.
+    fn process_exit(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError>;
+
+    /// The container is gone.
+    fn container_close(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError>;
+
+    /// Where `id` lives, if registered.
+    fn home_of(&self, id: ContainerId) -> Option<Placement>;
+
+    /// Snapshot every device in a stable order (node order, then device
+    /// index).
+    fn devices(&self) -> Vec<BackendDeviceInfo>;
+
+    /// Structural invariants across the whole topology.
+    fn check_invariants(&self) -> Result<(), String>;
+
+    /// Deterministic digest of policy/placement state (golden tests).
+    fn fingerprint(&self) -> u64;
+
+    /// Attach observability; multi-device topologies scope the sink per
+    /// device so gauges never collide.
+    fn attach_obs(&mut self, obs: SchedObs);
+
+    /// Mirror progress (stall) assessments into the attached registry.
+    fn observe_progress(&self);
+
+    /// The canonical device scheduler (device 0 of node 0) — the
+    /// single-device view used by legacy introspection paths.
+    fn primary(&self) -> &Scheduler;
+
+    /// Every device scheduler in the topology, in [`devices`](Self::devices)
+    /// order — for introspection that must see all containers regardless
+    /// of where placement homed them (metrics collection, close waits).
+    fn device_schedulers(&self) -> Vec<&Scheduler>;
+}
+
+impl SchedulerBackend for Scheduler {
+    fn topology_kind(&self) -> &'static str {
+        "single"
+    }
+
+    fn register(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError> {
+        Scheduler::register(self, id, limit, now)?;
+        Ok(Placement {
+            node: None,
+            device: 0,
+        })
+    }
+
+    fn alloc_request(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+        now: SimTime,
+    ) -> Result<(AllocOutcome, Vec<ResumeAction>), SchedError> {
+        Scheduler::alloc_request(self, id, pid, size, api, now)
+    }
+
+    fn alloc_done(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<(), SchedError> {
+        Scheduler::alloc_done(self, id, pid, addr, size, now)
+    }
+
+    fn alloc_failed(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        Scheduler::alloc_failed(self, id, pid, size, now)
+    }
+
+    fn free(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> Result<(Bytes, Vec<ResumeAction>), SchedError> {
+        Scheduler::free(self, id, pid, addr, now)
+    }
+
+    fn mem_info(&self, id: ContainerId, pid: u64) -> Result<(Bytes, Bytes), SchedError> {
+        Scheduler::mem_info(self, id, pid)
+    }
+
+    fn process_exit(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        Scheduler::process_exit(self, id, pid, now)
+    }
+
+    fn container_close(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        Scheduler::container_close(self, id, now)
+    }
+
+    fn home_of(&self, id: ContainerId) -> Option<Placement> {
+        self.container(id).map(|_| Placement {
+            node: None,
+            device: 0,
+        })
+    }
+
+    fn devices(&self) -> Vec<BackendDeviceInfo> {
+        vec![single_device_info(self, None, 0)]
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        Scheduler::check_invariants(self).map_err(|e| e.to_string())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.policy_fingerprint()
+    }
+
+    fn attach_obs(&mut self, obs: SchedObs) {
+        Scheduler::attach_obs(self, obs);
+    }
+
+    fn observe_progress(&self) {
+        let _ = crate::deadlock::assess_observed(self);
+    }
+
+    fn primary(&self) -> &Scheduler {
+        self
+    }
+
+    fn device_schedulers(&self) -> Vec<&Scheduler> {
+        vec![self]
+    }
+}
+
+impl SchedulerBackend for MultiGpuScheduler {
+    fn topology_kind(&self) -> &'static str {
+        "multi-gpu"
+    }
+
+    fn register(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError> {
+        let device = MultiGpuScheduler::register(self, id, limit, now)?;
+        Ok(Placement { node: None, device })
+    }
+
+    fn alloc_request(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+        now: SimTime,
+    ) -> Result<(AllocOutcome, Vec<ResumeAction>), SchedError> {
+        MultiGpuScheduler::alloc_request(self, id, pid, size, api, now)
+    }
+
+    fn alloc_done(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<(), SchedError> {
+        MultiGpuScheduler::alloc_done(self, id, pid, addr, size, now)
+    }
+
+    fn alloc_failed(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        MultiGpuScheduler::alloc_failed(self, id, pid, size, now)
+    }
+
+    fn free(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> Result<(Bytes, Vec<ResumeAction>), SchedError> {
+        MultiGpuScheduler::free(self, id, pid, addr, now)
+    }
+
+    fn mem_info(&self, id: ContainerId, pid: u64) -> Result<(Bytes, Bytes), SchedError> {
+        MultiGpuScheduler::mem_info(self, id, pid)
+    }
+
+    fn process_exit(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        MultiGpuScheduler::process_exit(self, id, pid, now)
+    }
+
+    fn container_close(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        MultiGpuScheduler::container_close(self, id, now)
+    }
+
+    fn home_of(&self, id: ContainerId) -> Option<Placement> {
+        MultiGpuScheduler::home_of(self, id).map(|device| Placement { node: None, device })
+    }
+
+    fn devices(&self) -> Vec<BackendDeviceInfo> {
+        (0..self.device_count())
+            .map(|i| single_device_info(self.device(i), None, i))
+            .collect()
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        MultiGpuScheduler::check_invariants(self)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        MultiGpuScheduler::fingerprint(self)
+    }
+
+    fn attach_obs(&mut self, obs: SchedObs) {
+        MultiGpuScheduler::attach_obs(self, obs);
+    }
+
+    fn observe_progress(&self) {
+        MultiGpuScheduler::observe_progress(self);
+    }
+
+    fn primary(&self) -> &Scheduler {
+        self.device(0)
+    }
+
+    fn device_schedulers(&self) -> Vec<&Scheduler> {
+        (0..self.device_count()).map(|d| self.device(d)).collect()
+    }
+}
+
+impl SchedulerBackend for ClusterScheduler {
+    fn topology_kind(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn register(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError> {
+        let node = ClusterScheduler::register(self, id, limit, now)?;
+        let device = self.node(node).gpus.home_of(id).unwrap_or(0);
+        Ok(Placement {
+            node: Some(self.node(node).name.clone()),
+            device,
+        })
+    }
+
+    fn alloc_request(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+        now: SimTime,
+    ) -> Result<(AllocOutcome, Vec<ResumeAction>), SchedError> {
+        ClusterScheduler::alloc_request(self, id, pid, size, api, now)
+    }
+
+    fn alloc_done(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<(), SchedError> {
+        ClusterScheduler::alloc_done(self, id, pid, addr, size, now)
+    }
+
+    fn alloc_failed(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        ClusterScheduler::alloc_failed(self, id, pid, size, now)
+    }
+
+    fn free(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> Result<(Bytes, Vec<ResumeAction>), SchedError> {
+        ClusterScheduler::free(self, id, pid, addr, now)
+    }
+
+    fn mem_info(&self, id: ContainerId, pid: u64) -> Result<(Bytes, Bytes), SchedError> {
+        ClusterScheduler::mem_info(self, id, pid)
+    }
+
+    fn process_exit(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        ClusterScheduler::process_exit(self, id, pid, now)
+    }
+
+    fn container_close(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        ClusterScheduler::container_close(self, id, now)
+    }
+
+    fn home_of(&self, id: ContainerId) -> Option<Placement> {
+        let node = ClusterScheduler::home_of(self, id)?;
+        let device = self.node(node).gpus.home_of(id)?;
+        Some(Placement {
+            node: Some(self.node(node).name.clone()),
+            device,
+        })
+    }
+
+    fn devices(&self) -> Vec<BackendDeviceInfo> {
+        let mut out = Vec::new();
+        for n in 0..self.node_count() {
+            let node = self.node(n);
+            for d in 0..node.gpus.device_count() {
+                out.push(single_device_info(node.gpus.device(d), Some(&node.name), d));
+            }
+        }
+        out
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        ClusterScheduler::check_invariants(self)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        ClusterScheduler::fingerprint(self)
+    }
+
+    fn attach_obs(&mut self, obs: SchedObs) {
+        ClusterScheduler::attach_obs(self, obs);
+    }
+
+    fn observe_progress(&self) {
+        ClusterScheduler::observe_progress(self);
+    }
+
+    fn primary(&self) -> &Scheduler {
+        self.node(0).gpus.device(0)
+    }
+
+    fn device_schedulers(&self) -> Vec<&Scheduler> {
+        (0..self.node_count())
+            .flat_map(|n| {
+                let gpus = &self.node(n).gpus;
+                (0..gpus.device_count()).map(move |d| gpus.device(d))
+            })
+            .collect()
+    }
+}
+
+/// Enum-dispatched backend the service stores — avoids generics in
+/// `convgpu-core`'s public API while keeping static dispatch per arm.
+#[derive(Clone)]
+pub enum TopologyBackend {
+    /// One GPU, the paper's deployment. Bit-identical to the
+    /// pre-refactor service.
+    Single(Scheduler),
+    /// One host, several GPUs, a placement policy.
+    MultiGpu(MultiGpuScheduler),
+    /// Several nodes under a Docker-Swarm strategy.
+    Cluster(ClusterScheduler),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $b:ident => $e:expr) => {
+        match $self {
+            TopologyBackend::Single($b) => $e,
+            TopologyBackend::MultiGpu($b) => $e,
+            TopologyBackend::Cluster($b) => $e,
+        }
+    };
+}
+
+impl SchedulerBackend for TopologyBackend {
+    fn topology_kind(&self) -> &'static str {
+        dispatch!(self, b => b.topology_kind())
+    }
+
+    fn register(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError> {
+        dispatch!(self, b => SchedulerBackend::register(b, id, limit, now))
+    }
+
+    fn alloc_request(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        api: ApiKind,
+        now: SimTime,
+    ) -> Result<(AllocOutcome, Vec<ResumeAction>), SchedError> {
+        dispatch!(self, b => SchedulerBackend::alloc_request(b, id, pid, size, api, now))
+    }
+
+    fn alloc_done(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<(), SchedError> {
+        dispatch!(self, b => SchedulerBackend::alloc_done(b, id, pid, addr, size, now))
+    }
+
+    fn alloc_failed(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        dispatch!(self, b => SchedulerBackend::alloc_failed(b, id, pid, size, now))
+    }
+
+    fn free(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        addr: u64,
+        now: SimTime,
+    ) -> Result<(Bytes, Vec<ResumeAction>), SchedError> {
+        dispatch!(self, b => SchedulerBackend::free(b, id, pid, addr, now))
+    }
+
+    fn mem_info(&self, id: ContainerId, pid: u64) -> Result<(Bytes, Bytes), SchedError> {
+        dispatch!(self, b => SchedulerBackend::mem_info(b, id, pid))
+    }
+
+    fn process_exit(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        dispatch!(self, b => SchedulerBackend::process_exit(b, id, pid, now))
+    }
+
+    fn container_close(
+        &mut self,
+        id: ContainerId,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        dispatch!(self, b => SchedulerBackend::container_close(b, id, now))
+    }
+
+    fn home_of(&self, id: ContainerId) -> Option<Placement> {
+        dispatch!(self, b => SchedulerBackend::home_of(b, id))
+    }
+
+    fn devices(&self) -> Vec<BackendDeviceInfo> {
+        dispatch!(self, b => SchedulerBackend::devices(b))
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        dispatch!(self, b => SchedulerBackend::check_invariants(b))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        dispatch!(self, b => SchedulerBackend::fingerprint(b))
+    }
+
+    fn attach_obs(&mut self, obs: SchedObs) {
+        dispatch!(self, b => SchedulerBackend::attach_obs(b, obs))
+    }
+
+    fn observe_progress(&self) {
+        dispatch!(self, b => SchedulerBackend::observe_progress(b))
+    }
+
+    fn primary(&self) -> &Scheduler {
+        dispatch!(self, b => SchedulerBackend::primary(b))
+    }
+
+    fn device_schedulers(&self) -> Vec<&Scheduler> {
+        dispatch!(self, b => SchedulerBackend::device_schedulers(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterNode, SwarmStrategy};
+    use crate::core::SchedulerConfig;
+    use crate::multi_gpu::PlacementPolicy;
+    use crate::policy::PolicyKind;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn backends() -> Vec<TopologyBackend> {
+        vec![
+            TopologyBackend::Single(Scheduler::new(
+                SchedulerConfig::with_capacity(Bytes::gib(5)),
+                PolicyKind::Fifo.build(0),
+            )),
+            TopologyBackend::MultiGpu(MultiGpuScheduler::new(
+                &[Bytes::gib(5), Bytes::gib(5)],
+                PolicyKind::Fifo,
+                PlacementPolicy::RoundRobin,
+                7,
+            )),
+            TopologyBackend::Cluster(ClusterScheduler::new(
+                vec![
+                    ClusterNode::new("n0", &[Bytes::gib(5)], PolicyKind::Fifo, 1),
+                    ClusterNode::new("n1", &[Bytes::gib(5)], PolicyKind::Fifo, 2),
+                ],
+                SwarmStrategy::Spread,
+                9,
+            )),
+        ]
+    }
+
+    #[test]
+    fn every_backend_serves_the_same_lifecycle() {
+        for mut b in backends() {
+            let place = b.register(ContainerId(1), Bytes::gib(2), t(0)).unwrap();
+            assert_eq!(b.home_of(ContainerId(1)), Some(place.clone()));
+            let (out, _) = b
+                .alloc_request(ContainerId(1), 7, Bytes::gib(1), ApiKind::Malloc, t(1))
+                .unwrap();
+            assert_eq!(out, AllocOutcome::Granted);
+            b.alloc_done(ContainerId(1), 7, 0xA, Bytes::gib(1), t(1))
+                .unwrap();
+            let (_free, limit) = b.mem_info(ContainerId(1), 7).unwrap();
+            assert_eq!(limit, Bytes::gib(2));
+            let (freed, _) = b.free(ContainerId(1), 7, 0xA, t(2)).unwrap();
+            assert_eq!(freed, Bytes::gib(1));
+            b.process_exit(ContainerId(1), 7, t(3)).unwrap();
+            b.container_close(ContainerId(1), t(4)).unwrap();
+            b.check_invariants().unwrap();
+            let devs = b.devices();
+            assert!(!devs.is_empty());
+            assert!(devs.iter().all(|d| d.open_containers == 0));
+            let _ = b.fingerprint();
+        }
+    }
+
+    #[test]
+    fn placement_labels_are_wire_friendly() {
+        let single = Placement {
+            node: None,
+            device: 0,
+        };
+        assert_eq!(single.label(), "0");
+        let clustered = Placement {
+            node: Some("node-3".into()),
+            device: 1,
+        };
+        assert_eq!(clustered.label(), "node-3:1");
+    }
+
+    #[test]
+    fn device_schedulers_cover_every_device_and_lead_with_primary() {
+        for b in backends() {
+            let scheds = b.device_schedulers();
+            assert_eq!(scheds.len(), b.devices().len());
+            assert!(std::ptr::eq(scheds[0], b.primary()));
+        }
+    }
+
+    #[test]
+    fn cluster_devices_snapshot_covers_all_nodes() {
+        let b = backends().pop().unwrap();
+        let devs = b.devices();
+        assert_eq!(devs.len(), 2);
+        assert_eq!(devs[0].node.as_deref(), Some("n0"));
+        assert_eq!(devs[1].node.as_deref(), Some("n1"));
+        assert_eq!(b.topology_kind(), "cluster");
+    }
+}

@@ -16,8 +16,12 @@
 //! node, preserving all single-node semantics (suspension, guarantees,
 //! policy redistribution) unchanged — GPU memory never migrates across
 //! nodes, exactly as in a real Swarm deployment.
+//!
+//! Tickets gain the node index in their top byte ([`NODE_TICKET_SHIFT`]),
+//! stacked above the device tag applied by each node's
+//! [`MultiGpuScheduler`], so one waiter table can serve the whole cluster.
 
-use crate::core::{AllocOutcome, ResumeAction, SchedError};
+use crate::core::{AllocOutcome, ResumeAction, SchedError, SchedObs, SchedulerConfig};
 use crate::multi_gpu::{MultiGpuScheduler, PlacementPolicy};
 use crate::policy::PolicyKind;
 use convgpu_ipc::message::ApiKind;
@@ -25,7 +29,7 @@ use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::rng::DetRng;
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Docker-Swarm-style node placement strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -38,7 +42,29 @@ pub enum SwarmStrategy {
     Random,
 }
 
+impl SwarmStrategy {
+    /// Stable label used in metrics, reports, and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SwarmStrategy::Spread => "spread",
+            SwarmStrategy::BinPack => "binpack",
+            SwarmStrategy::Random => "random",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<SwarmStrategy> {
+        match s {
+            "spread" => Some(SwarmStrategy::Spread),
+            "binpack" | "bin-pack" => Some(SwarmStrategy::BinPack),
+            "random" => Some(SwarmStrategy::Random),
+            _ => None,
+        }
+    }
+}
+
 /// One cluster node: a named host with its GPUs.
+#[derive(Clone)]
 pub struct ClusterNode {
     /// Host name, e.g. `"node-03"`.
     pub name: String,
@@ -64,17 +90,64 @@ impl ClusterNode {
             ),
         }
     }
+
+    /// [`new`](Self::new) with an explicit base scheduler config (resume
+    /// rule, context-overhead charging).
+    pub fn with_config(
+        name: impl Into<String>,
+        base: SchedulerConfig,
+        gpu_capacities: &[Bytes],
+        policy: PolicyKind,
+        seed: u64,
+    ) -> Self {
+        ClusterNode {
+            name: name.into(),
+            gpus: MultiGpuScheduler::with_config(
+                base,
+                gpu_capacities,
+                policy,
+                PlacementPolicy::BestFitDevice,
+                seed,
+            ),
+        }
+    }
 }
 
 /// Index of a node within the cluster.
 pub type NodeIndex = usize;
 
+/// Bit position where the node index is tagged into outgoing tickets,
+/// above the device tag (`multi_gpu::DEVICE_TICKET_SHIFT`).
+pub const NODE_TICKET_SHIFT: u32 = 56;
+
+fn tag_ticket(node: NodeIndex, tagged_by_device: u64) -> u64 {
+    ((node as u64) << NODE_TICKET_SHIFT) | tagged_by_device
+}
+
+fn tag_actions(node: NodeIndex, mut actions: Vec<ResumeAction>) -> Vec<ResumeAction> {
+    for a in &mut actions {
+        a.ticket = tag_ticket(node, a.ticket);
+    }
+    actions
+}
+
+fn tag_outcome(node: NodeIndex, outcome: AllocOutcome) -> AllocOutcome {
+    match outcome {
+        AllocOutcome::Suspended { ticket } => AllocOutcome::Suspended {
+            ticket: tag_ticket(node, ticket),
+        },
+        other => other,
+    }
+}
+
 /// The cluster-level scheduler.
+#[derive(Clone)]
 pub struct ClusterScheduler {
     nodes: Vec<ClusterNode>,
     strategy: SwarmStrategy,
-    homes: HashMap<ContainerId, NodeIndex>,
+    homes: BTreeMap<ContainerId, NodeIndex>,
     rng: DetRng,
+    obs: Option<SchedObs>,
 }
 
 impl ClusterScheduler {
@@ -87,9 +160,25 @@ impl ClusterScheduler {
         ClusterScheduler {
             nodes,
             strategy,
-            homes: HashMap::new(),
+            homes: BTreeMap::new(),
             rng: DetRng::seed_from_u64(seed),
+            obs: None,
         }
+    }
+
+    /// Attach observability: every node's devices gauge under a
+    /// `node:device` label, Swarm placement decisions counted per node.
+    pub fn attach_obs(&mut self, obs: SchedObs) {
+        for n in self.nodes.iter_mut() {
+            let name = n.name.clone();
+            n.gpus.attach_obs_with_node(obs.clone(), &name);
+        }
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability sink, if any.
+    pub fn obs(&self) -> Option<&SchedObs> {
+        self.obs.as_ref()
     }
 
     /// Number of nodes.
@@ -105,6 +194,16 @@ impl ClusterScheduler {
     /// Which node hosts `id`, if registered.
     pub fn home_of(&self, id: ContainerId) -> Option<NodeIndex> {
         self.homes.get(&id).copied()
+    }
+
+    /// All container → node assignments, in container order.
+    pub fn homes(&self) -> impl Iterator<Item = (ContainerId, NodeIndex)> + '_ {
+        self.homes.iter().map(|(&c, &n)| (c, n))
+    }
+
+    /// The configured Swarm strategy.
+    pub fn strategy(&self) -> SwarmStrategy {
+        self.strategy
     }
 
     fn capable_nodes(&self, hint: Bytes) -> Vec<NodeIndex> {
@@ -173,18 +272,40 @@ impl ClusterScheduler {
             })?;
         self.nodes[node].gpus.register(id, limit, now)?;
         self.homes.insert(id, node);
+        if let Some(o) = &self.obs {
+            o.registry.inc(
+                "convgpu_sched_swarm_placement_total",
+                &[
+                    ("strategy", self.strategy.label()),
+                    ("node", &self.nodes[node].name),
+                ],
+                1,
+            );
+        }
         Ok(node)
     }
 
-    fn route(&mut self, id: ContainerId) -> Result<&mut MultiGpuScheduler, SchedError> {
+    fn route(
+        &mut self,
+        id: ContainerId,
+    ) -> Result<(NodeIndex, &mut MultiGpuScheduler), SchedError> {
         let idx = *self
             .homes
             .get(&id)
             .ok_or(SchedError::UnknownContainer(id))?;
-        Ok(&mut self.nodes[idx].gpus)
+        Ok((idx, &mut self.nodes[idx].gpus))
     }
 
-    /// Route an allocation request to the container's home node.
+    fn route_ref(&self, id: ContainerId) -> Result<(NodeIndex, &MultiGpuScheduler), SchedError> {
+        let idx = *self
+            .homes
+            .get(&id)
+            .ok_or(SchedError::UnknownContainer(id))?;
+        Ok((idx, &self.nodes[idx].gpus))
+    }
+
+    /// Route an allocation request to the container's home node. Tickets
+    /// carry the node tag over the device tag.
     pub fn alloc_request(
         &mut self,
         id: ContainerId,
@@ -193,7 +314,9 @@ impl ClusterScheduler {
         api: ApiKind,
         now: SimTime,
     ) -> Result<(AllocOutcome, Vec<ResumeAction>), SchedError> {
-        self.route(id)?.alloc_request(id, pid, size, api, now)
+        let (idx, node) = self.route(id)?;
+        let (out, actions) = node.alloc_request(id, pid, size, api, now)?;
+        Ok((tag_outcome(idx, out), tag_actions(idx, actions)))
     }
 
     /// Route an allocation completion.
@@ -205,7 +328,19 @@ impl ClusterScheduler {
         size: Bytes,
         now: SimTime,
     ) -> Result<(), SchedError> {
-        self.route(id)?.alloc_done(id, pid, addr, size, now)
+        self.route(id)?.1.alloc_done(id, pid, addr, size, now)
+    }
+
+    /// Route an allocation failure.
+    pub fn alloc_failed(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        let (idx, node) = self.route(id)?;
+        Ok(tag_actions(idx, node.alloc_failed(id, pid, size, now)?))
     }
 
     /// Route a free.
@@ -216,7 +351,25 @@ impl ClusterScheduler {
         addr: u64,
         now: SimTime,
     ) -> Result<(Bytes, Vec<ResumeAction>), SchedError> {
-        self.route(id)?.free(id, pid, addr, now)
+        let (idx, node) = self.route(id)?;
+        let (freed, actions) = node.free(id, pid, addr, now)?;
+        Ok((freed, tag_actions(idx, actions)))
+    }
+
+    /// Route a memory-info query.
+    pub fn mem_info(&self, id: ContainerId, pid: u64) -> Result<(Bytes, Bytes), SchedError> {
+        self.route_ref(id)?.1.mem_info(id, pid)
+    }
+
+    /// Route a process exit.
+    pub fn process_exit(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        let (idx, node) = self.route(id)?;
+        Ok(tag_actions(idx, node.process_exit(id, pid, now)?))
     }
 
     /// Route a container close.
@@ -225,17 +378,45 @@ impl ClusterScheduler {
         id: ContainerId,
         now: SimTime,
     ) -> Result<Vec<ResumeAction>, SchedError> {
-        self.route(id)?.container_close(id, now)
+        let (idx, node) = self.route(id)?;
+        Ok(tag_actions(idx, node.container_close(id, now)?))
     }
 
-    /// Check invariants on every node.
+    /// Check invariants on every node, plus home-map consistency.
     pub fn check_invariants(&self) -> Result<(), String> {
         for n in &self.nodes {
             n.gpus
                 .check_invariants()
                 .map_err(|e| format!("node {}: {e}", n.name))?;
         }
+        for (&c, &n) in &self.homes {
+            if n >= self.nodes.len() {
+                return Err(format!("container {c:?} homed on missing node {n}"));
+            }
+            if self.nodes[n].gpus.home_of(c).is_none() {
+                return Err(format!("container {c:?} missing from home node {n}"));
+            }
+        }
         Ok(())
+    }
+
+    /// Record per-device progress assessments across all nodes.
+    pub fn observe_progress(&self) {
+        for n in &self.nodes {
+            n.gpus.observe_progress();
+        }
+    }
+
+    /// Deterministic digest of cluster placement + per-node scheduler
+    /// state, folding the (non-advancing) Swarm RNG fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for n in &self.nodes {
+            h ^= n.gpus.fingerprint();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= self.rng.state_fingerprint();
+        h.wrapping_mul(0x0000_0100_0000_01b3)
     }
 }
 
@@ -332,8 +513,13 @@ mod tests {
         assert_eq!(out, AllocOutcome::Granted);
         c.alloc_done(ContainerId(1), 7, 0xA, Bytes::gib(2), t(1))
             .unwrap();
+        let (free, limit) = c.mem_info(ContainerId(1), 7).unwrap();
+        assert_eq!(limit, Bytes::gib(2));
+        // Limit plus the per-pid ctx charge are fully used: no headroom.
+        assert_eq!(free, Bytes::ZERO);
         let (freed, _) = c.free(ContainerId(1), 7, 0xA, t(2)).unwrap();
         assert_eq!(freed, Bytes::gib(2));
+        c.process_exit(ContainerId(1), 7, t(2)).unwrap();
         c.container_close(ContainerId(1), t(3)).unwrap();
         assert_eq!(c.node(home).gpus.open_containers(), 0);
         c.check_invariants().unwrap();
@@ -370,5 +556,49 @@ mod tests {
         // prefers a fitting node: it must pick node b.
         assert_eq!(n2, 1, "binpack avoids the saturated node when another fits");
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tickets_carry_the_node_tag() {
+        let mut c = ClusterScheduler::new(
+            vec![
+                ClusterNode::new("a", &[Bytes::gib(5)], PolicyKind::Fifo, 1),
+                ClusterNode::new("b", &[Bytes::gib(5)], PolicyKind::Fifo, 2),
+            ],
+            SwarmStrategy::Spread,
+            0,
+        );
+        // Spread alternates: c1 → node 0, c2 → node 1, c3 → node 0, c4 → node 1.
+        for i in 1..=4u64 {
+            c.register(ContainerId(i), Bytes::gib(4), t(0)).unwrap();
+        }
+        assert_eq!(c.home_of(ContainerId(4)), Some(1));
+        for (cid, pid) in [(1u64, 10u64), (2, 20)] {
+            let (out, _) = c
+                .alloc_request(ContainerId(cid), pid, Bytes::gib(4), ApiKind::Malloc, t(1))
+                .unwrap();
+            assert_eq!(out, AllocOutcome::Granted);
+        }
+        let (out0, _) = c
+            .alloc_request(ContainerId(3), 30, Bytes::gib(4), ApiKind::Malloc, t(2))
+            .unwrap();
+        let (out1, _) = c
+            .alloc_request(ContainerId(4), 40, Bytes::gib(4), ApiKind::Malloc, t(2))
+            .unwrap();
+        let (t0, t1) = match (out0, out1) {
+            (AllocOutcome::Suspended { ticket: a }, AllocOutcome::Suspended { ticket: b }) => {
+                (a, b)
+            }
+            other => panic!("expected suspensions, got {other:?}"),
+        };
+        assert_ne!(t0, t1, "tickets from different nodes never collide");
+        assert_eq!(t0 >> NODE_TICKET_SHIFT, 0);
+        assert_eq!(t1 >> NODE_TICKET_SHIFT, 1);
+        let resumed = c.container_close(ContainerId(2), t(3)).unwrap();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].ticket, t1);
+        c.check_invariants().unwrap();
+        // Fingerprints are stable for identical histories.
+        assert_eq!(c.fingerprint(), c.clone().fingerprint());
     }
 }

@@ -102,6 +102,59 @@ pub struct SchedObs {
     pub registry: Arc<Registry>,
     /// Tracer receiving per-container spans and decision events.
     pub tracer: Arc<Tracer>,
+    /// Device identity for multi-GPU topologies. `None` (the single-GPU
+    /// service) emits the exact label sets the exposition always had;
+    /// `Some(d)` appends a `device="d"` label to every gauge/counter and a
+    /// `device` attribute to every span, so per-device series coexist in
+    /// one shared registry.
+    pub device: Option<String>,
+}
+
+impl SchedObs {
+    /// An unlabeled (single-device) attachment.
+    pub fn new(registry: Arc<Registry>, tracer: Arc<Tracer>) -> Self {
+        SchedObs {
+            registry,
+            tracer,
+            device: None,
+        }
+    }
+
+    /// The same sinks, labeled as device `device` (used by the multi-GPU
+    /// and cluster backends, one label per device scheduler).
+    pub fn with_device(&self, device: impl Into<String>) -> Self {
+        SchedObs {
+            registry: Arc::clone(&self.registry),
+            tracer: Arc::clone(&self.tracer),
+            device: Some(device.into()),
+        }
+    }
+
+    /// Set `value` on gauge `name`, appending the device label if present.
+    /// The `device: None` path forwards `base` untouched so single-device
+    /// output stays bit-identical.
+    pub(crate) fn set_gauge(&self, name: &str, base: &[(&str, &str)], value: f64) {
+        match self.device.as_deref() {
+            None => self.registry.set_gauge(name, base, value),
+            Some(d) => {
+                let mut labels: Vec<(&str, &str)> = base.to_vec();
+                labels.push(("device", d));
+                self.registry.set_gauge(name, &labels, value);
+            }
+        }
+    }
+
+    /// Increment counter `name`, appending the device label if present.
+    pub(crate) fn inc(&self, name: &str, base: &[(&str, &str)], by: u64) {
+        match self.device.as_deref() {
+            None => self.registry.inc(name, base, by),
+            Some(d) => {
+                let mut labels: Vec<(&str, &str)> = base.to_vec();
+                labels.push(("device", d));
+                self.registry.inc(name, &labels, by);
+            }
+        }
+    }
 }
 
 /// Verdict on an allocation request.
@@ -291,12 +344,12 @@ impl Scheduler {
     fn publish_gauges(&mut self) {
         let mut dirty = std::mem::take(&mut self.touched);
         let Some(obs) = &self.obs else { return };
-        obs.registry.set_gauge(
+        obs.set_gauge(
             "convgpu_sched_assigned_bytes",
             &[],
             self.total_assigned.as_u64() as f64,
         );
-        obs.registry.set_gauge(
+        obs.set_gauge(
             "convgpu_sched_unassigned_bytes",
             &[],
             self.unassigned().as_u64() as f64,
@@ -309,22 +362,22 @@ impl Scheduler {
             };
             let c = rec.id.to_string();
             let labels = [("container", c.as_str())];
-            obs.registry.set_gauge(
+            obs.set_gauge(
                 "convgpu_sched_container_assigned_bytes",
                 &labels,
                 rec.assigned.as_u64() as f64,
             );
-            obs.registry.set_gauge(
+            obs.set_gauge(
                 "convgpu_sched_container_used_bytes",
                 &labels,
                 rec.used.as_u64() as f64,
             );
-            obs.registry.set_gauge(
+            obs.set_gauge(
                 "convgpu_sched_container_suspend_episodes",
                 &labels,
                 rec.suspend_episodes as f64,
             );
-            obs.registry.set_gauge(
+            obs.set_gauge(
                 "convgpu_sched_container_suspended_seconds_total",
                 &labels,
                 rec.total_suspended.as_secs_f64(),
@@ -346,11 +399,15 @@ impl Scheduler {
     ) {
         if let Some(o) = obs {
             let kind = decision.kind();
-            o.registry
-                .inc("convgpu_sched_decisions_total", &[("kind", kind)], 1);
+            o.inc("convgpu_sched_decisions_total", &[("kind", kind)], 1);
             let id = decision.container();
             let parent = container_spans.get(&id).copied();
-            o.tracer.instant(kind, Some(id.as_u64()), parent, now, &[]);
+            let _ = match o.device.as_deref() {
+                None => o.tracer.instant(kind, Some(id.as_u64()), parent, now, &[]),
+                Some(d) => o
+                    .tracer
+                    .instant(kind, Some(id.as_u64()), parent, now, &[("device", d)]),
+            };
         }
         log.push(now, decision);
     }
@@ -371,14 +428,24 @@ impl Scheduler {
         if let Some(o) = obs {
             let parent = container_spans.get(&id).copied();
             let t = ticket.to_string();
-            o.tracer.span(
-                "suspend_wait",
-                Some(id.as_u64()),
-                parent,
-                since,
-                now,
-                &[("ticket", t.as_str()), ("outcome", outcome)],
-            );
+            let _ = match o.device.as_deref() {
+                None => o.tracer.span(
+                    "suspend_wait",
+                    Some(id.as_u64()),
+                    parent,
+                    since,
+                    now,
+                    &[("ticket", t.as_str()), ("outcome", outcome)],
+                ),
+                Some(d) => o.tracer.span(
+                    "suspend_wait",
+                    Some(id.as_u64()),
+                    parent,
+                    since,
+                    now,
+                    &[("ticket", t.as_str()), ("outcome", outcome), ("device", d)],
+                ),
+            };
         }
     }
 
@@ -387,11 +454,18 @@ impl Scheduler {
     fn observe_suspend_end(obs: &Option<SchedObs>, id: ContainerId, ended: Option<SimDuration>) {
         if let (Some(o), Some(d)) = (obs, ended) {
             let c = id.to_string();
-            o.registry.observe(
-                "convgpu_sched_suspend_seconds",
-                &[("container", c.as_str())],
-                d,
-            );
+            match o.device.as_deref() {
+                None => o.registry.observe(
+                    "convgpu_sched_suspend_seconds",
+                    &[("container", c.as_str())],
+                    d,
+                ),
+                Some(dev) => o.registry.observe(
+                    "convgpu_sched_suspend_seconds",
+                    &[("container", c.as_str()), ("device", dev)],
+                    d,
+                ),
+            }
         }
     }
 
@@ -901,6 +975,11 @@ impl Scheduler {
             // reserved at registration so its events already parent to it.
             if let Some(o) = &self.obs {
                 if let Some(sid) = self.container_spans.get(&id).copied() {
+                    let mut attrs: Vec<(String, String)> =
+                        vec![("policy".into(), self.policy.name().into())];
+                    if let Some(d) = o.device.as_deref() {
+                        attrs.push(("device".into(), d.into()));
+                    }
                     o.tracer.emit(SpanRecord {
                         id: sid,
                         parent: None,
@@ -908,7 +987,7 @@ impl Scheduler {
                         container: Some(id.as_u64()),
                         start: registered_at,
                         end: now,
-                        attrs: vec![("policy".into(), self.policy.name().into())],
+                        attrs,
                     });
                 }
             }

@@ -74,23 +74,44 @@ pub fn is_stalled(sched: &Scheduler) -> bool {
 /// 3 stalled) and `convgpu_sched_waiting_containers` (size of the waiting
 /// set; zero outside a stall).
 pub fn record(state: &ProgressState, registry: &convgpu_obs::Registry) {
+    record_labeled(state, registry, None);
+}
+
+/// [`record`], scoped to one device of a multi-GPU topology. With
+/// `device: None` the label sets are exactly the historical (unlabeled)
+/// ones, so single-GPU exposition is bit-identical.
+pub fn record_labeled(
+    state: &ProgressState,
+    registry: &convgpu_obs::Registry,
+    device: Option<&str>,
+) {
     let (code, waiting) = match state {
         ProgressState::Idle => (0.0, 0),
         ProgressState::Progressing => (1.0, 0),
         ProgressState::ResumePending => (2.0, 0),
         ProgressState::Stalled { waiting } => (3.0, waiting.len()),
     };
-    registry.set_gauge("convgpu_sched_progress_state", &[], code);
-    registry.set_gauge("convgpu_sched_waiting_containers", &[], waiting as f64);
+    match device {
+        None => {
+            registry.set_gauge("convgpu_sched_progress_state", &[], code);
+            registry.set_gauge("convgpu_sched_waiting_containers", &[], waiting as f64);
+        }
+        Some(d) => {
+            let labels = [("device", d)];
+            registry.set_gauge("convgpu_sched_progress_state", &labels, code);
+            registry.set_gauge("convgpu_sched_waiting_containers", &labels, waiting as f64);
+        }
+    }
 }
 
 /// [`assess`], and when the scheduler has observability attached also
-/// [`record`] the verdict into its registry. Pure read otherwise — the
-/// assessment itself never mutates scheduler state.
+/// [`record`] the verdict into its registry (under the scheduler's device
+/// label for multi-GPU topologies). Pure read otherwise — the assessment
+/// itself never mutates scheduler state.
 pub fn assess_observed(sched: &Scheduler) -> ProgressState {
     let state = assess(sched);
     if let Some(obs) = sched.obs() {
-        record(&state, &obs.registry);
+        record_labeled(&state, &obs.registry, obs.device.as_deref());
     }
     state
 }

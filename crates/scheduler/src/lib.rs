@@ -30,6 +30,9 @@
 //!   per device plus a placement policy.
 //! * [`cluster`] — the other §V item: Docker-Swarm-style dispatch of
 //!   containers across multi-GPU nodes.
+//! * [`backend`] — the [`backend::SchedulerBackend`] trait unifying the
+//!   three topologies behind one message surface, and the
+//!   [`backend::TopologyBackend`] enum the live service dispatches on.
 //! * [`deadlock`] — stall detection used to *demonstrate* that ConVGPU's
 //!   guarantee discipline avoids the deadlock of naive sharing.
 //! * [`invariant`] — the typed safety invariants behind
@@ -39,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod cluster;
 pub mod core;
 pub mod deadlock;
@@ -53,6 +57,7 @@ pub mod timeline;
 pub use crate::core::{
     AllocOutcome, ResumeAction, SchedError, SchedObs, Scheduler, SchedulerConfig,
 };
+pub use backend::{BackendDeviceInfo, Placement, SchedulerBackend, TopologyBackend};
 pub use cluster::{ClusterNode, ClusterScheduler, SwarmStrategy};
 pub use invariant::InvariantViolation;
 pub use log::{Decision, DecisionLog, LogEntry};

@@ -6,14 +6,20 @@
 //! device when a container registers. Every later message is routed by the
 //! container → device map. Three placement policies are provided and
 //! compared in the `multi_gpu_placement` bench.
+//!
+//! Tickets handed out by different devices are disambiguated by tagging
+//! the device index into the high bits ([`DEVICE_TICKET_SHIFT`]), so a
+//! multi-GPU service can key its waiter table on the ticket alone. Device
+//! 0 tickets are numerically unchanged, which keeps single-device golden
+//! traces bit-identical when a one-device topology is used.
 
-use crate::core::{AllocOutcome, ResumeAction, SchedError, Scheduler, SchedulerConfig};
+use crate::core::{AllocOutcome, ResumeAction, SchedError, SchedObs, Scheduler, SchedulerConfig};
 use crate::policy::PolicyKind;
 use convgpu_ipc::message::ApiKind;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::SimTime;
 use convgpu_sim_core::units::Bytes;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How to choose the device for a new container.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -27,15 +33,65 @@ pub enum PlacementPolicy {
     BestFitDevice,
 }
 
+impl PlacementPolicy {
+    /// Stable label used in metrics, reports, and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::MostFree => "most-free",
+            PlacementPolicy::BestFitDevice => "best-fit-device",
+        }
+    }
+
+    /// Parse a CLI spelling (`rr`, `most-free`, `best-fit`, and the full
+    /// labels above).
+    pub fn parse(s: &str) -> Option<PlacementPolicy> {
+        match s {
+            "rr" | "round-robin" => Some(PlacementPolicy::RoundRobin),
+            "most-free" | "mf" => Some(PlacementPolicy::MostFree),
+            "best-fit" | "bf" | "best-fit-device" => Some(PlacementPolicy::BestFitDevice),
+            _ => None,
+        }
+    }
+}
+
 /// Index of a device within a [`MultiGpuScheduler`].
 pub type DeviceIndex = usize;
 
+/// Bit position where the device index is tagged into outgoing tickets.
+/// Raw per-device tickets are small sequential integers, so 48 bits of
+/// ticket space leaves 8 bits for the device index and 8 for the node
+/// index above it (see `cluster::NODE_TICKET_SHIFT`).
+pub const DEVICE_TICKET_SHIFT: u32 = 48;
+
+fn tag_ticket(device: DeviceIndex, raw: u64) -> u64 {
+    ((device as u64) << DEVICE_TICKET_SHIFT) | raw
+}
+
+fn tag_actions(device: DeviceIndex, mut actions: Vec<ResumeAction>) -> Vec<ResumeAction> {
+    for a in &mut actions {
+        a.ticket = tag_ticket(device, a.ticket);
+    }
+    actions
+}
+
+fn tag_outcome(device: DeviceIndex, outcome: AllocOutcome) -> AllocOutcome {
+    match outcome {
+        AllocOutcome::Suspended { ticket } => AllocOutcome::Suspended {
+            ticket: tag_ticket(device, ticket),
+        },
+        other => other,
+    }
+}
+
 /// A scheduler spanning several GPUs.
+#[derive(Clone)]
 pub struct MultiGpuScheduler {
     devices: Vec<Scheduler>,
     placement: PlacementPolicy,
-    homes: HashMap<ContainerId, DeviceIndex>,
+    homes: BTreeMap<ContainerId, DeviceIndex>,
     rr_next: usize,
+    obs: Option<SchedObs>,
 }
 
 impl MultiGpuScheduler {
@@ -47,22 +103,75 @@ impl MultiGpuScheduler {
         placement: PlacementPolicy,
         seed: u64,
     ) -> Self {
+        Self::with_config(
+            SchedulerConfig::paper(),
+            capacities,
+            sched_policy,
+            placement,
+            seed,
+        )
+    }
+
+    /// [`new`](Self::new) with an explicit base config (resume rule,
+    /// context-overhead charging); each device overrides only the
+    /// capacity.
+    pub fn with_config(
+        base: SchedulerConfig,
+        capacities: &[Bytes],
+        sched_policy: PolicyKind,
+        placement: PlacementPolicy,
+        seed: u64,
+    ) -> Self {
         assert!(!capacities.is_empty(), "need at least one device");
         let devices = capacities
             .iter()
             .enumerate()
             .map(|(i, &cap)| {
-                Scheduler::new(
-                    SchedulerConfig::with_capacity(cap),
-                    sched_policy.build(seed.wrapping_add(i as u64)),
-                )
+                let cfg = SchedulerConfig {
+                    capacity: cap,
+                    ..base.clone()
+                };
+                Scheduler::new(cfg, sched_policy.build(seed.wrapping_add(i as u64)))
             })
             .collect();
         MultiGpuScheduler {
             devices,
             placement,
-            homes: HashMap::new(),
+            homes: BTreeMap::new(),
             rr_next: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach observability. Each device scheduler gets the sink scoped
+    /// with its device index as the `device` label; placement decisions
+    /// are counted on the shared registry.
+    pub fn attach_obs(&mut self, obs: SchedObs) {
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            d.attach_obs(obs.with_device(i.to_string()));
+        }
+        self.obs = Some(obs);
+    }
+
+    /// [`attach_obs`](Self::attach_obs) for a cluster node: device labels
+    /// become `node:index` so gauges from different nodes stay distinct
+    /// on one registry.
+    pub fn attach_obs_with_node(&mut self, obs: SchedObs, node: &str) {
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            d.attach_obs(obs.with_device(format!("{node}:{i}")));
+        }
+        self.obs = Some(obs.with_device(node));
+    }
+
+    /// The attached observability sink, if any.
+    pub fn obs(&self) -> Option<&SchedObs> {
+        self.obs.as_ref()
+    }
+
+    fn device_label(&self, idx: DeviceIndex) -> String {
+        match self.obs.as_ref().and_then(|o| o.device.as_deref()) {
+            Some(node) => format!("{node}:{idx}"),
+            None => idx.to_string(),
         }
     }
 
@@ -76,9 +185,24 @@ impl MultiGpuScheduler {
         self.homes.get(&id).copied()
     }
 
+    /// All container → device assignments, in container order.
+    pub fn homes(&self) -> impl Iterator<Item = (ContainerId, DeviceIndex)> + '_ {
+        self.homes.iter().map(|(&c, &d)| (c, d))
+    }
+
     /// Read access to a device scheduler.
     pub fn device(&self, idx: DeviceIndex) -> &Scheduler {
         &self.devices[idx]
+    }
+
+    /// The configured placement policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Round-robin cursor (state the model checker must canonicalize).
+    pub fn rr_cursor(&self) -> usize {
+        self.rr_next
     }
 
     fn pick_device(&mut self, requirement_hint: Bytes) -> DeviceIndex {
@@ -147,18 +271,35 @@ impl MultiGpuScheduler {
         }
         self.devices[idx].register(id, limit, now)?;
         self.homes.insert(id, idx);
+        if let Some(o) = &self.obs {
+            let dev = self.device_label(idx);
+            o.registry.inc(
+                "convgpu_sched_placement_total",
+                &[("placement", self.placement.label()), ("device", &dev)],
+                1,
+            );
+        }
         Ok(idx)
     }
 
-    fn route(&mut self, id: ContainerId) -> Result<&mut Scheduler, SchedError> {
+    fn route(&mut self, id: ContainerId) -> Result<(DeviceIndex, &mut Scheduler), SchedError> {
         let idx = *self
             .homes
             .get(&id)
             .ok_or(SchedError::UnknownContainer(id))?;
-        Ok(&mut self.devices[idx])
+        Ok((idx, &mut self.devices[idx]))
     }
 
-    /// Route an allocation request to the container's device.
+    fn route_ref(&self, id: ContainerId) -> Result<(DeviceIndex, &Scheduler), SchedError> {
+        let idx = *self
+            .homes
+            .get(&id)
+            .ok_or(SchedError::UnknownContainer(id))?;
+        Ok((idx, &self.devices[idx]))
+    }
+
+    /// Route an allocation request to the container's device. Tickets in
+    /// the outcome and resume actions carry the device tag.
     pub fn alloc_request(
         &mut self,
         id: ContainerId,
@@ -167,7 +308,9 @@ impl MultiGpuScheduler {
         api: ApiKind,
         now: SimTime,
     ) -> Result<(AllocOutcome, Vec<ResumeAction>), SchedError> {
-        self.route(id)?.alloc_request(id, pid, size, api, now)
+        let (idx, dev) = self.route(id)?;
+        let (out, actions) = dev.alloc_request(id, pid, size, api, now)?;
+        Ok((tag_outcome(idx, out), tag_actions(idx, actions)))
     }
 
     /// Route an allocation completion.
@@ -179,7 +322,19 @@ impl MultiGpuScheduler {
         size: Bytes,
         now: SimTime,
     ) -> Result<(), SchedError> {
-        self.route(id)?.alloc_done(id, pid, addr, size, now)
+        self.route(id)?.1.alloc_done(id, pid, addr, size, now)
+    }
+
+    /// Route an allocation failure (driver-side OOM after a grant).
+    pub fn alloc_failed(
+        &mut self,
+        id: ContainerId,
+        pid: u64,
+        size: Bytes,
+        now: SimTime,
+    ) -> Result<Vec<ResumeAction>, SchedError> {
+        let (idx, dev) = self.route(id)?;
+        Ok(tag_actions(idx, dev.alloc_failed(id, pid, size, now)?))
     }
 
     /// Route a free.
@@ -190,7 +345,14 @@ impl MultiGpuScheduler {
         addr: u64,
         now: SimTime,
     ) -> Result<(Bytes, Vec<ResumeAction>), SchedError> {
-        self.route(id)?.free(id, pid, addr, now)
+        let (idx, dev) = self.route(id)?;
+        let (freed, actions) = dev.free(id, pid, addr, now)?;
+        Ok((freed, tag_actions(idx, actions)))
+    }
+
+    /// Route a memory-info query (per-device `cudaMemGetInfo` view).
+    pub fn mem_info(&self, id: ContainerId, pid: u64) -> Result<(Bytes, Bytes), SchedError> {
+        self.route_ref(id)?.1.mem_info(id, pid)
     }
 
     /// Route a process exit.
@@ -200,7 +362,8 @@ impl MultiGpuScheduler {
         pid: u64,
         now: SimTime,
     ) -> Result<Vec<ResumeAction>, SchedError> {
-        self.route(id)?.process_exit(id, pid, now)
+        let (idx, dev) = self.route(id)?;
+        Ok(tag_actions(idx, dev.process_exit(id, pid, now)?))
     }
 
     /// Route a container close.
@@ -209,7 +372,8 @@ impl MultiGpuScheduler {
         id: ContainerId,
         now: SimTime,
     ) -> Result<Vec<ResumeAction>, SchedError> {
-        self.route(id)?.container_close(id, now)
+        let (idx, dev) = self.route(id)?;
+        Ok(tag_actions(idx, dev.container_close(id, now)?))
     }
 
     /// Memory not reserved on any device (cluster-level scoring).
@@ -246,7 +410,35 @@ impl MultiGpuScheduler {
             d.check_invariants()
                 .map_err(|e| format!("device {i}: {e}"))?;
         }
+        // Homes must point at devices that actually know the container.
+        for (&c, &d) in &self.homes {
+            if d >= self.devices.len() {
+                return Err(format!("container {c:?} homed on missing device {d}"));
+            }
+            if self.devices[d].container(c).is_none() {
+                return Err(format!("container {c:?} missing from home device {d}"));
+            }
+        }
         Ok(())
+    }
+
+    /// Record per-device progress assessments into the attached registry.
+    pub fn observe_progress(&self) {
+        for d in &self.devices {
+            let _ = crate::deadlock::assess_observed(d);
+        }
+    }
+
+    /// Deterministic digest of placement + per-device policy state, for
+    /// golden fingerprint tests across topologies.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for d in &self.devices {
+            h ^= d.policy_fingerprint();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= self.rr_next as u64;
+        h.wrapping_mul(0x0000_0100_0000_01b3)
     }
 }
 
@@ -316,6 +508,52 @@ mod tests {
     }
 
     #[test]
+    fn oversized_for_every_device_is_rejected_not_suspended() {
+        let mut m = two_gpu(PlacementPolicy::BestFitDevice);
+        let err = m
+            .register(ContainerId(1), Bytes::gib(50), t(0))
+            .unwrap_err();
+        assert!(
+            matches!(err, SchedError::LimitExceedsCapacity { .. }),
+            "got {err:?}"
+        );
+        // Nothing was homed, nothing was suspended.
+        assert_eq!(m.home_of(ContainerId(1)), None);
+        assert_eq!(m.open_containers(), 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exact_fit_tie_breaks_by_device_index() {
+        // Both devices identical and empty: BestFitDevice must pick the
+        // lower index deterministically.
+        let mut m = two_gpu(PlacementPolicy::BestFitDevice);
+        let idx = m.register(ContainerId(1), Bytes::gib(1), t(0)).unwrap();
+        assert_eq!(idx, 0, "tie broken by lowest device index");
+        // MostFree ties resolve the same way.
+        let mut m = two_gpu(PlacementPolicy::MostFree);
+        let idx = m.register(ContainerId(1), Bytes::gib(1), t(0)).unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn best_fit_exhaustion_falls_back_to_emptiest() {
+        let mut m = two_gpu(PlacementPolicy::BestFitDevice);
+        // Registration reserves the full requirement eagerly, so two
+        // 4 GiB containers leave under 1 GiB unassigned on each device.
+        m.register(ContainerId(1), Bytes::gib(4), t(0)).unwrap(); // dev 0
+        m.register(ContainerId(2), Bytes::gib(4), t(1)).unwrap(); // dev 1
+                                                                  // A 3 GiB requirement fits no device's unassigned pool right now;
+                                                                  // the fallback picks the emptiest device (tie → index 0) and the
+                                                                  // container registers with a partial reservation instead of being
+                                                                  // rejected — capacity still suffices.
+        let idx = m.register(ContainerId(3), Bytes::gib(3), t(2)).unwrap();
+        assert_eq!(idx, 0, "fallback lands on the emptiest device");
+        assert_eq!(m.open_containers(), 3);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
     fn routing_follows_home_device() {
         let mut m = two_gpu(PlacementPolicy::RoundRobin);
         m.register(ContainerId(1), Bytes::gib(1), t(0)).unwrap();
@@ -333,6 +571,42 @@ mod tests {
         );
         assert!(m.device(0).container(ContainerId(2)).is_none());
         m.container_close(ContainerId(2), t(2)).unwrap();
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tickets_carry_the_device_tag() {
+        let mut m = two_gpu(PlacementPolicy::RoundRobin);
+        m.register(ContainerId(1), Bytes::gib(4), t(0)).unwrap(); // dev 0
+        m.register(ContainerId(2), Bytes::gib(4), t(0)).unwrap(); // dev 1
+        m.register(ContainerId(3), Bytes::gib(4), t(0)).unwrap(); // dev 0
+        m.register(ContainerId(4), Bytes::gib(4), t(0)).unwrap(); // dev 1
+                                                                  // Saturate both devices, then suspend one container on each.
+        for (c, pid) in [(1u64, 10u64), (2, 20)] {
+            let (out, _) = m
+                .alloc_request(ContainerId(c), pid, Bytes::gib(4), ApiKind::Malloc, t(1))
+                .unwrap();
+            assert_eq!(out, AllocOutcome::Granted);
+        }
+        let (out0, _) = m
+            .alloc_request(ContainerId(3), 30, Bytes::gib(4), ApiKind::Malloc, t(2))
+            .unwrap();
+        let (out1, _) = m
+            .alloc_request(ContainerId(4), 40, Bytes::gib(4), ApiKind::Malloc, t(2))
+            .unwrap();
+        let (t0, t1) = match (out0, out1) {
+            (AllocOutcome::Suspended { ticket: a }, AllocOutcome::Suspended { ticket: b }) => {
+                (a, b)
+            }
+            other => panic!("expected suspensions, got {other:?}"),
+        };
+        assert_ne!(t0, t1, "tickets from different devices never collide");
+        assert_eq!(t0 >> DEVICE_TICKET_SHIFT, 0);
+        assert_eq!(t1 >> DEVICE_TICKET_SHIFT, 1);
+        // Resume actions carry the same tagged ticket.
+        let resumed = m.container_close(ContainerId(2), t(3)).unwrap();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].ticket, t1);
         m.check_invariants().unwrap();
     }
 

@@ -92,6 +92,11 @@ pub struct WrapperModule {
         convgpu_sim_core::clock::ClockHandle,
         convgpu_sim_core::time::SimDuration,
     )>,
+    /// Answer `cudaGetDeviceProperties` from the scheduler's topology:
+    /// the reported total memory becomes the container's *home device*
+    /// capacity. Off by default — the paper's single-GPU deployment
+    /// reports the host device unchanged.
+    device_aware_props: bool,
     stats: WrapperStats,
     obs: Option<WrapperObs>,
 }
@@ -110,9 +115,19 @@ impl WrapperModule {
             cached_props: Mutex::new(None),
             charged: Mutex::new(HashMap::new()),
             modeled_ipc: None,
+            device_aware_props: false,
             stats: WrapperStats::default(),
             obs: None,
         }
+    }
+
+    /// Report the container's home-device capacity (looked up through the
+    /// scheduler's topology protocol) as `totalGlobalMem` instead of the
+    /// host simulator's device. Multi-GPU and cluster deployments opt in;
+    /// endpoints without topology support fall back to the inner device.
+    pub fn with_device_aware_props(mut self) -> Self {
+        self.device_aware_props = true;
+        self
     }
 
     /// Record every interposed call into `obs` (count + duration per API).
@@ -339,8 +354,25 @@ impl CudaApi for WrapperModule {
             self.stats
                 .get_device_properties
                 .fetch_add(1, Ordering::Relaxed);
-            let props = self.inner.cuda_get_device_properties(pid)?;
+            let mut props = self.inner.cuda_get_device_properties(pid)?;
             *self.cached_props.lock() = Some((props.pitch_alignment, props.managed_granularity));
+            if self.device_aware_props {
+                // Per-device answer: the container sees *its* GPU, not
+                // the host simulator's. Best-effort — a topology-blind
+                // endpoint leaves the inner properties untouched.
+                if let (Ok((node, device)), Ok((_kind, devices))) = (
+                    self.scheduler.query_home(self.container),
+                    self.scheduler.query_topology(),
+                ) {
+                    if let Some(d) = devices
+                        .iter()
+                        .find(|d| d.node == node && d.device == device)
+                    {
+                        props.total_global_mem = d.capacity;
+                    }
+                }
+                self.charge_ipc(2);
+            }
             Ok(props)
         })
     }
@@ -545,6 +577,75 @@ mod tests {
         }
     }
 
+    /// Endpoint that additionally speaks the topology protocol, homing
+    /// the container on a 2 GiB device of node "n1".
+    struct TopologyEndpoint;
+
+    impl SchedulerEndpoint for TopologyEndpoint {
+        fn register(&self, _c: ContainerId, _l: Bytes) -> IpcResult<()> {
+            Ok(())
+        }
+        fn request_dir(&self, _c: ContainerId) -> IpcResult<String> {
+            Ok("/tmp".into())
+        }
+        fn request_alloc(
+            &self,
+            _c: ContainerId,
+            _pid: u64,
+            _size: Bytes,
+            _api: ApiKind,
+        ) -> IpcResult<AllocDecision> {
+            Ok(AllocDecision::Granted)
+        }
+        fn alloc_done(&self, _c: ContainerId, _p: u64, _a: u64, _s: Bytes) -> IpcResult<()> {
+            Ok(())
+        }
+        fn alloc_failed(&self, _c: ContainerId, _p: u64, _s: Bytes) -> IpcResult<()> {
+            Ok(())
+        }
+        fn free(&self, _c: ContainerId, _p: u64, _a: u64) -> IpcResult<Bytes> {
+            Ok(Bytes::ZERO)
+        }
+        fn mem_info(&self, _c: ContainerId, _p: u64) -> IpcResult<(Bytes, Bytes)> {
+            Ok((Bytes::ZERO, Bytes::ZERO))
+        }
+        fn process_exit(&self, _c: ContainerId, _p: u64) -> IpcResult<()> {
+            Ok(())
+        }
+        fn container_close(&self, _c: ContainerId) -> IpcResult<()> {
+            Ok(())
+        }
+        fn ping(&self) -> IpcResult<()> {
+            Ok(())
+        }
+        fn query_topology(&self) -> IpcResult<(String, Vec<convgpu_ipc::message::TopologyDevice>)> {
+            Ok((
+                "cluster".into(),
+                vec![
+                    convgpu_ipc::message::TopologyDevice {
+                        node: "n0".into(),
+                        device: 0,
+                        capacity: Bytes::gib(5),
+                        unassigned: Bytes::gib(5),
+                        containers: 0,
+                        policy: "fifo".into(),
+                    },
+                    convgpu_ipc::message::TopologyDevice {
+                        node: "n1".into(),
+                        device: 1,
+                        capacity: Bytes::gib(2),
+                        unassigned: Bytes::gib(2),
+                        containers: 1,
+                        policy: "fifo".into(),
+                    },
+                ],
+            ))
+        }
+        fn query_home(&self, _c: ContainerId) -> IpcResult<(String, u64)> {
+            Ok(("n1".into(), 1))
+        }
+    }
+
     fn wrapper_with(
         endpoint: Arc<FakeEndpoint>,
     ) -> (WrapperModule, Arc<convgpu_gpu_sim::device::GpuDevice>) {
@@ -744,5 +845,29 @@ mod tests {
         let t0 = clock.now();
         w.cuda_malloc(1, Bytes::mib(1)).unwrap();
         assert_eq!(clock.now() - t0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn device_aware_props_report_home_device_capacity() {
+        let ep: Arc<dyn SchedulerEndpoint> = Arc::new(TopologyEndpoint);
+        use convgpu_gpu_sim::device::GpuDevice;
+        use convgpu_gpu_sim::latency::LatencyModel;
+        use convgpu_gpu_sim::runtime::RawCudaRuntime;
+        use convgpu_sim_core::clock::VirtualClock;
+        let raw = Arc::new(RawCudaRuntime::new(
+            Arc::new(GpuDevice::tesla_k20m()),
+            LatencyModel::zero(),
+            VirtualClock::new().handle(),
+        ));
+        // Default: the inner (host) device answers.
+        let plain = WrapperModule::new(ContainerId(1), Arc::clone(&raw) as _, Arc::clone(&ep));
+        let host = plain.cuda_get_device_properties(1).unwrap();
+        assert_ne!(host.total_global_mem, Bytes::gib(2));
+        // Opted in: the container sees its home device (n1:1, 2 GiB).
+        let aware = WrapperModule::new(ContainerId(1), raw as _, ep).with_device_aware_props();
+        let props = aware.cuda_get_device_properties(1).unwrap();
+        assert_eq!(props.total_global_mem, Bytes::gib(2));
+        // Geometry caching still happens (pitch path works afterwards).
+        aware.cuda_malloc_pitch(1, Bytes::new(512), 4).unwrap();
     }
 }

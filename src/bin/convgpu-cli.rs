@@ -16,15 +16,21 @@
 //! * `burst [--containers=N] [--policy=P] [--seed=S]` — the paper's §IV-A
 //!   cloud emulation, compressed to milliseconds.
 //! * `info` — print the simulated device and scheduler configuration.
-//! * `metrics [--policy=P]` — run a small contention scenario and print
-//!   the Prometheus text exposition (what `QueryMetrics` returns).
+//! * `metrics [--policy=P] [--devices=N]` — run a small contention
+//!   scenario and print the Prometheus text exposition (what
+//!   `QueryMetrics` returns). With `--devices=N` the scenario runs on an
+//!   N-GPU topology and the exposition carries per-device gauges.
 //! * `trace [--policy=P] [--out=FILE]` — run the same scenario and write
 //!   a Chrome-trace JSON timeline (load in `chrome://tracing`).
 //! * `loadgen [--containers=N] [--workers=K] [--quick]
-//!   [--codec=inproc|json|binary] [--out=FILE]` — the hot-path
+//!   [--codec=inproc|json|binary] [--devices=N]
+//!   [--placement=rr|most-free|best-fit] [--out=FILE]` — the hot-path
 //!   throughput campaign: drive thousands of containers through the live
 //!   scheduler service under every policy, in-process or over a real
 //!   socket in either wire codec, and optionally write `BENCH_3.json`.
+//!   With `--devices=N` the storm runs against the multi-GPU service
+//!   instead, sweeping every placement policy (or only `--placement`)
+//!   and writing the `BENCH_4.json` schema.
 
 use convgpu::gpu::GpuProgram;
 use convgpu::middleware::{ConVGpu, ConVGpuConfig, RunCommand};
@@ -47,10 +53,11 @@ fn usage() -> ExitCode {
                  <image>\n\
          burst   [--containers=N] [--policy=P] [--seed=S]\n\
          info\n\
-         metrics [--policy=P]\n\
+         metrics [--policy=P] [--devices=N]\n\
          trace   [--policy=P] [--out=FILE]\n\
          loadgen [--containers=N] [--workers=K] [--quick]\n\
-                 [--codec=inproc|json|binary] [--out=FILE]"
+                 [--codec=inproc|json|binary] [--out=FILE]\n\
+                 [--devices=N] [--placement=rr|most-free|best-fit]"
     );
     ExitCode::from(2)
 }
@@ -351,14 +358,45 @@ fn parse_policy_args(args: &[String]) -> Result<(PolicyKind, Vec<String>), ExitC
 }
 
 fn cmd_metrics(args: &[String]) -> ExitCode {
+    use convgpu::middleware::TopologySpec;
+    use convgpu::scheduler::multi_gpu::PlacementPolicy;
     let (policy, rest) = match parse_policy_args(args) {
         Ok(v) => v,
         Err(code) => return code,
     };
-    if !rest.is_empty() {
-        return usage();
+    let mut devices: u32 = 1;
+    for a in &rest {
+        if let Some(v) = a.strip_prefix("--devices=") {
+            devices = match v.parse() {
+                Ok(n) if n > 0 => n,
+                _ => return usage(),
+            };
+        } else {
+            return usage();
+        }
     }
-    let convgpu = start(policy);
+    let convgpu = if devices == 1 {
+        start(policy)
+    } else {
+        // Per-device 3 GiB keeps the 3 × 2 GiB scenario contended on at
+        // least one device, so the per-device suspension gauges light up.
+        let started = ConVGpu::start(ConVGpuConfig {
+            time_scale: 0.002,
+            policy,
+            topology: TopologySpec::MultiGpu {
+                capacities: vec![Bytes::gib(3); devices as usize],
+                placement: PlacementPolicy::RoundRobin,
+            },
+            ..ConVGpuConfig::default()
+        });
+        match started {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("convgpu-cli: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
     if let Err(code) = run_sample_scenario(&convgpu) {
         return code;
     }
@@ -403,12 +441,20 @@ fn cmd_trace(args: &[String]) -> ExitCode {
 }
 
 fn cmd_loadgen(args: &[String]) -> ExitCode {
-    use convgpu::bench::loadgen::{render_json, run_loadgen, LoadgenConfig, Transport};
+    use convgpu::bench::loadgen::{
+        render_json, render_sharded_json, run_loadgen, run_sharded_placement, LoadgenConfig,
+        PlacementRun, ShardedConfig, ShardedReport, Transport, PLACEMENTS,
+    };
     use convgpu::ipc::binary::WireCodec;
+    use convgpu::scheduler::multi_gpu::PlacementPolicy;
     let mut cfg = LoadgenConfig::standard();
+    let mut quick = false;
+    let mut devices: u32 = 1;
+    let mut placement: Option<PlacementPolicy> = None;
     let mut out: Option<String> = None;
     for a in args {
         if a == "--quick" {
+            quick = true;
             cfg = LoadgenConfig {
                 transport: cfg.transport,
                 ..LoadgenConfig::smoke()
@@ -430,12 +476,93 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
                 "binary" => Transport::Socket(WireCodec::Binary),
                 _ => return usage(),
             };
+        } else if let Some(v) = a.strip_prefix("--devices=") {
+            devices = match v.parse() {
+                Ok(n) if n > 0 => n,
+                _ => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--placement=") {
+            placement = match PlacementPolicy::parse(v) {
+                Some(p) => Some(p),
+                None => return usage(),
+            };
         } else if let Some(v) = a.strip_prefix("--out=") {
             out = Some(v.to_string());
         } else {
             return usage();
         }
     }
+
+    if devices > 1 || placement.is_some() {
+        let template = if quick {
+            ShardedConfig::smoke()
+        } else {
+            ShardedConfig::standard()
+        };
+        let scfg = ShardedConfig {
+            base: LoadgenConfig {
+                containers: cfg.containers,
+                workers: cfg.workers,
+                transport: cfg.transport,
+                ..template.base
+            },
+            // `--placement` alone implies the standard device count.
+            devices: if devices > 1 {
+                devices
+            } else {
+                template.devices
+            },
+            ..template
+        };
+        println!(
+            "loadgen (sharded): {} containers x {} workers, {} devices, transport {}",
+            scfg.base.containers,
+            scfg.base.workers,
+            scfg.devices,
+            scfg.base.transport.label()
+        );
+        let sweep: Vec<PlacementPolicy> = match placement {
+            Some(p) => vec![p],
+            None => PLACEMENTS.to_vec(),
+        };
+        let runs: Vec<PlacementRun> = sweep
+            .into_iter()
+            .map(|p| run_sharded_placement(&scfg, p))
+            .collect();
+        for run in &runs {
+            let homes = run
+                .containers_per_device
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("/");
+            println!(
+                "  {:<15} {:>8.0} decisions/s | p50 {:.4} ms, p95 {:.4} ms, p99 {:.4} ms | \
+                 {} suspensions | homes {homes}",
+                run.placement.label(),
+                run.decisions_per_sec,
+                run.quantile_ms(0.50),
+                run.quantile_ms(0.95),
+                run.quantile_ms(0.99),
+                run.suspensions,
+            );
+        }
+        let report = ShardedReport { config: scfg, runs };
+        println!(
+            "total: {:.0} decisions/s",
+            report.sharded_total_decisions_per_sec()
+        );
+        if let Some(path) = out {
+            let text = render_sharded_json(&report);
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path} ({} bytes)", text.len());
+        }
+        return ExitCode::SUCCESS;
+    }
+
     println!(
         "loadgen: {} containers x {} workers, transport {}",
         cfg.containers,

@@ -235,7 +235,7 @@ fn golden_scenario_canonical() -> String {
         SchedulerConfig::with_capacity(Bytes::mib(5120)),
         PolicyKind::Fifo.build(0),
     );
-    sched.attach_obs(SchedObs { registry, tracer });
+    sched.attach_obs(SchedObs::new(registry, tracer));
 
     let t = SimTime::from_secs;
     let c1 = ContainerId(1);

@@ -202,10 +202,7 @@ fn attaching_observability_never_changes_scheduler_behavior() {
         let collector = Arc::new(CollectorSink::new());
         let tracer = Arc::new(Tracer::new());
         tracer.add_sink(Arc::clone(&collector) as Arc<dyn SpanSink>);
-        observed.attach_obs(SchedObs {
-            registry: Arc::new(Registry::new()),
-            tracer,
-        });
+        observed.attach_obs(SchedObs::new(Arc::new(Registry::new()), tracer));
 
         let mut next_addr = 0x1000u64;
         for (t, op) in ops.iter().enumerate() {
