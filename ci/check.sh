@@ -9,7 +9,7 @@
 # Knobs:
 #   SKIP_PERF=1     skip the loadgen perf gates (e.g. on loaded machines)
 #   ARTIFACT_DIR=d  keep artifacts (chrome trace, BENCH_3.json,
-#                   BENCH_4.json) under d
+#                   BENCH_4.json, lint-findings.txt) under d
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +30,9 @@ cargo fmt --all -- --check
 step "cargo clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+step "cargo build (RUSTFLAGS=-Dwarnings)"
+RUSTFLAGS="-D warnings" cargo build --offline --workspace --all-targets
+
 step "cargo test"
 cargo test --offline --workspace -q
 
@@ -47,8 +50,11 @@ cargo run --offline -q --release --bin convgpu-cli -- trace --out="$artifact"
 [[ -s "$artifact" ]] || { echo "trace artifact missing or empty: $artifact"; exit 1; }
 grep -q '"ph"' "$artifact" || { echo "trace artifact has no events: $artifact"; exit 1; }
 
-step "convgpu-lint"
-cargo run --offline -q --bin convgpu-lint
+step "convgpu-lint (workspace analyzer, docs/LINT.md)"
+# Hard gate: any finding exits non-zero. The findings (or the clean
+# summary line) land in the artifact dir for CI upload; pipefail keeps
+# the lint exit code authoritative through the tee.
+cargo run --offline -q --bin convgpu-lint | tee "$ARTIFACT_DIR/lint-findings.txt"
 
 step "bounded model check (single-GPU + multi-GPU universes)"
 # Phase 3 of the binary exhaustively checks the 2-device x 3-container

@@ -297,34 +297,50 @@ impl SchedulerService {
         api: ApiKind,
         reply: Reply,
     ) {
-        let actions = {
+        // Decide under the state lock, but send only after it (and the
+        // waiter lock) are released — a blocked peer must never be able
+        // to wedge a scheduler lock through a full socket buffer. The
+        // suspended arm parks the `Reply` instead of answering.
+        let (to_send, actions) = {
             let mut state = self.state.lock();
             let now = self.clock.now();
             match state.alloc_request(container, pid, size, api, now) {
-                Ok((AllocOutcome::Granted, actions)) => {
-                    reply.send(Response::Alloc {
-                        decision: AllocDecision::Granted,
-                    });
-                    actions
-                }
-                Ok((AllocOutcome::Rejected, actions)) => {
-                    reply.send(Response::Alloc {
-                        decision: AllocDecision::Rejected,
-                    });
-                    actions
-                }
+                Ok((AllocOutcome::Granted, actions)) => (
+                    Some((
+                        reply,
+                        Response::Alloc {
+                            decision: AllocDecision::Granted,
+                        },
+                    )),
+                    actions,
+                ),
+                Ok((AllocOutcome::Rejected, actions)) => (
+                    Some((
+                        reply,
+                        Response::Alloc {
+                            decision: AllocDecision::Rejected,
+                        },
+                    )),
+                    actions,
+                ),
                 Ok((AllocOutcome::Suspended { ticket }, actions)) => {
                     self.waiters.lock().insert(ticket, Waiter::Socket(reply));
-                    actions
+                    (None, actions)
                 }
-                Err(e) => {
-                    reply.send(Response::Error {
-                        message: e.to_string(),
-                    });
-                    Vec::new()
-                }
+                Err(e) => (
+                    Some((
+                        reply,
+                        Response::Error {
+                            message: e.to_string(),
+                        },
+                    )),
+                    Vec::new(),
+                ),
             }
         };
+        if let Some((reply, response)) = to_send {
+            reply.send(response);
+        }
         self.dispatch(actions);
     }
 

@@ -1,0 +1,51 @@
+//! forbid-unsafe: every crate root must carry `#![forbid(unsafe_code)]`.
+//! Only the wrapper crate — which models the `LD_PRELOAD` shim that by
+//! its nature would interpose on a C ABI — is exempt.
+
+use super::{ident, is_punct};
+use crate::items::SourceFile;
+use crate::{finding, Finding, Rule, Workspace};
+use std::path::Path;
+
+/// The crate allowed to omit the attribute.
+const EXEMPT: &str = "wrapper";
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        let name = match f.crate_name() {
+            Some(c) if f.rel.ends_with(Path::new("src/lib.rs")) => c,
+            Some(_) => continue,
+            None if f.rel == Path::new("src/lib.rs") => "convgpu".to_string(),
+            None => continue,
+        };
+        if name == EXEMPT {
+            continue;
+        }
+        if !has_forbid_unsafe(f) {
+            out.push(finding(
+                &f.rel,
+                1,
+                Rule::ForbidUnsafe,
+                format!(
+                    "crate `{name}` is missing `#![forbid(unsafe_code)]` \
+                     (only `{EXEMPT}` is exempt)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Token sequence `# ! [ forbid ( unsafe_code ) ]` anywhere in `f`.
+fn has_forbid_unsafe(f: &SourceFile) -> bool {
+    let toks = &f.lexed.tokens;
+    (0..toks.len()).any(|i| {
+        is_punct(toks, i, "#")
+            && is_punct(toks, i + 1, "!")
+            && is_punct(toks, i + 2, "[")
+            && ident(toks, i + 3) == Some("forbid")
+            && is_punct(toks, i + 4, "(")
+            && ident(toks, i + 5) == Some("unsafe_code")
+    })
+}

@@ -1,0 +1,119 @@
+//! hashmap-iter: unordered `HashMap` iteration inside the scheduler
+//! makes policy decisions nondeterministic. Iteration is fine when the
+//! statement window shows the order is fixed (sorted, ordered min/max,
+//! re-collected into a BTree) or irrelevant (order-insensitive fold).
+
+use super::{ident, ident_in, is_punct};
+use crate::lexer::Token;
+use crate::{finding, Finding, Rule, Workspace};
+
+/// Iteration methods whose order leaks out of a `HashMap`.
+const MAP_ITER: [&str; 6] = ["iter", "iter_mut", "values", "values_mut", "keys", "drain"];
+
+/// Idents that count as order evidence on their own.
+const EVIDENCE_IDENTS: [&str; 6] = [
+    "min_by_key",
+    "max_by_key",
+    "min_by",
+    "max_by",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// Method names after `.` that count as order evidence (`sort*`/`sum*`
+/// are prefix matches; the rest exact).
+const EVIDENCE_METHODS: [&str; 4] = ["count", "len", "all", "any"];
+
+/// Lines of lookahead (inclusive of the hit line) searched for order
+/// evidence — covers a multi-line chain or an immediate sort of the
+/// collected Vec.
+const WINDOW: usize = 7;
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if f.crate_name().as_deref() != Some("scheduler") {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        let maps = hashmap_names(toks);
+        for i in 0..toks.len() {
+            // `name.iter()` where `name` was declared as a HashMap.
+            let hit = ident(toks, i).is_some_and(|n| maps.iter().any(|m| m == n))
+                && is_punct(toks, i + 1, ".")
+                && ident_in(toks, i + 2, &MAP_ITER)
+                && is_punct(toks, i + 3, "(")
+                && is_punct(toks, i + 4, ")");
+            if !hit {
+                continue;
+            }
+            let line = toks[i].line;
+            if has_order_evidence(toks, line) {
+                continue;
+            }
+            out.push(finding(
+                &f.rel,
+                line,
+                Rule::HashmapIter,
+                "HashMap iteration in the scheduler without nearby ordering \
+                 (sort / ordered min-max / BTree collection); unordered iteration \
+                 makes policy decisions nondeterministic"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Names declared as `HashMap` in this file: `name: HashMap<…>` fields
+/// and parameters, and `name = HashMap::new()` locals.
+fn hashmap_names(toks: &[Token]) -> Vec<String> {
+    let mut maps = Vec::new();
+    for i in 0..toks.len() {
+        if ident(toks, i) != Some("HashMap") {
+            continue;
+        }
+        if i >= 2 && is_punct(toks, i - 1, ":") && is_punct(toks, i + 1, "<") {
+            if let Some(name) = ident(toks, i - 2) {
+                maps.push(name.to_string());
+            }
+        }
+        if i >= 2
+            && is_punct(toks, i - 1, "=")
+            && is_punct(toks, i + 1, "::")
+            && ident(toks, i + 2) == Some("new")
+        {
+            if let Some(name) = ident(toks, i - 2) {
+                maps.push(name.to_string());
+            }
+        }
+    }
+    maps
+}
+
+/// Scan the statement window (`line ..= line + WINDOW - 1`) for order
+/// evidence.
+fn has_order_evidence(toks: &[Token], line: usize) -> bool {
+    let last = line + WINDOW - 1;
+    for (i, t) in toks.iter().enumerate() {
+        if t.line < line {
+            continue;
+        }
+        if t.line > last {
+            break;
+        }
+        if let Some(name) = t.tok.ident() {
+            if EVIDENCE_IDENTS.contains(&name) {
+                return true;
+            }
+            let after_dot = i > 0 && toks[i - 1].tok.is_punct(".");
+            if after_dot && (name.starts_with("sort") || name.starts_with("sum")) {
+                return true;
+            }
+            if after_dot && EVIDENCE_METHODS.contains(&name) && is_punct(toks, i + 1, "(") {
+                return true;
+            }
+        }
+    }
+    false
+}

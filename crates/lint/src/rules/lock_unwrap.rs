@@ -1,0 +1,46 @@
+//! lock-unwrap: `.lock().unwrap()` (and friends) panic on poisoned
+//! std locks. Production code must use the poison-recovering wrappers
+//! in `convgpu_sim_core::sync`, whose `lock()` returns the guard
+//! directly.
+
+use super::{ident_in, is_punct};
+use crate::{finding, Finding, Rule, Workspace};
+
+/// Lock acquisitions and panicking result-extractors, kept as separate
+/// halves so this table does not flag itself.
+const LOCK_CALLS: [&str; 4] = ["lock", "read", "write", "try_lock"];
+const PANIC_EXTRACT: [&str; 2] = ["unwrap", "expect"];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            if f.in_test[i] {
+                continue;
+            }
+            // `.lock().unwrap(` / `.read().expect(` …
+            let hit = is_punct(toks, i, ".")
+                && ident_in(toks, i + 1, &LOCK_CALLS)
+                && is_punct(toks, i + 2, "(")
+                && is_punct(toks, i + 3, ")")
+                && is_punct(toks, i + 4, ".")
+                && ident_in(toks, i + 5, &PANIC_EXTRACT)
+                && is_punct(toks, i + 6, "(");
+            if hit {
+                let lock = toks[i + 1].tok.ident().unwrap_or_default().to_string();
+                let extract = toks[i + 5].tok.ident().unwrap_or_default().to_string();
+                out.push(finding(
+                    &f.rel,
+                    toks[i].line,
+                    Rule::LockUnwrap,
+                    format!(
+                        "`.{lock}().{extract}(…)` in production code; use the \
+                         poison-recovering wrappers in convgpu_sim_core::sync"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,129 @@
+//! metric-names: the metrics registry and `docs/OBSERVABILITY.md` must
+//! agree. Every `convgpu_*` name registered through the `crates/obs`
+//! API has to be documented, and every documented name has to exist in
+//! code — otherwise dashboards silently reference nothing.
+//!
+//! Only *literal* first arguments are checked; names built at runtime
+//! (e.g. per-span timer names) are out of scope, as noted in
+//! docs/LINT.md.
+
+use super::{ident, is_punct};
+use crate::lexer::Tok;
+use crate::{finding, Finding, Rule, Workspace};
+use std::collections::BTreeMap;
+use std::path::{Component, Path};
+
+/// Registry methods whose first argument is a metric name.
+const REGISTRY_METHODS: [&str; 7] = [
+    "inc",
+    "set_gauge",
+    "observe",
+    "observe_ns",
+    "counter",
+    "gauge",
+    "histogram",
+];
+
+/// The doc that owns the metric catalogue.
+const DOC: &str = "docs/OBSERVABILITY.md";
+
+/// Exposition suffixes derived from histograms — documented names may
+/// carry them without a matching registration.
+const DERIVED_SUFFIXES: [&str; 3] = ["_bucket", "_count", "_sum"];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let Some(doc) = ws.doc(DOC) else {
+        return Vec::new(); // nothing to cross-check against
+    };
+
+    // name -> first registration site.
+    let mut registered: BTreeMap<String, (&Path, usize)> = BTreeMap::new();
+    for f in &ws.files {
+        if is_test_path(&f.rel) {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            if f.in_test[i] || !is_punct(toks, i, ".") {
+                continue;
+            }
+            let Some(m) = ident(toks, i + 1) else {
+                continue;
+            };
+            if !REGISTRY_METHODS.contains(&m) || !is_punct(toks, i + 2, "(") {
+                continue;
+            }
+            if let Some(Tok::Str(name)) = toks.get(i + 3).map(|t| &t.tok) {
+                if name.starts_with("convgpu_") {
+                    registered
+                        .entry(name.clone())
+                        .or_insert((&f.rel, toks[i].line));
+                }
+            }
+        }
+    }
+
+    let documented = doc_names(doc);
+    let mut out = Vec::new();
+
+    for (name, (file, line)) in &registered {
+        if !documented.contains_key(name.as_str()) {
+            out.push(finding(
+                file,
+                *line,
+                Rule::MetricNames,
+                format!("metric `{name}` is registered but not documented in {DOC}"),
+            ));
+        }
+    }
+    for (name, line) in &documented {
+        let base = DERIVED_SUFFIXES
+            .iter()
+            .find_map(|s| name.strip_suffix(s))
+            .unwrap_or(name);
+        if !registered.contains_key(*name) && !registered.contains_key(base) {
+            out.push(Finding {
+                file: DOC.to_string(),
+                line: *line,
+                rule: Rule::MetricNames,
+                message: format!("metric `{name}` is documented but never registered"),
+            });
+        }
+    }
+    out
+}
+
+/// Integration-test and fixture paths register throwaway names.
+fn is_test_path(rel: &Path) -> bool {
+    rel.components().any(|c| match c {
+        Component::Normal(n) => n == "tests" || n == "benches",
+        _ => false,
+    })
+}
+
+/// Every `convgpu_[a-z0-9_]+` word in the doc, with the line it first
+/// appears on.
+fn doc_names(doc: &str) -> BTreeMap<&str, usize> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in doc.lines().enumerate() {
+        let mut rest = line;
+        let mut offset = 0;
+        while let Some(pos) = rest.find("convgpu_") {
+            let start = offset + pos;
+            let tail = &line[start..];
+            let end = tail
+                .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+                .unwrap_or(tail.len());
+            let name = &tail[..end];
+            // `convgpu_obs::Registry`-style crate paths are prose, not
+            // metric names.
+            let is_crate_path = tail[end..].starts_with("::");
+            if name.len() > "convgpu_".len() && !name.ends_with('_') && !is_crate_path {
+                out.entry(name).or_insert(lineno + 1);
+            }
+            offset = start + end.max(1);
+            rest = &line[offset..];
+        }
+    }
+    out
+}

@@ -1,0 +1,430 @@
+//! protocol-drift: the wire protocol has four descriptions that must
+//! agree — the `Request`/`Response` enums, their `kind()` wire names,
+//! the JSON codec (`to_json`/`from_json`), the binary codec's tag
+//! bytes (`encode`/`decode` in `binary.rs`), and the tables in
+//! `docs/PROTOCOL.md`. This rule diffs all of them:
+//!
+//! * every variant has a `kind()` name, a JSON encode arm whose tag
+//!   matches it, a JSON decode arm, and binary encode/decode tags;
+//! * no two variants share a wire name or a binary tag;
+//! * binary encode and decode agree per variant;
+//! * every wire name appears in `docs/PROTOCOL.md`, the doc's binary
+//!   tag tables match the code, and the doc lists no unknown message.
+//!
+//! The rule is a no-op when `crates/ipc/src/message.rs` is absent, so
+//! fixture workspaces for other rules stay silent here.
+
+use super::{ident, is_punct};
+use crate::items::SourceFile;
+use crate::lexer::{Tok, Token};
+use crate::{finding, Finding, Rule, Workspace};
+use std::collections::BTreeMap;
+
+const MESSAGE_RS: &str = "crates/ipc/src/message.rs";
+const BINARY_RS: &str = "crates/ipc/src/binary.rs";
+const DOC: &str = "docs/PROTOCOL.md";
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let Some(message) = ws.file(MESSAGE_RS) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for enum_name in ["Request", "Response"] {
+        check_enum(ws, message, enum_name, &mut out);
+    }
+    out
+}
+
+/// One side of the protocol (`Request` or `Response`).
+fn check_enum(ws: &Workspace, message: &SourceFile, enum_name: &str, out: &mut Vec<Finding>) {
+    let variants = enum_variants(message, enum_name);
+    if variants.is_empty() {
+        return;
+    }
+    let kinds = match_arms_to_str(message, enum_name, "kind");
+    let json_enc = json_encode_arms(message, enum_name);
+    // `Response` has no `kind()` — its JSON tags are the wire names.
+    let has_kind_fn = !kinds.is_empty();
+    let wire_names = if has_kind_fn { &kinds } else { &json_enc };
+    let json_dec = str_arms_to_variant(message, enum_name, "from_json");
+    let (bin_enc, bin_dec) = ws
+        .file(BINARY_RS)
+        .map(|b| {
+            (
+                variant_arms_to_tag(b, enum_name, "encode"),
+                num_arms_to_variant(b, enum_name, "decode"),
+            )
+        })
+        .unwrap_or_default();
+    let has_binary = ws.file(BINARY_RS).is_some();
+
+    // Per-variant completeness and cross-codec agreement.
+    for (v, line) in &variants {
+        let wire = wire_names.get(v);
+        if wire.is_none() {
+            out.push(finding(
+                &message.rel,
+                *line,
+                Rule::ProtocolDrift,
+                format!("{enum_name}::{v} has no wire name (kind()/to_json tag)"),
+            ));
+        }
+        if has_kind_fn {
+            if let (Some(k), Some(j)) = (kinds.get(v), json_enc.get(v)) {
+                if k != j {
+                    out.push(finding(
+                        &message.rel,
+                        *line,
+                        Rule::ProtocolDrift,
+                        format!("{enum_name}::{v}: kind() says `{k}` but to_json tags it `{j}`"),
+                    ));
+                }
+            } else if !json_enc.contains_key(v) && !json_enc.is_empty() {
+                out.push(finding(
+                    &message.rel,
+                    *line,
+                    Rule::ProtocolDrift,
+                    format!("{enum_name}::{v} has no to_json arm"),
+                ));
+            }
+        }
+        if let Some(k) = wire {
+            if !json_dec.is_empty() && json_dec.get(k.as_str()) != Some(v) {
+                out.push(finding(
+                    &message.rel,
+                    *line,
+                    Rule::ProtocolDrift,
+                    format!("wire name `{k}` does not decode back to {enum_name}::{v}"),
+                ));
+            }
+        }
+        if has_binary {
+            match (bin_enc.get(v), variant_tag(&bin_dec, v)) {
+                (None, _) => out.push(finding(
+                    &message.rel,
+                    *line,
+                    Rule::ProtocolDrift,
+                    format!("{enum_name}::{v} has no binary encode tag"),
+                )),
+                (_, None) => out.push(finding(
+                    &message.rel,
+                    *line,
+                    Rule::ProtocolDrift,
+                    format!("{enum_name}::{v} has no binary decode arm"),
+                )),
+                (Some(e), Some(d)) if *e != d => out.push(finding(
+                    &message.rel,
+                    *line,
+                    Rule::ProtocolDrift,
+                    format!("{enum_name}::{v} encodes as binary tag {e} but decodes from {d}"),
+                )),
+                _ => {}
+            }
+        }
+    }
+
+    // Duplicate wire names / binary tags.
+    report_duplicates(&message.rel, enum_name, "wire name", wire_names, out);
+    report_duplicates(&message.rel, enum_name, "binary tag", &bin_enc, out);
+
+    // Doc cross-check.
+    if let Some(doc) = ws.doc(DOC) {
+        check_doc(doc, enum_name, wire_names, &bin_enc, &message.rel, out);
+    }
+}
+
+/// `(variant, line)` pairs of `enum <name> { … }`.
+fn enum_variants(f: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let toks = &f.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(ident(toks, i) == Some("enum") && ident(toks, i + 1) == Some(name)) {
+            continue;
+        }
+        // Body starts at the next `{`; variants are idents at depth 1
+        // in variant position (start of body or right after a `,`).
+        let Some(open) = (i..toks.len()).find(|&j| toks[j].tok.is_punct("{")) else {
+            continue;
+        };
+        let mut depth = 0i64;
+        let mut at_variant = true;
+        for t in &toks[open..] {
+            match &t.tok {
+                Tok::Punct("{") | Tok::Punct("(") | Tok::Punct("[") => {
+                    depth += 1;
+                }
+                Tok::Punct("}") | Tok::Punct(")") | Tok::Punct("]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                Tok::Punct(",") if depth == 1 => at_variant = true,
+                Tok::Punct("#") => {} // attributes between variants
+                Tok::Ident(v) if depth == 1 && at_variant => {
+                    out.push((v.clone(), t.line));
+                    at_variant = false;
+                }
+                _ => {}
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// The body of `fn <fn_name>` in an impl whose self-type is `ty`.
+fn fn_body<'a>(f: &'a SourceFile, ty: &str, fn_name: &str) -> Option<&'a [Token]> {
+    f.fns
+        .iter()
+        .find(|func| func.name == fn_name && func.impl_type.as_deref() == Some(ty))
+        .map(|func| f.body(func))
+}
+
+/// `Enum::Variant … => "tag"` arms (e.g. `kind()`).
+fn match_arms_to_str(f: &SourceFile, ty: &str, fn_name: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Some(body) = fn_body(f, ty, fn_name) else {
+        return out;
+    };
+    let mut i = 0;
+    while i < body.len() {
+        if let Some(v) = variant_path(body, i, ty) {
+            // First string after the arm's `=>`.
+            if let Some(arrow) = (i..body.len()).find(|&j| body[j].tok.is_punct("=>")) {
+                if let Some(Tok::Str(s)) = body[arrow..]
+                    .iter()
+                    .map(|t| &t.tok)
+                    .find(|t| matches!(t, Tok::Str(_)))
+                {
+                    out.entry(v).or_insert_with(|| s.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `Enum::Variant … => tagged("tag", …)` arms (`to_json`).
+fn json_encode_arms(f: &SourceFile, ty: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Some(body) = fn_body(f, ty, "to_json") else {
+        return out;
+    };
+    for i in 0..body.len() {
+        if let Some(v) = variant_path(body, i, ty) {
+            if let Some(s) = body[i..].iter().find_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            }) {
+                out.entry(v).or_insert_with(|| s.clone());
+            }
+        }
+    }
+    out
+}
+
+/// `"tag" => … Enum::Variant` arms (`from_json`). Key: wire name.
+fn str_arms_to_variant(f: &SourceFile, ty: &str, fn_name: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Some(body) = fn_body(f, ty, fn_name) else {
+        return out;
+    };
+    for i in 0..body.len() {
+        let Tok::Str(tag) = &body[i].tok else {
+            continue;
+        };
+        if !body.get(i + 1).is_some_and(|t| t.tok.is_punct("=>")) {
+            continue;
+        }
+        for j in i + 1..body.len() {
+            if let Some(v) = variant_path(body, j, ty) {
+                out.entry(tag.clone()).or_insert(v);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// `Enum::Variant { … } => { out.push(N); … }` arms (`encode`).
+fn variant_arms_to_tag(f: &SourceFile, ty: &str, fn_name: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    let Some(body) = fn_body(f, ty, fn_name) else {
+        return out;
+    };
+    let mut current: Option<String> = None;
+    for i in 0..body.len() {
+        if let Some(v) = variant_path(body, i, ty) {
+            current = Some(v);
+            continue;
+        }
+        if ident(body, i) == Some("push") && is_punct(body, i + 1, "(") {
+            if let (Some(v), Some(n)) = (
+                current.take(),
+                body.get(i + 2).and_then(|t| t.tok.int_value()),
+            ) {
+                out.entry(v).or_insert(n);
+            }
+        }
+    }
+    out
+}
+
+/// `N => … Enum::Variant` arms (`decode`). Key: variant, value: tag.
+fn num_arms_to_variant(f: &SourceFile, ty: &str, fn_name: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let Some(body) = fn_body(f, ty, fn_name) else {
+        return out;
+    };
+    for i in 0..body.len() {
+        let Some(n) = body[i].tok.int_value() else {
+            continue;
+        };
+        if !body.get(i + 1).is_some_and(|t| t.tok.is_punct("=>")) {
+            continue;
+        }
+        for j in i + 1..body.len() {
+            if let Some(v) = variant_path(body, j, ty) {
+                out.push((v, n));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// First decode tag recorded for `variant`.
+fn variant_tag(dec: &[(String, u64)], variant: &str) -> Option<u64> {
+    dec.iter().find(|(v, _)| v == variant).map(|(_, n)| *n)
+}
+
+/// `Enum :: Variant` at token `i`; returns the variant name.
+fn variant_path(toks: &[Token], i: usize, ty: &str) -> Option<String> {
+    if ident(toks, i) == Some(ty) && is_punct(toks, i + 1, "::") {
+        ident(toks, i + 2).map(str::to_string)
+    } else {
+        None
+    }
+}
+
+/// Two variants mapping to the same wire name / tag.
+fn report_duplicates<V: Ord + std::fmt::Display>(
+    rel: &std::path::Path,
+    enum_name: &str,
+    what: &str,
+    map: &BTreeMap<String, V>,
+    out: &mut Vec<Finding>,
+) {
+    let mut seen: BTreeMap<&V, &String> = BTreeMap::new();
+    for (variant, tag) in map {
+        if let Some(prev) = seen.insert(tag, variant) {
+            out.push(finding(
+                rel,
+                1,
+                Rule::ProtocolDrift,
+                format!("{enum_name}::{prev} and {enum_name}::{variant} share {what} `{tag}`"),
+            ));
+        }
+    }
+}
+
+/// Doc checks: wire names present, binary tag tables in sync.
+fn check_doc(
+    doc: &str,
+    enum_name: &str,
+    kinds: &BTreeMap<String, String>,
+    bin_enc: &BTreeMap<String, u64>,
+    message_rel: &std::path::Path,
+    out: &mut Vec<Finding>,
+) {
+    // Every wire name must appear backticked somewhere in the doc.
+    for (variant, wire) in kinds {
+        if !doc.contains(&format!("`{wire}`")) {
+            out.push(finding(
+                message_rel,
+                1,
+                Rule::ProtocolDrift,
+                format!("{enum_name}::{variant} (wire `{wire}`) is not documented in {DOC}"),
+            ));
+        }
+    }
+
+    // Binary tag tables: rows `| \`name\` | N |` under a header that
+    // names this side (`request type` / `response type`).
+    let side = enum_name.to_ascii_lowercase();
+    let mut in_table = false;
+    let mut doc_tags: BTreeMap<String, (u64, usize)> = BTreeMap::new();
+    for (lineno, line) in doc.lines().enumerate() {
+        let l = line.trim();
+        if l.starts_with('|') {
+            if l.contains("type") && l.contains("binary tag") {
+                in_table = l.contains(&side);
+                continue;
+            }
+            if in_table {
+                let cells: Vec<&str> = l.trim_matches('|').split('|').map(str::trim).collect();
+                if cells.len() >= 2 {
+                    let name = cells[0].trim_matches('`');
+                    if let Ok(tag) = cells[1].parse::<u64>() {
+                        doc_tags.insert(name.to_string(), (tag, lineno + 1));
+                    }
+                }
+            }
+        } else if !l.is_empty() {
+            in_table = false;
+        }
+    }
+    if doc_tags.is_empty() {
+        // A deleted table must not pass silently: the codec exists, so
+        // the doc is obliged to describe it.
+        if !bin_enc.is_empty() {
+            out.push(Finding {
+                file: DOC.to_string(),
+                line: 1,
+                rule: Rule::ProtocolDrift,
+                message: format!("{DOC} has no binary tag table for the {side} side"),
+            });
+        }
+        return;
+    }
+    // name -> code tag, via the wire-name mapping.
+    let code_tags: BTreeMap<&String, &u64> = kinds
+        .iter()
+        .filter_map(|(v, wire)| bin_enc.get(v).map(|t| (wire, t)))
+        .collect();
+    for (wire, tag) in &code_tags {
+        match doc_tags.get(wire.as_str()) {
+            None => out.push(Finding {
+                file: DOC.to_string(),
+                line: 1,
+                rule: Rule::ProtocolDrift,
+                message: format!(
+                    "{side} `{wire}` (binary tag {tag}) is missing from the {DOC} tag table"
+                ),
+            }),
+            Some((doc_tag, line)) if doc_tag != *tag => out.push(Finding {
+                file: DOC.to_string(),
+                line: *line,
+                rule: Rule::ProtocolDrift,
+                message: format!(
+                    "{side} `{wire}` documented as binary tag {doc_tag}, code says {tag}"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    for (wire, (tag, line)) in &doc_tags {
+        if !code_tags.contains_key(wire) {
+            out.push(Finding {
+                file: DOC.to_string(),
+                line: *line,
+                rule: Rule::ProtocolDrift,
+                message: format!(
+                    "{side} `{wire}` (binary tag {tag}) is documented but not in the code"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! ticket-bits: device/node ticket tagging soundness.
+//!
+//! Multi-GPU placement tags tickets with the device index at bit 48
+//! (`multi_gpu::DEVICE_TICKET_SHIFT`) and the cluster layer stacks the
+//! node index at bit 56 (`cluster::NODE_TICKET_SHIFT`). Three things
+//! must hold or tags can collide with raw tickets or each other:
+//!
+//! 1. the named constants keep their canonical values (48 / 56) and
+//!    leave whole 8-bit lanes (device fits below node, node below 64);
+//! 2. no code shifts by a raw `48`/`56` literal — only the named
+//!    constants, so a future re-layout has one place to edit;
+//! 3. `tag_ticket` functions combine with shift-and-or only: any
+//!    arithmetic (`+ - * / %` or `^`) can carry into the tag lanes.
+
+use super::{ident, is_punct};
+use crate::items::SourceFile;
+use crate::lexer::Token;
+use crate::{finding, Finding, Rule, Workspace};
+
+/// Crates that construct or decode tagged tickets.
+const SCOPE: [&str; 3] = ["scheduler", "core", "audit"];
+
+/// Canonical bit positions.
+const DEVICE_SHIFT: u64 = 48;
+const NODE_SHIFT: u64 = 56;
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut device: Option<(u64, usize)> = None; // (value, line) of first def
+    let mut node: Option<(u64, usize)> = None;
+    let mut device_file = None;
+    let mut node_file = None;
+
+    for f in &ws.files {
+        let Some(krate) = f.crate_name() else {
+            continue;
+        };
+        if !SCOPE.contains(&krate.as_str()) {
+            continue;
+        }
+        check_const_defs(f, &mut device, &mut node, &mut device_file, &mut node_file);
+        check_raw_shifts(f, &mut out);
+        check_tag_fns(f, &mut out);
+    }
+
+    if let (Some((dv, dl)), Some(df)) = (device, device_file) {
+        if dv != DEVICE_SHIFT {
+            out.push(finding(
+                df,
+                dl,
+                Rule::TicketBits,
+                format!("DEVICE_TICKET_SHIFT is {dv}, canonical value is {DEVICE_SHIFT}"),
+            ));
+        }
+    }
+    if let (Some((nv, nl)), Some(nf)) = (node, node_file) {
+        if nv != NODE_SHIFT {
+            out.push(finding(
+                nf,
+                nl,
+                Rule::TicketBits,
+                format!("NODE_TICKET_SHIFT is {nv}, canonical value is {NODE_SHIFT}"),
+            ));
+        }
+        if let Some((dv, _)) = device {
+            if dv + 8 > nv {
+                out.push(finding(
+                    nf,
+                    nl,
+                    Rule::TicketBits,
+                    format!(
+                        "device tag lane [{dv}, {}) overlaps node tag at bit {nv}",
+                        dv + 8
+                    ),
+                ));
+            }
+            if nv + 8 > 64 {
+                out.push(finding(
+                    nf,
+                    nl,
+                    Rule::TicketBits,
+                    format!("node tag lane [{nv}, {}) does not fit in u64", nv + 8),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Record `const {DEVICE,NODE}_TICKET_SHIFT … = <n>;` definitions.
+fn check_const_defs<'a>(
+    f: &'a SourceFile,
+    device: &mut Option<(u64, usize)>,
+    node: &mut Option<(u64, usize)>,
+    device_file: &mut Option<&'a std::path::Path>,
+    node_file: &mut Option<&'a std::path::Path>,
+) {
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        if ident(toks, i) != Some("const") {
+            continue;
+        }
+        let Some(name) = ident(toks, i + 1) else {
+            continue;
+        };
+        if name != "DEVICE_TICKET_SHIFT" && name != "NODE_TICKET_SHIFT" {
+            continue;
+        }
+        // Scan to `=` then take the literal value.
+        let value = toks[i..]
+            .iter()
+            .take_while(|t| !t.tok.is_punct(";"))
+            .skip_while(|t| !t.tok.is_punct("="))
+            .find_map(|t| t.tok.int_value());
+        if let Some(v) = value {
+            let slot = (v, toks[i].line);
+            if name == "DEVICE_TICKET_SHIFT" && device.is_none() {
+                *device = Some(slot);
+                *device_file = Some(&f.rel);
+            } else if name == "NODE_TICKET_SHIFT" && node.is_none() {
+                *node = Some(slot);
+                *node_file = Some(&f.rel);
+            }
+        }
+    }
+}
+
+/// Flag `<< 48`, `>> 56`, … literal shifts at the tag bit positions.
+fn check_raw_shifts(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        if f.in_test[i] {
+            continue;
+        }
+        let shift = is_punct(toks, i, "<<") || is_punct(toks, i, ">>");
+        if !shift {
+            continue;
+        }
+        let Some(n) = toks.get(i + 1).and_then(|t| t.tok.int_value()) else {
+            continue;
+        };
+        if n == DEVICE_SHIFT || n == NODE_SHIFT {
+            out.push(finding(
+                &f.rel,
+                toks[i].line,
+                Rule::TicketBits,
+                format!(
+                    "raw shift by {n} at a ticket tag bit; use \
+                     {}_TICKET_SHIFT so the layout has one owner",
+                    if n == DEVICE_SHIFT { "DEVICE" } else { "NODE" }
+                ),
+            ));
+        }
+    }
+}
+
+/// Inside `tag_ticket` functions: shift-and-or only.
+fn check_tag_fns(f: &SourceFile, out: &mut Vec<Finding>) {
+    for func in &f.fns {
+        if func.in_test || !func.name.contains("tag_ticket") {
+            continue;
+        }
+        let body = f.body(func);
+        for t in body {
+            if let crate::lexer::Tok::Punct(p) = t.tok {
+                if matches!(p, "+" | "-" | "*" | "/" | "%" | "^") && !is_unary_context(body, t) {
+                    out.push(finding(
+                        &f.rel,
+                        t.line,
+                        Rule::TicketBits,
+                        format!(
+                            "`{p}` inside `{}`; ticket tagging must be \
+                             shift-and-or only (arithmetic can carry into tag lanes)",
+                            func.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `*x` deref and `&x` borrows are fine; we only care about binary
+/// arithmetic. A `*`/`-` directly after `(`/`=`/`,`/operator is unary.
+fn is_unary_context(body: &[Token], t: &Token) -> bool {
+    let idx = body
+        .iter()
+        .position(|u| std::ptr::eq(u, t))
+        .unwrap_or_default();
+    if idx == 0 {
+        return true;
+    }
+    matches!(
+        &body[idx - 1].tok,
+        crate::lexer::Tok::Punct(
+            "(" | "=" | "," | "+" | "-" | "*" | "/" | "|" | "&" | "<<" | ">>" | "{" | ";" | "=>"
+        )
+    )
+}

@@ -1,0 +1,54 @@
+//! wall-clock: no `Instant::now()` / `SystemTime` in simulation-path
+//! crates. Simulated time must come from `SimClock` so runs are
+//! deterministic; the clock shim itself is the one allowed user.
+
+use super::{ident, is_punct, SIM_PATH_CRATES};
+use crate::{finding, Finding, Rule, Workspace};
+use std::path::Path;
+
+/// The one file allowed to touch the host clock.
+const ALLOWLIST: [&str; 1] = ["crates/sim-core/src/clock.rs"];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        let Some(krate) = f.crate_name() else {
+            continue;
+        };
+        if !SIM_PATH_CRATES.contains(&krate.as_str()) {
+            continue;
+        }
+        if ALLOWLIST.iter().any(|a| f.rel == Path::new(a)) {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            if f.in_test[i] {
+                continue;
+            }
+            if ident(toks, i) == Some("Instant")
+                && is_punct(toks, i + 1, "::")
+                && ident(toks, i + 2) == Some("now")
+            {
+                out.push(finding(
+                    &f.rel,
+                    toks[i].line,
+                    Rule::WallClock,
+                    format!(
+                        "Instant::now() in simulation-path crate `{krate}`; \
+                         use SimClock (allowlisted only in {})",
+                        ALLOWLIST[0]
+                    ),
+                ));
+            } else if ident(toks, i) == Some("SystemTime") {
+                out.push(finding(
+                    &f.rel,
+                    toks[i].line,
+                    Rule::WallClock,
+                    format!("SystemTime in simulation-path crate `{krate}`; use SimClock"),
+                ));
+            }
+        }
+    }
+    out
+}

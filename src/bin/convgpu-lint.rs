@@ -1,521 +1,93 @@
-//! `convgpu-lint` — repo-specific source lints the generic toolchain
-//! cannot express.
-//!
-//! Scans the workspace's Rust sources (pure `std`, no parser — a
-//! line-oriented scanner with comment stripping and `#[cfg(test)]`
-//! region tracking) and enforces four rules:
-//!
-//! * **wall-clock** — simulation-path crates (`sim-core`, `gpu-sim`,
-//!   `scheduler`, `container-rt`, `wrapper`) must not read the wall
-//!   clock (`Instant::now`, `SystemTime`): virtual time comes from
-//!   `sim-core`'s clock so experiments are deterministic and
-//!   compressible. Allowlisted: `crates/sim-core/src/clock.rs`, the one
-//!   place real time is permitted to enter.
-//! * **hashmap-iter** — inside the scheduler crate, iterating a
-//!   `HashMap` requires ordering evidence nearby (a sort, an ordered
-//!   min/max, or a `BTree*` collection): unordered iteration feeding a
-//!   policy decision makes scheduling nondeterministic across runs.
-//! * **lock-unwrap** — production code must not `unwrap()`/`expect()`
-//!   lock results; the poison-recovering wrappers in
-//!   `convgpu_sim_core::sync` exist so one panicking workload thread
-//!   cannot wedge the middleware for every container.
-//! * **forbid-unsafe** — every crate's `lib.rs` carries
-//!   `#![forbid(unsafe_code)]`, except `wrapper` (reserved for real
-//!   `dlsym` interposition).
-//!
-//! Suppress a finding with `// lint:allow(<rule>)` on the same line or
-//! the line above. Test code (`#[cfg(test)]` regions) is exempt from
-//! wall-clock and lock-unwrap.
+//! `convgpu-lint` — thin driver over the `convgpu_lint` analyzer crate.
 //!
 //! ```text
-//! convgpu-lint [root]   # default root: current directory
+//! convgpu-lint [root] [--rules=a,b,…] [--list-rules]
 //! ```
 //!
-//! Exit code 0 when clean, 1 with findings, 2 on usage errors.
+//! Runs every analysis (or the `--rules` subset) over the workspace at
+//! `root` (default: the current directory) and prints one line per
+//! finding as `file:line: [rule] message`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//!
+//! Rules, rationale, and the `lint:allow` suppression grammar are
+//! documented in `docs/LINT.md`.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use convgpu_lint::Rule;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Crates whose behaviour must be a pure function of virtual time.
-const SIM_PATH_CRATES: [&str; 5] = [
-    "sim-core",
-    "gpu-sim",
-    "scheduler",
-    "container-rt",
-    "wrapper",
-];
-
-/// Files where reading the wall clock is the whole point.
-const WALL_CLOCK_ALLOWLIST: [&str; 1] = ["crates/sim-core/src/clock.rs"];
-
-/// The crate allowed to omit `#![forbid(unsafe_code)]`.
-const UNSAFE_EXEMPT_CRATE: &str = "wrapper";
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Rule {
-    WallClock,
-    HashMapIter,
-    LockUnwrap,
-    ForbidUnsafe,
-}
-
-impl Rule {
-    fn name(self) -> &'static str {
-        match self {
-            Rule::WallClock => "wall-clock",
-            Rule::HashMapIter => "hashmap-iter",
-            Rule::LockUnwrap => "lock-unwrap",
-            Rule::ForbidUnsafe => "forbid-unsafe",
-        }
-    }
-}
-
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: Rule,
-    message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule.name(),
-            self.message
-        )
-    }
-}
-
-/// A source line after preprocessing.
-struct Line {
-    /// 1-based line number.
-    no: usize,
-    /// The line with any `//` comment removed.
-    code: String,
-    /// The raw line (comments intact — where `lint:allow` lives).
-    raw: String,
-    /// Inside a `#[cfg(test)]` item.
-    in_test: bool,
-}
-
-/// Strip a trailing `//` comment, ignoring `//` inside string literals.
-fn strip_comment(line: &str) -> String {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip the escaped byte
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return line[..i].to_string();
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line.to_string()
-}
-
-/// Preprocess a file into lines annotated with test-region membership.
-/// `#[cfg(test)]` regions are tracked by brace counting from the
-/// attribute to the close of the item it decorates.
-fn preprocess(src: &str) -> Vec<Line> {
-    let mut out = Vec::new();
-    let mut test_depth: i64 = -1; // -1: not in a test region
-    let mut pending_test = false; // saw #[cfg(test)], waiting for the `{`
-    for (idx, raw) in src.lines().enumerate() {
-        let code = strip_comment(raw);
-        let trimmed = code.trim();
-        if test_depth < 0 && !pending_test && trimmed.starts_with("#[cfg(test)]") {
-            pending_test = true;
-        }
-        let in_test = test_depth >= 0 || pending_test;
-        let opens = code.matches('{').count() as i64;
-        let closes = code.matches('}').count() as i64;
-        if pending_test && opens > 0 {
-            pending_test = false;
-            test_depth = opens - closes;
-            if test_depth <= 0 {
-                test_depth = -1; // single-line item
-            }
-        } else if test_depth >= 0 {
-            test_depth += opens - closes;
-            if test_depth <= 0 {
-                test_depth = -1;
-            }
-        }
-        out.push(Line {
-            no: idx + 1,
-            code,
-            raw: raw.to_string(),
-            in_test,
-        });
-    }
-    out
-}
-
-/// `// lint:allow(<rule>)` on this line or the previous one.
-fn allowed(lines: &[Line], i: usize, rule: Rule) -> bool {
-    let marker = format!("lint:allow({})", rule.name());
-    lines[i].raw.contains(&marker) || (i > 0 && lines[i - 1].raw.contains(&marker))
-}
-
-/// The crate name (`crates/<name>/…`) a path belongs to, if any.
-fn crate_of(rel: &Path) -> Option<String> {
-    let mut comps = rel.components();
-    if comps.next()?.as_os_str() == "crates" {
-        Some(comps.next()?.as_os_str().to_string_lossy().into_owned())
-    } else {
-        None
-    }
-}
-
-fn check_wall_clock(rel: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
-    let Some(krate) = crate_of(rel) else { return };
-    if !SIM_PATH_CRATES.contains(&krate.as_str()) {
-        return;
-    }
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-    if WALL_CLOCK_ALLOWLIST.contains(&rel_str.as_str()) {
-        return;
-    }
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test || allowed(lines, i, Rule::WallClock) {
-            continue;
-        }
-        for pat in ["Instant::now", "SystemTime"] {
-            if line.code.contains(pat) {
-                findings.push(Finding {
-                    file: rel.to_path_buf(),
-                    line: line.no,
-                    rule: Rule::WallClock,
-                    message: format!(
-                        "`{pat}` in a simulation-path crate; take time from the sim clock \
-                         (allowlisted only in {})",
-                        WALL_CLOCK_ALLOWLIST[0]
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// Iteration methods whose order leaks out of a `HashMap`.
-const MAP_ITER: [&str; 6] = [
-    ".iter()",
-    ".iter_mut()",
-    ".values()",
-    ".values_mut()",
-    ".keys()",
-    ".drain()",
-];
-
-/// Evidence within the statement window that the iteration's order is
-/// fixed (sorted / ordered selection) or irrelevant (order-insensitive
-/// fold / ordered re-collection).
-const ORDER_EVIDENCE: [&str; 12] = [
-    ".sort",
-    "min_by_key",
-    "max_by_key",
-    "min_by(",
-    "max_by(",
-    "BTreeMap",
-    "BTreeSet",
-    ".sum",
-    ".count()",
-    ".len()",
-    ".all(",
-    ".any(",
-];
-
-fn check_hashmap_iter(rel: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
-    if crate_of(rel).as_deref() != Some("scheduler") {
-        return;
-    }
-    // Names declared as HashMap in this file (fields and locals).
-    let mut maps: Vec<String> = Vec::new();
-    for line in lines {
-        let code = &line.code;
-        if let Some(pos) = code.find(": HashMap<") {
-            let head = &code[..pos];
-            if let Some(name) = head.split_whitespace().last() {
-                maps.push(name.trim_start_matches("pub").trim().to_string());
-            }
-        }
-        if let Some(pos) = code.find("= HashMap::new()") {
-            let head = code[..pos].trim_end();
-            if let Some(name) = head.split_whitespace().last() {
-                maps.push(name.trim_end_matches(':').to_string());
-            }
-        }
-    }
-    for (i, line) in lines.iter().enumerate() {
-        if allowed(lines, i, Rule::HashMapIter) {
-            continue;
-        }
-        let hit = MAP_ITER.iter().any(|m| {
-            maps.iter()
-                .any(|name| line.code.contains(&format!("{name}{m}")))
-        });
-        if !hit {
-            continue;
-        }
-        // "Nearby": this line plus the next few, covering both a
-        // multi-line chain and an immediate sort of the collected Vec.
-        let window: String = lines[i..lines.len().min(i + 7)]
-            .iter()
-            .map(|l| l.code.as_str())
-            .collect::<Vec<_>>()
-            .join("\n");
-        if ORDER_EVIDENCE.iter().any(|e| window.contains(e)) {
-            continue;
-        }
-        findings.push(Finding {
-            file: rel.to_path_buf(),
-            line: line.no,
-            rule: Rule::HashMapIter,
-            message: "HashMap iteration in the scheduler without nearby ordering \
-                      (sort / ordered min-max / BTree collection); unordered iteration \
-                      makes policy decisions nondeterministic"
-                .to_string(),
-        });
-    }
-}
-
-/// Lock acquisitions and panicking result-extractors, kept as separate
-/// halves so this table does not flag itself.
-const LOCK_CALLS: [&str; 4] = [".lock()", ".read()", ".write()", ".try_lock()"];
-const PANIC_EXTRACT: [&str; 2] = [".unwrap()", ".expect("];
-
-fn check_lock_unwrap(rel: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
-    let patterns: Vec<String> = LOCK_CALLS
-        .iter()
-        .flat_map(|l| PANIC_EXTRACT.iter().map(move |p| format!("{l}{p}")))
-        .collect();
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test || allowed(lines, i, Rule::LockUnwrap) {
-            continue;
-        }
-        for pat in &patterns {
-            if line.code.contains(pat.as_str()) {
-                findings.push(Finding {
-                    file: rel.to_path_buf(),
-                    line: line.no,
-                    rule: Rule::LockUnwrap,
-                    message: format!(
-                        "`{pat}` in production code; use the poison-recovering wrappers \
-                         in convgpu_sim_core::sync"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn check_forbid_unsafe(root: &Path, findings: &mut Vec<Finding>) {
-    let crates_dir = root.join("crates");
-    let mut lib_files: Vec<(String, PathBuf)> = vec![("convgpu".into(), root.join("src/lib.rs"))];
-    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
-        let mut names: Vec<_> = entries
-            .filter_map(|e| e.ok())
-            .filter(|e| e.path().is_dir())
-            .map(|e| e.file_name().to_string_lossy().into_owned())
-            .collect();
-        names.sort();
-        for name in names {
-            lib_files.push((name.clone(), crates_dir.join(name).join("src/lib.rs")));
-        }
-    }
-    for (name, lib) in lib_files {
-        if name == UNSAFE_EXEMPT_CRATE || !lib.is_file() {
-            continue;
-        }
-        let src = std::fs::read_to_string(&lib).unwrap_or_default();
-        if !src.contains("#![forbid(unsafe_code)]") {
-            findings.push(Finding {
-                file: lib.strip_prefix(root).unwrap_or(&lib).to_path_buf(),
-                line: 1,
-                rule: Rule::ForbidUnsafe,
-                message: format!(
-                    "crate `{name}` is missing `#![forbid(unsafe_code)]` \
-                     (only `{UNSAFE_EXEMPT_CRATE}` is exempt)"
-                ),
-            });
-        }
-    }
-}
-
-/// Collect all `.rs` files under `dir`, recursively, skipping `target`.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            let name = path.file_name().unwrap_or_default().to_string_lossy();
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
+fn usage() -> ExitCode {
+    eprintln!("usage: convgpu-lint [root] [--rules=a,b,...] [--list-rules]");
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.as_slice() {
-        [] => std::env::current_dir().expect("current directory"),
-        [r] if !r.starts_with('-') => PathBuf::from(r),
-        _ => {
-            eprintln!("usage: convgpu-lint [root]");
-            return ExitCode::from(2);
+    let mut root: Option<PathBuf> = None;
+    let mut rules: Vec<Rule> = Rule::ALL.to_vec();
+    for arg in std::env::args().skip(1) {
+        if arg == "--list-rules" {
+            for r in Rule::ALL {
+                println!("{:<16} {}", r.name(), r.describe());
+            }
+            return ExitCode::SUCCESS;
+        } else if let Some(list) = arg.strip_prefix("--rules=") {
+            rules.clear();
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                match Rule::from_name(name) {
+                    Some(r) => rules.push(r),
+                    None => {
+                        eprintln!("convgpu-lint: unknown rule `{name}` (see --list-rules)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        } else if arg.starts_with('-') {
+            return usage();
+        } else if root.is_none() {
+            root = Some(PathBuf::from(arg));
+        } else {
+            return usage();
         }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("convgpu-lint: current directory: {e}");
+                return ExitCode::from(2);
+            }
+        },
     };
     if !root.join("Cargo.toml").is_file() {
         eprintln!(
-            "convgpu-lint: {} does not look like the workspace root (no Cargo.toml)",
+            "convgpu-lint: {} does not look like a workspace root (no Cargo.toml)",
             root.display()
         );
         return ExitCode::from(2);
     }
-
-    let mut files = Vec::new();
-    rust_files(&root.join("crates"), &mut files);
-    rust_files(&root.join("src"), &mut files);
-    rust_files(&root.join("tests"), &mut files);
-    rust_files(&root.join("examples"), &mut files);
-
-    let mut findings = Vec::new();
-    for file in &files {
-        let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
-        let src = match std::fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("convgpu-lint: cannot read {}: {e}", file.display());
-                return ExitCode::from(2);
-            }
-        };
-        let lines = preprocess(&src);
-        check_wall_clock(&rel, &lines, &mut findings);
-        check_hashmap_iter(&rel, &lines, &mut findings);
-        check_lock_unwrap(&rel, &lines, &mut findings);
+    if rules.is_empty() {
+        eprintln!("convgpu-lint: --rules selected nothing");
+        return ExitCode::from(2);
     }
-    check_forbid_unsafe(&root, &mut findings);
 
-    if findings.is_empty() {
-        println!(
-            "convgpu-lint: {} files clean (wall-clock, hashmap-iter, lock-unwrap, forbid-unsafe)",
-            files.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        for f in &findings {
-            println!("{f}");
+    match convgpu_lint::run(&root, &rules) {
+        Err(e) => {
+            eprintln!("convgpu-lint: {e}");
+            ExitCode::from(2)
         }
-        println!("convgpu-lint: {} finding(s)", findings.len());
-        ExitCode::FAILURE
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn comments_are_stripped_but_strings_kept() {
-        assert_eq!(strip_comment("let x = 1; // Instant::now()"), "let x = 1; ");
-        assert_eq!(
-            strip_comment(r#"let s = "a // b"; // tail"#),
-            r#"let s = "a // b"; "#
-        );
-    }
-
-    #[test]
-    fn test_regions_are_tracked() {
-        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
-        let lines = preprocess(src);
-        assert!(!lines[0].in_test);
-        assert!(lines[1].in_test); // the attribute line itself
-        assert!(lines[3].in_test);
-        assert!(!lines[5].in_test);
-    }
-
-    #[test]
-    fn wall_clock_flags_sim_path_only() {
-        let lines = preprocess("let t = Instant::now();\n");
-        let mut f = Vec::new();
-        check_wall_clock(Path::new("crates/scheduler/src/core.rs"), &lines, &mut f);
-        assert_eq!(f.len(), 1, "sim-path crate must be flagged");
-        let mut f = Vec::new();
-        check_wall_clock(Path::new("crates/bench/src/lib.rs"), &lines, &mut f);
-        assert!(f.is_empty(), "bench is not a sim-path crate");
-        let mut f = Vec::new();
-        check_wall_clock(Path::new("crates/sim-core/src/clock.rs"), &lines, &mut f);
-        assert!(f.is_empty(), "clock.rs is allowlisted");
-    }
-
-    #[test]
-    fn lock_unwrap_flagged_outside_tests_only() {
-        let bad = "let g = mu.lock().unwrap();\n";
-        let mut f = Vec::new();
-        check_lock_unwrap(Path::new("crates/core/src/x.rs"), &preprocess(bad), &mut f);
-        assert_eq!(f.len(), 1);
-        let in_test = format!("#[cfg(test)]\nmod tests {{\n{bad}}}\n");
-        let mut f = Vec::new();
-        check_lock_unwrap(
-            Path::new("crates/core/src/x.rs"),
-            &preprocess(&in_test),
-            &mut f,
-        );
-        assert!(f.is_empty());
-    }
-
-    #[test]
-    fn lint_allow_suppresses() {
-        let src = "// lint:allow(lock-unwrap)\nlet g = mu.lock().unwrap();\n";
-        let mut f = Vec::new();
-        check_lock_unwrap(Path::new("crates/core/src/x.rs"), &preprocess(src), &mut f);
-        assert!(f.is_empty());
-    }
-
-    #[test]
-    fn hashmap_iter_requires_nearby_ordering() {
-        let bad = "struct S { m: HashMap<u64, u64> }\nfn f(s: &S) { for v in s.m.values() { pick(v); } }\n"
-            .replace("s.m", "m"); // field access spelled as the declared name
-        let mut f = Vec::new();
-        check_hashmap_iter(
-            Path::new("crates/scheduler/src/x.rs"),
-            &preprocess(&bad),
-            &mut f,
-        );
-        assert_eq!(f.len(), 1, "unordered iteration must be flagged");
-
-        let good = "struct S { m: HashMap<u64, u64> }\nfn f() { let mut v: Vec<_> = m.values().collect();\n v.sort_by_key(|x| *x); }\n";
-        let mut f = Vec::new();
-        check_hashmap_iter(
-            Path::new("crates/scheduler/src/x.rs"),
-            &preprocess(good),
-            &mut f,
-        );
-        assert!(f.is_empty(), "sorted iteration is fine: {:?}", f.len());
-
-        let other_crate = "struct S { m: HashMap<u64, u64> }\nfn f() { for v in m.values() {} }\n";
-        let mut f = Vec::new();
-        check_hashmap_iter(
-            Path::new("crates/gpu-sim/src/x.rs"),
-            &preprocess(other_crate),
-            &mut f,
-        );
-        assert!(f.is_empty(), "rule is scoped to the scheduler crate");
+        Ok(findings) if findings.is_empty() => {
+            let names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+            println!("convgpu-lint: workspace clean ({})", names.join(", "));
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("convgpu-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
     }
 }

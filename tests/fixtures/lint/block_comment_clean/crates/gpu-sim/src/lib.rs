@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+/* Instant::now() inside a block comment
+   must not trigger wall-clock. */
+pub fn noop() {}

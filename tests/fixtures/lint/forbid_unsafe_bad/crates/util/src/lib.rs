@@ -1,0 +1,3 @@
+pub fn add(a: u64, b: u64) -> u64 {
+    a + b
+}

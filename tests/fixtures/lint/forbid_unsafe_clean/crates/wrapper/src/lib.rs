@@ -1,0 +1,2 @@
+// The wrapper models the LD_PRELOAD shim and is exempt.
+pub fn interpose() {}

@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+pub fn pick(input: &[(u64, u64)]) -> Option<u64> {
+    let mut scores: HashMap<u64, u64> = HashMap::new();
+    for (k, v) in input {
+        scores.insert(*k, *v);
+    }
+    for (k, _v) in scores.iter() {
+        return Some(*k);
+    }
+    None
+}

@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+pub fn pick(input: &[(u64, u64)]) -> Option<u64> {
+    let mut scores: HashMap<u64, u64> = HashMap::new();
+    for (k, v) in input {
+        scores.insert(*k, *v);
+    }
+    scores.iter().min_by_key(|(k, _)| **k).map(|(k, _)| *k)
+}

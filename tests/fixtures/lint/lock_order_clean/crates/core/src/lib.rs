@@ -1,0 +1,29 @@
+#![forbid(unsafe_code)]
+
+pub struct Reply;
+
+impl Reply {
+    pub fn send(self, _v: u64) {}
+}
+
+pub struct Mutex<T>(T);
+
+impl<T> Mutex<T> {
+    pub fn lock(&self) -> &T {
+        &self.0
+    }
+}
+
+pub struct Service {
+    state: Mutex<u64>,
+}
+
+impl Service {
+    pub fn answer(&self, reply: Reply) {
+        let value = {
+            let state = self.state.lock();
+            *state
+        };
+        reply.send(value);
+    }
+}

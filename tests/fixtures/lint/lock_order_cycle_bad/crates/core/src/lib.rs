@@ -1,0 +1,28 @@
+#![forbid(unsafe_code)]
+
+pub struct Mutex<T>(T);
+
+impl<T> Mutex<T> {
+    pub fn lock(&self) -> &T {
+        &self.0
+    }
+}
+
+pub struct S {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl S {
+    pub fn forward(&self) -> u64 {
+        let a = self.a.lock();
+        let b = self.b.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.b.lock();
+        let a = self.a.lock();
+        *a + *b
+    }
+}

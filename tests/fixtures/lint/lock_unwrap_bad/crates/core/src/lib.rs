@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use std::sync::Mutex;
+
+pub fn read_state(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}

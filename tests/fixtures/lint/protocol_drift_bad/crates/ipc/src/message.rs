@@ -1,0 +1,13 @@
+pub enum Request {
+    Ping,
+    Free,
+}
+
+impl Request {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Free => "free",
+        }
+    }
+}

@@ -1,0 +1,18 @@
+use crate::message::Request;
+
+impl Request {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Ping => out.push(0),
+            Request::Free => out.push(1),
+        }
+    }
+
+    pub fn decode(tag: u8) -> Option<Request> {
+        match tag {
+            0 => Some(Request::Ping),
+            1 => Some(Request::Free),
+            _ => None,
+        }
+    }
+}

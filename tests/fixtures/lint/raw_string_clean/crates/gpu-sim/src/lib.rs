@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn doc() -> &'static str {
+    r#"calling Instant::now() or .lock().unwrap() is quoted, not code"#
+}

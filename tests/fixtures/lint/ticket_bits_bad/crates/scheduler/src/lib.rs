@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+
+pub const DEVICE_TICKET_SHIFT: u32 = 40;
+
+pub fn tag_ticket(device: u8, raw: u64) -> u64 {
+    ((device as u64) << 48) + raw
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+
+pub const DEVICE_TICKET_SHIFT: u32 = 48;
+pub const NODE_TICKET_SHIFT: u32 = 56;
+
+pub fn tag_ticket(device: u8, raw: u64) -> u64 {
+    ((device as u64) << DEVICE_TICKET_SHIFT) | raw
+}

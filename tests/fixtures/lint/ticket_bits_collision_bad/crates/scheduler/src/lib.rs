@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+
+pub const DEVICE_TICKET_SHIFT: u32 = 48;
+pub const NODE_TICKET_SHIFT: u32 = 52;
+
+pub fn tag_ticket(node: u8, tagged: u64) -> u64 {
+    ((node as u64) << NODE_TICKET_SHIFT) | tagged
+}

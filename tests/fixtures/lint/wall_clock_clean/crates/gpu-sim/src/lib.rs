@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+
+pub fn sample(now_ns: u64) -> u64 {
+    now_ns + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+use std::time::Instant;
+
+pub fn sneaky() -> Instant {
+    Instant::/* not fooling the lexer */now()
+}
