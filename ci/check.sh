@@ -9,7 +9,7 @@
 # Knobs:
 #   SKIP_PERF=1     skip the loadgen perf gates (e.g. on loaded machines)
 #   ARTIFACT_DIR=d  keep artifacts (chrome trace, BENCH_3.json,
-#                   BENCH_4.json, lint-findings.txt) under d
+#                   BENCH_4.json, BENCH_7.json, lint-findings.txt) under d
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,9 +56,18 @@ step "convgpu-lint (workspace analyzer, docs/LINT.md)"
 # the lint exit code authoritative through the tee.
 cargo run --offline -q --bin convgpu-lint | tee "$ARTIFACT_DIR/lint-findings.txt"
 
-step "bounded model check (single-GPU + multi-GPU universes)"
+step "cluster battery (router acceptance + node-death fault injection)"
+# Real per-node socket servers behind the cluster router: golden routed
+# trace, ticket canonicality, both codecs surviving a node killed
+# mid-run, and the cluster_faults half of the fault-injection suite.
+cargo test --offline -q --test cluster_router
+cargo test --offline -q --test failure_injection cluster_faults
+
+step "bounded model check (single-GPU + multi-GPU + cluster universes)"
 # Phase 3 of the binary exhaustively checks the 2-device x 3-container
-# multi-GPU universe for every policy x placement combination.
+# multi-GPU universe for every policy x placement combination; phase 4
+# does the same for the 2-node cluster universe across every Swarm
+# strategy.
 if [[ "${QUICK:-0}" == "1" ]]; then
   cargo run --offline -q --release -p convgpu-audit --bin convgpu-audit -- --quick
 else
@@ -90,6 +99,21 @@ else
     sharded_args+=(--quick)
   fi
   cargo run --offline -q --release -p convgpu-bench --bin loadgen -- "${sharded_args[@]}"
+fi
+
+step "routed cluster campaign (multi-socket loadgen -> BENCH_7.json)"
+if [[ "${SKIP_PERF:-0}" == "1" ]]; then
+  echo "skipped (SKIP_PERF=1)"
+else
+  # Real node servers behind the router, all three Swarm strategies.
+  # The run itself asserts zero timeouts/failovers on a healthy cluster;
+  # the artifact records per-strategy throughput and placement. Not
+  # baseline-gated yet (first PR with this campaign).
+  cluster_args=(--cluster --out="$ARTIFACT_DIR/BENCH_7.json")
+  if [[ "${QUICK:-0}" == "1" ]]; then
+    cluster_args+=(--quick)
+  fi
+  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- "${cluster_args[@]}"
 fi
 
 if [[ "$keep_artifacts" == "1" ]]; then

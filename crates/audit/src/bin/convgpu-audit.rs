@@ -4,20 +4,23 @@
 //! quantized configurations (positive proof: no invariant violation, no
 //! §III-E stall, no lost wakeup on any interleaving), sweeps the
 //! multi-GPU universe over every policy × placement-policy combination,
-//! then prints the naive baseline's minimal deadlock trace (negative
-//! witness).
+//! sweeps the cluster universe over every policy × Swarm-strategy
+//! combination, then prints the naive baseline's minimal deadlock trace
+//! (negative witness).
 //!
 //! ```text
 //! convgpu-audit [--policy fifo|bf|ru|rand|all] [--mode dfs|bfs]
 //!               [--max-states N] [--seed N] [--quick]
-//!               [--skip-ctx] [--skip-multi] [--skip-naive]
+//!               [--skip-ctx] [--skip-multi] [--skip-cluster] [--skip-naive]
 //! ```
 //!
 //! Exits non-zero on any failure — `ci/check.sh` runs it as a gate.
 
+use convgpu_audit::cluster::{self, ClusterModelConfig};
 use convgpu_audit::model::{explore, CheckOutcome, ModelConfig, SearchMode};
 use convgpu_audit::multi::{self, MultiModelConfig};
 use convgpu_audit::naive::{find_deadlock, NaiveConfig};
+use convgpu_scheduler::cluster::SwarmStrategy;
 use convgpu_scheduler::{PlacementPolicy, PolicyKind};
 use std::process::ExitCode;
 
@@ -29,6 +32,7 @@ struct Options {
     quick: bool,
     skip_ctx: bool,
     skip_multi: bool,
+    skip_cluster: bool,
     skip_naive: bool,
 }
 
@@ -36,7 +40,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: convgpu-audit [--policy fifo|bf|ru|rand|all] [--mode dfs|bfs]\n\
          \x20                    [--max-states N] [--seed N] [--quick]\n\
-         \x20                    [--skip-ctx] [--skip-multi] [--skip-naive]"
+         \x20                    [--skip-ctx] [--skip-multi] [--skip-cluster] [--skip-naive]"
     );
     std::process::exit(2);
 }
@@ -50,6 +54,7 @@ fn parse_args() -> Options {
         quick: false,
         skip_ctx: false,
         skip_multi: false,
+        skip_cluster: false,
         skip_naive: false,
     };
     let mut args = std::env::args().skip(1);
@@ -93,6 +98,7 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--skip-ctx" => opts.skip_ctx = true,
             "--skip-multi" => opts.skip_multi = true,
+            "--skip-cluster" => opts.skip_cluster = true,
             "--skip-naive" => opts.skip_naive = true,
             "--help" | "-h" => usage(),
             other => {
@@ -208,6 +214,58 @@ fn run_one_multi(label: &str, cfg: &MultiModelConfig) -> bool {
     }
 }
 
+fn customize_cluster(mut cfg: ClusterModelConfig, opts: &Options) -> ClusterModelConfig {
+    cfg.mode = opts.mode;
+    if let Some(m) = opts.max_states {
+        cfg.max_states = m;
+    }
+    if let Some(s) = opts.seed {
+        cfg.seed = s;
+    }
+    if opts.quick {
+        cfg.max_allocs = cfg.max_allocs.min(1);
+    }
+    cfg
+}
+
+/// Run one cluster configuration; returns whether it passed.
+fn run_one_cluster(label: &str, cfg: &ClusterModelConfig) -> bool {
+    let started = std::time::Instant::now();
+    let outcome = cluster::explore(cfg);
+    let elapsed = started.elapsed();
+    match outcome {
+        CheckOutcome::Pass(stats) => {
+            println!(
+                "  PASS {label:<24} {:>8} states {:>9} transitions  depth {:>2}  \
+                 {} terminal, {} suspended  ({:.2?})",
+                stats.states,
+                stats.transitions,
+                stats.max_depth,
+                stats.terminals,
+                stats.suspended_states,
+                elapsed
+            );
+            true
+        }
+        CheckOutcome::Fail {
+            failure,
+            trace,
+            stats,
+        } => {
+            println!("  FAIL {label}: {failure}");
+            println!(
+                "       after {} states, {} transitions",
+                stats.states, stats.transitions
+            );
+            println!("       counterexample ({} events):", trace.len());
+            for (i, ev) in trace.iter().enumerate() {
+                println!("         {:>2}. {ev}", i + 1);
+            }
+            false
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let mut ok = true;
@@ -216,16 +274,16 @@ fn main() -> ExitCode {
         "convgpu-audit: bounded model check, mode {:?} — full-guarantee discipline",
         opts.mode
     );
-    println!("[1/4] 3 containers, 1 GiB device, 256 MiB quanta, no ctx overhead");
+    println!("[1/5] 3 containers, 1 GiB device, 256 MiB quanta, no ctx overhead");
     for &p in &opts.policies {
         let cfg = customize(ModelConfig::three_containers(p), &opts);
         ok &= run_one(&format!("{} / 3-container", p.label()), &cfg);
     }
 
     if opts.skip_ctx {
-        println!("[2/4] skipped (--skip-ctx)");
+        println!("[2/5] skipped (--skip-ctx)");
     } else {
-        println!("[2/4] 2 containers, 1 GiB device, 66 MiB per-pid ctx overhead charged");
+        println!("[2/5] 2 containers, 1 GiB device, 66 MiB per-pid ctx overhead charged");
         for &p in &opts.policies {
             let cfg = customize(ModelConfig::two_containers_with_ctx(p), &opts);
             ok &= run_one(&format!("{} / 2-container+ctx", p.label()), &cfg);
@@ -233,9 +291,9 @@ fn main() -> ExitCode {
     }
 
     if opts.skip_multi {
-        println!("[3/4] skipped (--skip-multi)");
+        println!("[3/5] skipped (--skip-multi)");
     } else {
-        println!("[3/4] multi-GPU: 3 containers on 2 × 768 MiB devices, 256 MiB quanta");
+        println!("[3/5] multi-GPU: 3 containers on 2 × 768 MiB devices, 256 MiB quanta");
         for &p in &opts.policies {
             for placement in [
                 PlacementPolicy::RoundRobin,
@@ -251,10 +309,29 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.skip_naive {
-        println!("[4/4] skipped (--skip-naive)");
+    if opts.skip_cluster {
+        println!("[4/5] skipped (--skip-cluster)");
     } else {
-        println!("[4/4] naive baseline (grant-if-fits, no guarantees) — negative witness");
+        println!("[4/5] cluster: 3 containers on 2 single-GPU 768 MiB nodes, 256 MiB quanta");
+        for &p in &opts.policies {
+            for strategy in [
+                SwarmStrategy::Spread,
+                SwarmStrategy::BinPack,
+                SwarmStrategy::Random,
+            ] {
+                let cfg = customize_cluster(
+                    ClusterModelConfig::two_nodes_three_containers(p, strategy),
+                    &opts,
+                );
+                ok &= run_one_cluster(&format!("{}+{}", p.label(), strategy.label()), &cfg);
+            }
+        }
+    }
+
+    if opts.skip_naive {
+        println!("[5/5] skipped (--skip-naive)");
+    } else {
+        println!("[5/5] naive baseline (grant-if-fits, no guarantees) — negative witness");
         match find_deadlock(&NaiveConfig::classic()) {
             Some(w) => {
                 println!(

@@ -13,6 +13,10 @@
 //!   scheduler: per-device invariants, cross-device budget isolation,
 //!   per-device deadlock-freedom, and wakeup consistency under the
 //!   device ticket tagging.
+//! * [`cluster`] — the same exhaustive exploration one level up, for the
+//!   **cluster** scheduler: cross-node budget isolation, wakeup
+//!   consistency under the stacked node-over-device ticket tagging, and
+//!   node-tag canonicality.
 //! * [`naive`] — the uncoordinated-sharing baseline the paper argues
 //!   against, plus a breadth-first search for its **minimal** deadlock
 //!   trace: the negative witness that makes the positive proof above
@@ -36,11 +40,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod model;
 pub mod multi;
 pub mod naive;
 pub mod prop;
 
+pub use cluster::ClusterModelConfig;
 pub use model::{CheckOutcome, Event, ExploreStats, Failure, ModelConfig, SearchMode};
 pub use multi::MultiModelConfig;
 pub use naive::{find_deadlock, NaiveConfig, NaiveScheduler, NaiveWitness};

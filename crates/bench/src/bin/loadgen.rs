@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p convgpu-bench --bin loadgen -- \
 //!     [--sharded] [--devices=N] \
+//!     [--cluster] [--nodes=N] [--codec=json|binary] \
 //!     [--containers=N] [--workers=K] [--rounds=R] [--quick] \
 //!     [--transport=inproc|socket-json|socket-binary] \
 //!     [--out=BENCH_3.json] [--baseline=ci/perf_baseline.json]
@@ -10,16 +11,21 @@
 //!
 //! Runs the [`convgpu_bench::loadgen`] campaign for all four policies
 //! (or, with `--sharded`, the multi-GPU campaign for all three
-//! placement policies, writing the `BENCH_4.json` schema), prints a
-//! summary table, writes the machine-readable report to `--out`, and —
-//! when `--baseline` is given — exits non-zero if the aggregate
-//! throughput regressed more than the allowed envelope
+//! placement policies, writing the `BENCH_4.json` schema; or, with
+//! `--cluster`, the routed multi-socket campaign for all three Swarm
+//! strategies, writing the `BENCH_7.json` schema), prints a summary
+//! table, writes the machine-readable report to `--out`, and — when
+//! `--baseline` is given — exits non-zero if the aggregate throughput
+//! regressed more than the allowed envelope
 //! ([`convgpu_bench::loadgen::BASELINE_RETENTION`]). The sharded gate
-//! reads the baseline's `sharded_total_decisions_per_sec` field.
+//! reads the baseline's `sharded_total_decisions_per_sec` field. The
+//! cluster campaign is artifact-only (routed throughput is too
+//! machine-sensitive to gate) and rejects `--baseline`.
 
 use convgpu_bench::loadgen::{
-    check_baseline, check_sharded_baseline, render_json, render_sharded_json, run_loadgen,
-    run_sharded, BaselineVerdict, LoadgenConfig, ShardedConfig, Transport,
+    check_baseline, check_sharded_baseline, render_cluster_json, render_json, render_sharded_json,
+    run_cluster, run_loadgen, run_sharded, BaselineVerdict, ClusterLoadConfig, LoadgenConfig,
+    ShardedConfig, Transport,
 };
 use convgpu_bench::report::format_table;
 use convgpu_ipc::binary::WireCodec;
@@ -29,11 +35,80 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen [--sharded] [--devices=N]\n\
+         \x20              [--cluster] [--nodes=N] [--codec=json|binary]\n\
          \x20              [--containers=N] [--workers=K] [--rounds=R] [--quick]\n\
          \x20              [--transport=inproc|socket-json|socket-binary]\n\
          \x20              [--out=FILE] [--baseline=FILE]"
     );
     ExitCode::from(2)
+}
+
+/// Report one routed cluster campaign (artifact-only, never gated).
+fn run_cluster_campaign(cfg: &ClusterLoadConfig, out: Option<PathBuf>) -> ExitCode {
+    println!(
+        "loadgen (cluster): {} containers x {} workers, {} nodes x {} device(s) x {} MiB, \
+         policy {}, codec {}",
+        cfg.base.containers,
+        cfg.base.workers,
+        cfg.nodes,
+        cfg.devices_per_node,
+        cfg.base.capacity.as_mib(),
+        cfg.policy.label(),
+        cfg.codec.label()
+    );
+    let report = run_cluster(cfg);
+
+    let table = format_table(
+        &[
+            "strategy".into(),
+            "decisions".into(),
+            "suspensions".into(),
+            "homes/node".into(),
+            "retries".into(),
+            "decisions/s".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+        ],
+        &report
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.strategy.label().into(),
+                    r.decisions.to_string(),
+                    r.suspensions.to_string(),
+                    r.containers_per_node
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                    r.retries.to_string(),
+                    format!("{:.0}", r.decisions_per_sec),
+                    format!("{:.4}", r.quantile_ms(0.50)),
+                    format!("{:.4}", r.quantile_ms(0.95)),
+                    format!("{:.4}", r.quantile_ms(0.99)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!(
+        "PERF loadgen cluster_total_decisions_per_sec={:.0} nodes={} codec={}",
+        report.cluster_total_decisions_per_sec(),
+        cfg.nodes,
+        cfg.codec.label()
+    );
+
+    if let Some(path) = out {
+        let text = render_cluster_json(&report);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Report and gate one sharded campaign.
@@ -131,7 +206,15 @@ fn run_sharded_campaign(
 fn main() -> ExitCode {
     let mut cfg = LoadgenConfig::standard();
     let mut sharded = false;
+    let mut cluster = false;
     let mut devices: u32 = ShardedConfig::standard().devices;
+    let mut nodes: u32 = ClusterLoadConfig::standard().nodes;
+    let mut codec: WireCodec = ClusterLoadConfig::standard().codec;
+    // The cluster template's container count differs from the
+    // single-stack default, so remember which knobs were set explicitly.
+    let mut containers_flag: Option<u32> = None;
+    let mut workers_flag: Option<u32> = None;
+    let mut rounds_flag: Option<u32> = None;
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
@@ -144,24 +227,46 @@ fn main() -> ExitCode {
             };
         } else if a == "--sharded" {
             sharded = true;
+        } else if a == "--cluster" {
+            cluster = true;
         } else if let Some(v) = a.strip_prefix("--devices=") {
             match v.parse() {
                 Ok(n) if n > 0 => devices = n,
                 _ => return usage(),
             }
+        } else if let Some(v) = a.strip_prefix("--nodes=") {
+            match v.parse() {
+                Ok(n) if n > 0 => nodes = n,
+                _ => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--codec=") {
+            codec = match v {
+                "json" => WireCodec::Json,
+                "binary" => WireCodec::Binary,
+                _ => return usage(),
+            };
         } else if let Some(v) = a.strip_prefix("--containers=") {
             match v.parse() {
-                Ok(n) => cfg.containers = n,
+                Ok(n) => {
+                    cfg.containers = n;
+                    containers_flag = Some(n);
+                }
                 Err(_) => return usage(),
             }
         } else if let Some(v) = a.strip_prefix("--workers=") {
             match v.parse() {
-                Ok(n) => cfg.workers = n,
+                Ok(n) => {
+                    cfg.workers = n;
+                    workers_flag = Some(n);
+                }
                 Err(_) => return usage(),
             }
         } else if let Some(v) = a.strip_prefix("--rounds=") {
             match v.parse() {
-                Ok(n) => cfg.rounds = n,
+                Ok(n) => {
+                    cfg.rounds = n;
+                    rounds_flag = Some(n);
+                }
                 Err(_) => return usage(),
             }
         } else if let Some(v) = a.strip_prefix("--transport=") {
@@ -178,6 +283,31 @@ fn main() -> ExitCode {
         } else {
             return usage();
         }
+    }
+
+    if cluster {
+        if sharded || baseline.is_some() {
+            // One campaign per invocation; the cluster report is never
+            // gated (see the module docs).
+            return usage();
+        }
+        let template = if quick {
+            ClusterLoadConfig::smoke()
+        } else {
+            ClusterLoadConfig::standard()
+        };
+        let ccfg = ClusterLoadConfig {
+            base: LoadgenConfig {
+                containers: containers_flag.unwrap_or(template.base.containers),
+                workers: workers_flag.unwrap_or(template.base.workers),
+                rounds: rounds_flag.unwrap_or(template.base.rounds),
+                ..template.base
+            },
+            nodes,
+            codec,
+            ..template
+        };
+        return run_cluster_campaign(&ccfg, out);
     }
 
     if sharded {

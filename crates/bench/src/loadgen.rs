@@ -32,6 +32,7 @@
 //!   counts exact — and testable.
 
 use convgpu_core::handler::ServiceHandler;
+use convgpu_core::router::{ClusterRouter, NodeServer, RouterConfig};
 use convgpu_core::service::{InProcEndpoint, SchedulerService};
 use convgpu_ipc::binary::WireCodec;
 use convgpu_ipc::client::SchedulerClient;
@@ -40,12 +41,13 @@ use convgpu_ipc::message::{AllocDecision, ApiKind};
 use convgpu_ipc::server::SocketServer;
 use convgpu_obs::metrics::Histogram;
 use convgpu_scheduler::backend::TopologyBackend;
+use convgpu_scheduler::cluster::SwarmStrategy;
 use convgpu_scheduler::core::{Scheduler, SchedulerConfig};
 use convgpu_scheduler::metrics as sched_metrics;
 use convgpu_scheduler::multi_gpu::{MultiGpuScheduler, PlacementPolicy};
 use convgpu_scheduler::policy::PolicyKind;
 use convgpu_scheduler::state::ResumeRule;
-use convgpu_sim_core::clock::VirtualClock;
+use convgpu_sim_core::clock::{RealClock, VirtualClock};
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::time::{SimDuration, SimTime};
 use convgpu_sim_core::units::Bytes;
@@ -330,6 +332,32 @@ fn storm(
     server: &Option<SocketServer>,
     vclock: &VirtualClock,
 ) -> (WorkerStats, f64) {
+    let factory = || -> Arc<dyn SchedulerEndpoint> {
+        match cfg.transport {
+            Transport::InProc => Arc::new(InProcEndpoint::new(Arc::clone(service))),
+            Transport::Socket(codec) => Arc::new(
+                SchedulerClient::connect_with_codec(
+                    server
+                        .as_ref()
+                        .expect("socket transport has a server")
+                        .path(),
+                    codec,
+                    None,
+                )
+                .expect("connect loadgen client"),
+            ),
+        }
+    };
+    storm_with(cfg, &factory, vclock)
+}
+
+/// [`storm`] over an arbitrary per-worker endpoint factory (the cluster
+/// campaign hands every worker the shared router instead of a service).
+fn storm_with(
+    cfg: &LoadgenConfig,
+    endpoint_factory: &(dyn Fn() -> Arc<dyn SchedulerEndpoint> + Sync),
+    vclock: &VirtualClock,
+) -> (WorkerStats, f64) {
     let next = AtomicU64::new(0);
     let ticks = AtomicU64::new(1);
     let started = Instant::now();
@@ -340,20 +368,7 @@ fn storm(
                 let next = &next;
                 let ticks = &ticks;
                 scope.spawn(move || {
-                    let endpoint: Arc<dyn SchedulerEndpoint> = match cfg.transport {
-                        Transport::InProc => Arc::new(InProcEndpoint::new(Arc::clone(service))),
-                        Transport::Socket(codec) => Arc::new(
-                            SchedulerClient::connect_with_codec(
-                                server
-                                    .as_ref()
-                                    .expect("socket transport has a server")
-                                    .path(),
-                                codec,
-                                None,
-                            )
-                            .expect("connect loadgen client"),
-                        ),
-                    };
+                    let endpoint = endpoint_factory();
                     let mut stats = WorkerStats::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -897,6 +912,349 @@ pub fn check_sharded_baseline(
     ))
 }
 
+/// One cluster campaign (applied to each Swarm strategy in turn): every
+/// node is a real [`NodeServer`] process image — its own
+/// `SchedulerService` behind its own UNIX socket — and the workers drive
+/// a [`ClusterRouter`] fronting those sockets, so every admission pays
+/// the genuine route-and-forward cost the distributed deployment pays.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterLoadConfig {
+    /// Per-node-device campaign parameters (`capacity` applies to each
+    /// device of each node; `transport` is ignored — workers hold the
+    /// router in process and the router speaks [`ClusterLoadConfig::codec`]
+    /// to the node sockets).
+    pub base: LoadgenConfig,
+    /// Nodes in the cluster, each with its own socket server.
+    pub nodes: u32,
+    /// GPU devices each node manages.
+    pub devices_per_node: u32,
+    /// Redistribution policy every node's device schedulers run.
+    pub policy: PolicyKind,
+    /// Wire codec on the router → node hop.
+    pub codec: WireCodec,
+}
+
+impl ClusterLoadConfig {
+    /// The standard cluster campaign: two single-device 1 GiB nodes (the
+    /// sharded campaign's split, but over real sockets), binary codec on
+    /// the routed hop. Half the single-stack container count — every
+    /// operation crosses a socket here, and the campaign runs once per
+    /// strategy.
+    pub fn standard() -> Self {
+        ClusterLoadConfig {
+            base: LoadgenConfig {
+                containers: 1000,
+                capacity: Bytes::gib(1),
+                ..LoadgenConfig::standard()
+            },
+            nodes: 2,
+            devices_per_node: 1,
+            policy: PolicyKind::BestFit,
+            codec: WireCodec::Binary,
+        }
+    }
+
+    /// A seconds-scale smoke campaign for CI and debug builds.
+    pub fn smoke() -> Self {
+        let std_cfg = Self::standard();
+        ClusterLoadConfig {
+            base: LoadgenConfig {
+                containers: 200,
+                ..std_cfg.base
+            },
+            ..std_cfg
+        }
+    }
+}
+
+/// Measured outcome of one Swarm strategy's cluster campaign.
+#[derive(Clone, Debug)]
+pub struct ClusterRun {
+    /// Placement strategy the router ran.
+    pub strategy: SwarmStrategy,
+    /// Admission decisions delivered (granted + rejected).
+    pub decisions: u64,
+    /// Granted decisions.
+    pub granted: u64,
+    /// Rejected decisions.
+    pub rejected: u64,
+    /// Suspend episodes summed over every node's device books.
+    pub suspensions: u64,
+    /// Containers the strategy homed on each node (lifetime total,
+    /// index = node).
+    pub containers_per_node: Vec<u64>,
+    /// Router retries summed over nodes (0 in a healthy run).
+    pub retries: u64,
+    /// Router deadline hits summed over nodes (0 in a healthy run).
+    pub timeouts: u64,
+    /// Router degradation failovers summed over nodes (0 in a healthy
+    /// run).
+    pub failovers: u64,
+    /// Wall-clock duration of the campaign, seconds.
+    pub elapsed_secs: f64,
+    /// `decisions / elapsed_secs`.
+    pub decisions_per_sec: f64,
+    /// Wall-clock admission latency (request → routed decision).
+    pub admission: Histogram,
+}
+
+impl ClusterRun {
+    /// Admission-latency quantile in milliseconds (0 when empty).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.admission.quantile_ns(q).unwrap_or(0.0) / 1e6
+    }
+
+    /// Mean admission latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.admission.count() == 0 {
+            0.0
+        } else {
+            self.admission.sum_ns() as f64 / self.admission.count() as f64 / 1e6
+        }
+    }
+}
+
+/// A full cluster campaign: one [`ClusterRun`] per Swarm strategy.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// The configuration every strategy ran under.
+    pub config: ClusterLoadConfig,
+    /// Per-strategy results: spread, binpack, random.
+    pub runs: Vec<ClusterRun>,
+}
+
+impl ClusterReport {
+    /// Aggregate routed throughput across strategies — the headline
+    /// number in `BENCH_7.json` (published as a CI artifact, not gated:
+    /// routed throughput is dominated by socket round trips, which CI
+    /// machines vary on too much for a retention floor to be meaningful).
+    pub fn cluster_total_decisions_per_sec(&self) -> f64 {
+        let decisions: u64 = self.runs.iter().map(|r| r.decisions).sum();
+        let elapsed: f64 = self.runs.iter().map(|r| r.elapsed_secs).sum();
+        if elapsed > 0.0 {
+            decisions as f64 / elapsed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The Swarm strategies the cluster campaign sweeps, in report order.
+pub const STRATEGIES: [SwarmStrategy; 3] = [
+    SwarmStrategy::Spread,
+    SwarmStrategy::BinPack,
+    SwarmStrategy::Random,
+];
+
+/// Run the cluster campaign for every strategy in [`STRATEGIES`].
+pub fn run_cluster(cfg: &ClusterLoadConfig) -> ClusterReport {
+    let runs = STRATEGIES
+        .into_iter()
+        .map(|strategy| run_cluster_strategy(cfg, strategy))
+        .collect();
+    ClusterReport { config: *cfg, runs }
+}
+
+/// Run one Swarm strategy's cluster campaign.
+///
+/// The liveness argument from the module docs carries over through the
+/// router: a container lives its whole life on the node the strategy
+/// chose at registration, so each node is an independent storm with a
+/// (strategy-dependent) share of the containers, and the router adds
+/// forwarding but no admission policy of its own.
+///
+/// # Panics
+/// As [`run_policy`], plus: any routed run that needed the robustness
+/// layer (a retry deadline hit or a degradation failover) aborts the
+/// campaign — against healthy local nodes those counters must be zero,
+/// so a non-zero reading is a harness or transport bug, not a number
+/// worth publishing.
+pub fn run_cluster_strategy(cfg: &ClusterLoadConfig, strategy: SwarmStrategy) -> ClusterRun {
+    check_config(&cfg.base);
+    assert!(cfg.nodes > 0, "need at least one node");
+    assert!(
+        cfg.devices_per_node > 0,
+        "need at least one device per node"
+    );
+
+    let vclock = VirtualClock::new();
+    let dir = std::env::temp_dir().join(format!(
+        "convgpu-loadgen-cluster-{}-{}",
+        std::process::id(),
+        strategy.label()
+    ));
+    let capacities = vec![cfg.base.capacity; cfg.devices_per_node as usize];
+    let mut node_servers = Vec::with_capacity(cfg.nodes as usize);
+    let mut sockets = Vec::with_capacity(cfg.nodes as usize);
+    for i in 0..cfg.nodes {
+        let name = format!("n{i}");
+        let node_dir = dir.join(&name);
+        std::fs::create_dir_all(&node_dir).expect("create cluster node dir");
+        let backend = TopologyBackend::MultiGpu(MultiGpuScheduler::with_config(
+            sched_config(&cfg.base),
+            &capacities,
+            cfg.policy,
+            PlacementPolicy::BestFitDevice,
+            0xC0DE + u64::from(i),
+        ));
+        let socket = node_dir.join("node.sock");
+        let node = NodeServer::serve(name.clone(), backend, vclock.handle(), node_dir, &socket)
+            .expect("serve cluster node");
+        sockets.push((name, socket));
+        node_servers.push(node);
+    }
+
+    // The router runs on the real clock with a deadline far beyond any
+    // healthy local round trip: timeouts never fire in a clean run, so
+    // the campaign cannot trip the retry path's duplicate-delivery
+    // caveat (docs/CLUSTER.md) and the fault counters must read zero.
+    let router = Arc::new(ClusterRouter::attach(
+        sockets,
+        cfg.codec,
+        RouterConfig {
+            strategy,
+            deadline: SimDuration::from_secs(30),
+            ..RouterConfig::default()
+        },
+        RealClock::handle(),
+    ));
+
+    let factory = || -> Arc<dyn SchedulerEndpoint> { Arc::clone(&router) as _ };
+    let (merged, elapsed_secs) = storm_with(&cfg.base, &factory, &vclock);
+
+    let (_, status) = router.cluster_status();
+    let mut suspensions = 0u64;
+    let mut open = 0usize;
+    let mut containers_per_node = Vec::with_capacity(node_servers.len());
+    for node in &node_servers {
+        let (node_susp, node_open, homed) = node.service().with_backend(|b| match b {
+            TopologyBackend::MultiGpu(m) => {
+                let mut susp = 0u64;
+                let mut open = 0usize;
+                let mut homed = 0u64;
+                for d in 0..m.device_count() {
+                    let per = sched_metrics::collect(m.device(d).containers());
+                    susp += per.iter().map(|c| c.suspend_episodes).sum::<u64>();
+                    open += per.iter().filter(|c| c.closed_at.is_none()).count();
+                    homed += per.len() as u64;
+                }
+                (susp, open, homed)
+            }
+            _ => unreachable!("cluster nodes always run a MultiGpu backend"),
+        });
+        suspensions += node_susp;
+        open += node_open;
+        containers_per_node.push(homed);
+    }
+    for node in node_servers {
+        node.shutdown();
+    }
+    assert_eq!(open, 0, "every loadgen container must close");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let retries: u64 = status.iter().map(|n| n.retries).sum();
+    let timeouts: u64 = status.iter().map(|n| n.timeouts).sum();
+    let failovers: u64 = status.iter().map(|n| n.failovers).sum();
+    assert_eq!(timeouts, 0, "healthy cluster run must not hit deadlines");
+    assert_eq!(failovers, 0, "healthy cluster run must not fail over");
+
+    let decisions = merged.granted + merged.rejected;
+    let expected = u64::from(cfg.base.containers) * cfg.base.decisions_per_container();
+    assert_eq!(
+        decisions, expected,
+        "decision count must be exact (liveness or protocol bug otherwise)"
+    );
+    assert_eq!(
+        containers_per_node.iter().sum::<u64>(),
+        u64::from(cfg.base.containers),
+        "every container must have been homed on exactly one node"
+    );
+    ClusterRun {
+        strategy,
+        decisions,
+        granted: merged.granted,
+        rejected: merged.rejected,
+        suspensions,
+        containers_per_node,
+        retries,
+        timeouts,
+        failovers,
+        elapsed_secs,
+        decisions_per_sec: if elapsed_secs > 0.0 {
+            decisions as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        admission: merged.admission,
+    }
+}
+
+/// Render the machine-readable cluster report (the `BENCH_7.json`
+/// schema).
+pub fn render_cluster_json(report: &ClusterReport) -> String {
+    let cfg = &report.config;
+    let base = &cfg.base;
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"loadgen-cluster\",\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"containers\": {}, \"workers\": {}, \"rounds\": {}, \
+         \"chunk_mib\": {}, \"limit_mib\": {}, \"device_capacity_mib\": {}, \
+         \"nodes\": {}, \"devices_per_node\": {}, \"policy\": \"{}\", \
+         \"codec\": \"{}\", \"reject_every\": {}, \"hold_us\": {}}},\n",
+        base.containers,
+        base.workers,
+        base.rounds,
+        base.chunk.as_mib(),
+        base.limit.as_mib(),
+        base.capacity.as_mib(),
+        cfg.nodes,
+        cfg.devices_per_node,
+        cfg.policy.label(),
+        cfg.codec.label(),
+        base.reject_every,
+        base.hold_us,
+    ));
+    out.push_str("  \"strategies\": [\n");
+    for (i, run) in report.runs.iter().enumerate() {
+        let homes = run
+            .containers_per_node
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"strategy\": \"{}\", \"decisions\": {}, \"granted\": {}, \
+             \"rejected\": {}, \"suspensions\": {}, \"containers_per_node\": [{homes}], \
+             \"retries\": {}, \"timeouts\": {}, \"failovers\": {}, \
+             \"elapsed_secs\": {:.6}, \"decisions_per_sec\": {:.1}, \"admission_ms\": \
+             {{\"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"mean\": {:.6}, \"count\": {}}}}}{}\n",
+            run.strategy.label(),
+            run.decisions,
+            run.granted,
+            run.rejected,
+            run.suspensions,
+            run.retries,
+            run.timeouts,
+            run.failovers,
+            run.elapsed_secs,
+            run.decisions_per_sec,
+            run.quantile_ms(0.50),
+            run.quantile_ms(0.95),
+            run.quantile_ms(0.99),
+            run.mean_ms(),
+            run.admission.count(),
+            if i + 1 == report.runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"cluster_total_decisions_per_sec\": {:.1}\n}}\n",
+        report.cluster_total_decisions_per_sec()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1137,6 +1495,121 @@ mod tests {
         std::fs::write(&path, "{\"total_decisions_per_sec\": 1}").unwrap();
         assert!(check_sharded_baseline(&report, &path).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tiny_cluster(codec: WireCodec) -> ClusterLoadConfig {
+        ClusterLoadConfig {
+            base: LoadgenConfig {
+                capacity: Bytes::gib(1),
+                ..tiny(Transport::InProc)
+            },
+            nodes: 2,
+            devices_per_node: 1,
+            policy: PolicyKind::BestFit,
+            codec,
+        }
+    }
+
+    #[test]
+    fn cluster_decision_counts_are_exact_for_every_strategy() {
+        let cfg = tiny_cluster(WireCodec::Binary);
+        for strategy in STRATEGIES {
+            let run = run_cluster_strategy(&cfg, strategy);
+            assert_eq!(run.decisions, 48 * 5, "{strategy:?}");
+            assert_eq!(run.rejected, 48, "{strategy:?}");
+            assert_eq!(run.admission.count(), run.decisions, "{strategy:?}");
+            assert_eq!(run.containers_per_node.len(), 2, "{strategy:?}");
+            assert_eq!(
+                run.containers_per_node.iter().sum::<u64>(),
+                48,
+                "{strategy:?}"
+            );
+            assert_eq!(run.timeouts, 0, "{strategy:?}");
+            assert_eq!(run.failovers, 0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_json_codec_matches_binary_counts() {
+        let cfg = ClusterLoadConfig {
+            base: LoadgenConfig {
+                containers: 24,
+                workers: 3,
+                capacity: Bytes::gib(1),
+                ..tiny(Transport::InProc)
+            },
+            ..tiny_cluster(WireCodec::Json)
+        };
+        let run = run_cluster_strategy(&cfg, SwarmStrategy::Spread);
+        assert_eq!(run.decisions, 24 * 5);
+        assert_eq!(run.rejected, 24);
+        // Spread balances the *live* population (homes leave the count at
+        // close), so lifetime totals are near-even, not an exact split.
+        assert_eq!(run.containers_per_node.iter().sum::<u64>(), 24);
+        assert!(
+            run.containers_per_node.iter().all(|&n| n > 0),
+            "spread must use both nodes, got {:?}",
+            run.containers_per_node
+        );
+    }
+
+    #[test]
+    fn cluster_contended_storm_suspends_and_still_completes() {
+        // Two 700 MiB single-device nodes, 4 workers × (384 MiB chunk +
+        // 66 MiB ctx) held 200 µs: by pigeonhole some node hosts ≥2
+        // concurrent containers under every strategy, and 2 × 450 MiB
+        // exceeds 700 MiB — so suspensions must happen, routed over real
+        // node sockets, and the storm must still finish.
+        let cfg = ClusterLoadConfig {
+            base: LoadgenConfig {
+                capacity: Bytes::mib(700),
+                hold_us: 200,
+                ..tiny(Transport::InProc)
+            },
+            ..tiny_cluster(WireCodec::Binary)
+        };
+        for strategy in STRATEGIES {
+            let run = run_cluster_strategy(&cfg, strategy);
+            assert!(
+                run.suspensions > 0,
+                "{strategy:?}: no contention at 700 MiB/node is implausible"
+            );
+            assert_eq!(run.decisions, 48 * 5, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_report_json_is_valid_and_complete() {
+        let cfg = ClusterLoadConfig {
+            base: LoadgenConfig {
+                containers: 12,
+                workers: 2,
+                capacity: Bytes::gib(1),
+                ..tiny(Transport::InProc)
+            },
+            ..tiny_cluster(WireCodec::Binary)
+        };
+        let report = run_cluster(&cfg);
+        assert_eq!(report.runs.len(), STRATEGIES.len());
+        let text = render_cluster_json(&report);
+        let json = convgpu_ipc::json::parse(&text).expect("BENCH_7.json must parse");
+        let strategies = match json.get("strategies") {
+            Some(convgpu_ipc::json::Json::Arr(a)) => a,
+            other => panic!("strategies must be an array, got {other:?}"),
+        };
+        assert_eq!(strategies.len(), 3);
+        for s in strategies {
+            assert!(s.get("decisions_per_sec").is_some());
+            assert!(s.get("containers_per_node").is_some());
+            for counter in ["retries", "timeouts", "failovers"] {
+                assert!(s.get(counter).is_some(), "missing {counter}");
+            }
+            let adm = s.get("admission_ms").expect("admission_ms object");
+            for q in ["p50", "p95", "p99", "mean", "count"] {
+                assert!(adm.get(q).is_some(), "missing {q}");
+            }
+        }
+        assert!(json.get("cluster_total_decisions_per_sec").is_some());
     }
 
     #[test]

@@ -122,6 +122,12 @@ impl RequestHandler for ServiceHandler {
                     message: format!("container {container} is not registered"),
                 }),
             },
+            Request::QueryCluster => match self.service.cluster_status() {
+                Some((strategy, nodes)) => reply.send(Response::Cluster { strategy, nodes }),
+                None => reply.send(Response::Error {
+                    message: "not a cluster daemon".to_string(),
+                }),
+            },
         }
     }
 }

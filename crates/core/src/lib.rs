@@ -20,6 +20,10 @@
 //! * [`middleware`] — [`middleware::ConVGpu`], the one-call orchestrator
 //!   examples and benches use: device + engine + scheduler + sockets +
 //!   per-container program threads.
+//! * [`router`] — genuinely distributed cluster mode: per-node
+//!   [`router::NodeServer`] socket harnesses fronted by the
+//!   fault-tolerant [`router::ClusterRouter`] (Swarm placement,
+//!   deadlines, bounded backoff, node health, failover).
 
 #![forbid(unsafe_code)]
 
@@ -27,10 +31,12 @@ pub mod handler;
 pub mod middleware;
 pub mod nvidia_docker;
 pub mod plugin;
+pub mod router;
 pub mod service;
 
 pub use middleware::{ConVGpu, ConVGpuConfig, Session, TopologySpec, TransportMode};
 pub use nvidia_docker::RunCommand;
 pub use nvidia_docker::{resolve_memory_limit, NvidiaDocker, CONVGPU_VOLUME_DRIVER};
 pub use plugin::NvidiaDockerPlugin;
+pub use router::{ClusterRouter, NodeHealth, NodeServer, RouterConfig, RouterHandler};
 pub use service::{InProcEndpoint, ObsHub, SchedulerService};

@@ -8,7 +8,7 @@
 //! produces the matching [`ResumeAction`].
 
 use convgpu_ipc::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
-use convgpu_ipc::message::{AllocDecision, ApiKind, Response, TopologyDevice};
+use convgpu_ipc::message::{AllocDecision, ApiKind, ClusterNodeStatus, Response, TopologyDevice};
 use convgpu_ipc::server::Reply;
 use convgpu_obs::{chrome, prometheus, Registry, RingSink, SpanSink, Tracer};
 use convgpu_scheduler::backend::{Placement, SchedulerBackend, TopologyBackend};
@@ -175,6 +175,35 @@ impl SchedulerService {
     /// A container's home placement, if it is registered.
     pub fn query_home(&self, container: ContainerId) -> Option<Placement> {
         self.state.lock().home_of(container)
+    }
+
+    /// The `query_cluster` answer for the in-process cluster backend, or
+    /// `None` for single / multi-GPU daemons (which answer `error`).
+    ///
+    /// The in-process backend has no transport between router and nodes,
+    /// so every node is `up` and the fault counters are zero; the
+    /// distributed router (`crate::router`) overrides these with its real
+    /// health view.
+    pub fn cluster_status(&self) -> Option<(String, Vec<ClusterNodeStatus>)> {
+        let state = self.state.lock();
+        let TopologyBackend::Cluster(cs) = &*state else {
+            return None;
+        };
+        let mut per_node = vec![0u64; cs.node_count()];
+        for (_, node) in cs.homes() {
+            per_node[node] += 1;
+        }
+        let nodes = (0..cs.node_count())
+            .map(|i| ClusterNodeStatus {
+                node: cs.node(i).name.clone(),
+                health: "up".to_string(),
+                containers: per_node[i],
+                retries: 0,
+                timeouts: 0,
+                failovers: 0,
+            })
+            .collect();
+        Some((cs.strategy().label().to_string(), nodes))
     }
 
     /// Deliver resume actions to their parked waiters. Socket replies are

@@ -17,7 +17,9 @@
 
 use crate::codec::MAX_LINE_BYTES;
 use crate::json::{FromJson, ToJson};
-use crate::message::{AllocDecision, ApiKind, Envelope, Request, Response, TopologyDevice};
+use crate::message::{
+    AllocDecision, ApiKind, ClusterNodeStatus, Envelope, Request, Response, TopologyDevice,
+};
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::units::Bytes;
 use std::io::{self, BufRead, Read, Write};
@@ -268,6 +270,30 @@ impl FromBinary for TopologyDevice {
     }
 }
 
+impl ToBinary for ClusterNodeStatus {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        self.health.encode(out);
+        self.containers.encode(out);
+        self.retries.encode(out);
+        self.timeouts.encode(out);
+        self.failovers.encode(out);
+    }
+}
+
+impl FromBinary for ClusterNodeStatus {
+    fn decode(r: &mut BinReader<'_>) -> Result<Self, BinError> {
+        Ok(ClusterNodeStatus {
+            node: FromBinary::decode(r)?,
+            health: FromBinary::decode(r)?,
+            containers: FromBinary::decode(r)?,
+            retries: FromBinary::decode(r)?,
+            timeouts: FromBinary::decode(r)?,
+            failovers: FromBinary::decode(r)?,
+        })
+    }
+}
+
 impl ToBinary for Request {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -345,6 +371,7 @@ impl ToBinary for Request {
                 out.push(12);
                 container.encode(out);
             }
+            Request::QueryCluster => out.push(13),
         }
     }
 }
@@ -398,6 +425,7 @@ impl FromBinary for Request {
             12 => Ok(Request::QueryHome {
                 container: FromBinary::decode(r)?,
             }),
+            13 => Ok(Request::QueryCluster),
             t => Err(BinError::msg(format!("unknown request tag {t}"))),
         }
     }
@@ -446,6 +474,14 @@ impl ToBinary for Response {
                 node.encode(out);
                 device.encode(out);
             }
+            Response::Cluster { strategy, nodes } => {
+                out.push(10);
+                strategy.encode(out);
+                put_u64(out, nodes.len() as u64);
+                for n in nodes {
+                    n.encode(out);
+                }
+            }
         }
     }
 }
@@ -491,6 +527,19 @@ impl FromBinary for Response {
                 node: FromBinary::decode(r)?,
                 device: FromBinary::decode(r)?,
             }),
+            10 => {
+                let strategy = String::decode(r)?;
+                let n = get_u64(r)?;
+                let n = usize::try_from(n).map_err(|_| BinError::msg("node count overflow"))?;
+                if n > MAX_FRAME_BYTES / 8 {
+                    return Err(BinError::msg("node count exceeds frame bound"));
+                }
+                let mut nodes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    nodes.push(ClusterNodeStatus::decode(r)?);
+                }
+                Ok(Response::Cluster { strategy, nodes })
+            }
             t => Err(BinError::msg(format!("unknown response tag {t}"))),
         }
     }
@@ -683,6 +732,7 @@ mod tests {
             Request::QueryHome {
                 container: ContainerId(3),
             },
+            Request::QueryCluster,
         ]
     }
 
@@ -740,6 +790,31 @@ mod tests {
             Response::Home {
                 node: String::new(),
                 device: 1,
+            },
+            Response::Cluster {
+                strategy: "spread".into(),
+                nodes: vec![
+                    ClusterNodeStatus {
+                        node: "node-0".into(),
+                        health: "up".into(),
+                        containers: 3,
+                        retries: 0,
+                        timeouts: 0,
+                        failovers: 0,
+                    },
+                    ClusterNodeStatus {
+                        node: "node-1".into(),
+                        health: "down".into(),
+                        containers: 0,
+                        retries: 5,
+                        timeouts: 2,
+                        failovers: 3,
+                    },
+                ],
+            },
+            Response::Cluster {
+                strategy: "random".into(),
+                nodes: vec![],
             },
         ]
     }

@@ -9,18 +9,19 @@
 
 use crate::binary::{encode_with, read_auto, WireCodec};
 use crate::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
-use crate::message::{AllocDecision, ApiKind, Envelope, Request, Response};
+use crate::message::{AllocDecision, ApiKind, ClusterNodeStatus, Envelope, Request, Response};
 use convgpu_obs::Registry;
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::sync::Mutex;
+use convgpu_sim_core::time::SimDuration;
 use convgpu_sim_core::units::Bytes;
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 
 /// Instrumentation hook for a client: records the full request→response
@@ -140,10 +141,108 @@ impl SchedulerClient {
         }
     }
 
+    /// Like [`SchedulerClient::request`], but bounded: fails with
+    /// [`IpcError::TimedOut`] once `clock` reports that `deadline` has
+    /// elapsed since the send. Progress is measured on the *sim* clock —
+    /// under a [`convgpu_sim_core::clock::VirtualClock`] each poll round
+    /// advances virtual time by a fraction of the deadline, so timeouts
+    /// fire deterministically without real waiting; under a real clock
+    /// the short receive polls advance it naturally. A late response to a
+    /// timed-out request is discarded by the reader thread (its pending
+    /// entry is gone).
+    ///
+    /// Deadlines are for *control-plane* calls. `alloc_request` must stay
+    /// unbounded — blocking arbitrarily long **is** the paper's
+    /// suspension mechanism — and unblocks via [`IpcError::Disconnected`]
+    /// when the peer dies instead.
+    pub fn request_deadline(
+        &self,
+        req: Request,
+        clock: &ClockHandle,
+        deadline: SimDuration,
+    ) -> IpcResult<Response> {
+        let kind = req.kind();
+        let sent_at = self.shared.obs.as_ref().map(|o| o.clock.now());
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx): (SyncSender<Response>, Receiver<Response>) = sync_channel(1);
+        {
+            let mut pending = self.shared.pending.lock();
+            match pending.as_mut() {
+                Some(map) => {
+                    map.insert(id, tx);
+                }
+                None => return Err(IpcError::Disconnected),
+            }
+        }
+        let frame = encode_with(&Envelope { id, body: req }, self.shared.codec);
+        let write_result = {
+            let mut w = self.shared.writer.lock();
+            w.write_all(&frame).and_then(|()| w.flush())
+        };
+        if let Err(e) = write_result {
+            if let Some(map) = self.shared.pending.lock().as_mut() {
+                map.remove(&id);
+            }
+            return Err(IpcError::Io(e));
+        }
+        let deadline_at = clock.now() + deadline;
+        // Sim-time quantum burned per empty poll round; 8 rounds reach the
+        // deadline under a virtual clock that nothing else advances.
+        let quantum = SimDuration::from_nanos((deadline.as_nanos() / 8).max(1));
+        let received = loop {
+            // The real-time poll gives a live server a window to answer
+            // before any virtual time is charged, so a virtual-clock
+            // caller does not time out spuriously on a healthy socket.
+            let before = clock.now();
+            match rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                Ok(resp) => break resp,
+                Err(RecvTimeoutError::Disconnected) => return Err(IpcError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = clock.now();
+                    if now >= deadline_at {
+                        if let Some(map) = self.shared.pending.lock().as_mut() {
+                            map.remove(&id);
+                        }
+                        return Err(IpcError::TimedOut);
+                    }
+                    // A wall-backed clock already advanced during the
+                    // receive poll above — charging the quantum on top
+                    // would oversleep past a reply that is milliseconds
+                    // away. Only a clock that stood still (virtual, with
+                    // no external driver) needs the explicit jump to ever
+                    // reach its deadline.
+                    if now <= before {
+                        clock.sleep(quantum);
+                    }
+                }
+            }
+        };
+        if let (Some(o), Some(t0)) = (&self.shared.obs, sent_at) {
+            o.registry.observe(
+                "convgpu_ipc_client_rtt_seconds",
+                &[("type", kind)],
+                o.clock.now().saturating_since(t0),
+            );
+        }
+        match received {
+            Response::Error { message } => Err(IpcError::Scheduler(message)),
+            resp => Ok(resp),
+        }
+    }
+
     /// Ask the daemon for its current metrics in Prometheus text format.
     pub fn query_metrics(&self) -> IpcResult<String> {
         match self.request(Request::QueryMetrics)? {
             Response::Metrics { text } => Ok(text),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask a cluster router for its strategy and per-node status. Errors
+    /// with the daemon's own message on non-cluster topologies.
+    pub fn query_cluster(&self) -> IpcResult<(String, Vec<ClusterNodeStatus>)> {
+        match self.request(Request::QueryCluster)? {
+            Response::Cluster { strategy, nodes } => Ok((strategy, nodes)),
             other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
@@ -499,6 +598,79 @@ mod tests {
             "server must see the disconnect promptly after client drop"
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn deadline_request_times_out_on_a_stalled_reply() {
+        use convgpu_sim_core::clock::VirtualClock;
+        let path = temp_sock("deadline-stall");
+        let server = SocketServer::bind(&path, Arc::new(MiniScheduler)).unwrap();
+        let client = SchedulerClient::connect(&path).unwrap();
+        let vclock = VirtualClock::new();
+        let clock: ClockHandle = vclock.handle();
+        // >100 MiB → MiniScheduler defers the reply by 50 ms of real time;
+        // the virtual deadline fires first (8 poll rounds ≈ 8 ms real).
+        let res = client.request_deadline(
+            Request::AllocRequest {
+                container: ContainerId(1),
+                pid: 1,
+                size: Bytes::mib(500),
+                api: ApiKind::Malloc,
+            },
+            &clock,
+            SimDuration::from_millis(5),
+        );
+        assert!(
+            matches!(res, Err(IpcError::TimedOut)),
+            "expected TimedOut, got {res:?}"
+        );
+        // The connection must remain usable after a timeout: the late
+        // reply is dropped by the reader, not misdelivered.
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_request_passes_through_a_prompt_reply() {
+        use convgpu_sim_core::clock::VirtualClock;
+        let path = temp_sock("deadline-ok");
+        let server = SocketServer::bind(&path, Arc::new(MiniScheduler)).unwrap();
+        let client = SchedulerClient::connect(&path).unwrap();
+        let vclock = VirtualClock::new();
+        let clock: ClockHandle = vclock.handle();
+        let resp = client
+            .request_deadline(Request::Ping, &clock, SimDuration::from_millis(5))
+            .unwrap();
+        assert_eq!(resp, Response::Pong);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_request_errors_not_hangs_when_server_dies() {
+        use convgpu_sim_core::clock::VirtualClock;
+        let path = temp_sock("deadline-dead");
+        let server = SocketServer::bind(&path, Arc::new(MiniScheduler)).unwrap();
+        let client = Arc::new(SchedulerClient::connect(&path).unwrap());
+        let vclock = VirtualClock::new();
+        let clock: ClockHandle = vclock.handle();
+        let c = Arc::clone(&client);
+        let ck = clock.clone();
+        let waiter = std::thread::spawn(move || {
+            c.request_deadline(
+                Request::AllocRequest {
+                    container: ContainerId(1),
+                    pid: 1,
+                    size: Bytes::mib(500),
+                    api: ApiKind::Malloc,
+                },
+                &ck,
+                SimDuration::from_secs(3600),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        server.shutdown();
+        let res = waiter.join().unwrap();
+        assert!(res.is_err(), "waiter must error, not hang: {res:?}");
     }
 
     #[test]

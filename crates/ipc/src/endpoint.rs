@@ -31,6 +31,9 @@ pub enum IpcError {
     UnexpectedResponse(String),
     /// The connection closed while a request was outstanding.
     Disconnected,
+    /// The request's deadline elapsed before a response arrived (the
+    /// response, if it ever comes, is discarded).
+    TimedOut,
 }
 
 impl fmt::Display for IpcError {
@@ -40,6 +43,7 @@ impl fmt::Display for IpcError {
             IpcError::Scheduler(m) => write!(f, "scheduler error: {m}"),
             IpcError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
             IpcError::Disconnected => write!(f, "scheduler connection closed"),
+            IpcError::TimedOut => write!(f, "request deadline exceeded"),
         }
     }
 }

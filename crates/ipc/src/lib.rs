@@ -42,5 +42,5 @@ pub use binary::{read_auto, read_binary, write_binary, WireCodec, MAX_FRAME_BYTE
 pub use client::{ClientObs, SchedulerClient};
 pub use codec::{read_json, write_json, MAX_LINE_BYTES};
 pub use endpoint::{IpcError, IpcResult, SchedulerEndpoint};
-pub use message::{AllocDecision, ApiKind, Envelope, Request, Response};
+pub use message::{AllocDecision, ApiKind, ClusterNodeStatus, Envelope, Request, Response};
 pub use server::{Reply, RequestHandler, ServerObs, SocketServer};

@@ -198,6 +198,10 @@ pub enum Request {
         /// The registered container.
         container: ContainerId,
     },
+    /// Ask a cluster router (or a cluster-topology daemon) for its
+    /// per-node status: health, placements, and fault-tolerance
+    /// counters. Non-cluster daemons answer `error`.
+    QueryCluster,
 }
 
 impl Request {
@@ -218,6 +222,7 @@ impl Request {
             Request::QueryMetrics => "query_metrics",
             Request::QueryTopology => "query_topology",
             Request::QueryHome { .. } => "query_home",
+            Request::QueryCluster => "query_cluster",
         }
     }
 }
@@ -321,6 +326,7 @@ impl ToJson for Request {
                 "query_home",
                 vec![("container".into(), container.to_json())],
             ),
+            Request::QueryCluster => tagged("query_cluster", vec![]),
         }
     }
 }
@@ -378,6 +384,7 @@ impl FromJson for Request {
             "query_home" => Ok(Request::QueryHome {
                 container: field(v, "container")?,
             }),
+            "query_cluster" => Ok(Request::QueryCluster),
             other => Err(JsonError::msg(format!("unknown request type {other:?}"))),
         }
     }
@@ -422,6 +429,51 @@ impl FromJson for TopologyDevice {
             unassigned: field(v, "unassigned")?,
             containers: field(v, "containers")?,
             policy: field(v, "policy")?,
+        })
+    }
+}
+
+/// One node in a [`Response::Cluster`] answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterNodeStatus {
+    /// Node name, as configured on the router.
+    pub node: String,
+    /// Router-observed health: `"up"`, `"degraded"`, or `"down"`.
+    pub health: String,
+    /// Containers the router has placed on (and not yet closed from)
+    /// the node.
+    pub containers: u64,
+    /// Requests to this node the router retried after a transport
+    /// failure.
+    pub retries: u64,
+    /// Requests to this node that exceeded their deadline.
+    pub timeouts: u64,
+    /// Containers failed over to rejection because the node went down.
+    pub failovers: u64,
+}
+
+impl ToJson for ClusterNodeStatus {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("node".into(), self.node.to_json()),
+            ("health".into(), self.health.to_json()),
+            ("containers".into(), self.containers.to_json()),
+            ("retries".into(), self.retries.to_json()),
+            ("timeouts".into(), self.timeouts.to_json()),
+            ("failovers".into(), self.failovers.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ClusterNodeStatus {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ClusterNodeStatus {
+            node: field(v, "node")?,
+            health: field(v, "health")?,
+            containers: field(v, "containers")?,
+            retries: field(v, "retries")?,
+            timeouts: field(v, "timeouts")?,
+            failovers: field(v, "failovers")?,
         })
     }
 }
@@ -485,6 +537,14 @@ pub enum Response {
         /// Home device index within the node.
         device: u64,
     },
+    /// Reply to [`Request::QueryCluster`].
+    Cluster {
+        /// Placement strategy running on the router
+        /// (`"spread"` / `"binpack"` / `"random"`).
+        strategy: String,
+        /// Every node, in router configuration order.
+        nodes: Vec<ClusterNodeStatus>,
+    },
 }
 
 impl ToJson for Response {
@@ -523,6 +583,16 @@ impl ToJson for Response {
                 vec![
                     ("node".into(), node.to_json()),
                     ("device".into(), device.to_json()),
+                ],
+            ),
+            Response::Cluster { strategy, nodes } => tagged(
+                "cluster",
+                vec![
+                    ("strategy".into(), strategy.to_json()),
+                    (
+                        "nodes".into(),
+                        Json::Arr(nodes.iter().map(ToJson::to_json).collect()),
+                    ),
                 ],
             ),
         }
@@ -574,6 +644,19 @@ impl FromJson for Response {
                 node: field(v, "node")?,
                 device: field(v, "device")?,
             }),
+            "cluster" => {
+                let nodes = match v.get("nodes") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(ClusterNodeStatus::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(JsonError::msg("cluster: missing \"nodes\" array")),
+                };
+                Ok(Response::Cluster {
+                    strategy: field(v, "strategy")?,
+                    nodes,
+                })
+            }
             other => Err(JsonError::msg(format!("unknown response type {other:?}"))),
         }
     }
@@ -666,6 +749,7 @@ mod tests {
             Request::QueryHome {
                 container: ContainerId(3),
             },
+            Request::QueryCluster,
         ];
         for req in reqs {
             round_trip(&Envelope {
@@ -726,6 +810,27 @@ mod tests {
             Response::Home {
                 node: String::new(),
                 device: 1,
+            },
+            Response::Cluster {
+                strategy: "spread".into(),
+                nodes: vec![
+                    ClusterNodeStatus {
+                        node: "n0".into(),
+                        health: "up".into(),
+                        containers: 2,
+                        retries: 0,
+                        timeouts: 0,
+                        failovers: 0,
+                    },
+                    ClusterNodeStatus {
+                        node: "n1".into(),
+                        health: "down".into(),
+                        containers: 0,
+                        retries: 3,
+                        timeouts: 1,
+                        failovers: 2,
+                    },
+                ],
             },
         ];
         for resp in resps {
@@ -837,6 +942,29 @@ mod tests {
             }
             .to_json_string(),
             r#"{"type":"home","node":"n1","device":2}"#
+        );
+    }
+
+    #[test]
+    fn cluster_wire_format_is_stable() {
+        assert_eq!(
+            Request::QueryCluster.to_json_string(),
+            r#"{"type":"query_cluster"}"#
+        );
+        let resp = Response::Cluster {
+            strategy: "binpack".into(),
+            nodes: vec![ClusterNodeStatus {
+                node: "n0".into(),
+                health: "degraded".into(),
+                containers: 1,
+                retries: 2,
+                timeouts: 1,
+                failovers: 0,
+            }],
+        };
+        assert_eq!(
+            resp.to_json_string(),
+            r#"{"type":"cluster","strategy":"binpack","nodes":[{"node":"n0","health":"degraded","containers":1,"retries":2,"timeouts":1,"failovers":0}]}"#
         );
     }
 

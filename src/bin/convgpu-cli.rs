@@ -31,6 +31,17 @@
 //!   With `--devices=N` the storm runs against the multi-GPU service
 //!   instead, sweeping every placement policy (or only `--placement`)
 //!   and writing the `BENCH_4.json` schema.
+//! * `cluster serve-node --socket=PATH [--name=N] [--capacity-mib=M]
+//!   [--devices=D] [--policy=P] [--seed=S]` — run one cluster node: a
+//!   full `SchedulerService` on its own UNIX socket, serving until the
+//!   process is killed. One process per node is what makes cluster mode
+//!   genuinely distributed (see `docs/CLUSTER.md`).
+//! * `cluster route --socket=PATH --node=NAME=SOCKET...
+//!   [--strategy=spread|binpack|random] [--codec=json|binary]
+//!   [--deadline-ms=N] [--retries=N]` — front the named node sockets
+//!   with the fault-tolerant cluster router: Swarm-style placement,
+//!   per-request deadlines, bounded retry with backoff, and node-health
+//!   driven degradation, serving the same wire protocol on `--socket`.
 
 use convgpu::gpu::GpuProgram;
 use convgpu::middleware::{ConVGpu, ConVGpuConfig, RunCommand};
@@ -46,7 +57,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: convgpu-cli <run|burst|info|metrics|trace|loadgen> [options]\n\
+        "usage: convgpu-cli <run|burst|info|metrics|trace|loadgen|cluster> [options]\n\
          \n\
          run     [--nvidia-memory=<size>] [--policy=<fifo|bf|ru|rand>]\n\
                  [--workload=<sample:TYPE|mnist[:STEPS]|pipeline[:CHUNKS]|inference[:REQS]>]\n\
@@ -57,7 +68,12 @@ fn usage() -> ExitCode {
          trace   [--policy=P] [--out=FILE]\n\
          loadgen [--containers=N] [--workers=K] [--quick]\n\
                  [--codec=inproc|json|binary] [--out=FILE]\n\
-                 [--devices=N] [--placement=rr|most-free|best-fit]"
+                 [--devices=N] [--placement=rr|most-free|best-fit]\n\
+         cluster serve-node --socket=PATH [--name=N] [--capacity-mib=M]\n\
+                 [--devices=D] [--policy=P] [--seed=S]\n\
+         cluster route --socket=PATH --node=NAME=SOCKET [--node=...]\n\
+                 [--strategy=spread|binpack|random] [--codec=json|binary]\n\
+                 [--deadline-ms=N] [--retries=N]"
     );
     ExitCode::from(2)
 }
@@ -593,6 +609,202 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Announce readiness on stdout and block until the process is killed.
+/// The line is flushed explicitly so a parent waiting on a pipe sees it
+/// even before the process's buffered exit.
+fn serve_forever(ready: String) -> ExitCode {
+    use std::io::Write;
+    println!("{ready}");
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_cluster_serve_node(args: &[String]) -> ExitCode {
+    use convgpu::middleware::router::NodeServer;
+    use convgpu::scheduler::backend::TopologyBackend;
+    use convgpu::scheduler::core::{Scheduler, SchedulerConfig};
+    use convgpu::scheduler::multi_gpu::{MultiGpuScheduler, PlacementPolicy};
+    use convgpu::sim::clock::RealClock;
+    use std::path::{Path, PathBuf};
+
+    let mut socket: Option<PathBuf> = None;
+    let mut name = "node".to_string();
+    let mut capacity = Bytes::gib(5);
+    let mut devices: u32 = 1;
+    let mut policy = PolicyKind::BestFit;
+    let mut seed: u64 = 0xC0DE;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--socket=") {
+            socket = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--name=") {
+            name = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--capacity-mib=") {
+            capacity = match v.parse() {
+                Ok(n) => Bytes::mib(n),
+                Err(_) => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--devices=") {
+            devices = match v.parse() {
+                Ok(n) if n > 0 => n,
+                _ => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--policy=") {
+            match parse_policy(v) {
+                Some(p) => policy = p,
+                None => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = match v.parse() {
+                Ok(n) => n,
+                Err(_) => return usage(),
+            };
+        } else {
+            return usage();
+        }
+    }
+    let Some(socket) = socket else { return usage() };
+    let base_dir = socket
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(std::env::temp_dir);
+    if let Err(e) = std::fs::create_dir_all(&base_dir) {
+        eprintln!("convgpu-cli: cannot create {}: {e}", base_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let config = SchedulerConfig::with_capacity(capacity);
+    let backend = if devices == 1 {
+        TopologyBackend::Single(Scheduler::new(config, policy.build(seed)))
+    } else {
+        TopologyBackend::MultiGpu(MultiGpuScheduler::with_config(
+            config,
+            &vec![capacity; devices as usize],
+            policy,
+            PlacementPolicy::BestFitDevice,
+            seed,
+        ))
+    };
+    let node = match NodeServer::serve(
+        name.clone(),
+        backend,
+        RealClock::handle(),
+        base_dir,
+        &socket,
+    ) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!(
+                "convgpu-cli: cannot serve node on {}: {e}",
+                socket.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let ready = format!(
+        "cluster node {name} ready: {devices} device(s) x {} on {}",
+        capacity,
+        node.socket_path().display()
+    );
+    serve_forever(ready)
+}
+
+fn cmd_cluster_route(args: &[String]) -> ExitCode {
+    use convgpu::ipc::binary::WireCodec;
+    use convgpu::middleware::router::{ClusterRouter, RouterConfig};
+    use convgpu::scheduler::cluster::SwarmStrategy;
+    use convgpu::sim::clock::RealClock;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    let mut socket: Option<PathBuf> = None;
+    let mut nodes: Vec<(String, PathBuf)> = Vec::new();
+    let mut cfg = RouterConfig::default();
+    let mut codec = WireCodec::Json;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--socket=") {
+            socket = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--node=") {
+            let Some((name, path)) = v.split_once('=') else {
+                return usage();
+            };
+            nodes.push((name.to_string(), PathBuf::from(path)));
+        } else if let Some(v) = a.strip_prefix("--strategy=") {
+            match SwarmStrategy::parse(v) {
+                Some(s) => cfg.strategy = s,
+                None => return usage(),
+            }
+        } else if let Some(v) = a.strip_prefix("--codec=") {
+            codec = match v {
+                "json" => WireCodec::Json,
+                "binary" => WireCodec::Binary,
+                _ => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--deadline-ms=") {
+            cfg.deadline = match v.parse() {
+                Ok(n) => SimDuration::from_millis(n),
+                Err(_) => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--retries=") {
+            cfg.max_retries = match v.parse() {
+                Ok(n) => n,
+                Err(_) => return usage(),
+            };
+        } else {
+            return usage();
+        }
+    }
+    let Some(socket) = socket else { return usage() };
+    if nodes.is_empty() {
+        eprintln!("convgpu-cli: cluster route needs at least one --node=NAME=SOCKET");
+        return usage();
+    }
+    if let Some(parent) = socket.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("convgpu-cli: cannot create {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let strategy = cfg.strategy;
+    let node_names: Vec<String> = nodes.iter().map(|(n, _)| n.clone()).collect();
+    let router = Arc::new(ClusterRouter::attach(
+        nodes,
+        codec,
+        cfg,
+        RealClock::handle(),
+    ));
+    // A restarted router re-learns container homes lazily: the first
+    // routed call for an unknown container probes the live nodes'
+    // `query_home` (see docs/CLUSTER.md), so no warm-up pass is needed.
+    let server = match router.serve_on(&socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "convgpu-cli: cannot serve router on {}: {e}",
+                socket.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let ready = format!(
+        "cluster router ready: {} node(s) [{}], strategy {}, codec {}, on {}",
+        node_names.len(),
+        node_names.join(", "),
+        strategy.label(),
+        codec.label(),
+        server.path().display()
+    );
+    serve_forever(ready)
+}
+
+fn cmd_cluster(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("serve-node") => cmd_cluster_serve_node(&args[1..]),
+        Some("route") => cmd_cluster_route(&args[1..]),
+        _ => usage(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -602,6 +814,7 @@ fn main() -> ExitCode {
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         _ => usage(),
     }
 }

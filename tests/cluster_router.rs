@@ -1,0 +1,656 @@
+//! Cluster-grade acceptance battery for the routed two-node topology.
+//!
+//! Four properties the distributed mode must hold:
+//!
+//! * **Golden routed trace** — a fixed two-node scenario produces, on
+//!   node 0's span ring, exactly the tree checked in at
+//!   `tests/golden/cluster_two_node_routed.trace` (canonicalized — ids
+//!   and absolute times do not matter). Re-bless with
+//!   `UPDATE_GOLDEN=1 cargo test --test cluster_router`.
+//! * **Node locality** — node 0's trace under the router is
+//!   *bit-for-bit* the trace a standalone single-device daemon emits
+//!   for the same sub-workload: routing adds no scheduler-visible
+//!   behavior to a healthy node.
+//! * **Ticket canonicality** — the in-process cluster scheduler's
+//!   node-0 tickets equal the plain single-device scheduler's tickets
+//!   bit for bit (the node tag at bit [`NODE_TICKET_SHIFT`] is zero for
+//!   node 0), and node-1 tickets carry tag 1.
+//! * **Lifecycle under fire** — real node *processes* on both codecs:
+//!   concurrent full lifecycles complete with zero hung clients when
+//!   one node is killed mid-run, failovers are observable through
+//!   `query_metrics` and `query_cluster`, and new registrations land on
+//!   the surviving node.
+
+use convgpu::ipc::binary::WireCodec;
+use convgpu::ipc::client::SchedulerClient;
+use convgpu::ipc::message::{AllocDecision, ApiKind, Request, Response};
+use convgpu::middleware::router::{ClusterRouter, NodeServer, RouterConfig};
+use convgpu::middleware::NodeHealth;
+use convgpu::obs::render_canonical;
+use convgpu::scheduler::backend::TopologyBackend;
+use convgpu::scheduler::cluster::{
+    ClusterNode, ClusterScheduler, SwarmStrategy, NODE_TICKET_SHIFT,
+};
+use convgpu::scheduler::core::{AllocOutcome, Scheduler, SchedulerConfig};
+use convgpu::scheduler::policy::PolicyKind;
+use convgpu::sim::clock::{RealClock, VirtualClock};
+use convgpu::sim::ids::ContainerId;
+use convgpu::sim::time::{SimDuration, SimTime};
+use convgpu::sim::units::Bytes;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODE_CAP_MIB: u64 = 1000;
+const POLICY_SEED: u64 = 7;
+
+fn ms(t: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(t)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "convgpu-itest-cluster-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fifo_single_backend() -> TopologyBackend {
+    TopologyBackend::Single(Scheduler::new(
+        SchedulerConfig::with_capacity(Bytes::mib(NODE_CAP_MIB)),
+        PolicyKind::Fifo.build(POLICY_SEED),
+    ))
+}
+
+/// The fixed two-node workload. `node` is where Spread must place each
+/// container (asserted), and the mirror run filters on it.
+enum Op {
+    Register {
+        c: u64,
+        limit_mib: u64,
+    },
+    Alloc {
+        c: u64,
+        pid: u64,
+        mib: u64,
+        addr: u64,
+    },
+    Free {
+        c: u64,
+        pid: u64,
+        addr: u64,
+    },
+    Exit {
+        c: u64,
+        pid: u64,
+    },
+    Close {
+        c: u64,
+    },
+}
+
+fn script() -> Vec<(u64, usize, Op)> {
+    vec![
+        (
+            1,
+            0,
+            Op::Register {
+                c: 1,
+                limit_mib: 400,
+            },
+        ),
+        (
+            2,
+            1,
+            Op::Register {
+                c: 2,
+                limit_mib: 400,
+            },
+        ),
+        (
+            3,
+            0,
+            Op::Register {
+                c: 3,
+                limit_mib: 400,
+            },
+        ),
+        (
+            4,
+            1,
+            Op::Register {
+                c: 4,
+                limit_mib: 400,
+            },
+        ),
+        (
+            5,
+            0,
+            Op::Alloc {
+                c: 1,
+                pid: 101,
+                mib: 300,
+                addr: 0xA1,
+            },
+        ),
+        (
+            6,
+            1,
+            Op::Alloc {
+                c: 2,
+                pid: 201,
+                mib: 300,
+                addr: 0xA2,
+            },
+        ),
+        (
+            7,
+            0,
+            Op::Alloc {
+                c: 3,
+                pid: 301,
+                mib: 300,
+                addr: 0xA3,
+            },
+        ),
+        (
+            8,
+            1,
+            Op::Alloc {
+                c: 4,
+                pid: 401,
+                mib: 300,
+                addr: 0xA4,
+            },
+        ),
+        (
+            9,
+            0,
+            Op::Free {
+                c: 1,
+                pid: 101,
+                addr: 0xA1,
+            },
+        ),
+        (10, 0, Op::Exit { c: 1, pid: 101 }),
+        (11, 0, Op::Close { c: 1 }),
+        (
+            12,
+            1,
+            Op::Free {
+                c: 2,
+                pid: 201,
+                addr: 0xA2,
+            },
+        ),
+        (13, 1, Op::Exit { c: 2, pid: 201 }),
+        (14, 1, Op::Close { c: 2 }),
+        (
+            15,
+            0,
+            Op::Free {
+                c: 3,
+                pid: 301,
+                addr: 0xA3,
+            },
+        ),
+        (16, 0, Op::Exit { c: 3, pid: 301 }),
+        (17, 0, Op::Close { c: 3 }),
+        (
+            18,
+            1,
+            Op::Free {
+                c: 4,
+                pid: 401,
+                addr: 0xA4,
+            },
+        ),
+        (19, 1, Op::Exit { c: 4, pid: 401 }),
+        (20, 1, Op::Close { c: 4 }),
+    ]
+}
+
+/// Run the scripted workload through a real two-node routed cluster
+/// (in-process node servers on real UNIX sockets, shared virtual clock)
+/// and return node 0's canonical span trace.
+fn routed_node0_canonical(tag: &str) -> String {
+    let dir = temp_dir(tag);
+    let vclock = VirtualClock::new();
+    let mut nodes = Vec::new();
+    for i in 0..2usize {
+        let node_dir = dir.join(format!("n{i}"));
+        std::fs::create_dir_all(&node_dir).unwrap();
+        nodes.push(
+            NodeServer::serve(
+                format!("n{i}"),
+                fifo_single_backend(),
+                vclock.handle(),
+                node_dir.clone(),
+                &node_dir.join("node.sock"),
+            )
+            .unwrap(),
+        );
+    }
+    let sockets: Vec<(String, PathBuf)> = nodes
+        .iter()
+        .map(|n| (n.name().to_string(), n.socket_path().to_path_buf()))
+        .collect();
+    let router = Arc::new(ClusterRouter::attach(
+        sockets,
+        WireCodec::Json,
+        RouterConfig::default(),
+        RealClock::handle(),
+    ));
+    for (t, node, op) in script() {
+        vclock.advance_to(ms(t));
+        match op {
+            Op::Register { c, limit_mib } => {
+                let placed = router
+                    .register(ContainerId(c), Bytes::mib(limit_mib))
+                    .unwrap();
+                assert_eq!(
+                    placed,
+                    format!("n{node}"),
+                    "Spread placement for container {c}"
+                );
+            }
+            Op::Alloc { c, pid, mib, addr } => {
+                let decision = router
+                    .alloc_request(ContainerId(c), pid, Bytes::mib(mib), ApiKind::Malloc)
+                    .unwrap();
+                assert_eq!(decision, AllocDecision::Granted);
+                router
+                    .alloc_done(ContainerId(c), pid, addr, Bytes::mib(mib))
+                    .unwrap();
+            }
+            Op::Free { c, pid, addr } => {
+                let freed = router.free(ContainerId(c), pid, addr).unwrap();
+                assert_eq!(freed, Bytes::mib(300));
+            }
+            Op::Exit { c, pid } => router.process_exit(ContainerId(c), pid).unwrap(),
+            Op::Close { c } => router.container_close(ContainerId(c)).unwrap(),
+        }
+    }
+    let canon = render_canonical(&nodes[0].service().obs().ring.snapshot());
+    for n in nodes {
+        n.shutdown();
+    }
+    canon
+}
+
+/// Drive a standalone single-device daemon over the wire with exactly
+/// the node-0 slice of the script (including the `query_topology` probe
+/// the router's capability discovery sends before the first register)
+/// and return its canonical trace.
+fn standalone_node0_canonical(tag: &str) -> String {
+    let dir = temp_dir(tag);
+    let vclock = VirtualClock::new();
+    let node = NodeServer::serve(
+        "solo",
+        fifo_single_backend(),
+        vclock.handle(),
+        dir.clone(),
+        &dir.join("node.sock"),
+    )
+    .unwrap();
+    let client =
+        SchedulerClient::connect_with_codec(node.socket_path(), WireCodec::Json, None).unwrap();
+    let mut probed = false;
+    for (t, node_idx, op) in script() {
+        if node_idx != 0 {
+            continue;
+        }
+        vclock.advance_to(ms(t));
+        if !probed {
+            // The router probes capabilities before its first register.
+            let resp = client.request(Request::QueryTopology).unwrap();
+            assert!(matches!(resp, Response::Topology { .. }));
+            probed = true;
+        }
+        let resp = match op {
+            Op::Register { c, limit_mib } => client.request(Request::Register {
+                container: ContainerId(c),
+                limit: Bytes::mib(limit_mib),
+            }),
+            Op::Alloc { c, pid, mib, addr } => {
+                let r = client
+                    .request(Request::AllocRequest {
+                        container: ContainerId(c),
+                        pid,
+                        size: Bytes::mib(mib),
+                        api: ApiKind::Malloc,
+                    })
+                    .unwrap();
+                assert!(matches!(
+                    r,
+                    Response::Alloc {
+                        decision: AllocDecision::Granted
+                    }
+                ));
+                client.request(Request::AllocDone {
+                    container: ContainerId(c),
+                    pid,
+                    addr,
+                    size: Bytes::mib(mib),
+                })
+            }
+            Op::Free { c, pid, addr } => client.request(Request::Free {
+                container: ContainerId(c),
+                pid,
+                addr,
+            }),
+            Op::Exit { c, pid } => client.request(Request::ProcessExit {
+                container: ContainerId(c),
+                pid,
+            }),
+            Op::Close { c } => client.request(Request::ContainerClose {
+                container: ContainerId(c),
+            }),
+        };
+        resp.unwrap();
+    }
+    let canon = render_canonical(&node.service().obs().ring.snapshot());
+    node.shutdown();
+    canon
+}
+
+#[test]
+fn routed_two_node_golden_trace() {
+    let got = routed_node0_canonical("golden");
+    // Node 0 hosts containers 1 and 3; container 2 and 4 must never
+    // appear in its trace.
+    assert!(got.contains("cnt-0001"), "node 0 trace:\n{got}");
+    assert!(got.contains("cnt-0003"), "node 0 trace:\n{got}");
+    assert!(!got.contains("cnt-0002"), "cross-node leak:\n{got}");
+    assert!(!got.contains("cnt-0004"), "cross-node leak:\n{got}");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/cluster_two_node_routed.trace"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden missing; bless with UPDATE_GOLDEN=1 cargo test --test cluster_router");
+    assert_eq!(got, want, "routed cluster trace drifted from golden");
+}
+
+#[test]
+fn node0_trace_matches_standalone_single_device_daemon() {
+    let routed = routed_node0_canonical("locality-routed");
+    let solo = standalone_node0_canonical("locality-solo");
+    assert_eq!(
+        routed, solo,
+        "routing must add no scheduler-visible behavior on a healthy node"
+    );
+}
+
+#[test]
+fn node0_tickets_bit_identical_to_single_device() {
+    let cap = Bytes::mib(NODE_CAP_MIB);
+    let mk_node = |name: &str| {
+        ClusterNode::with_config(
+            name,
+            SchedulerConfig::with_capacity(cap),
+            &[cap],
+            PolicyKind::Fifo,
+            POLICY_SEED,
+        )
+    };
+    let mut cluster = ClusterScheduler::new(
+        vec![mk_node("n0"), mk_node("n1")],
+        SwarmStrategy::Spread,
+        42,
+    );
+    let mut single = Scheduler::new(
+        SchedulerConfig::with_capacity(cap),
+        PolicyKind::Fifo.build(POLICY_SEED),
+    );
+    let (c1, c2, c3, c4) = (
+        ContainerId(1),
+        ContainerId(2),
+        ContainerId(3),
+        ContainerId(4),
+    );
+
+    assert_eq!(cluster.register(c1, Bytes::mib(800), ms(1)).unwrap(), 0);
+    single.register(c1, Bytes::mib(800), ms(1)).unwrap();
+    assert_eq!(cluster.register(c2, Bytes::mib(800), ms(2)).unwrap(), 1);
+    assert_eq!(cluster.register(c3, Bytes::mib(800), ms(3)).unwrap(), 0);
+    single.register(c3, Bytes::mib(800), ms(3)).unwrap();
+    assert_eq!(cluster.register(c4, Bytes::mib(800), ms(4)).unwrap(), 1);
+
+    // First allocation on each node fits; the second suspends.
+    let (out_c, _) = cluster
+        .alloc_request(c1, 11, Bytes::mib(700), ApiKind::Malloc, ms(5))
+        .unwrap();
+    let (out_s, _) = single
+        .alloc_request(c1, 11, Bytes::mib(700), ApiKind::Malloc, ms(5))
+        .unwrap();
+    assert_eq!(out_c, AllocOutcome::Granted);
+    assert_eq!(out_c, out_s);
+    cluster
+        .alloc_done(c1, 11, 0xA, Bytes::mib(700), ms(5))
+        .unwrap();
+    single
+        .alloc_done(c1, 11, 0xA, Bytes::mib(700), ms(5))
+        .unwrap();
+
+    let (out_c, _) = cluster
+        .alloc_request(c3, 33, Bytes::mib(700), ApiKind::Malloc, ms(6))
+        .unwrap();
+    let (out_s, _) = single
+        .alloc_request(c3, 33, Bytes::mib(700), ApiKind::Malloc, ms(6))
+        .unwrap();
+    let node0_ticket = match (out_c, out_s) {
+        (AllocOutcome::Suspended { ticket: tc }, AllocOutcome::Suspended { ticket: ts }) => {
+            assert_eq!(
+                tc, ts,
+                "node-0 ticket must be bit-identical to single-device"
+            );
+            assert_eq!(tc >> NODE_TICKET_SHIFT, 0, "node 0 carries tag 0");
+            tc
+        }
+        other => panic!("expected suspensions on both schedulers, got {other:?}"),
+    };
+
+    // The same pressure on node 1 yields the same sequence number but
+    // the node tag in the top byte.
+    let (out, _) = cluster
+        .alloc_request(c2, 22, Bytes::mib(700), ApiKind::Malloc, ms(7))
+        .unwrap();
+    assert_eq!(out, AllocOutcome::Granted);
+    cluster
+        .alloc_done(c2, 22, 0xB, Bytes::mib(700), ms(7))
+        .unwrap();
+    let (out, _) = cluster
+        .alloc_request(c4, 44, Bytes::mib(700), ApiKind::Malloc, ms(8))
+        .unwrap();
+    match out {
+        AllocOutcome::Suspended { ticket } => {
+            assert_eq!(ticket >> NODE_TICKET_SHIFT, 1, "node 1 carries tag 1");
+            assert_eq!(
+                ticket & ((1u64 << NODE_TICKET_SHIFT) - 1),
+                node0_ticket,
+                "per-node ticket sequences are independent and identical"
+            );
+        }
+        other => panic!("expected a suspension on node 1, got {other:?}"),
+    }
+
+    // Closing the granted container resumes the parked one with the
+    // same ticket and decision on both schedulers.
+    let actions_c = cluster.container_close(c1, ms(9)).unwrap();
+    let actions_s = single.container_close(c1, ms(9)).unwrap();
+    assert_eq!(
+        actions_c, actions_s,
+        "resume actions must match bit for bit"
+    );
+    assert_eq!(actions_c.len(), 1);
+    assert_eq!(actions_c[0].ticket, node0_ticket);
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle under fire: real node processes, both codecs.
+// ---------------------------------------------------------------------
+
+fn spawn_node(socket: &Path, name: &str, capacity_mib: u64) -> Child {
+    let child = Command::new(env!("CARGO_BIN_EXE_convgpu-cli"))
+        .args([
+            "cluster",
+            "serve-node",
+            &format!("--socket={}", socket.display()),
+            &format!("--name={name}"),
+            &format!("--capacity-mib={capacity_mib}"),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cluster serve-node");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !socket.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "node {name} never bound {socket:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+fn kill(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+fn acceptance_run(codec: WireCodec, tag: &str) {
+    let dir = temp_dir(tag);
+    let sock0 = dir.join("n0.sock");
+    let sock1 = dir.join("n1.sock");
+    let n0 = spawn_node(&sock0, "n0", 4096);
+    let n1 = spawn_node(&sock1, "n1", 4096);
+
+    let router = Arc::new(ClusterRouter::attach(
+        vec![("n0".into(), sock0), ("n1".into(), sock1)],
+        codec,
+        RouterConfig::default(),
+        RealClock::handle(),
+    ));
+
+    // Register the fleet up front and remember each container's home.
+    let mut homes = Vec::new();
+    for c in 1..=8u64 {
+        homes.push(router.register(ContainerId(c), Bytes::mib(512)).unwrap());
+    }
+    assert!(
+        homes.iter().any(|h| h == "n1"),
+        "Spread must place containers on both nodes: {homes:?}"
+    );
+
+    // Full lifecycles from eight concurrent clients while node 1 dies.
+    let workers: Vec<_> = (1..=8u64)
+        .map(|c| {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || {
+                let pid = 1000 + c;
+                for round in 0..6u64 {
+                    match router.alloc_request(
+                        ContainerId(c),
+                        pid,
+                        Bytes::mib(256),
+                        ApiKind::Malloc,
+                    ) {
+                        Ok(AllocDecision::Granted) => {
+                            let addr = c << 16 | round;
+                            let _ = router.alloc_done(ContainerId(c), pid, addr, Bytes::mib(256));
+                            let _ = router.free(ContainerId(c), pid, addr);
+                        }
+                        Ok(AllocDecision::Rejected) | Err(_) => {}
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                let _ = router.process_exit(ContainerId(c), pid);
+                let _ = router.container_close(ContainerId(c));
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(30));
+    kill(n1);
+
+    // Zero hung clients: every worker finishes despite the dead node.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !workers.iter().all(|w| w.is_finished()) {
+        assert!(
+            Instant::now() < deadline,
+            "a client hung after node n1 was killed ({codec:?})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // New registrations after the death must land on the surviving node
+    // (placement skips Down nodes and excludes transport failures).
+    for c in 9..=12u64 {
+        assert_eq!(
+            router.register(ContainerId(c), Bytes::mib(512)).unwrap(),
+            "n0",
+            "post-failure registrations must land on the live node"
+        );
+    }
+    assert_eq!(router.node_health("n0"), Some(NodeHealth::Up));
+
+    // Allocations for a container homed on the dead node reject instead
+    // of hanging; enough consecutive failures mark n1 Down.
+    let (status_before, _) = router.cluster_status();
+    assert_eq!(status_before, "spread");
+    let c9 = ContainerId(9);
+    assert_eq!(
+        router
+            .alloc_request(c9, 9000, Bytes::mib(256), ApiKind::Malloc)
+            .unwrap(),
+        AllocDecision::Granted
+    );
+    router.alloc_done(c9, 9000, 0x9, Bytes::mib(256)).unwrap();
+    router.free(c9, 9000, 0x9).unwrap();
+
+    // Fault-tolerance counters are observable over the wire.
+    let router_sock = dir.join("router.sock");
+    let server = router.serve_on(&router_sock).unwrap();
+    let client = SchedulerClient::connect_with_codec(&router_sock, codec, None).unwrap();
+    let metrics = client.query_metrics().unwrap();
+    assert!(
+        metrics.contains("convgpu_router_route_seconds"),
+        "route latency histogram missing from exposition"
+    );
+    let (strategy, nodes) = client.query_cluster().unwrap();
+    assert_eq!(strategy, "spread");
+    assert_eq!(nodes.len(), 2);
+    let dead = nodes.iter().find(|n| n.node == "n1").unwrap();
+    assert!(
+        dead.failovers >= 1 || dead.timeouts >= 1 || dead.retries >= 1,
+        "the dead node must show fault-tolerance activity: {dead:?}"
+    );
+    server.shutdown();
+
+    for c in 9..=12u64 {
+        let _ = router.container_close(ContainerId(c));
+    }
+    kill(n0);
+}
+
+#[test]
+fn routed_lifecycle_survives_node_death_binary_codec() {
+    acceptance_run(WireCodec::Binary, "fire-binary");
+}
+
+#[test]
+fn routed_lifecycle_survives_node_death_json_codec() {
+    acceptance_run(WireCodec::Json, "fire-json");
+}

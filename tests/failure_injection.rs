@@ -1,6 +1,8 @@
 //! Fault tolerance: the paths the paper's §III relies on for cleanup —
 //! leaked memory, crashed processes, killed containers, and clients
-//! blocked mid-suspension when their container dies.
+//! blocked mid-suspension when their container dies — plus the cluster
+//! layer's failure modes (`cluster_faults`): node *processes* killed
+//! mid-suspension, nodes that stop answering, and router restarts.
 
 use convgpu::ipc::message::{AllocDecision, ApiKind};
 use convgpu::middleware::{InProcEndpoint, SchedulerService};
@@ -145,6 +147,227 @@ fn in_proc_endpoint_full_crash_recovery_cycle() {
         assert_eq!(s.total_assigned(), Bytes::ZERO);
         s.check_invariants().unwrap();
     });
+}
+
+/// Cluster-layer fault injection: every node is a **real OS process**
+/// (the `convgpu-cli cluster serve-node` binary) behind a real UNIX
+/// socket, and the router under test is the library [`ClusterRouter`]
+/// the `cluster route` subcommand wraps. See `docs/CLUSTER.md` for the
+/// failure semantics these tests pin down.
+mod cluster_faults {
+    use super::*;
+    use convgpu::ipc::binary::WireCodec;
+    use convgpu::middleware::router::{ClusterRouter, NodeHealth, RouterConfig};
+    use convgpu::sim::clock::VirtualClock;
+    use convgpu::sim::time::SimDuration;
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, Command, Stdio};
+    use std::time::Instant;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "convgpu-itest-cluster-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create cluster test dir");
+        dir
+    }
+
+    /// Spawn one node process and wait until its socket is bound.
+    fn spawn_node(socket: &Path, name: &str, capacity_mib: u64) -> Child {
+        let child = Command::new(env!("CARGO_BIN_EXE_convgpu-cli"))
+            .args([
+                "cluster".to_string(),
+                "serve-node".to_string(),
+                format!("--socket={}", socket.display()),
+                format!("--name={name}"),
+                format!("--capacity-mib={capacity_mib}"),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn cluster node process");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !socket.exists() {
+            assert!(
+                Instant::now() < deadline,
+                "node process never bound {}",
+                socket.display()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        child
+    }
+
+    fn kill(mut child: Child) {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    /// The node **process** dies while a client is parked in a
+    /// suspension on it. The router must convert the broken transport
+    /// into an `AllocDecision::Rejected` — the same answer a killed
+    /// container's parked requests get — so the requester unblocks with
+    /// an error instead of hanging forever.
+    #[test]
+    fn node_process_killed_mid_suspension_unblocks_requesters() {
+        let dir = temp_dir("kill-node");
+        let socket = dir.join("n0.sock");
+        let node = spawn_node(&socket, "n0", 1000);
+        let router = Arc::new(ClusterRouter::attach(
+            vec![("n0".to_string(), socket)],
+            WireCodec::Binary,
+            RouterConfig::default(),
+            RealClock::handle(),
+        ));
+        router.register(ContainerId(1), Bytes::mib(800)).unwrap();
+        router.register(ContainerId(2), Bytes::mib(800)).unwrap();
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 1, Bytes::mib(800), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        router
+            .alloc_done(ContainerId(1), 1, 0xA, Bytes::mib(800))
+            .unwrap();
+        // Container 2's allocation suspends on the node…
+        let waiter_router = Arc::clone(&router);
+        let waiter = std::thread::spawn(move || {
+            waiter_router.alloc_request(ContainerId(2), 2, Bytes::mib(800), ApiKind::Malloc)
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(!waiter.is_finished(), "the allocation must be suspended");
+        // …and the node process is then KILLED.
+        kill(node);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !waiter.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "requester hung after its node died"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            waiter.join().unwrap().unwrap(),
+            AllocDecision::Rejected,
+            "failed over, not hung"
+        );
+        let (_, nodes) = router.cluster_status();
+        assert!(
+            nodes[0].failovers >= 1,
+            "the failover must be observable: {nodes:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A node that accepts connections but never answers. Deadline-gated
+    /// calls must time out, retry with (sim-clock) backoff, and surface
+    /// an error — in bounded *real* time, because the deadline runs on
+    /// the router's virtual clock.
+    #[test]
+    fn slow_node_trips_deadline_and_backoff() {
+        let dir = temp_dir("slow-node");
+        let socket = dir.join("slow.sock");
+        let listener = std::os::unix::net::UnixListener::bind(&socket).unwrap();
+        // Hold every connection open without ever replying. The thread
+        // blocks in accept() for the life of the test process.
+        std::thread::spawn(move || {
+            let mut open = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                open.push(stream);
+            }
+        });
+        let vclock = VirtualClock::new();
+        let router = ClusterRouter::attach(
+            vec![("slow".to_string(), socket)],
+            WireCodec::Json,
+            RouterConfig {
+                deadline: SimDuration::from_millis(50),
+                max_retries: 2,
+                ..RouterConfig::default()
+            },
+            vclock.handle(),
+        );
+        let started = Instant::now();
+        let err = router
+            .register(ContainerId(1), Bytes::mib(100))
+            .unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "deadline+backoff must bound the wait, got {err} after {:?}",
+            started.elapsed()
+        );
+        let (_, nodes) = router.cluster_status();
+        assert!(
+            nodes[0].timeouts >= 1,
+            "deadline hits observable: {nodes:?}"
+        );
+        assert!(nodes[0].retries >= 1, "retries observable: {nodes:?}");
+        assert_ne!(
+            router.node_health("slow"),
+            Some(NodeHealth::Up),
+            "consecutive timeouts must degrade the node"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A router restart must re-attach to containers that live on in the
+    /// (still running) node processes: the first routed call for an
+    /// unknown container re-learns its home via `query_home`.
+    #[test]
+    fn restarted_router_reattaches_to_live_node_processes() {
+        let dir = temp_dir("router-restart");
+        let s0 = dir.join("n0.sock");
+        let s1 = dir.join("n1.sock");
+        let n0 = spawn_node(&s0, "n0", 1000);
+        let n1 = spawn_node(&s1, "n1", 1000);
+        let nodes = vec![("n0".to_string(), s0), ("n1".to_string(), s1)];
+        let first = ClusterRouter::attach(
+            nodes.clone(),
+            WireCodec::Json,
+            RouterConfig::default(),
+            RealClock::handle(),
+        );
+        first.register(ContainerId(1), Bytes::mib(600)).unwrap();
+        first.register(ContainerId(2), Bytes::mib(600)).unwrap();
+        assert_eq!(
+            first
+                .alloc_request(ContainerId(1), 1, Bytes::mib(300), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        first
+            .alloc_done(ContainerId(1), 1, 0xB, Bytes::mib(300))
+            .unwrap();
+        drop(first); // the router "crashes"; the node processes live on
+
+        let second = ClusterRouter::attach(
+            nodes,
+            WireCodec::Json,
+            RouterConfig::default(),
+            RealClock::handle(),
+        );
+        // The node-side books survived and are reachable again.
+        let (free, total) = second.mem_info(ContainerId(1), 1).unwrap();
+        assert_eq!(total, Bytes::mib(600));
+        assert_eq!(free, Bytes::mib(300));
+        let (home0, _) = second.query_home(ContainerId(1)).unwrap();
+        let (home1, _) = second.query_home(ContainerId(2)).unwrap();
+        assert_ne!(home0, home1, "spread placed the containers apart");
+        // Full cleanup routes correctly through the recovered homes.
+        assert_eq!(
+            second.free(ContainerId(1), 1, 0xB).unwrap(),
+            Bytes::mib(300)
+        );
+        second.container_close(ContainerId(1)).unwrap();
+        second.container_close(ContainerId(2)).unwrap();
+        let (_, status) = second.cluster_status();
+        assert_eq!(status.iter().map(|n| n.containers).sum::<u64>(), 0);
+        kill(n0);
+        kill(n1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

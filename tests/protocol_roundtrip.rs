@@ -5,10 +5,13 @@
 //! Property tests run on the deterministic harness in
 //! `convgpu_audit::prop`.
 
+use convgpu::ipc::binary::{encode_frame, read_binary, write_binary, WireCodec, MAGIC};
 use convgpu::ipc::client::SchedulerClient;
 use convgpu::ipc::codec::{read_json, write_json};
 use convgpu::ipc::endpoint::SchedulerEndpoint;
-use convgpu::ipc::message::{AllocDecision, ApiKind, Envelope, Request};
+use convgpu::ipc::message::{
+    AllocDecision, ApiKind, ClusterNodeStatus, Envelope, Request, Response, TopologyDevice,
+};
 use convgpu::ipc::server::SocketServer;
 use convgpu::scheduler::core::{Scheduler, SchedulerConfig};
 use convgpu::scheduler::policy::PolicyKind;
@@ -32,7 +35,7 @@ macro_rules! ensure {
 
 fn gen_request(rng: &mut DetRng) -> Request {
     let c = ContainerId(rng.next_u64());
-    match rng.next_below(9) {
+    match rng.next_below(12) {
         0 => Request::Register {
             container: c,
             limit: Bytes::new(rng.next_u64()),
@@ -66,7 +69,120 @@ fn gen_request(rng: &mut DetRng) -> Request {
         },
         6 => Request::ContainerClose { container: c },
         7 => Request::QueryMetrics,
+        8 => Request::QueryTopology,
+        9 => Request::QueryHome { container: c },
+        10 => Request::QueryCluster,
         _ => Request::Ping,
+    }
+}
+
+/// Router-introduced response shapes: topology, home, and cluster
+/// status answers with arbitrary content.
+fn gen_cluster_response(rng: &mut DetRng) -> Response {
+    match rng.next_below(3) {
+        0 => Response::Topology {
+            kind: ["single", "multi-gpu", "cluster"][rng.index(3)].to_string(),
+            devices: (0..rng.range_inclusive(0, 4))
+                .map(|i| TopologyDevice {
+                    node: format!("n{}", rng.next_below(8)),
+                    device: i,
+                    capacity: Bytes::new(rng.next_u64()),
+                    unassigned: Bytes::new(rng.next_u64()),
+                    containers: rng.next_u64(),
+                    policy: ["FIFO", "BestFit", "Weighted"][rng.index(3)].to_string(),
+                })
+                .collect(),
+        },
+        1 => Response::Home {
+            node: format!("node-{}", rng.next_u64()),
+            device: rng.next_u64(),
+        },
+        _ => Response::Cluster {
+            strategy: ["spread", "binpack", "random"][rng.index(3)].to_string(),
+            nodes: (0..rng.range_inclusive(0, 5))
+                .map(|i| ClusterNodeStatus {
+                    node: format!("n{i}"),
+                    health: ["up", "degraded", "down"][rng.index(3)].to_string(),
+                    containers: rng.next_u64(),
+                    retries: rng.next_u64(),
+                    timeouts: rng.next_u64(),
+                    failovers: rng.next_u64(),
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Cluster wire messages survive both codecs byte-exactly.
+#[test]
+fn cluster_messages_round_trip_both_codecs() {
+    prop::cases("cluster_messages_round_trip_both_codecs").run(|rng| {
+        let env = Envelope {
+            id: rng.next_u64(),
+            body: gen_cluster_response(rng),
+        };
+        // JSON line.
+        let mut buf = Vec::new();
+        write_json(&mut buf, &env).map_err(|e| format!("json write: {e}"))?;
+        let mut r = BufReader::new(buf.as_slice());
+        let back: Envelope<Response> = read_json(&mut r)
+            .map_err(|e| format!("json read: {e}"))?
+            .ok_or("json EOF")?;
+        ensure!(back == env, "json round trip changed: {env:?}");
+        // Binary frame.
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &env).map_err(|e| format!("bin write: {e}"))?;
+        let mut r = BufReader::new(buf.as_slice());
+        let back: Envelope<Response> = read_binary(&mut r)
+            .map_err(|e| format!("bin read: {e}"))?
+            .ok_or("bin EOF")?;
+        ensure!(back == env, "binary round trip changed: {env:?}");
+        Ok(())
+    });
+}
+
+/// A truncated binary frame (header promises more payload than ever
+/// arrives) and a corrupted payload must error out of the reader, never
+/// hang it or panic.
+#[test]
+fn truncated_and_corrupt_binary_frames_error_cleanly() {
+    let env = Envelope {
+        id: 7,
+        body: Request::QueryCluster,
+    };
+    let frame = encode_frame(&env);
+    // Every proper prefix is a truncation: EOF mid-frame must error.
+    for cut in 1..frame.len() {
+        let mut r = BufReader::new(&frame[..cut]);
+        let got = read_binary::<Envelope<Request>, _>(&mut r);
+        assert!(
+            got.is_err(),
+            "truncation at {cut}/{} was silently accepted",
+            frame.len()
+        );
+    }
+    // A frame whose declared length exceeds the cap is rejected before
+    // any allocation.
+    let mut huge = vec![MAGIC];
+    huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+    let mut r = BufReader::new(huge.as_slice());
+    assert!(read_binary::<Envelope<Request>, _>(&mut r).is_err());
+    // A bad magic byte is rejected immediately.
+    let mut r = BufReader::new(&b"\xFF\x00\x00\x00\x00"[..]);
+    assert!(read_binary::<Envelope<Request>, _>(&mut r).is_err());
+    // Flipping payload bytes must never round-trip into the original.
+    for i in 5..frame.len() {
+        let mut bad = frame.clone();
+        bad[i] ^= 0x5A;
+        let mut r = BufReader::new(bad.as_slice());
+        match read_binary::<Envelope<Request>, _>(&mut r) {
+            Err(_) => {}
+            Ok(got) => assert_ne!(
+                got,
+                Some(env.clone()),
+                "corrupted byte {i} decoded as the original"
+            ),
+        }
     }
 }
 
@@ -269,4 +385,111 @@ fn malformed_client_does_not_disturb_others() {
     let dir = client.request_dir(ContainerId(1)).unwrap();
     assert!(dir.contains("cnt-0001"));
     server.shutdown();
+}
+
+/// Hostile clients against a *served cluster router*: garbage lines,
+/// truncated binary frames, bad magic bytes, and unknown message types
+/// kill only their own connection. Well-behaved clients on both codecs
+/// keep getting routed service throughout.
+#[test]
+fn hostile_frames_against_router_disturb_no_one() {
+    use convgpu::middleware::router::{ClusterRouter, NodeServer, RouterConfig};
+    use convgpu::scheduler::backend::TopologyBackend;
+    use std::io::{Read, Write};
+
+    let dir =
+        std::env::temp_dir().join(format!("convgpu-itest-proto-router-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let node = NodeServer::serve(
+        "n0",
+        TopologyBackend::Single(Scheduler::new(
+            SchedulerConfig::with_capacity(Bytes::mib(2048)),
+            PolicyKind::Fifo.build(0),
+        )),
+        RealClock::handle(),
+        dir.clone(),
+        &dir.join("node.sock"),
+    )
+    .unwrap();
+    let router = Arc::new(ClusterRouter::attach(
+        vec![("n0".into(), node.socket_path().to_path_buf())],
+        WireCodec::Binary,
+        RouterConfig::default(),
+        RealClock::handle(),
+    ));
+    let router_sock = dir.join("router.sock");
+    let server = router.serve_on(&router_sock).unwrap();
+
+    // Wave of hostile connections, each broken in a different way.
+    {
+        // Not JSON, not a binary frame.
+        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    }
+    {
+        // Truncated binary frame: header promises 64 bytes, sends 3.
+        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let mut partial = vec![MAGIC];
+        partial.extend_from_slice(&64u32.to_le_bytes());
+        partial.extend_from_slice(&[1, 2, 3]);
+        s.write_all(&partial).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        // The server must close, not hang on, this connection.
+        let mut rest = Vec::new();
+        let _ = s.read_to_end(&mut rest);
+    }
+    {
+        // A frame length far beyond the cap.
+        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let mut huge = vec![MAGIC];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        let _ = s.write_all(&huge);
+    }
+    {
+        // Valid envelope framing, unknown body type.
+        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        s.write_all(b"{\"id\": 1, \"body\": {\"type\": \"warp_drive\"}}\n")
+            .unwrap();
+    }
+    {
+        // A corrupted copy of a real request frame.
+        let mut frame = encode_frame(&Envelope {
+            id: 9,
+            body: Request::QueryCluster,
+        });
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let _ = s.write_all(&frame);
+    }
+
+    // Both codecs still get full routed service.
+    for (codec, c) in [(WireCodec::Json, 1u64), (WireCodec::Binary, 2u64)] {
+        let client = SchedulerClient::connect_with_codec(&router_sock, codec, None).unwrap();
+        let container = ContainerId(c);
+        client.register(container, Bytes::mib(256)).unwrap();
+        assert_eq!(
+            client
+                .request_alloc(container, c, Bytes::mib(64), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        client
+            .alloc_done(container, c, 0xC0 + c, Bytes::mib(64))
+            .unwrap();
+        assert_eq!(client.free(container, c, 0xC0 + c).unwrap(), Bytes::mib(64));
+        let (strategy, nodes) = client.query_cluster().unwrap();
+        assert_eq!(strategy, "spread");
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].node, "n0");
+        client.container_close(container).unwrap();
+    }
+
+    // A plain node daemon (not a router) answers query_cluster with a
+    // protocol error, not a hang or a crash.
+    let direct = SchedulerClient::connect(node.socket_path()).unwrap();
+    assert!(direct.query_cluster().is_err());
+
+    server.shutdown();
+    node.shutdown();
 }
