@@ -7,9 +7,11 @@
 #   QUICK=1 ./ci/check.sh  # smaller model-check sweep for fast iteration
 #
 # Knobs:
-#   SKIP_PERF=1     skip the loadgen perf gates (e.g. on loaded machines)
+#   SKIP_PERF=1     skip the loadgen campaigns + perf-trend gate
+#                   (e.g. on loaded machines)
 #   ARTIFACT_DIR=d  keep artifacts (chrome trace, BENCH_3.json,
-#                   BENCH_4.json, BENCH_7.json, lint-findings.txt) under d
+#                   BENCH_4.json, BENCH_7.json, BENCH_8.json,
+#                   lint-findings.txt) under d
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,10 +60,14 @@ cargo run --offline -q --bin convgpu-lint | tee "$ARTIFACT_DIR/lint-findings.txt
 
 step "cluster battery (router acceptance + node-death fault injection)"
 # Real per-node socket servers behind the cluster router: golden routed
-# trace, ticket canonicality, both codecs surviving a node killed
-# mid-run, and the cluster_faults half of the fault-injection suite.
+# trace, ticket canonicality (native and post-migration), both codecs
+# surviving a node killed mid-run, and the cluster_faults +
+# migration_faults halves of the fault-injection suite (drain racing a
+# parked suspension, double node death, the kill-mid-storm acceptance
+# scenario asserted over the wire).
 cargo test --offline -q --test cluster_router
 cargo test --offline -q --test failure_injection cluster_faults
+cargo test --offline -q --test failure_injection migration_faults
 
 step "bounded model check (single-GPU + multi-GPU + cluster universes)"
 # Phase 3 of the binary exhaustively checks the 2-device x 3-container
@@ -74,31 +80,30 @@ else
   cargo run --offline -q --release -p convgpu-audit --bin convgpu-audit
 fi
 
-step "perf gate (loadgen -> BENCH_3.json)"
+# The four loadgen campaigns only *produce* artifacts here; the single
+# "perf trend" step below diffs all of them against ci/perf_baseline.json
+# in one place and is the only perf pass/fail authority.
+quick_flag=()
+if [[ "${QUICK:-0}" == "1" ]]; then
+  quick_flag=(--quick)
+fi
+
+step "perf campaign (loadgen -> BENCH_3.json)"
 if [[ "${SKIP_PERF:-0}" == "1" ]]; then
   echo "skipped (SKIP_PERF=1)"
 else
-  # The loadgen binary prints the one-line `PERF loadgen ...` summary,
-  # writes the machine-readable report, and exits non-zero when the
-  # aggregate throughput falls below 80% of ci/perf_baseline.json.
-  perf_args=(--out="$ARTIFACT_DIR/BENCH_3.json" --baseline=ci/perf_baseline.json)
-  if [[ "${QUICK:-0}" == "1" ]]; then
-    perf_args+=(--quick)
-  fi
-  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- "${perf_args[@]}"
+  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- \
+    --out="$ARTIFACT_DIR/BENCH_3.json" "${quick_flag[@]}"
 fi
 
-step "perf gate (sharded loadgen -> BENCH_4.json)"
+step "perf campaign (sharded loadgen -> BENCH_4.json)"
 if [[ "${SKIP_PERF:-0}" == "1" ]]; then
   echo "skipped (SKIP_PERF=1)"
 else
   # Same storm against the multi-GPU service, swept over all three
-  # placement policies; gates on sharded_total_decisions_per_sec.
-  sharded_args=(--sharded --out="$ARTIFACT_DIR/BENCH_4.json" --baseline=ci/perf_baseline.json)
-  if [[ "${QUICK:-0}" == "1" ]]; then
-    sharded_args+=(--quick)
-  fi
-  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- "${sharded_args[@]}"
+  # placement policies.
+  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- \
+    --sharded --out="$ARTIFACT_DIR/BENCH_4.json" "${quick_flag[@]}"
 fi
 
 step "routed cluster campaign (multi-socket loadgen -> BENCH_7.json)"
@@ -107,13 +112,34 @@ if [[ "${SKIP_PERF:-0}" == "1" ]]; then
 else
   # Real node servers behind the router, all three Swarm strategies.
   # The run itself asserts zero timeouts/failovers on a healthy cluster;
-  # the artifact records per-strategy throughput and placement. Not
-  # baseline-gated yet (first PR with this campaign).
-  cluster_args=(--cluster --out="$ARTIFACT_DIR/BENCH_7.json")
-  if [[ "${QUICK:-0}" == "1" ]]; then
-    cluster_args+=(--quick)
-  fi
-  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- "${cluster_args[@]}"
+  # the artifact records per-strategy throughput and placement.
+  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- \
+    --cluster --out="$ARTIFACT_DIR/BENCH_7.json" "${quick_flag[@]}"
+fi
+
+step "migration fault campaign (kill-node loadgen -> BENCH_8.json)"
+if [[ "${SKIP_PERF:-0}" == "1" ]]; then
+  echo "skipped (SKIP_PERF=1)"
+else
+  # The cluster storm with one node shut down mid-run: asserts the
+  # victim is marked down, its containers drain onto the survivor, and
+  # the survivor ends the run clean; records steady vs recovery
+  # admission percentiles.
+  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- \
+    --migration --out="$ARTIFACT_DIR/BENCH_8.json" "${quick_flag[@]}"
+fi
+
+step "perf trend (all campaigns vs ci/perf_baseline.json)"
+if [[ "${SKIP_PERF:-0}" == "1" ]]; then
+  echo "skipped (SKIP_PERF=1)"
+else
+  # One delta table over every artifact; fails below 80% of any
+  # baseline metric, and on a baseline metric with no artifact. Also
+  # appends the table to $GITHUB_STEP_SUMMARY on Actions.
+  cargo run --offline -q --release -p convgpu-bench --bin perf_trend -- \
+    --baseline=ci/perf_baseline.json \
+    "$ARTIFACT_DIR/BENCH_3.json" "$ARTIFACT_DIR/BENCH_4.json" \
+    "$ARTIFACT_DIR/BENCH_7.json" "$ARTIFACT_DIR/BENCH_8.json"
 fi
 
 if [[ "$keep_artifacts" == "1" ]]; then

@@ -5,18 +5,22 @@
 //! §III-E stall, no lost wakeup on any interleaving), sweeps the
 //! multi-GPU universe over every policy × placement-policy combination,
 //! sweeps the cluster universe over every policy × Swarm-strategy
-//! combination, then prints the naive baseline's minimal deadlock trace
-//! (negative witness).
+//! combination, sweeps the **migration** universe (cluster lifecycles
+//! crossed with every node-death point) over the same combinations, then
+//! prints the naive baseline's minimal deadlock trace (negative
+//! witness).
 //!
 //! ```text
 //! convgpu-audit [--policy fifo|bf|ru|rand|all] [--mode dfs|bfs]
 //!               [--max-states N] [--seed N] [--quick]
-//!               [--skip-ctx] [--skip-multi] [--skip-cluster] [--skip-naive]
+//!               [--skip-ctx] [--skip-multi] [--skip-cluster]
+//!               [--skip-migration] [--skip-naive]
 //! ```
 //!
 //! Exits non-zero on any failure — `ci/check.sh` runs it as a gate.
 
 use convgpu_audit::cluster::{self, ClusterModelConfig};
+use convgpu_audit::migration::{self, MigrationOutcome};
 use convgpu_audit::model::{explore, CheckOutcome, ModelConfig, SearchMode};
 use convgpu_audit::multi::{self, MultiModelConfig};
 use convgpu_audit::naive::{find_deadlock, NaiveConfig};
@@ -33,6 +37,7 @@ struct Options {
     skip_ctx: bool,
     skip_multi: bool,
     skip_cluster: bool,
+    skip_migration: bool,
     skip_naive: bool,
 }
 
@@ -40,7 +45,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: convgpu-audit [--policy fifo|bf|ru|rand|all] [--mode dfs|bfs]\n\
          \x20                    [--max-states N] [--seed N] [--quick]\n\
-         \x20                    [--skip-ctx] [--skip-multi] [--skip-cluster] [--skip-naive]"
+         \x20                    [--skip-ctx] [--skip-multi] [--skip-cluster]\n\
+         \x20                    [--skip-migration] [--skip-naive]"
     );
     std::process::exit(2);
 }
@@ -55,6 +61,7 @@ fn parse_args() -> Options {
         skip_ctx: false,
         skip_multi: false,
         skip_cluster: false,
+        skip_migration: false,
         skip_naive: false,
     };
     let mut args = std::env::args().skip(1);
@@ -99,6 +106,7 @@ fn parse_args() -> Options {
             "--skip-ctx" => opts.skip_ctx = true,
             "--skip-multi" => opts.skip_multi = true,
             "--skip-cluster" => opts.skip_cluster = true,
+            "--skip-migration" => opts.skip_migration = true,
             "--skip-naive" => opts.skip_naive = true,
             "--help" | "-h" => usage(),
             other => {
@@ -228,6 +236,46 @@ fn customize_cluster(mut cfg: ClusterModelConfig, opts: &Options) -> ClusterMode
     cfg
 }
 
+/// Run one migration configuration; returns whether it passed. The
+/// migration universe has its own event space (node kills), so its
+/// outcome type carries its own trace.
+fn run_one_migration(label: &str, cfg: &ClusterModelConfig) -> bool {
+    let started = std::time::Instant::now();
+    let outcome = migration::explore(cfg);
+    let elapsed = started.elapsed();
+    match outcome {
+        MigrationOutcome::Pass(stats) => {
+            println!(
+                "  PASS {label:<24} {:>8} states {:>9} transitions  depth {:>2}  \
+                 {} terminal, {} suspended  ({:.2?})",
+                stats.states,
+                stats.transitions,
+                stats.max_depth,
+                stats.terminals,
+                stats.suspended_states,
+                elapsed
+            );
+            true
+        }
+        MigrationOutcome::Fail {
+            failure,
+            trace,
+            stats,
+        } => {
+            println!("  FAIL {label}: {failure}");
+            println!(
+                "       after {} states, {} transitions",
+                stats.states, stats.transitions
+            );
+            println!("       counterexample ({} events):", trace.len());
+            for (i, ev) in trace.iter().enumerate() {
+                println!("         {:>2}. {ev}", i + 1);
+            }
+            false
+        }
+    }
+}
+
 /// Run one cluster configuration; returns whether it passed.
 fn run_one_cluster(label: &str, cfg: &ClusterModelConfig) -> bool {
     let started = std::time::Instant::now();
@@ -274,16 +322,16 @@ fn main() -> ExitCode {
         "convgpu-audit: bounded model check, mode {:?} — full-guarantee discipline",
         opts.mode
     );
-    println!("[1/5] 3 containers, 1 GiB device, 256 MiB quanta, no ctx overhead");
+    println!("[1/6] 3 containers, 1 GiB device, 256 MiB quanta, no ctx overhead");
     for &p in &opts.policies {
         let cfg = customize(ModelConfig::three_containers(p), &opts);
         ok &= run_one(&format!("{} / 3-container", p.label()), &cfg);
     }
 
     if opts.skip_ctx {
-        println!("[2/5] skipped (--skip-ctx)");
+        println!("[2/6] skipped (--skip-ctx)");
     } else {
-        println!("[2/5] 2 containers, 1 GiB device, 66 MiB per-pid ctx overhead charged");
+        println!("[2/6] 2 containers, 1 GiB device, 66 MiB per-pid ctx overhead charged");
         for &p in &opts.policies {
             let cfg = customize(ModelConfig::two_containers_with_ctx(p), &opts);
             ok &= run_one(&format!("{} / 2-container+ctx", p.label()), &cfg);
@@ -291,9 +339,9 @@ fn main() -> ExitCode {
     }
 
     if opts.skip_multi {
-        println!("[3/5] skipped (--skip-multi)");
+        println!("[3/6] skipped (--skip-multi)");
     } else {
-        println!("[3/5] multi-GPU: 3 containers on 2 × 768 MiB devices, 256 MiB quanta");
+        println!("[3/6] multi-GPU: 3 containers on 2 × 768 MiB devices, 256 MiB quanta");
         for &p in &opts.policies {
             for placement in [
                 PlacementPolicy::RoundRobin,
@@ -310,9 +358,9 @@ fn main() -> ExitCode {
     }
 
     if opts.skip_cluster {
-        println!("[4/5] skipped (--skip-cluster)");
+        println!("[4/6] skipped (--skip-cluster)");
     } else {
-        println!("[4/5] cluster: 3 containers on 2 single-GPU 768 MiB nodes, 256 MiB quanta");
+        println!("[4/6] cluster: 3 containers on 2 single-GPU 768 MiB nodes, 256 MiB quanta");
         for &p in &opts.policies {
             for strategy in [
                 SwarmStrategy::Spread,
@@ -328,10 +376,29 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.skip_naive {
-        println!("[5/5] skipped (--skip-naive)");
+    if opts.skip_migration {
+        println!("[5/6] skipped (--skip-migration)");
     } else {
-        println!("[5/5] naive baseline (grant-if-fits, no guarantees) — negative witness");
+        println!("[5/6] migration: the cluster universe crossed with every node-death point");
+        for &p in &opts.policies {
+            for strategy in [
+                SwarmStrategy::Spread,
+                SwarmStrategy::BinPack,
+                SwarmStrategy::Random,
+            ] {
+                let cfg = customize_cluster(
+                    ClusterModelConfig::two_nodes_three_containers(p, strategy),
+                    &opts,
+                );
+                ok &= run_one_migration(&format!("{}+{}", p.label(), strategy.label()), &cfg);
+            }
+        }
+    }
+
+    if opts.skip_naive {
+        println!("[6/6] skipped (--skip-naive)");
+    } else {
+        println!("[6/6] naive baseline (grant-if-fits, no guarantees) — negative witness");
         match find_deadlock(&NaiveConfig::classic()) {
             Some(w) => {
                 println!(

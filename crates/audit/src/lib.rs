@@ -17,6 +17,11 @@
 //!   **cluster** scheduler: cross-node budget isolation, wakeup
 //!   consistency under the stacked node-over-device ticket tagging, and
 //!   node-tag canonicality.
+//! * [`migration`] — the cluster exploration crossed with **node
+//!   death**: every lifecycle interleaving times every possible death
+//!   point, checking budget conservation across the checkpointed
+//!   hand-off, no double-home, post-move ticket canonicality and §III-E
+//!   deadlock-freedom mid-migration.
 //! * [`naive`] — the uncoordinated-sharing baseline the paper argues
 //!   against, plus a breadth-first search for its **minimal** deadlock
 //!   trace: the negative witness that makes the positive proof above
@@ -41,12 +46,14 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod migration;
 pub mod model;
 pub mod multi;
 pub mod naive;
 pub mod prop;
 
 pub use cluster::ClusterModelConfig;
+pub use migration::{MigEvent, MigrationOutcome};
 pub use model::{CheckOutcome, Event, ExploreStats, Failure, ModelConfig, SearchMode};
 pub use multi::MultiModelConfig;
 pub use naive::{find_deadlock, NaiveConfig, NaiveScheduler, NaiveWitness};

@@ -4,6 +4,7 @@
 //! cargo run --release -p convgpu-bench --bin loadgen -- \
 //!     [--sharded] [--devices=N] \
 //!     [--cluster] [--nodes=N] [--codec=json|binary] \
+//!     [--migration] [--kill-node-at=N] \
 //!     [--containers=N] [--workers=K] [--rounds=R] [--quick] \
 //!     [--transport=inproc|socket-json|socket-binary] \
 //!     [--out=BENCH_3.json] [--baseline=ci/perf_baseline.json]
@@ -13,19 +14,25 @@
 //! (or, with `--sharded`, the multi-GPU campaign for all three
 //! placement policies, writing the `BENCH_4.json` schema; or, with
 //! `--cluster`, the routed multi-socket campaign for all three Swarm
-//! strategies, writing the `BENCH_7.json` schema), prints a summary
-//! table, writes the machine-readable report to `--out`, and — when
-//! `--baseline` is given — exits non-zero if the aggregate throughput
-//! regressed more than the allowed envelope
+//! strategies, writing the `BENCH_7.json` schema; or, with
+//! `--migration`, the kill-node fault campaign — one node's server is
+//! shut down `--kill-node-at` containers into the storm and the router
+//! must migrate its containers to the survivor — writing the
+//! `BENCH_8.json` schema with steady/recovery latency percentiles),
+//! prints a summary table, writes the machine-readable report to
+//! `--out`, and — when `--baseline` is given — exits non-zero if the
+//! aggregate throughput regressed more than the allowed envelope
 //! ([`convgpu_bench::loadgen::BASELINE_RETENTION`]). The sharded gate
-//! reads the baseline's `sharded_total_decisions_per_sec` field. The
-//! cluster campaign is artifact-only (routed throughput is too
+//! reads the baseline's `sharded_total_decisions_per_sec` field and the
+//! migration gate `migration_total_decisions_per_sec`. The cluster
+//! campaign is artifact-only (routed throughput is too
 //! machine-sensitive to gate) and rejects `--baseline`.
 
 use convgpu_bench::loadgen::{
-    check_baseline, check_sharded_baseline, render_cluster_json, render_json, render_sharded_json,
-    run_cluster, run_loadgen, run_sharded, BaselineVerdict, ClusterLoadConfig, LoadgenConfig,
-    ShardedConfig, Transport,
+    check_baseline, check_migration_baseline, check_sharded_baseline, render_cluster_json,
+    render_json, render_migration_json, render_sharded_json, run_cluster, run_loadgen,
+    run_migration, run_sharded, BaselineVerdict, ClusterLoadConfig, LoadgenConfig,
+    MigrationLoadConfig, ShardedConfig, Transport,
 };
 use convgpu_bench::report::format_table;
 use convgpu_ipc::binary::WireCodec;
@@ -36,6 +43,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen [--sharded] [--devices=N]\n\
          \x20              [--cluster] [--nodes=N] [--codec=json|binary]\n\
+         \x20              [--migration] [--kill-node-at=N]\n\
          \x20              [--containers=N] [--workers=K] [--rounds=R] [--quick]\n\
          \x20              [--transport=inproc|socket-json|socket-binary]\n\
          \x20              [--out=FILE] [--baseline=FILE]"
@@ -107,6 +115,96 @@ fn run_cluster_campaign(cfg: &ClusterLoadConfig, out: Option<PathBuf>) -> ExitCo
             return ExitCode::FAILURE;
         }
         println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Report and gate one kill-node fault campaign.
+fn run_migration_campaign(
+    cfg: &MigrationLoadConfig,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+) -> ExitCode {
+    println!(
+        "loadgen (migration): {} containers x {} workers, {} nodes x {} device(s) x {} MiB, \
+         policy {}, strategy {}, kill n{} at container {}",
+        cfg.base.containers,
+        cfg.base.workers,
+        cfg.nodes,
+        cfg.devices_per_node,
+        cfg.base.capacity.as_mib(),
+        cfg.policy.label(),
+        cfg.strategy.label(),
+        cfg.kill_node,
+        cfg.kill_at
+    );
+    let report = run_migration(cfg);
+
+    let table = format_table(
+        &[
+            "phase".into(),
+            "decisions".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+        ],
+        &[&report.steady, &report.recovery]
+            .iter()
+            .zip(["steady", "recovery"])
+            .map(|(h, phase)| {
+                let q = |q: f64| format!("{:.4}", h.quantile_ns(q).unwrap_or(0.0) / 1e6);
+                vec![
+                    phase.into(),
+                    h.count().to_string(),
+                    q(0.50),
+                    q(0.95),
+                    q(0.99),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!(
+        "migrations: {} completed, {} rejected; {} tolerated errors in the death window",
+        report.migrations_completed, report.migrations_rejected, report.errors
+    );
+    println!(
+        "PERF loadgen migration_total_decisions_per_sec={:.0} nodes={} strategy={}",
+        report.decisions_per_sec,
+        cfg.nodes,
+        cfg.strategy.label()
+    );
+
+    if let Some(path) = out {
+        let text = render_migration_json(&report);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+
+    if let Some(path) = baseline {
+        match check_migration_baseline(&report, &path) {
+            Ok(BaselineVerdict::Pass { measured, baseline }) => {
+                println!("perf gate: PASS — {measured:.0} decisions/s vs baseline {baseline:.0}");
+            }
+            Ok(BaselineVerdict::Regressed {
+                measured,
+                baseline,
+                floor,
+            }) => {
+                eprintln!(
+                    "perf gate: FAIL — {measured:.0} decisions/s is below the floor \
+                     {floor:.0} (baseline {baseline:.0}, >20% regression)"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -207,6 +305,8 @@ fn main() -> ExitCode {
     let mut cfg = LoadgenConfig::standard();
     let mut sharded = false;
     let mut cluster = false;
+    let mut migration = false;
+    let mut kill_at: Option<u32> = None;
     let mut devices: u32 = ShardedConfig::standard().devices;
     let mut nodes: u32 = ClusterLoadConfig::standard().nodes;
     let mut codec: WireCodec = ClusterLoadConfig::standard().codec;
@@ -229,6 +329,13 @@ fn main() -> ExitCode {
             sharded = true;
         } else if a == "--cluster" {
             cluster = true;
+        } else if a == "--migration" {
+            migration = true;
+        } else if let Some(v) = a.strip_prefix("--kill-node-at=") {
+            match v.parse() {
+                Ok(n) => kill_at = Some(n),
+                Err(_) => return usage(),
+            }
         } else if let Some(v) = a.strip_prefix("--devices=") {
             match v.parse() {
                 Ok(n) if n > 0 => devices = n,
@@ -283,6 +390,44 @@ fn main() -> ExitCode {
         } else {
             return usage();
         }
+    }
+
+    if migration {
+        if sharded || cluster {
+            // One campaign per invocation.
+            return usage();
+        }
+        let template = if quick {
+            MigrationLoadConfig::smoke()
+        } else {
+            MigrationLoadConfig::standard()
+        };
+        let containers = containers_flag.unwrap_or(template.base.containers);
+        let kill_at = kill_at.unwrap_or_else(|| {
+            // Default kill point scales with the storm: a third in.
+            if containers_flag.is_some() {
+                containers / 3
+            } else {
+                template.kill_at
+            }
+        });
+        let mcfg = MigrationLoadConfig {
+            base: LoadgenConfig {
+                containers,
+                workers: workers_flag.unwrap_or(template.base.workers),
+                rounds: rounds_flag.unwrap_or(template.base.rounds),
+                ..template.base
+            },
+            nodes,
+            codec,
+            kill_at,
+            ..template
+        };
+        return run_migration_campaign(&mcfg, out, baseline);
+    }
+    if kill_at.is_some() {
+        // --kill-node-at only makes sense for the migration campaign.
+        return usage();
     }
 
     if cluster {

@@ -128,6 +128,21 @@ impl RequestHandler for ServiceHandler {
                     message: "not a cluster daemon".to_string(),
                 }),
             },
+            Request::Migrate {
+                container,
+                node,
+                limit,
+                used,
+            } => {
+                ok_or_error(
+                    reply,
+                    self.service.migrate(container, &node, limit, used),
+                    |_| Response::Ok,
+                );
+            }
+            Request::QueryMigrations => reply.send(Response::Migrations {
+                records: self.service.migration_records(),
+            }),
         }
     }
 }

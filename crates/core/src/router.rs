@@ -33,6 +33,21 @@
 //! suspended allocation blocking arbitrarily long *is* the paper's
 //! mechanism. It unblocks through disconnect detection instead.
 //!
+//! **Live migration** (this PR's layer): when a node transitions to
+//! `down` — or an operator issues `cluster rebalance` — the router
+//! *drains* that node: every container homed there is closed on the
+//! source (cancelling parked requests the way the paper's kill path
+//! does), then replayed onto a surviving node through the `migrate`
+//! wire message, which the receiving daemon services as an *adoption*
+//! (register + pre-committed budget in one step). The placement budget
+//! the router committed for the container (limit + context hint)
+//! travels with it, so committed memory is conserved and never exceeds
+//! any node's capacity. Requests racing a migration park on a condvar
+//! (bounded by the router deadline) and then route to the new home.
+//! When no survivor can adopt a container the migration is recorded as
+//! `rejected` and the container ends closed — a clean rejection, never
+//! a hang. The full history is answered over `query_migrations`.
+//!
 //! Placement accounting is router-local: the router tracks the limits it
 //! has committed per node (plus the 66 MiB context hint) rather than
 //! querying live occupancy on every register, so `BinPack` packs by
@@ -51,7 +66,7 @@ use convgpu_ipc::binary::WireCodec;
 use convgpu_ipc::client::SchedulerClient;
 use convgpu_ipc::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
 use convgpu_ipc::message::{
-    AllocDecision, ApiKind, ClusterNodeStatus, Request, Response, TopologyDevice,
+    AllocDecision, ApiKind, ClusterNodeStatus, MigrationRecord, Request, Response, TopologyDevice,
 };
 use convgpu_ipc::server::{ConnId, Reply, RequestHandler, SocketServer};
 use convgpu_obs::prometheus;
@@ -60,10 +75,10 @@ use convgpu_scheduler::cluster::SwarmStrategy;
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::rng::DetRng;
-use convgpu_sim_core::sync::Mutex;
+use convgpu_sim_core::sync::{Condvar, Mutex};
 use convgpu_sim_core::time::SimDuration;
 use convgpu_sim_core::units::Bytes;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -236,6 +251,10 @@ struct Home {
     /// Memory committed against the node at placement (limit + context
     /// hint); zero for homes re-learned after a router restart.
     hint: Bytes,
+    /// The limit the container registered with — the checkpoint a
+    /// migration replays onto the adopting node. Zero for recovered
+    /// homes (the limit is node-side state the router never saw).
+    limit: Bytes,
 }
 
 /// The cluster's front door: places containers across per-node socket
@@ -252,6 +271,14 @@ pub struct ClusterRouter {
     homes: Mutex<BTreeMap<ContainerId, Home>>,
     rng: Mutex<DetRng>,
     obs: Arc<ObsHub>,
+    /// Completed and rejected migrations, oldest first.
+    migrations: Mutex<Vec<MigrationRecord>>,
+    /// Containers mid-migration; requests for them park on the condvar.
+    migrating: Mutex<BTreeSet<ContainerId>>,
+    migration_done: Condvar,
+    /// Nodes with a drain in flight — collapses the burst of failure
+    /// notifications a dying node produces into one drain.
+    draining: Mutex<BTreeSet<usize>>,
 }
 
 /// The context charge a node budgets on top of each limit; mirrored here
@@ -287,6 +314,10 @@ impl ClusterRouter {
             homes: Mutex::new(BTreeMap::new()),
             rng: Mutex::new(DetRng::seed_from_u64(seed)),
             obs,
+            migrations: Mutex::new(Vec::new()),
+            migrating: Mutex::new(BTreeSet::new()),
+            migration_done: Condvar::new(),
+            draining: Mutex::new(BTreeSet::new()),
         };
         for node in &router.nodes {
             router.publish_health(node, NodeHealth::Up);
@@ -405,6 +436,13 @@ impl ClusterRouter {
         drop(state);
         if changed {
             self.publish_health(node, health);
+            if health == NodeHealth::Down {
+                // The node just died under us: drain its homes onto
+                // survivors so its containers live on. Runs after the
+                // state lock is released; the drain guard collapses the
+                // burst of failures a dying node produces.
+                self.drain_node_idx(idx);
+            }
         }
         health
     }
@@ -586,9 +624,14 @@ impl ClusterRouter {
             };
             match self.call_gated(pick, Request::Register { container, limit }) {
                 Ok(Response::Ok) => {
-                    self.homes
-                        .lock()
-                        .insert(container, Home { node: pick, hint });
+                    self.homes.lock().insert(
+                        container,
+                        Home {
+                            node: pick,
+                            hint,
+                            limit,
+                        },
+                    );
                     self.obs.registry.inc(
                         "convgpu_router_placement_total",
                         &[
@@ -633,6 +676,7 @@ impl ClusterRouter {
                     Home {
                         node: idx,
                         hint: Bytes::ZERO,
+                        limit: Bytes::ZERO,
                     },
                 );
                 return Some(idx);
@@ -642,9 +686,162 @@ impl ClusterRouter {
     }
 
     fn route_idx(&self, container: ContainerId) -> IpcResult<usize> {
+        self.await_migration(container);
         self.home_idx(container)
             .or_else(|| self.recover_home(container))
             .ok_or_else(|| IpcError::Scheduler(format!("unknown container {container}")))
+    }
+
+    /// Park the caller while `container` is mid-migration, bounded by
+    /// the router deadline, so a request racing the hand-off routes to
+    /// the new home instead of the dying one. The bound means a stuck
+    /// migration can never wedge a client.
+    fn await_migration(&self, container: ContainerId) {
+        let bound = std::time::Duration::from_nanos(self.cfg.deadline.as_nanos());
+        let mut migrating = self.migrating.lock();
+        while migrating.contains(&container) {
+            if self.migration_done.wait_for(&mut migrating, bound) {
+                break;
+            }
+        }
+    }
+
+    /// Move one container off node `from`: checkpoint its committed
+    /// budget from the router's own accounting, close it on the source
+    /// (cancelling parked requests exactly like the paper's kill path;
+    /// on a dead node this degrades to an ack), then replay it onto a
+    /// surviving node via the `migrate` wire message, which the target
+    /// daemon services as an adoption. Candidates that refuse (full,
+    /// unreachable) are excluded and the next is tried; with no
+    /// survivor left the record says `rejected` and the container ends
+    /// closed. Always returns the record it appended to the log.
+    fn migrate_from(&self, container: ContainerId, from: usize) -> MigrationRecord {
+        let t0 = self.clock.now();
+        let from_name = self.nodes[from].name.clone();
+        let checkpoint = {
+            let homes = self.homes.lock();
+            homes
+                .get(&container)
+                .filter(|h| h.node == from)
+                .map(|h| (h.limit, h.hint))
+        };
+        let Some((limit, hint)) = checkpoint else {
+            // Raced away (closed or already re-homed): nothing to move.
+            return MigrationRecord {
+                container,
+                from: from_name,
+                to: String::new(),
+                limit: Bytes::ZERO,
+                used: Bytes::ZERO,
+                status: "rejected".to_string(),
+            };
+        };
+        self.migrating.lock().insert(container);
+        let _ = self.forward_or_degrade(from, Request::ContainerClose { container }, Response::Ok);
+        self.homes.lock().remove(&container);
+        self.ensure_caps();
+        let mut excluded = vec![false; self.nodes.len()];
+        excluded[from] = true;
+        let mut to = None;
+        while let Some(pick) = self.pick_node(hint, &excluded) {
+            let req = Request::Migrate {
+                container,
+                node: String::new(),
+                limit,
+                used: Bytes::ZERO,
+            };
+            match self.call_gated(pick, req) {
+                Ok(Response::Ok) => {
+                    self.homes.lock().insert(
+                        container,
+                        Home {
+                            node: pick,
+                            hint,
+                            limit,
+                        },
+                    );
+                    to = Some(pick);
+                    break;
+                }
+                // The candidate refused (full, duplicate) or its
+                // transport failed: exclude it and try the next one.
+                _ => excluded[pick] = true,
+            }
+        }
+        {
+            let mut migrating = self.migrating.lock();
+            migrating.remove(&container);
+            self.migration_done.notify_all();
+        }
+        let status = if to.is_some() {
+            "completed"
+        } else {
+            "rejected"
+        };
+        self.obs.registry.inc(
+            "convgpu_router_migrations_total",
+            &[("from", from_name.as_str()), ("status", status)],
+            1,
+        );
+        self.obs.registry.observe(
+            "convgpu_router_migration_seconds",
+            &[("node", &from_name)],
+            self.clock.now().saturating_since(t0),
+        );
+        let record = MigrationRecord {
+            container,
+            from: from_name,
+            to: to.map(|i| self.nodes[i].name.clone()).unwrap_or_default(),
+            limit,
+            used: Bytes::ZERO,
+            status: status.to_string(),
+        };
+        self.migrations.lock().push(record.clone());
+        record
+    }
+
+    /// Drain every container homed on node `idx` onto survivors.
+    /// Concurrent triggers for the same node collapse into one drain.
+    fn drain_node_idx(&self, idx: usize) -> Vec<MigrationRecord> {
+        if !self.draining.lock().insert(idx) {
+            return Vec::new();
+        }
+        let homed: Vec<ContainerId> = {
+            let homes = self.homes.lock();
+            homes
+                .iter()
+                .filter(|(_, h)| h.node == idx)
+                .map(|(c, _)| *c)
+                .collect()
+        };
+        let mut records = Vec::with_capacity(homed.len());
+        for container in homed {
+            records.push(self.migrate_from(container, idx));
+        }
+        self.draining.lock().remove(&idx);
+        records
+    }
+
+    /// Operator-driven drain (`cluster rebalance` / the `migrate` wire
+    /// sentinel): move every container off the named node.
+    pub fn rebalance(&self, node: &str) -> IpcResult<Vec<MigrationRecord>> {
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| n.name == node)
+            .ok_or_else(|| IpcError::Scheduler(format!("unknown node {node:?}")))?;
+        Ok(self.drain_node_idx(idx))
+    }
+
+    /// Re-home a single container away from its current node.
+    pub fn migrate_container(&self, container: ContainerId) -> IpcResult<MigrationRecord> {
+        let idx = self.route_idx(container)?;
+        Ok(self.migrate_from(container, idx))
+    }
+
+    /// Every migration this router has performed, oldest first.
+    pub fn migration_records(&self) -> Vec<MigrationRecord> {
+        self.migrations.lock().clone()
     }
 
     fn failover_reject(&self, idx: usize) -> AllocDecision {
@@ -1070,6 +1267,28 @@ impl RequestHandler for RouterHandler {
                 let (strategy, nodes) = self.router.cluster_status();
                 reply.send(Response::Cluster { strategy, nodes });
             }
+            Request::Migrate {
+                container, node, ..
+            } => {
+                // The zero-container sentinel with a node name drains
+                // that node; a real container id re-homes just it. Both
+                // answer with the migration records they produced, so
+                // `convgpu-cli cluster rebalance` can print the outcome.
+                if container == ContainerId(0) && !node.is_empty() {
+                    reply_result(reply, self.router.rebalance(&node), |records| {
+                        Response::Migrations { records }
+                    });
+                } else {
+                    reply_result(reply, self.router.migrate_container(container), |record| {
+                        Response::Migrations {
+                            records: vec![record],
+                        }
+                    });
+                }
+            }
+            Request::QueryMigrations => reply.send(Response::Migrations {
+                records: self.router.migration_records(),
+            }),
         }
     }
 }
@@ -1200,8 +1419,9 @@ mod tests {
         router.register(ContainerId(2), Bytes::mib(100)).unwrap(); // → n1
         n0.shutdown();
         // Allocs for the dead node's container come back as rejections
-        // (never hangs, never Err), and the node goes down.
-        for _ in 0..3 {
+        // (never hangs, never Err) until the failure threshold downs
+        // the node.
+        for _ in 0..2 {
             assert_eq!(
                 router
                     .alloc_request(ContainerId(1), 1, Bytes::mib(10), ApiKind::Malloc)
@@ -1210,7 +1430,23 @@ mod tests {
             );
         }
         assert_eq!(router.node_health("n0"), Some(NodeHealth::Down));
-        // The live node is untouched.
+        // Going down triggered the drain: the container was migrated to
+        // the survivor and its next allocation is served there.
+        let records = router.migration_records();
+        assert_eq!(records.len(), 1, "{records:?}");
+        assert_eq!(records[0].container, ContainerId(1));
+        assert_eq!(records[0].from, "n0");
+        assert_eq!(records[0].to, "n1");
+        assert_eq!(records[0].status, "completed");
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 1, Bytes::mib(10), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        let (home, _) = ClusterRouter::query_home(&router, ContainerId(1)).unwrap();
+        assert_eq!(home, "n1");
+        // The live node also still serves its own container.
         assert_eq!(
             router
                 .alloc_request(ContainerId(2), 2, Bytes::mib(10), ApiKind::Malloc)
@@ -1218,7 +1454,7 @@ mod tests {
             AllocDecision::Granted
         );
         assert_eq!(router.node_health("n1"), Some(NodeHealth::Up));
-        // Teardown for the dead node's container degrades, not hangs.
+        // Teardown completes on the new home, zero hung clients.
         ClusterRouter::free(&router, ContainerId(1), 1, 0xDEAD).unwrap();
         ClusterRouter::container_close(&router, ContainerId(1)).unwrap();
         let (_, status) = router.cluster_status();
@@ -1270,6 +1506,82 @@ mod tests {
         let (home, _) = ClusterRouter::query_home(&second, ContainerId(1)).unwrap();
         assert_eq!(home, "n0");
         n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn rebalance_drains_a_node_and_conserves_committed_budget() {
+        let clock = RealClock::handle();
+        let n0 = node("rebalance", "n0", 1024, clock.clone());
+        let n1 = node("rebalance", "n1", 1024, clock.clone());
+        let router = router_over(&[&n0, &n1], RouterConfig::default(), clock);
+        router.register(ContainerId(1), Bytes::mib(100)).unwrap(); // → n0
+        router.register(ContainerId(2), Bytes::mib(100)).unwrap(); // → n1
+        let records = router.rebalance("n0").unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].container, ContainerId(1));
+        assert_eq!(records[0].status, "completed");
+        assert_eq!(records[0].to, "n1");
+        assert_eq!(records[0].limit, Bytes::mib(100));
+        // Both homes now on n1, none left on n0, and the moved
+        // container completes a full lifecycle on its new home.
+        let (_, status) = router.cluster_status();
+        assert_eq!(status[0].containers, 0);
+        assert_eq!(status[1].containers, 2);
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 3, Bytes::mib(50), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        ClusterRouter::alloc_done(&router, ContainerId(1), 3, 0xB0, Bytes::mib(50)).unwrap();
+        // The adopting node pre-reserved the migrated budget: committed
+        // memory on n1 never exceeds its capacity.
+        n1.service().with_scheduler(|s| {
+            s.check_invariants().unwrap();
+            assert!(s.total_assigned() <= Bytes::mib(1024));
+        });
+        ClusterRouter::container_close(&router, ContainerId(1)).unwrap();
+        ClusterRouter::container_close(&router, ContainerId(2)).unwrap();
+        let text = router.metrics_text();
+        assert!(text.contains("convgpu_router_migrations_total"), "{text}");
+        assert!(text.contains("convgpu_router_migration_seconds"), "{text}");
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn migration_without_a_capable_survivor_is_a_clean_rejection() {
+        let clock = RealClock::handle();
+        let n0 = node("nofit", "n0", 1024, clock.clone());
+        // Too small to adopt 100 MiB + the 66 MiB context hint.
+        let n1 = node("nofit", "n1", 150, clock.clone());
+        let vclock: ClockHandle = VirtualClock::new().handle();
+        let cfg = RouterConfig {
+            max_retries: 0,
+            down_after: 1,
+            ..RouterConfig::default()
+        };
+        let router = router_over(&[&n0, &n1], cfg, vclock);
+        router.register(ContainerId(1), Bytes::mib(100)).unwrap(); // → n0
+        n0.shutdown();
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 1, Bytes::mib(10), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Rejected
+        );
+        let records = router.migration_records();
+        assert_eq!(records.len(), 1, "{records:?}");
+        assert_eq!(records[0].status, "rejected");
+        assert_eq!(records[0].to, "");
+        // The container ends closed — later requests error cleanly
+        // instead of hanging, and the survivor is untouched.
+        assert!(router
+            .alloc_request(ContainerId(1), 1, Bytes::mib(10), ApiKind::Malloc)
+            .is_err());
+        n1.service()
+            .with_scheduler(|s| s.check_invariants().unwrap());
         n1.shutdown();
     }
 

@@ -8,7 +8,9 @@
 //! produces the matching [`ResumeAction`].
 
 use convgpu_ipc::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
-use convgpu_ipc::message::{AllocDecision, ApiKind, ClusterNodeStatus, Response, TopologyDevice};
+use convgpu_ipc::message::{
+    AllocDecision, ApiKind, ClusterNodeStatus, MigrationRecord, Response, TopologyDevice,
+};
 use convgpu_ipc::server::Reply;
 use convgpu_obs::{chrome, prometheus, Registry, RingSink, SpanSink, Tracer};
 use convgpu_scheduler::backend::{Placement, SchedulerBackend, TopologyBackend};
@@ -87,6 +89,7 @@ pub struct SchedulerService {
     waiters: Mutex<HashMap<u64, Waiter>>,
     base_dir: PathBuf,
     obs: Arc<ObsHub>,
+    migrations: Mutex<Vec<MigrationRecord>>,
 }
 
 impl SchedulerService {
@@ -111,6 +114,7 @@ impl SchedulerService {
             waiters: Mutex::new(HashMap::new()),
             base_dir,
             obs,
+            migrations: Mutex::new(Vec::new()),
         }
     }
 
@@ -248,6 +252,87 @@ impl SchedulerService {
         let mut state = self.state.lock();
         let now = self.clock.now();
         state.register(container, limit, now)
+    }
+
+    /// Adopt a migrated container: register it with `limit` and mark
+    /// `used` bytes pre-committed in one step — the receiving half of a
+    /// migration hand-off. The adoption is appended to this daemon's
+    /// migration log (source unknown at this layer, so `from` is empty).
+    pub fn adopt(
+        &self,
+        container: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+    ) -> Result<Placement, SchedError> {
+        let placement = {
+            let mut state = self.state.lock();
+            let now = self.clock.now();
+            state.adopt(container, limit, used, now)?
+        };
+        self.migrations.lock().push(MigrationRecord {
+            container,
+            from: String::new(),
+            to: placement.node.clone().unwrap_or_default(),
+            limit,
+            used,
+            status: "completed".to_string(),
+        });
+        Ok(placement)
+    }
+
+    /// Handle the `migrate` wire message. The `container == 0` sentinel
+    /// with a node name drains that node of the in-process cluster
+    /// backend (re-homing every container it hosts onto survivors); any
+    /// other container id is an adoption onto this daemon.
+    pub fn migrate(
+        &self,
+        container: ContainerId,
+        node: &str,
+        limit: Bytes,
+        used: Bytes,
+    ) -> Result<(), SchedError> {
+        if container != ContainerId(0) {
+            return self.adopt(container, limit, used).map(|_| ());
+        }
+        let (records, actions) = {
+            let mut state = self.state.lock();
+            let TopologyBackend::Cluster(cs) = &mut *state else {
+                return Err(SchedError::ProtocolViolation(
+                    "migrate: node drain requires a cluster backend".into(),
+                ));
+            };
+            let Some(idx) = (0..cs.node_count()).find(|&i| cs.node(i).name == node) else {
+                return Err(SchedError::ProtocolViolation(format!(
+                    "migrate: unknown node {node:?}"
+                )));
+            };
+            let now = self.clock.now();
+            let (moves, actions) = cs.migrate_node(idx, now);
+            let records: Vec<MigrationRecord> = moves
+                .into_iter()
+                .map(|m| MigrationRecord {
+                    container: m.container,
+                    from: cs.node(m.from).name.clone(),
+                    to: m.to.map(|n| cs.node(n).name.clone()).unwrap_or_default(),
+                    limit: m.limit,
+                    used: m.used,
+                    status: if m.to.is_some() {
+                        "completed".to_string()
+                    } else {
+                        "rejected".to_string()
+                    },
+                })
+                .collect();
+            (records, actions)
+        };
+        self.migrations.lock().extend(records);
+        self.dispatch(actions);
+        Ok(())
+    }
+
+    /// Every migration this daemon has recorded, oldest first.
+    pub fn migration_records(&self) -> Vec<MigrationRecord> {
+        self.migrations.lock().clone()
     }
 
     /// Create (if needed) and return the container's volume directory,

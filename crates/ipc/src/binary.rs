@@ -18,7 +18,8 @@
 use crate::codec::MAX_LINE_BYTES;
 use crate::json::{FromJson, ToJson};
 use crate::message::{
-    AllocDecision, ApiKind, ClusterNodeStatus, Envelope, Request, Response, TopologyDevice,
+    AllocDecision, ApiKind, ClusterNodeStatus, Envelope, MigrationRecord, Request, Response,
+    TopologyDevice,
 };
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::units::Bytes;
@@ -294,6 +295,30 @@ impl FromBinary for ClusterNodeStatus {
     }
 }
 
+impl ToBinary for MigrationRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.container.encode(out);
+        self.from.encode(out);
+        self.to.encode(out);
+        self.limit.encode(out);
+        self.used.encode(out);
+        self.status.encode(out);
+    }
+}
+
+impl FromBinary for MigrationRecord {
+    fn decode(r: &mut BinReader<'_>) -> Result<Self, BinError> {
+        Ok(MigrationRecord {
+            container: FromBinary::decode(r)?,
+            from: FromBinary::decode(r)?,
+            to: FromBinary::decode(r)?,
+            limit: FromBinary::decode(r)?,
+            used: FromBinary::decode(r)?,
+            status: FromBinary::decode(r)?,
+        })
+    }
+}
+
 impl ToBinary for Request {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -372,6 +397,19 @@ impl ToBinary for Request {
                 container.encode(out);
             }
             Request::QueryCluster => out.push(13),
+            Request::Migrate {
+                container,
+                node,
+                limit,
+                used,
+            } => {
+                out.push(14);
+                container.encode(out);
+                node.encode(out);
+                limit.encode(out);
+                used.encode(out);
+            }
+            Request::QueryMigrations => out.push(15),
         }
     }
 }
@@ -426,6 +464,13 @@ impl FromBinary for Request {
                 container: FromBinary::decode(r)?,
             }),
             13 => Ok(Request::QueryCluster),
+            14 => Ok(Request::Migrate {
+                container: FromBinary::decode(r)?,
+                node: FromBinary::decode(r)?,
+                limit: FromBinary::decode(r)?,
+                used: FromBinary::decode(r)?,
+            }),
+            15 => Ok(Request::QueryMigrations),
             t => Err(BinError::msg(format!("unknown request tag {t}"))),
         }
     }
@@ -480,6 +525,13 @@ impl ToBinary for Response {
                 put_u64(out, nodes.len() as u64);
                 for n in nodes {
                     n.encode(out);
+                }
+            }
+            Response::Migrations { records } => {
+                out.push(11);
+                put_u64(out, records.len() as u64);
+                for rec in records {
+                    rec.encode(out);
                 }
             }
         }
@@ -539,6 +591,18 @@ impl FromBinary for Response {
                     nodes.push(ClusterNodeStatus::decode(r)?);
                 }
                 Ok(Response::Cluster { strategy, nodes })
+            }
+            11 => {
+                let n = get_u64(r)?;
+                let n = usize::try_from(n).map_err(|_| BinError::msg("record count overflow"))?;
+                if n > MAX_FRAME_BYTES / 8 {
+                    return Err(BinError::msg("record count exceeds frame bound"));
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(MigrationRecord::decode(r)?);
+                }
+                Ok(Response::Migrations { records })
             }
             t => Err(BinError::msg(format!("unknown response tag {t}"))),
         }
@@ -733,6 +797,19 @@ mod tests {
                 container: ContainerId(3),
             },
             Request::QueryCluster,
+            Request::Migrate {
+                container: ContainerId(3),
+                node: String::new(),
+                limit: Bytes::mib(512),
+                used: Bytes::mib(128),
+            },
+            Request::Migrate {
+                container: ContainerId(0),
+                node: "node-1".into(),
+                limit: Bytes::new(0),
+                used: Bytes::new(0),
+            },
+            Request::QueryMigrations,
         ]
     }
 
@@ -816,6 +893,27 @@ mod tests {
                 strategy: "random".into(),
                 nodes: vec![],
             },
+            Response::Migrations {
+                records: vec![
+                    MigrationRecord {
+                        container: ContainerId(3),
+                        from: "node-0".into(),
+                        to: "node-1".into(),
+                        limit: Bytes::mib(512),
+                        used: Bytes::mib(128),
+                        status: "completed".into(),
+                    },
+                    MigrationRecord {
+                        container: ContainerId(4),
+                        from: "node-0".into(),
+                        to: String::new(),
+                        limit: Bytes::mib(256),
+                        used: Bytes::new(0),
+                        status: "rejected".into(),
+                    },
+                ],
+            },
+            Response::Migrations { records: vec![] },
         ]
     }
 
@@ -941,9 +1039,16 @@ mod tests {
     /// Malformed-frame property test: drive the decoder with a
     /// deterministic pseudo-random byte fuzzer. It must reject garbage
     /// with an error (or happen to parse a valid frame) — never panic,
-    /// never read past the frame.
+    /// never read past the frame. The iteration budget defaults to a
+    /// PR-sized 2000 and is raised by the nightly deep tier via
+    /// `CONVGPU_FUZZ_ITERS` (the seed stays fixed; more iterations walk
+    /// further down the same deterministic stream).
     #[test]
     fn random_bytes_never_panic_the_decoder() {
+        let iters: u64 = std::env::var("CONVGPU_FUZZ_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2000);
         let mut state = 0x9e37_79b9_7f4a_7c15u64;
         let mut next = move || {
             // xorshift* — deterministic, no external RNG dependency.
@@ -952,7 +1057,7 @@ mod tests {
             state ^= state >> 27;
             state.wrapping_mul(0x2545_f491_4f6c_dd1d)
         };
-        for _ in 0..2000 {
+        for _ in 0..iters {
             let len = (next() % 64) as usize;
             let mut payload = Vec::with_capacity(len);
             for _ in 0..len {

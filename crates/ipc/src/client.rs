@@ -247,6 +247,46 @@ impl SchedulerClient {
         }
     }
 
+    /// Ask a cluster router to re-home one container off its current
+    /// node. Errors with the router's own message when the container is
+    /// unknown or no survivor can absorb it.
+    pub fn migrate(
+        &self,
+        container: ContainerId,
+    ) -> IpcResult<Vec<crate::message::MigrationRecord>> {
+        match self.request(Request::Migrate {
+            container,
+            node: String::new(),
+            limit: Bytes::ZERO,
+            used: Bytes::ZERO,
+        })? {
+            Response::Migrations { records } => Ok(records),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask a cluster router to drain every container homed on `node`
+    /// (`cluster rebalance`): the 0-sentinel form of [`Request::Migrate`].
+    pub fn rebalance(&self, node: &str) -> IpcResult<Vec<crate::message::MigrationRecord>> {
+        match self.request(Request::Migrate {
+            container: ContainerId(0),
+            node: node.to_string(),
+            limit: Bytes::ZERO,
+            used: Bytes::ZERO,
+        })? {
+            Response::Migrations { records } => Ok(records),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask a cluster router for every migration it has performed so far.
+    pub fn query_migrations(&self) -> IpcResult<Vec<crate::message::MigrationRecord>> {
+        match self.request(Request::QueryMigrations)? {
+            Response::Migrations { records } => Ok(records),
+            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
     fn expect_ok(&self, req: Request) -> IpcResult<()> {
         match self.request(req)? {
             Response::Ok => Ok(()),

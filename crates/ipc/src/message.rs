@@ -202,6 +202,24 @@ pub enum Request {
     /// per-node status: health, placements, and fault-tolerance
     /// counters. Non-cluster daemons answer `error`.
     QueryCluster,
+    /// Migration hand-off. To a node daemon: adopt `container` with its
+    /// declared `limit` and pre-committed `used` budget (`node` ignored).
+    /// To a cluster router: re-home `container` off its current node, or —
+    /// when `container` is the 0 sentinel and `node` names a router node —
+    /// drain every container homed on that node (`cluster rebalance`).
+    Migrate {
+        /// The container to hand off (0 = every container on `node`).
+        container: ContainerId,
+        /// Router only: node to drain when `container` is 0.
+        node: String,
+        /// Declared limit carried over (daemon adopt path).
+        limit: Bytes,
+        /// Committed (used) budget carried over (daemon adopt path).
+        used: Bytes,
+    },
+    /// Ask a cluster router for the migrations it has performed.
+    /// Non-router daemons answer `error`.
+    QueryMigrations,
 }
 
 impl Request {
@@ -223,6 +241,8 @@ impl Request {
             Request::QueryTopology => "query_topology",
             Request::QueryHome { .. } => "query_home",
             Request::QueryCluster => "query_cluster",
+            Request::Migrate { .. } => "migrate",
+            Request::QueryMigrations => "query_migrations",
         }
     }
 }
@@ -327,6 +347,21 @@ impl ToJson for Request {
                 vec![("container".into(), container.to_json())],
             ),
             Request::QueryCluster => tagged("query_cluster", vec![]),
+            Request::Migrate {
+                container,
+                node,
+                limit,
+                used,
+            } => tagged(
+                "migrate",
+                vec![
+                    ("container".into(), container.to_json()),
+                    ("node".into(), node.to_json()),
+                    ("limit".into(), limit.to_json()),
+                    ("used".into(), used.to_json()),
+                ],
+            ),
+            Request::QueryMigrations => tagged("query_migrations", vec![]),
         }
     }
 }
@@ -385,6 +420,13 @@ impl FromJson for Request {
                 container: field(v, "container")?,
             }),
             "query_cluster" => Ok(Request::QueryCluster),
+            "migrate" => Ok(Request::Migrate {
+                container: field(v, "container")?,
+                node: field(v, "node")?,
+                limit: field(v, "limit")?,
+                used: field(v, "used")?,
+            }),
+            "query_migrations" => Ok(Request::QueryMigrations),
             other => Err(JsonError::msg(format!("unknown request type {other:?}"))),
         }
     }
@@ -478,6 +520,51 @@ impl FromJson for ClusterNodeStatus {
     }
 }
 
+/// One completed (or refused) container move in a
+/// [`Response::Migrations`] answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The migrated container.
+    pub container: ContainerId,
+    /// Node it was drained off.
+    pub from: String,
+    /// Node that adopted it; empty when no node could (`status` says
+    /// `"rejected"`).
+    pub to: String,
+    /// Declared limit carried over.
+    pub limit: Bytes,
+    /// Committed (used) budget carried over.
+    pub used: Bytes,
+    /// `"completed"` or `"rejected"`.
+    pub status: String,
+}
+
+impl ToJson for MigrationRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("container".into(), self.container.to_json()),
+            ("from".into(), self.from.to_json()),
+            ("to".into(), self.to.to_json()),
+            ("limit".into(), self.limit.to_json()),
+            ("used".into(), self.used.to_json()),
+            ("status".into(), self.status.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MigrationRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MigrationRecord {
+            container: field(v, "container")?,
+            from: field(v, "from")?,
+            to: field(v, "to")?,
+            limit: field(v, "limit")?,
+            used: field(v, "used")?,
+            status: field(v, "status")?,
+        })
+    }
+}
+
 /// Responses sent *from* the scheduler.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -545,6 +632,11 @@ pub enum Response {
         /// Every node, in router configuration order.
         nodes: Vec<ClusterNodeStatus>,
     },
+    /// Reply to [`Request::QueryMigrations`].
+    Migrations {
+        /// Every migration the router has performed, oldest first.
+        records: Vec<MigrationRecord>,
+    },
 }
 
 impl ToJson for Response {
@@ -594,6 +686,13 @@ impl ToJson for Response {
                         Json::Arr(nodes.iter().map(ToJson::to_json).collect()),
                     ),
                 ],
+            ),
+            Response::Migrations { records } => tagged(
+                "migrations",
+                vec![(
+                    "records".into(),
+                    Json::Arr(records.iter().map(ToJson::to_json).collect()),
+                )],
             ),
         }
     }
@@ -656,6 +755,16 @@ impl FromJson for Response {
                     strategy: field(v, "strategy")?,
                     nodes,
                 })
+            }
+            "migrations" => {
+                let records = match v.get("records") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(MigrationRecord::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(JsonError::msg("migrations: missing \"records\" array")),
+                };
+                Ok(Response::Migrations { records })
             }
             other => Err(JsonError::msg(format!("unknown response type {other:?}"))),
         }
@@ -750,6 +859,19 @@ mod tests {
                 container: ContainerId(3),
             },
             Request::QueryCluster,
+            Request::Migrate {
+                container: ContainerId(3),
+                node: String::new(),
+                limit: Bytes::mib(512),
+                used: Bytes::mib(128),
+            },
+            Request::Migrate {
+                container: ContainerId(0),
+                node: "n1".into(),
+                limit: Bytes::ZERO,
+                used: Bytes::ZERO,
+            },
+            Request::QueryMigrations,
         ];
         for req in reqs {
             round_trip(&Envelope {
@@ -829,6 +951,26 @@ mod tests {
                         retries: 3,
                         timeouts: 1,
                         failovers: 2,
+                    },
+                ],
+            },
+            Response::Migrations {
+                records: vec![
+                    MigrationRecord {
+                        container: ContainerId(3),
+                        from: "n0".into(),
+                        to: "n1".into(),
+                        limit: Bytes::mib(512),
+                        used: Bytes::mib(128),
+                        status: "completed".into(),
+                    },
+                    MigrationRecord {
+                        container: ContainerId(4),
+                        from: "n0".into(),
+                        to: String::new(),
+                        limit: Bytes::gib(4),
+                        used: Bytes::gib(4),
+                        status: "rejected".into(),
                     },
                 ],
             },
@@ -965,6 +1107,38 @@ mod tests {
         assert_eq!(
             resp.to_json_string(),
             r#"{"type":"cluster","strategy":"binpack","nodes":[{"node":"n0","health":"degraded","containers":1,"retries":2,"timeouts":1,"failovers":0}]}"#
+        );
+    }
+
+    #[test]
+    fn migration_wire_format_is_stable() {
+        assert_eq!(
+            Request::QueryMigrations.to_json_string(),
+            r#"{"type":"query_migrations"}"#
+        );
+        assert_eq!(
+            Request::Migrate {
+                container: ContainerId(3),
+                node: String::new(),
+                limit: Bytes::new(512),
+                used: Bytes::new(128),
+            }
+            .to_json_string(),
+            r#"{"type":"migrate","container":3,"node":"","limit":512,"used":128}"#
+        );
+        let resp = Response::Migrations {
+            records: vec![MigrationRecord {
+                container: ContainerId(3),
+                from: "n0".into(),
+                to: "n1".into(),
+                limit: Bytes::new(512),
+                used: Bytes::new(128),
+                status: "completed".into(),
+            }],
+        };
+        assert_eq!(
+            resp.to_json_string(),
+            r#"{"type":"migrations","records":[{"container":3,"from":"n0","to":"n1","limit":512,"used":128,"status":"completed"}]}"#
         );
     }
 

@@ -103,6 +103,17 @@ pub trait SchedulerBackend {
         now: SimTime,
     ) -> Result<Placement, SchedError>;
 
+    /// Admit a migrated container with its committed budget pre-reserved
+    /// (the migration hand-off path; never suspends, never re-races the
+    /// budget). See [`Scheduler::adopt`].
+    fn adopt(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError>;
+
     /// Permission to allocate; resume actions may concern *any*
     /// container of the topology (tickets are globally unique).
     fn alloc_request(
@@ -202,6 +213,20 @@ impl SchedulerBackend for Scheduler {
         now: SimTime,
     ) -> Result<Placement, SchedError> {
         Scheduler::register(self, id, limit, now)?;
+        Ok(Placement {
+            node: None,
+            device: 0,
+        })
+    }
+
+    fn adopt(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError> {
+        Scheduler::adopt(self, id, limit, used, now)?;
         Ok(Placement {
             node: None,
             device: 0,
@@ -322,6 +347,17 @@ impl SchedulerBackend for MultiGpuScheduler {
         Ok(Placement { node: None, device })
     }
 
+    fn adopt(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError> {
+        let device = MultiGpuScheduler::adopt(self, id, limit, used, now)?;
+        Ok(Placement { node: None, device })
+    }
+
     fn alloc_request(
         &mut self,
         id: ContainerId,
@@ -432,6 +468,21 @@ impl SchedulerBackend for ClusterScheduler {
         now: SimTime,
     ) -> Result<Placement, SchedError> {
         let node = ClusterScheduler::register(self, id, limit, now)?;
+        let device = self.node(node).gpus.home_of(id).unwrap_or(0);
+        Ok(Placement {
+            node: Some(self.node(node).name.clone()),
+            device,
+        })
+    }
+
+    fn adopt(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError> {
+        let node = ClusterScheduler::adopt(self, id, limit, used, now)?;
         let device = self.node(node).gpus.home_of(id).unwrap_or(0);
         Ok(Placement {
             node: Some(self.node(node).name.clone()),
@@ -587,6 +638,16 @@ impl SchedulerBackend for TopologyBackend {
         now: SimTime,
     ) -> Result<Placement, SchedError> {
         dispatch!(self, b => SchedulerBackend::register(b, id, limit, now))
+    }
+
+    fn adopt(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+    ) -> Result<Placement, SchedError> {
+        dispatch!(self, b => SchedulerBackend::adopt(b, id, limit, used, now))
     }
 
     fn alloc_request(

@@ -116,6 +116,23 @@ impl ClusterNode {
 /// Index of a node within the cluster.
 pub type NodeIndex = usize;
 
+/// One container's move in an in-process node drain
+/// ([`ClusterScheduler::migrate_node`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationMove {
+    /// The migrated container.
+    pub container: ContainerId,
+    /// Node it was drained off.
+    pub from: NodeIndex,
+    /// Node that adopted it; `None` when no surviving node could back the
+    /// committed budget (the container ends closed — clean rejection).
+    pub to: Option<NodeIndex>,
+    /// Declared limit carried over.
+    pub limit: Bytes,
+    /// Committed (used) budget carried over.
+    pub used: Bytes,
+}
+
 /// Bit position where the node index is tagged into outgoing tickets,
 /// above the device tag (`multi_gpu::DEVICE_TICKET_SHIFT`).
 pub const NODE_TICKET_SHIFT: u32 = 56;
@@ -216,7 +233,15 @@ impl ClusterScheduler {
     }
 
     fn pick_node(&mut self, hint: Bytes) -> Option<NodeIndex> {
-        let capable = self.capable_nodes(hint);
+        self.pick_node_excluding(hint, &[])
+    }
+
+    fn pick_node_excluding(&mut self, hint: Bytes, excluded: &[NodeIndex]) -> Option<NodeIndex> {
+        let capable: Vec<NodeIndex> = self
+            .capable_nodes(hint)
+            .into_iter()
+            .filter(|i| !excluded.contains(i))
+            .collect();
         if capable.is_empty() {
             return None;
         }
@@ -283,6 +308,129 @@ impl ClusterScheduler {
             );
         }
         Ok(node)
+    }
+
+    /// Migration hand-off: adopt a container with its committed budget on
+    /// the strategy's preferred node (see [`MultiGpuScheduler::adopt`]).
+    pub fn adopt(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+    ) -> Result<NodeIndex, SchedError> {
+        self.adopt_excluding(id, limit, used, now, &[])
+    }
+
+    /// [`adopt`](Self::adopt) that never places on `excluded` nodes (the
+    /// migration source, or nodes already refused). Falls back through
+    /// strategy candidates while a node cannot back the committed budget;
+    /// errors only when no surviving node can.
+    pub fn adopt_excluding(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+        excluded: &[NodeIndex],
+    ) -> Result<NodeIndex, SchedError> {
+        if self.homes.contains_key(&id) {
+            return Err(SchedError::AlreadyRegistered(id));
+        }
+        let hint = limit + Bytes::mib(66);
+        let mut tried: Vec<NodeIndex> = excluded.to_vec();
+        let mut last_err = None;
+        while let Some(node) = self.pick_node_excluding(hint, &tried) {
+            match self.nodes[node].gpus.adopt(id, limit, used, now) {
+                Ok(_) => {
+                    self.homes.insert(id, node);
+                    if let Some(o) = &self.obs {
+                        o.registry.inc(
+                            "convgpu_sched_swarm_placement_total",
+                            &[
+                                ("strategy", self.strategy.label()),
+                                ("node", &self.nodes[node].name),
+                            ],
+                            1,
+                        );
+                    }
+                    return Ok(node);
+                }
+                Err(
+                    e @ (SchedError::AdoptionOverCommit { .. }
+                    | SchedError::LimitExceedsCapacity { .. }),
+                ) => {
+                    last_err = Some(e);
+                    tried.push(node);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(SchedError::LimitExceedsCapacity {
+            container: id,
+            requirement: hint,
+            capacity: self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !excluded.contains(i))
+                .map(|(_, n)| n.gpus.max_device_capacity())
+                .max()
+                .unwrap_or(Bytes::ZERO),
+        }))
+    }
+
+    /// Drain `node` in-process: close every container homed on it
+    /// (cancelling its parked requests as clean rejections) and re-adopt
+    /// each on a surviving node with its committed budget carried over.
+    /// Returns the per-container moves plus the node-tagged resume
+    /// actions produced by the source-side closes. A container no
+    /// surviving node can admit ends closed, reported with `to: None`.
+    pub fn migrate_node(
+        &mut self,
+        node: NodeIndex,
+        now: SimTime,
+    ) -> (Vec<MigrationMove>, Vec<ResumeAction>) {
+        let homed: Vec<ContainerId> = self
+            .homes
+            .iter()
+            .filter(|&(_, &n)| n == node)
+            .map(|(&c, _)| c)
+            .collect();
+        let mut moves = Vec::new();
+        let mut actions = Vec::new();
+        for c in homed {
+            let (limit, used) = {
+                let gpus = &self.nodes[node].gpus;
+                let dev = gpus.home_of(c).expect("homed container has a device");
+                let rec = gpus
+                    .device(dev)
+                    .container(c)
+                    .expect("homed container has a record");
+                if rec.state == crate::state::ContainerState::Closed {
+                    // A closed tombstone holds no budget; dropping its
+                    // home with the dead node is the whole migration.
+                    self.homes.remove(&c);
+                    continue;
+                }
+                (rec.limit, rec.used)
+            };
+            let closed = self.nodes[node]
+                .gpus
+                .container_close(c, now)
+                .unwrap_or_default();
+            actions.extend(tag_actions(node, closed));
+            self.homes.remove(&c);
+            let to = self.adopt_excluding(c, limit, used, now, &[node]).ok();
+            moves.push(MigrationMove {
+                container: c,
+                from: node,
+                to,
+                limit,
+                used,
+            });
+        }
+        (moves, actions)
     }
 
     fn route(
@@ -556,6 +704,87 @@ mod tests {
         // prefers a fitting node: it must pick node b.
         assert_eq!(n2, 1, "binpack avoids the saturated node when another fits");
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrate_node_carries_budget_and_retags_tickets() {
+        let mut c = ClusterScheduler::new(
+            vec![
+                ClusterNode::new("a", &[Bytes::mib(1200)], PolicyKind::Fifo, 1),
+                ClusterNode::new("b", &[Bytes::mib(1200)], PolicyKind::Fifo, 2),
+            ],
+            SwarmStrategy::Spread,
+            0,
+        );
+        // Spread alternates: c1 → node 0, c2 → node 1.
+        c.register(ContainerId(1), Bytes::mib(1000), t(0)).unwrap();
+        c.register(ContainerId(2), Bytes::mib(1000), t(0)).unwrap();
+        c.alloc_request(ContainerId(2), 20, Bytes::mib(1000), ApiKind::Malloc, t(1))
+            .unwrap();
+        c.alloc_request(ContainerId(1), 10, Bytes::mib(50), ApiKind::Malloc, t(1))
+            .unwrap();
+        let (moves, actions) = c.migrate_node(0, t(2));
+        assert!(actions.is_empty(), "no parked requests on the drained node");
+        assert_eq!(
+            moves,
+            vec![MigrationMove {
+                container: ContainerId(1),
+                from: 0,
+                to: Some(1),
+                limit: Bytes::mib(1000),
+                used: Bytes::mib(116),
+            }],
+            "committed budget (50 MiB + 66 MiB ctx) travels with the move"
+        );
+        assert_eq!(c.home_of(ContainerId(1)), Some(1));
+        c.check_invariants().unwrap();
+        // Post-move allocations park with the NEW home's tag at bit 56.
+        let (out, _) = c
+            .alloc_request(ContainerId(1), 10, Bytes::mib(100), ApiKind::Malloc, t(3))
+            .unwrap();
+        let ticket = match out {
+            AllocOutcome::Suspended { ticket } => ticket,
+            other => panic!("expected suspension, got {other:?}"),
+        };
+        assert_eq!(ticket >> NODE_TICKET_SHIFT, 1, "re-tagged at the new home");
+        // Budget conservation end-to-end: once the co-tenant closes, the
+        // migrated container completes its guarantee and resumes.
+        let resumed = c.container_close(ContainerId(2), t(4)).unwrap();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].ticket, ticket);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn migrate_node_rejects_cleanly_when_no_node_can_adopt() {
+        let mut c = ClusterScheduler::new(
+            vec![
+                ClusterNode::new("a", &[Bytes::mib(1200)], PolicyKind::Fifo, 1),
+                ClusterNode::new("b", &[Bytes::mib(1200)], PolicyKind::Fifo, 2),
+            ],
+            SwarmStrategy::Spread,
+            0,
+        );
+        c.register(ContainerId(1), Bytes::mib(1000), t(0)).unwrap(); // node 0
+        c.register(ContainerId(2), Bytes::mib(1000), t(0)).unwrap(); // node 1
+                                                                     // Fill both: the survivor cannot back c1's committed budget.
+        for (cid, pid) in [(1u64, 10u64), (2, 20)] {
+            c.alloc_request(
+                ContainerId(cid),
+                pid,
+                Bytes::mib(1000),
+                ApiKind::Malloc,
+                t(1),
+            )
+            .unwrap();
+        }
+        let (moves, _) = c.migrate_node(0, t(2));
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].to, None, "clean rejection, not a hang");
+        assert_eq!(c.home_of(ContainerId(1)), None);
+        c.check_invariants().unwrap();
+        // The survivor is untouched by the failed hand-off.
+        assert_eq!(c.node(1).gpus.open_containers(), 1);
     }
 
     #[test]

@@ -207,6 +207,18 @@ pub enum SchedError {
     ContainerClosed(ContainerId),
     /// Malformed message sequence (e.g. duplicate `AllocDone` address).
     ProtocolViolation(String),
+    /// A migration hand-off could not be admitted: the container's
+    /// pre-committed budget does not fit the device's unassigned pool
+    /// right now. Distinct from [`SchedError::LimitExceedsCapacity`] so a
+    /// migration driver can fall back to the next placement candidate.
+    AdoptionOverCommit {
+        /// The container being migrated in.
+        container: ContainerId,
+        /// Its pre-committed (already used) budget.
+        committed: Bytes,
+        /// Unassigned memory available on this device.
+        unassigned: Bytes,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -224,6 +236,14 @@ impl fmt::Display for SchedError {
             ),
             SchedError::ContainerClosed(c) => write!(f, "container {c} is closed"),
             SchedError::ProtocolViolation(m) => write!(f, "protocol violation: {m}"),
+            SchedError::AdoptionOverCommit {
+                container,
+                committed,
+                unassigned,
+            } => write!(
+                f,
+                "container {container} adoption needs {committed} committed but only {unassigned} is unassigned"
+            ),
         }
     }
 }
@@ -561,6 +581,74 @@ impl Scheduler {
                 id,
                 limit,
                 assigned: take,
+            }
+        );
+        self.sample(now);
+        self.audit_check();
+        Ok(())
+    }
+
+    /// Migration hand-off: admit a container whose committed budget moves
+    /// with it. Unlike [`register`](Self::register), the container arrives
+    /// with `used` bytes already charged on its previous home, so that
+    /// amount is reserved *and marked used* atomically — it is never
+    /// re-raced against concurrent admissions. The adopted container holds
+    /// no recorded allocations (they died with, or stayed behind on, the
+    /// source); frees of pre-migration addresses report zero, and the
+    /// budget is reclaimed at process exit or close.
+    pub fn adopt(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+    ) -> Result<(), SchedError> {
+        if self.containers.contains_key(&id) {
+            return Err(SchedError::AlreadyRegistered(id));
+        }
+        let requirement = self.effective_requirement(limit);
+        if requirement > self.cfg.capacity {
+            return Err(SchedError::LimitExceedsCapacity {
+                container: id,
+                requirement,
+                capacity: self.cfg.capacity,
+            });
+        }
+        if used > requirement {
+            return Err(SchedError::ProtocolViolation(format!(
+                "adopt: committed {used} exceeds effective requirement {requirement}"
+            )));
+        }
+        if used > self.unassigned() {
+            return Err(SchedError::AdoptionOverCommit {
+                container: id,
+                committed: used,
+                unassigned: self.unassigned(),
+            });
+        }
+        let mut rec = ContainerRecord::new(id, limit, requirement, now);
+        // The committed budget must be fully backed by reservation; beyond
+        // it, reserve opportunistically like registration does. Both terms
+        // are ≤ unassigned and ≤ requirement, so the invariants
+        // used ≤ assigned ≤ requirement and Σ assigned ≤ capacity hold.
+        let take = used.max(self.unassigned().min(requirement));
+        rec.assigned = take;
+        rec.used = used;
+        self.total_assigned += take;
+        self.total_used += used;
+        self.containers.insert(id, rec);
+        self.touched.push(id);
+        if let Some(obs) = &self.obs {
+            self.container_spans.insert(id, obs.tracer.next_span_id());
+        }
+        record!(
+            self,
+            now,
+            Decision::Adopted {
+                id,
+                limit,
+                assigned: take,
+                used,
             }
         );
         self.sample(now);
@@ -1752,6 +1840,7 @@ mod tests {
             .entries()
             .map(|e| match &e.decision {
                 Decision::Registered { .. } => "registered",
+                Decision::Adopted { .. } => "adopted",
                 Decision::Granted { .. } => "granted",
                 Decision::Rejected { .. } => "rejected",
                 Decision::Suspended { .. } => "suspended",
@@ -1833,6 +1922,56 @@ mod tests {
         // `check_invariants` recomputes Σ used and compares it to the
         // incrementally maintained total after every step above (audit
         // builds), and once more here for non-audit builds.
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn adopt_pre_commits_the_migrated_budget() {
+        let mut s = sched(5120, PolicyKind::Fifo);
+        s.adopt(C1, mib(1024), mib(700), t(0)).unwrap();
+        let r = s.container(C1).unwrap();
+        assert_eq!(r.used, mib(700), "committed budget arrives used");
+        assert_eq!(r.assigned, mib(1090), "fully reserved while memory lasts");
+        assert!(r.allocations.is_empty(), "no recorded addresses travel");
+        s.check_invariants().unwrap();
+        // The budget behaves like normal usage: within assigned, further
+        // allocations grant; the whole thing is reclaimed at close.
+        let (out, _) = s
+            .alloc_request(C1, 9, mib(100), ApiKind::Malloc, t(1))
+            .unwrap();
+        assert_eq!(out, AllocOutcome::Granted);
+        s.container_close(C1, t(2)).unwrap();
+        assert_eq!(s.total_assigned(), Bytes::ZERO);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn adopt_rejects_overcommit_and_misuse() {
+        let mut s = sched(1200, PolicyKind::Fifo);
+        s.register(C1, mib(1000), t(0)).unwrap(); // reserves 1066
+                                                  // Only 134 MiB unassigned: a 200 MiB committed budget cannot land.
+        assert!(matches!(
+            s.adopt(C2, mib(500), mib(200), t(1)).unwrap_err(),
+            SchedError::AdoptionOverCommit { .. }
+        ));
+        assert!(s.container(C2).is_none(), "failed adoption leaves no state");
+        // A budget over the effective requirement is a protocol violation.
+        let mut s = sched(5120, PolicyKind::Fifo);
+        assert!(matches!(
+            s.adopt(C2, mib(100), mib(200), t(0)).unwrap_err(),
+            SchedError::ProtocolViolation(_)
+        ));
+        // Duplicate ids and impossible limits behave like register.
+        let mut s = sched(5120, PolicyKind::Fifo);
+        s.register(C1, mib(100), t(0)).unwrap();
+        assert!(matches!(
+            s.adopt(C1, mib(100), Bytes::ZERO, t(1)).unwrap_err(),
+            SchedError::AlreadyRegistered(_)
+        ));
+        assert!(matches!(
+            s.adopt(C3, mib(9000), Bytes::ZERO, t(1)).unwrap_err(),
+            SchedError::LimitExceedsCapacity { .. }
+        ));
         s.check_invariants().unwrap();
     }
 

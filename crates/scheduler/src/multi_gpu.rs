@@ -282,6 +282,63 @@ impl MultiGpuScheduler {
         Ok(idx)
     }
 
+    /// Migration hand-off: adopt a container with its committed budget
+    /// (see [`Scheduler::adopt`]). Placement prefers the configured
+    /// policy's pick, but a device that cannot back the committed budget
+    /// right now is skipped in favour of any that can — the budget must
+    /// land whole, never suspended.
+    pub fn adopt(
+        &mut self,
+        id: ContainerId,
+        limit: Bytes,
+        used: Bytes,
+        now: SimTime,
+    ) -> Result<DeviceIndex, SchedError> {
+        if self.homes.contains_key(&id) {
+            return Err(SchedError::AlreadyRegistered(id));
+        }
+        let hint = limit + Bytes::mib(66);
+        let mut first = self.pick_device(hint);
+        if self.devices[first].config().capacity < hint {
+            if let Some((alt, _)) = self
+                .devices
+                .iter()
+                .enumerate()
+                .find(|(_, d)| d.config().capacity >= hint)
+            {
+                first = alt;
+            }
+        }
+        let mut order: Vec<DeviceIndex> = Vec::with_capacity(self.devices.len());
+        order.push(first);
+        order.extend((0..self.devices.len()).filter(|&d| d != first));
+        let mut last_err = None;
+        for d in order {
+            match self.devices[d].adopt(id, limit, used, now) {
+                Ok(()) => {
+                    self.homes.insert(id, d);
+                    if let Some(o) = &self.obs {
+                        let dev = self.device_label(d);
+                        o.registry.inc(
+                            "convgpu_sched_placement_total",
+                            &[("placement", self.placement.label()), ("device", &dev)],
+                            1,
+                        );
+                    }
+                    return Ok(d);
+                }
+                // Fall through to the next candidate device only for
+                // capacity-shaped refusals; protocol errors are final.
+                Err(
+                    e @ (SchedError::AdoptionOverCommit { .. }
+                    | SchedError::LimitExceedsCapacity { .. }),
+                ) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(SchedError::UnknownContainer(id)))
+    }
+
     fn route(&mut self, id: ContainerId) -> Result<(DeviceIndex, &mut Scheduler), SchedError> {
         let idx = *self
             .homes

@@ -42,6 +42,12 @@
 //!   with the fault-tolerant cluster router: Swarm-style placement,
 //!   per-request deadlines, bounded retry with backoff, and node-health
 //!   driven degradation, serving the same wire protocol on `--socket`.
+//! * `cluster rebalance --socket=ROUTER_SOCKET (--node=NAME |
+//!   --container=ID) [--codec=json|binary]` — ask a running router to
+//!   drain every container homed on `--node` (or re-home just
+//!   `--container`) onto the surviving nodes, then print one line per
+//!   migration record: who moved, from where to where, with what
+//!   limit/used budget, completed or rejected (see `docs/CLUSTER.md`).
 
 use convgpu::gpu::GpuProgram;
 use convgpu::middleware::{ConVGpu, ConVGpuConfig, RunCommand};
@@ -73,7 +79,9 @@ fn usage() -> ExitCode {
                  [--devices=D] [--policy=P] [--seed=S]\n\
          cluster route --socket=PATH --node=NAME=SOCKET [--node=...]\n\
                  [--strategy=spread|binpack|random] [--codec=json|binary]\n\
-                 [--deadline-ms=N] [--retries=N]"
+                 [--deadline-ms=N] [--retries=N]\n\
+         cluster rebalance --socket=ROUTER_SOCKET (--node=NAME | --container=ID)\n\
+                 [--codec=json|binary]"
     );
     ExitCode::from(2)
 }
@@ -797,10 +805,92 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
     serve_forever(ready)
 }
 
+fn cmd_cluster_rebalance(args: &[String]) -> ExitCode {
+    use convgpu::ipc::binary::WireCodec;
+    use convgpu::ipc::client::SchedulerClient;
+    use convgpu::sim::ids::ContainerId;
+    use std::path::PathBuf;
+
+    let mut socket: Option<PathBuf> = None;
+    let mut node: Option<String> = None;
+    let mut container: Option<u64> = None;
+    let mut codec = WireCodec::Json;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--socket=") {
+            socket = Some(PathBuf::from(v));
+        } else if let Some(v) = a.strip_prefix("--node=") {
+            node = Some(v.to_string());
+        } else if let Some(v) = a.strip_prefix("--container=") {
+            container = match v.parse() {
+                Ok(n) => Some(n),
+                Err(_) => return usage(),
+            };
+        } else if let Some(v) = a.strip_prefix("--codec=") {
+            codec = match v {
+                "json" => WireCodec::Json,
+                "binary" => WireCodec::Binary,
+                _ => return usage(),
+            };
+        } else {
+            return usage();
+        }
+    }
+    let Some(socket) = socket else { return usage() };
+    if node.is_some() == container.is_some() {
+        eprintln!("convgpu-cli: cluster rebalance needs exactly one of --node or --container");
+        return usage();
+    }
+    let client = match SchedulerClient::connect_with_codec(&socket, codec, None) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("convgpu-cli: cannot connect to {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match (node, container) {
+        (Some(n), None) => client.rebalance(&n),
+        (None, Some(c)) => client.migrate(ContainerId(c)),
+        _ => unreachable!("validated above"),
+    };
+    let records = match records {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("convgpu-cli: rebalance failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if records.is_empty() {
+        println!("nothing to migrate");
+        return ExitCode::SUCCESS;
+    }
+    let mut rejected = 0;
+    for r in &records {
+        if r.status == "completed" {
+            println!(
+                "migrated {} {} -> {} (limit {}, used {})",
+                r.container, r.from, r.to, r.limit, r.used
+            );
+        } else {
+            rejected += 1;
+            println!(
+                "REJECTED {} off {} (limit {}, used {}): no survivor could absorb it",
+                r.container, r.from, r.limit, r.used
+            );
+        }
+    }
+    println!("{} migrated, {rejected} rejected", records.len() - rejected);
+    if rejected == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_cluster(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve-node") => cmd_cluster_serve_node(&args[1..]),
         Some("route") => cmd_cluster_route(&args[1..]),
+        Some("rebalance") => cmd_cluster_rebalance(&args[1..]),
         _ => usage(),
     }
 }

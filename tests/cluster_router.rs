@@ -1,6 +1,6 @@
 //! Cluster-grade acceptance battery for the routed two-node topology.
 //!
-//! Four properties the distributed mode must hold:
+//! Six properties the distributed mode must hold:
 //!
 //! * **Golden routed trace** — a fixed two-node scenario produces, on
 //!   node 0's span ring, exactly the tree checked in at
@@ -15,6 +15,14 @@
 //!   node-0 tickets equal the plain single-device scheduler's tickets
 //!   bit for bit (the node tag at bit [`NODE_TICKET_SHIFT`] is zero for
 //!   node 0), and node-1 tickets carry tag 1.
+//! * **Migrated-ticket canonicality** — after a container migrates, its
+//!   suspension tickets carry the *adoptive* node's tag and the adoptive
+//!   node's own canonical sequence numbers, bit for bit.
+//! * **Golden migration trace** — a scripted drain produces, on the
+//!   adoptive node's span ring, exactly the tree checked in at
+//!   `tests/golden/cluster_migration_routed.trace`: the migrated
+//!   container's post-move lifecycle is indistinguishable from a native
+//!   registration.
 //! * **Lifecycle under fire** — real node *processes* on both codecs:
 //!   concurrent full lifecycles complete with zero hung clients when
 //!   one node is killed mid-run, failovers are observable through
@@ -492,6 +500,207 @@ fn node0_tickets_bit_identical_to_single_device() {
     );
     assert_eq!(actions_c.len(), 1);
     assert_eq!(actions_c[0].ticket, node0_ticket);
+}
+
+/// After a migration, the container's suspension tickets must be
+/// canonical on the *adoptive* node: node tag from the new home, low
+/// bits from the new node's own sequence — bit-identical to what a
+/// plain single-device scheduler issues for the same sub-workload.
+#[test]
+fn migrated_container_tickets_carry_adoptive_node_tag() {
+    let cap = Bytes::mib(NODE_CAP_MIB);
+    let mk_node = |name: &str| {
+        ClusterNode::with_config(
+            name,
+            SchedulerConfig::with_capacity(cap),
+            &[cap],
+            PolicyKind::Fifo,
+            POLICY_SEED,
+        )
+    };
+    let mut cluster = ClusterScheduler::new(
+        vec![mk_node("n0"), mk_node("n1")],
+        SwarmStrategy::Spread,
+        42,
+    );
+    // The single-device mirror of node 1's eventual workload: c2 native,
+    // c1 arriving later (the migration is, to the adoptive scheduler, a
+    // plain admission with carried budget — zero here, c1 is idle).
+    let mut single = Scheduler::new(
+        SchedulerConfig::with_capacity(cap),
+        PolicyKind::Fifo.build(POLICY_SEED),
+    );
+    let (c1, c2) = (ContainerId(1), ContainerId(2));
+
+    assert_eq!(cluster.register(c1, Bytes::mib(800), ms(1)).unwrap(), 0);
+    assert_eq!(cluster.register(c2, Bytes::mib(800), ms(2)).unwrap(), 1);
+    single.register(c2, Bytes::mib(800), ms(2)).unwrap();
+
+    // Pressure on node 1 before the migration.
+    let (out, _) = cluster
+        .alloc_request(c2, 22, Bytes::mib(700), ApiKind::Malloc, ms(3))
+        .unwrap();
+    assert_eq!(out, AllocOutcome::Granted);
+    cluster
+        .alloc_done(c2, 22, 0xB, Bytes::mib(700), ms(3))
+        .unwrap();
+    let (out, _) = single
+        .alloc_request(c2, 22, Bytes::mib(700), ApiKind::Malloc, ms(3))
+        .unwrap();
+    assert_eq!(out, AllocOutcome::Granted);
+    single
+        .alloc_done(c2, 22, 0xB, Bytes::mib(700), ms(3))
+        .unwrap();
+
+    // Node 0 dies; c1 (idle, so zero carried budget) re-homes on node 1.
+    let (moves, actions) = cluster.migrate_node(0, ms(4));
+    assert_eq!(moves.len(), 1);
+    assert_eq!(moves[0].container, c1);
+    assert_eq!(moves[0].to, Some(1), "c1 must adopt onto node 1: {moves:?}");
+    assert!(actions.is_empty(), "idle source close resumes nothing");
+    single.register(c1, Bytes::mib(800), ms(4)).unwrap();
+
+    // The migrated container's first suspension: adoptive node tag in
+    // the top byte, the adoptive node's own sequence in the low bits.
+    let (out_c, _) = cluster
+        .alloc_request(c1, 11, Bytes::mib(700), ApiKind::Malloc, ms(5))
+        .unwrap();
+    let (out_s, _) = single
+        .alloc_request(c1, 11, Bytes::mib(700), ApiKind::Malloc, ms(5))
+        .unwrap();
+    match (out_c, out_s) {
+        (AllocOutcome::Suspended { ticket: tc }, AllocOutcome::Suspended { ticket: ts }) => {
+            assert_eq!(tc >> NODE_TICKET_SHIFT, 1, "post-move tickets carry tag 1");
+            assert_eq!(
+                tc & ((1u64 << NODE_TICKET_SHIFT) - 1),
+                ts,
+                "post-move ticket sequence must be the adoptive node's own"
+            );
+        }
+        other => panic!("expected suspensions on both schedulers, got {other:?}"),
+    }
+
+    // Resume parity: freeing c2's budget resumes c1 with the same
+    // (untagged) action on both schedulers.
+    let actions_c = cluster.container_close(c2, ms(6)).unwrap();
+    let actions_s = single.container_close(c2, ms(6)).unwrap();
+    assert_eq!(actions_c.len(), 1);
+    assert_eq!(actions_s.len(), 1);
+    assert_eq!(actions_c[0].ticket >> NODE_TICKET_SHIFT, 1);
+    assert_eq!(
+        actions_c[0].ticket & ((1u64 << NODE_TICKET_SHIFT) - 1),
+        actions_s[0].ticket,
+        "resume actions must match the adoptive node bit for bit"
+    );
+}
+
+/// A scripted drain through the real routed stack: after `rebalance`
+/// moves container 1 off node 0, its post-move lifecycle on node 1
+/// must leave exactly the span tree checked in at
+/// `tests/golden/cluster_migration_routed.trace` — indistinguishable
+/// from a natively registered container. Re-bless with
+/// `UPDATE_GOLDEN=1 cargo test --test cluster_router`.
+#[test]
+fn routed_migration_golden_trace() {
+    let dir = temp_dir("migration-golden");
+    let vclock = VirtualClock::new();
+    let mut nodes = Vec::new();
+    for i in 0..2usize {
+        let node_dir = dir.join(format!("n{i}"));
+        std::fs::create_dir_all(&node_dir).unwrap();
+        nodes.push(
+            NodeServer::serve(
+                format!("n{i}"),
+                fifo_single_backend(),
+                vclock.handle(),
+                node_dir.clone(),
+                &node_dir.join("node.sock"),
+            )
+            .unwrap(),
+        );
+    }
+    let sockets: Vec<(String, PathBuf)> = nodes
+        .iter()
+        .map(|n| (n.name().to_string(), n.socket_path().to_path_buf()))
+        .collect();
+    let router = Arc::new(ClusterRouter::attach(
+        sockets,
+        WireCodec::Json,
+        RouterConfig::default(),
+        RealClock::handle(),
+    ));
+
+    vclock.advance_to(ms(1));
+    assert_eq!(
+        router.register(ContainerId(1), Bytes::mib(400)).unwrap(),
+        "n0"
+    );
+    vclock.advance_to(ms(2));
+    assert_eq!(
+        router.register(ContainerId(2), Bytes::mib(400)).unwrap(),
+        "n1"
+    );
+    // A live allocation on the node about to drain: the migration closes
+    // it out on the source (router-driven moves carry used = 0).
+    vclock.advance_to(ms(3));
+    assert_eq!(
+        router
+            .alloc_request(ContainerId(1), 101, Bytes::mib(300), ApiKind::Malloc)
+            .unwrap(),
+        AllocDecision::Granted
+    );
+    router
+        .alloc_done(ContainerId(1), 101, 0xA1, Bytes::mib(300))
+        .unwrap();
+
+    vclock.advance_to(ms(4));
+    let records = router.rebalance("n0").unwrap();
+    assert_eq!(records.len(), 1, "{records:?}");
+    assert_eq!(records[0].status, "completed");
+    assert_eq!(records[0].to, "n1");
+
+    // The migrated container's full post-move lifecycle, all on node 1.
+    vclock.advance_to(ms(5));
+    assert_eq!(
+        router
+            .alloc_request(ContainerId(1), 102, Bytes::mib(300), ApiKind::Malloc)
+            .unwrap(),
+        AllocDecision::Granted
+    );
+    router
+        .alloc_done(ContainerId(1), 102, 0xB1, Bytes::mib(300))
+        .unwrap();
+    vclock.advance_to(ms(6));
+    assert_eq!(
+        router.free(ContainerId(1), 102, 0xB1).unwrap(),
+        Bytes::mib(300)
+    );
+    vclock.advance_to(ms(7));
+    router.process_exit(ContainerId(1), 102).unwrap();
+    vclock.advance_to(ms(8));
+    router.container_close(ContainerId(1)).unwrap();
+    vclock.advance_to(ms(9));
+    router.container_close(ContainerId(2)).unwrap();
+
+    let got = render_canonical(&nodes[1].service().obs().ring.snapshot());
+    for n in nodes {
+        n.shutdown();
+    }
+    // Both the native container and the migrant appear on the adoptive
+    // node; the migrant's pre-move allocation must not follow it.
+    assert!(got.contains("cnt-0001"), "adoptive node trace:\n{got}");
+    assert!(got.contains("cnt-0002"), "adoptive node trace:\n{got}");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/cluster_migration_routed.trace"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden missing; bless with UPDATE_GOLDEN=1 cargo test --test cluster_router");
+    assert_eq!(got, want, "migration trace drifted from golden");
 }
 
 // ---------------------------------------------------------------------

@@ -493,3 +493,117 @@ fn hostile_frames_against_router_disturb_no_one() {
     server.shutdown();
     node.shutdown();
 }
+
+/// Deterministic hostile-connection fuzzer against a *served cluster
+/// router*: a wave of connections each spraying pseudo-random bytes in
+/// one of several framings (raw garbage, binary-framed garbage,
+/// newline-terminated garbage, truncated real frames). None may panic
+/// or wedge the server; a well-behaved client gets full routed service
+/// after every wave. The wave count defaults to a PR-sized 32 and is
+/// raised by the nightly deep tier via `CONVGPU_FUZZ_CONNS` (fixed
+/// seed; a larger budget walks further down the same stream).
+#[test]
+fn fuzzed_connections_never_wedge_the_router() {
+    use convgpu::middleware::router::{ClusterRouter, NodeServer, RouterConfig};
+    use convgpu::scheduler::backend::TopologyBackend;
+    use std::io::{Read, Write};
+
+    let conns: u64 = std::env::var("CONVGPU_FUZZ_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+
+    let dir = std::env::temp_dir().join(format!("convgpu-itest-proto-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let node = NodeServer::serve(
+        "n0",
+        TopologyBackend::Single(Scheduler::new(
+            SchedulerConfig::with_capacity(Bytes::mib(2048)),
+            PolicyKind::Fifo.build(0),
+        )),
+        RealClock::handle(),
+        dir.clone(),
+        &dir.join("node.sock"),
+    )
+    .unwrap();
+    let router = Arc::new(ClusterRouter::attach(
+        vec![("n0".into(), node.socket_path().to_path_buf())],
+        WireCodec::Binary,
+        RouterConfig::default(),
+        RealClock::handle(),
+    ));
+    let router_sock = dir.join("router.sock");
+    let server = router.serve_on(&router_sock).unwrap();
+
+    let mut rng = DetRng::seed_from_u64(0xF0_22_F0_22);
+    for i in 0..conns {
+        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let len = rng.index(96);
+        let mut payload = Vec::with_capacity(len);
+        for _ in 0..len {
+            payload.push(rng.next_u64() as u8);
+        }
+        let buf = match rng.next_below(4) {
+            0 => payload, // raw garbage, no framing at all
+            1 => {
+                // Binary-framed garbage with an honest length header.
+                let mut frame = vec![MAGIC];
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend(payload);
+                frame
+            }
+            2 => {
+                // Newline-terminated garbage for the JSON line codec.
+                payload.retain(|&b| b != b'\n');
+                payload.push(b'\n');
+                payload
+            }
+            _ => {
+                // A real frame truncated at a random byte.
+                let full = encode_frame(&Envelope {
+                    id: i,
+                    body: Request::QueryCluster,
+                });
+                let cut = 1 + rng.index(full.len() - 1);
+                full[..cut].to_vec()
+            }
+        };
+        let _ = s.write_all(&buf);
+        if rng.next_below(2) == 0 {
+            // Half the waves also wait for the server-side close, so a
+            // wedged reader thread would show up as a hang here.
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let mut rest = Vec::new();
+            let _ = s.read_to_end(&mut rest);
+        }
+        // Every 8th wave, prove the router still serves real clients.
+        if i % 8 == 7 {
+            let client =
+                SchedulerClient::connect_with_codec(&router_sock, WireCodec::Binary, None).unwrap();
+            client.ping().unwrap();
+        }
+    }
+
+    // Full routed service after the storm, and clean node invariants.
+    let client =
+        SchedulerClient::connect_with_codec(&router_sock, WireCodec::Binary, None).unwrap();
+    let container = ContainerId(7007);
+    client.register(container, Bytes::mib(256)).unwrap();
+    assert_eq!(
+        client
+            .request_alloc(container, 1, Bytes::mib(64), ApiKind::Malloc)
+            .unwrap(),
+        AllocDecision::Granted
+    );
+    client
+        .alloc_done(container, 1, 0xF0, Bytes::mib(64))
+        .unwrap();
+    assert_eq!(client.free(container, 1, 0xF0).unwrap(), Bytes::mib(64));
+    client.container_close(container).unwrap();
+    let (_, nodes) = client.query_cluster().unwrap();
+    assert_eq!(nodes[0].containers, 0);
+
+    server.shutdown();
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
