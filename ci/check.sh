@@ -11,7 +11,7 @@
 #                   (e.g. on loaded machines)
 #   ARTIFACT_DIR=d  keep artifacts (chrome trace, BENCH_3.json,
 #                   BENCH_4.json, BENCH_7.json, BENCH_8.json,
-#                   lint-findings.txt) under d
+#                   BENCH_9.json, lint-findings.txt) under d
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,6 +68,18 @@ step "cluster battery (router acceptance + node-death fault injection)"
 cargo test --offline -q --test cluster_router
 cargo test --offline -q --test failure_injection cluster_faults
 cargo test --offline -q --test failure_injection migration_faults
+
+step "transport matrix (same batteries over TCP loopback)"
+# Every socket the wire tests bind is transport-parameterized
+# (CONVGPU_TRANSPORT=tcp swaps unix:/path for tcp:127.0.0.1:0): the
+# protocol round-trip + hostile-client battery and the full cluster
+# battery rerun over real TCP connections, asserting byte-identical
+# canonical traces and ticket bit-equality against the same goldens the
+# UNIX runs above used.
+CONVGPU_TRANSPORT=tcp cargo test --offline -q --test protocol_roundtrip
+CONVGPU_TRANSPORT=tcp cargo test --offline -q --test cluster_router
+CONVGPU_TRANSPORT=tcp cargo test --offline -q --test failure_injection cluster_faults
+CONVGPU_TRANSPORT=tcp cargo test --offline -q --test failure_injection migration_faults
 
 step "bounded model check (single-GPU + multi-GPU + cluster universes)"
 # Phase 3 of the binary exhaustively checks the 2-device x 3-container
@@ -129,6 +141,20 @@ else
     --migration --out="$ARTIFACT_DIR/BENCH_8.json" "${quick_flag[@]}"
 fi
 
+step "transport compare campaign (unix vs tcp loadgen -> BENCH_9.json)"
+if [[ "${SKIP_PERF:-0}" == "1" ]]; then
+  echo "skipped (SKIP_PERF=1)"
+else
+  # The same storm over a UNIX socket and TCP loopback back to back; the
+  # artifact's transport_tcp_vs_unix_ratio keeps the TCP backend honest
+  # relative to the UNIX path (gated by the perf-trend step below).
+  # Always standard scale, even under QUICK=1: the smoke storm is too
+  # short to amortize TCP connection setup and the ratio collapses into
+  # noise, while the full campaign costs only a couple of seconds.
+  cargo run --offline -q --release -p convgpu-bench --bin loadgen -- \
+    --transport-compare --out="$ARTIFACT_DIR/BENCH_9.json"
+fi
+
 step "perf trend (all campaigns vs ci/perf_baseline.json)"
 if [[ "${SKIP_PERF:-0}" == "1" ]]; then
   echo "skipped (SKIP_PERF=1)"
@@ -139,7 +165,8 @@ else
   cargo run --offline -q --release -p convgpu-bench --bin perf_trend -- \
     --baseline=ci/perf_baseline.json \
     "$ARTIFACT_DIR/BENCH_3.json" "$ARTIFACT_DIR/BENCH_4.json" \
-    "$ARTIFACT_DIR/BENCH_7.json" "$ARTIFACT_DIR/BENCH_8.json"
+    "$ARTIFACT_DIR/BENCH_7.json" "$ARTIFACT_DIR/BENCH_8.json" \
+    "$ARTIFACT_DIR/BENCH_9.json"
 fi
 
 if [[ "$keep_artifacts" == "1" ]]; then

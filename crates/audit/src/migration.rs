@@ -19,7 +19,8 @@
 //! 3. **budget conservation across the hand-off** — the `used` bytes a
 //!    completed migration carries equal the bytes the driver knows the
 //!    container had committed on the source (nothing lost, nothing
-//!    invented);
+//!    invented), and the adoptive node's own container record opens with
+//!    exactly that carried budget marked used;
 //! 4. **§III-E deadlock-freedom mid-migration** — no reachable state,
 //!    including every state between and after migrations, stalls any
 //!    device;
@@ -376,9 +377,27 @@ fn apply(
                         )));
                     }
                     match m.to {
-                        Some(_) => {
+                        Some(to) => {
                             // Re-homed: device addresses died with the
-                            // source, the budget travelled.
+                            // source, the budget travelled. Conservation
+                            // must hold in the adoptive node's *books*
+                            // too, not just in the record: the adopted
+                            // container shows exactly the carried `used`
+                            // before any post-drain grant lands.
+                            let gpus = &n.sched.node(to).gpus;
+                            let adopted_used = gpus
+                                .home_of(m.container)
+                                .map(|d| gpus.device(d))
+                                .and_then(|s| s.container(m.container))
+                                .map(|r| r.used);
+                            if adopted_used != Some(m.used) {
+                                return Err(Failure::SchedError(format!(
+                                    "C{} adopted on node {to} with used={adopted_used:?}, \
+                                     but the migration record carried {}",
+                                    c + 1,
+                                    m.used
+                                )));
+                            }
                             n.driver.cs[c].live.clear();
                             n.driver.cs[c].migrated = true;
                         }

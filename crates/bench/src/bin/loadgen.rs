@@ -5,8 +5,9 @@
 //!     [--sharded] [--devices=N] \
 //!     [--cluster] [--nodes=N] [--codec=json|binary] \
 //!     [--migration] [--kill-node-at=N] \
+//!     [--transport-compare] \
 //!     [--containers=N] [--workers=K] [--rounds=R] [--quick] \
-//!     [--transport=inproc|socket-json|socket-binary] \
+//!     [--transport=inproc|socket-json|socket-binary|tcp-json|tcp-binary] \
 //!     [--out=BENCH_3.json] [--baseline=ci/perf_baseline.json]
 //! ```
 //!
@@ -18,7 +19,10 @@
 //! `--migration`, the kill-node fault campaign — one node's server is
 //! shut down `--kill-node-at` containers into the storm and the router
 //! must migrate its containers to the survivor — writing the
-//! `BENCH_8.json` schema with steady/recovery latency percentiles),
+//! `BENCH_8.json` schema with steady/recovery latency percentiles; or,
+//! with `--transport-compare`, the same storm over a UNIX socket and a
+//! TCP loopback socket back to back, writing the `BENCH_9.json` schema
+//! whose `transport_tcp_vs_unix_ratio` the perf-trend step gates),
 //! prints a summary table, writes the machine-readable report to
 //! `--out`, and — when `--baseline` is given — exits non-zero if the
 //! aggregate throughput regressed more than the allowed envelope
@@ -30,9 +34,10 @@
 
 use convgpu_bench::loadgen::{
     check_baseline, check_migration_baseline, check_sharded_baseline, render_cluster_json,
-    render_json, render_migration_json, render_sharded_json, run_cluster, run_loadgen,
-    run_migration, run_sharded, BaselineVerdict, ClusterLoadConfig, LoadgenConfig,
-    MigrationLoadConfig, ShardedConfig, Transport,
+    render_json, render_migration_json, render_sharded_json, render_transport_json, run_cluster,
+    run_loadgen, run_migration, run_sharded, run_transport_compare, BaselineVerdict,
+    ClusterLoadConfig, LoadgenConfig, MigrationLoadConfig, ShardedConfig, Transport,
+    TransportCompareConfig,
 };
 use convgpu_bench::report::format_table;
 use convgpu_ipc::binary::WireCodec;
@@ -44,11 +49,72 @@ fn usage() -> ExitCode {
         "usage: loadgen [--sharded] [--devices=N]\n\
          \x20              [--cluster] [--nodes=N] [--codec=json|binary]\n\
          \x20              [--migration] [--kill-node-at=N]\n\
+         \x20              [--transport-compare]\n\
          \x20              [--containers=N] [--workers=K] [--rounds=R] [--quick]\n\
-         \x20              [--transport=inproc|socket-json|socket-binary]\n\
+         \x20              [--transport=inproc|socket-json|socket-binary|tcp-json|tcp-binary]\n\
          \x20              [--out=FILE] [--baseline=FILE]"
     );
     ExitCode::from(2)
+}
+
+/// Report one transport-compare campaign (UNIX vs TCP loopback).
+/// Artifact-only here; the ratio is gated by the unified perf-trend
+/// step against its `transport_tcp_vs_unix_ratio` baseline.
+fn run_transport_campaign(cfg: &TransportCompareConfig, out: Option<PathBuf>) -> ExitCode {
+    println!(
+        "loadgen (transport): {} containers x {} workers, {} rounds, policy {}, codec {}, \
+         unix vs tcp-loopback",
+        cfg.base.containers,
+        cfg.base.workers,
+        cfg.base.rounds,
+        cfg.policy.label(),
+        cfg.codec.label()
+    );
+    let report = run_transport_compare(cfg);
+
+    let table = format_table(
+        &[
+            "transport".into(),
+            "decisions".into(),
+            "suspensions".into(),
+            "decisions/s".into(),
+            "p50 ms".into(),
+            "p95 ms".into(),
+            "p99 ms".into(),
+        ],
+        &[("unix", &report.unix), ("tcp", &report.tcp)]
+            .iter()
+            .map(|(scheme, r)| {
+                vec![
+                    (*scheme).into(),
+                    r.decisions.to_string(),
+                    r.suspensions.to_string(),
+                    format!("{:.0}", r.decisions_per_sec),
+                    format!("{:.4}", r.quantile_ms(0.50)),
+                    format!("{:.4}", r.quantile_ms(0.95)),
+                    format!("{:.4}", r.quantile_ms(0.99)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!(
+        "PERF loadgen transport_tcp_vs_unix_ratio={:.4} unix={:.0} tcp={:.0} codec={}",
+        report.tcp_vs_unix_ratio(),
+        report.unix_decisions_per_sec(),
+        report.tcp_decisions_per_sec(),
+        cfg.codec.label()
+    );
+
+    if let Some(path) = out {
+        let text = render_transport_json(&report);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Report one routed cluster campaign (artifact-only, never gated).
@@ -306,6 +372,7 @@ fn main() -> ExitCode {
     let mut sharded = false;
     let mut cluster = false;
     let mut migration = false;
+    let mut transport_compare = false;
     let mut kill_at: Option<u32> = None;
     let mut devices: u32 = ShardedConfig::standard().devices;
     let mut nodes: u32 = ClusterLoadConfig::standard().nodes;
@@ -331,6 +398,8 @@ fn main() -> ExitCode {
             cluster = true;
         } else if a == "--migration" {
             migration = true;
+        } else if a == "--transport-compare" {
+            transport_compare = true;
         } else if let Some(v) = a.strip_prefix("--kill-node-at=") {
             match v.parse() {
                 Ok(n) => kill_at = Some(n),
@@ -381,6 +450,8 @@ fn main() -> ExitCode {
                 "inproc" => Transport::InProc,
                 "socket-json" => Transport::Socket(WireCodec::Json),
                 "socket-binary" => Transport::Socket(WireCodec::Binary),
+                "tcp-json" => Transport::Tcp(WireCodec::Json),
+                "tcp-binary" => Transport::Tcp(WireCodec::Binary),
                 _ => return usage(),
             };
         } else if let Some(v) = a.strip_prefix("--out=") {
@@ -428,6 +499,30 @@ fn main() -> ExitCode {
     if kill_at.is_some() {
         // --kill-node-at only makes sense for the migration campaign.
         return usage();
+    }
+
+    if transport_compare {
+        if sharded || cluster || baseline.is_some() {
+            // One campaign per invocation; the compare report is gated
+            // by the unified perf-trend step, not `--baseline`.
+            return usage();
+        }
+        let template = if quick {
+            TransportCompareConfig::smoke()
+        } else {
+            TransportCompareConfig::standard()
+        };
+        let tcfg = TransportCompareConfig {
+            base: LoadgenConfig {
+                containers: containers_flag.unwrap_or(template.base.containers),
+                workers: workers_flag.unwrap_or(template.base.workers),
+                rounds: rounds_flag.unwrap_or(template.base.rounds),
+                ..template.base
+            },
+            codec,
+            ..template
+        };
+        return run_transport_campaign(&tcfg, out);
     }
 
     if cluster {

@@ -39,6 +39,7 @@ use convgpu_ipc::client::SchedulerClient;
 use convgpu_ipc::endpoint::SchedulerEndpoint;
 use convgpu_ipc::message::{AllocDecision, ApiKind};
 use convgpu_ipc::server::SocketServer;
+use convgpu_ipc::transport::EndpointAddr;
 use convgpu_obs::metrics::Histogram;
 use convgpu_scheduler::backend::TopologyBackend;
 use convgpu_scheduler::cluster::SwarmStrategy;
@@ -64,6 +65,10 @@ pub enum Transport {
     InProc,
     /// Through a real UNIX socket speaking `codec`.
     Socket(WireCodec),
+    /// Through a TCP loopback socket speaking `codec` — the multi-host
+    /// transport, measured against the UNIX path by the `BENCH_9.json`
+    /// compare campaign.
+    Tcp(WireCodec),
 }
 
 impl Transport {
@@ -73,6 +78,8 @@ impl Transport {
             Transport::InProc => "inproc",
             Transport::Socket(WireCodec::Json) => "socket-json",
             Transport::Socket(WireCodec::Binary) => "socket-binary",
+            Transport::Tcp(WireCodec::Json) => "tcp-json",
+            Transport::Tcp(WireCodec::Binary) => "tcp-binary",
         }
     }
 }
@@ -254,16 +261,18 @@ fn bind_server(
     dir: &Path,
     service: &Arc<SchedulerService>,
 ) -> Option<SocketServer> {
-    match cfg.transport {
-        Transport::InProc => None,
-        Transport::Socket(_) => Some(
-            SocketServer::bind(
-                &dir.join("sched.sock"),
-                Arc::new(ServiceHandler::new(Arc::clone(service))),
-            )
-            .expect("bind loadgen socket"),
-        ),
-    }
+    let endpoint = match cfg.transport {
+        Transport::InProc => return None,
+        Transport::Socket(_) => EndpointAddr::from(dir.join("sched.sock")),
+        Transport::Tcp(_) => EndpointAddr::Tcp("127.0.0.1:0".to_string()),
+    };
+    Some(
+        SocketServer::bind_endpoint(
+            &endpoint,
+            Arc::new(ServiceHandler::new(Arc::clone(service))),
+        )
+        .expect("bind loadgen socket"),
+    )
 }
 
 /// Run one policy's campaign.
@@ -336,12 +345,12 @@ fn storm(
     let factory = || -> Arc<dyn SchedulerEndpoint> {
         match cfg.transport {
             Transport::InProc => Arc::new(InProcEndpoint::new(Arc::clone(service))),
-            Transport::Socket(codec) => Arc::new(
-                SchedulerClient::connect_with_codec(
+            Transport::Socket(codec) | Transport::Tcp(codec) => Arc::new(
+                SchedulerClient::connect_endpoint_with_codec(
                     server
                         .as_ref()
                         .expect("socket transport has a server")
-                        .path(),
+                        .endpoint(),
                     codec,
                     None,
                 )
@@ -557,6 +566,154 @@ pub fn render_json(report: &LoadgenReport) -> String {
     out.push_str(&format!(
         "  \"total_decisions_per_sec\": {:.1}\n}}\n",
         report.total_decisions_per_sec()
+    ));
+    out
+}
+
+/// The transport-compare campaign behind `BENCH_9.json`: the same
+/// single-policy storm driven twice over a real socket — once UNIX,
+/// once TCP loopback — in the same wire codec. The headline number is
+/// the TCP/UNIX throughput ratio: the perf-trend gate pins it at a
+/// `1.0` baseline, so TCP admission throughput must stay within the
+/// retention floor (80%) of the UNIX path.
+#[derive(Clone, Copy, Debug)]
+pub struct TransportCompareConfig {
+    /// Campaign parameters shared by both legs (`transport` is
+    /// overridden per leg and ignored here).
+    pub base: LoadgenConfig,
+    /// The one policy both legs run under.
+    pub policy: PolicyKind,
+    /// Wire codec both legs speak.
+    pub codec: WireCodec,
+}
+
+impl TransportCompareConfig {
+    /// The standard compare: the full storm, hot-path binary codec.
+    pub fn standard() -> Self {
+        TransportCompareConfig {
+            base: LoadgenConfig::standard(),
+            policy: PolicyKind::BestFit,
+            codec: WireCodec::Binary,
+        }
+    }
+
+    /// A seconds-scale smoke compare for CI and debug builds.
+    pub fn smoke() -> Self {
+        TransportCompareConfig {
+            base: LoadgenConfig::smoke(),
+            ..TransportCompareConfig::standard()
+        }
+    }
+}
+
+/// Measured outcome of the two-leg transport compare.
+#[derive(Clone, Debug)]
+pub struct TransportCompareReport {
+    /// The configuration both legs ran under.
+    pub config: TransportCompareConfig,
+    /// The UNIX-socket leg.
+    pub unix: PolicyRun,
+    /// The TCP-loopback leg.
+    pub tcp: PolicyRun,
+}
+
+impl TransportCompareReport {
+    /// UNIX-socket admission throughput (decisions/s).
+    pub fn unix_decisions_per_sec(&self) -> f64 {
+        self.unix.decisions_per_sec
+    }
+
+    /// TCP-loopback admission throughput (decisions/s).
+    pub fn tcp_decisions_per_sec(&self) -> f64 {
+        self.tcp.decisions_per_sec
+    }
+
+    /// TCP throughput as a fraction of UNIX throughput — the gated
+    /// number (baseline `1.0`, floor [`BASELINE_RETENTION`]).
+    pub fn tcp_vs_unix_ratio(&self) -> f64 {
+        if self.unix.decisions_per_sec > 0.0 {
+            self.tcp.decisions_per_sec / self.unix.decisions_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run the two-leg transport compare: UNIX first, then TCP loopback,
+/// identical storm parameters.
+pub fn run_transport_compare(cfg: &TransportCompareConfig) -> TransportCompareReport {
+    let unix = run_policy(
+        &LoadgenConfig {
+            transport: Transport::Socket(cfg.codec),
+            ..cfg.base
+        },
+        cfg.policy,
+    );
+    let tcp = run_policy(
+        &LoadgenConfig {
+            transport: Transport::Tcp(cfg.codec),
+            ..cfg.base
+        },
+        cfg.policy,
+    );
+    TransportCompareReport {
+        config: *cfg,
+        unix,
+        tcp,
+    }
+}
+
+/// Render the machine-readable transport compare (the `BENCH_9.json`
+/// schema).
+pub fn render_transport_json(report: &TransportCompareReport) -> String {
+    let cfg = &report.config;
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"loadgen-transport\",\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"containers\": {}, \"workers\": {}, \"rounds\": {}, \
+         \"chunk_mib\": {}, \"limit_mib\": {}, \"capacity_mib\": {}, \
+         \"policy\": \"{}\", \"codec\": \"{}\"}},\n",
+        cfg.base.containers,
+        cfg.base.workers,
+        cfg.base.rounds,
+        cfg.base.chunk.as_mib(),
+        cfg.base.limit.as_mib(),
+        cfg.base.capacity.as_mib(),
+        cfg.policy.label(),
+        cfg.codec.label(),
+    ));
+    out.push_str("  \"transports\": [\n");
+    let legs = [("unix", &report.unix), ("tcp", &report.tcp)];
+    for (i, (scheme, run)) in legs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"decisions\": {}, \"granted\": {}, \
+             \"rejected\": {}, \"suspensions\": {}, \"elapsed_secs\": {:.6}, \
+             \"decisions_per_sec\": {:.1}, \"admission_ms\": \
+             {{\"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"mean\": {:.6}, \"count\": {}}}}}{}\n",
+            scheme,
+            run.decisions,
+            run.granted,
+            run.rejected,
+            run.suspensions,
+            run.elapsed_secs,
+            run.decisions_per_sec,
+            run.quantile_ms(0.50),
+            run.quantile_ms(0.95),
+            run.quantile_ms(0.99),
+            run.mean_ms(),
+            run.admission.count(),
+            if i + 1 == legs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"transport_unix_decisions_per_sec\": {:.1},\n\
+         \x20 \"transport_tcp_decisions_per_sec\": {:.1},\n\
+         \x20 \"transport_tcp_vs_unix_ratio\": {:.4}\n}}\n",
+        report.unix_decisions_per_sec(),
+        report.tcp_decisions_per_sec(),
+        report.tcp_vs_unix_ratio(),
     ));
     out
 }
@@ -1806,6 +1963,58 @@ mod tests {
             let run = run_policy(&cfg, PolicyKind::BestFit);
             assert_eq!(run.decisions, 24 * 5, "{codec:?}");
             assert_eq!(run.rejected, 24, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn tcp_transport_matches_inproc_counts() {
+        for codec in [WireCodec::Json, WireCodec::Binary] {
+            let cfg = LoadgenConfig {
+                containers: 24,
+                workers: 3,
+                ..tiny(Transport::Tcp(codec))
+            };
+            let run = run_policy(&cfg, PolicyKind::BestFit);
+            assert_eq!(run.decisions, 24 * 5, "{codec:?}");
+            assert_eq!(run.rejected, 24, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn transport_compare_json_is_valid_and_complete() {
+        let cfg = TransportCompareConfig {
+            base: LoadgenConfig {
+                containers: 24,
+                workers: 3,
+                ..tiny(Transport::InProc)
+            },
+            ..TransportCompareConfig::standard()
+        };
+        let report = run_transport_compare(&cfg);
+        assert_eq!(report.unix.decisions, 24 * 5);
+        assert_eq!(report.tcp.decisions, 24 * 5);
+        assert!(report.tcp_vs_unix_ratio() > 0.0);
+        let text = render_transport_json(&report);
+        let json = convgpu_ipc::json::parse(&text).expect("BENCH_9.json must parse");
+        let legs = match json.get("transports") {
+            Some(convgpu_ipc::json::Json::Arr(a)) => a,
+            other => panic!("transports must be an array, got {other:?}"),
+        };
+        assert_eq!(legs.len(), 2);
+        for leg in legs {
+            assert!(leg.get("decisions_per_sec").is_some());
+            let adm = leg.get("admission_ms").expect("admission_ms object");
+            for q in ["p50", "p95", "p99", "mean", "count"] {
+                assert!(adm.get(q).is_some(), "missing {q}");
+            }
+        }
+        // The perf-trend gate reads exactly these keys.
+        for key in [
+            "transport_unix_decisions_per_sec",
+            "transport_tcp_decisions_per_sec",
+            "transport_tcp_vs_unix_ratio",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
         }
     }
 

@@ -61,16 +61,26 @@ impl TrendReport {
     /// GitHub-flavoured markdown delta table (used both on stdout and in
     /// the Actions step summary).
     pub fn markdown(&self) -> String {
+        // Throughput metrics are large integers; ratio-style metrics
+        // (e.g. `transport_tcp_vs_unix_ratio`) live below 10 and would
+        // all round to the same value without decimals.
+        fn value(v: f64) -> String {
+            if v.abs() < 10.0 {
+                format!("{v:.4}")
+            } else {
+                format!("{v:.0}")
+            }
+        }
         let mut out = String::new();
         out.push_str("| metric | artifact | baseline | measured | ratio | status |\n");
         out.push_str("|--------|----------|----------|----------|-------|--------|\n");
         for r in &self.rows {
             out.push_str(&format!(
-                "| {} | {} | {:.0} | {:.0} | {:.2}x | {} |\n",
+                "| {} | {} | {} | {} | {:.2}x | {} |\n",
                 r.metric,
                 r.artifact,
-                r.baseline,
-                r.measured,
+                value(r.baseline),
+                value(r.measured),
                 r.ratio,
                 if r.pass { "pass" } else { "REGRESSED" },
             ));

@@ -42,7 +42,12 @@
 //! (register + pre-committed budget in one step). The placement budget
 //! the router committed for the container (limit + context hint)
 //! travels with it, so committed memory is conserved and never exceeds
-//! any node's capacity. Requests racing a migration park on a condvar
+//! any node's capacity. Live `used` bytes travel too: the router keeps
+//! a wire-observed per-pid ledger (`alloc_done` adds, `free` subtracts
+//! what the node reported, `process_exit` drops the pid), and a
+//! migration off a *dead* node replays that checkpoint into the
+//! adoption — a live source's acknowledged close genuinely freed the
+//! memory, so only the dead-source path carries a non-zero `used`. Requests racing a migration park on a condvar
 //! (bounded by the router deadline) and then route to the new home.
 //! When no survivor can adopt a container the migration is recorded as
 //! `rejected` and the container ends closed — a clean rejection, never
@@ -69,6 +74,7 @@ use convgpu_ipc::message::{
     AllocDecision, ApiKind, ClusterNodeStatus, MigrationRecord, Request, Response, TopologyDevice,
 };
 use convgpu_ipc::server::{ConnId, Reply, RequestHandler, SocketServer};
+use convgpu_ipc::transport::EndpointAddr;
 use convgpu_obs::prometheus;
 use convgpu_scheduler::backend::TopologyBackend;
 use convgpu_scheduler::cluster::SwarmStrategy;
@@ -96,7 +102,8 @@ pub struct NodeServer {
 }
 
 impl NodeServer {
-    /// Build the node's service around `backend` and serve it on `socket`.
+    /// Build the node's service around `backend` and serve it on the
+    /// UNIX socket at `socket`.
     pub fn serve(
         name: impl Into<String>,
         backend: TopologyBackend,
@@ -104,9 +111,25 @@ impl NodeServer {
         base_dir: PathBuf,
         socket: &Path,
     ) -> std::io::Result<NodeServer> {
+        NodeServer::serve_endpoint(name, backend, clock, base_dir, &EndpointAddr::from(socket))
+    }
+
+    /// Like [`NodeServer::serve`], on any transport endpoint
+    /// (`unix:/path` or `tcp:host:port` — the multi-host deployment
+    /// shape; a TCP port of 0 is resolved by the kernel and read back
+    /// via [`NodeServer::endpoint`]).
+    pub fn serve_endpoint(
+        name: impl Into<String>,
+        backend: TopologyBackend,
+        clock: ClockHandle,
+        base_dir: PathBuf,
+        endpoint: &EndpointAddr,
+    ) -> std::io::Result<NodeServer> {
         let service = Arc::new(SchedulerService::new_with_backend(backend, clock, base_dir));
-        let server =
-            SocketServer::bind(socket, Arc::new(ServiceHandler::new(Arc::clone(&service))))?;
+        let server = SocketServer::bind_endpoint(
+            endpoint,
+            Arc::new(ServiceHandler::new(Arc::clone(&service))),
+        )?;
         Ok(NodeServer {
             name: name.into(),
             service,
@@ -124,9 +147,14 @@ impl NodeServer {
         &self.service
     }
 
-    /// Socket the node answers on.
+    /// Socket path the node answers on (UNIX transport only).
     pub fn socket_path(&self) -> &Path {
         self.server.path()
+    }
+
+    /// Endpoint the node answers on, over any transport.
+    pub fn endpoint(&self) -> &EndpointAddr {
+        self.server.endpoint()
     }
 
     /// Stop accepting and close every connection.
@@ -216,7 +244,7 @@ struct NodeState {
 
 struct RouterNode {
     name: String,
-    socket: PathBuf,
+    endpoint: EndpointAddr,
     state: Mutex<NodeState>,
     retries: AtomicU64,
     timeouts: AtomicU64,
@@ -224,10 +252,10 @@ struct RouterNode {
 }
 
 impl RouterNode {
-    fn new(name: String, socket: PathBuf) -> Self {
+    fn new(name: String, endpoint: EndpointAddr) -> Self {
         RouterNode {
             name,
-            socket,
+            endpoint,
             state: Mutex::new(NodeState {
                 client: None,
                 consecutive_failures: 0,
@@ -255,6 +283,23 @@ struct Home {
     /// migration replays onto the adopting node. Zero for recovered
     /// homes (the limit is node-side state the router never saw).
     limit: Bytes,
+    /// Live bytes per pid as the router observed them on the wire
+    /// (`alloc_done` adds, `free` subtracts what the node reported
+    /// freed, `process_exit` drops the pid). This is the `used`
+    /// checkpoint a migration off a *dead* node replays onto the
+    /// adopter — the node-side books are unreachable then, and the
+    /// wire-observed ledger is exactly what the container's processes
+    /// believe they still hold. Empty for recovered homes.
+    used_by_pid: BTreeMap<u64, Bytes>,
+}
+
+impl Home {
+    /// Total wire-observed live bytes across the container's pids.
+    fn used(&self) -> Bytes {
+        self.used_by_pid
+            .values()
+            .fold(Bytes::ZERO, |acc, &b| acc + b)
+    }
 }
 
 /// The cluster's front door: places containers across per-node socket
@@ -288,14 +333,17 @@ fn ctx_hint(limit: Bytes) -> Bytes {
 }
 
 impl ClusterRouter {
-    /// Front the given `(name, socket)` nodes. Connections are opened
-    /// lazily on first use (and reopened after failures), so the router
-    /// may start before — or restart after — its nodes.
+    /// Front the given `(name, endpoint)` nodes — endpoints are anything
+    /// convertible to an [`EndpointAddr`] (a `PathBuf` keeps meaning a
+    /// UNIX socket; parse a `tcp:host:port` URI for multi-host nodes).
+    /// Connections are opened lazily on first use (and reopened after
+    /// failures), so the router may start before — or restart after —
+    /// its nodes.
     ///
     /// # Panics
     /// With an empty node list (a cluster has at least one node).
-    pub fn attach(
-        nodes: Vec<(String, PathBuf)>,
+    pub fn attach<E: Into<EndpointAddr>>(
+        nodes: Vec<(String, E)>,
         codec: WireCodec,
         cfg: RouterConfig,
         clock: ClockHandle,
@@ -309,7 +357,7 @@ impl ClusterRouter {
             codec,
             nodes: nodes
                 .into_iter()
-                .map(|(name, socket)| RouterNode::new(name, socket))
+                .map(|(name, endpoint)| RouterNode::new(name, endpoint.into()))
                 .collect(),
             homes: Mutex::new(BTreeMap::new()),
             rng: Mutex::new(DetRng::seed_from_u64(seed)),
@@ -394,8 +442,8 @@ impl ClusterRouter {
         if let Some(c) = &state.client {
             return Ok(Arc::clone(c));
         }
-        let client = Arc::new(SchedulerClient::connect_with_codec(
-            &node.socket,
+        let client = Arc::new(SchedulerClient::connect_endpoint_with_codec(
+            &node.endpoint,
             self.codec,
             None,
         )?);
@@ -630,6 +678,7 @@ impl ClusterRouter {
                             node: pick,
                             hint,
                             limit,
+                            used_by_pid: BTreeMap::new(),
                         },
                     );
                     self.obs.registry.inc(
@@ -677,6 +726,7 @@ impl ClusterRouter {
                         node: idx,
                         hint: Bytes::ZERO,
                         limit: Bytes::ZERO,
+                        used_by_pid: BTreeMap::new(),
                     },
                 );
                 return Some(idx);
@@ -707,26 +757,46 @@ impl ClusterRouter {
     }
 
     /// Move one container off node `from`: checkpoint its committed
-    /// budget from the router's own accounting, close it on the source
-    /// (cancelling parked requests exactly like the paper's kill path;
-    /// on a dead node this degrades to an ack), then replay it onto a
-    /// surviving node via the `migrate` wire message, which the target
-    /// daemon services as an adoption. Candidates that refuse (full,
-    /// unreachable) are excluded and the next is tried; with no
-    /// survivor left the record says `rejected` and the container ends
-    /// closed. Always returns the record it appended to the log.
+    /// budget — and its wire-observed live `used` bytes — from the
+    /// router's own accounting, close it on the source (cancelling
+    /// parked requests exactly like the paper's kill path; on a dead
+    /// node this degrades to an ack), then replay it onto a surviving
+    /// node via the `migrate` wire message, which the target daemon
+    /// services as an adoption. A *live* source really frees the
+    /// container's memory when it acknowledges the close, so the
+    /// adoption starts from `used = 0`; only when the close degraded
+    /// (the source is dead or unreachable) does the checkpointed `used`
+    /// travel with the container, so the adopter pre-commits exactly
+    /// the budget the container's processes still believe they hold.
+    /// Candidates that refuse (full, unreachable) are excluded and the
+    /// next is tried; with no survivor left the record says `rejected`
+    /// and the container ends closed. Always returns the record it
+    /// appended to the log.
     fn migrate_from(&self, container: ContainerId, from: usize) -> MigrationRecord {
         let t0 = self.clock.now();
         let from_name = self.nodes[from].name.clone();
+        // Flag first, checkpoint second: a client call that loses the
+        // race parks in `await_migration` before it touches the home
+        // map, so a home that is already gone when read under the flag
+        // is gone for good — the container closed, nothing to adopt.
+        // (Checkpointing before flagging would let a concurrent close
+        // remove the home mid-drain and still adopt the closed
+        // container onto a survivor, orphaning an open copy there.)
+        self.migrating.lock().insert(container);
         let checkpoint = {
             let homes = self.homes.lock();
             homes
                 .get(&container)
                 .filter(|h| h.node == from)
-                .map(|h| (h.limit, h.hint))
+                .map(|h| (h.limit, h.hint, h.used()))
         };
-        let Some((limit, hint)) = checkpoint else {
+        let Some((limit, hint, live_used)) = checkpoint else {
             // Raced away (closed or already re-homed): nothing to move.
+            {
+                let mut migrating = self.migrating.lock();
+                migrating.remove(&container);
+                self.migration_done.notify_all();
+            }
             return MigrationRecord {
                 container,
                 from: from_name,
@@ -736,8 +806,18 @@ impl ClusterRouter {
                 status: "rejected".to_string(),
             };
         };
-        self.migrating.lock().insert(container);
-        let _ = self.forward_or_degrade(from, Request::ContainerClose { container }, Response::Ok);
+        let close = self.forward_or_degrade_flagged(
+            from,
+            Request::ContainerClose { container },
+            Response::Ok,
+        );
+        // Capped at the placement hint (limit + context): the ledger can
+        // never legitimately exceed what the adopter will reserve, and
+        // the cap keeps a drifted ledger from poisoning the adoption.
+        let used = match close {
+            Ok((_, degraded)) if degraded => live_used.min(hint),
+            _ => Bytes::ZERO,
+        };
         self.homes.lock().remove(&container);
         self.ensure_caps();
         let mut excluded = vec![false; self.nodes.len()];
@@ -748,16 +828,26 @@ impl ClusterRouter {
                 container,
                 node: String::new(),
                 limit,
-                used: Bytes::ZERO,
+                used,
             };
             match self.call_gated(pick, req) {
                 Ok(Response::Ok) => {
+                    // Per-pid attribution does not survive the wire (the
+                    // adopter pre-commits one total), so the carried
+                    // budget is re-seeded under the synthetic pid 0 —
+                    // matching the node's books, where the adopted bytes
+                    // have no addresses and no real pid can free them.
+                    let mut used_by_pid = BTreeMap::new();
+                    if used > Bytes::ZERO {
+                        used_by_pid.insert(0, used);
+                    }
                     self.homes.lock().insert(
                         container,
                         Home {
                             node: pick,
                             hint,
                             limit,
+                            used_by_pid,
                         },
                     );
                     to = Some(pick);
@@ -793,7 +883,7 @@ impl ClusterRouter {
             from: from_name,
             to: to.map(|i| self.nodes[i].name.clone()).unwrap_or_default(),
             limit,
-            used: Bytes::ZERO,
+            used,
             status: status.to_string(),
         };
         self.migrations.lock().push(record.clone());
@@ -916,18 +1006,35 @@ impl ClusterRouter {
         req: Request,
         fallback: Response,
     ) -> IpcResult<Response> {
+        self.forward_or_degrade_flagged(idx, req, fallback)
+            .map(|(resp, _degraded)| resp)
+    }
+
+    /// [`ClusterRouter::forward_or_degrade`], also reporting *whether*
+    /// the answer is the degraded fallback rather than the node's own —
+    /// the migration path needs to know if a `container_close` really
+    /// freed memory on a live source or merely papered over a dead one.
+    fn forward_or_degrade_flagged(
+        &self,
+        idx: usize,
+        req: Request,
+        fallback: Response,
+    ) -> IpcResult<(Response, bool)> {
         if self.nodes[idx].health() == NodeHealth::Down {
-            return Ok(fallback);
+            return Ok((fallback, true));
         }
         match self.call_gated(idx, req) {
-            Ok(resp) => Ok(resp),
+            Ok(resp) => Ok((resp, false)),
             Err(e @ (IpcError::Scheduler(_) | IpcError::UnexpectedResponse(_))) => Err(e),
-            Err(_transport) => Ok(fallback),
+            Err(_transport) => Ok((fallback, true)),
         }
     }
 
     /// `free` for a routed container; degrades to zero bytes (the
     /// protocol's unknown-address answer) when the home node is gone.
+    /// What the node reports freed is subtracted from the router's
+    /// wire-observed `used` ledger — a degraded zero subtracts nothing,
+    /// which is the point: a dead node freed nothing.
     pub fn free(&self, container: ContainerId, pid: u64, addr: u64) -> IpcResult<Bytes> {
         let idx = self.route_idx(container)?;
         match self.forward_or_degrade(
@@ -939,12 +1046,24 @@ impl ClusterRouter {
             },
             Response::Freed { size: Bytes::ZERO },
         )? {
-            Response::Freed { size } => Ok(size),
+            Response::Freed { size } => {
+                if size > Bytes::ZERO {
+                    if let Some(home) = self.homes.lock().get_mut(&container) {
+                        if let Some(used) = home.used_by_pid.get_mut(&pid) {
+                            *used = used.saturating_sub(size);
+                        }
+                    }
+                }
+                Ok(size)
+            }
             other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 
-    /// `alloc_done` for a routed container (degrades to an ack).
+    /// `alloc_done` for a routed container (degrades to an ack). The
+    /// confirmed bytes are added to the router's wire-observed `used`
+    /// ledger for the container — the checkpoint a dead-node migration
+    /// carries to the adopter.
     pub fn alloc_done(
         &self,
         container: ContainerId,
@@ -963,7 +1082,13 @@ impl ClusterRouter {
             },
             Response::Ok,
         )? {
-            Response::Ok => Ok(()),
+            Response::Ok => {
+                if let Some(home) = self.homes.lock().get_mut(&container) {
+                    let used = home.used_by_pid.entry(pid).or_insert(Bytes::ZERO);
+                    *used += size;
+                }
+                Ok(())
+            }
             other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
@@ -1001,26 +1126,54 @@ impl ClusterRouter {
         }
     }
 
-    /// `process_exit` for a routed container (degrades to an ack).
+    /// `process_exit` for a routed container (degrades to an ack). The
+    /// pid's entry leaves the `used` ledger: the client declared the
+    /// process dead, so its memory is reclaimable wherever the
+    /// container lands next.
     pub fn process_exit(&self, container: ContainerId, pid: u64) -> IpcResult<()> {
         let idx = self.route_idx(container)?;
         match self.forward_or_degrade(idx, Request::ProcessExit { container, pid }, Response::Ok)? {
-            Response::Ok => Ok(()),
+            Response::Ok => {
+                if let Some(home) = self.homes.lock().get_mut(&container) {
+                    home.used_by_pid.remove(&pid);
+                }
+                Ok(())
+            }
             other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
 
     /// `container_close` for a routed container: the router's home entry
-    /// is dropped regardless, and the node-side close degrades to an ack
-    /// when the node is gone.
+    /// is dropped, and the node-side close degrades to an ack when the
+    /// node is gone. A close that races a drain re-forwards to the
+    /// adoptive node: without that, the close can land on the dying
+    /// source while the hand-off adopts the container onto a survivor,
+    /// leaving an open copy there that nobody will ever close.
     pub fn container_close(&self, container: ContainerId) -> IpcResult<()> {
-        let idx = self.route_idx(container)?;
-        let result =
-            self.forward_or_degrade(idx, Request::ContainerClose { container }, Response::Ok);
-        self.homes.lock().remove(&container);
-        match result? {
-            Response::Ok => Ok(()),
-            other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+        let mut idx = self.route_idx(container)?;
+        loop {
+            let result =
+                self.forward_or_degrade(idx, Request::ContainerClose { container }, Response::Ok);
+            // Re-check the home after the forward: a concurrent drain
+            // may have re-homed the container while the close was in
+            // flight on the old node.
+            self.await_migration(container);
+            {
+                let mut homes = self.homes.lock();
+                match homes.get(&container).map(|h| h.node) {
+                    Some(new_idx) if new_idx != idx => {
+                        idx = new_idx;
+                        continue;
+                    }
+                    _ => {
+                        homes.remove(&container);
+                    }
+                }
+            }
+            return match result? {
+                Response::Ok => Ok(()),
+                other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
+            };
         }
     }
 
@@ -1065,10 +1218,20 @@ impl ClusterRouter {
         }
     }
 
-    /// Serve this router on its own socket, fronting the whole cluster
-    /// behind the ordinary wire protocol.
+    /// Serve this router on its own UNIX socket, fronting the whole
+    /// cluster behind the ordinary wire protocol.
     pub fn serve_on(self: &Arc<Self>, path: &Path) -> std::io::Result<SocketServer> {
-        SocketServer::bind(path, Arc::new(RouterHandler::new(Arc::clone(self))))
+        self.serve_on_endpoint(&EndpointAddr::from(path))
+    }
+
+    /// Serve this router on any transport endpoint (`unix:/path` or
+    /// `tcp:host:port`), fronting the whole cluster behind the ordinary
+    /// wire protocol.
+    pub fn serve_on_endpoint(
+        self: &Arc<Self>,
+        endpoint: &EndpointAddr,
+    ) -> std::io::Result<SocketServer> {
+        SocketServer::bind_endpoint(endpoint, Arc::new(RouterHandler::new(Arc::clone(self))))
     }
 }
 
@@ -1463,6 +1626,83 @@ mod tests {
     }
 
     #[test]
+    fn dead_node_migration_carries_wire_observed_used() {
+        let clock = RealClock::handle();
+        let n0 = node("deadused", "n0", 1024, clock.clone());
+        let n1 = node("deadused", "n1", 1024, clock.clone());
+        let vclock: ClockHandle = VirtualClock::new().handle();
+        let cfg = RouterConfig {
+            max_retries: 1,
+            down_after: 2,
+            ..RouterConfig::default()
+        };
+        let router = router_over(&[&n0, &n1], cfg, vclock);
+        // Registers onto n0. One pid allocates twice, frees once: the
+        // router's wire-observed ledger ends at 300 − 200 = 100 MiB.
+        router.register(ContainerId(1), Bytes::mib(400)).unwrap();
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 7, Bytes::mib(200), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        ClusterRouter::alloc_done(&router, ContainerId(1), 7, 0xA0, Bytes::mib(200)).unwrap();
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 7, Bytes::mib(100), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        ClusterRouter::alloc_done(&router, ContainerId(1), 7, 0xA1, Bytes::mib(100)).unwrap();
+        assert_eq!(
+            ClusterRouter::free(&router, ContainerId(1), 7, 0xA0).unwrap(),
+            Bytes::mib(200)
+        );
+        // Kill the source; the failure threshold downs it and drains the
+        // container onto the survivor.
+        n0.shutdown();
+        for _ in 0..2 {
+            assert_eq!(
+                router
+                    .alloc_request(ContainerId(1), 7, Bytes::mib(10), ApiKind::Malloc)
+                    .unwrap(),
+                AllocDecision::Rejected
+            );
+        }
+        assert_eq!(router.node_health("n0"), Some(NodeHealth::Down));
+        let records = router.migration_records();
+        assert_eq!(records.len(), 1, "{records:?}");
+        assert_eq!(records[0].status, "completed");
+        assert_eq!(records[0].to, "n1");
+        assert_eq!(records[0].limit, Bytes::mib(400));
+        // The dead source could not free anything: the checkpointed live
+        // budget travelled with the container.
+        assert_eq!(records[0].used, Bytes::mib(100));
+        // Behavioral proof the adopter pre-committed it: with used = 100
+        // and the 66 MiB context for a fresh pid, a 350 MiB allocation
+        // exceeds the 400 + 66 requirement (rejected outright), while a
+        // 250 MiB one fits and is granted. Had the adoption started from
+        // used = 0, the 350 MiB request would have been granted.
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 9, Bytes::mib(350), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Rejected
+        );
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 9, Bytes::mib(250), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        n1.service().with_scheduler(|s| {
+            s.check_invariants().unwrap();
+        });
+        ClusterRouter::container_close(&router, ContainerId(1)).unwrap();
+        n1.shutdown();
+    }
+
+    #[test]
     fn register_fails_over_to_the_next_capable_node() {
         let clock = RealClock::handle();
         let n0 = node("regfail", "n0", 1024, clock.clone());
@@ -1515,14 +1755,26 @@ mod tests {
         let n0 = node("rebalance", "n0", 1024, clock.clone());
         let n1 = node("rebalance", "n1", 1024, clock.clone());
         let router = router_over(&[&n0, &n1], RouterConfig::default(), clock);
-        router.register(ContainerId(1), Bytes::mib(100)).unwrap(); // → n0
-        router.register(ContainerId(2), Bytes::mib(100)).unwrap(); // → n1
+        // C1 lands on n0, C2 on n1; put live bytes on the source before
+        // the drain…
+        router.register(ContainerId(1), Bytes::mib(100)).unwrap();
+        router.register(ContainerId(2), Bytes::mib(100)).unwrap();
+        assert_eq!(
+            router
+                .alloc_request(ContainerId(1), 9, Bytes::mib(20), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        ClusterRouter::alloc_done(&router, ContainerId(1), 9, 0xA9, Bytes::mib(20)).unwrap();
         let records = router.rebalance("n0").unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].container, ContainerId(1));
         assert_eq!(records[0].status, "completed");
         assert_eq!(records[0].to, "n1");
         assert_eq!(records[0].limit, Bytes::mib(100));
+        // …but the source was *alive*: its acknowledged close really
+        // freed them, so the adoption starts from zero.
+        assert_eq!(records[0].used, Bytes::ZERO);
         // Both homes now on n1, none left on n0, and the moved
         // container completes a full lifecycle on its new home.
         let (_, status) = router.cluster_status();

@@ -10,6 +10,7 @@
 use crate::binary::{encode_with, read_auto, WireCodec};
 use crate::endpoint::{IpcError, IpcResult, SchedulerEndpoint};
 use crate::message::{AllocDecision, ApiKind, ClusterNodeStatus, Envelope, Request, Response};
+use crate::transport::{Conn, EndpointAddr};
 use convgpu_obs::Registry;
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
@@ -18,7 +19,6 @@ use convgpu_sim_core::time::SimDuration;
 use convgpu_sim_core::units::Bytes;
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
-use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
@@ -36,7 +36,7 @@ pub struct ClientObs {
 }
 
 struct ClientShared {
-    writer: Mutex<UnixStream>,
+    writer: Mutex<Conn>,
     pending: Mutex<Option<HashMap<u64, SyncSender<Response>>>>,
     next_id: AtomicU64,
     codec: WireCodec,
@@ -62,7 +62,7 @@ impl Drop for SchedulerClient {
 }
 
 impl SchedulerClient {
-    /// Connect to the scheduler socket at `path`.
+    /// Connect to the scheduler's UNIX socket at `path`.
     pub fn connect(path: &Path) -> IpcResult<SchedulerClient> {
         SchedulerClient::connect_with_obs(path, None)
     }
@@ -73,16 +73,35 @@ impl SchedulerClient {
         SchedulerClient::connect_with_codec(path, WireCodec::Json, obs)
     }
 
-    /// Connect speaking `codec`. No handshake: the server detects the
-    /// codec from each frame's first byte and answers in kind, so a
-    /// binary client and a JSON CLI can share one socket. JSON remains
-    /// the default everywhere ([`SchedulerClient::connect`]).
+    /// Connect to a UNIX socket speaking `codec`; see
+    /// [`SchedulerClient::connect_endpoint_with_codec`].
     pub fn connect_with_codec(
         path: &Path,
         codec: WireCodec,
         obs: Option<ClientObs>,
     ) -> IpcResult<SchedulerClient> {
-        let stream = UnixStream::connect(path)?;
+        SchedulerClient::connect_endpoint_with_codec(&EndpointAddr::from(path), codec, obs)
+    }
+
+    /// Connect to any transport endpoint (`unix:/path` or
+    /// `tcp:host:port`), speaking JSON.
+    pub fn connect_endpoint(addr: &EndpointAddr) -> IpcResult<SchedulerClient> {
+        SchedulerClient::connect_endpoint_with_codec(addr, WireCodec::Json, None)
+    }
+
+    /// Connect to any transport endpoint speaking `codec`. No *codec*
+    /// handshake: the server detects the codec from each frame's first
+    /// byte and answers in kind, so a binary client and a JSON CLI can
+    /// share one socket. JSON remains the default everywhere
+    /// ([`SchedulerClient::connect`]). A TCP endpoint does complete the
+    /// *transport* hello (version check) inside [`Conn::connect`] before
+    /// this returns.
+    pub fn connect_endpoint_with_codec(
+        addr: &EndpointAddr,
+        codec: WireCodec,
+        obs: Option<ClientObs>,
+    ) -> IpcResult<SchedulerClient> {
+        let stream = Conn::connect(addr)?;
         let reader_stream = stream.try_clone()?;
         let shared = Arc::new(ClientShared {
             writer: Mutex::new(stream),
@@ -295,7 +314,7 @@ impl SchedulerClient {
     }
 }
 
-fn reader_loop(stream: UnixStream, shared: Arc<ClientShared>) {
+fn reader_loop(stream: Conn, shared: Arc<ClientShared>) {
     let mut reader = BufReader::new(stream);
     // Errors and EOF both end the connection. Replies arrive in whatever
     // codec each request used; auto-detect keeps the loop codec-agnostic.
@@ -718,5 +737,58 @@ mod tests {
         let path = temp_sock("missing");
         let _ = std::fs::remove_file(&path);
         assert!(SchedulerClient::connect(&path).is_err());
+    }
+
+    #[test]
+    fn tcp_endpoint_runs_the_full_endpoint_in_both_codecs() {
+        let server = SocketServer::bind_endpoint(
+            &EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+            Arc::new(MiniScheduler),
+        )
+        .unwrap();
+        let endpoint = server.endpoint().clone();
+        for codec in [WireCodec::Json, WireCodec::Binary] {
+            let client =
+                SchedulerClient::connect_endpoint_with_codec(&endpoint, codec, None).unwrap();
+            client.ping().unwrap();
+            client.register(ContainerId(1), Bytes::mib(512)).unwrap();
+            assert_eq!(
+                client
+                    .request_alloc(ContainerId(1), 1, Bytes::mib(10), ApiKind::Malloc)
+                    .unwrap(),
+                AllocDecision::Granted
+            );
+            // A deferred (suspended) reply crosses TCP too.
+            assert_eq!(
+                client
+                    .request_alloc(ContainerId(1), 1, Bytes::mib(500), ApiKind::Malloc)
+                    .unwrap(),
+                AllocDecision::Granted
+            );
+            assert_eq!(
+                client.mem_info(ContainerId(1), 1).unwrap(),
+                (Bytes::mib(10), Bytes::mib(512))
+            );
+            client.container_close(ContainerId(1)).unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_server_shutdown_unblocks_suspended_tcp_clients() {
+        let server = SocketServer::bind_endpoint(
+            &EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+            Arc::new(MiniScheduler),
+        )
+        .unwrap();
+        let client = Arc::new(SchedulerClient::connect_endpoint(server.endpoint()).unwrap());
+        let c = Arc::clone(&client);
+        let waiter = std::thread::spawn(move || {
+            c.request_alloc(ContainerId(1), 1, Bytes::mib(500), ApiKind::Malloc)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        server.shutdown();
+        let res = waiter.join().unwrap();
+        assert!(res.is_err(), "waiter must error, not hang: {res:?}");
     }
 }

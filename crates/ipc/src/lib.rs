@@ -27,6 +27,12 @@
 //! * [`server`] — [`server::SocketServer`]: accept loop + per-connection
 //!   reader threads + deferred [`server::Reply`] handles, which is what
 //!   lets the scheduler park a reply and release the thread.
+//! * [`transport`] — the pluggable transport layer:
+//!   [`transport::EndpointAddr`] (`unix:/path`, `tcp:host:port`),
+//!   [`transport::Conn`] and [`transport::TransportListener`]. UNIX
+//!   sockets stay the default (byte-identical to the paper's stack); TCP
+//!   adds real multi-host clusters behind the same wire protocol, with a
+//!   version-checked hello frame and half-open-peer timeouts.
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +43,7 @@ pub mod endpoint;
 pub mod json;
 pub mod message;
 pub mod server;
+pub mod transport;
 
 pub use binary::{read_auto, read_binary, write_binary, WireCodec, MAX_FRAME_BYTES};
 pub use client::{ClientObs, SchedulerClient};
@@ -44,3 +51,4 @@ pub use codec::{read_json, write_json, MAX_LINE_BYTES};
 pub use endpoint::{IpcError, IpcResult, SchedulerEndpoint};
 pub use message::{AllocDecision, ApiKind, ClusterNodeStatus, Envelope, Request, Response};
 pub use server::{Reply, RequestHandler, ServerObs, SocketServer};
+pub use transport::{Conn, EndpointAddr, TransportListener};

@@ -9,14 +9,14 @@
 
 use crate::binary::{encode_with, read_auto, WireCodec};
 use crate::message::{Envelope, Request, Response};
+use crate::transport::{self, Conn, EndpointAddr, TransportListener};
 use convgpu_obs::Registry;
 use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::sync::Mutex;
 use convgpu_sim_core::time::SimTime;
 use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -62,7 +62,7 @@ struct ReplyObs {
 /// arrived in, so even a reply fired minutes later (a suspension ending)
 /// answers in the format the client is reading.
 pub struct Reply {
-    writer: Arc<Mutex<UnixStream>>,
+    writer: Arc<Mutex<Conn>>,
     id: u64,
     codec: WireCodec,
     obs: Option<ReplyObs>,
@@ -105,7 +105,7 @@ impl Reply {
         // One entry per destination connection: (stream, coalesced
         // frames, per-reply observability records).
         type Group = (
-            Arc<Mutex<UnixStream>>,
+            Arc<Mutex<Conn>>,
             Vec<u8>,
             Vec<(Option<ReplyObs>, Option<SimTime>)>,
         );
@@ -168,22 +168,24 @@ impl Reply {
 struct ServerShared {
     handler: Arc<dyn RequestHandler>,
     shutting_down: AtomicBool,
-    conns: Mutex<HashMap<ConnId, Arc<Mutex<UnixStream>>>>,
+    conns: Mutex<HashMap<ConnId, Arc<Mutex<Conn>>>>,
     next_conn: AtomicU64,
     obs: Option<ServerObs>,
 }
 
-/// A UNIX-socket JSON-protocol server.
+/// A socket server for the wire protocol, over any
+/// [`crate::transport`] endpoint (UNIX socket by default, TCP for
+/// multi-host clusters).
 pub struct SocketServer {
-    path: PathBuf,
+    endpoint: EndpointAddr,
     shared: Arc<ServerShared>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 impl SocketServer {
-    /// Bind `path` (removing a stale socket file first) and start
-    /// accepting. Each connection gets its own reader thread; requests are
-    /// dispatched to `handler`.
+    /// Bind a UNIX socket at `path` (removing a stale socket file first)
+    /// and start accepting. Each connection gets its own reader thread;
+    /// requests are dispatched to `handler`.
     pub fn bind(path: &Path, handler: Arc<dyn RequestHandler>) -> io::Result<SocketServer> {
         SocketServer::bind_with_obs(path, handler, None)
     }
@@ -196,13 +198,27 @@ impl SocketServer {
         handler: Arc<dyn RequestHandler>,
         obs: Option<ServerObs>,
     ) -> io::Result<SocketServer> {
-        if path.exists() {
-            std::fs::remove_file(path)?;
-        }
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let listener = UnixListener::bind(path)?;
+        SocketServer::bind_endpoint_with_obs(&EndpointAddr::from(path), handler, obs)
+    }
+
+    /// Bind any transport endpoint (`unix:/path` or `tcp:host:port`; a
+    /// TCP port of 0 is resolved by the kernel — read it back with
+    /// [`SocketServer::endpoint`]).
+    pub fn bind_endpoint(
+        addr: &EndpointAddr,
+        handler: Arc<dyn RequestHandler>,
+    ) -> io::Result<SocketServer> {
+        SocketServer::bind_endpoint_with_obs(addr, handler, None)
+    }
+
+    /// Like [`SocketServer::bind_endpoint`], with observability.
+    pub fn bind_endpoint_with_obs(
+        addr: &EndpointAddr,
+        handler: Arc<dyn RequestHandler>,
+        obs: Option<ServerObs>,
+    ) -> io::Result<SocketServer> {
+        let listener = TransportListener::bind(addr)?;
+        let endpoint = listener.local_endpoint();
         let shared = Arc::new(ServerShared {
             handler,
             shutting_down: AtomicBool::new(false),
@@ -216,15 +232,26 @@ impl SocketServer {
             .spawn(move || accept_loop(listener, accept_shared))
             .expect("spawn accept thread");
         Ok(SocketServer {
-            path: path.to_path_buf(),
+            endpoint,
             shared,
             accept_thread: Some(accept_thread),
         })
     }
 
-    /// The socket path this server listens on.
+    /// The UNIX socket path this server listens on.
+    ///
+    /// # Panics
+    /// On a TCP server — use [`SocketServer::endpoint`] there.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.endpoint
+            .unix_path()
+            .expect("SocketServer::path() on a non-unix endpoint; use endpoint()")
+    }
+
+    /// The endpoint this server listens on (with any TCP port 0 already
+    /// resolved to the kernel-assigned port).
+    pub fn endpoint(&self) -> &EndpointAddr {
+        &self.endpoint
     }
 
     /// Stop accepting, close every live connection, and join the accept
@@ -238,14 +265,16 @@ impl SocketServer {
             return;
         }
         // Wake the blocking accept() with a throw-away connection.
-        let _ = UnixStream::connect(&self.path);
+        transport::wake(&self.endpoint);
         for (_, conn) in self.shared.conns.lock().drain() {
             let _ = conn.lock().shutdown(std::net::Shutdown::Both);
         }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let _ = std::fs::remove_file(&self.path);
+        if let Some(path) = self.endpoint.unix_path() {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -255,10 +284,10 @@ impl Drop for SocketServer {
     }
 }
 
-fn accept_loop(listener: UnixListener, shared: Arc<ServerShared>) {
+fn accept_loop(listener: TransportListener, shared: Arc<ServerShared>) {
     loop {
         let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
+            Ok(stream) => stream,
             Err(_) => break,
         };
         if shared.shutting_down.load(Ordering::SeqCst) {
@@ -274,7 +303,17 @@ fn accept_loop(listener: UnixListener, shared: Arc<ServerShared>) {
         let _ = std::thread::Builder::new()
             .name(format!("convgpu-ipc-conn-{conn_id}"))
             .spawn(move || {
-                reader_loop(stream, writer, conn_id, &conn_shared);
+                let mut stream = stream;
+                // The TCP hello runs on the connection's own thread so a
+                // client that never says hello stalls only itself, not
+                // the accept loop. A failed handshake (bad magic/version,
+                // hello timeout) drops the connection without ever
+                // reaching the handler.
+                let greeted = transport::server_handshake(&mut stream, &writer);
+                match greeted {
+                    Ok(()) => reader_loop(stream, writer, conn_id, &conn_shared),
+                    Err(e) => debug_log(&format!("conn {conn_id}: handshake failed: {e}")),
+                }
                 conn_shared.conns.lock().remove(&conn_id);
                 if !conn_shared.shutting_down.load(Ordering::SeqCst) {
                     conn_shared.handler.on_disconnect(conn_id);
@@ -283,12 +322,7 @@ fn accept_loop(listener: UnixListener, shared: Arc<ServerShared>) {
     }
 }
 
-fn reader_loop(
-    stream: UnixStream,
-    writer: Arc<Mutex<UnixStream>>,
-    conn_id: ConnId,
-    shared: &ServerShared,
-) {
+fn reader_loop(stream: Conn, writer: Arc<Mutex<Conn>>, conn_id: ConnId, shared: &ServerShared) {
     let mut reader = BufReader::new(stream);
     // Errors (malformed input) and EOF both end the connection. The codec
     // is detected per frame, and the reply handle carries it so this
@@ -354,11 +388,15 @@ mod tests {
     use convgpu_sim_core::units::Bytes;
     use std::sync::atomic::AtomicUsize;
 
-    fn temp_sock(name: &str) -> PathBuf {
+    fn temp_sock(name: &str) -> std::path::PathBuf {
         let dir =
             std::env::temp_dir().join(format!("convgpu-ipc-test-{}-{}", std::process::id(), name));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("sched.sock")
+    }
+
+    fn dial(path: &Path) -> Conn {
+        Conn::connect(&EndpointAddr::from(path)).unwrap()
     }
 
     /// Echo handler: answers Ping with Pong, AllocRequest with Granted,
@@ -391,7 +429,7 @@ mod tests {
         let server = SocketServer::bind(&path, handler.clone()).unwrap();
 
         {
-            let mut stream = UnixStream::connect(&path).unwrap();
+            let mut stream = dial(&path);
             write_json(
                 &mut stream,
                 &Envelope {
@@ -446,7 +484,7 @@ mod tests {
             disconnects: AtomicUsize::new(0),
         });
         let server = SocketServer::bind(&path, handler).unwrap();
-        let mut stream = UnixStream::connect(&path).unwrap();
+        let mut stream = dial(&path);
         let mut r = BufReader::new(stream.try_clone().unwrap());
         // A binary request gets a binary reply…
         write_binary(
@@ -481,12 +519,12 @@ mod tests {
         });
         let server = SocketServer::bind(&path, handler.clone()).unwrap();
 
-        let mut bad = UnixStream::connect(&path).unwrap();
+        let mut bad = dial(&path);
         bad.write_all(b"this is not json\n").unwrap();
         bad.flush().unwrap();
 
         // A well-behaved client still works.
-        let mut good = UnixStream::connect(&path).unwrap();
+        let mut good = dial(&path);
         write_json(
             &mut good,
             &Envelope {
@@ -509,7 +547,95 @@ mod tests {
             disconnects: AtomicUsize::new(0),
         });
         let server = SocketServer::bind(&path, handler).unwrap();
-        assert!(UnixStream::connect(&path).is_ok());
+        assert!(Conn::connect(&EndpointAddr::from(path.as_path())).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_endpoint_serves_the_same_protocol() {
+        let handler = Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        });
+        let server = SocketServer::bind_endpoint(
+            &EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+            handler.clone(),
+        )
+        .unwrap();
+        let endpoint = server.endpoint().clone();
+        assert_eq!(endpoint.scheme(), "tcp");
+        let mut stream = Conn::connect(&endpoint).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        // Both codecs on one TCP connection, exactly like UNIX.
+        write_binary(
+            &mut stream,
+            &Envelope {
+                id: 1,
+                body: Request::Ping,
+            },
+        )
+        .unwrap();
+        let resp: Envelope<Response> = read_binary(&mut r).unwrap().unwrap();
+        assert_eq!((resp.id, resp.body), (1, Response::Pong));
+        write_json(
+            &mut stream,
+            &Envelope {
+                id: 2,
+                body: Request::Ping,
+            },
+        )
+        .unwrap();
+        let resp: Envelope<Response> = read_json(&mut r).unwrap().unwrap();
+        assert_eq!((resp.id, resp.body), (2, Response::Pong));
+        drop(stream);
+        drop(r);
+        for _ in 0..100 {
+            if handler.disconnects.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(handler.disconnects.load(Ordering::SeqCst), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_client_without_hello_never_reaches_the_handler() {
+        use std::sync::atomic::AtomicBool;
+        struct FailIfCalled {
+            called: Arc<AtomicBool>,
+        }
+        impl RequestHandler for FailIfCalled {
+            fn on_request(&self, _c: ConnId, _r: Request, reply: Reply) {
+                self.called.store(true, Ordering::SeqCst);
+                reply.send(Response::Pong);
+            }
+        }
+        let called = Arc::new(AtomicBool::new(false));
+        let server = SocketServer::bind_endpoint(
+            &EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+            Arc::new(FailIfCalled {
+                called: Arc::clone(&called),
+            }),
+        )
+        .unwrap();
+        let mut raw = Conn::connect_raw(server.endpoint()).unwrap();
+        // A protocol frame instead of the hello: the handshake must
+        // reject it before the request dispatcher ever sees it.
+        write_json(
+            &mut raw,
+            &Envelope {
+                id: 1,
+                body: Request::Ping,
+            },
+        )
+        .unwrap();
+        let mut r = BufReader::new(raw.try_clone().unwrap());
+        let got: Result<Option<Envelope<Response>>, _> = read_json(&mut r);
+        assert!(
+            !matches!(got, Ok(Some(_))),
+            "no reply may cross a failed handshake: {got:?}"
+        );
+        assert!(!called.load(Ordering::SeqCst), "handler must not run");
         server.shutdown();
     }
 }

@@ -3,7 +3,7 @@
 //! A pure-`std` static-analysis library: [`lexer`] turns Rust source
 //! into a token stream (comments become trivia), [`items`] walks it
 //! into function items with `impl` context and `#[cfg(test)]` regions,
-//! and [`rules`] holds the eight analyses. [`run`] loads a workspace
+//! and [`rules`] holds the nine analyses. [`run`] loads a workspace
 //! root and returns every finding after `lint:allow` suppression.
 //!
 //! See `docs/LINT.md` for the rule catalogue and suppression grammar.
@@ -39,11 +39,13 @@ pub enum Rule {
     TicketBits,
     /// Registered metric names match `docs/OBSERVABILITY.md` exactly.
     MetricNames,
+    /// Raw socket construction outside `crates/ipc/src/transport.rs`.
+    RawTransport,
 }
 
 impl Rule {
     /// All rules, in the order they run and report.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::WallClock,
         Rule::HashmapIter,
         Rule::LockUnwrap,
@@ -52,6 +54,7 @@ impl Rule {
         Rule::ProtocolDrift,
         Rule::TicketBits,
         Rule::MetricNames,
+        Rule::RawTransport,
     ];
 
     /// Stable kebab-case identifier.
@@ -65,6 +68,7 @@ impl Rule {
             Rule::ProtocolDrift => "protocol-drift",
             Rule::TicketBits => "ticket-bits",
             Rule::MetricNames => "metric-names",
+            Rule::RawTransport => "raw-transport",
         }
     }
 
@@ -84,6 +88,9 @@ impl Rule {
             Rule::ProtocolDrift => "message enums, binary tags, JSON names, PROTOCOL.md agree",
             Rule::TicketBits => "ticket tags use the canonical bit-48/bit-56 shifts",
             Rule::MetricNames => "registered metric names match docs/OBSERVABILITY.md",
+            Rule::RawTransport => {
+                "no raw Unix/TCP socket construction outside crates/ipc/src/transport.rs"
+            }
         }
     }
 }
@@ -237,6 +244,7 @@ pub fn run_on(ws: &Workspace, rules: &[Rule]) -> Vec<Finding> {
             Rule::ProtocolDrift => rules::protocol_drift::check(ws),
             Rule::TicketBits => rules::ticket_bits::check(ws),
             Rule::MetricNames => rules::metric_names::check(ws),
+            Rule::RawTransport => rules::raw_transport::check(ws),
         });
     }
     out.retain(|f| {

@@ -1,0 +1,53 @@
+//! raw-transport: no raw socket construction outside the transport
+//! layer. `crates/ipc/src/transport.rs` is the single place allowed to
+//! build `UnixStream` / `UnixListener` / `TcpStream` / `TcpListener`;
+//! everything else — production code *and* tests — goes through
+//! `EndpointAddr` / `Conn` / `TransportListener`, so a new transport (or
+//! a transport-wide policy like the hello handshake and half-open
+//! timeouts) lands in exactly one file.
+
+use super::{ident, ident_in, is_punct};
+use crate::{finding, Finding, Rule, Workspace};
+use std::path::Path;
+
+/// The one file allowed to construct OS-level sockets.
+const ALLOWLIST: [&str; 1] = ["crates/ipc/src/transport.rs"];
+
+/// Raw socket types whose constructors are frozen.
+const RAW_TYPES: [&str; 4] = ["UnixStream", "UnixListener", "TcpStream", "TcpListener"];
+
+/// Associated functions that mint a live socket.
+const CONSTRUCTORS: [&str; 4] = ["connect", "connect_timeout", "bind", "pair"];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        if ALLOWLIST.iter().any(|a| f.rel == Path::new(a)) {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        // Tests are deliberately *not* exempt: a hostile-client test that
+        // dials raw sockets silently loses TCP coverage.
+        for i in 0..toks.len() {
+            if ident_in(toks, i, &RAW_TYPES)
+                && is_punct(toks, i + 1, "::")
+                && ident_in(toks, i + 2, &CONSTRUCTORS)
+            {
+                let ty = ident(toks, i).unwrap_or_default().to_string();
+                let ctor = ident(toks, i + 2).unwrap_or_default().to_string();
+                out.push(finding(
+                    &f.rel,
+                    toks[i].line,
+                    Rule::RawTransport,
+                    format!(
+                        "{ty}::{ctor} outside the transport layer; use \
+                         convgpu_ipc::transport (Conn/TransportListener, \
+                         allowlisted only in {})",
+                        ALLOWLIST[0]
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -31,18 +31,21 @@
 //!   With `--devices=N` the storm runs against the multi-GPU service
 //!   instead, sweeping every placement policy (or only `--placement`)
 //!   and writing the `BENCH_4.json` schema.
-//! * `cluster serve-node --socket=PATH [--name=N] [--capacity-mib=M]
+//! * `cluster serve-node --socket=ENDPOINT [--name=N] [--capacity-mib=M]
 //!   [--devices=D] [--policy=P] [--seed=S]` — run one cluster node: a
-//!   full `SchedulerService` on its own UNIX socket, serving until the
+//!   full `SchedulerService` on its own socket, serving until the
 //!   process is killed. One process per node is what makes cluster mode
-//!   genuinely distributed (see `docs/CLUSTER.md`).
-//! * `cluster route --socket=PATH --node=NAME=SOCKET...
+//!   genuinely distributed (see `docs/CLUSTER.md`). Endpoints are
+//!   `unix:/path`, `tcp:host:port`, or a bare path; `tcp:0.0.0.0:7070`
+//!   serves real multi-host clusters, and `tcp:host:0` announces the
+//!   kernel-assigned port on its ready line.
+//! * `cluster route --socket=ENDPOINT --node=NAME=ENDPOINT...
 //!   [--strategy=spread|binpack|random] [--codec=json|binary]
-//!   [--deadline-ms=N] [--retries=N]` — front the named node sockets
+//!   [--deadline-ms=N] [--retries=N]` — front the named node endpoints
 //!   with the fault-tolerant cluster router: Swarm-style placement,
 //!   per-request deadlines, bounded retry with backoff, and node-health
 //!   driven degradation, serving the same wire protocol on `--socket`.
-//! * `cluster rebalance --socket=ROUTER_SOCKET (--node=NAME |
+//! * `cluster rebalance --socket=ROUTER_ENDPOINT (--node=NAME |
 //!   --container=ID) [--codec=json|binary]` — ask a running router to
 //!   drain every container homed on `--node` (or re-home just
 //!   `--container`) onto the surviving nodes, then print one line per
@@ -75,13 +78,17 @@ fn usage() -> ExitCode {
          loadgen [--containers=N] [--workers=K] [--quick]\n\
                  [--codec=inproc|json|binary] [--out=FILE]\n\
                  [--devices=N] [--placement=rr|most-free|best-fit]\n\
-         cluster serve-node --socket=PATH [--name=N] [--capacity-mib=M]\n\
+         cluster serve-node --socket=ENDPOINT [--name=N] [--capacity-mib=M]\n\
                  [--devices=D] [--policy=P] [--seed=S]\n\
-         cluster route --socket=PATH --node=NAME=SOCKET [--node=...]\n\
+         cluster route --socket=ENDPOINT --node=NAME=ENDPOINT [--node=...]\n\
                  [--strategy=spread|binpack|random] [--codec=json|binary]\n\
                  [--deadline-ms=N] [--retries=N]\n\
-         cluster rebalance --socket=ROUTER_SOCKET (--node=NAME | --container=ID)\n\
-                 [--codec=json|binary]"
+         cluster rebalance --socket=ROUTER_ENDPOINT (--node=NAME | --container=ID)\n\
+                 [--codec=json|binary]\n\
+         \n\
+         ENDPOINT is `unix:/path`, `tcp:host:port`, or a bare path\n\
+         (a UNIX socket). `tcp:host:0` binds a kernel-assigned port,\n\
+         announced on the ready line."
     );
     ExitCode::from(2)
 }
@@ -629,15 +636,29 @@ fn serve_forever(ready: String) -> ExitCode {
     }
 }
 
+/// Parse a `--socket=` value as an endpoint URI (`unix:/path`,
+/// `tcp:host:port`, or a bare filesystem path for compatibility with
+/// pre-transport invocations and scripts).
+fn parse_endpoint(v: &str) -> Option<convgpu::ipc::transport::EndpointAddr> {
+    match convgpu::ipc::transport::EndpointAddr::parse(v) {
+        Ok(e) => Some(e),
+        Err(e) => {
+            eprintln!("convgpu-cli: bad endpoint {v:?}: {e}");
+            None
+        }
+    }
+}
+
 fn cmd_cluster_serve_node(args: &[String]) -> ExitCode {
+    use convgpu::ipc::transport::EndpointAddr;
     use convgpu::middleware::router::NodeServer;
     use convgpu::scheduler::backend::TopologyBackend;
     use convgpu::scheduler::core::{Scheduler, SchedulerConfig};
     use convgpu::scheduler::multi_gpu::{MultiGpuScheduler, PlacementPolicy};
     use convgpu::sim::clock::RealClock;
-    use std::path::{Path, PathBuf};
+    use std::path::Path;
 
-    let mut socket: Option<PathBuf> = None;
+    let mut socket: Option<EndpointAddr> = None;
     let mut name = "node".to_string();
     let mut capacity = Bytes::gib(5);
     let mut devices: u32 = 1;
@@ -645,7 +666,10 @@ fn cmd_cluster_serve_node(args: &[String]) -> ExitCode {
     let mut seed: u64 = 0xC0DE;
     for a in args {
         if let Some(v) = a.strip_prefix("--socket=") {
-            socket = Some(PathBuf::from(v));
+            socket = match parse_endpoint(v) {
+                Some(e) => Some(e),
+                None => return usage(),
+            };
         } else if let Some(v) = a.strip_prefix("--name=") {
             name = v.to_string();
         } else if let Some(v) = a.strip_prefix("--capacity-mib=") {
@@ -673,8 +697,10 @@ fn cmd_cluster_serve_node(args: &[String]) -> ExitCode {
         }
     }
     let Some(socket) = socket else { return usage() };
+    // TCP endpoints have no filesystem home; state goes under temp.
     let base_dir = socket
-        .parent()
+        .unix_path()
+        .and_then(Path::parent)
         .map(Path::to_path_buf)
         .unwrap_or_else(std::env::temp_dir);
     if let Err(e) = std::fs::create_dir_all(&base_dir) {
@@ -693,7 +719,7 @@ fn cmd_cluster_serve_node(args: &[String]) -> ExitCode {
             seed,
         ))
     };
-    let node = match NodeServer::serve(
+    let node = match NodeServer::serve_endpoint(
         name.clone(),
         backend,
         RealClock::handle(),
@@ -702,41 +728,46 @@ fn cmd_cluster_serve_node(args: &[String]) -> ExitCode {
     ) {
         Ok(n) => n,
         Err(e) => {
-            eprintln!(
-                "convgpu-cli: cannot serve node on {}: {e}",
-                socket.display()
-            );
+            eprintln!("convgpu-cli: cannot serve node on {socket}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // The resolved endpoint matters for `tcp:host:0`: the ready line is
+    // how a parent process learns the kernel-assigned port.
     let ready = format!(
         "cluster node {name} ready: {devices} device(s) x {} on {}",
         capacity,
-        node.socket_path().display()
+        node.endpoint()
     );
     serve_forever(ready)
 }
 
 fn cmd_cluster_route(args: &[String]) -> ExitCode {
     use convgpu::ipc::binary::WireCodec;
+    use convgpu::ipc::transport::EndpointAddr;
     use convgpu::middleware::router::{ClusterRouter, RouterConfig};
     use convgpu::scheduler::cluster::SwarmStrategy;
     use convgpu::sim::clock::RealClock;
-    use std::path::PathBuf;
     use std::sync::Arc;
 
-    let mut socket: Option<PathBuf> = None;
-    let mut nodes: Vec<(String, PathBuf)> = Vec::new();
+    let mut socket: Option<EndpointAddr> = None;
+    let mut nodes: Vec<(String, EndpointAddr)> = Vec::new();
     let mut cfg = RouterConfig::default();
     let mut codec = WireCodec::Json;
     for a in args {
         if let Some(v) = a.strip_prefix("--socket=") {
-            socket = Some(PathBuf::from(v));
+            socket = match parse_endpoint(v) {
+                Some(e) => Some(e),
+                None => return usage(),
+            };
         } else if let Some(v) = a.strip_prefix("--node=") {
-            let Some((name, path)) = v.split_once('=') else {
+            let Some((name, endpoint)) = v.split_once('=') else {
                 return usage();
             };
-            nodes.push((name.to_string(), PathBuf::from(path)));
+            let Some(endpoint) = parse_endpoint(endpoint) else {
+                return usage();
+            };
+            nodes.push((name.to_string(), endpoint));
         } else if let Some(v) = a.strip_prefix("--strategy=") {
             match SwarmStrategy::parse(v) {
                 Some(s) => cfg.strategy = s,
@@ -764,10 +795,10 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
     }
     let Some(socket) = socket else { return usage() };
     if nodes.is_empty() {
-        eprintln!("convgpu-cli: cluster route needs at least one --node=NAME=SOCKET");
+        eprintln!("convgpu-cli: cluster route needs at least one --node=NAME=ENDPOINT");
         return usage();
     }
-    if let Some(parent) = socket.parent() {
+    if let Some(parent) = socket.unix_path().and_then(std::path::Path::parent) {
         if let Err(e) = std::fs::create_dir_all(parent) {
             eprintln!("convgpu-cli: cannot create {}: {e}", parent.display());
             return ExitCode::FAILURE;
@@ -784,13 +815,10 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
     // A restarted router re-learns container homes lazily: the first
     // routed call for an unknown container probes the live nodes'
     // `query_home` (see docs/CLUSTER.md), so no warm-up pass is needed.
-    let server = match router.serve_on(&socket) {
+    let server = match router.serve_on_endpoint(&socket) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!(
-                "convgpu-cli: cannot serve router on {}: {e}",
-                socket.display()
-            );
+            eprintln!("convgpu-cli: cannot serve router on {socket}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -800,7 +828,7 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
         node_names.join(", "),
         strategy.label(),
         codec.label(),
-        server.path().display()
+        server.endpoint()
     );
     serve_forever(ready)
 }
@@ -808,16 +836,19 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
 fn cmd_cluster_rebalance(args: &[String]) -> ExitCode {
     use convgpu::ipc::binary::WireCodec;
     use convgpu::ipc::client::SchedulerClient;
+    use convgpu::ipc::transport::EndpointAddr;
     use convgpu::sim::ids::ContainerId;
-    use std::path::PathBuf;
 
-    let mut socket: Option<PathBuf> = None;
+    let mut socket: Option<EndpointAddr> = None;
     let mut node: Option<String> = None;
     let mut container: Option<u64> = None;
     let mut codec = WireCodec::Json;
     for a in args {
         if let Some(v) = a.strip_prefix("--socket=") {
-            socket = Some(PathBuf::from(v));
+            socket = match parse_endpoint(v) {
+                Some(e) => Some(e),
+                None => return usage(),
+            };
         } else if let Some(v) = a.strip_prefix("--node=") {
             node = Some(v.to_string());
         } else if let Some(v) = a.strip_prefix("--container=") {
@@ -840,10 +871,10 @@ fn cmd_cluster_rebalance(args: &[String]) -> ExitCode {
         eprintln!("convgpu-cli: cluster rebalance needs exactly one of --node or --container");
         return usage();
     }
-    let client = match SchedulerClient::connect_with_codec(&socket, codec, None) {
+    let client = match SchedulerClient::connect_endpoint_with_codec(&socket, codec, None) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("convgpu-cli: cannot connect to {}: {e}", socket.display());
+            eprintln!("convgpu-cli: cannot connect to {socket}: {e}");
             return ExitCode::FAILURE;
         }
     };

@@ -32,6 +32,7 @@
 use convgpu::ipc::binary::WireCodec;
 use convgpu::ipc::client::SchedulerClient;
 use convgpu::ipc::message::{AllocDecision, ApiKind, Request, Response};
+use convgpu::ipc::transport::EndpointAddr;
 use convgpu::middleware::router::{ClusterRouter, NodeServer, RouterConfig};
 use convgpu::middleware::NodeHealth;
 use convgpu::obs::render_canonical;
@@ -45,6 +46,7 @@ use convgpu::sim::clock::{RealClock, VirtualClock};
 use convgpu::sim::ids::ContainerId;
 use convgpu::sim::time::{SimDuration, SimTime};
 use convgpu::sim::units::Bytes;
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
@@ -64,6 +66,18 @@ fn temp_dir(tag: &str) -> PathBuf {
     ));
     std::fs::create_dir_all(&dir).unwrap();
     dir
+}
+
+/// The live-socket suites run as a transport matrix:
+/// `CONVGPU_TRANSPORT=tcp` swaps every bound socket for a TCP loopback
+/// listener on a kernel-assigned port; anything else (or unset) keeps
+/// the original UNIX path. The golden traces and ticket assertions are
+/// transport-blind, so both legs check against the same files.
+fn test_endpoint(dir: &Path, name: &str) -> EndpointAddr {
+    match std::env::var("CONVGPU_TRANSPORT").as_deref() {
+        Ok("tcp") => EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+        _ => EndpointAddr::from(dir.join(name)),
+    }
 }
 
 fn fifo_single_backend() -> TopologyBackend {
@@ -232,22 +246,22 @@ fn routed_node0_canonical(tag: &str) -> String {
         let node_dir = dir.join(format!("n{i}"));
         std::fs::create_dir_all(&node_dir).unwrap();
         nodes.push(
-            NodeServer::serve(
+            NodeServer::serve_endpoint(
                 format!("n{i}"),
                 fifo_single_backend(),
                 vclock.handle(),
                 node_dir.clone(),
-                &node_dir.join("node.sock"),
+                &test_endpoint(&node_dir, "node.sock"),
             )
             .unwrap(),
         );
     }
-    let sockets: Vec<(String, PathBuf)> = nodes
+    let endpoints: Vec<(String, EndpointAddr)> = nodes
         .iter()
-        .map(|n| (n.name().to_string(), n.socket_path().to_path_buf()))
+        .map(|n| (n.name().to_string(), n.endpoint().clone()))
         .collect();
     let router = Arc::new(ClusterRouter::attach(
-        sockets,
+        endpoints,
         WireCodec::Json,
         RouterConfig::default(),
         RealClock::handle(),
@@ -296,16 +310,17 @@ fn routed_node0_canonical(tag: &str) -> String {
 fn standalone_node0_canonical(tag: &str) -> String {
     let dir = temp_dir(tag);
     let vclock = VirtualClock::new();
-    let node = NodeServer::serve(
+    let node = NodeServer::serve_endpoint(
         "solo",
         fifo_single_backend(),
         vclock.handle(),
         dir.clone(),
-        &dir.join("node.sock"),
+        &test_endpoint(&dir, "node.sock"),
     )
     .unwrap();
     let client =
-        SchedulerClient::connect_with_codec(node.socket_path(), WireCodec::Json, None).unwrap();
+        SchedulerClient::connect_endpoint_with_codec(node.endpoint(), WireCodec::Json, None)
+            .unwrap();
     let mut probed = false;
     for (t, node_idx, op) in script() {
         if node_idx != 0 {
@@ -609,22 +624,22 @@ fn routed_migration_golden_trace() {
         let node_dir = dir.join(format!("n{i}"));
         std::fs::create_dir_all(&node_dir).unwrap();
         nodes.push(
-            NodeServer::serve(
+            NodeServer::serve_endpoint(
                 format!("n{i}"),
                 fifo_single_backend(),
                 vclock.handle(),
                 node_dir.clone(),
-                &node_dir.join("node.sock"),
+                &test_endpoint(&node_dir, "node.sock"),
             )
             .unwrap(),
         );
     }
-    let sockets: Vec<(String, PathBuf)> = nodes
+    let endpoints: Vec<(String, EndpointAddr)> = nodes
         .iter()
-        .map(|n| (n.name().to_string(), n.socket_path().to_path_buf()))
+        .map(|n| (n.name().to_string(), n.endpoint().clone()))
         .collect();
     let router = Arc::new(ClusterRouter::attach(
-        sockets,
+        endpoints,
         WireCodec::Json,
         RouterConfig::default(),
         RealClock::handle(),
@@ -640,8 +655,11 @@ fn routed_migration_golden_trace() {
         router.register(ContainerId(2), Bytes::mib(400)).unwrap(),
         "n1"
     );
-    // A live allocation on the node about to drain: the migration closes
-    // it out on the source (router-driven moves carry used = 0).
+    // A live allocation on the node about to drain. The source is alive,
+    // so its acknowledged close really frees these bytes before the
+    // move — the adoption starts from used = 0 (only a *degraded* close,
+    // where the source is dead and nothing was freed, carries the
+    // wire-observed used budget over).
     vclock.advance_to(ms(3));
     assert_eq!(
         router
@@ -658,6 +676,11 @@ fn routed_migration_golden_trace() {
     assert_eq!(records.len(), 1, "{records:?}");
     assert_eq!(records[0].status, "completed");
     assert_eq!(records[0].to, "n1");
+    assert_eq!(
+        records[0].used,
+        Bytes::ZERO,
+        "a live-source drain must not carry used budget"
+    );
 
     // The migrated container's full post-move lifecycle, all on node 1.
     vclock.advance_to(ms(5));
@@ -707,28 +730,37 @@ fn routed_migration_golden_trace() {
 // Lifecycle under fire: real node processes, both codecs.
 // ---------------------------------------------------------------------
 
-fn spawn_node(socket: &Path, name: &str, capacity_mib: u64) -> Child {
-    let child = Command::new(env!("CARGO_BIN_EXE_convgpu-cli"))
+/// Spawn a real `convgpu-cli cluster serve-node` process on `endpoint`
+/// and return it with the endpoint it actually bound. The ready line on
+/// the child's stdout is the synchronization point for both transports,
+/// and for `tcp:host:0` it is the only way to learn the kernel-assigned
+/// port.
+fn spawn_node(endpoint: &EndpointAddr, name: &str, capacity_mib: u64) -> (Child, EndpointAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_convgpu-cli"))
         .args([
             "cluster",
             "serve-node",
-            &format!("--socket={}", socket.display()),
+            &format!("--socket={endpoint}"),
             &format!("--name={name}"),
             &format!("--capacity-mib={capacity_mib}"),
         ])
-        .stdout(Stdio::null())
+        .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
         .expect("spawn cluster serve-node");
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while !socket.exists() {
-        assert!(
-            Instant::now() < deadline,
-            "node {name} never bound {socket:?}"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    child
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read the node's ready line");
+    // "cluster node <name> ready: ... on <endpoint>" — the URI is last.
+    let resolved = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .and_then(|uri| EndpointAddr::parse(uri).ok())
+        .unwrap_or_else(|| panic!("node {name} announced no endpoint: {line:?}"));
+    (child, resolved)
 }
 
 fn kill(mut child: Child) {
@@ -737,14 +769,16 @@ fn kill(mut child: Child) {
 }
 
 fn acceptance_run(codec: WireCodec, tag: &str) {
+    acceptance_run_on(codec, tag, test_endpoint);
+}
+
+fn acceptance_run_on(codec: WireCodec, tag: &str, endpoint: fn(&Path, &str) -> EndpointAddr) {
     let dir = temp_dir(tag);
-    let sock0 = dir.join("n0.sock");
-    let sock1 = dir.join("n1.sock");
-    let n0 = spawn_node(&sock0, "n0", 4096);
-    let n1 = spawn_node(&sock1, "n1", 4096);
+    let (n0, ep0) = spawn_node(&endpoint(&dir, "n0.sock"), "n0", 4096);
+    let (n1, ep1) = spawn_node(&endpoint(&dir, "n1.sock"), "n1", 4096);
 
     let router = Arc::new(ClusterRouter::attach(
-        vec![("n0".into(), sock0), ("n1".into(), sock1)],
+        vec![("n0".into(), ep0), ("n1".into(), ep1)],
         codec,
         RouterConfig::default(),
         RealClock::handle(),
@@ -830,9 +864,11 @@ fn acceptance_run(codec: WireCodec, tag: &str) {
     router.free(c9, 9000, 0x9).unwrap();
 
     // Fault-tolerance counters are observable over the wire.
-    let router_sock = dir.join("router.sock");
-    let server = router.serve_on(&router_sock).unwrap();
-    let client = SchedulerClient::connect_with_codec(&router_sock, codec, None).unwrap();
+    let server = router
+        .serve_on_endpoint(&endpoint(&dir, "router.sock"))
+        .unwrap();
+    let client =
+        SchedulerClient::connect_endpoint_with_codec(server.endpoint(), codec, None).unwrap();
     let metrics = client.query_metrics().unwrap();
     assert!(
         metrics.contains("convgpu_router_route_seconds"),
@@ -862,4 +898,17 @@ fn routed_lifecycle_survives_node_death_binary_codec() {
 #[test]
 fn routed_lifecycle_survives_node_death_json_codec() {
     acceptance_run(WireCodec::Json, "fire-json");
+}
+
+/// The multi-host acceptance scenario, unconditionally over TCP (no
+/// `CONVGPU_TRANSPORT` needed): two real node processes on
+/// `tcp:127.0.0.1:0`, one killed mid-run, zero hung clients — the
+/// read/write timeouts and failure-counting must degrade a dead TCP
+/// peer exactly like a dead UNIX one.
+#[test]
+fn routed_lifecycle_survives_node_death_tcp_loopback() {
+    fn tcp(_dir: &Path, _name: &str) -> EndpointAddr {
+        EndpointAddr::parse("tcp:127.0.0.1:0").unwrap()
+    }
+    acceptance_run_on(WireCodec::Binary, "fire-tcp", tcp);
 }

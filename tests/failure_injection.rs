@@ -5,6 +5,7 @@
 //! mid-suspension, nodes that stop answering, and router restarts.
 
 use convgpu::ipc::message::{AllocDecision, ApiKind};
+use convgpu::ipc::transport::EndpointAddr;
 use convgpu::middleware::{InProcEndpoint, SchedulerService};
 use convgpu::scheduler::core::{AllocOutcome, Scheduler, SchedulerConfig};
 use convgpu::scheduler::policy::PolicyKind;
@@ -14,6 +15,17 @@ use convgpu::sim::time::SimTime;
 use convgpu::sim::units::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The cluster halves of this suite run as a transport matrix:
+/// `CONVGPU_TRANSPORT=tcp` swaps every bound socket for a TCP loopback
+/// listener on a kernel-assigned port; anything else (or unset) keeps
+/// the original UNIX path.
+fn test_endpoint(dir: &std::path::Path, name: &str) -> EndpointAddr {
+    match std::env::var("CONVGPU_TRANSPORT").as_deref() {
+        Ok("tcp") => EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+        _ => EndpointAddr::from(dir.join(name)),
+    }
+}
 
 fn service(capacity_mib: u64, tag: &str) -> Arc<SchedulerService> {
     Arc::new(SchedulerService::new(
@@ -160,7 +172,7 @@ mod cluster_faults {
     use convgpu::middleware::router::{ClusterRouter, NodeHealth, RouterConfig};
     use convgpu::sim::clock::VirtualClock;
     use convgpu::sim::time::SimDuration;
-    use std::path::{Path, PathBuf};
+    use std::path::PathBuf;
     use std::process::{Child, Command, Stdio};
     use std::time::Instant;
 
@@ -173,30 +185,35 @@ mod cluster_faults {
         dir
     }
 
-    /// Spawn one node process and wait until its socket is bound.
-    fn spawn_node(socket: &Path, name: &str, capacity_mib: u64) -> Child {
-        let child = Command::new(env!("CARGO_BIN_EXE_convgpu-cli"))
+    /// Spawn one node process and return it with the endpoint it
+    /// actually bound (read from its ready line — the only way to learn
+    /// a `tcp:host:0` node's kernel-assigned port).
+    fn spawn_node(endpoint: &EndpointAddr, name: &str, capacity_mib: u64) -> (Child, EndpointAddr) {
+        use std::io::BufRead;
+        let mut child = Command::new(env!("CARGO_BIN_EXE_convgpu-cli"))
             .args([
                 "cluster".to_string(),
                 "serve-node".to_string(),
-                format!("--socket={}", socket.display()),
+                format!("--socket={endpoint}"),
                 format!("--name={name}"),
                 format!("--capacity-mib={capacity_mib}"),
             ])
-            .stdout(Stdio::null())
+            .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
             .expect("spawn cluster node process");
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while !socket.exists() {
-            assert!(
-                Instant::now() < deadline,
-                "node process never bound {}",
-                socket.display()
-            );
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        child
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read the node's ready line");
+        let resolved = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .and_then(|uri| EndpointAddr::parse(uri).ok())
+            .unwrap_or_else(|| panic!("node {name} announced no endpoint: {line:?}"));
+        (child, resolved)
     }
 
     fn kill(mut child: Child) {
@@ -212,10 +229,9 @@ mod cluster_faults {
     #[test]
     fn node_process_killed_mid_suspension_unblocks_requesters() {
         let dir = temp_dir("kill-node");
-        let socket = dir.join("n0.sock");
-        let node = spawn_node(&socket, "n0", 1000);
+        let (node, ep) = spawn_node(&test_endpoint(&dir, "n0.sock"), "n0", 1000);
         let router = Arc::new(ClusterRouter::attach(
-            vec![("n0".to_string(), socket)],
+            vec![("n0".to_string(), ep)],
             WireCodec::Binary,
             RouterConfig::default(),
             RealClock::handle(),
@@ -267,20 +283,36 @@ mod cluster_faults {
     /// the router's virtual clock.
     #[test]
     fn slow_node_trips_deadline_and_backoff() {
+        use convgpu::ipc::transport::{
+            Conn, TransportListener, HELLO_MAGIC, HELLO_ROLE_SERVER, HELLO_TAG, TRANSPORT_VERSION,
+        };
+        use std::io::Write;
         let dir = temp_dir("slow-node");
-        let socket = dir.join("slow.sock");
-        let listener = std::os::unix::net::UnixListener::bind(&socket).unwrap();
-        // Hold every connection open without ever replying. The thread
-        // blocks in accept() for the life of the test process.
+        let listener = TransportListener::bind(&test_endpoint(&dir, "slow.sock")).unwrap();
+        let slow_endpoint = listener.local_endpoint().clone();
+        // Hold every connection open without ever replying. On TCP the
+        // slowness must live at the *request* layer, so the greeter
+        // completes the transport hello (a silent peer would instead
+        // fail the client's connect and never reach the deadline path);
+        // UNIX has no hello and those 4 bytes would corrupt the stream.
+        // The thread blocks in accept() for the life of the test process.
         std::thread::spawn(move || {
             let mut open = Vec::new();
-            while let Ok((stream, _)) = listener.accept() {
-                open.push(stream);
+            while let Ok(mut conn) = listener.accept() {
+                if matches!(conn, Conn::Tcp(_)) {
+                    let _ = conn.write_all(&[
+                        HELLO_MAGIC,
+                        HELLO_TAG,
+                        TRANSPORT_VERSION,
+                        HELLO_ROLE_SERVER,
+                    ]);
+                }
+                open.push(conn);
             }
         });
         let vclock = VirtualClock::new();
         let router = ClusterRouter::attach(
-            vec![("slow".to_string(), socket)],
+            vec![("slow".to_string(), slow_endpoint)],
             WireCodec::Json,
             RouterConfig {
                 deadline: SimDuration::from_millis(50),
@@ -318,11 +350,9 @@ mod cluster_faults {
     #[test]
     fn restarted_router_reattaches_to_live_node_processes() {
         let dir = temp_dir("router-restart");
-        let s0 = dir.join("n0.sock");
-        let s1 = dir.join("n1.sock");
-        let n0 = spawn_node(&s0, "n0", 1000);
-        let n1 = spawn_node(&s1, "n1", 1000);
-        let nodes = vec![("n0".to_string(), s0), ("n1".to_string(), s1)];
+        let (n0, ep0) = spawn_node(&test_endpoint(&dir, "n0.sock"), "n0", 1000);
+        let (n1, ep1) = spawn_node(&test_endpoint(&dir, "n1.sock"), "n1", 1000);
+        let nodes = vec![("n0".to_string(), ep0), ("n1".to_string(), ep1)];
         let first = ClusterRouter::attach(
             nodes.clone(),
             WireCodec::Json,
@@ -385,7 +415,7 @@ mod migration_faults {
     use convgpu::middleware::NodeHealth;
     use convgpu::scheduler::backend::TopologyBackend;
     use convgpu::sim::clock::ClockHandle;
-    use std::path::{Path, PathBuf};
+    use std::path::PathBuf;
     use std::process::{Child, Command, Stdio};
     use std::time::Instant;
 
@@ -405,14 +435,21 @@ mod migration_faults {
             SchedulerConfig::with_capacity(Bytes::mib(capacity_mib)),
             PolicyKind::Fifo.build(0),
         ));
-        NodeServer::serve(name, backend, clock, dir.clone(), &dir.join("node.sock")).unwrap()
+        NodeServer::serve_endpoint(
+            name,
+            backend,
+            clock,
+            dir.clone(),
+            &test_endpoint(&dir, "node.sock"),
+        )
+        .unwrap()
     }
 
     fn router_over(nodes: &[&NodeServer], cfg: RouterConfig) -> Arc<ClusterRouter> {
         Arc::new(ClusterRouter::attach(
             nodes
                 .iter()
-                .map(|n| (n.name().to_string(), n.socket_path().to_path_buf()))
+                .map(|n| (n.name().to_string(), n.endpoint().clone()))
                 .collect(),
             WireCodec::Binary,
             cfg,
@@ -567,29 +604,34 @@ mod migration_faults {
         n2.shutdown();
     }
 
-    fn spawn_node(socket: &Path, name: &str, capacity_mib: u64) -> Child {
-        let child = Command::new(env!("CARGO_BIN_EXE_convgpu-cli"))
+    /// Spawn one node process and return it with the endpoint it
+    /// actually bound, read from its ready line (transport-agnostic).
+    fn spawn_node(endpoint: &EndpointAddr, name: &str, capacity_mib: u64) -> (Child, EndpointAddr) {
+        use std::io::BufRead;
+        let mut child = Command::new(env!("CARGO_BIN_EXE_convgpu-cli"))
             .args([
                 "cluster".to_string(),
                 "serve-node".to_string(),
-                format!("--socket={}", socket.display()),
+                format!("--socket={endpoint}"),
                 format!("--name={name}"),
                 format!("--capacity-mib={capacity_mib}"),
             ])
-            .stdout(Stdio::null())
+            .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
             .expect("spawn cluster node process");
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while !socket.exists() {
-            assert!(
-                Instant::now() < deadline,
-                "node process never bound {}",
-                socket.display()
-            );
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        child
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read the node's ready line");
+        let resolved = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .and_then(|uri| EndpointAddr::parse(uri).ok())
+            .unwrap_or_else(|| panic!("node {name} announced no endpoint: {line:?}"));
+        (child, resolved)
     }
 
     fn kill(mut child: Child) {
@@ -609,17 +651,15 @@ mod migration_faults {
     #[test]
     fn node_killed_mid_storm_rehomes_onto_survivor_observably() {
         let dir = temp_dir("storm");
-        let sock0 = dir.join("n0.sock");
-        let sock1 = dir.join("n1.sock");
-        let n0 = spawn_node(&sock0, "n0", 8192);
-        let n1 = spawn_node(&sock1, "n1", 8192);
+        let (n0, ep0) = spawn_node(&test_endpoint(&dir, "n0.sock"), "n0", 8192);
+        let (n1, ep1) = spawn_node(&test_endpoint(&dir, "n1.sock"), "n1", 8192);
         let cfg = RouterConfig {
             max_retries: 0,
             down_after: 2,
             ..RouterConfig::default()
         };
         let router = Arc::new(ClusterRouter::attach(
-            vec![("n0".into(), sock0.clone()), ("n1".into(), sock1.clone())],
+            vec![("n0".into(), ep0.clone()), ("n1".into(), ep1)],
             WireCodec::Binary,
             cfg,
             RealClock::handle(),
@@ -678,10 +718,15 @@ mod migration_faults {
         }
 
         // Everything below is asserted over the wire.
-        let router_sock = dir.join("router.sock");
-        let server = router.serve_on(&router_sock).unwrap();
-        let client =
-            SchedulerClient::connect_with_codec(&router_sock, WireCodec::Binary, None).unwrap();
+        let server = router
+            .serve_on_endpoint(&test_endpoint(&dir, "router.sock"))
+            .unwrap();
+        let client = SchedulerClient::connect_endpoint_with_codec(
+            server.endpoint(),
+            WireCodec::Binary,
+            None,
+        )
+        .unwrap();
         let (_, nodes) = client.query_cluster().unwrap();
         let victim = nodes.iter().find(|n| n.node == "n1").unwrap();
         assert_eq!(victim.health, "down");
@@ -726,7 +771,7 @@ mod migration_faults {
             );
         }
         // The survivor daemon's own books: committed bytes ≤ capacity.
-        let direct = SchedulerClient::connect(&sock0).unwrap();
+        let direct = SchedulerClient::connect_endpoint(&ep0).unwrap();
         let node_metrics = direct.query_metrics().unwrap();
         let assigned = node_metrics
             .lines()

@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+use std::net::TcpListener;
+use std::os::unix::net::UnixStream;
+
+pub fn dial(path: &str) -> std::io::Result<UnixStream> {
+    UnixStream::connect(path)
+}
+
+pub fn listen(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}

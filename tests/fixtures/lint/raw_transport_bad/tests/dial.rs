@@ -1,0 +1,7 @@
+//! Tests are not exempt: a raw listener here silently loses TCP
+//! coverage for whatever it stands in for.
+
+#[test]
+fn listens_raw() {
+    let _ = std::os::unix::net::UnixListener::bind("/tmp/raw.sock");
+}

@@ -1,0 +1,17 @@
+#![forbid(unsafe_code)]
+// UnixStream::connect in this comment must not fire.
+use convgpu_ipc::transport::{Conn, EndpointAddr, TransportListener};
+
+pub fn dial(uri: &str) -> std::io::Result<Conn> {
+    Conn::connect(&EndpointAddr::parse(uri)?)
+}
+
+pub fn listen(uri: &str) -> std::io::Result<TransportListener> {
+    TransportListener::bind(&EndpointAddr::parse(uri)?)
+}
+
+/// Naming a raw socket type without constructing one stays legal (e.g.
+/// adopting a pre-opened fd from socket activation).
+pub fn adopt(stream: std::os::unix::net::UnixStream) -> Conn {
+    Conn::Unix(stream)
+}

@@ -13,6 +13,7 @@ use convgpu::ipc::message::{
     AllocDecision, ApiKind, ClusterNodeStatus, Envelope, Request, Response, TopologyDevice,
 };
 use convgpu::ipc::server::SocketServer;
+use convgpu::ipc::transport::{Conn, EndpointAddr};
 use convgpu::scheduler::core::{Scheduler, SchedulerConfig};
 use convgpu::scheduler::policy::PolicyKind;
 use convgpu::sim::clock::RealClock;
@@ -237,6 +238,16 @@ fn pipelined_envelopes_preserve_order() {
     });
 }
 
+/// The live-socket suites run as a transport matrix: `CONVGPU_TRANSPORT=tcp`
+/// rebinds every server in this file onto a TCP loopback endpoint (port
+/// chosen by the kernel); the default stays UNIX sockets.
+fn test_endpoint(dir: &std::path::Path, name: &str) -> EndpointAddr {
+    match std::env::var("CONVGPU_TRANSPORT").as_deref() {
+        Ok("tcp") => EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+        _ => EndpointAddr::from(dir.join(name)),
+    }
+}
+
 fn live_service(tag: &str, capacity_mib: u64) -> (SocketServer, Arc<SchedulerService>) {
     let dir =
         std::env::temp_dir().join(format!("convgpu-itest-proto-{}-{tag}", std::process::id()));
@@ -249,8 +260,8 @@ fn live_service(tag: &str, capacity_mib: u64) -> (SocketServer, Arc<SchedulerSer
         RealClock::handle(),
         dir.clone(),
     ));
-    let server = SocketServer::bind(
-        &dir.join("sched.sock"),
+    let server = SocketServer::bind_endpoint(
+        &test_endpoint(&dir, "sched.sock"),
         Arc::new(ServiceHandler::new(Arc::clone(&svc))),
     )
     .unwrap();
@@ -260,12 +271,12 @@ fn live_service(tag: &str, capacity_mib: u64) -> (SocketServer, Arc<SchedulerSer
 #[test]
 fn many_concurrent_clients_are_served_correctly() {
     let (server, svc) = live_service("stress", 64 * 1024);
-    let path = server.path().to_path_buf();
+    let endpoint = server.endpoint().clone();
     let mut handles = Vec::new();
     for i in 0..8u64 {
-        let path = path.clone();
+        let endpoint = endpoint.clone();
         handles.push(std::thread::spawn(move || {
-            let client = SchedulerClient::connect(&path).unwrap();
+            let client = SchedulerClient::connect_endpoint(&endpoint).unwrap();
             let container = ContainerId(i + 1);
             client.register(container, Bytes::mib(1024)).unwrap();
             for round in 0..20u64 {
@@ -307,14 +318,14 @@ fn thread_count() -> usize {
 #[test]
 fn query_metrics_interleaved_with_disconnects_leaks_nothing() {
     let (server, svc) = live_service("obs-shutdown", 5120);
-    let path = server.path().to_path_buf();
+    let endpoint = server.endpoint().clone();
     let baseline = thread_count();
 
     // Phase 1: clients connect, mix metrics queries with regular
     // traffic, and disconnect without ceremony.
     let mut clients = Vec::new();
     for round in 0..8u64 {
-        let client = SchedulerClient::connect(&path).unwrap();
+        let client = SchedulerClient::connect_endpoint(&endpoint).unwrap();
         let container = ContainerId(100 + round);
         client.register(container, Bytes::mib(64)).unwrap();
         for _ in 0..4 {
@@ -353,7 +364,7 @@ fn query_metrics_interleaved_with_disconnects_leaks_nothing() {
 
     // Phase 3: a request in flight when the server goes away must error
     // out, never hang or vanish.
-    let survivor = SchedulerClient::connect(&path).unwrap();
+    let survivor = SchedulerClient::connect_endpoint(&endpoint).unwrap();
     survivor.ping().unwrap();
     server.shutdown();
     let answered = std::thread::spawn(move || survivor.query_metrics());
@@ -373,13 +384,15 @@ fn query_metrics_interleaved_with_disconnects_leaks_nothing() {
 fn malformed_client_does_not_disturb_others() {
     use std::io::Write;
     let (server, _svc) = live_service("malformed", 5120);
-    // A hostile client writes garbage and an over-long line.
-    let mut bad = std::os::unix::net::UnixStream::connect(server.path()).unwrap();
+    // A hostile client writes garbage and an over-long line. It speaks
+    // the transport hello (a TCP no-hello peer never even reaches the
+    // codec layer), so the garbage lands on the component under test.
+    let mut bad = Conn::connect(server.endpoint()).unwrap();
     bad.write_all(b"{not json}\n").unwrap();
     let big = vec![b'x'; 100_000];
     let _ = bad.write_all(&big);
     // A good client still gets proper service.
-    let client = SchedulerClient::connect(server.path()).unwrap();
+    let client = SchedulerClient::connect_endpoint(server.endpoint()).unwrap();
     client.ping().unwrap();
     client.register(ContainerId(1), Bytes::mib(128)).unwrap();
     let dir = client.request_dir(ContainerId(1)).unwrap();
@@ -400,7 +413,7 @@ fn hostile_frames_against_router_disturb_no_one() {
     let dir =
         std::env::temp_dir().join(format!("convgpu-itest-proto-router-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let node = NodeServer::serve(
+    let node = NodeServer::serve_endpoint(
         "n0",
         TopologyBackend::Single(Scheduler::new(
             SchedulerConfig::with_capacity(Bytes::mib(2048)),
@@ -408,27 +421,31 @@ fn hostile_frames_against_router_disturb_no_one() {
         )),
         RealClock::handle(),
         dir.clone(),
-        &dir.join("node.sock"),
+        &test_endpoint(&dir, "node.sock"),
     )
     .unwrap();
     let router = Arc::new(ClusterRouter::attach(
-        vec![("n0".into(), node.socket_path().to_path_buf())],
+        vec![("n0".to_string(), node.endpoint().clone())],
         WireCodec::Binary,
         RouterConfig::default(),
         RealClock::handle(),
     ));
-    let router_sock = dir.join("router.sock");
-    let server = router.serve_on(&router_sock).unwrap();
+    let server = router
+        .serve_on_endpoint(&test_endpoint(&dir, "router.sock"))
+        .unwrap();
+    let router_endpoint = server.endpoint().clone();
 
-    // Wave of hostile connections, each broken in a different way.
+    // Wave of hostile connections, each broken in a different way. Each
+    // completes the transport hello first (a no-op on UNIX), so the
+    // hostility lands on the codec layer, the component under test.
     {
         // Not JSON, not a binary frame.
-        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let mut s = Conn::connect(&router_endpoint).unwrap();
         s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
     }
     {
         // Truncated binary frame: header promises 64 bytes, sends 3.
-        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let mut s = Conn::connect(&router_endpoint).unwrap();
         let mut partial = vec![MAGIC];
         partial.extend_from_slice(&64u32.to_le_bytes());
         partial.extend_from_slice(&[1, 2, 3]);
@@ -440,14 +457,14 @@ fn hostile_frames_against_router_disturb_no_one() {
     }
     {
         // A frame length far beyond the cap.
-        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let mut s = Conn::connect(&router_endpoint).unwrap();
         let mut huge = vec![MAGIC];
         huge.extend_from_slice(&u32::MAX.to_le_bytes());
         let _ = s.write_all(&huge);
     }
     {
         // Valid envelope framing, unknown body type.
-        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let mut s = Conn::connect(&router_endpoint).unwrap();
         s.write_all(b"{\"id\": 1, \"body\": {\"type\": \"warp_drive\"}}\n")
             .unwrap();
     }
@@ -459,13 +476,14 @@ fn hostile_frames_against_router_disturb_no_one() {
         });
         let last = frame.len() - 1;
         frame[last] ^= 0xFF;
-        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        let mut s = Conn::connect(&router_endpoint).unwrap();
         let _ = s.write_all(&frame);
     }
 
     // Both codecs still get full routed service.
     for (codec, c) in [(WireCodec::Json, 1u64), (WireCodec::Binary, 2u64)] {
-        let client = SchedulerClient::connect_with_codec(&router_sock, codec, None).unwrap();
+        let client =
+            SchedulerClient::connect_endpoint_with_codec(&router_endpoint, codec, None).unwrap();
         let container = ContainerId(c);
         client.register(container, Bytes::mib(256)).unwrap();
         assert_eq!(
@@ -487,7 +505,7 @@ fn hostile_frames_against_router_disturb_no_one() {
 
     // A plain node daemon (not a router) answers query_cluster with a
     // protocol error, not a hang or a crash.
-    let direct = SchedulerClient::connect(node.socket_path()).unwrap();
+    let direct = SchedulerClient::connect_endpoint(node.endpoint()).unwrap();
     assert!(direct.query_cluster().is_err());
 
     server.shutdown();
@@ -515,7 +533,7 @@ fn fuzzed_connections_never_wedge_the_router() {
 
     let dir = std::env::temp_dir().join(format!("convgpu-itest-proto-fuzz-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let node = NodeServer::serve(
+    let node = NodeServer::serve_endpoint(
         "n0",
         TopologyBackend::Single(Scheduler::new(
             SchedulerConfig::with_capacity(Bytes::mib(2048)),
@@ -523,21 +541,25 @@ fn fuzzed_connections_never_wedge_the_router() {
         )),
         RealClock::handle(),
         dir.clone(),
-        &dir.join("node.sock"),
+        &test_endpoint(&dir, "node.sock"),
     )
     .unwrap();
     let router = Arc::new(ClusterRouter::attach(
-        vec![("n0".into(), node.socket_path().to_path_buf())],
+        vec![("n0".to_string(), node.endpoint().clone())],
         WireCodec::Binary,
         RouterConfig::default(),
         RealClock::handle(),
     ));
-    let router_sock = dir.join("router.sock");
-    let server = router.serve_on(&router_sock).unwrap();
+    let server = router
+        .serve_on_endpoint(&test_endpoint(&dir, "router.sock"))
+        .unwrap();
+    let router_endpoint = server.endpoint().clone();
 
     let mut rng = DetRng::seed_from_u64(0xF0_22_F0_22);
     for i in 0..conns {
-        let mut s = std::os::unix::net::UnixStream::connect(&router_sock).unwrap();
+        // Hello'd like a real client, so the garbage exercises the codec
+        // layer rather than dying in the TCP handshake.
+        let mut s = Conn::connect(&router_endpoint).unwrap();
         let len = rng.index(96);
         let mut payload = Vec::with_capacity(len);
         for _ in 0..len {
@@ -578,15 +600,20 @@ fn fuzzed_connections_never_wedge_the_router() {
         }
         // Every 8th wave, prove the router still serves real clients.
         if i % 8 == 7 {
-            let client =
-                SchedulerClient::connect_with_codec(&router_sock, WireCodec::Binary, None).unwrap();
+            let client = SchedulerClient::connect_endpoint_with_codec(
+                &router_endpoint,
+                WireCodec::Binary,
+                None,
+            )
+            .unwrap();
             client.ping().unwrap();
         }
     }
 
     // Full routed service after the storm, and clean node invariants.
     let client =
-        SchedulerClient::connect_with_codec(&router_sock, WireCodec::Binary, None).unwrap();
+        SchedulerClient::connect_endpoint_with_codec(&router_endpoint, WireCodec::Binary, None)
+            .unwrap();
     let container = ContainerId(7007);
     client.register(container, Bytes::mib(256)).unwrap();
     assert_eq!(
@@ -605,5 +632,115 @@ fn fuzzed_connections_never_wedge_the_router() {
 
     server.shutdown();
     node.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TCP-specific hostile battery, run unconditionally (no
+/// `CONVGPU_TRANSPORT` needed): peers that skip or corrupt the version
+/// hello are dropped before the codec layer, hello'd garbage degrades
+/// exactly as on UNIX sockets, and a well-behaved client gets full
+/// service in both codecs afterwards.
+#[test]
+fn tcp_listener_survives_hostile_clients() {
+    use convgpu::ipc::transport::{HELLO_MAGIC, HELLO_ROLE_CLIENT, HELLO_TAG, TRANSPORT_VERSION};
+    use std::io::{Read, Write};
+
+    let dir = std::env::temp_dir().join(format!("convgpu-itest-proto-tcp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let svc = Arc::new(SchedulerService::new(
+        Scheduler::new(
+            SchedulerConfig::with_capacity(Bytes::mib(2048)),
+            PolicyKind::Fifo.build(0),
+        ),
+        RealClock::handle(),
+        dir.clone(),
+    ));
+    let server = SocketServer::bind_endpoint(
+        &EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+        Arc::new(ServiceHandler::new(Arc::clone(&svc))),
+    )
+    .unwrap();
+    let endpoint = server.endpoint().clone();
+
+    // 1. No hello at all: a valid request frame sent raw is consumed as
+    //    a (bad) hello and the connection is dropped without a reply.
+    {
+        let mut s = Conn::connect_raw(&endpoint).unwrap();
+        let frame = encode_frame(&Envelope {
+            id: 1,
+            body: Request::Ping,
+        });
+        s.write_all(&frame).unwrap();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut rest = Vec::new();
+        let _ = s.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "no-hello peer must get no bytes back");
+    }
+    // 2. A hello from the future: right magic, wrong version.
+    {
+        let mut s = Conn::connect_raw(&endpoint).unwrap();
+        s.write_all(&[
+            HELLO_MAGIC,
+            HELLO_TAG,
+            TRANSPORT_VERSION + 1,
+            HELLO_ROLE_CLIENT,
+        ])
+        .unwrap();
+        let mut rest = Vec::new();
+        let _ = s.read_to_end(&mut rest);
+        assert!(rest.is_empty(), "wrong-version peer must be dropped");
+    }
+    // 3. A peer that connects and says nothing, then vanishes. The
+    //    handshake read timeout reclaims the reader thread.
+    {
+        let s = Conn::connect_raw(&endpoint).unwrap();
+        drop(s);
+    }
+    // 4. Hello'd garbage waves in every framing the codec layer knows.
+    let mut rng = DetRng::seed_from_u64(0x7C9_7C9);
+    for _ in 0..16 {
+        let mut s = Conn::connect(&endpoint).unwrap();
+        let len = rng.index(96);
+        let mut payload = Vec::with_capacity(len);
+        for _ in 0..len {
+            payload.push(rng.next_u64() as u8);
+        }
+        let buf = match rng.next_below(3) {
+            0 => payload,
+            1 => {
+                let mut frame = vec![MAGIC];
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend(payload);
+                frame
+            }
+            _ => {
+                payload.retain(|&b| b != b'\n');
+                payload.push(b'\n');
+                payload
+            }
+        };
+        let _ = s.write_all(&buf);
+    }
+
+    // Full service afterwards, in both codecs over TCP.
+    for (codec, c) in [(WireCodec::Json, 1u64), (WireCodec::Binary, 2u64)] {
+        let client = SchedulerClient::connect_endpoint_with_codec(&endpoint, codec, None).unwrap();
+        let container = ContainerId(c);
+        client.register(container, Bytes::mib(256)).unwrap();
+        assert_eq!(
+            client
+                .request_alloc(container, c, Bytes::mib(64), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        client
+            .alloc_done(container, c, 0xD0 + c, Bytes::mib(64))
+            .unwrap();
+        assert_eq!(client.free(container, c, 0xD0 + c).unwrap(), Bytes::mib(64));
+        client.container_close(container).unwrap();
+    }
+    svc.with_scheduler(|s| s.check_invariants().unwrap());
+
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
