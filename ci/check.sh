@@ -69,6 +69,14 @@ cargo test --offline -q --test cluster_router
 cargo test --offline -q --test failure_injection cluster_faults
 cargo test --offline -q --test failure_injection migration_faults
 
+step "journal battery (restart recovery + truncated-tail fixture)"
+# Durable router state (docs/CLUSTER.md, "Durability & restart"): the
+# kill -9 mid-storm acceptance scenario (restarted router migrates with
+# pre-restart checkpoints), byte-level replay-prefix equivalence, a
+# small randomized kill-point campaign (nightly runs the big one), and
+# the checked-in truncated-tail corruption fixture.
+cargo test --offline -q --test journal_recovery
+
 step "transport matrix (same batteries over TCP loopback)"
 # Every socket the wire tests bind is transport-parameterized
 # (CONVGPU_TRANSPORT=tcp swaps unix:/path for tcp:127.0.0.1:0): the
@@ -80,6 +88,7 @@ CONVGPU_TRANSPORT=tcp cargo test --offline -q --test protocol_roundtrip
 CONVGPU_TRANSPORT=tcp cargo test --offline -q --test cluster_router
 CONVGPU_TRANSPORT=tcp cargo test --offline -q --test failure_injection cluster_faults
 CONVGPU_TRANSPORT=tcp cargo test --offline -q --test failure_injection migration_faults
+CONVGPU_TRANSPORT=tcp cargo test --offline -q --test journal_recovery
 
 step "bounded model check (single-GPU + multi-GPU + cluster universes)"
 # Phase 3 of the binary exhaustively checks the 2-device x 3-container

@@ -1,0 +1,917 @@
+//! Durable router state: the write-ahead home-map journal.
+//!
+//! The [`crate::router::ClusterRouter`]'s home map — which node owns
+//! each container, the limit it registered with, the placement hint the
+//! router committed, and the wire-observed per-pid `used` ledger — is
+//! the checkpoint a migration replays onto an adopting node. Before
+//! this module that map lived only in memory: a restarted router
+//! re-learned homes lazily with **zero** checkpoints, so a post-restart
+//! migration off a dead node replayed `limit = 0`, `used = 0` onto the
+//! adopter and committed-memory placement ran blind.
+//!
+//! The journal fixes that with the classic WAL shape:
+//!
+//! * **Append-only log** (`wal.log`) — every home-map mutation is one
+//!   line: `place`, `recover`, `close`, `migrate` (commit of a
+//!   hand-off), and the ledger deltas `done` / `free` / `exit`. Each
+//!   record carries a monotonic sequence number and an FNV-1a checksum,
+//!   so replay can tell a torn tail from a valid record.
+//! * **Compacted snapshots** (`snapshot.v1`) — the whole map, written
+//!   to a temp file, fsynced, and atomically renamed. The snapshot
+//!   records the last sequence number it covers; journal records at or
+//!   below it are skipped on replay, which makes the
+//!   snapshot-then-truncate crash window harmless.
+//! * **Torn-tail tolerance** — replay stops at the first record that
+//!   fails to parse or checksum (a crash mid-append tears at most the
+//!   final record) and reports it; it never panics on hostile bytes.
+//! * **Off the hot path** — appends go to a [`BufWriter`]; the *router*
+//!   decides when to flush (sim-clock interval) and when to compact
+//!   (record count), and never holds its home-map lock across journal
+//!   I/O.
+//!
+//! Durability contract: a flushed record survives a router crash
+//! (`kill -9`); records appended since the last flush are lost, which
+//! recovery reads as "that tail of operations never happened" — exactly
+//! the state an observer of the flushed prefix would reconstruct. The
+//! replay-equivalence property (`tests/journal_recovery.rs`) pins this:
+//! a journal truncated at *any* byte replays to the home map the live
+//! router held after some prefix of its operations.
+
+use convgpu_sim_core::ids::ContainerId;
+use convgpu_sim_core::time::{SimDuration, SimTime};
+use convgpu_sim_core::units::Bytes;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the append-only log inside the journal directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the compacted snapshot inside the journal directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.v1";
+
+/// Journal knobs. All timing is sim time, so a virtual-clock test
+/// drives the flush schedule deterministically.
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// Directory holding `wal.log` and `snapshot.v1` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Flush the append buffer to the OS when this much sim time has
+    /// passed since the last flush. `ZERO` flushes on every append
+    /// (maximum durability, one `write(2)` per mutation).
+    pub flush_interval: SimDuration,
+    /// Compact (snapshot + truncate the log) after this many appended
+    /// records. `0` never compacts on count (only at open).
+    pub snapshot_every: u64,
+}
+
+impl JournalConfig {
+    /// Defaults tuned for the request hot path: 25 ms flush cadence,
+    /// compaction every 4096 records.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JournalConfig {
+            dir: dir.into(),
+            flush_interval: SimDuration::from_millis(25),
+            snapshot_every: 4096,
+        }
+    }
+}
+
+/// One home-map mutation, as recorded in the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalOp {
+    /// A fresh placement: `register` committed on `node`.
+    Place {
+        container: ContainerId,
+        node: String,
+        limit: Bytes,
+        hint: Bytes,
+    },
+    /// A home re-learned from a live node after a restart (zero
+    /// checkpoint — the limit is node-side state the router never saw).
+    Recover {
+        container: ContainerId,
+        node: String,
+    },
+    /// The home entry was dropped (container closed, or checkpointed
+    /// out at the start of a migration).
+    Close { container: ContainerId },
+    /// A migration hand-off committed onto `node`, carrying the
+    /// checkpointed budget. The carried `used` is re-seeded under the
+    /// synthetic pid 0, mirroring the live router's books.
+    Migrate {
+        container: ContainerId,
+        node: String,
+        limit: Bytes,
+        hint: Bytes,
+        used: Bytes,
+    },
+    /// Wire-observed `alloc_done`: `size` confirmed live for `pid`.
+    AllocDone {
+        container: ContainerId,
+        pid: u64,
+        size: Bytes,
+    },
+    /// Wire-observed `free`: the node reported `size` freed for `pid`.
+    Free {
+        container: ContainerId,
+        pid: u64,
+        size: Bytes,
+    },
+    /// Wire-observed `process_exit`: `pid`'s ledger entry is dropped.
+    ProcessExit { container: ContainerId, pid: u64 },
+}
+
+/// A recovered (or snapshotted) home entry, node identified by *name*
+/// so recovery survives a reordered `--node` list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveredHome {
+    /// Name of the node the container was homed on.
+    pub node: String,
+    /// The limit the container registered with.
+    pub limit: Bytes,
+    /// Memory the router committed against the node at placement.
+    pub hint: Bytes,
+    /// The wire-observed live-bytes ledger, per pid.
+    pub used_by_pid: BTreeMap<u64, Bytes>,
+}
+
+/// What `Journal::open` reconstructed, plus how it got there.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// The recovered home map.
+    pub homes: BTreeMap<ContainerId, RecoveredHome>,
+    /// Homes loaded from the snapshot (before journal replay).
+    pub snapshot_homes: u64,
+    /// Journal records applied on top of the snapshot.
+    pub replayed: u64,
+    /// Journal records skipped because the snapshot already covered
+    /// their sequence number.
+    pub skipped: u64,
+    /// Replay stopped early at a torn or corrupt record.
+    pub torn_tail: bool,
+    /// The snapshot itself failed validation and was discarded.
+    pub corrupt_snapshot: bool,
+}
+
+/// FNV-1a 64-bit over `bytes` — std-only, stable, good enough to tell
+/// a torn record from a valid one (this is corruption *detection* for
+/// crash recovery, not an integrity MAC).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Escape a node name for the space-separated record grammar: bytes
+/// outside visible ASCII, spaces, and `%` itself become `%XX`.
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        if b.is_ascii_graphic() && b != b'%' {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; `None` on malformed escapes.
+fn unescape(field: &str) -> Option<String> {
+    let bytes = field.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+impl JournalOp {
+    /// The record payload (everything after the seq + checksum header).
+    fn payload(&self) -> String {
+        match self {
+            JournalOp::Place {
+                container,
+                node,
+                limit,
+                hint,
+            } => format!(
+                "place {} {} {} {}",
+                container.as_u64(),
+                escape(node),
+                limit.as_u64(),
+                hint.as_u64()
+            ),
+            JournalOp::Recover { container, node } => {
+                format!("recover {} {}", container.as_u64(), escape(node))
+            }
+            JournalOp::Close { container } => format!("close {}", container.as_u64()),
+            JournalOp::Migrate {
+                container,
+                node,
+                limit,
+                hint,
+                used,
+            } => format!(
+                "migrate {} {} {} {} {}",
+                container.as_u64(),
+                escape(node),
+                limit.as_u64(),
+                hint.as_u64(),
+                used.as_u64()
+            ),
+            JournalOp::AllocDone {
+                container,
+                pid,
+                size,
+            } => format!("done {} {pid} {}", container.as_u64(), size.as_u64()),
+            JournalOp::Free {
+                container,
+                pid,
+                size,
+            } => format!("free {} {pid} {}", container.as_u64(), size.as_u64()),
+            JournalOp::ProcessExit { container, pid } => {
+                format!("exit {} {pid}", container.as_u64())
+            }
+        }
+    }
+
+    /// Parse a payload produced by [`JournalOp::payload`].
+    fn parse(payload: &str) -> Option<JournalOp> {
+        let mut parts = payload.split(' ');
+        let kind = parts.next()?;
+        let num =
+            |parts: &mut std::str::Split<'_, char>| -> Option<u64> { parts.next()?.parse().ok() };
+        let op = match kind {
+            "place" => JournalOp::Place {
+                container: ContainerId(num(&mut parts)?),
+                node: unescape(parts.next()?)?,
+                limit: Bytes::new(num(&mut parts)?),
+                hint: Bytes::new(num(&mut parts)?),
+            },
+            "recover" => JournalOp::Recover {
+                container: ContainerId(num(&mut parts)?),
+                node: unescape(parts.next()?)?,
+            },
+            "close" => JournalOp::Close {
+                container: ContainerId(num(&mut parts)?),
+            },
+            "migrate" => JournalOp::Migrate {
+                container: ContainerId(num(&mut parts)?),
+                node: unescape(parts.next()?)?,
+                limit: Bytes::new(num(&mut parts)?),
+                hint: Bytes::new(num(&mut parts)?),
+                used: Bytes::new(num(&mut parts)?),
+            },
+            "done" => JournalOp::AllocDone {
+                container: ContainerId(num(&mut parts)?),
+                pid: num(&mut parts)?,
+                size: Bytes::new(num(&mut parts)?),
+            },
+            "free" => JournalOp::Free {
+                container: ContainerId(num(&mut parts)?),
+                pid: num(&mut parts)?,
+                size: Bytes::new(num(&mut parts)?),
+            },
+            "exit" => JournalOp::ProcessExit {
+                container: ContainerId(num(&mut parts)?),
+                pid: num(&mut parts)?,
+            },
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None; // trailing garbage is not a valid record
+        }
+        Some(op)
+    }
+}
+
+/// Apply one op to a home map, exactly mirroring the live router's
+/// mutations (the replay-equivalence property tests compare against
+/// this). Ledger arithmetic is hostile-input safe: additions saturate
+/// and subtractions clamp at zero, so an adversarial journal can skew
+/// the books but never wrap or panic them.
+pub fn apply(homes: &mut BTreeMap<ContainerId, RecoveredHome>, op: &JournalOp) {
+    match op {
+        JournalOp::Place {
+            container,
+            node,
+            limit,
+            hint,
+        } => {
+            homes.insert(
+                *container,
+                RecoveredHome {
+                    node: node.clone(),
+                    limit: *limit,
+                    hint: *hint,
+                    used_by_pid: BTreeMap::new(),
+                },
+            );
+        }
+        JournalOp::Recover { container, node } => {
+            homes.insert(
+                *container,
+                RecoveredHome {
+                    node: node.clone(),
+                    ..RecoveredHome::default()
+                },
+            );
+        }
+        JournalOp::Close { container } => {
+            homes.remove(container);
+        }
+        JournalOp::Migrate {
+            container,
+            node,
+            limit,
+            hint,
+            used,
+        } => {
+            let mut used_by_pid = BTreeMap::new();
+            if *used > Bytes::ZERO {
+                used_by_pid.insert(0, *used);
+            }
+            homes.insert(
+                *container,
+                RecoveredHome {
+                    node: node.clone(),
+                    limit: *limit,
+                    hint: *hint,
+                    used_by_pid,
+                },
+            );
+        }
+        JournalOp::AllocDone {
+            container,
+            pid,
+            size,
+        } => {
+            if let Some(home) = homes.get_mut(container) {
+                let used = home.used_by_pid.entry(*pid).or_insert(Bytes::ZERO);
+                *used = Bytes::new(used.as_u64().saturating_add(size.as_u64()));
+            }
+        }
+        JournalOp::Free {
+            container,
+            pid,
+            size,
+        } => {
+            if let Some(home) = homes.get_mut(container) {
+                if let Some(used) = home.used_by_pid.get_mut(pid) {
+                    *used = used.saturating_sub(*size);
+                }
+            }
+        }
+        JournalOp::ProcessExit { container, pid } => {
+            if let Some(home) = homes.get_mut(container) {
+                home.used_by_pid.remove(pid);
+            }
+        }
+    }
+}
+
+/// Format one log line: `SEQ CRC PAYLOAD\n`, CRC over `SEQ PAYLOAD`.
+fn encode_line(seq: u64, payload: &str) -> String {
+    let body = format!("{seq:016x} {payload}");
+    let crc = fnv1a64(body.as_bytes());
+    format!("{seq:016x} {crc:016x} {payload}\n")
+}
+
+/// Decode one log line; `None` when torn/corrupt.
+fn decode_line(line: &str) -> Option<(u64, &str)> {
+    let (seq_hex, rest) = line.split_once(' ')?;
+    let (crc_hex, payload) = rest.split_once(' ')?;
+    let seq = u64::from_str_radix(seq_hex, 16).ok()?;
+    let crc = u64::from_str_radix(crc_hex, 16).ok()?;
+    let body = format!("{seq:016x} {payload}");
+    if fnv1a64(body.as_bytes()) != crc {
+        return None;
+    }
+    Some((seq, payload))
+}
+
+/// The write side of the journal (replay happens once, in
+/// [`Journal::open`]). Owned by the router behind its own mutex; every
+/// method that touches the filesystem is explicit about it so the
+/// caller can keep hot-path locks out of I/O.
+pub struct Journal {
+    cfg: JournalConfig,
+    wal: BufWriter<File>,
+    /// Sequence number of the next record to append.
+    next_seq: u64,
+    /// Records appended since the last snapshot (compaction trigger).
+    appended_since_snapshot: u64,
+    /// Sim-clock instant of the last flush.
+    last_flush: SimTime,
+    /// Buffered records not yet handed to the OS.
+    unflushed: u64,
+}
+
+impl Journal {
+    /// Open (or create) the journal under `cfg.dir` and replay the
+    /// snapshot plus log into a [`Recovery`]. Never panics on a torn or
+    /// corrupt tail — replay stops at the first bad record and says so.
+    pub fn open(cfg: JournalConfig) -> std::io::Result<(Journal, Recovery)> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let mut recovery = Recovery::default();
+        let snapshot_seq = load_snapshot(&cfg.dir.join(SNAPSHOT_FILE), &mut recovery);
+        let wal_path = cfg.dir.join(WAL_FILE);
+        let mut max_seq = snapshot_seq;
+        if wal_path.exists() {
+            let data = std::fs::read(&wal_path)?;
+            let mut pos = 0usize;
+            while pos < data.len() {
+                // A record is only trusted complete with its trailing
+                // newline: a final line the crash cut short — even one
+                // that happens to parse — is part of the torn tail.
+                let parsed = data[pos..].iter().position(|&b| b == b'\n').and_then(|nl| {
+                    let raw = std::str::from_utf8(&data[pos..pos + nl]).ok()?;
+                    let (seq, payload) = decode_line(raw)?;
+                    Some((nl, seq, JournalOp::parse(payload)?))
+                });
+                let Some((nl, seq, op)) = parsed else {
+                    recovery.torn_tail = true;
+                    break;
+                };
+                pos += nl + 1;
+                if seq <= snapshot_seq {
+                    // Covered by the snapshot (the compaction crash
+                    // window leaves such records behind harmlessly).
+                    recovery.skipped += 1;
+                    continue;
+                }
+                apply(&mut recovery.homes, &op);
+                recovery.replayed += 1;
+                max_seq = max_seq.max(seq);
+            }
+            if pos != data.len() {
+                // Drop the torn bytes so the next append starts a clean
+                // record instead of concatenating onto half a line.
+                OpenOptions::new()
+                    .write(true)
+                    .open(&wal_path)?
+                    .set_len(pos as u64)?;
+            }
+        }
+        let wal = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&wal_path)?,
+        );
+        Ok((
+            Journal {
+                cfg,
+                wal,
+                next_seq: max_seq.saturating_add(1),
+                appended_since_snapshot: 0,
+                last_flush: SimTime::ZERO,
+                unflushed: 0,
+            },
+            recovery,
+        ))
+    }
+
+    /// Append one record to the in-memory buffer (no syscall unless the
+    /// buffer spills). Call [`Journal::maybe_flush`] afterwards with
+    /// the current sim time.
+    pub fn append(&mut self, op: &JournalOp) -> std::io::Result<()> {
+        let line = encode_line(self.next_seq, &op.payload());
+        self.wal.write_all(line.as_bytes())?;
+        self.next_seq = self.next_seq.saturating_add(1);
+        self.appended_since_snapshot += 1;
+        self.unflushed += 1;
+        Ok(())
+    }
+
+    /// Flush buffered records to the OS when the configured sim-time
+    /// interval has elapsed (or immediately with a zero interval).
+    /// Returns whether a flush happened.
+    pub fn maybe_flush(&mut self, now: SimTime) -> std::io::Result<bool> {
+        if self.unflushed == 0 {
+            return Ok(false);
+        }
+        if self.cfg.flush_interval.is_zero()
+            || now.saturating_since(self.last_flush) >= self.cfg.flush_interval
+        {
+            self.flush(now)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Unconditionally flush buffered records to the OS. Durability
+    /// policy: `flush` is a `write(2)` (survives a router crash);
+    /// `fsync` happens only at snapshot time (survives a host crash) —
+    /// see docs/CLUSTER.md "Durability & restart".
+    pub fn flush(&mut self, now: SimTime) -> std::io::Result<()> {
+        self.wal.flush()?;
+        self.last_flush = now;
+        self.unflushed = 0;
+        Ok(())
+    }
+
+    /// Whether enough records accumulated since the last snapshot that
+    /// the owner should compact.
+    pub fn wants_snapshot(&self) -> bool {
+        self.cfg.snapshot_every > 0 && self.appended_since_snapshot >= self.cfg.snapshot_every
+    }
+
+    /// Compact: write the full map to `snapshot.v1` (temp file, fsync,
+    /// atomic rename) and truncate the log. A crash between rename and
+    /// truncate is safe — the snapshot's sequence number makes the
+    /// leftover log records no-ops on replay.
+    pub fn snapshot(
+        &mut self,
+        homes: &BTreeMap<ContainerId, RecoveredHome>,
+    ) -> std::io::Result<()> {
+        // Everything appended so far must be on disk before the
+        // snapshot claims to cover its sequence range.
+        self.wal.flush()?;
+        self.unflushed = 0;
+        let covered = self.next_seq.saturating_sub(1);
+        let tmp = self.cfg.dir.join("snapshot.tmp");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            let header = format!("snapshot-v1 {}", homes.len());
+            out.write_all(encode_line(covered, &header).as_bytes())?;
+            for (container, home) in homes {
+                let ledger = if home.used_by_pid.is_empty() {
+                    "-".to_string()
+                } else {
+                    home.used_by_pid
+                        .iter()
+                        .map(|(pid, b)| format!("{pid}:{}", b.as_u64()))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let payload = format!(
+                    "home {} {} {} {} {ledger}",
+                    container.as_u64(),
+                    escape(&home.node),
+                    home.limit.as_u64(),
+                    home.hint.as_u64()
+                );
+                out.write_all(encode_line(covered, &payload).as_bytes())?;
+            }
+            out.flush()?;
+            out.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, self.cfg.dir.join(SNAPSHOT_FILE))?;
+        // Truncate the log: future appends start a fresh file.
+        let wal_path = self.cfg.dir.join(WAL_FILE);
+        self.wal = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&wal_path)?,
+        );
+        self.appended_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+impl Drop for Journal {
+    /// Graceful shutdown keeps the buffered tail; a crash (`kill -9`)
+    /// skips this and loses at most one flush interval of records.
+    fn drop(&mut self) {
+        let _ = self.wal.flush();
+    }
+}
+
+/// Load `snapshot.v1` into `recovery.homes`; returns the sequence
+/// number it covers (0 when absent or discarded). Any malformed line
+/// discards the whole snapshot — half a map would replay to a state
+/// the live router never held.
+fn load_snapshot(path: &Path, recovery: &mut Recovery) -> u64 {
+    let Ok(file) = File::open(path) else {
+        return 0;
+    };
+    let reader = BufReader::new(file);
+    let mut lines = reader.split(b'\n');
+    let parse_snapshot = |lines: &mut dyn Iterator<Item = std::io::Result<Vec<u8>>>| {
+        let header = lines.next()?.ok()?;
+        let header = String::from_utf8(header).ok()?;
+        let (seq, payload) = decode_line(&header)?;
+        let mut parts = payload.split(' ');
+        if parts.next()? != "snapshot-v1" {
+            return None;
+        }
+        let count: u64 = parts.next()?.parse().ok()?;
+        let mut homes = BTreeMap::new();
+        for _ in 0..count {
+            let line = String::from_utf8(lines.next()?.ok()?).ok()?;
+            let (line_seq, payload) = decode_line(&line)?;
+            if line_seq != seq {
+                return None;
+            }
+            let mut parts = payload.split(' ');
+            if parts.next()? != "home" {
+                return None;
+            }
+            let container = ContainerId(parts.next()?.parse().ok()?);
+            let node = unescape(parts.next()?)?;
+            let limit = Bytes::new(parts.next()?.parse().ok()?);
+            let hint = Bytes::new(parts.next()?.parse().ok()?);
+            let ledger = parts.next()?;
+            let mut used_by_pid = BTreeMap::new();
+            if ledger != "-" {
+                for entry in ledger.split(',') {
+                    let (pid, bytes) = entry.split_once(':')?;
+                    used_by_pid.insert(pid.parse().ok()?, Bytes::new(bytes.parse().ok()?));
+                }
+            }
+            homes.insert(
+                container,
+                RecoveredHome {
+                    node,
+                    limit,
+                    hint,
+                    used_by_pid,
+                },
+            );
+        }
+        Some((seq, homes))
+    };
+    match parse_snapshot(&mut lines) {
+        Some((seq, homes)) => {
+            recovery.snapshot_homes = homes.len() as u64;
+            recovery.homes = homes;
+            seq
+        }
+        None => {
+            recovery.corrupt_snapshot = true;
+            recovery.homes.clear();
+            recovery.snapshot_homes = 0;
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("convgpu-journal-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ops() -> Vec<JournalOp> {
+        vec![
+            JournalOp::Place {
+                container: ContainerId(1),
+                node: "n0".into(),
+                limit: Bytes::mib(400),
+                hint: Bytes::mib(466),
+            },
+            JournalOp::AllocDone {
+                container: ContainerId(1),
+                pid: 7,
+                size: Bytes::mib(300),
+            },
+            JournalOp::Free {
+                container: ContainerId(1),
+                pid: 7,
+                size: Bytes::mib(200),
+            },
+            JournalOp::Place {
+                container: ContainerId(2),
+                node: "n1".into(),
+                limit: Bytes::mib(100),
+                hint: Bytes::mib(166),
+            },
+            JournalOp::ProcessExit {
+                container: ContainerId(2),
+                pid: 9,
+            },
+            JournalOp::Migrate {
+                container: ContainerId(2),
+                node: "n0".into(),
+                limit: Bytes::mib(100),
+                hint: Bytes::mib(166),
+                used: Bytes::mib(40),
+            },
+            JournalOp::Close {
+                container: ContainerId(1),
+            },
+            JournalOp::Recover {
+                container: ContainerId(3),
+                node: "n1".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_op_roundtrips_through_the_line_format() {
+        for op in ops() {
+            let line = encode_line(42, &op.payload());
+            let (seq, payload) = decode_line(line.trim_end()).expect("decodes");
+            assert_eq!(seq, 42);
+            assert_eq!(JournalOp::parse(payload), Some(op));
+        }
+    }
+
+    #[test]
+    fn node_names_with_spaces_and_percents_roundtrip() {
+        let op = JournalOp::Place {
+            container: ContainerId(5),
+            node: "rack 1/node%2 ü".into(),
+            limit: Bytes::mib(1),
+            hint: Bytes::mib(2),
+        };
+        let payload = op.payload();
+        assert_eq!(JournalOp::parse(&payload), Some(op));
+    }
+
+    #[test]
+    fn append_flush_reopen_recovers_the_map() {
+        let dir = temp_dir("reopen");
+        let mut expected = BTreeMap::new();
+        {
+            let (mut j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            assert!(rec.homes.is_empty());
+            for op in ops() {
+                j.append(&op).unwrap();
+                apply(&mut expected, &op);
+            }
+            j.flush(SimTime::ZERO).unwrap();
+        }
+        let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(rec.homes, expected);
+        assert_eq!(rec.replayed, ops().len() as u64);
+        assert!(!rec.torn_tail);
+        assert!(!rec.corrupt_snapshot);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_reopen_skips_covered_records() {
+        let dir = temp_dir("snapshot");
+        let mut expected = BTreeMap::new();
+        {
+            let (mut j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            for op in ops() {
+                j.append(&op).unwrap();
+                apply(&mut expected, &op);
+            }
+            j.snapshot(&expected).unwrap();
+            // Post-snapshot tail.
+            let tail = JournalOp::AllocDone {
+                container: ContainerId(2),
+                pid: 3,
+                size: Bytes::mib(5),
+            };
+            j.append(&tail).unwrap();
+            apply(&mut expected, &tail);
+            j.flush(SimTime::ZERO).unwrap();
+        }
+        let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(rec.homes, expected);
+        assert_eq!(rec.snapshot_homes, 2);
+        assert_eq!(rec.replayed, 1, "only the post-snapshot tail replays");
+    }
+
+    #[test]
+    fn compaction_crash_window_leftover_records_are_skipped() {
+        // Simulate a crash between snapshot rename and log truncation:
+        // write the log, snapshot, then put the pre-snapshot log back.
+        let dir = temp_dir("crashwindow");
+        let mut state = BTreeMap::new();
+        {
+            let (mut j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            for op in ops() {
+                j.append(&op).unwrap();
+                apply(&mut state, &op);
+            }
+            j.flush(SimTime::ZERO).unwrap();
+            let stale_log = std::fs::read(dir.join(WAL_FILE)).unwrap();
+            j.snapshot(&state).unwrap();
+            drop(j);
+            std::fs::write(dir.join(WAL_FILE), stale_log).unwrap();
+        }
+        let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(rec.homes, state, "double-apply would skew the ledger");
+        assert_eq!(rec.replayed, 0);
+        assert_eq!(rec.skipped, ops().len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_stops_replay_without_panicking() {
+        let dir = temp_dir("torn");
+        let mut states = vec![BTreeMap::new()];
+        {
+            let (mut j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            for op in ops() {
+                j.append(&op).unwrap();
+                let mut next = states.last().unwrap().clone();
+                apply(&mut next, &op);
+                states.push(next);
+            }
+            j.flush(SimTime::ZERO).unwrap();
+        }
+        let full = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        // Truncate at every byte: recovery must always be a prefix
+        // state and must flag the torn tail when a record is cut.
+        for cut in 0..=full.len() {
+            std::fs::write(dir.join(WAL_FILE), &full[..cut]).unwrap();
+            let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            assert!(
+                states.contains(&rec.homes),
+                "cut at byte {cut} recovered a state the live map never held"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_discarded_not_panicked() {
+        let dir = temp_dir("badsnap");
+        let mut state = BTreeMap::new();
+        {
+            let (mut j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            for op in ops() {
+                j.append(&op).unwrap();
+                apply(&mut state, &op);
+            }
+            j.snapshot(&state).unwrap();
+        }
+        // Flip one byte in the middle of the snapshot.
+        let mut snap = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        let mid = snap.len() / 2;
+        snap[mid] ^= 0x40;
+        std::fs::write(dir.join(SNAPSHOT_FILE), snap).unwrap();
+        let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert!(rec.corrupt_snapshot);
+        // The log was truncated by the snapshot, so nothing replays:
+        // recovery is empty rather than wrong.
+        assert!(rec.homes.is_empty());
+    }
+
+    #[test]
+    fn hostile_ledger_deltas_clamp_instead_of_wrapping() {
+        let mut homes = BTreeMap::new();
+        apply(
+            &mut homes,
+            &JournalOp::Place {
+                container: ContainerId(1),
+                node: "n0".into(),
+                limit: Bytes::mib(10),
+                hint: Bytes::mib(76),
+            },
+        );
+        // Free more than was ever confirmed: clamps to zero.
+        apply(
+            &mut homes,
+            &JournalOp::AllocDone {
+                container: ContainerId(1),
+                pid: 1,
+                size: Bytes::mib(5),
+            },
+        );
+        apply(
+            &mut homes,
+            &JournalOp::Free {
+                container: ContainerId(1),
+                pid: 1,
+                size: Bytes::mib(500),
+            },
+        );
+        assert_eq!(homes[&ContainerId(1)].used_by_pid[&1], Bytes::ZERO);
+        // Saturating addition near u64::MAX: no wrap, no panic.
+        apply(
+            &mut homes,
+            &JournalOp::AllocDone {
+                container: ContainerId(1),
+                pid: 2,
+                size: Bytes::new(u64::MAX - 1),
+            },
+        );
+        apply(
+            &mut homes,
+            &JournalOp::AllocDone {
+                container: ContainerId(1),
+                pid: 2,
+                size: Bytes::new(u64::MAX - 1),
+            },
+        );
+        assert_eq!(homes[&ContainerId(1)].used_by_pid[&2], Bytes::new(u64::MAX));
+    }
+}

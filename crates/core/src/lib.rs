@@ -24,16 +24,22 @@
 //!   [`router::NodeServer`] socket harnesses fronted by the
 //!   fault-tolerant [`router::ClusterRouter`] (Swarm placement,
 //!   deadlines, bounded backoff, node health, failover).
+//! * [`journal`] — the router's write-ahead home-map journal:
+//!   append-only mutation log plus compacted snapshots, replayed on
+//!   startup so a restarted router recovers full migration checkpoints
+//!   (limit / hint / wire-observed `used`) instead of zeros.
 
 #![forbid(unsafe_code)]
 
 pub mod handler;
+pub mod journal;
 pub mod middleware;
 pub mod nvidia_docker;
 pub mod plugin;
 pub mod router;
 pub mod service;
 
+pub use journal::{Journal, JournalConfig, JournalOp, RecoveredHome, Recovery};
 pub use middleware::{ConVGpu, ConVGpuConfig, Session, TopologySpec, TransportMode};
 pub use nvidia_docker::RunCommand;
 pub use nvidia_docker::{resolve_memory_limit, NvidiaDocker, CONVGPU_VOLUME_DRIVER};

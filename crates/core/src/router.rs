@@ -57,8 +57,21 @@
 //! has committed per node (plus the 66 MiB context hint) rather than
 //! querying live occupancy on every register, so `BinPack` packs by
 //! *committed* memory where the in-process backend packs by live
-//! unassigned memory. Homes recovered after a router restart (see
-//! [`ClusterRouter::recover_home`]) are re-learned with a zero hint.
+//! unassigned memory.
+//!
+//! **Durable state** (this PR's layer): a router attached with
+//! [`ClusterRouter::attach_with_journal`] records every home-map
+//! mutation — placements, closes, migration commits, and the
+//! wire-observed ledger deltas — in a write-ahead journal
+//! ([`crate::journal`]), with periodic compacted snapshots. On restart
+//! the journal replays, so recovered homes carry their full
+//! `limit` / `hint` / `used_by_pid` checkpoints and a post-restart
+//! migration hands the adopter the *pre-restart* books. Appends are
+//! buffered and flushed on a sim-clock cadence; no router lock is held
+//! across journal file I/O. Without a journal the pre-existing lazy
+//! path still applies: homes re-learned through
+//! [`ClusterRouter::recover_home`] carry a zero hint, zero limit, and
+//! an empty ledger (pinned by the zero-checkpoint baseline tests).
 //!
 //! Everything is observable through the router's [`ObsHub`]: per-node
 //! route latency histograms and retry / timeout / failover counters (see
@@ -66,6 +79,7 @@
 //! and `query_cluster`.
 
 use crate::handler::ServiceHandler;
+use crate::journal::{Journal, JournalConfig, JournalOp, RecoveredHome};
 use crate::service::{ObsHub, SchedulerService};
 use convgpu_ipc::binary::WireCodec;
 use convgpu_ipc::client::SchedulerClient;
@@ -324,6 +338,11 @@ pub struct ClusterRouter {
     /// Nodes with a drain in flight — collapses the burst of failure
     /// notifications a dying node produces into one drain.
     draining: Mutex<BTreeSet<usize>>,
+    /// Write-ahead home-map journal (`None` = the pre-journal
+    /// volatile router, byte-for-byte unchanged behavior). Leaf lock:
+    /// nothing else is ever acquired while it is held, and the home
+    /// map lock is never held across journal I/O.
+    journal: Option<Mutex<Journal>>,
 }
 
 /// The context charge a node budgets on top of each limit; mirrored here
@@ -366,11 +385,167 @@ impl ClusterRouter {
             migrating: Mutex::new(BTreeSet::new()),
             migration_done: Condvar::new(),
             draining: Mutex::new(BTreeSet::new()),
+            journal: None,
         };
         for node in &router.nodes {
             router.publish_health(node, NodeHealth::Up);
         }
         router
+    }
+
+    /// [`ClusterRouter::attach`] with durable state: open (or create)
+    /// the write-ahead journal under `journal.dir`, replay it, and seed
+    /// the home map with the recovered `limit` / `hint` / `used`
+    /// checkpoints — a restarted router migrates a dead node's
+    /// containers with its *pre-restart* books instead of zeros.
+    ///
+    /// Recovery tolerates a torn or corrupt journal tail (replay stops
+    /// at the first bad record; never panics) and a discarded corrupt
+    /// snapshot. Homes journaled against a node name not in `nodes`
+    /// are dropped (and counted). The replay outcome is published on
+    /// the router's registry (`convgpu_router_journal_*`, see
+    /// docs/OBSERVABILITY.md), and the on-disk state is immediately
+    /// recompacted into one fresh snapshot.
+    pub fn attach_with_journal<E: Into<EndpointAddr>>(
+        nodes: Vec<(String, E)>,
+        codec: WireCodec,
+        cfg: RouterConfig,
+        clock: ClockHandle,
+        journal: JournalConfig,
+    ) -> std::io::Result<ClusterRouter> {
+        let mut router = ClusterRouter::attach(nodes, codec, cfg, clock);
+        let (journal, recovery) = Journal::open(journal)?;
+        let mut recovered = 0u64;
+        let mut dropped = 0u64;
+        {
+            let mut homes = router.homes.lock();
+            for (container, rec) in recovery.homes {
+                match router.nodes.iter().position(|n| n.name == rec.node) {
+                    Some(idx) => {
+                        homes.insert(
+                            container,
+                            Home {
+                                node: idx,
+                                hint: rec.hint,
+                                limit: rec.limit,
+                                used_by_pid: rec.used_by_pid,
+                            },
+                        );
+                        recovered += 1;
+                    }
+                    None => dropped += 1,
+                }
+            }
+        }
+        let reg = &router.obs.registry;
+        reg.inc(
+            "convgpu_router_journal_replayed_records_total",
+            &[],
+            recovery.replayed,
+        );
+        reg.inc(
+            "convgpu_router_journal_recovered_homes_total",
+            &[],
+            recovered,
+        );
+        reg.inc("convgpu_router_journal_dropped_homes_total", &[], dropped);
+        if recovery.torn_tail {
+            reg.inc("convgpu_router_journal_torn_tail_total", &[], 1);
+        }
+        if recovery.corrupt_snapshot {
+            reg.inc("convgpu_router_journal_corrupt_snapshot_total", &[], 1);
+        }
+        router.journal = Some(Mutex::new(journal));
+        // Compact immediately: recovery collapses to one fresh
+        // snapshot, so restart-after-restart never replays a long log.
+        router.snapshot_now();
+        Ok(router)
+    }
+
+    /// Record one home-map mutation in the journal (no-op without
+    /// one). Buffered; flushed on the configured sim-clock cadence,
+    /// and compaction is triggered by record count. Called only after
+    /// the home-map lock has been released.
+    fn journal_append(&self, op: JournalOp) {
+        let Some(journal) = &self.journal else { return };
+        let now = self.clock.now();
+        let (ok, wants_snapshot) = {
+            let mut j = journal.lock();
+            // The journal mutex guards exactly the file it writes — the
+            // sanctioned Reply::send shape, one call deeper than the
+            // analyzer's guard-receiver exemption can see. No other
+            // lock is held here, and no socket peer can wedge it.
+            // lint:allow(lock-order)
+            let ok = j.append(&op).is_ok() && j.maybe_flush(now).is_ok();
+            (ok, j.wants_snapshot())
+        };
+        self.obs
+            .registry
+            .inc("convgpu_router_journal_appends_total", &[], 1);
+        if !ok {
+            self.obs
+                .registry
+                .inc("convgpu_router_journal_errors_total", &[], 1);
+        }
+        if wants_snapshot {
+            self.snapshot_now();
+        }
+    }
+
+    /// Write a compacted snapshot of the current home map (no-op
+    /// without a journal). The map is cloned under its lock and the
+    /// lock released before any file I/O happens.
+    fn snapshot_now(&self) {
+        let Some(journal) = &self.journal else { return };
+        let t0 = self.clock.now();
+        let homes = self.homes_snapshot();
+        // Same sanctioned shape as journal_append: the guard *is* the
+        // file being written, and the home-map lock was released by
+        // homes_snapshot() before any I/O. lint:allow(lock-order)
+        if journal.lock().snapshot(&homes).is_err() {
+            self.obs
+                .registry
+                .inc("convgpu_router_journal_errors_total", &[], 1);
+        }
+        self.obs.registry.observe(
+            "convgpu_router_snapshot_seconds",
+            &[],
+            self.clock.now().saturating_since(t0),
+        );
+    }
+
+    /// The home map as the journal (and its tests) see it: node
+    /// *names* instead of indices, with the full checkpoint per home.
+    pub fn homes_snapshot(&self) -> BTreeMap<ContainerId, RecoveredHome> {
+        let homes = self.homes.lock();
+        homes
+            .iter()
+            .map(|(container, h)| {
+                (
+                    *container,
+                    RecoveredHome {
+                        node: self.nodes[h.node].name.clone(),
+                        limit: h.limit,
+                        hint: h.hint,
+                        used_by_pid: h.used_by_pid.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Flush any buffered journal records to the OS now, regardless of
+    /// the flush cadence (no-op without a journal). Exposed for
+    /// operator-driven shutdown paths and tests.
+    pub fn journal_flush(&self) {
+        if let Some(journal) = &self.journal {
+            let now = self.clock.now();
+            if journal.lock().flush(now).is_err() {
+                self.obs
+                    .registry
+                    .inc("convgpu_router_journal_errors_total", &[], 1);
+            }
+        }
     }
 
     /// The router's observability hub.
@@ -456,6 +631,12 @@ impl ClusterRouter {
         let mut state = node.state.lock();
         state.consecutive_failures = 0;
         if state.health != NodeHealth::Up {
+            if state.health == NodeHealth::Down {
+                // A node coming back from the dead may be a different
+                // process on different hardware: whatever capacity we
+                // knew is stale until the next topology probe.
+                state.caps = None;
+            }
             state.health = NodeHealth::Up;
             drop(state);
             self.publish_health(node, NodeHealth::Up);
@@ -467,9 +648,12 @@ impl ClusterRouter {
         let node = &self.nodes[idx];
         let mut state = node.state.lock();
         // A timed-out request leaves the connection itself usable (the
-        // late reply is discarded); a broken one must be redialed.
+        // late reply is discarded); a broken one must be redialed — and
+        // the process behind the redial may have restarted with a
+        // smaller GPU, so the cached capacity probe goes with it.
         if !matches!(err, IpcError::TimedOut) {
             state.client = None;
+            state.caps = None;
         }
         state.consecutive_failures = state.consecutive_failures.saturating_add(1);
         let health = if state.consecutive_failures >= self.cfg.down_after {
@@ -499,13 +683,21 @@ impl ClusterRouter {
     /// plus deterministic jitter of up to one base interval.
     fn backoff(&self, attempt: u32) -> SimDuration {
         let shift = (attempt.saturating_sub(1)).min(16);
-        let exp = self.cfg.backoff_base * (1u64 << shift);
+        // Every step saturates: an extreme configured base (up to
+        // `SimDuration::MAX`) must land on the cap, never on an
+        // overflow panic.
+        let exp = SimDuration::from_nanos(
+            self.cfg
+                .backoff_base
+                .as_nanos()
+                .saturating_mul(1u64 << shift),
+        );
         let capped = exp.min(self.cfg.backoff_cap);
         let jitter_ns = self
             .rng
             .lock()
             .next_below(self.cfg.backoff_base.as_nanos().max(1));
-        capped + SimDuration::from_nanos(jitter_ns)
+        capped.saturating_add(SimDuration::from_nanos(jitter_ns))
     }
 
     /// Forward a deadline-bounded request to node `idx`, retrying
@@ -681,6 +873,12 @@ impl ClusterRouter {
                             used_by_pid: BTreeMap::new(),
                         },
                     );
+                    self.journal_append(JournalOp::Place {
+                        container,
+                        node: self.nodes[pick].name.clone(),
+                        limit,
+                        hint,
+                    });
                     self.obs.registry.inc(
                         "convgpu_router_placement_total",
                         &[
@@ -729,6 +927,10 @@ impl ClusterRouter {
                         used_by_pid: BTreeMap::new(),
                     },
                 );
+                self.journal_append(JournalOp::Recover {
+                    container,
+                    node: self.nodes[idx].name.clone(),
+                });
                 return Some(idx);
             }
         }
@@ -819,6 +1021,7 @@ impl ClusterRouter {
             _ => Bytes::ZERO,
         };
         self.homes.lock().remove(&container);
+        self.journal_append(JournalOp::Close { container });
         self.ensure_caps();
         let mut excluded = vec![false; self.nodes.len()];
         excluded[from] = true;
@@ -850,6 +1053,13 @@ impl ClusterRouter {
                             used_by_pid,
                         },
                     );
+                    self.journal_append(JournalOp::Migrate {
+                        container,
+                        node: self.nodes[pick].name.clone(),
+                        limit,
+                        hint,
+                        used,
+                    });
                     to = Some(pick);
                     break;
                 }
@@ -1048,10 +1258,28 @@ impl ClusterRouter {
         )? {
             Response::Freed { size } => {
                 if size > Bytes::ZERO {
-                    if let Some(home) = self.homes.lock().get_mut(&container) {
-                        if let Some(used) = home.used_by_pid.get_mut(&pid) {
-                            *used = used.saturating_sub(size);
+                    let tracked = {
+                        let mut homes = self.homes.lock();
+                        match homes.get_mut(&container) {
+                            Some(home) => {
+                                // Clamp, never wrap: a `free` reporting
+                                // more bytes than the pid's recorded
+                                // balance (out-of-order delivery, node
+                                // restart) zeroes the entry.
+                                if let Some(used) = home.used_by_pid.get_mut(&pid) {
+                                    *used = used.saturating_sub(size);
+                                }
+                                true
+                            }
+                            None => false,
                         }
+                    };
+                    if tracked {
+                        self.journal_append(JournalOp::Free {
+                            container,
+                            pid,
+                            size,
+                        });
                     }
                 }
                 Ok(size)
@@ -1083,9 +1311,26 @@ impl ClusterRouter {
             Response::Ok,
         )? {
             Response::Ok => {
-                if let Some(home) = self.homes.lock().get_mut(&container) {
-                    let used = home.used_by_pid.entry(pid).or_insert(Bytes::ZERO);
-                    *used += size;
+                let tracked = {
+                    let mut homes = self.homes.lock();
+                    match homes.get_mut(&container) {
+                        Some(home) => {
+                            let used = home.used_by_pid.entry(pid).or_insert(Bytes::ZERO);
+                            // Saturate rather than wrap: a hostile or
+                            // buggy node confirming absurd totals can
+                            // skew the ledger but never panic it.
+                            *used = Bytes::new(used.as_u64().saturating_add(size.as_u64()));
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                if tracked {
+                    self.journal_append(JournalOp::AllocDone {
+                        container,
+                        pid,
+                        size,
+                    });
                 }
                 Ok(())
             }
@@ -1134,8 +1379,18 @@ impl ClusterRouter {
         let idx = self.route_idx(container)?;
         match self.forward_or_degrade(idx, Request::ProcessExit { container, pid }, Response::Ok)? {
             Response::Ok => {
-                if let Some(home) = self.homes.lock().get_mut(&container) {
-                    home.used_by_pid.remove(&pid);
+                let tracked = {
+                    let mut homes = self.homes.lock();
+                    match homes.get_mut(&container) {
+                        Some(home) => {
+                            home.used_by_pid.remove(&pid);
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                if tracked {
+                    self.journal_append(JournalOp::ProcessExit { container, pid });
                 }
                 Ok(())
             }
@@ -1158,17 +1413,19 @@ impl ClusterRouter {
             // may have re-homed the container while the close was in
             // flight on the old node.
             self.await_migration(container);
-            {
+            let removed = {
                 let mut homes = self.homes.lock();
                 match homes.get(&container).map(|h| h.node) {
                     Some(new_idx) if new_idx != idx => {
                         idx = new_idx;
-                        continue;
+                        None
                     }
-                    _ => {
-                        homes.remove(&container);
-                    }
+                    _ => Some(homes.remove(&container).is_some()),
                 }
+            };
+            let Some(removed) = removed else { continue };
+            if removed {
+                self.journal_append(JournalOp::Close { container });
             }
             return match result? {
                 Response::Ok => Ok(()),
@@ -1481,12 +1738,21 @@ mod tests {
     }
 
     fn router_over(nodes: &[&NodeServer], cfg: RouterConfig, clock: ClockHandle) -> ClusterRouter {
+        router_over_codec(nodes, cfg, clock, WireCodec::Json)
+    }
+
+    fn router_over_codec(
+        nodes: &[&NodeServer],
+        cfg: RouterConfig,
+        clock: ClockHandle,
+        codec: WireCodec,
+    ) -> ClusterRouter {
         ClusterRouter::attach(
             nodes
                 .iter()
                 .map(|n| (n.name().to_string(), n.socket_path().to_path_buf()))
                 .collect(),
-            WireCodec::Json,
+            codec,
             cfg,
             clock,
         )
@@ -1835,6 +2101,217 @@ mod tests {
         n1.service()
             .with_scheduler(|s| s.check_invariants().unwrap());
         n1.shutdown();
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_config() {
+        let n0 = node("backoffsat", "n0", 64, RealClock::handle());
+        let cfg = RouterConfig {
+            backoff_base: SimDuration::MAX,
+            backoff_cap: SimDuration::MAX,
+            ..RouterConfig::default()
+        };
+        let router = router_over(&[&n0], cfg, VirtualClock::new().handle());
+        // Any attempt number must land on the cap — never on the debug
+        // overflow abort the unchecked `base * (1 << shift)` used to hit.
+        for attempt in [0, 1, 2, 17, u32::MAX] {
+            assert_eq!(router.backoff(attempt), SimDuration::MAX);
+        }
+        n0.shutdown();
+    }
+
+    #[test]
+    fn restarted_smaller_node_does_not_receive_oversized_placements() {
+        let clock = RealClock::handle();
+        let n0 = node("stalecaps", "n0", 1024, clock.clone());
+        let n1 = node("stalecaps", "n1", 1024, clock.clone());
+        let vclock: ClockHandle = VirtualClock::new().handle();
+        let cfg = RouterConfig {
+            max_retries: 0,
+            ..RouterConfig::default()
+        };
+        let router = router_over(&[&n0, &n1], cfg, vclock);
+        // Warm the capability cache at 1024 MiB on both nodes.
+        router.register(ContainerId(1), Bytes::mib(100)).unwrap(); // → n0
+        router.register(ContainerId(2), Bytes::mib(100)).unwrap(); // → n1
+                                                                   // n0 dies; the next placement attempt on it fails over and — the
+                                                                   // bugfix — drops the stale 1024 MiB capability entry with the
+                                                                   // dead client.
+        n0.shutdown();
+        assert_eq!(
+            router.register(ContainerId(3), Bytes::mib(300)).unwrap(),
+            "n1"
+        );
+        // n0 restarts at the same socket with a smaller GPU. Spread
+        // prefers it again (1 container vs 2), but the re-probed
+        // capability says 150 MiB, so a 300 MiB container must not land
+        // there. With the stale cache it would have.
+        let n0b = node("stalecaps", "n0", 150, clock);
+        assert_eq!(
+            router.register(ContainerId(4), Bytes::mib(300)).unwrap(),
+            "n1"
+        );
+        // A right-sized container still lands on the restarted node.
+        assert_eq!(
+            router.register(ContainerId(5), Bytes::mib(40)).unwrap(),
+            "n0"
+        );
+        n0b.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn wire_ledger_clamps_on_out_of_order_frees() {
+        let clock = RealClock::handle();
+        let n0 = node("clamp", "n0", 1024, clock.clone());
+        let first = router_over(&[&n0], RouterConfig::default(), clock.clone());
+        first.register(ContainerId(1), Bytes::mib(400)).unwrap();
+        assert_eq!(
+            first
+                .alloc_request(ContainerId(1), 7, Bytes::mib(200), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        ClusterRouter::alloc_done(&first, ContainerId(1), 7, 0xA0, Bytes::mib(200)).unwrap();
+        drop(first);
+        // Restarted without a journal: the re-learned ledger is empty, so
+        // the node's answer to the old free (200 MiB) exceeds the pid's
+        // freshly recorded balance (10 MiB). The ledger must clamp to
+        // zero, not wrap to ~2^64 bytes.
+        let second = router_over(&[&n0], RouterConfig::default(), clock);
+        assert_eq!(
+            second
+                .alloc_request(ContainerId(1), 7, Bytes::mib(10), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        ClusterRouter::alloc_done(&second, ContainerId(1), 7, 0xB0, Bytes::mib(10)).unwrap();
+        assert_eq!(
+            ClusterRouter::free(&second, ContainerId(1), 7, 0xA0).unwrap(),
+            Bytes::mib(200)
+        );
+        let homes = second.homes_snapshot();
+        assert_eq!(homes[&ContainerId(1)].used_by_pid[&7], Bytes::ZERO);
+        n0.shutdown();
+    }
+
+    #[test]
+    fn restart_without_a_journal_is_pinned_to_zero_checkpoints() {
+        // Frozen baseline for the journal's improvement, over both
+        // codecs: a router restarted *without* a journal re-learns homes
+        // with limit = 0, hint = 0, and an empty ledger, and a later
+        // migration replays that zero checkpoint.
+        for (tag, codec) in [
+            ("zerojson", WireCodec::Json),
+            ("zerobin", WireCodec::Binary),
+        ] {
+            let clock = RealClock::handle();
+            let n0 = node(tag, "n0", 1024, clock.clone());
+            let n1 = node(tag, "n1", 1024, clock.clone());
+            let cfg = RouterConfig {
+                max_retries: 1,
+                down_after: 2,
+                ..RouterConfig::default()
+            };
+            let first = router_over_codec(
+                &[&n0, &n1],
+                cfg.clone(),
+                VirtualClock::new().handle(),
+                codec,
+            );
+            first.register(ContainerId(1), Bytes::mib(400)).unwrap();
+            assert_eq!(
+                first
+                    .alloc_request(ContainerId(1), 7, Bytes::mib(200), ApiKind::Malloc)
+                    .unwrap(),
+                AllocDecision::Granted
+            );
+            ClusterRouter::alloc_done(&first, ContainerId(1), 7, 0xA0, Bytes::mib(200)).unwrap();
+            drop(first);
+            let second = router_over_codec(&[&n0, &n1], cfg, VirtualClock::new().handle(), codec);
+            // Lazy re-learn while the home is alive…
+            assert_eq!(
+                second
+                    .alloc_request(ContainerId(1), 7, Bytes::mib(10), ApiKind::Malloc)
+                    .unwrap(),
+                AllocDecision::Granted
+            );
+            let homes = second.homes_snapshot();
+            assert_eq!(homes[&ContainerId(1)].node, "n0", "codec {codec:?}");
+            assert_eq!(homes[&ContainerId(1)].limit, Bytes::ZERO, "codec {codec:?}");
+            assert_eq!(homes[&ContainerId(1)].hint, Bytes::ZERO, "codec {codec:?}");
+            assert!(
+                homes[&ContainerId(1)].used_by_pid.is_empty(),
+                "codec {codec:?}"
+            );
+            // …then the home dies and the drain migrates the zeros.
+            n0.shutdown();
+            for _ in 0..2 {
+                assert_eq!(
+                    second
+                        .alloc_request(ContainerId(1), 7, Bytes::mib(10), ApiKind::Malloc)
+                        .unwrap(),
+                    AllocDecision::Rejected
+                );
+            }
+            let records = second.migration_records();
+            assert_eq!(records.len(), 1, "codec {codec:?}: {records:?}");
+            assert_eq!(records[0].limit, Bytes::ZERO, "codec {codec:?}");
+            assert_eq!(records[0].used, Bytes::ZERO, "codec {codec:?}");
+            n1.shutdown();
+        }
+    }
+
+    #[test]
+    fn journaled_router_recovers_full_checkpoints_across_restart() {
+        let clock = RealClock::handle();
+        let n0 = node("junit", "n0", 1024, clock.clone());
+        let jdir = temp_dir("junit").join("journal");
+        let _ = std::fs::remove_dir_all(&jdir);
+        let jcfg = JournalConfig {
+            flush_interval: SimDuration::ZERO,
+            ..JournalConfig::new(jdir.clone())
+        };
+        let endpoints = vec![("n0".to_string(), n0.socket_path().to_path_buf())];
+        let first = ClusterRouter::attach_with_journal(
+            endpoints.clone(),
+            WireCodec::Json,
+            RouterConfig::default(),
+            clock.clone(),
+            jcfg.clone(),
+        )
+        .unwrap();
+        first.register(ContainerId(1), Bytes::mib(400)).unwrap();
+        assert_eq!(
+            first
+                .alloc_request(ContainerId(1), 7, Bytes::mib(100), ApiKind::Malloc)
+                .unwrap(),
+            AllocDecision::Granted
+        );
+        ClusterRouter::alloc_done(&first, ContainerId(1), 7, 0xA0, Bytes::mib(100)).unwrap();
+        drop(first);
+        // The restarted router holds the full checkpoint before touching
+        // any node — limit, placement hint, and wire-observed ledger.
+        let second = ClusterRouter::attach_with_journal(
+            endpoints,
+            WireCodec::Json,
+            RouterConfig::default(),
+            clock,
+            jcfg,
+        )
+        .unwrap();
+        let homes = second.homes_snapshot();
+        let home = &homes[&ContainerId(1)];
+        assert_eq!(home.node, "n0");
+        assert_eq!(home.limit, Bytes::mib(400));
+        assert_eq!(home.hint, ctx_hint(Bytes::mib(400)));
+        assert_eq!(home.used_by_pid[&7], Bytes::mib(100));
+        let text = second.metrics_text();
+        assert!(
+            text.contains("convgpu_router_journal_recovered_homes_total"),
+            "{text}"
+        );
+        n0.shutdown();
     }
 
     #[test]

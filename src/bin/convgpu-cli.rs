@@ -41,10 +41,15 @@
 //!   kernel-assigned port on its ready line.
 //! * `cluster route --socket=ENDPOINT --node=NAME=ENDPOINT...
 //!   [--strategy=spread|binpack|random] [--codec=json|binary]
-//!   [--deadline-ms=N] [--retries=N]` — front the named node endpoints
-//!   with the fault-tolerant cluster router: Swarm-style placement,
-//!   per-request deadlines, bounded retry with backoff, and node-health
-//!   driven degradation, serving the same wire protocol on `--socket`.
+//!   [--deadline-ms=N] [--retries=N] [--journal=DIR]` — front the named
+//!   node endpoints with the fault-tolerant cluster router: Swarm-style
+//!   placement, per-request deadlines, bounded retry with backoff, and
+//!   node-health driven degradation, serving the same wire protocol on
+//!   `--socket`. With `--journal=DIR` the router's home map is durable:
+//!   every mutation lands in a write-ahead journal under `DIR` and a
+//!   restarted router replays it, recovering full migration checkpoints
+//!   instead of re-learning homes with zeros (`docs/CLUSTER.md`,
+//!   "Durability & restart").
 //! * `cluster rebalance --socket=ROUTER_ENDPOINT (--node=NAME |
 //!   --container=ID) [--codec=json|binary]` — ask a running router to
 //!   drain every container homed on `--node` (or re-home just
@@ -82,7 +87,7 @@ fn usage() -> ExitCode {
                  [--devices=D] [--policy=P] [--seed=S]\n\
          cluster route --socket=ENDPOINT --node=NAME=ENDPOINT [--node=...]\n\
                  [--strategy=spread|binpack|random] [--codec=json|binary]\n\
-                 [--deadline-ms=N] [--retries=N]\n\
+                 [--deadline-ms=N] [--retries=N] [--journal=DIR]\n\
          cluster rebalance --socket=ROUTER_ENDPOINT (--node=NAME | --container=ID)\n\
                  [--codec=json|binary]\n\
          \n\
@@ -745,6 +750,7 @@ fn cmd_cluster_serve_node(args: &[String]) -> ExitCode {
 fn cmd_cluster_route(args: &[String]) -> ExitCode {
     use convgpu::ipc::binary::WireCodec;
     use convgpu::ipc::transport::EndpointAddr;
+    use convgpu::middleware::journal::JournalConfig;
     use convgpu::middleware::router::{ClusterRouter, RouterConfig};
     use convgpu::scheduler::cluster::SwarmStrategy;
     use convgpu::sim::clock::RealClock;
@@ -754,6 +760,7 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
     let mut nodes: Vec<(String, EndpointAddr)> = Vec::new();
     let mut cfg = RouterConfig::default();
     let mut codec = WireCodec::Json;
+    let mut journal: Option<std::path::PathBuf> = None;
     for a in args {
         if let Some(v) = a.strip_prefix("--socket=") {
             socket = match parse_endpoint(v) {
@@ -789,6 +796,11 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
                 Ok(n) => n,
                 Err(_) => return usage(),
             };
+        } else if let Some(v) = a.strip_prefix("--journal=") {
+            if v.is_empty() {
+                return usage();
+            }
+            journal = Some(std::path::PathBuf::from(v));
         } else {
             return usage();
         }
@@ -806,15 +818,39 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
     }
     let strategy = cfg.strategy;
     let node_names: Vec<String> = nodes.iter().map(|(n, _)| n.clone()).collect();
-    let router = Arc::new(ClusterRouter::attach(
-        nodes,
-        codec,
-        cfg,
-        RealClock::handle(),
-    ));
-    // A restarted router re-learns container homes lazily: the first
-    // routed call for an unknown container probes the live nodes'
-    // `query_home` (see docs/CLUSTER.md), so no warm-up pass is needed.
+    // With --journal the home map is durable: the write-ahead journal
+    // under DIR replays on startup, recovering full limit/hint/used
+    // checkpoints. Without it, a restarted router re-learns container
+    // homes lazily with zero checkpoints: the first routed call for an
+    // unknown container probes the live nodes' `query_home` (see
+    // docs/CLUSTER.md "Durability & restart").
+    let journal_note = journal
+        .as_ref()
+        .map(|d| format!(", journal {}", d.display()))
+        .unwrap_or_default();
+    let router = match journal {
+        Some(dir) => {
+            match ClusterRouter::attach_with_journal(
+                nodes,
+                codec,
+                cfg,
+                RealClock::handle(),
+                JournalConfig::new(dir),
+            ) {
+                Ok(r) => Arc::new(r),
+                Err(e) => {
+                    eprintln!("convgpu-cli: cannot open router journal: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => Arc::new(ClusterRouter::attach(
+            nodes,
+            codec,
+            cfg,
+            RealClock::handle(),
+        )),
+    };
     let server = match router.serve_on_endpoint(&socket) {
         Ok(s) => s,
         Err(e) => {
@@ -823,7 +859,7 @@ fn cmd_cluster_route(args: &[String]) -> ExitCode {
         }
     };
     let ready = format!(
-        "cluster router ready: {} node(s) [{}], strategy {}, codec {}, on {}",
+        "cluster router ready: {} node(s) [{}], strategy {}, codec {}{journal_note}, on {}",
         node_names.len(),
         node_names.join(", "),
         strategy.label(),

@@ -28,6 +28,12 @@
 //!   one node is killed mid-run, failovers are observable through
 //!   `query_metrics` and `query_cluster`, and new registrations land on
 //!   the surviving node.
+//!
+//! Everything here runs with the router's write-ahead journal *off*:
+//! these goldens and ticket bit-equalities double as the proof that the
+//! journal is opt-in and invisible when disabled. The durability half
+//! (kill -9 the router, replay the journal, migrate with pre-restart
+//! checkpoints) lives in `tests/journal_recovery.rs`.
 
 use convgpu::ipc::binary::WireCodec;
 use convgpu::ipc::client::SchedulerClient;
