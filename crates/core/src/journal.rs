@@ -9,7 +9,25 @@
 //! migration off a dead node replayed `limit = 0`, `used = 0` onto the
 //! adopter and committed-memory placement ran blind.
 //!
-//! The journal fixes that with the classic WAL shape:
+//! The journal fixes that with the classic WAL shape, split into two
+//! halves so the atomicity boundary is explicit:
+//!
+//! * **[`WalBuffer`] — the memory half.** The sequencer plus the
+//!   append buffer, owned by the router *inside the same mutex as the
+//!   home map itself*. A mutation and its journal record are therefore
+//!   one critical section: the record's sequence number is assigned at
+//!   the instant the map changes, so journal order always equals apply
+//!   order, and a compaction can never stamp a `covered` sequence that
+//!   includes a mutation its map capture missed. Appends are pure
+//!   memory — no syscall ever happens under the home-map lock.
+//! * **[`Journal`] — the file half.** Owns `wal.log` and
+//!   `snapshot.v1`; every method does file I/O and is guarded by its
+//!   own mutex in the router, taken *before* (never while holding) the
+//!   home-map lock on the drain/compaction paths. Batches are drained
+//!   from the buffer and written under one journal-lock critical
+//!   section, so the file's record order is the buffer's append order.
+//!
+//! On-disk shapes:
 //!
 //! * **Append-only log** (`wal.log`) — every home-map mutation is one
 //!   line: `place`, `recover`, `close`, `migrate` (commit of a
@@ -24,17 +42,17 @@
 //! * **Torn-tail tolerance** — replay stops at the first record that
 //!   fails to parse or checksum (a crash mid-append tears at most the
 //!   final record) and reports it; it never panics on hostile bytes.
-//! * **Off the hot path** — appends go to a [`BufWriter`]; the *router*
-//!   decides when to flush (sim-clock interval) and when to compact
-//!   (record count), and never holds its home-map lock across journal
-//!   I/O.
 //!
-//! Durability contract: a flushed record survives a router crash
-//! (`kill -9`); records appended since the last flush are lost, which
-//! recovery reads as "that tail of operations never happened" — exactly
-//! the state an observer of the flushed prefix would reconstruct. The
-//! replay-equivalence property (`tests/journal_recovery.rs`) pins this:
-//! a journal truncated at *any* byte replays to the home map the live
+//! Durability contract: a record *drained* to the log file survives a
+//! router crash (`kill -9`); records still in the [`WalBuffer`] are
+//! lost, which recovery reads as "that tail of operations never
+//! happened" — exactly the state an observer of the drained prefix
+//! would reconstruct. Drains happen on the sim-clock flush cadence as
+//! requests arrive, and a background wall-clock ticker in the router
+//! drains a quiescent buffer too, so a record's exposure is bounded by
+//! roughly one tick even when traffic stops. The replay-equivalence
+//! property (`tests/journal_recovery.rs`) pins the prefix semantics: a
+//! journal truncated at *any* byte replays to the home map the live
 //! router held after some prefix of its operations.
 
 use convgpu_sim_core::ids::ContainerId;
@@ -50,30 +68,39 @@ pub const WAL_FILE: &str = "wal.log";
 /// File name of the compacted snapshot inside the journal directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.v1";
 
-/// Journal knobs. All timing is sim time, so a virtual-clock test
-/// drives the flush schedule deterministically.
+/// Journal knobs. Flush/compaction pacing is sim time, so a
+/// virtual-clock test drives the schedule deterministically; the idle
+/// ticker is wall time because its whole job is to put a real-time
+/// bound on buffered records when no request (and hence no sim-clock
+/// observation) arrives.
 #[derive(Clone, Debug)]
 pub struct JournalConfig {
     /// Directory holding `wal.log` and `snapshot.v1` (created if
     /// missing).
     pub dir: PathBuf,
-    /// Flush the append buffer to the OS when this much sim time has
-    /// passed since the last flush. `ZERO` flushes on every append
+    /// Drain the append buffer to the OS when this much sim time has
+    /// passed since the last drain. `ZERO` drains on every append
     /// (maximum durability, one `write(2)` per mutation).
     pub flush_interval: SimDuration,
     /// Compact (snapshot + truncate the log) after this many appended
     /// records. `0` never compacts on count (only at open).
     pub snapshot_every: u64,
+    /// Wall-clock cadence of the router's background safety-net
+    /// flusher: a quiescent router drains its buffered records at
+    /// least this often, so `kill -9` during an idle period loses at
+    /// most about one tick of records.
+    pub idle_flush: std::time::Duration,
 }
 
 impl JournalConfig {
     /// Defaults tuned for the request hot path: 25 ms flush cadence,
-    /// compaction every 4096 records.
+    /// compaction every 4096 records, 100 ms idle safety-net tick.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         JournalConfig {
             dir: dir.into(),
             flush_interval: SimDuration::from_millis(25),
             snapshot_every: 4096,
+            idle_flush: std::time::Duration::from_millis(100),
         }
     }
 }
@@ -201,6 +228,21 @@ fn unescape(field: &str) -> Option<String> {
 }
 
 impl JournalOp {
+    /// The container the op concerns. The router uses this to evict a
+    /// preserved orphan checkpoint when its container id is reused by
+    /// the live cluster.
+    pub fn container(&self) -> ContainerId {
+        match self {
+            JournalOp::Place { container, .. }
+            | JournalOp::Recover { container, .. }
+            | JournalOp::Close { container }
+            | JournalOp::Migrate { container, .. }
+            | JournalOp::AllocDone { container, .. }
+            | JournalOp::Free { container, .. }
+            | JournalOp::ProcessExit { container, .. } => *container,
+        }
+    }
+
     /// The record payload (everything after the seq + checksum header).
     fn payload(&self) -> String {
         match self {
@@ -405,28 +447,104 @@ fn decode_line(line: &str) -> Option<(u64, &str)> {
     Some((seq, payload))
 }
 
-/// The write side of the journal (replay happens once, in
-/// [`Journal::open`]). Owned by the router behind its own mutex; every
-/// method that touches the filesystem is explicit about it so the
-/// caller can keep hot-path locks out of I/O.
-pub struct Journal {
-    cfg: JournalConfig,
-    wal: BufWriter<File>,
+/// The memory half of the journal: the sequence counter plus the
+/// not-yet-drained record buffer. The router owns this **inside the
+/// same mutex as the home map**, which is the whole point — a map
+/// mutation and its record are sequenced in one critical section, so
+/// no interleaving can journal mutations in an order the live map
+/// never went through, and no compaction can cover a sequence number
+/// whose mutation it did not capture. Every method is pure memory.
+pub struct WalBuffer {
     /// Sequence number of the next record to append.
     next_seq: u64,
+    /// Encoded records (newline-terminated lines) awaiting a drain.
+    buf: String,
+    /// Records currently in `buf`.
+    buffered: u64,
     /// Records appended since the last snapshot (compaction trigger).
     appended_since_snapshot: u64,
-    /// Sim-clock instant of the last flush.
+    /// Sim-clock instant of the last drain (or snapshot).
     last_flush: SimTime,
-    /// Buffered records not yet handed to the OS.
-    unflushed: u64,
+    /// Copied from [`JournalConfig::flush_interval`].
+    flush_interval: SimDuration,
+    /// Copied from [`JournalConfig::snapshot_every`].
+    snapshot_every: u64,
+}
+
+impl WalBuffer {
+    /// Append one record — assigns the next sequence number. Pure
+    /// memory; call while holding the lock that guards the map the op
+    /// was just applied to.
+    pub fn append(&mut self, op: &JournalOp) {
+        self.buf
+            .push_str(&encode_line(self.next_seq, &op.payload()));
+        self.next_seq = self.next_seq.saturating_add(1);
+        self.buffered += 1;
+        self.appended_since_snapshot += 1;
+    }
+
+    /// Whether buffered records are due for a drain at sim time `now`
+    /// (a zero interval drains on every append).
+    pub fn flush_due(&self, now: SimTime) -> bool {
+        self.buffered > 0
+            && (self.flush_interval.is_zero()
+                || now.saturating_since(self.last_flush) >= self.flush_interval)
+    }
+
+    /// Whether any records are buffered at all (the idle ticker's
+    /// cheaper question — it drains regardless of the sim cadence).
+    pub fn has_buffered(&self) -> bool {
+        self.buffered > 0
+    }
+
+    /// Whether enough records accumulated since the last snapshot that
+    /// the owner should compact.
+    pub fn snapshot_due(&self) -> bool {
+        self.snapshot_every > 0 && self.appended_since_snapshot >= self.snapshot_every
+    }
+
+    /// Take the buffered records for writing and stamp the drain time.
+    /// The caller must hold the journal (file) lock across both this
+    /// call and the write, so batches land in the file in extraction —
+    /// i.e. sequence — order.
+    pub fn take_batch(&mut self, now: SimTime) -> String {
+        self.buffered = 0;
+        self.last_flush = now;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Start a compaction: returns the sequence number the snapshot
+    /// covers and discards the buffer — every buffered record's
+    /// sequence is `<= covered`, and its effect is in the map state
+    /// captured in this same critical section, so the records need
+    /// never reach the file. Resets the compaction trigger.
+    pub fn begin_snapshot(&mut self, now: SimTime) -> u64 {
+        let covered = self.next_seq.saturating_sub(1);
+        self.buf.clear();
+        self.buffered = 0;
+        self.appended_since_snapshot = 0;
+        self.last_flush = now;
+        covered
+    }
+}
+
+/// The file half of the journal: owns `wal.log` and `snapshot.v1`.
+/// Every method performs file I/O; the router guards the instance with
+/// its own mutex and never holds the home-map lock while calling in
+/// (it extracts batches from the [`WalBuffer`] under the map lock,
+/// releases it, and writes under the journal lock alone).
+pub struct Journal {
+    cfg: JournalConfig,
+    wal: File,
 }
 
 impl Journal {
     /// Open (or create) the journal under `cfg.dir` and replay the
-    /// snapshot plus log into a [`Recovery`]. Never panics on a torn or
-    /// corrupt tail — replay stops at the first bad record and says so.
-    pub fn open(cfg: JournalConfig) -> std::io::Result<(Journal, Recovery)> {
+    /// snapshot plus log into a [`Recovery`]; the returned
+    /// [`WalBuffer`] continues the recovered sequence. Never panics on
+    /// a torn or corrupt tail — replay stops at the first bad record
+    /// and says so.
+    pub fn open(cfg: JournalConfig) -> std::io::Result<(Journal, WalBuffer, Recovery)> {
         std::fs::create_dir_all(&cfg.dir)?;
         let mut recovery = Recovery::default();
         let snapshot_seq = load_snapshot(&cfg.dir.join(SNAPSHOT_FILE), &mut recovery);
@@ -468,83 +586,47 @@ impl Journal {
                     .set_len(pos as u64)?;
             }
         }
-        let wal = BufWriter::new(
-            OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&wal_path)?,
-        );
-        Ok((
-            Journal {
-                cfg,
-                wal,
-                next_seq: max_seq.saturating_add(1),
-                appended_since_snapshot: 0,
-                last_flush: SimTime::ZERO,
-                unflushed: 0,
-            },
-            recovery,
-        ))
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)?;
+        let buffer = WalBuffer {
+            next_seq: max_seq.saturating_add(1),
+            buf: String::new(),
+            buffered: 0,
+            appended_since_snapshot: 0,
+            last_flush: SimTime::ZERO,
+            flush_interval: cfg.flush_interval,
+            snapshot_every: cfg.snapshot_every,
+        };
+        Ok((Journal { cfg, wal }, buffer, recovery))
     }
 
-    /// Append one record to the in-memory buffer (no syscall unless the
-    /// buffer spills). Call [`Journal::maybe_flush`] afterwards with
-    /// the current sim time.
-    pub fn append(&mut self, op: &JournalOp) -> std::io::Result<()> {
-        let line = encode_line(self.next_seq, &op.payload());
-        self.wal.write_all(line.as_bytes())?;
-        self.next_seq = self.next_seq.saturating_add(1);
-        self.appended_since_snapshot += 1;
-        self.unflushed += 1;
-        Ok(())
+    /// The config this journal was opened with (the router reads the
+    /// idle-flush cadence back out of it).
+    pub fn config(&self) -> &JournalConfig {
+        &self.cfg
     }
 
-    /// Flush buffered records to the OS when the configured sim-time
-    /// interval has elapsed (or immediately with a zero interval).
-    /// Returns whether a flush happened.
-    pub fn maybe_flush(&mut self, now: SimTime) -> std::io::Result<bool> {
-        if self.unflushed == 0 {
-            return Ok(false);
-        }
-        if self.cfg.flush_interval.is_zero()
-            || now.saturating_since(self.last_flush) >= self.cfg.flush_interval
-        {
-            self.flush(now)?;
-            return Ok(true);
-        }
-        Ok(false)
-    }
-
-    /// Unconditionally flush buffered records to the OS. Durability
-    /// policy: `flush` is a `write(2)` (survives a router crash);
-    /// `fsync` happens only at snapshot time (survives a host crash) —
-    /// see docs/CLUSTER.md "Durability & restart".
-    pub fn flush(&mut self, now: SimTime) -> std::io::Result<()> {
-        self.wal.flush()?;
-        self.last_flush = now;
-        self.unflushed = 0;
-        Ok(())
-    }
-
-    /// Whether enough records accumulated since the last snapshot that
-    /// the owner should compact.
-    pub fn wants_snapshot(&self) -> bool {
-        self.cfg.snapshot_every > 0 && self.appended_since_snapshot >= self.cfg.snapshot_every
+    /// Write one drained batch to the log. One `write(2)` per batch;
+    /// a written batch survives a router crash (`kill -9`). Host-crash
+    /// durability (`fsync`) happens only at snapshot time — see
+    /// docs/CLUSTER.md "Durability & restart".
+    pub fn write_batch(&mut self, batch: &str) -> std::io::Result<()> {
+        self.wal.write_all(batch.as_bytes())
     }
 
     /// Compact: write the full map to `snapshot.v1` (temp file, fsync,
-    /// atomic rename) and truncate the log. A crash between rename and
-    /// truncate is safe — the snapshot's sequence number makes the
-    /// leftover log records no-ops on replay.
+    /// atomic rename) and truncate the log. `covered` must be the
+    /// sequence stamp captured by [`WalBuffer::begin_snapshot`] in the
+    /// same critical section that cloned `homes`. A crash between
+    /// rename and truncate is safe — the snapshot's sequence number
+    /// makes the leftover log records no-ops on replay.
     pub fn snapshot(
         &mut self,
+        covered: u64,
         homes: &BTreeMap<ContainerId, RecoveredHome>,
     ) -> std::io::Result<()> {
-        // Everything appended so far must be on disk before the
-        // snapshot claims to cover its sequence range.
-        self.wal.flush()?;
-        self.unflushed = 0;
-        let covered = self.next_seq.saturating_sub(1);
         let tmp = self.cfg.dir.join("snapshot.tmp");
         {
             let mut out = BufWriter::new(File::create(&tmp)?);
@@ -573,25 +655,17 @@ impl Journal {
             out.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, self.cfg.dir.join(SNAPSHOT_FILE))?;
-        // Truncate the log: future appends start a fresh file.
+        // Truncate the log: future batches start a fresh file. Records
+        // with sequence > covered cannot be lost here — they are still
+        // in the buffer, and their drain is blocked on the journal
+        // lock the caller holds across this whole compaction.
         let wal_path = self.cfg.dir.join(WAL_FILE);
-        self.wal = BufWriter::new(
-            OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&wal_path)?,
-        );
-        self.appended_since_snapshot = 0;
+        self.wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&wal_path)?;
         Ok(())
-    }
-}
-
-impl Drop for Journal {
-    /// Graceful shutdown keeps the buffered tail; a crash (`kill -9`)
-    /// skips this and loses at most one flush interval of records.
-    fn drop(&mut self) {
-        let _ = self.wal.flush();
     }
 }
 
@@ -676,6 +750,13 @@ mod tests {
         dir
     }
 
+    /// Append `op` and drain it straight to the file — the unit tests'
+    /// stand-in for the router's append-then-drain flow.
+    fn append_now(j: &mut Journal, w: &mut WalBuffer, op: &JournalOp) {
+        w.append(op);
+        j.write_batch(&w.take_batch(SimTime::ZERO)).unwrap();
+    }
+
     fn ops() -> Vec<JournalOp> {
         vec![
             JournalOp::Place {
@@ -744,19 +825,18 @@ mod tests {
     }
 
     #[test]
-    fn append_flush_reopen_recovers_the_map() {
+    fn append_drain_reopen_recovers_the_map() {
         let dir = temp_dir("reopen");
         let mut expected = BTreeMap::new();
         {
-            let (mut j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            let (mut j, mut w, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
             assert!(rec.homes.is_empty());
             for op in ops() {
-                j.append(&op).unwrap();
+                append_now(&mut j, &mut w, &op);
                 apply(&mut expected, &op);
             }
-            j.flush(SimTime::ZERO).unwrap();
         }
-        let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let (_j, _w, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
         assert_eq!(rec.homes, expected);
         assert_eq!(rec.replayed, ops().len() as u64);
         assert!(!rec.torn_tail);
@@ -764,30 +844,108 @@ mod tests {
     }
 
     #[test]
+    fn buffered_records_drain_in_append_order_across_batches() {
+        let dir = temp_dir("batches");
+        let mut expected = BTreeMap::new();
+        {
+            let (mut j, mut w, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            let all = ops();
+            // Two batches drained separately: file order must be the
+            // append order, with contiguous sequence numbers.
+            for op in &all[..3] {
+                w.append(op);
+                apply(&mut expected, op);
+            }
+            j.write_batch(&w.take_batch(SimTime::ZERO)).unwrap();
+            for op in &all[3..] {
+                w.append(op);
+                apply(&mut expected, op);
+            }
+            j.write_batch(&w.take_batch(SimTime::ZERO)).unwrap();
+        }
+        let data = std::fs::read_to_string(dir.join(WAL_FILE)).unwrap();
+        let seqs: Vec<u64> = data
+            .lines()
+            .map(|l| decode_line(l).expect("valid record").0)
+            .collect();
+        assert_eq!(seqs, (1..=ops().len() as u64).collect::<Vec<_>>());
+        let (_j, _w, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(rec.homes, expected);
+    }
+
+    #[test]
+    fn flush_due_follows_the_sim_cadence() {
+        let dir = temp_dir("cadence");
+        let cfg = JournalConfig {
+            flush_interval: SimDuration::from_millis(25),
+            ..JournalConfig::new(&dir)
+        };
+        let (_j, mut w, _) = Journal::open(cfg).unwrap();
+        assert!(!w.flush_due(SimTime::ZERO), "empty buffer is never due");
+        w.append(&ops()[0]);
+        assert!(!w.flush_due(SimTime::ZERO + SimDuration::from_millis(10)));
+        assert!(w.flush_due(SimTime::ZERO + SimDuration::from_millis(25)));
+        assert!(w.has_buffered());
+        let batch = w.take_batch(SimTime::ZERO + SimDuration::from_millis(25));
+        assert!(!batch.is_empty());
+        assert!(!w.has_buffered());
+    }
+
+    #[test]
     fn snapshot_compacts_and_reopen_skips_covered_records() {
         let dir = temp_dir("snapshot");
         let mut expected = BTreeMap::new();
         {
-            let (mut j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            let (mut j, mut w, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
             for op in ops() {
-                j.append(&op).unwrap();
+                append_now(&mut j, &mut w, &op);
                 apply(&mut expected, &op);
             }
-            j.snapshot(&expected).unwrap();
+            let covered = w.begin_snapshot(SimTime::ZERO);
+            j.snapshot(covered, &expected).unwrap();
             // Post-snapshot tail.
             let tail = JournalOp::AllocDone {
                 container: ContainerId(2),
                 pid: 3,
                 size: Bytes::mib(5),
             };
-            j.append(&tail).unwrap();
+            append_now(&mut j, &mut w, &tail);
             apply(&mut expected, &tail);
-            j.flush(SimTime::ZERO).unwrap();
         }
-        let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let (_j, _w, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
         assert_eq!(rec.homes, expected);
         assert_eq!(rec.snapshot_homes, 2);
         assert_eq!(rec.replayed, 1, "only the post-snapshot tail replays");
+    }
+
+    #[test]
+    fn begin_snapshot_discards_buffered_records_it_covers() {
+        // Buffered (never-drained) records at snapshot time are part of
+        // the captured map and must not reach the fresh WAL — replay
+        // applying them on top of the snapshot would double-apply.
+        let dir = temp_dir("discard");
+        let mut state = BTreeMap::new();
+        {
+            let (mut j, mut w, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            for op in ops() {
+                w.append(&op); // buffered only — never drained
+                apply(&mut state, &op);
+            }
+            let covered = w.begin_snapshot(SimTime::ZERO);
+            assert_eq!(covered, ops().len() as u64);
+            assert!(!w.has_buffered(), "the covered tail is discarded");
+            j.snapshot(covered, &state).unwrap();
+            // The next record continues the sequence past `covered`.
+            let tail = JournalOp::Close {
+                container: ContainerId(2),
+            };
+            append_now(&mut j, &mut w, &tail);
+            apply(&mut state, &tail);
+        }
+        let (_j, _w, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(rec.homes, state);
+        assert_eq!(rec.skipped, 0, "nothing covered ever reached the WAL");
+        assert_eq!(rec.replayed, 1);
     }
 
     #[test]
@@ -797,18 +955,18 @@ mod tests {
         let dir = temp_dir("crashwindow");
         let mut state = BTreeMap::new();
         {
-            let (mut j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            let (mut j, mut w, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
             for op in ops() {
-                j.append(&op).unwrap();
+                append_now(&mut j, &mut w, &op);
                 apply(&mut state, &op);
             }
-            j.flush(SimTime::ZERO).unwrap();
             let stale_log = std::fs::read(dir.join(WAL_FILE)).unwrap();
-            j.snapshot(&state).unwrap();
+            let covered = w.begin_snapshot(SimTime::ZERO);
+            j.snapshot(covered, &state).unwrap();
             drop(j);
             std::fs::write(dir.join(WAL_FILE), stale_log).unwrap();
         }
-        let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let (_j, _w, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
         assert_eq!(rec.homes, state, "double-apply would skew the ledger");
         assert_eq!(rec.replayed, 0);
         assert_eq!(rec.skipped, ops().len() as u64);
@@ -819,21 +977,20 @@ mod tests {
         let dir = temp_dir("torn");
         let mut states = vec![BTreeMap::new()];
         {
-            let (mut j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            let (mut j, mut w, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
             for op in ops() {
-                j.append(&op).unwrap();
+                append_now(&mut j, &mut w, &op);
                 let mut next = states.last().unwrap().clone();
                 apply(&mut next, &op);
                 states.push(next);
             }
-            j.flush(SimTime::ZERO).unwrap();
         }
         let full = std::fs::read(dir.join(WAL_FILE)).unwrap();
         // Truncate at every byte: recovery must always be a prefix
         // state and must flag the torn tail when a record is cut.
         for cut in 0..=full.len() {
             std::fs::write(dir.join(WAL_FILE), &full[..cut]).unwrap();
-            let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            let (_j, _w, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
             assert!(
                 states.contains(&rec.homes),
                 "cut at byte {cut} recovered a state the live map never held"
@@ -846,19 +1003,20 @@ mod tests {
         let dir = temp_dir("badsnap");
         let mut state = BTreeMap::new();
         {
-            let (mut j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            let (mut j, mut w, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
             for op in ops() {
-                j.append(&op).unwrap();
+                append_now(&mut j, &mut w, &op);
                 apply(&mut state, &op);
             }
-            j.snapshot(&state).unwrap();
+            let covered = w.begin_snapshot(SimTime::ZERO);
+            j.snapshot(covered, &state).unwrap();
         }
         // Flip one byte in the middle of the snapshot.
         let mut snap = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
         let mid = snap.len() / 2;
         snap[mid] ^= 0x40;
         std::fs::write(dir.join(SNAPSHOT_FILE), snap).unwrap();
-        let (_j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let (_j, _w, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
         assert!(rec.corrupt_snapshot);
         // The log was truncated by the snapshot, so nothing replays:
         // recovery is empty rather than wrong.

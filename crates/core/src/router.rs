@@ -66,9 +66,17 @@
 //! ([`crate::journal`]), with periodic compacted snapshots. On restart
 //! the journal replays, so recovered homes carry their full
 //! `limit` / `hint` / `used_by_pid` checkpoints and a post-restart
-//! migration hands the adopter the *pre-restart* books. Appends are
-//! buffered and flushed on a sim-clock cadence; no router lock is held
-//! across journal file I/O. Without a journal the pre-existing lazy
+//! migration hands the adopter the *pre-restart* books. A mutation and
+//! its journal record are sequenced in **one critical section** (the
+//! WAL's memory half lives inside the home-map mutex), so journal
+//! order always equals apply order and a compaction can never cover a
+//! mutation its map capture missed; the file I/O itself happens under
+//! a separate journal lock with the home-map lock released, on the
+//! sim-clock flush cadence plus a wall-clock idle ticker. Recovered
+//! homes whose journaled node name is missing from the current node
+//! list are preserved as *orphans* — carried through every snapshot —
+//! so a restart with a corrected node list still recovers them.
+//! Without a journal the pre-existing lazy
 //! path still applies: homes re-learned through
 //! [`ClusterRouter::recover_home`] carry a zero hint, zero limit, and
 //! an empty ledger (pinned by the zero-checkpoint baseline tests).
@@ -79,7 +87,7 @@
 //! and `query_cluster`.
 
 use crate::handler::ServiceHandler;
-use crate::journal::{Journal, JournalConfig, JournalOp, RecoveredHome};
+use crate::journal::{Journal, JournalConfig, JournalOp, RecoveredHome, WalBuffer};
 use crate::service::{ObsHub, SchedulerService};
 use convgpu_ipc::binary::WireCodec;
 use convgpu_ipc::client::SchedulerClient;
@@ -96,7 +104,7 @@ use convgpu_sim_core::clock::ClockHandle;
 use convgpu_sim_core::ids::ContainerId;
 use convgpu_sim_core::rng::DetRng;
 use convgpu_sim_core::sync::{Condvar, Mutex};
-use convgpu_sim_core::time::SimDuration;
+use convgpu_sim_core::time::{SimDuration, SimTime};
 use convgpu_sim_core::units::Bytes;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -316,6 +324,77 @@ impl Home {
     }
 }
 
+/// Everything guarded by the router's home-map lock. The journal's
+/// memory half lives *here*, beside the map it records: one critical
+/// section covers a map mutation and the buffering of its journal
+/// record, so journal order always equals apply order and a compaction
+/// can never stamp a `covered` sequence whose mutation its map capture
+/// missed. Every operation under this lock is pure memory.
+struct HomesState {
+    /// The home map itself.
+    map: BTreeMap<ContainerId, Home>,
+    /// The journal's sequencer + append buffer (`None` without a
+    /// journal — the volatile router, byte-for-byte unchanged). File
+    /// I/O happens in [`drain_wal`] / [`ClusterRouter::snapshot_now`]
+    /// under the journal lock, with this lock released.
+    wal: Option<WalBuffer>,
+    /// Recovered homes whose journaled node name is not in the current
+    /// node list. Preserved — written back into every snapshot — so a
+    /// restart with a corrected node list still recovers them; an
+    /// entry is evicted when the live cluster journals any op reusing
+    /// its container id.
+    orphans: BTreeMap<ContainerId, RecoveredHome>,
+}
+
+/// The home map keyed by node *name* (the journal's shape).
+fn named_homes(
+    nodes: &[RouterNode],
+    map: &BTreeMap<ContainerId, Home>,
+) -> BTreeMap<ContainerId, RecoveredHome> {
+    map.iter()
+        .map(|(container, h)| {
+            (
+                *container,
+                RecoveredHome {
+                    node: nodes[h.node].name.clone(),
+                    limit: h.limit,
+                    hint: h.hint,
+                    used_by_pid: h.used_by_pid.clone(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Drain the buffered journal records to the log file. Lock order is
+/// journal → homes: the batch is extracted from the [`WalBuffer`]
+/// while both are held (so batches hit the file in sequence order and
+/// can never race a compaction's truncation), then the homes lock is
+/// released before the write. Shared by the request path, the idle
+/// flusher thread, and shutdown.
+fn drain_wal(journal: &Mutex<Journal>, homes: &Mutex<HomesState>, now: SimTime, obs: &ObsHub) {
+    let err = {
+        let mut j = journal.lock();
+        let batch = {
+            let mut state = homes.lock();
+            match state.wal.as_mut() {
+                Some(wal) if wal.has_buffered() => wal.take_batch(now),
+                _ => return,
+            }
+        };
+        // The journal mutex guards exactly the file being written —
+        // the sanctioned Reply::send shape, one call deeper than the
+        // analyzer's guard-receiver exemption can see. The home-map
+        // lock was released above, and no socket peer can wedge this.
+        // lint:allow(lock-order)
+        j.write_batch(&batch).is_err()
+    };
+    if err {
+        obs.registry
+            .inc("convgpu_router_journal_errors_total", &[], 1);
+    }
+}
+
 /// The cluster's front door: places containers across per-node socket
 /// servers and forwards the gated protocol with deadlines, bounded
 /// backoff, health tracking, and failover (module docs have the full
@@ -327,7 +406,10 @@ pub struct ClusterRouter {
     clock: ClockHandle,
     codec: WireCodec,
     nodes: Vec<RouterNode>,
-    homes: Mutex<BTreeMap<ContainerId, Home>>,
+    /// The home map plus the journal's in-memory half (see
+    /// [`HomesState`]); `Arc` so the idle flusher thread can reach it.
+    /// Mutators take only this lock — never the journal lock.
+    homes: Arc<Mutex<HomesState>>,
     rng: Mutex<DetRng>,
     obs: Arc<ObsHub>,
     /// Completed and rejected migrations, oldest first.
@@ -338,11 +420,18 @@ pub struct ClusterRouter {
     /// Nodes with a drain in flight — collapses the burst of failure
     /// notifications a dying node produces into one drain.
     draining: Mutex<BTreeSet<usize>>,
-    /// Write-ahead home-map journal (`None` = the pre-journal
-    /// volatile router, byte-for-byte unchanged behavior). Leaf lock:
-    /// nothing else is ever acquired while it is held, and the home
-    /// map lock is never held across journal I/O.
-    journal: Option<Mutex<Journal>>,
+    /// The write-ahead journal's file half (`None` = the pre-journal
+    /// volatile router, byte-for-byte unchanged behavior). Lock order:
+    /// the drain and compaction paths acquire this *before* the homes
+    /// lock, and the homes lock is released before any file I/O; the
+    /// homes lock is never held first.
+    journal: Option<Arc<Mutex<Journal>>>,
+    /// Shutdown signal for the idle flusher: flag + wakeup condvar.
+    flusher_stop: Arc<(Mutex<bool>, Condvar)>,
+    /// The wall-clock idle flusher thread (journaled routers only): a
+    /// quiescent router's buffered records still reach the file within
+    /// about one [`JournalConfig::idle_flush`] tick.
+    flusher: Option<std::thread::JoinHandle<()>>,
 }
 
 /// The context charge a node budgets on top of each limit; mirrored here
@@ -378,7 +467,11 @@ impl ClusterRouter {
                 .into_iter()
                 .map(|(name, endpoint)| RouterNode::new(name, endpoint.into()))
                 .collect(),
-            homes: Mutex::new(BTreeMap::new()),
+            homes: Arc::new(Mutex::new(HomesState {
+                map: BTreeMap::new(),
+                wal: None,
+                orphans: BTreeMap::new(),
+            })),
             rng: Mutex::new(DetRng::seed_from_u64(seed)),
             obs,
             migrations: Mutex::new(Vec::new()),
@@ -386,6 +479,8 @@ impl ClusterRouter {
             migration_done: Condvar::new(),
             draining: Mutex::new(BTreeSet::new()),
             journal: None,
+            flusher_stop: Arc::new((Mutex::new(false), Condvar::new())),
+            flusher: None,
         };
         for node in &router.nodes {
             router.publish_health(node, NodeHealth::Up);
@@ -402,10 +497,15 @@ impl ClusterRouter {
     /// Recovery tolerates a torn or corrupt journal tail (replay stops
     /// at the first bad record; never panics) and a discarded corrupt
     /// snapshot. Homes journaled against a node name not in `nodes`
-    /// are dropped (and counted). The replay outcome is published on
-    /// the router's registry (`convgpu_router_journal_*`, see
-    /// docs/OBSERVABILITY.md), and the on-disk state is immediately
-    /// recompacted into one fresh snapshot.
+    /// are preserved as *orphans* (counted, carried through every
+    /// snapshot, evicted only when the live cluster reuses their
+    /// container id) so a restart with a corrected node list still
+    /// recovers them. The replay outcome is published on the router's
+    /// registry (`convgpu_router_journal_*`, see
+    /// docs/OBSERVABILITY.md), the on-disk state is immediately
+    /// recompacted into one fresh snapshot, and a background flusher
+    /// thread drains buffered records on the
+    /// [`JournalConfig::idle_flush`] wall-clock cadence.
     pub fn attach_with_journal<E: Into<EndpointAddr>>(
         nodes: Vec<(String, E)>,
         codec: WireCodec,
@@ -414,15 +514,16 @@ impl ClusterRouter {
         journal: JournalConfig,
     ) -> std::io::Result<ClusterRouter> {
         let mut router = ClusterRouter::attach(nodes, codec, cfg, clock);
-        let (journal, recovery) = Journal::open(journal)?;
+        let (journal, wal, recovery) = Journal::open(journal)?;
+        let idle_flush = journal.config().idle_flush;
         let mut recovered = 0u64;
-        let mut dropped = 0u64;
+        let mut orphaned = 0u64;
         {
-            let mut homes = router.homes.lock();
+            let mut state = router.homes.lock();
             for (container, rec) in recovery.homes {
                 match router.nodes.iter().position(|n| n.name == rec.node) {
                     Some(idx) => {
-                        homes.insert(
+                        state.map.insert(
                             container,
                             Home {
                                 node: idx,
@@ -433,9 +534,13 @@ impl ClusterRouter {
                         );
                         recovered += 1;
                     }
-                    None => dropped += 1,
+                    None => {
+                        state.orphans.insert(container, rec);
+                        orphaned += 1;
+                    }
                 }
             }
+            state.wal = Some(wal);
         }
         let reg = &router.obs.registry;
         reg.inc(
@@ -448,61 +553,137 @@ impl ClusterRouter {
             &[],
             recovered,
         );
-        reg.inc("convgpu_router_journal_dropped_homes_total", &[], dropped);
+        reg.inc("convgpu_router_journal_orphan_homes_total", &[], orphaned);
         if recovery.torn_tail {
             reg.inc("convgpu_router_journal_torn_tail_total", &[], 1);
         }
         if recovery.corrupt_snapshot {
             reg.inc("convgpu_router_journal_corrupt_snapshot_total", &[], 1);
         }
-        router.journal = Some(Mutex::new(journal));
+        router.journal = Some(Arc::new(Mutex::new(journal)));
         // Compact immediately: recovery collapses to one fresh
-        // snapshot, so restart-after-restart never replays a long log.
+        // snapshot (orphans included), so restart-after-restart never
+        // replays a long log.
         router.snapshot_now();
+        // The idle safety net: a quiescent router's buffered records
+        // reach the file within about one tick even when no request
+        // (and hence no sim-clock flush observation) ever arrives.
+        // Condvar-timed on wall time — never the session clock, whose
+        // virtual implementation would turn a sleep loop into a spin.
+        let journal_arc = Arc::clone(router.journal.as_ref().expect("just set"));
+        let homes = Arc::clone(&router.homes);
+        let flusher_clock = router.clock.clone();
+        let flusher_obs = Arc::clone(&router.obs);
+        let stop = Arc::clone(&router.flusher_stop);
+        router.flusher = Some(
+            std::thread::Builder::new()
+                .name("convgpu-journal-flush".into())
+                .spawn(move || {
+                    let (stopped, tick) = &*stop;
+                    loop {
+                        {
+                            let mut guard = stopped.lock();
+                            if !*guard {
+                                tick.wait_for(&mut guard, idle_flush);
+                            }
+                            if *guard {
+                                return;
+                            }
+                        }
+                        drain_wal(&journal_arc, &homes, flusher_clock.now(), &flusher_obs);
+                    }
+                })?,
+        );
         Ok(router)
     }
 
-    /// Record one home-map mutation in the journal (no-op without
-    /// one). Buffered; flushed on the configured sim-clock cadence,
-    /// and compaction is triggered by record count. Called only after
-    /// the home-map lock has been released.
-    fn journal_append(&self, op: JournalOp) {
-        let Some(journal) = &self.journal else { return };
-        let now = self.clock.now();
-        let (ok, wants_snapshot) = {
-            let mut j = journal.lock();
-            // The journal mutex guards exactly the file it writes — the
-            // sanctioned Reply::send shape, one call deeper than the
-            // analyzer's guard-receiver exemption can see. No other
-            // lock is held here, and no socket peer can wedge it.
-            // lint:allow(lock-order)
-            let ok = j.append(&op).is_ok() && j.maybe_flush(now).is_ok();
-            (ok, j.wants_snapshot())
+    /// Run one home-map mutation and (with a journal) buffer its
+    /// record **in the same critical section** — the fix for the
+    /// compaction race and the append/apply ordering divergence: the
+    /// record's sequence number is assigned at the instant the map
+    /// changes, so no interleaving can journal mutations in an order
+    /// the map never went through, and no compaction can cover a
+    /// sequence whose mutation its capture missed. The closure returns
+    /// its result plus the op to journal (`None` = nothing changed).
+    /// Everything under the lock is pure memory; the due drain or
+    /// compaction happens after release.
+    fn mutate<R>(
+        &self,
+        f: impl FnOnce(&mut BTreeMap<ContainerId, Home>) -> (R, Option<JournalOp>),
+    ) -> R {
+        let (result, journaled, flush_due, snapshot_due) = {
+            let mut state = self.homes.lock();
+            let state = &mut *state;
+            let (result, op) = f(&mut state.map);
+            let mut journaled = false;
+            let mut flush_due = false;
+            let mut snapshot_due = false;
+            if let (Some(op), Some(wal)) = (&op, state.wal.as_mut()) {
+                // Any journaled op on this container id supersedes a
+                // preserved orphan checkpoint: the live cluster owns
+                // the id now.
+                state.orphans.remove(&op.container());
+                wal.append(op);
+                journaled = true;
+                snapshot_due = wal.snapshot_due();
+                flush_due = !snapshot_due && wal.flush_due(self.clock.now());
+            }
+            (result, journaled, flush_due, snapshot_due)
         };
-        self.obs
-            .registry
-            .inc("convgpu_router_journal_appends_total", &[], 1);
-        if !ok {
+        if journaled {
             self.obs
                 .registry
-                .inc("convgpu_router_journal_errors_total", &[], 1);
+                .inc("convgpu_router_journal_appends_total", &[], 1);
         }
-        if wants_snapshot {
+        if snapshot_due {
             self.snapshot_now();
+        } else if flush_due {
+            if let Some(journal) = &self.journal {
+                drain_wal(journal, &self.homes, self.clock.now(), &self.obs);
+            }
         }
+        result
     }
 
-    /// Write a compacted snapshot of the current home map (no-op
-    /// without a journal). The map is cloned under its lock and the
-    /// lock released before any file I/O happens.
+    /// Write a compacted snapshot of the current home map — preserved
+    /// orphans included — and truncate the log (no-op without a
+    /// journal). `covered` and the map state are captured under one
+    /// journal → homes critical section, and the homes lock is
+    /// released before any file I/O: buffered records the snapshot
+    /// covers are discarded (their effects are in the capture), and a
+    /// concurrent mutation either lands before the capture (included)
+    /// or after (its drain queues behind the journal lock and lands in
+    /// the fresh log with a sequence above `covered`).
     fn snapshot_now(&self) {
         let Some(journal) = &self.journal else { return };
         let t0 = self.clock.now();
-        let homes = self.homes_snapshot();
-        // Same sanctioned shape as journal_append: the guard *is* the
-        // file being written, and the home-map lock was released by
-        // homes_snapshot() before any I/O. lint:allow(lock-order)
-        if journal.lock().snapshot(&homes).is_err() {
+        let err = {
+            let mut j = journal.lock();
+            let captured = {
+                let mut state = self.homes.lock();
+                let state = &mut *state;
+                match state.wal.as_mut() {
+                    Some(wal) => {
+                        let covered = wal.begin_snapshot(t0);
+                        let mut snap = state.orphans.clone();
+                        // Live homes win over a stale orphan (mutate()
+                        // evicts on id reuse, so overlap means a race
+                        // this snapshot is about to settle).
+                        snap.extend(named_homes(&self.nodes, &state.map));
+                        Some((covered, snap))
+                    }
+                    None => None,
+                }
+            };
+            match captured {
+                // Guard-is-the-file shape, same as drain_wal; the
+                // home-map lock was released with the capture.
+                // lint:allow(lock-order)
+                Some((covered, snap)) => j.snapshot(covered, &snap).is_err(),
+                None => false,
+            }
+        };
+        if err {
             self.obs
                 .registry
                 .inc("convgpu_router_journal_errors_total", &[], 1);
@@ -514,37 +695,20 @@ impl ClusterRouter {
         );
     }
 
-    /// The home map as the journal (and its tests) see it: node
+    /// The live home map as the journal (and its tests) see it: node
     /// *names* instead of indices, with the full checkpoint per home.
+    /// Preserved orphans are not part of the live map.
     pub fn homes_snapshot(&self) -> BTreeMap<ContainerId, RecoveredHome> {
-        let homes = self.homes.lock();
-        homes
-            .iter()
-            .map(|(container, h)| {
-                (
-                    *container,
-                    RecoveredHome {
-                        node: self.nodes[h.node].name.clone(),
-                        limit: h.limit,
-                        hint: h.hint,
-                        used_by_pid: h.used_by_pid.clone(),
-                    },
-                )
-            })
-            .collect()
+        let state = self.homes.lock();
+        named_homes(&self.nodes, &state.map)
     }
 
-    /// Flush any buffered journal records to the OS now, regardless of
+    /// Drain any buffered journal records to the OS now, regardless of
     /// the flush cadence (no-op without a journal). Exposed for
     /// operator-driven shutdown paths and tests.
     pub fn journal_flush(&self) {
         if let Some(journal) = &self.journal {
-            let now = self.clock.now();
-            if journal.lock().flush(now).is_err() {
-                self.obs
-                    .registry
-                    .inc("convgpu_router_journal_errors_total", &[], 1);
-            }
+            drain_wal(journal, &self.homes, self.clock.now(), &self.obs);
         }
     }
 
@@ -580,8 +744,8 @@ impl ClusterRouter {
     pub fn cluster_status(&self) -> (String, Vec<ClusterNodeStatus>) {
         let mut per_node = vec![0u64; self.nodes.len()];
         {
-            let homes = self.homes.lock();
-            for home in homes.values() {
+            let state = self.homes.lock();
+            for home in state.map.values() {
                 per_node[home.node] += 1;
             }
         }
@@ -794,8 +958,8 @@ impl ClusterRouter {
         let mut committed = vec![Bytes::ZERO; self.nodes.len()];
         let mut placed = vec![0u64; self.nodes.len()];
         {
-            let homes = self.homes.lock();
-            for home in homes.values() {
+            let state = self.homes.lock();
+            for home in state.map.values() {
                 committed[home.node] += home.hint;
                 placed[home.node] += 1;
             }
@@ -848,7 +1012,7 @@ impl ClusterRouter {
     /// A node that fails at the transport level during placement is
     /// excluded and the next capable node is tried (placement failover).
     pub fn register(&self, container: ContainerId, limit: Bytes) -> IpcResult<String> {
-        if self.homes.lock().contains_key(&container) {
+        if self.homes.lock().map.contains_key(&container) {
             return Err(IpcError::Scheduler(format!(
                 "container {container} is already registered"
             )));
@@ -864,20 +1028,26 @@ impl ClusterRouter {
             };
             match self.call_gated(pick, Request::Register { container, limit }) {
                 Ok(Response::Ok) => {
-                    self.homes.lock().insert(
-                        container,
-                        Home {
-                            node: pick,
-                            hint,
-                            limit,
-                            used_by_pid: BTreeMap::new(),
-                        },
-                    );
-                    self.journal_append(JournalOp::Place {
-                        container,
-                        node: self.nodes[pick].name.clone(),
-                        limit,
-                        hint,
+                    let node_name = self.nodes[pick].name.clone();
+                    self.mutate(|map| {
+                        map.insert(
+                            container,
+                            Home {
+                                node: pick,
+                                hint,
+                                limit,
+                                used_by_pid: BTreeMap::new(),
+                            },
+                        );
+                        (
+                            (),
+                            Some(JournalOp::Place {
+                                container,
+                                node: node_name,
+                                limit,
+                                hint,
+                            }),
+                        )
                     });
                     self.obs.registry.inc(
                         "convgpu_router_placement_total",
@@ -904,7 +1074,7 @@ impl ClusterRouter {
 
     /// Home node index for a container the router knows.
     fn home_idx(&self, container: ContainerId) -> Option<usize> {
-        self.homes.lock().get(&container).map(|h| h.node)
+        self.homes.lock().map.get(&container).map(|h| h.node)
     }
 
     /// Re-learn the home of a container placed by a previous router
@@ -918,18 +1088,24 @@ impl ClusterRouter {
             if let Ok(Response::Home { .. }) =
                 self.call_gated(idx, Request::QueryHome { container })
             {
-                self.homes.lock().insert(
-                    container,
-                    Home {
-                        node: idx,
-                        hint: Bytes::ZERO,
-                        limit: Bytes::ZERO,
-                        used_by_pid: BTreeMap::new(),
-                    },
-                );
-                self.journal_append(JournalOp::Recover {
-                    container,
-                    node: self.nodes[idx].name.clone(),
+                let node_name = self.nodes[idx].name.clone();
+                self.mutate(|map| {
+                    map.insert(
+                        container,
+                        Home {
+                            node: idx,
+                            hint: Bytes::ZERO,
+                            limit: Bytes::ZERO,
+                            used_by_pid: BTreeMap::new(),
+                        },
+                    );
+                    (
+                        (),
+                        Some(JournalOp::Recover {
+                            container,
+                            node: node_name,
+                        }),
+                    )
                 });
                 return Some(idx);
             }
@@ -986,8 +1162,9 @@ impl ClusterRouter {
         // container onto a survivor, orphaning an open copy there.)
         self.migrating.lock().insert(container);
         let checkpoint = {
-            let homes = self.homes.lock();
-            homes
+            let state = self.homes.lock();
+            state
+                .map
                 .get(&container)
                 .filter(|h| h.node == from)
                 .map(|h| (h.limit, h.hint, h.used()))
@@ -1020,8 +1197,10 @@ impl ClusterRouter {
             Ok((_, degraded)) if degraded => live_used.min(hint),
             _ => Bytes::ZERO,
         };
-        self.homes.lock().remove(&container);
-        self.journal_append(JournalOp::Close { container });
+        self.mutate(|map| {
+            map.remove(&container);
+            ((), Some(JournalOp::Close { container }))
+        });
         self.ensure_caps();
         let mut excluded = vec![false; self.nodes.len()];
         excluded[from] = true;
@@ -1044,21 +1223,27 @@ impl ClusterRouter {
                     if used > Bytes::ZERO {
                         used_by_pid.insert(0, used);
                     }
-                    self.homes.lock().insert(
-                        container,
-                        Home {
-                            node: pick,
-                            hint,
-                            limit,
-                            used_by_pid,
-                        },
-                    );
-                    self.journal_append(JournalOp::Migrate {
-                        container,
-                        node: self.nodes[pick].name.clone(),
-                        limit,
-                        hint,
-                        used,
+                    let node_name = self.nodes[pick].name.clone();
+                    self.mutate(|map| {
+                        map.insert(
+                            container,
+                            Home {
+                                node: pick,
+                                hint,
+                                limit,
+                                used_by_pid,
+                            },
+                        );
+                        (
+                            (),
+                            Some(JournalOp::Migrate {
+                                container,
+                                node: node_name,
+                                limit,
+                                hint,
+                                used,
+                            }),
+                        )
                     });
                     to = Some(pick);
                     break;
@@ -1107,8 +1292,9 @@ impl ClusterRouter {
             return Vec::new();
         }
         let homed: Vec<ContainerId> = {
-            let homes = self.homes.lock();
-            homes
+            let state = self.homes.lock();
+            state
+                .map
                 .iter()
                 .filter(|(_, h)| h.node == idx)
                 .map(|(c, _)| *c)
@@ -1258,29 +1444,26 @@ impl ClusterRouter {
         )? {
             Response::Freed { size } => {
                 if size > Bytes::ZERO {
-                    let tracked = {
-                        let mut homes = self.homes.lock();
-                        match homes.get_mut(&container) {
-                            Some(home) => {
-                                // Clamp, never wrap: a `free` reporting
-                                // more bytes than the pid's recorded
-                                // balance (out-of-order delivery, node
-                                // restart) zeroes the entry.
-                                if let Some(used) = home.used_by_pid.get_mut(&pid) {
-                                    *used = used.saturating_sub(size);
-                                }
-                                true
+                    self.mutate(|map| match map.get_mut(&container) {
+                        Some(home) => {
+                            // Clamp, never wrap: a `free` reporting
+                            // more bytes than the pid's recorded
+                            // balance (out-of-order delivery, node
+                            // restart) zeroes the entry.
+                            if let Some(used) = home.used_by_pid.get_mut(&pid) {
+                                *used = used.saturating_sub(size);
                             }
-                            None => false,
+                            (
+                                (),
+                                Some(JournalOp::Free {
+                                    container,
+                                    pid,
+                                    size,
+                                }),
+                            )
                         }
-                    };
-                    if tracked {
-                        self.journal_append(JournalOp::Free {
-                            container,
-                            pid,
-                            size,
-                        });
-                    }
+                        None => ((), None),
+                    });
                 }
                 Ok(size)
             }
@@ -1311,27 +1494,24 @@ impl ClusterRouter {
             Response::Ok,
         )? {
             Response::Ok => {
-                let tracked = {
-                    let mut homes = self.homes.lock();
-                    match homes.get_mut(&container) {
-                        Some(home) => {
-                            let used = home.used_by_pid.entry(pid).or_insert(Bytes::ZERO);
-                            // Saturate rather than wrap: a hostile or
-                            // buggy node confirming absurd totals can
-                            // skew the ledger but never panic it.
-                            *used = Bytes::new(used.as_u64().saturating_add(size.as_u64()));
-                            true
-                        }
-                        None => false,
+                self.mutate(|map| match map.get_mut(&container) {
+                    Some(home) => {
+                        let used = home.used_by_pid.entry(pid).or_insert(Bytes::ZERO);
+                        // Saturate rather than wrap: a hostile or
+                        // buggy node confirming absurd totals can
+                        // skew the ledger but never panic it.
+                        *used = Bytes::new(used.as_u64().saturating_add(size.as_u64()));
+                        (
+                            (),
+                            Some(JournalOp::AllocDone {
+                                container,
+                                pid,
+                                size,
+                            }),
+                        )
                     }
-                };
-                if tracked {
-                    self.journal_append(JournalOp::AllocDone {
-                        container,
-                        pid,
-                        size,
-                    });
-                }
+                    None => ((), None),
+                });
                 Ok(())
             }
             other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
@@ -1379,19 +1559,13 @@ impl ClusterRouter {
         let idx = self.route_idx(container)?;
         match self.forward_or_degrade(idx, Request::ProcessExit { container, pid }, Response::Ok)? {
             Response::Ok => {
-                let tracked = {
-                    let mut homes = self.homes.lock();
-                    match homes.get_mut(&container) {
-                        Some(home) => {
-                            home.used_by_pid.remove(&pid);
-                            true
-                        }
-                        None => false,
+                self.mutate(|map| match map.get_mut(&container) {
+                    Some(home) => {
+                        home.used_by_pid.remove(&pid);
+                        ((), Some(JournalOp::ProcessExit { container, pid }))
                     }
-                };
-                if tracked {
-                    self.journal_append(JournalOp::ProcessExit { container, pid });
-                }
+                    None => ((), None),
+                });
                 Ok(())
             }
             other => Err(IpcError::UnexpectedResponse(format!("{other:?}"))),
@@ -1413,19 +1587,16 @@ impl ClusterRouter {
             // may have re-homed the container while the close was in
             // flight on the old node.
             self.await_migration(container);
-            let removed = {
-                let mut homes = self.homes.lock();
-                match homes.get(&container).map(|h| h.node) {
-                    Some(new_idx) if new_idx != idx => {
-                        idx = new_idx;
-                        None
-                    }
-                    _ => Some(homes.remove(&container).is_some()),
+            let rehomed = self.mutate(|map| match map.get(&container).map(|h| h.node) {
+                Some(new_idx) if new_idx != idx => (Some(new_idx), None),
+                _ => {
+                    let removed = map.remove(&container).is_some();
+                    (None, removed.then_some(JournalOp::Close { container }))
                 }
-            };
-            let Some(removed) = removed else { continue };
-            if removed {
-                self.journal_append(JournalOp::Close { container });
+            });
+            if let Some(new_idx) = rehomed {
+                idx = new_idx;
+                continue;
             }
             return match result? {
                 Response::Ok => Ok(()),
@@ -1489,6 +1660,22 @@ impl ClusterRouter {
         endpoint: &EndpointAddr,
     ) -> std::io::Result<SocketServer> {
         SocketServer::bind_endpoint(endpoint, Arc::new(RouterHandler::new(Arc::clone(self))))
+    }
+}
+
+/// Graceful shutdown keeps the journal's buffered tail: stop and join
+/// the idle flusher, then drain whatever is still buffered. Only a
+/// hard kill (`kill -9`) loses records, bounded by roughly one flush
+/// tick — the durability contract in the journal module docs.
+impl Drop for ClusterRouter {
+    fn drop(&mut self) {
+        if let Some(handle) = self.flusher.take() {
+            let (stopped, tick) = &*self.flusher_stop;
+            *stopped.lock() = true;
+            tick.notify_all();
+            let _ = handle.join();
+        }
+        self.journal_flush();
     }
 }
 
@@ -2311,6 +2498,139 @@ mod tests {
             text.contains("convgpu_router_journal_recovered_homes_total"),
             "{text}"
         );
+        n0.shutdown();
+    }
+
+    #[test]
+    fn concurrent_mutations_survive_compaction_races() {
+        // Pins the compaction-atomicity and append-ordering fixes:
+        // with a tiny snapshot_every, compactions race concurrent
+        // ledger mutations constantly. Durable state must replay to
+        // exactly the live map — a mutation journaled between the map
+        // capture and the log truncation used to be lost (or, in the
+        // reverse interleaving, double-applied).
+        let clock = RealClock::handle();
+        let n0 = node("jrace", "n0", 16384, clock.clone());
+        let jdir = temp_dir("jrace").join("journal");
+        let _ = std::fs::remove_dir_all(&jdir);
+        let jcfg = JournalConfig {
+            flush_interval: SimDuration::ZERO,
+            snapshot_every: 4,
+            ..JournalConfig::new(jdir.clone())
+        };
+        let endpoints = vec![("n0".to_string(), n0.socket_path().to_path_buf())];
+        let router = ClusterRouter::attach_with_journal(
+            endpoints,
+            WireCodec::Json,
+            RouterConfig::default(),
+            clock,
+            jcfg,
+        )
+        .unwrap();
+        const WORKERS: u64 = 4;
+        const OPS: u64 = 30;
+        for t in 0..WORKERS {
+            router
+                .register(ContainerId(t + 1), Bytes::mib(1024))
+                .unwrap();
+        }
+        std::thread::scope(|scope| {
+            for t in 0..WORKERS {
+                let router = &router;
+                scope.spawn(move || {
+                    let container = ContainerId(t + 1);
+                    for i in 0..OPS {
+                        assert_eq!(
+                            router
+                                .alloc_request(container, t + 1, Bytes::mib(1), ApiKind::Malloc)
+                                .unwrap(),
+                            AllocDecision::Granted
+                        );
+                        ClusterRouter::alloc_done(
+                            router,
+                            container,
+                            t + 1,
+                            0xC0DE + i,
+                            Bytes::mib(1),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let live = router.homes_snapshot();
+        for t in 0..WORKERS {
+            assert_eq!(
+                live[&ContainerId(t + 1)].used_by_pid[&(t + 1)],
+                Bytes::mib(OPS)
+            );
+        }
+        drop(router); // graceful shutdown drains the buffered tail
+        let (_j, _w, recovery) = Journal::open(JournalConfig::new(&jdir)).unwrap();
+        assert_eq!(
+            recovery.homes, live,
+            "durable state diverged from the live map across racing compactions"
+        );
+        n0.shutdown();
+    }
+
+    #[test]
+    fn orphaned_homes_survive_a_wrong_node_list_restart() {
+        let clock = RealClock::handle();
+        let n0 = node("orphan", "n0", 1024, clock.clone());
+        let jdir = temp_dir("orphan").join("journal");
+        let _ = std::fs::remove_dir_all(&jdir);
+        let jcfg = JournalConfig {
+            flush_interval: SimDuration::ZERO,
+            ..JournalConfig::new(jdir.clone())
+        };
+        let first = ClusterRouter::attach_with_journal(
+            vec![("n0".to_string(), n0.socket_path().to_path_buf())],
+            WireCodec::Json,
+            RouterConfig::default(),
+            clock.clone(),
+            jcfg.clone(),
+        )
+        .unwrap();
+        first.register(ContainerId(1), Bytes::mib(400)).unwrap();
+        drop(first);
+        // Restart with a node list that no longer names n0: the
+        // recovered home cannot be matched. It must ride through this
+        // router's immediate recompaction as an orphan — not be erased
+        // from durable state by a transiently wrong config.
+        let ghost = temp_dir("orphan").join("ghost.sock");
+        let wrong = ClusterRouter::attach_with_journal(
+            vec![("other".to_string(), ghost)],
+            WireCodec::Json,
+            RouterConfig::default(),
+            clock.clone(),
+            jcfg.clone(),
+        )
+        .unwrap();
+        assert!(
+            wrong.homes_snapshot().is_empty(),
+            "an orphan is not a live home"
+        );
+        let text = wrong.metrics_text();
+        assert!(
+            text.contains("convgpu_router_journal_orphan_homes_total"),
+            "{text}"
+        );
+        drop(wrong);
+        // A corrected restart recovers the full checkpoint.
+        let fixed = ClusterRouter::attach_with_journal(
+            vec![("n0".to_string(), n0.socket_path().to_path_buf())],
+            WireCodec::Json,
+            RouterConfig::default(),
+            clock,
+            jcfg,
+        )
+        .unwrap();
+        let homes = fixed.homes_snapshot();
+        let home = &homes[&ContainerId(1)];
+        assert_eq!(home.node, "n0");
+        assert_eq!(home.limit, Bytes::mib(400));
+        assert_eq!(home.hint, ctx_hint(Bytes::mib(400)));
         n0.shutdown();
     }
 

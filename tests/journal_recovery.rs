@@ -1,6 +1,6 @@
 //! Durability battery for the router's write-ahead home-map journal.
 //!
-//! Four properties the journal must hold (`docs/CLUSTER.md`,
+//! Five properties the journal must hold (`docs/CLUSTER.md`,
 //! "Durability & restart"):
 //!
 //! * **Kill mid-storm, restart, migrate** — a real `cluster route
@@ -20,6 +20,9 @@
 //!   `tests/fixtures/journal/` (snapshot + log + deliberately torn
 //!   tail) must keep recovering to the same hardcoded home map.
 //!   Re-bless with `UPDATE_GOLDEN=1 cargo test --test journal_recovery`.
+//! * **Idle drain** — a quiescent router's buffered records reach the
+//!   log within about one wall-clock `idle_flush` tick, without any
+//!   further traffic to trigger the sim-clock flush cadence.
 
 use convgpu::ipc::binary::WireCodec;
 use convgpu::ipc::client::SchedulerClient;
@@ -479,7 +482,7 @@ fn replay_prefix(scratch: &Path, prefix: &[u8]) -> (BTreeMap<ContainerId, Recove
     let _ = std::fs::remove_dir_all(scratch);
     std::fs::create_dir_all(scratch).unwrap();
     std::fs::write(scratch.join(WAL_FILE), prefix).unwrap();
-    let (_journal, recovery) =
+    let (_journal, _wal, recovery) =
         Journal::open(JournalConfig::new(scratch)).expect("open never fails");
     (recovery.homes, recovery.replayed)
 }
@@ -708,7 +711,7 @@ fn truncated_tail_fixture_recovers_the_frozen_map() {
             )
         });
     }
-    let (_journal, recovery) =
+    let (_journal, _wal, recovery) =
         Journal::open(JournalConfig::new(&scratch)).expect("recovery must not error");
     assert!(recovery.torn_tail, "the fixture tail must register as torn");
     assert!(!recovery.corrupt_snapshot);
@@ -722,4 +725,63 @@ fn truncated_tail_fixture_recovers_the_frozen_map() {
         fixture_expected(),
         "the frozen on-disk format no longer recovers the frozen map"
     );
+}
+
+// ---------------------------------------------------------------------
+// The idle ticker: a quiescent router's buffered records still land.
+// ---------------------------------------------------------------------
+
+/// With a sim-clock flush interval that will never come due and no
+/// further traffic, the wall-clock idle flusher must still drain the
+/// buffered record within a tick or two — before the fix, a quiescent
+/// router kept its buffered tail in memory indefinitely and `kill -9`
+/// lost it no matter how much time had passed.
+#[test]
+fn idle_flusher_drains_a_quiescent_router() {
+    let dir = temp_dir("idle");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ndir = dir.join("n0");
+    std::fs::create_dir_all(&ndir).unwrap();
+    let vclock = VirtualClock::new();
+    let node = NodeServer::serve_endpoint(
+        "n0",
+        backend(1024),
+        vclock.handle(),
+        ndir.clone(),
+        &EndpointAddr::from(ndir.join("node.sock")),
+    )
+    .unwrap();
+    let jdir = dir.join("journal");
+    let jcfg = JournalConfig {
+        // Never due on the (virtual, never advanced) sim cadence, and
+        // never compacted on count: only the idle ticker can move the
+        // buffered record into the file.
+        flush_interval: SimDuration::from_millis(3_600_000),
+        snapshot_every: 0,
+        idle_flush: Duration::from_millis(10),
+        ..JournalConfig::new(&jdir)
+    };
+    let router = ClusterRouter::attach_with_journal(
+        vec![("n0".to_string(), node.endpoint().clone())],
+        WireCodec::Json,
+        RouterConfig::default(),
+        vclock.handle(),
+        jcfg,
+    )
+    .unwrap();
+    router.register(ContainerId(1), Bytes::mib(100)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let wal = std::fs::read(jdir.join(WAL_FILE)).unwrap_or_default();
+        if !wal.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "idle flusher never drained the buffered record"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(router);
+    node.shutdown();
 }
